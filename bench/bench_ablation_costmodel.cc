@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation study of the design choices behind the latency model
+ * (DESIGN.md Section 4): what Fig. 2-class predictions look like
+ * when individual model components are disabled.
+ *
+ *  A0  full model (roofline + saturation ramp + overheads)
+ *  A1  no memory term (pure compute scaling)
+ *  A2  no saturation ramp (flat efficiency)
+ *  A3  no per-op overhead
+ *  A4  fusion pass disabled (TensorRT pipeline)
+ *  A5  quantization disabled (TFLite on RPi)
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/harness/stats.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+double
+latencyWith(const graph::Graph& g, const hw::ComputeUnit& unit,
+            hw::EngineProfile p)
+{
+    return hw::graphLatencyUnchecked(g, unit, p).totalMs;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "\n== ablation: latency-model components ==\n";
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet50, models::ModelId::kMobileNetV2,
+        models::ModelId::kVgg16,    models::ModelId::kInceptionV4,
+    };
+
+    // Reference pipeline: PyTorch on Jetson TX2.
+    const auto& unit =
+        *hw::deviceSpec(hw::DeviceId::kJetsonTx2).gpu;
+    const auto base = frameworks::engineProfile(
+        frameworks::FrameworkId::kPyTorch, hw::DeviceId::kJetsonTx2);
+
+    harness::Table t({"Model", "A0 full (ms)", "A1 no-mem",
+                      "A2 no-ramp", "A3 no-op-ovh"});
+    for (auto m : rows) {
+        const auto g = models::buildModel(m);
+
+        const double a0 = latencyWith(g, unit, base);
+
+        // A1: make memory effectively free.
+        auto p1 = base;
+        auto unit_fast_mem = unit;
+        unit_fast_mem.memBandwidthGBs = 1e9;
+        const double a1 = latencyWith(g, unit_fast_mem, p1);
+
+        // A2: flat efficiency.
+        auto p2 = base;
+        p2.saturationMacs = 0.0;
+        const double a2 = latencyWith(g, unit, p2);
+
+        // A3: no dispatch overhead.
+        auto p3 = base;
+        p3.perOpOverheadMs = 0.0;
+        p3.perInferenceOverheadMs = 0.0;
+        const double a3 = latencyWith(g, unit, p3);
+
+        t.addRow({models::modelInfo(m).name,
+                  harness::Table::num(a0, 1),
+                  harness::Table::num(a1, 1),
+                  harness::Table::num(a2, 1),
+                  harness::Table::num(a3, 1)});
+    }
+    t.print(std::cout);
+
+    // A4: fusion ablation on the TensorRT pipeline (Jetson Nano).
+    std::cout << "\nA4: fusion pass contribution (TensorRT-style "
+                 "pipeline on Jetson Nano, fp16):\n";
+    harness::Table t4({"Model", "fused (ms)", "unfused (ms)",
+                       "fusion gain"});
+    const auto& nano =
+        *hw::deviceSpec(hw::DeviceId::kJetsonNano).gpu;
+    const auto trt = frameworks::engineProfile(
+        frameworks::FrameworkId::kTensorRt,
+        hw::DeviceId::kJetsonNano);
+    for (auto m : rows) {
+        const auto g = models::buildModel(m);
+        const auto fused = graph::convertToF16(
+            graph::fuseConvBnAct(g).graph).graph;
+        const auto unfused = graph::convertToF16(g).graph;
+        const double with_f = latencyWith(fused, nano, trt);
+        const double without_f = latencyWith(unfused, nano, trt);
+        t4.addRow({models::modelInfo(m).name,
+                   harness::Table::num(with_f, 1),
+                   harness::Table::num(without_f, 1),
+                   harness::Table::num(without_f / with_f, 2)});
+    }
+    t4.print(std::cout);
+
+    // A5: quantization ablation for TFLite on the RPi (the paper's
+    // point that the RPi CPU cannot exploit INT8 compute, only the
+    // footprint shrinks).
+    std::cout << "\nA5: INT8 quantization contribution (TFLite on "
+                 "RPi3):\n";
+    harness::Table t5({"Model", "int8 (ms)", "fp32 (ms)", "gain"});
+    const auto& rpi = hw::deviceSpec(hw::DeviceId::kRpi3).cpu;
+    const auto tfl = frameworks::engineProfile(
+        frameworks::FrameworkId::kTfLite, hw::DeviceId::kRpi3);
+    for (auto m : rows) {
+        const auto g = models::buildModel(m);
+        const auto fused = graph::fuseConvBnAct(g).graph;
+        const auto quant = graph::quantizeInt8(fused).graph;
+        const double q_ms = latencyWith(quant, rpi, tfl);
+        const double f_ms = latencyWith(fused, rpi, tfl);
+        t5.addRow({models::modelInfo(m).name,
+                   harness::Table::num(q_ms, 1),
+                   harness::Table::num(f_ms, 1),
+                   harness::Table::num(f_ms / q_ms, 2)});
+    }
+    t5.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension bench: per-layer latency hotspots. Fig. 5 profiles the
+ * software stack at function granularity; this drills into the model
+ * itself — which layers dominate on which device class, and how the
+ * answer flips between a bandwidth-starved CPU board and a GPU.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/hw/roofline.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+void
+hotspots(const char* title, frameworks::FrameworkId fw,
+         hw::DeviceId device, models::ModelId model)
+{
+    auto dep = frameworks::tryDeploy(fw, models::buildModel(model),
+                                     device);
+    if (!dep) {
+        std::cout << title << ": undeployable\n";
+        return;
+    }
+    const auto& g = dep->model.graph;
+    const auto per_node = hw::perNodeTotalMs(
+        g, dep->model.computeUnit(), dep->model.profile);
+    double total = 0.0;
+    for (double v : per_node)
+        total += v;
+
+    std::vector<std::size_t> order(per_node.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return per_node[a] > per_node[b];
+              });
+
+    std::cout << "\n" << title << " (total "
+              << harness::Table::num(total, 1) << " ms):\n";
+    harness::Table t({"Layer", "Kind", "Time (ms)", "Share (%)"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size());
+         ++i) {
+        const auto& n = g.node(static_cast<graph::NodeId>(order[i]));
+        t.addRow({n.name, graph::opKindName(n.kind),
+                  harness::Table::num(per_node[order[i]], 2),
+                  harness::Table::num(
+                      100.0 * per_node[order[i]] / total, 1)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "\n== ext-hotspots: which layers dominate where ==\n";
+    hotspots("VGG16 on RPi3 (TFLite, int8) -- fc weights stream",
+             frameworks::FrameworkId::kTfLite, hw::DeviceId::kRpi3,
+             models::ModelId::kVgg16);
+    hotspots("VGG16 on Jetson TX2 (TensorFlow)",
+             frameworks::FrameworkId::kTensorFlow,
+             hw::DeviceId::kJetsonTx2, models::ModelId::kVgg16);
+    hotspots("VGG16 on Titan Xp (PyTorch) -- convs dominate",
+             frameworks::FrameworkId::kPyTorch,
+             hw::DeviceId::kTitanXp, models::ModelId::kVgg16);
+    hotspots("MobileNet-v2 on RPi3 (PyTorch) -- depthwise pathology",
+             frameworks::FrameworkId::kPyTorch, hw::DeviceId::kRpi3,
+             models::ModelId::kMobileNetV2);
+    hotspots("ResNet-50 on EdgeTPU (TFLite, int8)",
+             frameworks::FrameworkId::kTfLite,
+             hw::DeviceId::kEdgeTpu, models::ModelId::kResNet50);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension bench: pipelined model parallelism across Raspberry Pis
+ * (the paper authors' collaborative-IoT line, references [11],
+ * [90]-[94]): how many RPis does it take to reach real-time rates?
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/distrib/partition.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    std::cout << "\n== ext-pipeline: DNN pipelining across RPi3 "
+                 "boards (TensorFlow, wired LAN) ==\n";
+
+    const models::ModelId ms[] = {
+        models::ModelId::kCifarNet, models::ModelId::kResNet18,
+        models::ModelId::kResNet50, models::ModelId::kInceptionV4,
+    };
+
+    for (auto m : ms) {
+        auto dep = frameworks::tryDeploy(
+            frameworks::FrameworkId::kTensorFlow,
+            models::buildModel(m), hw::DeviceId::kRpi3);
+        if (!dep)
+            continue;
+        std::cout << "\n" << models::modelInfo(m).name << ":\n";
+        harness::Table t({"Devices", "Stages", "Bottleneck (ms)",
+                          "Throughput (fps)", "Frame latency (ms)",
+                          "Speedup"});
+        double base = 0.0;
+        for (int k : {1, 2, 3, 4, 6}) {
+            const auto r = distrib::pipelinePartition(
+                dep->model, distrib::lanLink(), k);
+            if (k == 1)
+                base = r.throughputHz;
+            t.addRow({std::to_string(k),
+                      std::to_string(r.stageMs.size()),
+                      harness::Table::num(r.bottleneckMs, 1),
+                      harness::Table::num(r.throughputHz, 2),
+                      harness::Table::num(r.latencyMs, 1),
+                      harness::Table::num(r.throughputHz / base, 2)});
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nShape (matching the authors' collaborative-IoT "
+                 "results): a handful of RPis buys a near-linear "
+                 "throughput multiple until transfers or the largest "
+                 "indivisible layer become the bottleneck.\n";
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Extension bench: what quantization costs in accuracy, measured for
+ * real on the functional engine. The paper quantifies the *speed*
+ * side of INT8/FP16 (Table II, Figs. 7-8); this bench runs actual
+ * fp32 / fp16 / int8 inference on the interpreter and reports
+ * prediction agreement and output distortion, plus the modeled
+ * speed/footprint gains on the devices that can exploit each
+ * precision.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+struct AgreementResult
+{
+    double top1Agreement = 0.0;
+    double meanAbsError = 0.0;
+};
+
+/** Top-1 agreement + mean |delta p| of variant vs fp32 reference. */
+AgreementResult
+compareVariants(graph::Graph& reference, graph::Graph& variant,
+                const core::Shape& input_shape, int trials)
+{
+    graph::Interpreter ref(reference);
+    graph::Interpreter var(variant);
+    core::Rng rng(99);
+    AgreementResult r;
+    double err = 0.0;
+    std::int64_t elems = 0;
+    int agree = 0;
+    for (int i = 0; i < trials; ++i) {
+        auto x = core::Tensor::randomNormal(input_shape, rng);
+        auto a = ref.run({x})[0].toF32();
+        auto b = var.run({x})[0].toF32();
+        std::int64_t besta = 0, bestb = 0;
+        for (std::int64_t j = 1; j < a.numel(); ++j) {
+            if (a.at(j) > a.at(besta))
+                besta = j;
+            if (b.at(j) > b.at(bestb))
+                bestb = j;
+        }
+        agree += (besta == bestb);
+        for (std::int64_t j = 0; j < a.numel(); ++j)
+            err += std::fabs(a.at(j) - b.at(j));
+        elems += a.numel();
+    }
+    r.top1Agreement = static_cast<double>(agree) / trials;
+    r.meanAbsError = err / static_cast<double>(elems);
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "\n== ext-quant: measured accuracy cost of reduced "
+                 "precision (CifarNet, 64 random inputs, real "
+                 "kernels) ==\n";
+
+    const int kTrials = 64;
+    const core::Shape input{1, 3, 32, 32};
+
+    auto fp32 = models::buildCifarNet();
+    core::Rng rng(7);
+    fp32.materializeParams(rng);
+
+    // FP16 variant.
+    auto fp16 = graph::convertToF16(fp32).graph;
+
+    // INT8 variant with real calibration on sample inputs.
+    core::Rng crng(8);
+    std::vector<core::Tensor> calib = {
+        core::Tensor::randomNormal(input, crng)};
+    auto int8 = graph::quantizeInt8(fp32, &calib).graph;
+
+    harness::Table t({"Variant", "Top-1 agreement", "Mean |dp|",
+                      "Weight bytes"});
+    t.addRow({"fp32 (reference)", "1.00", "0",
+              harness::Table::num(fp32.stats().paramBytes / 1e6, 2) +
+                  " MB"});
+    const auto h = compareVariants(fp32, fp16, input, kTrials);
+    t.addRow({"fp16", harness::Table::num(h.top1Agreement, 2),
+              harness::Table::num(h.meanAbsError, 5),
+              harness::Table::num(fp16.stats().paramBytes / 1e6, 2) +
+                  " MB"});
+    const auto q = compareVariants(fp32, int8, input, kTrials);
+    t.addRow({"int8 (calibrated)",
+              harness::Table::num(q.top1Agreement, 2),
+              harness::Table::num(q.meanAbsError, 5),
+              harness::Table::num(int8.stats().paramBytes / 1e6, 2) +
+                  " MB"});
+    t.print(std::cout);
+
+    std::cout << "\nModeled speed gain from the same passes (deferred "
+                 "graphs, device cost model):\n";
+    harness::Table s({"Device", "fp32 (ms)", "fp16 (ms)",
+                      "int8 (ms)"});
+    struct Target
+    {
+        hw::DeviceId device;
+        frameworks::FrameworkId fw;
+        hw::UnitKind unit;
+    };
+    const Target targets[] = {
+        {hw::DeviceId::kRpi3, frameworks::FrameworkId::kTfLite,
+         hw::UnitKind::kCpu},
+        {hw::DeviceId::kJetsonNano, frameworks::FrameworkId::kTensorRt,
+         hw::UnitKind::kGpu},
+        {hw::DeviceId::kRtx2080, frameworks::FrameworkId::kTensorRt,
+         hw::UnitKind::kGpu},
+    };
+    const auto base = models::buildResNet(50);
+    for (const auto& tgt : targets) {
+        const auto profile =
+            frameworks::engineProfile(tgt.fw, tgt.device);
+        const auto& spec = hw::deviceSpec(tgt.device);
+        const auto& unit = tgt.unit == hw::UnitKind::kGpu
+            ? *spec.gpu
+            : spec.cpu;
+        const auto fused = graph::fuseConvBnAct(base).graph;
+        const double t32 =
+            hw::graphLatencyUnchecked(fused, unit, profile).totalMs;
+        const double t16 = hw::graphLatencyUnchecked(
+            graph::convertToF16(fused).graph, unit, profile).totalMs;
+        const double t8 = hw::graphLatencyUnchecked(
+            graph::quantizeInt8(fused).graph, unit, profile).totalMs;
+        s.addRow({hw::deviceName(tgt.device),
+                  harness::Table::num(t32, 1),
+                  harness::Table::num(t16, 1),
+                  harness::Table::num(t8, 1)});
+    }
+    s.print(std::cout);
+    std::cout << "\nShape: fp16 is nearly free in accuracy; "
+                 "calibrated int8 keeps high top-1 agreement. The "
+                 "speed gain depends on hardware support: the RPi "
+                 "only saves memory traffic (the paper's TFLite "
+                 "observation), the Turing GPU converts int8 into "
+                 "real throughput.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension bench: RNN/LSTM models in the edge characterization —
+ * the paper's stated future work ("extend our models to include more
+ * varieties of DNN models, such as RNNs and LSTMs").
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/power/energy.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    std::cout << "\n== ext-rnn: recurrent models on edge and HPC "
+                 "platforms ==\n";
+
+    auto zoo = models::buildRecurrentExtensions();
+
+    harness::Table stats({"Model", "Input", "GFLOP", "MParams",
+                          "FLOP/Param"});
+    for (const auto& g : zoo) {
+        const auto st = g.stats();
+        stats.addRow({g.name(), g.inputDescription(),
+                      harness::Table::num(st.macs / 1e9, 3),
+                      harness::Table::num(st.params / 1e6, 2),
+                      harness::Table::num(st.flopPerParam, 1)});
+    }
+    stats.print(std::cout);
+
+    const hw::DeviceId devices[] = {
+        hw::DeviceId::kRpi3,       hw::DeviceId::kJetsonTx2,
+        hw::DeviceId::kJetsonNano, hw::DeviceId::kEdgeTpu,
+        hw::DeviceId::kMovidius,   hw::DeviceId::kXeon,
+        hw::DeviceId::kTitanXp,
+    };
+
+    std::cout << "\nBest-framework latency (ms); accelerators reject "
+                 "recurrent ops:\n";
+    std::vector<std::string> headers{"Model"};
+    for (auto d : devices)
+        headers.push_back(hw::deviceName(d));
+    harness::Table t(std::move(headers));
+    for (const auto& g : zoo) {
+        std::vector<std::string> cells{g.name()};
+        for (auto d : devices) {
+            auto best = frameworks::bestDeployment(g, d);
+            cells.push_back(
+                best ? harness::Table::num(best->model.latencyMs(), 1)
+                     : "n/a");
+        }
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEnergy per inference (mJ, best framework):\n";
+    harness::Table e({"Model", "RPi3", "Jetson TX2", "Jetson Nano"});
+    for (const auto& g : zoo) {
+        std::vector<std::string> cells{g.name()};
+        for (auto d : {hw::DeviceId::kRpi3, hw::DeviceId::kJetsonTx2,
+                       hw::DeviceId::kJetsonNano}) {
+            auto best = frameworks::bestDeployment(g, d);
+            cells.push_back(
+                best ? harness::Table::num(
+                           power::energyPerInference(best->model)
+                               .energyPerInferenceMJ,
+                           1)
+                     : "n/a");
+        }
+        e.addRow(std::move(cells));
+    }
+    e.print(std::cout);
+    std::cout << "\nObservation: the sequential dependence of RNNs "
+                 "keeps per-layer parallelism small, so GPU edge "
+                 "devices gain less over the RPi than they do on "
+                 "CNNs, and the 2019 accelerator toolchains cannot "
+                 "run them at all.\n";
+    return 0;
+}

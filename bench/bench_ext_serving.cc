@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension bench: end-to-end request serving. Puts the paper's
+ * separately-measured quantities (latency, power, temperature)
+ * together in the deployment scenario its introduction motivates — a
+ * drone/robot-class device serving a live request stream.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/frameworks/runtime.hh"
+#include "edgebench/serving/simulator.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    std::cout << "\n== ext-serving: MobileNet-v2 stream at 2 req/s "
+                 "for 30 simulated minutes ==\n";
+
+    harness::Table t({"Device", "Framework", "p50 (ms)", "p99 (ms)",
+                      "Util (%)", "Energy/req (J)", "Peak temp (C)",
+                      "Shutdown"});
+    for (auto d : hw::edgeDevices()) {
+        auto dep = frameworks::bestDeployment(
+            models::buildModel(models::ModelId::kMobileNetV2), d);
+        if (!dep) {
+            t.addRow({hw::deviceName(d), "n/a", "-", "-", "-", "-",
+                      "-", "-"});
+            continue;
+        }
+        frameworks::InferenceSession session(dep->model);
+        serving::ServingConfig cfg{.durationS = 1800.0,
+                                   .arrivalRateHz = 2.0, .seed = 21};
+        const auto rep = serving::simulateServing(session, cfg);
+        t.addRow({hw::deviceName(d),
+                  frameworks::frameworkName(dep->framework),
+                  harness::Table::num(rep.p50Ms, 1),
+                  harness::Table::num(rep.p99Ms, 1),
+                  harness::Table::num(100.0 * rep.utilization, 1),
+                  harness::Table::num(rep.energyPerRequestJ, 3),
+                  rep.peakSurfaceC > 0.0
+                      ? harness::Table::num(rep.peakSurfaceC, 1)
+                      : "-",
+                  rep.thermalShutdown ? "YES" : "no"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSustained heavy load on the RPi (Inception-v4 "
+                 "back-to-back, one hour):\n";
+    auto dep = frameworks::tryDeploy(
+        frameworks::FrameworkId::kTensorFlow,
+        models::buildModel(models::ModelId::kInceptionV4),
+        hw::DeviceId::kRpi3);
+    if (dep) {
+        frameworks::InferenceSession session(dep->model);
+        serving::ServingConfig cfg{.durationS = 3600.0,
+                                   .arrivalRateHz = 1.0, .seed = 22};
+        const auto rep = serving::simulateServing(session, cfg);
+        harness::Table t2({"Offered", "Served", "Dropped",
+                           "Shutdown at (s)", "Peak temp (C)"});
+        t2.addRow({std::to_string(rep.offered),
+                   std::to_string(rep.served),
+                   std::to_string(rep.dropped),
+                   rep.thermalShutdown
+                       ? harness::Table::num(rep.shutdownAtS, 0)
+                       : "-",
+                   harness::Table::num(rep.peakSurfaceC, 1)});
+        t2.print(std::cout);
+        std::cout << "\nThe Fig. 14 thermal shutdown is not just a "
+                     "temperature curve: it costs the RPi every "
+                     "request after the trip point.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates Fig. 2: time per inference on all edge devices with the
+ * best-performing framework per (model, device).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig2");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet18,  models::ModelId::kResNet50,
+        models::ModelId::kMobileNetV2,
+        models::ModelId::kInceptionV4, models::ModelId::kAlexNet,
+        models::ModelId::kVgg16,
+        models::ModelId::kSsdMobileNetV1,
+        models::ModelId::kTinyYolo,  models::ModelId::kC3d,
+    };
+
+    std::vector<std::string> headers{"Model"};
+    for (auto d : hw::edgeDevices())
+        headers.push_back(hw::deviceName(d) + " (ms)");
+    harness::Table t(std::move(headers));
+
+    harness::Table who({"Model", "Device", "Best framework",
+                        "Time (ms)"});
+    // The paper's TX2 numbers come from the general-purpose
+    // frameworks only (Table IV: TX2/PT) -- TensorRT was evaluated on
+    // the Nano. Mirror that selection.
+    auto best_per_paper = [](const graph::Graph& g, hw::DeviceId d)
+        -> std::optional<frameworks::Deployment> {
+        if (d != hw::DeviceId::kJetsonTx2)
+            return frameworks::bestDeployment(g, d);
+        std::optional<frameworks::Deployment> best;
+        for (auto fw : {frameworks::FrameworkId::kPyTorch,
+                        frameworks::FrameworkId::kTensorFlow,
+                        frameworks::FrameworkId::kCaffe,
+                        frameworks::FrameworkId::kDarkNet}) {
+            auto dep = frameworks::tryDeploy(fw, g, d);
+            if (dep && (!best || dep->model.latencyMs() <
+                                     best->model.latencyMs()))
+                best = std::move(dep);
+        }
+        return best;
+    };
+    for (auto m : rows) {
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (auto d : hw::edgeDevices()) {
+            auto best = best_per_paper(models::buildModel(m), d);
+            if (best) {
+                cells.push_back(harness::Table::num(
+                    best->model.latencyMs(), 1));
+                who.addRow({models::modelInfo(m).name,
+                            hw::deviceName(d),
+                            frameworks::frameworkName(best->framework),
+                            harness::Table::num(
+                                best->model.latencyMs(), 1)});
+            } else {
+                cells.push_back("n/a");
+            }
+        }
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "\nBest framework per cell:\n";
+    who.print(std::cout);
+    return 0;
+}

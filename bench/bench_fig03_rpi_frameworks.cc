@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 3: time per inference on the Raspberry Pi across
+ * DarkNet, Caffe, TensorFlow and PyTorch, including the paper's
+ * "Memory Error" outcomes for static-graph frameworks.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig3");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet50,  models::ModelId::kResNet101,
+        models::ModelId::kXception,  models::ModelId::kMobileNetV2,
+        models::ModelId::kInceptionV4, models::ModelId::kAlexNet,
+        models::ModelId::kVgg16,
+    };
+    const frameworks::FrameworkId cols[] = {
+        frameworks::FrameworkId::kDarkNet,
+        frameworks::FrameworkId::kCaffe,
+        frameworks::FrameworkId::kTensorFlow,
+        frameworks::FrameworkId::kPyTorch,
+    };
+
+    harness::Table t({"Model", "DarkNet (s)", "Caffe (s)",
+                      "TensorFlow (s)", "PyTorch (s)"});
+    for (auto m : rows) {
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (auto fw : cols) {
+            auto dep = frameworks::tryDeploy(
+                fw, models::buildModel(m), hw::DeviceId::kRpi3);
+            if (!dep) {
+                cells.push_back("MemErr");
+                continue;
+            }
+            std::string v = harness::Table::num(
+                dep->model.latencyMs() / 1e3, 2);
+            if (dep->mark == frameworks::DeployMark::kDynamicSwap)
+                v += " (swap)";
+            cells.push_back(std::move(v));
+        }
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper anchors (s): TF MobileNet-v2 1.40, Caffe "
+                 "2.27, PyTorch 8.25; TF fails AlexNet/VGG16 with "
+                 "memory errors; PyTorch swaps.\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Fig. 4: time per inference on the Jetson TX2 across
+ * DarkNet, Caffe, TensorFlow and PyTorch.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig4");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet50,  models::ModelId::kResNet101,
+        models::ModelId::kXception,  models::ModelId::kMobileNetV2,
+        models::ModelId::kInceptionV4, models::ModelId::kAlexNet,
+        models::ModelId::kVgg16,
+    };
+    const frameworks::FrameworkId cols[] = {
+        frameworks::FrameworkId::kDarkNet,
+        frameworks::FrameworkId::kCaffe,
+        frameworks::FrameworkId::kTensorFlow,
+        frameworks::FrameworkId::kPyTorch,
+    };
+
+    harness::Table t({"Model", "DarkNet (ms)", "Caffe (ms)",
+                      "TensorFlow (ms)", "PyTorch (ms)"});
+    for (auto m : rows) {
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (auto fw : cols)
+            cells.push_back(bench::cell(
+                bench::latencyMs(fw, m, hw::DeviceId::kJetsonTx2)));
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper shape: PyTorch fastest on the TX2 GPU; "
+                 "Caffe beats TensorFlow except on MobileNet-v2; "
+                 "DarkNet is roughly an order of magnitude off.\n";
+    return 0;
+}

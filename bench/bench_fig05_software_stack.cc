@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Fig. 5: software-stack profiling of PyTorch and
+ * TensorFlow on the Raspberry Pi (30 inferences) and Jetson TX2
+ * (1000 inferences), printed as per-label percentage breakdowns.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/frameworks/runtime.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+void
+printBreakdown(const char* tag, frameworks::FrameworkId fw,
+               hw::DeviceId device, std::int64_t inferences)
+{
+    auto dep = frameworks::tryDeploy(
+        fw, models::buildModel(models::ModelId::kResNet18), device);
+    if (!dep) {
+        std::cout << tag << ": undeployable\n";
+        return;
+    }
+    frameworks::InferenceSession session(std::move(dep->model));
+    const auto rep = session.profileRun(inferences);
+    const double total = rep.totalMs();
+
+    std::cout << "\n(" << tag << ") "
+              << frameworks::frameworkName(fw) << " on "
+              << hw::deviceName(device) << ", " << inferences
+              << " inferences of ResNet-18:\n";
+    harness::Table t({"Label", "Phase", "Time (ms)", "Share (%)"});
+    for (const auto& s : rep.samples) {
+        if (s.ms <= 0.0)
+            continue;
+        t.addRow({s.label, frameworks::phaseName(s.phase),
+                  harness::Table::num(s.ms, 1),
+                  harness::Table::num(100.0 * s.ms / total, 1)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fig5");
+    printBreakdown("a", frameworks::FrameworkId::kPyTorch,
+                   hw::DeviceId::kRpi3, 30);
+    printBreakdown("b", frameworks::FrameworkId::kTensorFlow,
+                   hw::DeviceId::kRpi3, 30);
+    printBreakdown("c", frameworks::FrameworkId::kPyTorch,
+                   hw::DeviceId::kJetsonTx2, 1000);
+    printBreakdown("d", frameworks::FrameworkId::kTensorFlow,
+                   hw::DeviceId::kJetsonTx2, 1000);
+    std::cout << "\nPaper anchors: (a) conv2d 81.0%; (b) base_layer "
+                 "50.7%, library 13.7%; (c) _C._TensorBase.to() "
+                 "39.4%, conv2d 22.8%; (d) base_layer 38.2%, "
+                 "TF_SessionRunCallable 34.3%.\n";
+    return 0;
+}

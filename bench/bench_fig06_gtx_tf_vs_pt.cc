@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Fig. 6: TensorFlow vs PyTorch time per inference on the
+ * GTX Titan X, with the TF/PT speedup series.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig6");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet50, models::ModelId::kMobileNetV2,
+        models::ModelId::kVgg16, models::ModelId::kVgg19,
+    };
+
+    harness::Table t({"Model", "PyTorch (ms)", "TensorFlow (ms)",
+                      "Speedup (TF time / PT time)"});
+    for (auto m : rows) {
+        const auto pt = bench::latencyMs(
+            frameworks::FrameworkId::kPyTorch, m,
+            hw::DeviceId::kGtxTitanX);
+        const auto tf = bench::latencyMs(
+            frameworks::FrameworkId::kTensorFlow, m,
+            hw::DeviceId::kGtxTitanX);
+        t.addRow({models::modelInfo(m).name, bench::cell(pt, 2),
+                  bench::cell(tf, 2),
+                  (pt && tf) ? harness::Table::num(*tf / *pt, 2)
+                             : "n/a"});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper shape: PyTorch is faster than TensorFlow "
+                 "on the HPC GPU for every model (speedup > 1).\n";
+    return 0;
+}

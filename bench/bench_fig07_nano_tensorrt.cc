@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig. 7: Jetson Nano with PyTorch vs TensorRT, with the
+ * per-model speedup and the average (paper: 4.1x).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/harness/stats.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig7");
+
+    struct Row
+    {
+        models::ModelId id;
+        double paper_pt;
+        double paper_trt;
+    };
+    const Row rows[] = {
+        {models::ModelId::kResNet18, 141.3, 23},
+        {models::ModelId::kResNet50, 215.0, 32},
+        {models::ModelId::kMobileNetV2, 118.4, 18},
+        {models::ModelId::kInceptionV4, 292.5, 95},
+        {models::ModelId::kAlexNet, 132.1, 46},
+        {models::ModelId::kVgg16, 290.7, 92},
+        {models::ModelId::kTinyYolo, 123.8, 42},
+        {models::ModelId::kC3d, 555.4, 229},
+    };
+
+    harness::Table t({"Model", "PyTorch (ms)", "paper", "TensorRT (ms)",
+                      "paper", "Speedup", "paper"});
+    std::vector<double> speedups;
+    for (const auto& r : rows) {
+        const auto pt = bench::latencyMs(
+            frameworks::FrameworkId::kPyTorch, r.id,
+            hw::DeviceId::kJetsonNano);
+        const auto trt = bench::latencyMs(
+            frameworks::FrameworkId::kTensorRt, r.id,
+            hw::DeviceId::kJetsonNano);
+        double speedup = 0.0;
+        if (pt && trt) {
+            speedup = *pt / *trt;
+            speedups.push_back(speedup);
+        }
+        t.addRow({models::modelInfo(r.id).name, bench::cell(pt),
+                  harness::Table::num(r.paper_pt, 1),
+                  bench::cell(trt),
+                  harness::Table::num(r.paper_trt, 1),
+                  harness::Table::num(speedup, 2),
+                  harness::Table::num(r.paper_pt / r.paper_trt, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nAverage TensorRT speedup over PyTorch: "
+              << harness::Table::num(harness::geomean(speedups), 2)
+              << "x (paper: 4.1x)\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Fig. 8: Raspberry Pi with TensorFlow, PyTorch and
+ * TFLite, with TFLite's speedup over each (paper: 1.58x over TF,
+ * 4.53x over PyTorch).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/harness/stats.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig8");
+
+    struct Row
+    {
+        models::ModelId id;
+        double paper_pt, paper_tf, paper_tfl; // seconds
+    };
+    const Row rows[] = {
+        {models::ModelId::kResNet18, 6.57, 0.99, 0.87},
+        {models::ModelId::kResNet50, 8.30, 3.06, 2.46},
+        {models::ModelId::kResNet101, 15.32, 13.32, 8.86},
+        {models::ModelId::kMobileNetV2, 8.28, 1.40, 0.48},
+        {models::ModelId::kInceptionV4, 13.84, 8.87, 5.51},
+    };
+
+    harness::Table t({"Model", "PyTorch (s)", "paper",
+                      "TensorFlow (s)", "paper", "TFLite (s)",
+                      "paper"});
+    std::vector<double> vs_tf, vs_pt;
+    for (const auto& r : rows) {
+        const auto pt = bench::latencyMs(
+            frameworks::FrameworkId::kPyTorch, r.id,
+            hw::DeviceId::kRpi3);
+        const auto tf = bench::latencyMs(
+            frameworks::FrameworkId::kTensorFlow, r.id,
+            hw::DeviceId::kRpi3);
+        const auto tfl = bench::latencyMs(
+            frameworks::FrameworkId::kTfLite, r.id,
+            hw::DeviceId::kRpi3);
+        if (tf && tfl)
+            vs_tf.push_back(*tf / *tfl);
+        if (pt && tfl)
+            vs_pt.push_back(*pt / *tfl);
+        auto sec = [](std::optional<double> ms) {
+            return ms ? harness::Table::num(*ms / 1e3, 2)
+                      : std::string("n/a");
+        };
+        t.addRow({models::modelInfo(r.id).name, sec(pt),
+                  harness::Table::num(r.paper_pt, 2), sec(tf),
+                  harness::Table::num(r.paper_tf, 2), sec(tfl),
+                  harness::Table::num(r.paper_tfl, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nTFLite speedup over TensorFlow: "
+              << harness::Table::num(harness::geomean(vs_tf), 2)
+              << "x (paper avg: 1.58x)\n"
+              << "TFLite speedup over PyTorch:    "
+              << harness::Table::num(harness::geomean(vs_pt), 2)
+              << "x (paper avg: 4.53x)\n";
+    return 0;
+}

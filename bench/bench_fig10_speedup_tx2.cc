@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Fig. 10: speedup of each HPC platform over the Jetson
+ * TX2 (PyTorch), with per-platform and overall geomeans (paper:
+ * "only 3x" on average).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/harness/stats.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig10");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet18,  models::ModelId::kResNet50,
+        models::ModelId::kResNet101, models::ModelId::kMobileNetV2,
+        models::ModelId::kInceptionV4, models::ModelId::kAlexNet,
+        models::ModelId::kVgg16,     models::ModelId::kVgg19,
+        models::ModelId::kVggS224,   models::ModelId::kVggS32,
+        models::ModelId::kYoloV3,    models::ModelId::kTinyYolo,
+        models::ModelId::kC3d,
+    };
+    const hw::DeviceId cols[] = {
+        hw::DeviceId::kXeon, hw::DeviceId::kGtxTitanX,
+        hw::DeviceId::kTitanXp, hw::DeviceId::kRtx2080,
+    };
+
+    std::vector<std::string> headers{"Model"};
+    for (auto d : cols)
+        headers.push_back(hw::deviceName(d));
+    harness::Table t(std::move(headers));
+
+    std::vector<double> all;
+    std::vector<std::vector<double>> per_platform(4);
+    for (auto m : rows) {
+        const auto tx2 = bench::latencyMs(
+            frameworks::FrameworkId::kPyTorch, m,
+            hw::DeviceId::kJetsonTx2);
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (std::size_t c = 0; c < 4; ++c) {
+            const auto hpc = bench::latencyMs(
+                frameworks::FrameworkId::kPyTorch, m, cols[c]);
+            if (tx2 && hpc) {
+                const double s = *tx2 / *hpc;
+                all.push_back(s);
+                per_platform[c].push_back(s);
+                cells.push_back(harness::Table::num(s, 2));
+            } else {
+                cells.push_back("n/a");
+            }
+        }
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nGeomean speedup per platform:\n";
+    for (std::size_t c = 0; c < 4; ++c)
+        std::cout << "  " << hw::deviceName(cols[c]) << ": "
+                  << harness::Table::num(
+                         harness::geomean(per_platform[c]), 2)
+                  << "x\n";
+    std::cout << "GEOMEAN across all models and platforms: "
+              << harness::Table::num(harness::geomean(all), 2)
+              << "x (paper: ~3x)\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Fig. 11: energy per inference (mJ, log-scale in the
+ * paper) across platforms for four models.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/power/energy.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig11");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet18, models::ModelId::kResNet50,
+        models::ModelId::kMobileNetV2, models::ModelId::kInceptionV4,
+    };
+    const hw::DeviceId cols[] = {
+        hw::DeviceId::kRpi3,       hw::DeviceId::kJetsonNano,
+        hw::DeviceId::kJetsonTx2,  hw::DeviceId::kEdgeTpu,
+        hw::DeviceId::kMovidius,   hw::DeviceId::kGtxTitanX,
+    };
+
+    std::vector<std::string> headers{"Model"};
+    for (auto d : cols)
+        headers.push_back(hw::deviceName(d) + " (mJ)");
+    harness::Table t(std::move(headers));
+    for (auto m : rows) {
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (auto d : cols) {
+            auto dep =
+                frameworks::bestDeployment(models::buildModel(m), d);
+            cells.push_back(
+                dep ? harness::Table::num(
+                          power::energyPerInference(dep->model)
+                              .energyPerInferenceMJ,
+                          0)
+                    : "n/a");
+        }
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper anchors (mJ): EdgeTPU MobileNet-v2 ~11; "
+                 "Jetson Nano ResNet-18 ~84; TX2 0.3-1 J; GTX Titan X "
+                 "1-5 J; RPi highest everywhere.\n";
+    return 0;
+}

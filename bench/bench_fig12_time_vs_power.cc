@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Fig. 12: inference time vs active power scatter across
+ * platforms (one point per model per platform).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/power/energy.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig12");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet18, models::ModelId::kResNet50,
+        models::ModelId::kMobileNetV2, models::ModelId::kInceptionV4,
+    };
+    const hw::DeviceId cols[] = {
+        hw::DeviceId::kMovidius,  hw::DeviceId::kEdgeTpu,
+        hw::DeviceId::kRpi3,      hw::DeviceId::kJetsonNano,
+        hw::DeviceId::kJetsonTx2, hw::DeviceId::kGtxTitanX,
+    };
+
+    harness::Table t({"Platform", "Model", "Power (W)",
+                      "Inference time (ms)"});
+    for (auto d : cols) {
+        for (auto m : rows) {
+            auto dep =
+                frameworks::bestDeployment(models::buildModel(m), d);
+            if (!dep)
+                continue;
+            const auto e = power::energyPerInference(dep->model);
+            t.addRow({hw::deviceName(d), models::modelInfo(m).name,
+                      harness::Table::num(e.activePowerW, 2),
+                      harness::Table::num(e.inferenceTimeMs, 1)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper shape: Movidius has the lowest active "
+                 "power; EdgeTPU the lowest inference time; GTX Titan "
+                 "X sits at ~100 W; Jetson Nano balances both.\n";
+    return 0;
+}

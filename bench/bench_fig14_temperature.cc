@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Fig. 14: temperature behaviour of the edge devices
+ * while executing a heavy DNN (Inception-v4 class load), including
+ * fan activation and the RPi's thermal shutdown.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/thermal/thermal.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("fig14");
+
+    const hw::DeviceId devices[] = {
+        hw::DeviceId::kRpi3,       hw::DeviceId::kJetsonNano,
+        hw::DeviceId::kJetsonTx2,  hw::DeviceId::kEdgeTpu,
+        hw::DeviceId::kMovidius,
+    };
+
+    harness::Table t({"Device", "Idle (C)", "Loaded steady (C)",
+                      "Peak (C)", "Fan", "Shutdown",
+                      "Time to steady (s)"});
+    for (auto d : devices) {
+        thermal::ThermalSimulator sim(d);
+        const double idle = sim.surfaceC();
+        const double load = hw::deviceSpec(d).averagePowerW;
+        auto trace = sim.runToSteadyState(load);
+        double peak = idle;
+        for (double c : trace.surfaceC)
+            peak = std::max(peak, c);
+        t.addRow({hw::deviceName(d), harness::Table::num(idle, 1),
+                  harness::Table::num(trace.finalSurfaceC(), 1),
+                  harness::Table::num(peak, 1),
+                  trace.sawEvent(thermal::ThermalEvent::kFanOn)
+                      ? "on"
+                      : "off",
+                  trace.sawEvent(thermal::ThermalEvent::kShutdown)
+                      ? "YES"
+                      : "no",
+                  harness::Table::num(trace.timeS.back(), 0)});
+    }
+    t.print(std::cout);
+
+    // A short trace for the hottest device, Fig. 14 style.
+    std::cout << "\nRPi3 surface-temperature trace under load "
+                 "(sampled every 60 s):\n";
+    thermal::ThermalSimulator rpi(hw::DeviceId::kRpi3);
+    auto trace = rpi.simulate([](double) { return 2.73; }, 1800.0,
+                              60.0);
+    harness::Figure f("fig14-rpi", "RPi3 heating trace");
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < trace.timeS.size(); ++i) {
+        labels.push_back("t=" + harness::Table::num(
+                                    trace.timeS[i], 0) + "s");
+        values.push_back(trace.surfaceC[i]);
+    }
+    f.addSeries("surface C", labels, values);
+    f.print(std::cout);
+    for (const auto& e : trace.events) {
+        std::cout << "event @" << harness::Table::num(e.timeS, 0)
+                  << "s: "
+                  << (e.event == thermal::ThermalEvent::kShutdown
+                          ? "DEVICE SHUTDOWN"
+                          : "fan")
+                  << "\n";
+    }
+    std::cout << "\nPaper shape: TX2/Nano fans activate; Movidius "
+                 "shows the lowest variation; the RPi trips its "
+                 "thermal limit (\"Device Shutdown\").\n";
+    return 0;
+}

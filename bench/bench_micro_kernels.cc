@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the real compute kernels: GEMM,
+ * im2col convolution (dense/depthwise), INT8 convolution,
+ * quantization, and graph-interpreter end-to-end CifarNet inference.
+ * These measure this machine, not the modeled devices — they document
+ * the functional substrate's own performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_int8.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ec = edgebench::core;
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+
+namespace
+{
+
+void
+BM_Gemm(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    ec::Rng rng(1);
+    auto a = ec::Tensor::randomNormal({n, n}, rng);
+    auto b = ec::Tensor::randomNormal({n, n}, rng);
+    std::vector<float> c(static_cast<std::size_t>(n * n));
+    for (auto _ : state) {
+        ec::gemm(n, n, n, a.data(), b.data(), c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Conv2dIm2col(benchmark::State& state)
+{
+    const auto c = state.range(0);
+    ec::Conv2dGeom g{.n = 1, .inC = c, .inH = 28, .inW = 28,
+                     .outC = c, .kH = 3, .kW = 3, .padH = 1,
+                     .padW = 1};
+    ec::Rng rng(2);
+    auto input = ec::Tensor::randomNormal({1, c, 28, 28}, rng);
+    auto w = ec::Tensor::randomNormal({c, c, 3, 3}, rng);
+    auto bias = ec::Tensor::zeros({c});
+    for (auto _ : state) {
+        auto out = ec::conv2d(input, w, bias, g);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * g.macs());
+}
+BENCHMARK(BM_Conv2dIm2col)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_DepthwiseConv(benchmark::State& state)
+{
+    const auto c = state.range(0);
+    ec::Conv2dGeom g{.n = 1, .inC = c, .inH = 28, .inW = 28,
+                     .outC = c, .kH = 3, .kW = 3, .padH = 1,
+                     .padW = 1, .groups = c};
+    ec::Rng rng(3);
+    auto input = ec::Tensor::randomNormal({1, c, 28, 28}, rng);
+    auto w = ec::Tensor::randomNormal({c, 1, 3, 3}, rng);
+    auto bias = ec::Tensor::zeros({c});
+    for (auto _ : state) {
+        auto out = ec::conv2d(input, w, bias, g);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * g.macs());
+}
+BENCHMARK(BM_DepthwiseConv)->Arg(32)->Arg(128);
+
+void
+BM_Conv2dInt8(benchmark::State& state)
+{
+    const auto c = state.range(0);
+    ec::Conv2dGeom g{.n = 1, .inC = c, .inH = 14, .inW = 14,
+                     .outC = c, .kH = 3, .kW = 3, .padH = 1,
+                     .padW = 1};
+    ec::Rng rng(4);
+    auto input =
+        ec::Tensor::randomNormal({1, c, 14, 14}, rng).toInt8();
+    auto w = ec::Tensor::randomNormal({c, c, 3, 3}, rng).toInt8();
+    auto bias = ec::Tensor::zeros({c});
+    const auto out_qp = ec::chooseQuantParams(-4.0, 4.0);
+    for (auto _ : state) {
+        auto out = ec::conv2dInt8(input, w, bias, g, out_qp);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * g.macs());
+}
+BENCHMARK(BM_Conv2dInt8)->Arg(16)->Arg(32);
+
+void
+BM_QuantizeRoundTrip(benchmark::State& state)
+{
+    ec::Rng rng(5);
+    auto t = ec::Tensor::randomNormal({state.range(0)}, rng);
+    for (auto _ : state) {
+        auto q = t.toInt8();
+        auto back = q.toF32();
+        benchmark::DoNotOptimize(back);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeRoundTrip)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_InterpreterCifarNet(benchmark::State& state)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(6);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    auto input = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    for (auto _ : state) {
+        auto out = interp.run({input});
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * g.stats().macs);
+}
+BENCHMARK(BM_InterpreterCifarNet);
+
+void
+BM_FusionPass(benchmark::State& state)
+{
+    const auto g = em::buildResNet(50);
+    for (auto _ : state) {
+        auto fused = eg::fuseConvBnAct(g);
+        benchmark::DoNotOptimize(fused);
+    }
+}
+BENCHMARK(BM_FusionPass);
+
+void
+BM_ModelBuild(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto g = em::buildModel(
+            static_cast<em::ModelId>(state.range(0)));
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_ModelBuild)
+    ->Arg(static_cast<int>(em::ModelId::kResNet101))
+    ->Arg(static_cast<int>(em::ModelId::kInceptionV4))
+    ->Arg(static_cast<int>(em::ModelId::kYoloV3));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Table I (model inventory: FLOP, parameters, FLOP/param)
+ * and Fig. 1 (models sorted by FLOP/param).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/models/zoo.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("table1");
+
+    harness::Table t({"Model", "Input", "GFLOP", "GFLOP(paper)",
+                      "MParams", "MParams(paper)", "FLOP/Param",
+                      "F/P(paper)", "Nodes"});
+    struct Row
+    {
+        std::string name;
+        double fpp;
+    };
+    std::vector<Row> fig1;
+
+    for (auto id : models::allModels()) {
+        const auto& info = models::modelInfo(id);
+        const auto g = models::buildModel(id);
+        const auto st = g.stats();
+        const double gflop = static_cast<double>(st.macs) / 1e9;
+        const double mparam = static_cast<double>(st.params) / 1e6;
+        t.addRow({g.name(), info.inputSize,
+                  harness::Table::num(gflop, 2),
+                  harness::Table::num(info.paperGFlop, 2),
+                  harness::Table::num(mparam, 2),
+                  harness::Table::num(info.paperMParams, 2),
+                  harness::Table::num(st.flopPerParam, 2),
+                  harness::Table::num(info.paperFlopPerParam, 2),
+                  std::to_string(st.numNodes)});
+        fig1.push_back({g.name() + " " + info.inputSize,
+                        st.flopPerParam});
+    }
+    t.print(std::cout);
+
+    bench::banner("fig1");
+    std::sort(fig1.begin(), fig1.end(),
+              [](const Row& a, const Row& b) { return a.fpp < b.fpp; });
+    harness::Figure f("fig1", "models sorted by FLOP/Param");
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const auto& r : fig1) {
+        labels.push_back(r.name);
+        values.push_back(r.fpp);
+    }
+    f.addSeries("FLOP/Param", labels, values);
+    f.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates Table II (framework specifications and implemented
+ * optimizations).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/frameworks/framework.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+std::string
+yn(bool v)
+{
+    return v ? "yes" : "no";
+}
+
+std::string
+stars(int n)
+{
+    return std::string(static_cast<std::size_t>(n), '*');
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("table2");
+
+    harness::Table t({"Trait", "TensorFlow", "TFLite", "Caffe",
+                      "Movidius", "PyTorch", "TensorRT", "DarkNet"});
+    const frameworks::FrameworkId cols[] = {
+        frameworks::FrameworkId::kTensorFlow,
+        frameworks::FrameworkId::kTfLite,
+        frameworks::FrameworkId::kCaffe,
+        frameworks::FrameworkId::kMovidiusNcsdk,
+        frameworks::FrameworkId::kPyTorch,
+        frameworks::FrameworkId::kTensorRt,
+        frameworks::FrameworkId::kDarkNet,
+    };
+
+    auto row = [&](const std::string& name, auto getter) {
+        std::vector<std::string> cells{name};
+        for (auto id : cols)
+            cells.push_back(getter(frameworks::framework(id).traits()));
+        t.addRow(std::move(cells));
+    };
+
+    using frameworks::FrameworkTraits;
+    row("Language", [](const FrameworkTraits& tr) {
+        return tr.language;
+    });
+    row("Industry Backed", [](const FrameworkTraits& tr) {
+        return yn(tr.industryBacked);
+    });
+    row("Training Framework", [](const FrameworkTraits& tr) {
+        return yn(tr.trainingFramework);
+    });
+    row("Usability", [](const FrameworkTraits& tr) {
+        return stars(tr.usability);
+    });
+    row("Adding New Models", [](const FrameworkTraits& tr) {
+        return stars(tr.addingNewModels);
+    });
+    row("Pre-Defined Models", [](const FrameworkTraits& tr) {
+        return stars(tr.preDefinedModels);
+    });
+    row("Documentation", [](const FrameworkTraits& tr) {
+        return stars(tr.documentation);
+    });
+    row("No Extra Steps", [](const FrameworkTraits& tr) {
+        return yn(tr.noExtraSteps);
+    });
+    row("Mobile Deployment", [](const FrameworkTraits& tr) {
+        return yn(tr.mobileDeployment);
+    });
+    row("Low-Level Modifications", [](const FrameworkTraits& tr) {
+        return stars(tr.lowLevelModifications);
+    });
+    row("Compatibility w/ Others", [](const FrameworkTraits& tr) {
+        return stars(tr.compatibilityWithOthers);
+    });
+    row("Quantization", [](const FrameworkTraits& tr) {
+        return yn(tr.quantization);
+    });
+    row("Mixed-Precision", [](const FrameworkTraits& tr) {
+        return yn(tr.mixedPrecision);
+    });
+    row("Dynamic Graph", [](const FrameworkTraits& tr) {
+        return yn(tr.dynamicGraph);
+    });
+    row("Pruning (exploit)", [](const FrameworkTraits& tr) {
+        return yn(tr.pruningExploit);
+    });
+    row("Fusion", [](const FrameworkTraits& tr) {
+        return yn(tr.fusion);
+    });
+    row("Auto Tuning", [](const FrameworkTraits& tr) {
+        return yn(tr.autoTuning);
+    });
+    row("Half-Precision", [](const FrameworkTraits& tr) {
+        return yn(tr.halfPrecision);
+    });
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Table III (hardware platform specifications with the
+ * paper's measured idle/average power).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/hw/device.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("table3");
+
+    harness::Table t({"Platform", "Category", "Compute Unit",
+                      "Peak GFLOPS(f32)", "Peak GOPS(i8)",
+                      "Mem BW GB/s", "Memory", "Idle W", "Avg W"});
+    for (auto id : hw::allDevices()) {
+        const auto& d = hw::deviceSpec(id);
+        const auto& u = d.preferredUnit();
+        t.addRow({d.name, hw::categoryName(d.category), u.name,
+                  harness::Table::num(u.peakFor(core::DType::kF32), 0),
+                  harness::Table::num(u.peakFor(core::DType::kI8), 0),
+                  harness::Table::num(u.memBandwidthGBs, 1),
+                  d.memoryDescription,
+                  harness::Table::num(d.idlePowerW, 2),
+                  harness::Table::num(d.averagePowerW, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSupported frameworks per platform "
+                 "(Table III 'Platform' row):\n";
+    for (auto id : hw::allDevices()) {
+        std::cout << "  " << hw::deviceName(id) << ": ";
+        bool first = true;
+        for (auto fw : frameworks::frameworksFor(id)) {
+            if (!first)
+                std::cout << ", ";
+            std::cout << frameworks::frameworkName(fw);
+            first = false;
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

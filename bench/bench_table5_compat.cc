@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Table V (models x platforms compatibility matrix).
+ * Marks: OK = runs; ^ = dynamic-graph swap; O = code
+ * incompatibility; 4 = EdgeTPU conversion barrier; ^^ = exceeds the
+ * FPGA BRAM / toolchain scope.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("table5");
+
+    const models::ModelId rows[] = {
+        models::ModelId::kResNet18,  models::ModelId::kResNet50,
+        models::ModelId::kMobileNetV2,
+        models::ModelId::kInceptionV4, models::ModelId::kAlexNet,
+        models::ModelId::kVgg16,
+        models::ModelId::kSsdMobileNetV1,
+        models::ModelId::kTinyYolo,  models::ModelId::kC3d,
+    };
+    const hw::DeviceId cols[] = {
+        hw::DeviceId::kRpi3,     hw::DeviceId::kJetsonTx2,
+        hw::DeviceId::kJetsonNano, hw::DeviceId::kEdgeTpu,
+        hw::DeviceId::kMovidius, hw::DeviceId::kPynqZ1,
+    };
+
+    std::vector<std::string> headers{"Model"};
+    for (auto d : cols)
+        headers.push_back(hw::deviceName(d));
+    harness::Table t(std::move(headers));
+
+    for (auto m : rows) {
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (auto d : cols)
+            cells.push_back(frameworks::markSymbol(
+                frameworks::deploymentMark(m, d)));
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "\nLegend: OK runs | ^ dynamic-graph swap (10x) | "
+                 "O code incompatibility | 4 conversion barrier | "
+                 "^^ exceeds BRAM/toolchain scope\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates Table VI (cooling instruments + idle temperatures) and
+ * derived steady-state behaviour.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/thermal/thermal.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    bench::banner("table6");
+
+    const hw::DeviceId devices[] = {
+        hw::DeviceId::kRpi3,       hw::DeviceId::kJetsonTx2,
+        hw::DeviceId::kJetsonNano, hw::DeviceId::kEdgeTpu,
+        hw::DeviceId::kMovidius,
+    };
+
+    harness::Table t({"Device", "Heatsink", "Size", "Fan",
+                      "Idle Temp (C)", "Fan Activates (Fig.14)"});
+    for (auto d : devices) {
+        const auto& c = thermal::coolingSpec(d);
+        t.addRow({hw::deviceName(d), c.heatsink ? "yes" : "no",
+                  c.heatsinkSize, c.fan ? "yes" : "no",
+                  harness::Table::num(c.idleTempC, 1),
+                  c.fanActivates ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries. Each binary regenerates one
+ * paper table or figure and, where the paper publishes numbers,
+ * prints them side-by-side for comparison.
+ */
+
+#ifndef EDGEBENCH_BENCH_UTIL_HH
+#define EDGEBENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/harness/experiment.hh"
+#include "edgebench/harness/report.hh"
+
+namespace edgebench
+{
+namespace bench
+{
+
+/** Print the standard experiment banner from the registry. */
+inline void
+banner(const std::string& id)
+{
+    const auto& e = harness::experiment(id);
+    harness::printBanner(std::cout, id,
+                         e.metric + " (paper Section " + e.section +
+                             ")");
+}
+
+/** Latency of (framework, model, device); nullopt when undeployable. */
+inline std::optional<double>
+latencyMs(frameworks::FrameworkId fw, models::ModelId m,
+          hw::DeviceId d)
+{
+    auto dep = frameworks::tryDeploy(fw, models::buildModel(m), d);
+    if (!dep)
+        return std::nullopt;
+    return dep->model.latencyMs();
+}
+
+/** "123.4" or a fixed placeholder for undeployable combinations. */
+inline std::string
+cell(std::optional<double> v, int precision = 1,
+     const std::string& placeholder = "n/a")
+{
+    return v ? harness::Table::num(*v, precision) : placeholder;
+}
+
+} // namespace bench
+} // namespace edgebench
+
+#endif // EDGEBENCH_BENCH_UTIL_HH

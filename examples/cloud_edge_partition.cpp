@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cloud-edge partitioning walkthrough: split one model between an
+ * edge device and a cloud GPU over a chosen link, and print every
+ * candidate cut so the latency/energy tradeoff is visible.
+ *
+ * Usage: cloud_edge_partition [model] [edge-device] [link]
+ *   link in {lan, wifi, lte};  defaults: ResNet-18 RPi3 wifi.
+ */
+
+#include <iostream>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/distrib/partition.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/harness/report.hh"
+
+using namespace edgebench;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "ResNet-18";
+    const std::string device_name = argc > 2 ? argv[2] : "RPi3";
+    const std::string link_name = argc > 3 ? argv[3] : "wifi";
+
+    distrib::LinkModel link = distrib::wifiLink();
+    if (link_name == "lan")
+        link = distrib::lanLink();
+    else if (link_name == "lte")
+        link = distrib::lteLink();
+    else if (link_name != "wifi") {
+        std::cerr << "unknown link '" << link_name
+                  << "' (lan|wifi|lte)\n";
+        return 1;
+    }
+
+    try {
+        const auto model =
+            models::buildModel(models::modelByName(model_name));
+        const auto edge_dev = hw::deviceByName(device_name);
+        auto edge = frameworks::bestDeployment(model, edge_dev);
+        auto cloud = frameworks::tryDeploy(
+            frameworks::FrameworkId::kPyTorch, model,
+            hw::DeviceId::kTitanXp);
+        EB_CHECK(edge && cloud, "model not deployable on " <<
+                 device_name << " or the cloud GPU");
+
+        const auto r =
+            distrib::partition(edge->model, cloud->model, link);
+
+        std::cout << "== " << model.name() << ": " << device_name
+                  << " <-> Titan Xp over " << link_name << " ==\n"
+                  << "edge only:  " << r.edgeOnlyMs << " ms\n"
+                  << "cloud only: " << r.cloudOnlyMs << " ms\n"
+                  << "best split: after '" << r.best.boundaryName
+                  << "' -> " << r.best.totalMs << " ms\n"
+                  << "min-edge-energy split: after '"
+                  << r.bestEnergy.boundaryName << "' ("
+                  << r.bestEnergy.edgeEnergyMJ << " mJ on-device)\n\n";
+
+        harness::Table t({"Cut after", "Edge (ms)", "Upload (ms)",
+                          "Cloud (ms)", "Total (ms)",
+                          "Edge energy (mJ)"});
+        for (const auto& c : r.candidates) {
+            t.addRow({c.cutAfter < 0 ? "(cloud only)"
+                                     : c.boundaryName,
+                      harness::Table::num(c.edgeMs, 1),
+                      harness::Table::num(c.uploadMs, 1),
+                      harness::Table::num(c.cloudMs, 1),
+                      harness::Table::num(c.totalMs, 1),
+                      harness::Table::num(c.edgeEnergyMJ, 1)});
+        }
+        t.print(std::cout);
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extending edgebench-sim to a new platform: define a hypothetical
+ * next-generation edge board (an "RPi 4B-class" device, which the
+ * paper's footnote predicts "is expected to perform better") and a
+ * tuned software profile, then price the full model zoo on it against
+ * the measured RPi 3B.
+ *
+ * This is the workflow a downstream user follows to evaluate hardware
+ * that the paper never saw: no library changes needed, just a
+ * ComputeUnit and an EngineProfile.
+ */
+
+#include <iostream>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/harness/report.hh"
+#include "edgebench/hw/roofline.hh"
+#include "edgebench/models/zoo.hh"
+
+using namespace edgebench;
+
+int
+main()
+{
+    // Raspberry Pi 4B-class hardware: 4x Cortex-A72 @ 1.5 GHz
+    // (out-of-order, 2x NEON issue) and LPDDR4.
+    hw::ComputeUnit rpi4;
+    rpi4.kind = hw::UnitKind::kCpu;
+    rpi4.name = "Cortex-A72 x4 @1.5GHz";
+    rpi4.peakGflopsF32 = 24.0;
+    rpi4.peakGflopsF16 = 24.0;
+    rpi4.memBandwidthGBs = 6.0;
+    rpi4.memCapacityBytes = 3.2 * 1024.0 * 1024.0 * 1024.0;
+
+    // Same TFLite software stack as the RPi 3B, but the out-of-order
+    // core sustains a higher fraction of peak.
+    hw::EngineProfile tflite;
+    tflite.computeEfficiency = 0.30;
+    tflite.memoryEfficiency = 0.6;
+    tflite.perOpOverheadMs = 0.6;
+    tflite.perInferenceOverheadMs = 15.0;
+    tflite.groupedConvFactor = 0.15;
+
+    // The measured RPi 3B as the baseline.
+    const auto& rpi3 = hw::deviceSpec(hw::DeviceId::kRpi3).cpu;
+    hw::EngineProfile tflite3;
+    tflite3.computeEfficiency = 0.22;
+    tflite3.memoryEfficiency = 0.6;
+    tflite3.perOpOverheadMs = 0.8;
+    tflite3.perInferenceOverheadMs = 20.0;
+    tflite3.groupedConvFactor = 0.1;
+
+    std::cout << "== hypothetical RPi 4B-class board vs measured "
+                 "RPi 3B (TFLite, INT8) ==\n\n";
+    harness::Table t({"Model", "RPi3B (ms)", "RPi4B-class (ms)",
+                      "Speedup"});
+    for (auto id : models::allModels()) {
+        const auto g = models::buildModel(id);
+        // TFLite pipeline: fuse + quantize.
+        const auto deployed = graph::quantizeInt8(
+            graph::fuseConvBnAct(g).graph).graph;
+        double t3 = 0.0, t4 = 0.0;
+        try {
+            t3 = hw::graphLatency(deployed, rpi3, tflite3).totalMs;
+            t4 = hw::graphLatency(deployed, rpi4, tflite).totalMs;
+        } catch (const MemoryCapacityError&) {
+            t.addRow({g.name(), "MemErr", "-", "-"});
+            continue;
+        }
+        t.addRow({g.name(), harness::Table::num(t3, 0),
+                  harness::Table::num(t4, 0),
+                  harness::Table::num(t3 / t4, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nThe paper's prediction holds in the model: "
+                 "better memory technology and out-of-order "
+                 "execution buy a consistent speedup.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Application-specific device selection — the paper's concluding
+ * point that the energy/latency tradeoff "could be utilized to design
+ * efficient and application-specific devices".
+ *
+ * Scenario: a battery-powered drone must run object detection or
+ * recognition continuously. Given a frame rate and a power budget,
+ * search every (model, edge device) pair, simulate 10 minutes of
+ * serving (including thermal behaviour), and rank the feasible
+ * configurations by energy per frame.
+ *
+ * Usage: drone_mission [fps] [power-budget-W]    (defaults: 5 3.0)
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/harness/report.hh"
+#include "edgebench/power/energy.hh"
+#include "edgebench/serving/simulator.hh"
+
+using namespace edgebench;
+
+int
+main(int argc, char** argv)
+{
+    const double fps = argc > 1 ? std::stod(argv[1]) : 5.0;
+    const double budget_w = argc > 2 ? std::stod(argv[2]) : 3.0;
+
+    std::cout << "== drone mission: " << fps << " fps, power budget "
+              << budget_w << " W ==\n\n";
+
+    struct Candidate
+    {
+        std::string model;
+        std::string device;
+        std::string framework;
+        double p99Ms;
+        double powerW;
+        double energyPerFrameJ;
+        std::string verdict;
+    };
+    std::vector<Candidate> all;
+
+    const models::ModelId vision_models[] = {
+        models::ModelId::kMobileNetV2, models::ModelId::kResNet18,
+        models::ModelId::kSsdMobileNetV1, models::ModelId::kTinyYolo,
+    };
+    for (auto m : vision_models) {
+        for (auto d : hw::edgeDevices()) {
+            auto dep = frameworks::bestDeployment(
+                models::buildModel(m), d);
+            if (!dep)
+                continue;
+            frameworks::InferenceSession session(dep->model);
+            serving::ServingConfig cfg{.durationS = 600.0,
+                                       .arrivalRateHz = fps,
+                                       .seed = 31};
+            const auto rep = serving::simulateServing(session, cfg);
+            Candidate c;
+            c.model = models::modelInfo(m).name;
+            c.device = hw::deviceName(d);
+            c.framework = frameworks::frameworkName(dep->framework);
+            c.p99Ms = rep.p99Ms;
+            c.powerW =
+                power::energyPerInference(dep->model).activePowerW;
+            c.energyPerFrameJ = rep.energyPerRequestJ;
+            const double deadline_ms = 1e3 / fps;
+            if (rep.thermalShutdown)
+                c.verdict = "thermal shutdown";
+            else if (rep.utilization > 0.95 ||
+                     rep.p99Ms > deadline_ms)
+                c.verdict = "misses deadline";
+            else if (c.powerW > budget_w)
+                c.verdict = "over power budget";
+            else if (rep.thermalThrottled)
+                c.verdict = "OK (throttles)";
+            else
+                c.verdict = "OK";
+            all.push_back(std::move(c));
+        }
+    }
+
+    std::sort(all.begin(), all.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  const bool fa = a.verdict.rfind("OK", 0) == 0;
+                  const bool fb = b.verdict.rfind("OK", 0) == 0;
+                  if (fa != fb)
+                      return fa;
+                  return a.energyPerFrameJ < b.energyPerFrameJ;
+              });
+
+    harness::Table t({"Model", "Device", "Framework", "p99 (ms)",
+                      "Power (W)", "J/frame", "Verdict"});
+    for (const auto& c : all) {
+        t.addRow({c.model, c.device, c.framework,
+                  harness::Table::num(c.p99Ms, 1),
+                  harness::Table::num(c.powerW, 2),
+                  harness::Table::num(c.energyPerFrameJ, 3),
+                  c.verdict});
+    }
+    t.print(std::cout);
+
+    for (const auto& c : all) {
+        if (c.verdict.rfind("OK", 0) == 0) {
+            std::cout << "\nrecommended package: " << c.model
+                      << " on " << c.device << " via " << c.framework
+                      << " (" << harness::Table::num(
+                             c.energyPerFrameJ, 3)
+                      << " J/frame)\n";
+            break;
+        }
+    }
+    return 0;
+}

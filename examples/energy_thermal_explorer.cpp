@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Energy/thermal exploration: for one model, sweep the edge devices
+ * and report latency, energy per inference, and what happens
+ * thermally when the device sustains the load — including fan
+ * activation and thermal shutdown. Combines the machinery behind
+ * Figs. 11, 12 and 14.
+ *
+ * Usage: energy_thermal_explorer [model]     (default Inception-v4)
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/harness/report.hh"
+#include "edgebench/power/energy.hh"
+#include "edgebench/thermal/thermal.hh"
+
+using namespace edgebench;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name =
+        argc > 1 ? argv[1] : "Inception-v4";
+    models::ModelId model;
+    try {
+        model = models::modelByName(model_name);
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    const auto g = models::buildModel(model);
+    std::cout << "== energy & thermal profile: " << g.name()
+              << " ==\n\n";
+
+    harness::Table t({"Device", "Latency (ms)", "Power (W)",
+                      "Energy (mJ)", "Steady temp (C)", "Fan",
+                      "Shutdown"});
+    for (auto d : hw::edgeDevices()) {
+        auto dep = frameworks::bestDeployment(g, d);
+        if (!dep) {
+            t.addRow({hw::deviceName(d), "n/a", "-", "-", "-", "-",
+                      "-"});
+            continue;
+        }
+        const auto e = power::energyPerInference(dep->model);
+        std::string temp = "-", fan = "-", shutdown = "-";
+        try {
+            thermal::ThermalSimulator sim(d);
+            auto trace = sim.runToSteadyState(e.activePowerW);
+            double peak = 0.0;
+            for (double c : trace.surfaceC)
+                peak = std::max(peak, c);
+            temp = harness::Table::num(
+                sim.shutDown() ? peak : trace.finalSurfaceC(), 1);
+            fan = trace.sawEvent(thermal::ThermalEvent::kFanOn)
+                ? "on" : "off";
+            shutdown =
+                trace.sawEvent(thermal::ThermalEvent::kShutdown)
+                ? "YES" : "no";
+        } catch (const InvalidArgumentError&) {
+            // No thermal instrumentation for this platform.
+        }
+        t.addRow({hw::deviceName(d),
+                  harness::Table::num(dep->model.latencyMs(), 1),
+                  harness::Table::num(e.activePowerW, 2),
+                  harness::Table::num(e.energyPerInferenceMJ, 1),
+                  temp, fan, shutdown});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe energy/latency tradeoff (paper conclusion): "
+                 "pick Movidius for power budgets,\nEdgeTPU or the "
+                 "Jetsons for latency budgets; the RPi pays both "
+                 "costs.\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Framework shootout: compare every framework that can drive a chosen
+ * device on a chosen model — latency, energy, one-time setup cost and
+ * software-stack breakdown. This is the interactive counterpart of
+ * the paper's Figs. 3, 4, 7 and 8.
+ *
+ * Usage: framework_shootout [model] [device]
+ *   e.g. framework_shootout "ResNet-50" "Jetson TX2"
+ * Defaults: ResNet-50 on Jetson TX2.
+ */
+
+#include <iostream>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/frameworks/runtime.hh"
+#include "edgebench/harness/report.hh"
+#include "edgebench/power/energy.hh"
+
+using namespace edgebench;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "ResNet-50";
+    const std::string device_name = argc > 2 ? argv[2] : "Jetson TX2";
+
+    models::ModelId model;
+    hw::DeviceId device;
+    try {
+        model = models::modelByName(model_name);
+        device = hw::deviceByName(device_name);
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n"
+                  << "models: ";
+        for (auto id : models::allModels())
+            std::cerr << "'" << models::modelInfo(id).name << "' ";
+        std::cerr << "\ndevices: ";
+        for (auto id : hw::allDevices())
+            std::cerr << "'" << hw::deviceName(id) << "' ";
+        std::cerr << "\n";
+        return 1;
+    }
+
+    const auto g = models::buildModel(model);
+    std::cout << "== " << g.name() << " on " << device_name
+              << " ==\n\n";
+
+    harness::Table t({"Framework", "Status", "Latency (ms)",
+                      "Energy (mJ)", "Setup (ms)", "Notes"});
+    for (auto fw : frameworks::frameworksFor(device)) {
+        std::string status = "ok", latency = "-", energy = "-",
+                    setup = "-", notes;
+        try {
+            auto m = frameworks::framework(fw).compile(g, device);
+            frameworks::InferenceSession session(m);
+            const auto timing = session.run(200);
+            latency = harness::Table::num(timing.perInferenceMs, 2);
+            setup = harness::Table::num(timing.initializationMs, 0);
+            energy = harness::Table::num(
+                power::energyPerInference(session.model())
+                    .energyPerInferenceMJ,
+                1);
+            if (session.model().usedDynamicGraphFallback)
+                notes = "dynamic-graph swap";
+        } catch (const MemoryCapacityError&) {
+            status = "MemErr";
+        } catch (const CompatibilityError& e) {
+            status = "incompatible";
+            notes = e.what();
+        }
+        t.addRow({frameworks::frameworkName(fw), status, latency,
+                  energy, setup, notes.substr(0, 48)});
+    }
+    t.print(std::cout);
+
+    // Software-stack breakdown of the winner.
+    auto best = frameworks::bestDeployment(g, device);
+    if (best) {
+        std::cout << "\nsoftware-stack breakdown for "
+                  << frameworks::frameworkName(best->framework)
+                  << " (1000 inferences):\n";
+        frameworks::InferenceSession session(best->model);
+        const auto rep = session.profileRun(1000);
+        harness::Table bt({"Label", "Share (%)"});
+        for (const auto& s : rep.samples) {
+            if (s.ms <= 0.0)
+                continue;
+            bt.addRow({s.label,
+                       harness::Table::num(
+                           100.0 * s.ms / rep.totalMs(), 1)});
+        }
+        bt.print(std::cout);
+    }
+    return 0;
+}

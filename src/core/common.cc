@@ -1,0 +1,19 @@
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace detail
+{
+
+void
+throwCheckFailure(const char* cond, const char* file, int line,
+                  const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << "check failed: (" << cond << ") at " << file << ":" << line
+        << ": " << msg;
+    throw InvalidArgumentError(oss.str());
+}
+
+} // namespace detail
+} // namespace edgebench

@@ -1,0 +1,190 @@
+#include "edgebench/core/geometry.hh"
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+std::int64_t
+outDim(std::int64_t in, std::int64_t k, std::int64_t stride,
+       std::int64_t pad, std::int64_t dil, bool ceil_mode = false)
+{
+    const std::int64_t eff_k = dil * (k - 1) + 1;
+    const std::int64_t span = in + 2 * pad - eff_k;
+    EB_CHECK(span >= 0, "window (k=" << k << ", dil=" << dil
+                        << ") larger than padded input " << in + 2 * pad);
+    if (ceil_mode)
+        return (span + stride - 1) / stride + 1;
+    return span / stride + 1;
+}
+
+} // namespace
+
+void
+Conv2dGeom::validate() const
+{
+    EB_CHECK(n > 0 && inC > 0 && inH > 0 && inW > 0,
+             "conv2d: bad input dims");
+    EB_CHECK(outC > 0 && kH > 0 && kW > 0, "conv2d: bad filter dims");
+    EB_CHECK(strideH > 0 && strideW > 0, "conv2d: bad strides");
+    EB_CHECK(padH >= 0 && padW >= 0, "conv2d: negative padding");
+    EB_CHECK(dilH > 0 && dilW > 0, "conv2d: bad dilation");
+    EB_CHECK(groups > 0, "conv2d: bad groups");
+    EB_CHECK(inC % groups == 0,
+             "conv2d: inC " << inC << " not divisible by groups "
+                            << groups);
+    EB_CHECK(outC % groups == 0,
+             "conv2d: outC " << outC << " not divisible by groups "
+                             << groups);
+    (void)outH();
+    (void)outW();
+}
+
+std::int64_t
+Conv2dGeom::outH() const
+{
+    return outDim(inH, kH, strideH, padH, dilH);
+}
+
+std::int64_t
+Conv2dGeom::outW() const
+{
+    return outDim(inW, kW, strideW, padW, dilW);
+}
+
+std::int64_t
+Conv2dGeom::macs() const
+{
+    return n * outC * outH() * outW() * (inC / groups) * kH * kW;
+}
+
+std::int64_t
+Conv2dGeom::weightCount() const
+{
+    return outC * (inC / groups) * kH * kW;
+}
+
+void
+Conv3dGeom::validate() const
+{
+    EB_CHECK(n > 0 && inC > 0 && inD > 0 && inH > 0 && inW > 0,
+             "conv3d: bad input dims");
+    EB_CHECK(outC > 0 && kD > 0 && kH > 0 && kW > 0,
+             "conv3d: bad filter dims");
+    EB_CHECK(strideD > 0 && strideH > 0 && strideW > 0,
+             "conv3d: bad strides");
+    EB_CHECK(padD >= 0 && padH >= 0 && padW >= 0,
+             "conv3d: negative padding");
+    (void)outD();
+    (void)outH();
+    (void)outW();
+}
+
+std::int64_t
+Conv3dGeom::outD() const
+{
+    return outDim(inD, kD, strideD, padD, 1);
+}
+
+std::int64_t
+Conv3dGeom::outH() const
+{
+    return outDim(inH, kH, strideH, padH, 1);
+}
+
+std::int64_t
+Conv3dGeom::outW() const
+{
+    return outDim(inW, kW, strideW, padW, 1);
+}
+
+std::int64_t
+Conv3dGeom::macs() const
+{
+    return n * outC * outD() * outH() * outW() * inC * kD * kH * kW;
+}
+
+std::int64_t
+Conv3dGeom::weightCount() const
+{
+    return outC * inC * kD * kH * kW;
+}
+
+void
+Pool2dGeom::validate() const
+{
+    EB_CHECK(n > 0 && c > 0 && inH > 0 && inW > 0, "pool2d: bad dims");
+    EB_CHECK(kH > 0 && kW > 0, "pool2d: bad window");
+    EB_CHECK(strideH > 0 && strideW > 0, "pool2d: bad strides");
+    EB_CHECK(padH >= 0 && padW >= 0, "pool2d: negative padding");
+    (void)outH();
+    (void)outW();
+}
+
+std::int64_t
+Pool2dGeom::outH() const
+{
+    return outDim(inH, kH, strideH, padH, 1, ceilMode);
+}
+
+std::int64_t
+Pool2dGeom::outW() const
+{
+    return outDim(inW, kW, strideW, padW, 1, ceilMode);
+}
+
+void
+Pool3dGeom::validate() const
+{
+    EB_CHECK(n > 0 && c > 0 && inD > 0 && inH > 0 && inW > 0,
+             "pool3d: bad dims");
+    EB_CHECK(kD > 0 && kH > 0 && kW > 0, "pool3d: bad window");
+    EB_CHECK(strideD > 0 && strideH > 0 && strideW > 0,
+             "pool3d: bad strides");
+    (void)outD();
+    (void)outH();
+    (void)outW();
+}
+
+std::int64_t
+Pool3dGeom::outD() const
+{
+    return outDim(inD, kD, strideD, padD, 1);
+}
+
+std::int64_t
+Pool3dGeom::outH() const
+{
+    return outDim(inH, kH, strideH, padH, 1);
+}
+
+std::int64_t
+Pool3dGeom::outW() const
+{
+    return outDim(inW, kW, strideW, padW, 1);
+}
+
+void
+RnnGeom::validate() const
+{
+    EB_CHECK(batch > 0 && seqLen > 0 && inputSize > 0 &&
+                 hiddenSize > 0,
+             "rnn: bad dims");
+    EB_CHECK(gates == 3 || gates == 4,
+             "rnn: gates must be 3 (GRU) or 4 (LSTM), got " << gates);
+}
+
+void
+DenseGeom::validate() const
+{
+    EB_CHECK(batch > 0 && inFeatures > 0 && outFeatures > 0,
+             "dense: bad dims");
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Common error types and check macros for edgebench-sim.
+ *
+ * Error philosophy (after the gem5 fatal/panic split):
+ *  - InvalidArgumentError: the caller supplied a bad configuration
+ *    (user fault, analogous to fatal()).
+ *  - InternalError: an invariant of the library itself was violated
+ *    (library bug, analogous to panic()).
+ *  - MemoryCapacityError: a model does not fit on a device; this is an
+ *    *expected* outcome in several experiments (Table V of the paper)
+ *    and therefore has its own type so callers can catch it.
+ */
+
+#ifndef EDGEBENCH_CORE_COMMON_HH
+#define EDGEBENCH_CORE_COMMON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edgebench
+{
+
+/** Base class of all edgebench-sim exceptions. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** The caller supplied an invalid argument or configuration. */
+class InvalidArgumentError : public Error
+{
+  public:
+    explicit InvalidArgumentError(const std::string& msg) : Error(msg) {}
+};
+
+/** An internal invariant was violated: a bug in edgebench-sim itself. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string& msg) : Error(msg) {}
+};
+
+/**
+ * A workload exceeded a device memory capacity. Mirrors the
+ * "Memory Error" outcomes in Figs. 3-4 and the large-memory marks in
+ * Table V of the paper.
+ */
+class MemoryCapacityError : public Error
+{
+  public:
+    explicit MemoryCapacityError(const std::string& msg) : Error(msg) {}
+};
+
+/**
+ * A model is not deployable on a framework/device combination for a
+ * non-memory reason (unsupported ops, conversion barriers). Mirrors the
+ * "code incompatibility" and "TFLite conversion barrier" marks in
+ * Table V.
+ */
+class CompatibilityError : public Error
+{
+  public:
+    explicit CompatibilityError(const std::string& msg) : Error(msg) {}
+};
+
+namespace detail
+{
+
+[[noreturn]] void throwCheckFailure(const char* cond, const char* file,
+                                    int line, const std::string& msg);
+
+} // namespace detail
+
+} // namespace edgebench
+
+/**
+ * Argument/configuration validation macro; throws InvalidArgumentError.
+ * Usage: EB_CHECK(stride > 0, "stride must be positive, got " << stride);
+ */
+#define EB_CHECK(cond, msgexpr)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream eb_check_oss_;                             \
+            eb_check_oss_ << msgexpr;                                     \
+            ::edgebench::detail::throwCheckFailure(                       \
+                #cond, __FILE__, __LINE__, eb_check_oss_.str());          \
+        }                                                                 \
+    } while (0)
+
+#endif // EDGEBENCH_CORE_COMMON_HH

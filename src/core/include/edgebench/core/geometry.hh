@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Kernel geometry descriptors shared by the compute kernels, the graph
+ * IR shape inference, and the analytical cost model.
+ *
+ * Keeping geometry (and its MAC/byte arithmetic) in one place
+ * guarantees that the latency the device model prices and the numbers
+ * the interpreter actually computes refer to the same work.
+ */
+
+#ifndef EDGEBENCH_CORE_GEOMETRY_HH
+#define EDGEBENCH_CORE_GEOMETRY_HH
+
+#include <cstdint>
+
+namespace edgebench
+{
+namespace core
+{
+
+/** 2D convolution geometry (NCHW input, [outC, inC/groups, kH, kW]). */
+struct Conv2dGeom
+{
+    std::int64_t n = 1;
+    std::int64_t inC = 0;
+    std::int64_t inH = 0;
+    std::int64_t inW = 0;
+    std::int64_t outC = 0;
+    std::int64_t kH = 1;
+    std::int64_t kW = 1;
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+    std::int64_t dilH = 1;
+    std::int64_t dilW = 1;
+    std::int64_t groups = 1;
+
+    /** Throws InvalidArgumentError when inconsistent. */
+    void validate() const;
+
+    std::int64_t outH() const;
+    std::int64_t outW() const;
+
+    /** Multiply-accumulates per forward pass (= paper FLOP count). */
+    std::int64_t macs() const;
+
+    /** Weight element count (excluding bias). */
+    std::int64_t weightCount() const;
+
+    std::int64_t inputCount() const { return n * inC * inH * inW; }
+    std::int64_t outputCount() const { return n * outC * outH() * outW(); }
+};
+
+/** 3D convolution geometry (NCDHW), used by the C3D model. */
+struct Conv3dGeom
+{
+    std::int64_t n = 1;
+    std::int64_t inC = 0;
+    std::int64_t inD = 0;
+    std::int64_t inH = 0;
+    std::int64_t inW = 0;
+    std::int64_t outC = 0;
+    std::int64_t kD = 1;
+    std::int64_t kH = 1;
+    std::int64_t kW = 1;
+    std::int64_t strideD = 1;
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padD = 0;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+
+    void validate() const;
+
+    std::int64_t outD() const;
+    std::int64_t outH() const;
+    std::int64_t outW() const;
+    std::int64_t macs() const;
+    std::int64_t weightCount() const;
+    std::int64_t inputCount() const { return n * inC * inD * inH * inW; }
+
+    std::int64_t
+    outputCount() const
+    {
+        return n * outC * outD() * outH() * outW();
+    }
+};
+
+/** Pooling window geometry (2D). */
+struct Pool2dGeom
+{
+    std::int64_t n = 1;
+    std::int64_t c = 0;
+    std::int64_t inH = 0;
+    std::int64_t inW = 0;
+    std::int64_t kH = 1;
+    std::int64_t kW = 1;
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+    /** Ceil-mode output rounding (DarkNet/Caffe style). */
+    bool ceilMode = false;
+
+    void validate() const;
+    std::int64_t outH() const;
+    std::int64_t outW() const;
+    std::int64_t outputCount() const { return n * c * outH() * outW(); }
+};
+
+/** 3D pooling window geometry, used by C3D. */
+struct Pool3dGeom
+{
+    std::int64_t n = 1;
+    std::int64_t c = 0;
+    std::int64_t inD = 0;
+    std::int64_t inH = 0;
+    std::int64_t inW = 0;
+    std::int64_t kD = 1;
+    std::int64_t kH = 1;
+    std::int64_t kW = 1;
+    std::int64_t strideD = 1;
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padD = 0;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+
+    void validate() const;
+    std::int64_t outD() const;
+    std::int64_t outH() const;
+    std::int64_t outW() const;
+
+    std::int64_t
+    outputCount() const
+    {
+        return n * c * outD() * outH() * outW();
+    }
+};
+
+/**
+ * Recurrent layer geometry (LSTM/GRU). Covers the RNN/LSTM model
+ * support the paper lists as future work.
+ */
+struct RnnGeom
+{
+    std::int64_t batch = 1;
+    std::int64_t seqLen = 0;
+    std::int64_t inputSize = 0;
+    std::int64_t hiddenSize = 0;
+    /** Gate count: 4 for LSTM, 3 for GRU. */
+    std::int64_t gates = 4;
+
+    void validate() const;
+
+    /** MACs for a full sequence forward pass. */
+    std::int64_t macs() const
+    {
+        return batch * seqLen * gates * hiddenSize *
+            (inputSize + hiddenSize);
+    }
+
+    /** Weight elements: W_ih + W_hh (biases excluded). */
+    std::int64_t weightCount() const
+    {
+        return gates * hiddenSize * (inputSize + hiddenSize);
+    }
+};
+
+/** Fully-connected layer geometry. */
+struct DenseGeom
+{
+    std::int64_t batch = 1;
+    std::int64_t inFeatures = 0;
+    std::int64_t outFeatures = 0;
+
+    void validate() const;
+    std::int64_t macs() const { return batch * inFeatures * outFeatures; }
+    std::int64_t weightCount() const { return inFeatures * outFeatures; }
+};
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_GEOMETRY_HH

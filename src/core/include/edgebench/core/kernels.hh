@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reference fp32 compute kernels.
+ *
+ * Two convolution paths are provided: a direct ("naive") loop nest and
+ * an im2col+GEMM path, which the tests cross-check against each other.
+ * The interpreter uses the GEMM path; the naive path is the oracle.
+ *
+ * Layouts: activations NCHW (NCDHW for 3D); conv weights
+ * [outC, inC/groups, kH, kW]; dense weights [outF, inF].
+ */
+
+#ifndef EDGEBENCH_CORE_KERNELS_HH
+#define EDGEBENCH_CORE_KERNELS_HH
+
+#include <span>
+
+#include "edgebench/core/geometry.hh"
+#include "edgebench/core/tensor.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+/** C[m,n] = A[m,k] * B[k,n] (row-major, C overwritten). */
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          std::span<const float> a, std::span<const float> b,
+          std::span<float> c);
+
+/**
+ * Expand conv input patches into columns: output is a
+ * [inC/groups * kH * kW, outH * outW] matrix for image @p image of one
+ * group of one batch element.
+ */
+void im2col(std::span<const float> image, const Conv2dGeom& g,
+            std::int64_t group, std::span<float> columns);
+
+/** Direct convolution (oracle). @p bias may be empty. */
+Tensor conv2dNaive(const Tensor& input, const Tensor& weights,
+                   const Tensor& bias, const Conv2dGeom& g);
+
+/** im2col + GEMM convolution (the production path). */
+Tensor conv2d(const Tensor& input, const Tensor& weights,
+              const Tensor& bias, const Conv2dGeom& g);
+
+/** Direct 3D convolution (C3D). */
+Tensor conv3d(const Tensor& input, const Tensor& weights,
+              const Tensor& bias, const Conv3dGeom& g);
+
+/** Fully-connected layer: out = in * W^T + b. */
+Tensor dense(const Tensor& input, const Tensor& weights,
+             const Tensor& bias, const DenseGeom& g);
+
+/** Max pooling; padding contributes -inf. */
+Tensor maxPool2d(const Tensor& input, const Pool2dGeom& g);
+
+/** Average pooling; divisor counts only in-bounds elements. */
+Tensor avgPool2d(const Tensor& input, const Pool2dGeom& g);
+
+/** 3D max pooling (C3D). */
+Tensor maxPool3d(const Tensor& input, const Pool3dGeom& g);
+
+/** Global average pool: [N,C,H,W] -> [N,C]. */
+Tensor globalAvgPool(const Tensor& input);
+
+/**
+ * Inference-mode batch normalization over channel dim (dim 1) of an
+ * NC[D]HW tensor; all parameter tensors have shape [C].
+ */
+Tensor batchNorm(const Tensor& input, const Tensor& gamma,
+                 const Tensor& beta, const Tensor& mean,
+                 const Tensor& variance, double epsilon);
+
+/** @name Activations (elementwise) */
+/// @{
+Tensor relu(const Tensor& input);
+Tensor relu6(const Tensor& input);
+Tensor leakyRelu(const Tensor& input, float slope);
+Tensor sigmoid(const Tensor& input);
+Tensor tanhAct(const Tensor& input);
+/// @}
+
+/** Row-wise softmax over the last dimension. */
+Tensor softmax(const Tensor& input);
+
+/** Elementwise sum of two same-shaped tensors (residual add). */
+Tensor addElementwise(const Tensor& a, const Tensor& b);
+
+/** Concatenate along the channel dimension (dim 1). */
+Tensor concatChannels(const std::vector<Tensor>& inputs);
+
+/** Concatenate along the last dimension (all other dims equal). */
+Tensor concatLastDim(const std::vector<Tensor>& inputs);
+
+/** Zero-pad H/W of an NCHW tensor. */
+Tensor padSpatial(const Tensor& input, std::int64_t pad_top,
+                  std::int64_t pad_bottom, std::int64_t pad_left,
+                  std::int64_t pad_right);
+
+/** Nearest-neighbour upsampling by an integer factor (YOLOv3). */
+Tensor upsampleNearest(const Tensor& input, std::int64_t factor);
+
+/** Flatten to [N, C*H*W...]. */
+Tensor flatten(const Tensor& input);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_KERNELS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Quantized (INT8) compute kernels.
+ *
+ * These follow the TFLite reference semantics: int8 inputs/weights with
+ * affine QuantParams, int32 accumulation, fp32 bias added in the real
+ * domain, and requantization of the result to the caller-supplied
+ * output parameters. The EdgeTPU and TFLite execution paths in the
+ * framework layer run these kernels for real.
+ */
+
+#ifndef EDGEBENCH_CORE_KERNELS_INT8_HH
+#define EDGEBENCH_CORE_KERNELS_INT8_HH
+
+#include "edgebench/core/geometry.hh"
+#include "edgebench/core/tensor.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+/**
+ * Quantized 2D convolution. @p input and @p weights must be kI8
+ * tensors; @p bias is fp32 (or empty). Result is a kI8 tensor with
+ * parameters @p out_qp. Supports groups (depthwise included).
+ */
+Tensor conv2dInt8(const Tensor& input, const Tensor& weights,
+                  const Tensor& bias, const Conv2dGeom& g,
+                  const QuantParams& out_qp);
+
+/** Quantized fully-connected layer; same conventions as conv2dInt8. */
+Tensor denseInt8(const Tensor& input, const Tensor& weights,
+                 const Tensor& bias, const DenseGeom& g,
+                 const QuantParams& out_qp);
+
+/** Quantized ReLU family: clamps in the quantized domain. */
+Tensor reluInt8(const Tensor& input);
+Tensor relu6Int8(const Tensor& input);
+
+/** Quantized residual add: requantizes both sides to @p out_qp. */
+Tensor addInt8(const Tensor& a, const Tensor& b,
+               const QuantParams& out_qp);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_KERNELS_INT8_HH

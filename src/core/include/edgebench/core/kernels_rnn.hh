@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Recurrent-layer reference kernels (LSTM and GRU), implementing the
+ * RNN support the paper lists as future work.
+ *
+ * Conventions: input is [N, T, I]; weights are packed gate-major —
+ * LSTM gate order i, f, g, o; GRU gate order z (update), r (reset),
+ * n (candidate). W_ih is [gates*H, I], W_hh is [gates*H, H], bias is
+ * [gates*H]. Initial hidden/cell states are zero. The output is the
+ * full hidden-state sequence [N, T, H].
+ */
+
+#ifndef EDGEBENCH_CORE_KERNELS_RNN_HH
+#define EDGEBENCH_CORE_KERNELS_RNN_HH
+
+#include "edgebench/core/geometry.hh"
+#include "edgebench/core/tensor.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+/** LSTM forward over a full sequence (gates == 4). */
+Tensor lstmForward(const Tensor& input, const Tensor& w_ih,
+                   const Tensor& w_hh, const Tensor& bias,
+                   const RnnGeom& g);
+
+/** GRU forward over a full sequence (gates == 3). */
+Tensor gruForward(const Tensor& input, const Tensor& w_ih,
+                  const Tensor& w_hh, const Tensor& bias,
+                  const RnnGeom& g);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_KERNELS_RNN_HH

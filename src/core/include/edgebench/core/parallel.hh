@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal deterministic parallelism for the compute kernels.
+ *
+ * parallelFor splits an index range into contiguous chunks, one per
+ * worker. Each output element is written by exactly one worker and
+ * every worker performs the same arithmetic it would serially, so
+ * results are bit-identical for any thread count — determinism is a
+ * repo-wide invariant (see docs/ARCHITECTURE.md).
+ *
+ * The pool is process-wide and lazy; set thread count once via
+ * setParallelism (0 = hardware concurrency). Kernels fall back to the
+ * calling thread for small ranges.
+ */
+
+#ifndef EDGEBENCH_CORE_PARALLEL_HH
+#define EDGEBENCH_CORE_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Set the worker count (0 = hardware concurrency). */
+void setParallelism(int threads);
+
+/** Current worker count (>= 1). */
+int parallelism();
+
+/**
+ * Run fn(begin, end) over a partition of [0, n) across the workers.
+ * Serial (caller thread) when n < min_grain or only one worker.
+ */
+void parallelFor(std::int64_t n,
+                 const std::function<void(std::int64_t,
+                                          std::int64_t)>& fn,
+                 std::int64_t min_grain = 2);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_PARALLEL_HH

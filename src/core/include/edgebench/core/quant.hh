@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Affine INT8 quantization primitives.
+ *
+ * Implements the post-training quantization scheme used by TFLite and
+ * TensorRT (the paper's Table II "Quantization" row): a real value r is
+ * represented as r = scale * (q - zero_point) with q an int8.
+ */
+
+#ifndef EDGEBENCH_CORE_QUANT_HH
+#define EDGEBENCH_CORE_QUANT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Affine quantization parameters for one tensor. */
+struct QuantParams
+{
+    double scale = 1.0;
+    std::int32_t zeroPoint = 0;
+
+    bool operator==(const QuantParams&) const = default;
+};
+
+/**
+ * Choose quantization parameters that cover [minVal, maxVal] with the
+ * int8 range [-128, 127]. The range is widened to include 0 so that
+ * zero padding quantizes exactly (TFLite requirement).
+ */
+QuantParams chooseQuantParams(double min_val, double max_val);
+
+/**
+ * Choose symmetric per-tensor parameters (zeroPoint == 0), the scheme
+ * TensorRT uses for weights.
+ */
+QuantParams chooseSymmetricQuantParams(double abs_max);
+
+/** Quantize one value. Saturates to [-128, 127]. */
+std::int8_t quantizeValue(double v, const QuantParams& qp);
+
+/** Dequantize one value. */
+double dequantizeValue(std::int8_t q, const QuantParams& qp);
+
+/** Quantize a buffer. */
+std::vector<std::int8_t> quantize(std::span<const float> src,
+                                  const QuantParams& qp);
+
+/** Dequantize a buffer. */
+std::vector<float> dequantize(std::span<const std::int8_t> src,
+                              const QuantParams& qp);
+
+/** Observe min/max over a buffer (calibration). */
+void observeMinMax(std::span<const float> src, double& min_val,
+                   double& max_val);
+
+/**
+ * Max absolute quantization round-trip error for parameters @p qp:
+ * dequantize(quantize(x)) deviates from x by at most scale/2 for x
+ * inside the covered range.
+ */
+double quantizationStepError(const QuantParams& qp);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_QUANT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic element of edgebench-sim (weight initialization,
+ * measurement noise, workload inputs) draws from this RNG so that all
+ * tables and figures regenerate bit-identically between runs.
+ */
+
+#ifndef EDGEBENCH_CORE_RNG_HH
+#define EDGEBENCH_CORE_RNG_HH
+
+#include <cstdint>
+
+namespace edgebench
+{
+namespace core
+{
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256** seeded via
+ * SplitMix64). Not cryptographic; chosen for reproducibility and
+ * portability across standard libraries (std::mt19937 distributions
+ * differ between implementations).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** @return standard normal variate (Box-Muller, deterministic). */
+    double normal();
+
+    /** @return normal variate with the given mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Fork a child stream that is independent of this one. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_RNG_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A small dense tensor with value semantics.
+ *
+ * Tensors hold fp32 data plus, when quantized, an int8 payload and its
+ * QuantParams. FP16 is emulated: data stays fp32 but every element has
+ * been rounded through half precision (the paper's frameworks likewise
+ * emulate FP16 on devices without native support).
+ */
+
+#ifndef EDGEBENCH_CORE_TENSOR_HH
+#define EDGEBENCH_CORE_TENSOR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "edgebench/core/quant.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/types.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Round one fp32 value through IEEE binary16 (round-to-nearest-even). */
+float roundThroughF16(float v);
+
+class Tensor
+{
+  public:
+    /** Empty scalar-shaped tensor. */
+    Tensor();
+
+    /** Zero-filled fp32 tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** fp32 tensor with explicit contents (size must match shape). */
+    Tensor(Shape shape, std::vector<float> data);
+
+    /** @name Factories */
+    /// @{
+    static Tensor zeros(Shape shape);
+    static Tensor full(Shape shape, float value);
+    /** He-style normal init scaled by fan-in, deterministic via rng. */
+    static Tensor randomNormal(Shape shape, Rng& rng, double stddev = 1.0);
+    static Tensor randomUniform(Shape shape, Rng& rng, double lo,
+                                double hi);
+    /// @}
+
+    const Shape& shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+    std::int64_t numel() const { return numElements(shape_); }
+
+    /** Size of the payload in bytes at the current dtype. */
+    double byteSize() const { return numel() * dtypeBytes(dtype_); }
+
+    /** @name fp32 access (valid for kF32/kF16 tensors) */
+    /// @{
+    std::span<float> data();
+    std::span<const float> data() const;
+    float at(std::int64_t i) const;
+    void set(std::int64_t i, float v);
+    /// @}
+
+    /** @name int8 access (valid for kI8 tensors) */
+    /// @{
+    std::span<const std::int8_t> qdata() const;
+    const QuantParams& quantParams() const;
+    /// @}
+
+    /** Fraction of elements equal to zero (pruning bookkeeping). */
+    double sparsity() const;
+
+    /** @name Precision conversions (return new tensors) */
+    /// @{
+    /** Post-training affine quantization from observed min/max. */
+    Tensor toInt8() const;
+    /** Quantization with caller-supplied params (from calibration). */
+    Tensor toInt8(const QuantParams& qp) const;
+    /** Back to fp32 (dequantize or identity). */
+    Tensor toF32() const;
+    /** Emulated fp16: rounds every element through binary16. */
+    Tensor toF16() const;
+    /// @}
+
+    /** Zero out the smallest-magnitude @p fraction of elements. */
+    Tensor prunedByMagnitude(double fraction) const;
+
+    /** Elementwise maximum absolute difference against @p other. */
+    double maxAbsDiff(const Tensor& other) const;
+
+  private:
+    Shape shape_;
+    DType dtype_ = DType::kF32;
+    std::vector<float> f32_;
+    std::vector<std::int8_t> i8_;
+    QuantParams qp_;
+};
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_TENSOR_HH

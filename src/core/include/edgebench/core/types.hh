@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Element types and tensor shapes.
+ */
+
+#ifndef EDGEBENCH_CORE_TYPES_HH
+#define EDGEBENCH_CORE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgebench
+{
+namespace core
+{
+
+/**
+ * Numeric element types supported across the stack. Mirrors the
+ * precisions discussed in the paper: FP32 (default), FP16
+ * (half-precision inference, Table II), INT8 (quantization, TFLite /
+ * TensorRT / EdgeTPU), and INT32 (quantized accumulators). kBin1 covers
+ * FINN-style binarized weights on the PYNQ platform.
+ */
+enum class DType
+{
+    kF32,
+    kF16,
+    kI8,
+    kI32,
+    kBin1,
+};
+
+/** @return size of one element of @p t in bytes (kBin1 rounds to 1/8). */
+double dtypeBytes(DType t);
+
+/** @return human-readable name, e.g. "fp32". */
+std::string dtypeName(DType t);
+
+/** Tensor shape: a list of extents. Layout is NCHW / NCDHW. */
+using Shape = std::vector<std::int64_t>;
+
+/** @return product of all extents of @p s (1 for a scalar shape). */
+std::int64_t numElements(const Shape& s);
+
+/** @return shape formatted as "[1, 3, 224, 224]". */
+std::string shapeToString(const Shape& s);
+
+/** @return true when the two shapes are elementwise identical. */
+bool sameShape(const Shape& a, const Shape& b);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_TYPES_HH

@@ -1,0 +1,687 @@
+#include "edgebench/core/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+/** Validate an activation tensor against expected rank-4 NCHW dims. */
+void
+checkInput4d(const Tensor& t, std::int64_t n, std::int64_t c,
+             std::int64_t h, std::int64_t w, const char* what)
+{
+    EB_CHECK(t.shape() == Shape({n, c, h, w}),
+             what << ": input shape " << shapeToString(t.shape())
+                  << " != expected "
+                  << shapeToString(Shape{n, c, h, w}));
+}
+
+} // namespace
+
+void
+gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+     std::span<const float> a, std::span<const float> b,
+     std::span<float> c)
+{
+    EB_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "gemm: bad A");
+    EB_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "gemm: bad B");
+    EB_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "gemm: bad C");
+    std::fill(c.begin(), c.end(), 0.0f);
+    // Rows of C are independent: partition them across the worker
+    // pool (bit-identical to serial — each row's accumulation order
+    // is unchanged). i-k-j ordering keeps the inner loop streaming
+    // over B and C rows.
+    constexpr std::int64_t kBlock = 64;
+    parallelFor(
+        m,
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t kk = 0; kk < k; kk += kBlock) {
+                const std::int64_t k_end = std::min(k, kk + kBlock);
+                for (std::int64_t i = i0; i < i1; ++i) {
+                    float* crow = c.data() + i * n;
+                    for (std::int64_t p = kk; p < k_end; ++p) {
+                        const float aval = a[i * k + p];
+                        if (aval == 0.0f)
+                            continue; // pruned-weight fast path
+                        const float* brow = b.data() + p * n;
+                        for (std::int64_t j = 0; j < n; ++j)
+                            crow[j] += aval * brow[j];
+                    }
+                }
+            }
+        },
+        /*min_grain=*/8);
+}
+
+void
+im2col(std::span<const float> image, const Conv2dGeom& g,
+       std::int64_t group, std::span<float> columns)
+{
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    EB_CHECK(static_cast<std::int64_t>(columns.size()) ==
+                 cg * g.kH * g.kW * oh * ow,
+             "im2col: bad columns size");
+    const std::int64_t c0 = group * cg;
+    std::int64_t col = 0;
+    for (std::int64_t c = 0; c < cg; ++c) {
+        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    const std::int64_t iy =
+                        oy * g.strideH - g.padH + ky * g.dilH;
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        const std::int64_t ix =
+                            ox * g.strideW - g.padW + kx * g.dilW;
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < g.inH && ix >= 0 &&
+                            ix < g.inW) {
+                            v = image[((c0 + c) * g.inH + iy) * g.inW +
+                                      ix];
+                        }
+                        columns[col++] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+conv2dNaive(const Tensor& input, const Tensor& weights,
+            const Tensor& bias, const Conv2dGeom& g)
+{
+    g.validate();
+    checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2dNaive");
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    EB_CHECK(weights.shape() == Shape({g.outC, cg, g.kH, g.kW}),
+             "conv2dNaive: bad weight shape "
+                 << shapeToString(weights.shape()));
+    const bool has_bias = bias.numel() > 1 || bias.shape().size() == 1;
+    if (has_bias) {
+        EB_CHECK(bias.shape() == Shape({g.outC}),
+                 "conv2dNaive: bad bias shape");
+    }
+
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor out(Shape{g.n, g.outC, oh, ow});
+    auto in = input.data();
+    auto w = weights.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < g.n; ++b) {
+        for (std::int64_t oc = 0; oc < g.outC; ++oc) {
+            const std::int64_t grp = oc / ocg;
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    double acc =
+                        has_bias ? static_cast<double>(bias.at(oc)) : 0.0;
+                    for (std::int64_t c = 0; c < cg; ++c) {
+                        const std::int64_t ic = grp * cg + c;
+                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                            const std::int64_t iy =
+                                oy * g.strideH - g.padH + ky * g.dilH;
+                            if (iy < 0 || iy >= g.inH)
+                                continue;
+                            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                                const std::int64_t ix = ox * g.strideW -
+                                    g.padW + kx * g.dilW;
+                                if (ix < 0 || ix >= g.inW)
+                                    continue;
+                                const float iv =
+                                    in[((b * g.inC + ic) * g.inH + iy) *
+                                           g.inW + ix];
+                                const float wv =
+                                    w[((oc * cg + c) * g.kH + ky) * g.kW +
+                                      kx];
+                                acc += static_cast<double>(iv) * wv;
+                            }
+                        }
+                    }
+                    o[((b * g.outC + oc) * oh + oy) * ow + ox] =
+                        static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+       const Conv2dGeom& g)
+{
+    g.validate();
+    checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2d");
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    EB_CHECK(weights.shape() == Shape({g.outC, cg, g.kH, g.kW}),
+             "conv2d: bad weight shape "
+                 << shapeToString(weights.shape()));
+    const bool has_bias = bias.shape() == Shape{g.outC};
+
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    const std::int64_t patch = cg * g.kH * g.kW;
+    Tensor out(Shape{g.n, g.outC, oh, ow});
+    std::vector<float> columns(
+        static_cast<std::size_t>(patch * oh * ow));
+    auto in = input.data();
+    auto w = weights.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < g.n; ++b) {
+        std::span<const float> image =
+            in.subspan(static_cast<std::size_t>(b * g.inC * g.inH *
+                                                g.inW),
+                       static_cast<std::size_t>(g.inC * g.inH * g.inW));
+        for (std::int64_t grp = 0; grp < g.groups; ++grp) {
+            im2col(image, g, grp, columns);
+            std::span<const float> wmat(
+                w.data() + grp * ocg * patch,
+                static_cast<std::size_t>(ocg * patch));
+            std::span<float> omat(
+                o.data() + ((b * g.outC) + grp * ocg) * oh * ow,
+                static_cast<std::size_t>(ocg * oh * ow));
+            gemm(ocg, oh * ow, patch, wmat, columns, omat);
+        }
+    }
+    if (has_bias) {
+        for (std::int64_t b = 0; b < g.n; ++b)
+            for (std::int64_t oc = 0; oc < g.outC; ++oc) {
+                const float bv = bias.at(oc);
+                float* base = o.data() + (b * g.outC + oc) * oh * ow;
+                for (std::int64_t i = 0; i < oh * ow; ++i)
+                    base[i] += bv;
+            }
+    }
+    return out;
+}
+
+Tensor
+conv3d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+       const Conv3dGeom& g)
+{
+    g.validate();
+    EB_CHECK(input.shape() == Shape({g.n, g.inC, g.inD, g.inH, g.inW}),
+             "conv3d: bad input shape "
+                 << shapeToString(input.shape()));
+    EB_CHECK(weights.shape() ==
+                 Shape({g.outC, g.inC, g.kD, g.kH, g.kW}),
+             "conv3d: bad weight shape");
+    const bool has_bias = bias.shape() == Shape{g.outC};
+
+    const std::int64_t od = g.outD();
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor out(Shape{g.n, g.outC, od, oh, ow});
+    auto in = input.data();
+    auto w = weights.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < g.n; ++b)
+    for (std::int64_t oc = 0; oc < g.outC; ++oc)
+    for (std::int64_t oz = 0; oz < od; ++oz)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = has_bias ? static_cast<double>(bias.at(oc)) : 0.0;
+        for (std::int64_t c = 0; c < g.inC; ++c)
+        for (std::int64_t kz = 0; kz < g.kD; ++kz) {
+            const std::int64_t iz = oz * g.strideD - g.padD + kz;
+            if (iz < 0 || iz >= g.inD)
+                continue;
+            for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                const std::int64_t iy = oy * g.strideH - g.padH + ky;
+                if (iy < 0 || iy >= g.inH)
+                    continue;
+                for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                    const std::int64_t ix = ox * g.strideW - g.padW + kx;
+                    if (ix < 0 || ix >= g.inW)
+                        continue;
+                    const float iv =
+                        in[(((b * g.inC + c) * g.inD + iz) * g.inH + iy) *
+                               g.inW + ix];
+                    const float wv =
+                        w[(((oc * g.inC + c) * g.kD + kz) * g.kH + ky) *
+                              g.kW + kx];
+                    acc += static_cast<double>(iv) * wv;
+                }
+            }
+        }
+        o[(((b * g.outC + oc) * od + oz) * oh + oy) * ow + ox] =
+            static_cast<float>(acc);
+    }
+    return out;
+}
+
+Tensor
+dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
+      const DenseGeom& g)
+{
+    g.validate();
+    EB_CHECK(input.numel() == g.batch * g.inFeatures,
+             "dense: input numel " << input.numel() << " != "
+                                   << g.batch * g.inFeatures);
+    EB_CHECK(weights.shape() == Shape({g.outFeatures, g.inFeatures}),
+             "dense: bad weight shape "
+                 << shapeToString(weights.shape()));
+    const bool has_bias = bias.shape() == Shape{g.outFeatures};
+
+    Tensor out(Shape{g.batch, g.outFeatures});
+    auto in = input.data();
+    auto w = weights.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < g.batch; ++b) {
+        const float* irow = in.data() + b * g.inFeatures;
+        parallelFor(
+            g.outFeatures,
+            [&](std::int64_t of0, std::int64_t of1) {
+                for (std::int64_t of = of0; of < of1; ++of) {
+                    double acc = has_bias
+                        ? static_cast<double>(bias.at(of))
+                        : 0.0;
+                    const float* wrow = w.data() + of * g.inFeatures;
+                    for (std::int64_t i = 0; i < g.inFeatures; ++i)
+                        acc += static_cast<double>(irow[i]) * wrow[i];
+                    o[b * g.outFeatures + of] =
+                        static_cast<float>(acc);
+                }
+            },
+            /*min_grain=*/16);
+    }
+    return out;
+}
+
+namespace
+{
+
+template <bool IsMax>
+Tensor
+pool2dImpl(const Tensor& input, const Pool2dGeom& g)
+{
+    g.validate();
+    checkInput4d(input, g.n, g.c, g.inH, g.inW, "pool2d");
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor out(Shape{g.n, g.c, oh, ow});
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < g.n; ++b)
+    for (std::int64_t c = 0; c < g.c; ++c)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = IsMax
+            ? -std::numeric_limits<double>::infinity() : 0.0;
+        std::int64_t count = 0;
+        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+            const std::int64_t iy = oy * g.strideH - g.padH + ky;
+            if (iy < 0 || iy >= g.inH)
+                continue;
+            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                const std::int64_t ix = ox * g.strideW - g.padW + kx;
+                if (ix < 0 || ix >= g.inW)
+                    continue;
+                const double v =
+                    in[((b * g.c + c) * g.inH + iy) * g.inW + ix];
+                if constexpr (IsMax) {
+                    acc = std::max(acc, v);
+                } else {
+                    acc += v;
+                }
+                ++count;
+            }
+        }
+        if constexpr (!IsMax)
+            acc = count > 0 ? acc / count : 0.0;
+        o[((b * g.c + c) * oh + oy) * ow + ox] = static_cast<float>(acc);
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+maxPool2d(const Tensor& input, const Pool2dGeom& g)
+{
+    return pool2dImpl<true>(input, g);
+}
+
+Tensor
+avgPool2d(const Tensor& input, const Pool2dGeom& g)
+{
+    return pool2dImpl<false>(input, g);
+}
+
+Tensor
+maxPool3d(const Tensor& input, const Pool3dGeom& g)
+{
+    g.validate();
+    EB_CHECK(input.shape() == Shape({g.n, g.c, g.inD, g.inH, g.inW}),
+             "maxPool3d: bad input shape");
+    const std::int64_t od = g.outD();
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor out(Shape{g.n, g.c, od, oh, ow});
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < g.n; ++b)
+    for (std::int64_t c = 0; c < g.c; ++c)
+    for (std::int64_t oz = 0; oz < od; ++oz)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = -std::numeric_limits<double>::infinity();
+        for (std::int64_t kz = 0; kz < g.kD; ++kz) {
+            const std::int64_t iz = oz * g.strideD - g.padD + kz;
+            if (iz < 0 || iz >= g.inD)
+                continue;
+            for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                const std::int64_t iy = oy * g.strideH - g.padH + ky;
+                if (iy < 0 || iy >= g.inH)
+                    continue;
+                for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                    const std::int64_t ix = ox * g.strideW - g.padW + kx;
+                    if (ix < 0 || ix >= g.inW)
+                        continue;
+                    acc = std::max(
+                        acc,
+                        static_cast<double>(
+                            in[(((b * g.c + c) * g.inD + iz) * g.inH +
+                                iy) * g.inW + ix]));
+                }
+            }
+        }
+        o[(((b * g.c + c) * od + oz) * oh + oy) * ow + ox] =
+            static_cast<float>(acc);
+    }
+    return out;
+}
+
+Tensor
+globalAvgPool(const Tensor& input)
+{
+    const auto& s = input.shape();
+    EB_CHECK(s.size() == 4, "globalAvgPool: expected rank-4 input");
+    const std::int64_t n = s[0], c = s[1], hw = s[2] * s[3];
+    Tensor out(Shape{n, c});
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < n; ++b)
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            double acc = 0.0;
+            const float* base = in.data() + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i)
+                acc += base[i];
+            o[b * c + ch] = static_cast<float>(acc / hw);
+        }
+    return out;
+}
+
+Tensor
+batchNorm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
+          const Tensor& mean, const Tensor& variance, double epsilon)
+{
+    const auto& s = input.shape();
+    EB_CHECK(s.size() >= 2, "batchNorm: rank must be >= 2");
+    const std::int64_t c = s[1];
+    EB_CHECK(gamma.shape() == Shape{c} && beta.shape() == Shape{c} &&
+                 mean.shape() == Shape{c} && variance.shape() == Shape{c},
+             "batchNorm: parameter shapes must be [" << c << "]");
+    std::int64_t inner = 1;
+    for (std::size_t i = 2; i < s.size(); ++i)
+        inner *= s[i];
+    const std::int64_t n = s[0];
+
+    Tensor out(input.shape());
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        const double inv_std =
+            1.0 / std::sqrt(static_cast<double>(variance.at(ch)) +
+                            epsilon);
+        const double scale = gamma.at(ch) * inv_std;
+        const double shift = beta.at(ch) - mean.at(ch) * scale;
+        for (std::int64_t b = 0; b < n; ++b) {
+            const float* ibase = in.data() + (b * c + ch) * inner;
+            float* obase = o.data() + (b * c + ch) * inner;
+            for (std::int64_t i = 0; i < inner; ++i)
+                obase[i] =
+                    static_cast<float>(ibase[i] * scale + shift);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+template <typename F>
+Tensor
+elementwise(const Tensor& input, F&& f)
+{
+    Tensor out(input.shape());
+    auto in = input.data();
+    auto o = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i)
+        o[i] = f(in[i]);
+    return out;
+}
+
+} // namespace
+
+Tensor
+relu(const Tensor& input)
+{
+    return elementwise(input,
+                       [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor
+relu6(const Tensor& input)
+{
+    return elementwise(
+        input, [](float v) { return std::clamp(v, 0.0f, 6.0f); });
+}
+
+Tensor
+leakyRelu(const Tensor& input, float slope)
+{
+    return elementwise(
+        input, [slope](float v) { return v > 0.0f ? v : slope * v; });
+}
+
+Tensor
+sigmoid(const Tensor& input)
+{
+    return elementwise(
+        input, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor
+tanhAct(const Tensor& input)
+{
+    return elementwise(input, [](float v) { return std::tanh(v); });
+}
+
+Tensor
+softmax(const Tensor& input)
+{
+    const auto& s = input.shape();
+    EB_CHECK(!s.empty(), "softmax: scalar input");
+    const std::int64_t last = s.back();
+    const std::int64_t rows = input.numel() / last;
+    Tensor out(input.shape());
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* irow = in.data() + r * last;
+        float* orow = o.data() + r * last;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = 0; i < last; ++i)
+            mx = std::max(mx, irow[i]);
+        double sum = 0.0;
+        for (std::int64_t i = 0; i < last; ++i) {
+            orow[i] = std::exp(irow[i] - mx);
+            sum += orow[i];
+        }
+        for (std::int64_t i = 0; i < last; ++i)
+            orow[i] = static_cast<float>(orow[i] / sum);
+    }
+    return out;
+}
+
+Tensor
+addElementwise(const Tensor& a, const Tensor& b)
+{
+    EB_CHECK(sameShape(a.shape(), b.shape()),
+             "add: shape mismatch " << shapeToString(a.shape()) << " vs "
+                                    << shapeToString(b.shape()));
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto pb = b.data();
+    auto o = out.data();
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        o[i] = pa[i] + pb[i];
+    return out;
+}
+
+Tensor
+concatChannels(const std::vector<Tensor>& inputs)
+{
+    EB_CHECK(!inputs.empty(), "concat: no inputs");
+    const auto& s0 = inputs.front().shape();
+    EB_CHECK(s0.size() == 4, "concat: expected rank-4 inputs");
+    std::int64_t total_c = 0;
+    for (const auto& t : inputs) {
+        const auto& s = t.shape();
+        EB_CHECK(s.size() == 4 && s[0] == s0[0] && s[2] == s0[2] &&
+                     s[3] == s0[3],
+                 "concat: incompatible input "
+                     << shapeToString(s) << " vs "
+                     << shapeToString(s0));
+        total_c += s[1];
+    }
+    const std::int64_t n = s0[0], hw = s0[2] * s0[3];
+    Tensor out(Shape{n, total_c, s0[2], s0[3]});
+    auto o = out.data();
+    for (std::int64_t b = 0; b < n; ++b) {
+        std::int64_t c_off = 0;
+        for (const auto& t : inputs) {
+            const std::int64_t tc = t.shape()[1];
+            auto in = t.data();
+            std::copy_n(in.data() + b * tc * hw, tc * hw,
+                        o.data() + (b * total_c + c_off) * hw);
+            c_off += tc;
+        }
+    }
+    return out;
+}
+
+Tensor
+concatLastDim(const std::vector<Tensor>& inputs)
+{
+    EB_CHECK(!inputs.empty(), "concatLastDim: no inputs");
+    const auto& s0 = inputs.front().shape();
+    EB_CHECK(s0.size() >= 1, "concatLastDim: scalar inputs");
+    std::int64_t rows = 1;
+    for (std::size_t i = 0; i + 1 < s0.size(); ++i)
+        rows *= s0[i];
+    std::int64_t total_last = 0;
+    for (const auto& t : inputs) {
+        const auto& s = t.shape();
+        EB_CHECK(s.size() == s0.size(), "concatLastDim: rank mismatch");
+        for (std::size_t i = 0; i + 1 < s.size(); ++i)
+            EB_CHECK(s[i] == s0[i],
+                     "concatLastDim: leading dim mismatch");
+        total_last += s.back();
+    }
+    Shape out_shape = s0;
+    out_shape.back() = total_last;
+    Tensor out(out_shape);
+    auto o = out.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+        std::int64_t off = 0;
+        for (const auto& t : inputs) {
+            const std::int64_t last = t.shape().back();
+            auto in = t.data();
+            std::copy_n(in.data() + r * last, last,
+                        o.data() + r * total_last + off);
+            off += last;
+        }
+    }
+    return out;
+}
+
+Tensor
+padSpatial(const Tensor& input, std::int64_t pad_top,
+           std::int64_t pad_bottom, std::int64_t pad_left,
+           std::int64_t pad_right)
+{
+    const auto& s = input.shape();
+    EB_CHECK(s.size() == 4, "padSpatial: expected rank-4 input");
+    EB_CHECK(pad_top >= 0 && pad_bottom >= 0 && pad_left >= 0 &&
+                 pad_right >= 0,
+             "padSpatial: negative pad");
+    const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
+    const std::int64_t oh = h + pad_top + pad_bottom;
+    const std::int64_t ow = w + pad_left + pad_right;
+    Tensor out(Shape{n, c, oh, ow});
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t b = 0; b < n; ++b)
+        for (std::int64_t ch = 0; ch < c; ++ch)
+            for (std::int64_t y = 0; y < h; ++y) {
+                const float* src = in.data() + ((b * c + ch) * h + y) * w;
+                float* dst = o.data() +
+                    ((b * c + ch) * oh + y + pad_top) * ow + pad_left;
+                std::copy_n(src, w, dst);
+            }
+    return out;
+}
+
+Tensor
+upsampleNearest(const Tensor& input, std::int64_t factor)
+{
+    const auto& s = input.shape();
+    EB_CHECK(s.size() == 4, "upsample: expected rank-4 input");
+    EB_CHECK(factor >= 1, "upsample: factor must be >= 1");
+    const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
+    Tensor out(Shape{n, c, h * factor, w * factor});
+    auto in = input.data();
+    auto o = out.data();
+    const std::int64_t oh = h * factor, ow = w * factor;
+    for (std::int64_t b = 0; b < n; ++b)
+        for (std::int64_t ch = 0; ch < c; ++ch)
+            for (std::int64_t y = 0; y < oh; ++y)
+                for (std::int64_t x = 0; x < ow; ++x)
+                    o[((b * c + ch) * oh + y) * ow + x] =
+                        in[((b * c + ch) * h + y / factor) * w +
+                           x / factor];
+    return out;
+}
+
+Tensor
+flatten(const Tensor& input)
+{
+    const auto& s = input.shape();
+    EB_CHECK(!s.empty(), "flatten: scalar input");
+    const std::int64_t n = s[0];
+    const std::int64_t rest = input.numel() / std::max<std::int64_t>(
+        n, 1);
+    Tensor out = input.toF32();
+    return Tensor(Shape{n, rest},
+                  std::vector<float>(out.data().begin(),
+                                     out.data().end()));
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,207 @@
+#include "edgebench/core/kernels_int8.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+std::int8_t
+requantize(double real, const QuantParams& out_qp)
+{
+    const double q = std::nearbyint(real / out_qp.scale) +
+        out_qp.zeroPoint;
+    return static_cast<std::int8_t>(std::clamp(q, -128.0, 127.0));
+}
+
+} // namespace
+
+Tensor
+conv2dInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
+           const Conv2dGeom& g, const QuantParams& out_qp)
+{
+    g.validate();
+    EB_CHECK(input.dtype() == DType::kI8 &&
+                 weights.dtype() == DType::kI8,
+             "conv2dInt8: inputs must be int8");
+    EB_CHECK(input.shape() == Shape({g.n, g.inC, g.inH, g.inW}),
+             "conv2dInt8: bad input shape");
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    EB_CHECK(weights.shape() == Shape({g.outC, cg, g.kH, g.kW}),
+             "conv2dInt8: bad weight shape");
+    const bool has_bias = bias.shape() == Shape{g.outC};
+
+    const QuantParams iq = input.quantParams();
+    const QuantParams wq = weights.quantParams();
+    const double acc_scale = iq.scale * wq.scale;
+
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    // Build fp32 staging of the quantized result, then quantize once.
+    std::vector<float> staging(
+        static_cast<std::size_t>(g.n * g.outC * oh * ow));
+    auto in = input.qdata();
+    auto w = weights.qdata();
+    for (std::int64_t b = 0; b < g.n; ++b)
+    for (std::int64_t oc = 0; oc < g.outC; ++oc) {
+        const std::int64_t grp = oc / ocg;
+        for (std::int64_t oy = 0; oy < oh; ++oy)
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+            std::int64_t acc = 0;
+            for (std::int64_t c = 0; c < cg; ++c) {
+                const std::int64_t ic = grp * cg + c;
+                for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                    const std::int64_t iy =
+                        oy * g.strideH - g.padH + ky * g.dilH;
+                    for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                        const std::int64_t ix =
+                            ox * g.strideW - g.padW + kx * g.dilW;
+                        // Out-of-bounds reads behave as real-zero input
+                        // (quantized value == input zero point).
+                        const std::int32_t qi =
+                            (iy >= 0 && iy < g.inH && ix >= 0 &&
+                             ix < g.inW)
+                                ? in[((b * g.inC + ic) * g.inH + iy) *
+                                         g.inW + ix]
+                                : iq.zeroPoint;
+                        const std::int32_t qw =
+                            w[((oc * cg + c) * g.kH + ky) * g.kW + kx];
+                        acc += static_cast<std::int64_t>(
+                                   qi - iq.zeroPoint) *
+                            (qw - wq.zeroPoint);
+                    }
+                }
+            }
+            double real = static_cast<double>(acc) * acc_scale;
+            if (has_bias)
+                real += bias.at(oc);
+            staging[static_cast<std::size_t>(
+                ((b * g.outC + oc) * oh + oy) * ow + ox)] =
+                static_cast<float>(real);
+        }
+    }
+    Tensor staged(Shape{g.n, g.outC, oh, ow}, std::move(staging));
+    return staged.toInt8(out_qp);
+}
+
+Tensor
+denseInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
+          const DenseGeom& g, const QuantParams& out_qp)
+{
+    g.validate();
+    EB_CHECK(input.dtype() == DType::kI8 &&
+                 weights.dtype() == DType::kI8,
+             "denseInt8: inputs must be int8");
+    EB_CHECK(input.numel() == g.batch * g.inFeatures,
+             "denseInt8: bad input size");
+    EB_CHECK(weights.shape() == Shape({g.outFeatures, g.inFeatures}),
+             "denseInt8: bad weight shape");
+    const bool has_bias = bias.shape() == Shape{g.outFeatures};
+
+    const QuantParams iq = input.quantParams();
+    const QuantParams wq = weights.quantParams();
+    const double acc_scale = iq.scale * wq.scale;
+
+    std::vector<float> staging(
+        static_cast<std::size_t>(g.batch * g.outFeatures));
+    auto in = input.qdata();
+    auto w = weights.qdata();
+    for (std::int64_t b = 0; b < g.batch; ++b)
+        for (std::int64_t of = 0; of < g.outFeatures; ++of) {
+            std::int64_t acc = 0;
+            const std::int8_t* irow = in.data() + b * g.inFeatures;
+            const std::int8_t* wrow = w.data() + of * g.inFeatures;
+            for (std::int64_t i = 0; i < g.inFeatures; ++i)
+                acc += static_cast<std::int64_t>(irow[i] - iq.zeroPoint) *
+                    (wrow[i] - wq.zeroPoint);
+            double real = static_cast<double>(acc) * acc_scale;
+            if (has_bias)
+                real += bias.at(of);
+            staging[static_cast<std::size_t>(b * g.outFeatures + of)] =
+                static_cast<float>(real);
+        }
+    Tensor staged(Shape{g.batch, g.outFeatures}, std::move(staging));
+    return staged.toInt8(out_qp);
+}
+
+namespace
+{
+
+Tensor
+clampInt8(const Tensor& input, double real_lo, double real_hi)
+{
+    EB_CHECK(input.dtype() == DType::kI8, "clampInt8: not int8");
+    const QuantParams qp = input.quantParams();
+    const std::int32_t qlo = std::max<std::int32_t>(
+        -128,
+        static_cast<std::int32_t>(
+            std::lround(real_lo / qp.scale + qp.zeroPoint)));
+    std::int32_t qhi = 127;
+    if (std::isfinite(real_hi)) {
+        qhi = std::min<std::int32_t>(
+            127, static_cast<std::int32_t>(
+                     std::lround(real_hi / qp.scale + qp.zeroPoint)));
+    }
+    std::vector<float> staging(static_cast<std::size_t>(input.numel()));
+    auto q = input.qdata();
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const std::int32_t clamped = std::clamp<std::int32_t>(
+            q[i], qlo, qhi);
+        staging[i] = static_cast<float>(
+            dequantizeValue(static_cast<std::int8_t>(clamped), qp));
+    }
+    Tensor staged(input.shape(), std::move(staging));
+    return staged.toInt8(qp);
+}
+
+} // namespace
+
+Tensor
+reluInt8(const Tensor& input)
+{
+    return clampInt8(input, 0.0,
+                     std::numeric_limits<double>::infinity());
+}
+
+Tensor
+relu6Int8(const Tensor& input)
+{
+    return clampInt8(input, 0.0, 6.0);
+}
+
+Tensor
+addInt8(const Tensor& a, const Tensor& b, const QuantParams& out_qp)
+{
+    EB_CHECK(a.dtype() == DType::kI8 && b.dtype() == DType::kI8,
+             "addInt8: inputs must be int8");
+    EB_CHECK(sameShape(a.shape(), b.shape()), "addInt8: shape mismatch");
+    const QuantParams aq = a.quantParams();
+    const QuantParams bq = b.quantParams();
+    auto pa = a.qdata();
+    auto pb = b.qdata();
+    std::vector<std::int8_t> out(pa.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        const double real = dequantizeValue(pa[i], aq) +
+            dequantizeValue(pb[i], bq);
+        out[i] = requantize(real, out_qp);
+    }
+    // Re-wrap as an int8 tensor via a staging fp32 tensor.
+    std::vector<float> staging(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        staging[i] =
+            static_cast<float>(dequantizeValue(out[i], out_qp));
+    Tensor staged(a.shape(), std::move(staging));
+    return staged.toInt8(out_qp);
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,186 @@
+#include "edgebench/core/kernels_rnn.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+double
+sigmoidScalar(double v)
+{
+    return 1.0 / (1.0 + std::exp(-v));
+}
+
+/** Validate the packed weight/bias shapes for an RNN layer. */
+void
+checkRnnParams(const Tensor& input, const Tensor& w_ih,
+               const Tensor& w_hh, const Tensor& bias,
+               const RnnGeom& g, const char* what)
+{
+    g.validate();
+    EB_CHECK(input.shape() ==
+                 Shape({g.batch, g.seqLen, g.inputSize}),
+             what << ": input must be [N, T, I], got "
+                  << shapeToString(input.shape()));
+    const std::int64_t gh = g.gates * g.hiddenSize;
+    EB_CHECK(w_ih.shape() == Shape({gh, g.inputSize}),
+             what << ": W_ih must be [" << gh << ", " << g.inputSize
+                  << "]");
+    EB_CHECK(w_hh.shape() == Shape({gh, g.hiddenSize}),
+             what << ": W_hh must be [" << gh << ", " << g.hiddenSize
+                  << "]");
+    EB_CHECK(bias.shape() == Shape{gh},
+             what << ": bias must be [" << gh << "]");
+}
+
+/**
+ * gates[b][gh] = W_ih * x_t[b] + W_hh * h[b] + bias, for all batch
+ * rows at one timestep.
+ */
+void
+computeGates(std::span<const float> x_t, std::span<const float> h,
+             const Tensor& w_ih, const Tensor& w_hh,
+             const Tensor& bias, const RnnGeom& g,
+             std::vector<double>& gates)
+{
+    const std::int64_t gh = g.gates * g.hiddenSize;
+    auto wi = w_ih.data();
+    auto wh = w_hh.data();
+    for (std::int64_t b = 0; b < g.batch; ++b) {
+        const float* x = x_t.data() + b * g.inputSize;
+        const float* hb = h.data() + b * g.hiddenSize;
+        double* out = gates.data() + b * gh;
+        for (std::int64_t r = 0; r < gh; ++r) {
+            double acc = bias.at(r);
+            const float* wirow = wi.data() + r * g.inputSize;
+            for (std::int64_t i = 0; i < g.inputSize; ++i)
+                acc += static_cast<double>(x[i]) * wirow[i];
+            const float* whrow = wh.data() + r * g.hiddenSize;
+            for (std::int64_t i = 0; i < g.hiddenSize; ++i)
+                acc += static_cast<double>(hb[i]) * whrow[i];
+            out[r] = acc;
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+lstmForward(const Tensor& input, const Tensor& w_ih,
+            const Tensor& w_hh, const Tensor& bias, const RnnGeom& g)
+{
+    EB_CHECK(g.gates == 4, "lstmForward: geometry must have 4 gates");
+    checkRnnParams(input, w_ih, w_hh, bias, g, "lstmForward");
+
+    const std::int64_t h_size = g.hiddenSize;
+    Tensor out(Shape{g.batch, g.seqLen, h_size});
+    std::vector<float> h(static_cast<std::size_t>(g.batch * h_size),
+                         0.0f);
+    std::vector<double> c(static_cast<std::size_t>(g.batch * h_size),
+                          0.0);
+    std::vector<double> gates(
+        static_cast<std::size_t>(g.batch * 4 * h_size));
+
+    auto in = input.data();
+    auto o = out.data();
+    for (std::int64_t t = 0; t < g.seqLen; ++t) {
+        std::span<const float> x_t(
+            in.data() + t * g.inputSize,
+            static_cast<std::size_t>(g.inputSize));
+        // For batch > 1 the timestep slice is strided; gather it.
+        std::vector<float> x_gathered(
+            static_cast<std::size_t>(g.batch * g.inputSize));
+        for (std::int64_t b = 0; b < g.batch; ++b)
+            std::copy_n(in.data() +
+                            (b * g.seqLen + t) * g.inputSize,
+                        g.inputSize,
+                        x_gathered.data() + b * g.inputSize);
+        (void)x_t;
+        computeGates(x_gathered, h, w_ih, w_hh, bias, g, gates);
+
+        for (std::int64_t b = 0; b < g.batch; ++b) {
+            const double* gb = gates.data() + b * 4 * h_size;
+            float* hb = h.data() + b * h_size;
+            double* cb = c.data() + b * h_size;
+            for (std::int64_t j = 0; j < h_size; ++j) {
+                const double ig = sigmoidScalar(gb[j]);
+                const double fg = sigmoidScalar(gb[h_size + j]);
+                const double gg = std::tanh(gb[2 * h_size + j]);
+                const double og = sigmoidScalar(gb[3 * h_size + j]);
+                cb[j] = fg * cb[j] + ig * gg;
+                hb[j] = static_cast<float>(og * std::tanh(cb[j]));
+                o[(b * g.seqLen + t) * h_size + j] = hb[j];
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+gruForward(const Tensor& input, const Tensor& w_ih, const Tensor& w_hh,
+           const Tensor& bias, const RnnGeom& g)
+{
+    EB_CHECK(g.gates == 3, "gruForward: geometry must have 3 gates");
+    checkRnnParams(input, w_ih, w_hh, bias, g, "gruForward");
+
+    const std::int64_t h_size = g.hiddenSize;
+    Tensor out(Shape{g.batch, g.seqLen, h_size});
+    std::vector<float> h(static_cast<std::size_t>(g.batch * h_size),
+                         0.0f);
+    auto in = input.data();
+    auto o = out.data();
+    auto wi = w_ih.data();
+    auto wh = w_hh.data();
+
+    for (std::int64_t t = 0; t < g.seqLen; ++t) {
+        for (std::int64_t b = 0; b < g.batch; ++b) {
+            const float* x = in.data() +
+                (b * g.seqLen + t) * g.inputSize;
+            float* hb = h.data() + b * h_size;
+            for (std::int64_t j = 0; j < h_size; ++j) {
+                auto dot = [&](std::int64_t row) {
+                    double acc = bias.at(row);
+                    const float* wirow = wi.data() +
+                        row * g.inputSize;
+                    for (std::int64_t i = 0; i < g.inputSize; ++i)
+                        acc += static_cast<double>(x[i]) * wirow[i];
+                    return acc;
+                };
+                auto dot_h = [&](std::int64_t row) {
+                    double acc = 0.0;
+                    const float* whrow = wh.data() + row * h_size;
+                    for (std::int64_t i = 0; i < h_size; ++i)
+                        acc += static_cast<double>(hb[i]) * whrow[i];
+                    return acc;
+                };
+                const double z =
+                    sigmoidScalar(dot(j) + dot_h(j));
+                const double r =
+                    sigmoidScalar(dot(h_size + j) +
+                                  dot_h(h_size + j));
+                const double n = std::tanh(dot(2 * h_size + j) +
+                                           r * dot_h(2 * h_size + j));
+                const double h_new =
+                    (1.0 - z) * n + z * static_cast<double>(hb[j]);
+                o[(b * g.seqLen + t) * h_size + j] =
+                    static_cast<float>(h_new);
+            }
+            // Commit the new hidden state after computing the row.
+            for (std::int64_t j = 0; j < h_size; ++j)
+                hb[j] = o[(b * g.seqLen + t) * h_size + j];
+        }
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,163 @@
+#include "edgebench/core/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+/** A tiny long-lived worker pool executing one range job at a time. */
+class Pool
+{
+  public:
+    explicit Pool(int workers)
+    {
+        for (int i = 0; i < workers; ++i)
+            threads_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto& t : threads_)
+            t.join();
+    }
+
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    void
+    run(std::int64_t n,
+        const std::function<void(std::int64_t, std::int64_t)>& fn)
+    {
+        const int workers = size() + 1; // pool + caller
+        const std::int64_t chunk = (n + workers - 1) / workers;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = &fn;
+            jobN_ = n;
+            jobChunk_ = chunk;
+            pending_ = size();
+            ++generation_;
+        }
+        cv_.notify_all();
+        // The caller takes the first chunk.
+        fn(0, std::min(chunk, n));
+        // Wait for the workers to drain theirs.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        job_ = nullptr;
+    }
+
+  private:
+    void
+    workerLoop(int index)
+    {
+        std::uint64_t seen = 0;
+        while (true) {
+            const std::function<void(std::int64_t, std::int64_t)>* fn =
+                nullptr;
+            std::int64_t n = 0, chunk = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                fn = job_;
+                n = jobN_;
+                chunk = jobChunk_;
+            }
+            // Worker i owns chunk i+1 (the caller took chunk 0).
+            const std::int64_t begin =
+                std::min<std::int64_t>(n, (index + 1) * chunk);
+            const std::int64_t end =
+                std::min<std::int64_t>(n, (index + 2) * chunk);
+            if (fn && begin < end)
+                (*fn)(begin, end);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::int64_t, std::int64_t)>* job_ =
+        nullptr;
+    std::int64_t jobN_ = 0;
+    std::int64_t jobChunk_ = 0;
+    int pending_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+int g_requested_threads = 0; // 0 = auto
+
+Pool&
+pool()
+{
+    static Pool p([] {
+        int n = g_requested_threads;
+        if (n <= 0)
+            n = static_cast<int>(std::thread::hardware_concurrency());
+        n = std::clamp(n, 1, 64);
+        return n - 1; // caller participates
+    }());
+    return p;
+}
+
+} // namespace
+
+void
+setParallelism(int threads)
+{
+    EB_CHECK(threads >= 0, "setParallelism: negative thread count");
+    // Takes effect only before first use (the pool is immutable once
+    // built); callers configure it at startup.
+    g_requested_threads = threads;
+}
+
+int
+parallelism()
+{
+    return pool().size() + 1;
+}
+
+void
+parallelFor(std::int64_t n,
+            const std::function<void(std::int64_t, std::int64_t)>& fn,
+            std::int64_t min_grain)
+{
+    EB_CHECK(n >= 0, "parallelFor: negative range");
+    if (n == 0)
+        return;
+    if (pool().size() == 0 || n < min_grain) {
+        fn(0, n);
+        return;
+    }
+    pool().run(n, fn);
+}
+
+} // namespace core
+} // namespace edgebench

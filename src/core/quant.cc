@@ -1,0 +1,97 @@
+#include "edgebench/core/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+constexpr std::int32_t kQmin = -128;
+constexpr std::int32_t kQmax = 127;
+} // namespace
+
+QuantParams
+chooseQuantParams(double min_val, double max_val)
+{
+    EB_CHECK(min_val <= max_val,
+             "chooseQuantParams: min " << min_val << " > max " << max_val);
+    // Widen to include zero so that 0.0 is exactly representable.
+    min_val = std::min(min_val, 0.0);
+    max_val = std::max(max_val, 0.0);
+    if (min_val == max_val) {
+        // All-zero tensor: any scale works; pick 1.
+        return QuantParams{1.0, 0};
+    }
+    QuantParams qp;
+    qp.scale = (max_val - min_val) / static_cast<double>(kQmax - kQmin);
+    const double zp_real = kQmin - min_val / qp.scale;
+    qp.zeroPoint = static_cast<std::int32_t>(std::lround(
+        std::clamp(zp_real, static_cast<double>(kQmin),
+                   static_cast<double>(kQmax))));
+    return qp;
+}
+
+QuantParams
+chooseSymmetricQuantParams(double abs_max)
+{
+    EB_CHECK(abs_max >= 0.0, "negative abs_max " << abs_max);
+    if (abs_max == 0.0)
+        return QuantParams{1.0, 0};
+    return QuantParams{abs_max / 127.0, 0};
+}
+
+std::int8_t
+quantizeValue(double v, const QuantParams& qp)
+{
+    const double q = std::nearbyint(v / qp.scale) + qp.zeroPoint;
+    return static_cast<std::int8_t>(std::clamp(
+        q, static_cast<double>(kQmin), static_cast<double>(kQmax)));
+}
+
+double
+dequantizeValue(std::int8_t q, const QuantParams& qp)
+{
+    return qp.scale * (static_cast<std::int32_t>(q) - qp.zeroPoint);
+}
+
+std::vector<std::int8_t>
+quantize(std::span<const float> src, const QuantParams& qp)
+{
+    std::vector<std::int8_t> out(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        out[i] = quantizeValue(src[i], qp);
+    return out;
+}
+
+std::vector<float>
+dequantize(std::span<const std::int8_t> src, const QuantParams& qp)
+{
+    std::vector<float> out(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        out[i] = static_cast<float>(dequantizeValue(src[i], qp));
+    return out;
+}
+
+void
+observeMinMax(std::span<const float> src, double& min_val, double& max_val)
+{
+    for (float v : src) {
+        min_val = std::min(min_val, static_cast<double>(v));
+        max_val = std::max(max_val, static_cast<double>(v));
+    }
+}
+
+double
+quantizationStepError(const QuantParams& qp)
+{
+    return qp.scale / 2.0;
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,302 @@
+#include "edgebench/core/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+float
+roundThroughF16(float v)
+{
+    // Software binary16 round-trip (round-to-nearest-even), portable
+    // without relying on compiler __fp16 extensions.
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+
+    const std::uint32_t sign = (bits >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((bits >> 23) & 0xFFu) - 127 + 15;
+    std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+    std::uint16_t half;
+    if (((bits >> 23) & 0xFFu) == 0xFFu) {
+        // Inf / NaN.
+        half = static_cast<std::uint16_t>(
+            sign | 0x7C00u | (mantissa ? 0x200u : 0u));
+    } else if (exponent >= 0x1F) {
+        half = static_cast<std::uint16_t>(sign | 0x7C00u); // overflow->inf
+    } else if (exponent <= 0) {
+        if (exponent < -10) {
+            half = static_cast<std::uint16_t>(sign); // underflow -> 0
+        } else {
+            // Subnormal half.
+            mantissa |= 0x800000u;
+            const int shift = 14 - exponent;
+            std::uint32_t m = mantissa >> shift;
+            const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+            const std::uint32_t halfway = 1u << (shift - 1);
+            if (rem > halfway || (rem == halfway && (m & 1)))
+                ++m;
+            half = static_cast<std::uint16_t>(sign | m);
+        }
+    } else {
+        std::uint32_t m = mantissa >> 13;
+        const std::uint32_t rem = mantissa & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (m & 1)))
+            ++m;
+        std::uint32_t h = sign | (static_cast<std::uint32_t>(exponent)
+                                  << 10) | m;
+        half = static_cast<std::uint16_t>(h); // mantissa carry bumps exp
+    }
+
+    // Expand back to fp32.
+    const std::uint32_t hsign = (half & 0x8000u) << 16;
+    const std::uint32_t hexp = (half >> 10) & 0x1Fu;
+    const std::uint32_t hman = half & 0x3FFu;
+    std::uint32_t out;
+    if (hexp == 0) {
+        if (hman == 0) {
+            out = hsign;
+        } else {
+            // Normalize subnormal.
+            int e = -1;
+            std::uint32_t m = hman;
+            do {
+                ++e;
+                m <<= 1;
+            } while ((m & 0x400u) == 0);
+            out = hsign | static_cast<std::uint32_t>(127 - 15 - e) << 23
+                | ((m & 0x3FFu) << 13);
+        }
+    } else if (hexp == 0x1Fu) {
+        out = hsign | 0x7F800000u | (hman << 13);
+    } else {
+        out = hsign | ((hexp - 15 + 127) << 23) | (hman << 13);
+    }
+    float result;
+    std::memcpy(&result, &out, sizeof(result));
+    return result;
+}
+
+Tensor::Tensor() : shape_{}, f32_(1, 0.0f) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), f32_(numElements(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), f32_(std::move(data))
+{
+    EB_CHECK(static_cast<std::int64_t>(f32_.size()) == numElements(shape_),
+             "data size " << f32_.size() << " does not match shape "
+                          << shapeToString(shape_));
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    std::fill(t.f32_.begin(), t.f32_.end(), value);
+    return t;
+}
+
+Tensor
+Tensor::randomNormal(Shape shape, Rng& rng, double stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto& v : t.f32_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::randomUniform(Shape shape, Rng& rng, double lo, double hi)
+{
+    Tensor t(std::move(shape));
+    for (auto& v : t.f32_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+std::span<float>
+Tensor::data()
+{
+    EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+             "fp access to " << dtypeName(dtype_) << " tensor");
+    return f32_;
+}
+
+std::span<const float>
+Tensor::data() const
+{
+    EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+             "fp access to " << dtypeName(dtype_) << " tensor");
+    return f32_;
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    EB_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
+    return f32_[static_cast<std::size_t>(i)];
+}
+
+void
+Tensor::set(std::int64_t i, float v)
+{
+    EB_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
+    f32_[static_cast<std::size_t>(i)] = v;
+}
+
+std::span<const std::int8_t>
+Tensor::qdata() const
+{
+    EB_CHECK(dtype_ == DType::kI8,
+             "int8 access to " << dtypeName(dtype_) << " tensor");
+    return i8_;
+}
+
+const QuantParams&
+Tensor::quantParams() const
+{
+    EB_CHECK(dtype_ == DType::kI8,
+             "quant params of " << dtypeName(dtype_) << " tensor");
+    return qp_;
+}
+
+double
+Tensor::sparsity() const
+{
+    if (numel() == 0)
+        return 0.0;
+    std::int64_t zeros = 0;
+    if (dtype_ == DType::kI8) {
+        for (auto q : i8_)
+            if (q == qp_.zeroPoint)
+                ++zeros;
+    } else {
+        for (auto v : f32_)
+            if (v == 0.0f)
+                ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(numel());
+}
+
+Tensor
+Tensor::toInt8() const
+{
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    observeMinMax(f32_, mn, mx);
+    if (!(mn <= mx)) { // empty tensor
+        mn = 0.0;
+        mx = 0.0;
+    }
+    return toInt8(chooseQuantParams(mn, mx));
+}
+
+Tensor
+Tensor::toInt8(const QuantParams& qp) const
+{
+    EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+             "toInt8 from " << dtypeName(dtype_));
+    Tensor t;
+    t.shape_ = shape_;
+    t.dtype_ = DType::kI8;
+    t.qp_ = qp;
+    t.i8_ = quantize(f32_, qp);
+    t.f32_.clear();
+    return t;
+}
+
+Tensor
+Tensor::toF32() const
+{
+    if (dtype_ == DType::kF32)
+        return *this;
+    Tensor t;
+    t.shape_ = shape_;
+    t.dtype_ = DType::kF32;
+    if (dtype_ == DType::kI8) {
+        t.f32_ = dequantize(i8_, qp_);
+    } else {
+        t.f32_ = f32_;
+    }
+    return t;
+}
+
+Tensor
+Tensor::toF16() const
+{
+    EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+             "toF16 from " << dtypeName(dtype_));
+    Tensor t;
+    t.shape_ = shape_;
+    t.dtype_ = DType::kF16;
+    t.f32_.resize(f32_.size());
+    t.f32_.assign(f32_.begin(), f32_.end());
+    for (auto& v : t.f32_)
+        v = roundThroughF16(v);
+    return t;
+}
+
+Tensor
+Tensor::prunedByMagnitude(double fraction) const
+{
+    EB_CHECK(fraction >= 0.0 && fraction <= 1.0,
+             "prune fraction " << fraction << " outside [0,1]");
+    EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+             "prune of " << dtypeName(dtype_));
+    Tensor t = *this;
+    const auto n = static_cast<std::size_t>(numel());
+    const auto k = static_cast<std::size_t>(fraction * n);
+    if (k == 0)
+        return t;
+    std::vector<float> mags(n);
+    for (std::size_t i = 0; i < n; ++i)
+        mags[i] = std::fabs(f32_[i]);
+    std::vector<float> sorted = mags;
+    std::nth_element(sorted.begin(), sorted.begin() + (k - 1),
+                     sorted.end());
+    const float threshold = sorted[k - 1];
+    std::size_t zeroed = 0;
+    for (std::size_t i = 0; i < n && zeroed < k; ++i) {
+        if (mags[i] <= threshold) {
+            t.f32_[i] = 0.0f;
+            ++zeroed;
+        }
+    }
+    return t;
+}
+
+double
+Tensor::maxAbsDiff(const Tensor& other) const
+{
+    EB_CHECK(sameShape(shape_, other.shape_),
+             "shape mismatch " << shapeToString(shape_) << " vs "
+                               << shapeToString(other.shape_));
+    const Tensor a = toF32();
+    const Tensor b = other.toF32();
+    double m = 0.0;
+    for (std::int64_t i = 0; i < numel(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(a.at(i)) - b.at(i)));
+    return m;
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,69 @@
+#include "edgebench/core/types.hh"
+
+#include <sstream>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+double
+dtypeBytes(DType t)
+{
+    switch (t) {
+      case DType::kF32: return 4.0;
+      case DType::kF16: return 2.0;
+      case DType::kI8:  return 1.0;
+      case DType::kI32: return 4.0;
+      case DType::kBin1: return 1.0 / 8.0;
+    }
+    throw InternalError("dtypeBytes: unknown DType");
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::kF32: return "fp32";
+      case DType::kF16: return "fp16";
+      case DType::kI8:  return "int8";
+      case DType::kI32: return "int32";
+      case DType::kBin1: return "bin1";
+    }
+    throw InternalError("dtypeName: unknown DType");
+}
+
+std::int64_t
+numElements(const Shape& s)
+{
+    std::int64_t n = 1;
+    for (auto d : s) {
+        EB_CHECK(d >= 0, "negative extent in shape " << shapeToString(s));
+        n *= d;
+    }
+    return n;
+}
+
+std::string
+shapeToString(const Shape& s)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i) oss << ", ";
+        oss << s[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+bool
+sameShape(const Shape& a, const Shape& b)
+{
+    return a == b;
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cloud-edge DNN partitioning (Neurosurgeon-style, the paper's
+ * reference [88] and one of the deployment strategies its
+ * introduction motivates).
+ *
+ * Given a model compiled for an edge device and for a cloud platform,
+ * plus a network link, evaluate every *linear cut point* — positions
+ * in topological order where exactly one activation tensor crosses
+ * the boundary — and select the split minimizing end-to-end latency
+ * (or edge energy). Cut index 0 is cloud-only (ship the input), a cut
+ * after the last node is edge-only.
+ */
+
+#ifndef EDGEBENCH_DISTRIB_PARTITION_HH
+#define EDGEBENCH_DISTRIB_PARTITION_HH
+
+#include <vector>
+
+#include "edgebench/frameworks/framework.hh"
+
+namespace edgebench
+{
+namespace distrib
+{
+
+/** Network link between the edge device and the cloud. */
+struct LinkModel
+{
+    /** Effective uplink bandwidth, megabytes per second. */
+    double uplinkMBs = 1.0;
+    /** One-way latency, milliseconds. */
+    double oneWayLatencyMs = 10.0;
+    /** Radio/NIC power while transmitting, Watts. */
+    double txPowerW = 0.8;
+
+    /** Time to upload @p bytes (including one-way latency), ms. */
+    double uploadMs(double bytes) const;
+};
+
+/** Common link presets. */
+LinkModel wifiLink();   ///< 802.11n-class: 5 MB/s, 5 ms
+LinkModel lteLink();    ///< LTE-class: 1 MB/s, 35 ms
+LinkModel lanLink();    ///< wired LAN: 50 MB/s, 1 ms
+
+/** One evaluated cut point. */
+struct SplitPoint
+{
+    /** Nodes [0, cutAfter] run on the edge; -1 = cloud-only. */
+    graph::NodeId cutAfter = -1;
+    std::string boundaryName;    ///< node producing the crossing tensor
+    double edgeMs = 0.0;         ///< edge-side compute time
+    double uploadMs = 0.0;       ///< transfer time
+    double cloudMs = 0.0;        ///< cloud-side compute time
+    double totalMs = 0.0;
+    double crossingBytes = 0.0;  ///< size of the shipped tensor
+    double edgeEnergyMJ = 0.0;   ///< edge compute + radio energy
+};
+
+/** Result of a partition search. */
+struct PartitionResult
+{
+    SplitPoint best;          ///< minimum-latency split
+    SplitPoint bestEnergy;    ///< minimum-edge-energy split
+    std::vector<SplitPoint> candidates; ///< all linear cuts evaluated
+    double edgeOnlyMs = 0.0;
+    double cloudOnlyMs = 0.0;
+};
+
+/**
+ * Search all linear cut points of the model shared by @p edge and
+ * @p cloud (both must be compilations of the same graph topology).
+ */
+PartitionResult partition(const frameworks::CompiledModel& edge,
+                          const frameworks::CompiledModel& cloud,
+                          const LinkModel& link);
+
+/**
+ * Pipelined model parallelism across @p num_devices identical edge
+ * devices (the paper authors' collaborative-IoT line: distributing a
+ * DNN over several Raspberry Pis to reach real-time rates). Stages
+ * are contiguous layer ranges separated at linear cut points; the
+ * steady-state pipeline rate is limited by the slowest stage or
+ * inter-stage transfer.
+ */
+struct PipelineResult
+{
+    int devices = 1;
+    /** Slowest stage-or-transfer, ms (pipeline period). */
+    double bottleneckMs = 0.0;
+    double throughputHz = 0.0;
+    /** Single-frame latency: all stages + all transfers, ms. */
+    double latencyMs = 0.0;
+    std::vector<double> stageMs;
+    std::vector<double> transferMs;
+    /** Name of the node closing each non-final stage. */
+    std::vector<std::string> boundaries;
+};
+
+PipelineResult pipelinePartition(
+    const frameworks::CompiledModel& device_model,
+    const LinkModel& link, int num_devices);
+
+} // namespace distrib
+} // namespace edgebench
+
+#endif // EDGEBENCH_DISTRIB_PARTITION_HH

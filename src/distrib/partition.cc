@@ -1,0 +1,313 @@
+#include "edgebench/distrib/partition.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace distrib
+{
+
+double
+LinkModel::uploadMs(double bytes) const
+{
+    EB_CHECK(uplinkMBs > 0.0, "link: non-positive bandwidth");
+    return bytes / (uplinkMBs * 1e6) * 1e3 + oneWayLatencyMs;
+}
+
+LinkModel
+wifiLink()
+{
+    return {5.0, 5.0, 0.8};
+}
+
+LinkModel
+lteLink()
+{
+    return {1.0, 35.0, 1.2};
+}
+
+LinkModel
+lanLink()
+{
+    return {50.0, 1.0, 0.5};
+}
+
+PartitionResult
+partition(const frameworks::CompiledModel& edge,
+          const frameworks::CompiledModel& cloud,
+          const LinkModel& link)
+{
+    // Cut enumeration happens on the edge compilation's graph; the
+    // cloud side prices the same operators with its own unit/profile.
+    const graph::Graph& g = edge.graph;
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+    EB_CHECK(n_nodes > 0, "partition: empty graph");
+
+    const auto edge_ms =
+        hw::perNodeTotalMs(g, edge.computeUnit(), edge.profile);
+    const auto cloud_ms =
+        hw::perNodeTotalMs(g, cloud.computeUnit(), cloud.profile);
+
+    // Prefix sums (with the edge swap penalty applied uniformly).
+    std::vector<double> edge_prefix(n_nodes + 1, 0.0);
+    std::vector<double> cloud_prefix(n_nodes + 1, 0.0);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        edge_prefix[i + 1] =
+            edge_prefix[i] + edge_ms[i] * edge.swapFactor;
+        cloud_prefix[i + 1] = cloud_prefix[i] + cloud_ms[i];
+    }
+    const double edge_all = edge_prefix[n_nodes] +
+        edge.profile.perInferenceOverheadMs;
+    const double cloud_all = cloud_prefix[n_nodes] +
+        cloud.profile.perInferenceOverheadMs;
+
+    // For each node, the index of its last consumer.
+    std::vector<graph::NodeId> last_consumer(n_nodes, -1);
+    for (const auto& n : g.nodes())
+        for (auto in : n.inputs)
+            last_consumer[static_cast<std::size_t>(in)] =
+                std::max(last_consumer[static_cast<std::size_t>(in)],
+                         n.id);
+    graph::NodeId min_output_id =
+        static_cast<graph::NodeId>(n_nodes);
+    for (auto id : g.outputIds())
+        min_output_id = std::min(min_output_id, id);
+
+    const auto& edge_spec = hw::deviceSpec(edge.device);
+
+    auto make_split = [&](graph::NodeId cut_after,
+                          graph::NodeId boundary,
+                          double crossing_bytes) {
+        SplitPoint s;
+        s.cutAfter = cut_after;
+        s.crossingBytes = crossing_bytes;
+        if (cut_after >= 0) {
+            s.boundaryName =
+                g.node(boundary >= 0 ? boundary : cut_after).name;
+            s.edgeMs =
+                edge_prefix[static_cast<std::size_t>(cut_after) + 1] +
+                edge.profile.perInferenceOverheadMs;
+        }
+        s.uploadMs = link.uploadMs(crossing_bytes);
+        s.cloudMs = cloud_all -
+            (cut_after >= 0
+                 ? cloud_prefix[static_cast<std::size_t>(cut_after) +
+                                1]
+                 : 0.0);
+        s.totalMs = s.edgeMs + s.uploadMs + s.cloudMs;
+        s.edgeEnergyMJ = s.edgeMs * edge_spec.averagePowerW +
+            s.uploadMs * (edge_spec.idlePowerW + link.txPowerW);
+        return s;
+    };
+
+    PartitionResult result;
+    result.edgeOnlyMs = edge_all;
+
+    // Cloud-only: ship the raw input(s).
+    double input_bytes = 0.0;
+    for (auto id : g.inputIds())
+        input_bytes += g.node(id).outputBytes();
+    result.cloudOnlyMs = link.uploadMs(input_bytes) + cloud_all;
+    result.candidates.push_back(make_split(-1, -1, input_bytes));
+
+    // Linear interior cuts.
+    for (std::size_t i = 0; i < n_nodes - 1; ++i) {
+        const auto cut = static_cast<graph::NodeId>(i);
+        if (cut >= min_output_id)
+            break; // a graph output would sit on the edge side
+        graph::NodeId crossing = -1;
+        bool linear = true;
+        for (std::size_t p = 0; p <= i && linear; ++p) {
+            if (last_consumer[p] > cut) {
+                if (crossing >= 0)
+                    linear = false;
+                else
+                    crossing = static_cast<graph::NodeId>(p);
+            }
+        }
+        if (!linear || crossing < 0)
+            continue;
+        result.candidates.push_back(make_split(
+            cut, crossing, g.node(crossing).outputBytes()));
+    }
+
+    // Edge-only pseudo-split: everything on the edge, ship nothing.
+    {
+        SplitPoint s;
+        s.cutAfter = static_cast<graph::NodeId>(n_nodes - 1);
+        s.boundaryName = "(edge only)";
+        s.edgeMs = edge_all;
+        s.totalMs = edge_all;
+        s.edgeEnergyMJ = edge_all * edge_spec.averagePowerW;
+        result.candidates.push_back(s);
+    }
+
+    result.best = *std::min_element(
+        result.candidates.begin(), result.candidates.end(),
+        [](const SplitPoint& a, const SplitPoint& b) {
+            return a.totalMs < b.totalMs;
+        });
+    result.bestEnergy = *std::min_element(
+        result.candidates.begin(), result.candidates.end(),
+        [](const SplitPoint& a, const SplitPoint& b) {
+            return a.edgeEnergyMJ < b.edgeEnergyMJ;
+        });
+    return result;
+}
+
+namespace
+{
+
+/** A contiguous run of nodes between two adjacent linear cuts. */
+struct Segment
+{
+    double workMs = 0.0;       ///< node time inside the segment
+    double outBytes = 0.0;     ///< crossing tensor if cut after it
+    graph::NodeId boundary = -1;
+    std::string boundaryName;
+};
+
+/**
+ * Split the graph into segments delimited by its linear cut points
+ * (positions where exactly one tensor crosses).
+ */
+std::vector<Segment>
+linearSegments(const graph::Graph& g,
+               const std::vector<double>& node_ms)
+{
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+    std::vector<graph::NodeId> last_consumer(n_nodes, -1);
+    for (const auto& n : g.nodes())
+        for (auto in : n.inputs)
+            last_consumer[static_cast<std::size_t>(in)] =
+                std::max(last_consumer[static_cast<std::size_t>(in)],
+                         n.id);
+    graph::NodeId min_output_id =
+        static_cast<graph::NodeId>(n_nodes);
+    for (auto id : g.outputIds())
+        min_output_id = std::min(min_output_id, id);
+
+    std::vector<Segment> segments;
+    Segment current;
+    // Running count of producers whose values still cross forward.
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        current.workMs += node_ms[i];
+        const auto cut = static_cast<graph::NodeId>(i);
+        if (cut >= min_output_id)
+            continue;
+        graph::NodeId crossing = -1;
+        bool linear = true;
+        for (std::size_t p = 0; p <= i && linear; ++p) {
+            if (last_consumer[p] > cut) {
+                if (crossing >= 0)
+                    linear = false;
+                else
+                    crossing = static_cast<graph::NodeId>(p);
+            }
+        }
+        if (linear && crossing >= 0) {
+            current.outBytes = g.node(crossing).outputBytes();
+            current.boundary = crossing;
+            current.boundaryName = g.node(crossing).name;
+            segments.push_back(current);
+            current = Segment{};
+        }
+    }
+    // Tail segment (up to the outputs); no crossing tensor.
+    segments.push_back(current);
+    return segments;
+}
+
+/** Greedy feasibility: can the segments fit in <= k stages of <= B? */
+bool
+feasible(const std::vector<Segment>& segments, const LinkModel& link,
+         int k, double bottleneck, PipelineResult* out)
+{
+    std::vector<double> stage_ms;
+    std::vector<double> transfer_ms;
+    std::vector<std::string> boundaries;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const auto& s = segments[i];
+        if (s.workMs > bottleneck + 1e-12)
+            return false; // indivisible chunk larger than the budget
+        if (acc + s.workMs > bottleneck + 1e-12) {
+            // Close the stage before this segment.
+            stage_ms.push_back(acc);
+            transfer_ms.push_back(
+                link.uploadMs(segments[i - 1].outBytes));
+            boundaries.push_back(segments[i - 1].boundaryName);
+            if (transfer_ms.back() > bottleneck + 1e-12)
+                return false;
+            acc = 0.0;
+        }
+        acc += s.workMs;
+    }
+    stage_ms.push_back(acc);
+    if (static_cast<int>(stage_ms.size()) > k)
+        return false;
+    if (out) {
+        out->stageMs = std::move(stage_ms);
+        out->transferMs = std::move(transfer_ms);
+        out->boundaries = std::move(boundaries);
+    }
+    return true;
+}
+
+} // namespace
+
+PipelineResult
+pipelinePartition(const frameworks::CompiledModel& device_model,
+                  const LinkModel& link, int num_devices)
+{
+    EB_CHECK(num_devices >= 1,
+             "pipelinePartition: need at least one device");
+    const auto node_ms = hw::perNodeTotalMs(
+        device_model.graph, device_model.computeUnit(),
+        device_model.profile);
+    std::vector<double> scaled(node_ms.size());
+    for (std::size_t i = 0; i < node_ms.size(); ++i)
+        scaled[i] = node_ms[i] * device_model.swapFactor;
+
+    const auto segments = linearSegments(device_model.graph, scaled);
+
+    // Binary-search the bottleneck over [max segment, total work].
+    double lo = 0.0, total = 0.0;
+    for (const auto& s : segments) {
+        lo = std::max(lo, s.workMs);
+        total += s.workMs;
+        lo = std::max(lo, link.uploadMs(0.0)); // latency floor
+    }
+    double hi = total;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (feasible(segments, link, num_devices, mid, nullptr))
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    PipelineResult result;
+    result.devices = num_devices;
+    EB_CHECK(feasible(segments, link, num_devices, hi, &result),
+             "pipelinePartition: binary search failed to converge");
+    double bottleneck = 0.0;
+    double latency = device_model.profile.perInferenceOverheadMs;
+    for (double s : result.stageMs) {
+        bottleneck = std::max(bottleneck, s);
+        latency += s;
+    }
+    for (double tr : result.transferMs) {
+        bottleneck = std::max(bottleneck, tr);
+        latency += tr;
+    }
+    result.bottleneckMs = bottleneck;
+    result.throughputHz = 1e3 / bottleneck;
+    result.latencyMs = latency;
+    return result;
+}
+
+} // namespace distrib
+} // namespace edgebench

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Calibrated (framework, device) execution profiles.
+ *
+ * Each EngineProfile is anchored to latency points the paper itself
+ * reports (Figs. 2-4, 6-10); EXPERIMENTS.md records how well each
+ * anchor is reproduced. The structural parameters mean:
+ *   - computeEfficiency: achieved fraction of the unit's peak;
+ *   - saturationMacs: utilization ramp (single-batch layers smaller
+ *     than this cannot fill the unit's parallelism);
+ *   - groupedConvFactor: relative depthwise/grouped-conv efficiency;
+ *   - perOpOverheadMs: interpreter/launch dispatch cost per operator;
+ *   - perInferenceOverheadMs: session entry + input transfer cost.
+ */
+
+#include "edgebench/frameworks/framework.hh"
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace frameworks
+{
+
+namespace
+{
+
+using hw::DeviceId;
+using hw::EngineProfile;
+
+EngineProfile
+profileRpi3(FrameworkId fw)
+{
+    switch (fw) {
+      case FrameworkId::kTensorFlow:
+        // Anchors: Fig. 8 TF ResNet-18 0.99 s, Inception-v4 8.87 s;
+        // Fig. 3 MobileNet-v2 1.40 s.
+        return {.computeEfficiency = 0.20, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 4.0, .perInferenceOverheadMs = 50.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.035};
+      case FrameworkId::kTfLite:
+        // Anchors: Fig. 8 TFLite ResNet-18 0.87 s, ResNet-50 2.46 s,
+        // Inception-v4 5.51 s.
+        return {.computeEfficiency = 0.22, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.8, .perInferenceOverheadMs = 20.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.1};
+      case FrameworkId::kCaffe:
+        // Anchor: Fig. 3 Caffe MobileNet-v2 2.27 s.
+        return {.computeEfficiency = 0.13, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 2.0, .perInferenceOverheadMs = 50.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.02};
+      case FrameworkId::kPyTorch:
+        // Anchors: Fig. 8 PyTorch ResNet-18 6.57 s, MobileNet-v2
+        // 8.28 s (dynamic dispatch makes depthwise pathological).
+        return {.computeEfficiency = 0.042, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 3.0, .perInferenceOverheadMs = 40.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.02};
+      case FrameworkId::kDarkNet:
+        return {.computeEfficiency = 0.08, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 0.5, .perInferenceOverheadMs = 20.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.1};
+      default:
+        break;
+    }
+    throw InvalidArgumentError("no RPi profile for framework");
+}
+
+EngineProfile
+profileJetsonTx2(FrameworkId fw)
+{
+    switch (fw) {
+      case FrameworkId::kPyTorch:
+        // Anchors: Fig. 2 TX2 ResNet-18 26.5 ms, ResNet-50 54.3 ms,
+        // VGG16 87.7 ms.
+        return {.computeEfficiency = 0.32, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.09, .perInferenceOverheadMs = 2.0,
+                .saturationMacs = 5e7, .groupedConvFactor = 0.25};
+      case FrameworkId::kTensorFlow:
+        // Fig. 4: TF trails PyTorch on the TX2 GPU (static-graph
+        // feeding overhead).
+        return {.computeEfficiency = 0.32, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.5, .perInferenceOverheadMs = 12.0,
+                .saturationMacs = 5e7, .groupedConvFactor = 0.25};
+      case FrameworkId::kCaffe:
+        return {.computeEfficiency = 0.28, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.3, .perInferenceOverheadMs = 6.0,
+                .saturationMacs = 5e7, .groupedConvFactor = 0.22};
+      case FrameworkId::kDarkNet:
+        // Fig. 4: DarkNet's unoptimized CUDA path is ~10x off.
+        return {.computeEfficiency = 0.03, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 0.3, .perInferenceOverheadMs = 5.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.2};
+      case FrameworkId::kTensorRt:
+        return {.computeEfficiency = 0.45, .memoryEfficiency = 0.7,
+                .perOpOverheadMs = 0.05, .perInferenceOverheadMs = 1.5,
+                .saturationMacs = 5e7, .groupedConvFactor = 0.5};
+      default:
+        break;
+    }
+    throw InvalidArgumentError("no TX2 profile for framework");
+}
+
+EngineProfile
+profileJetsonNano(FrameworkId fw)
+{
+    switch (fw) {
+      case FrameworkId::kTensorRt:
+        // Anchors: Fig. 7 TensorRT ResNet-18 23 ms, ResNet-50 32 ms,
+        // Inception-v4 95 ms (FP16 + fusion + auto-tuning).
+        return {.computeEfficiency = 0.35, .memoryEfficiency = 0.7,
+                .perOpOverheadMs = 0.05, .perInferenceOverheadMs = 5.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.35};
+      case FrameworkId::kPyTorch:
+        // Anchors: Fig. 7 PyTorch ResNet-18 141.3 ms, ResNet-50
+        // 215 ms, MobileNet-v2 118.4 ms.
+        return {.computeEfficiency = 0.20, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.35, .perInferenceOverheadMs = 25.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.2};
+      case FrameworkId::kTensorFlow:
+        return {.computeEfficiency = 0.20, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.6, .perInferenceOverheadMs = 40.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.2};
+      case FrameworkId::kCaffe:
+        return {.computeEfficiency = 0.12, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.4, .perInferenceOverheadMs = 30.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.18};
+      case FrameworkId::kDarkNet:
+        return {.computeEfficiency = 0.025, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 0.4, .perInferenceOverheadMs = 15.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.15};
+      default:
+        break;
+    }
+    throw InvalidArgumentError("no Nano profile for framework");
+}
+
+EngineProfile
+profileEdgeTpu()
+{
+    // Anchor: Fig. 2 EdgeTPU MobileNet-v2 2.9 ms; larger models pay
+    // the SRAM-spill restreaming cost (weights > 8 MB).
+    return {.computeEfficiency = 0.25, .memoryEfficiency = 0.7,
+            .perOpOverheadMs = 0.01, .perInferenceOverheadMs = 1.5,
+            .saturationMacs = 0.0, .groupedConvFactor = 0.8};
+}
+
+EngineProfile
+profileMovidius()
+{
+    // Anchors: Fig. 2 Movidius MobileNet-v2 51 ms, ResNet-50
+    // ~102 ms, Inception-v4 632.6 ms, C3D 600 ms. The saturation
+    // ramp captures the hand-tuning gap on branchy models.
+    return {.computeEfficiency = 0.20, .memoryEfficiency = 0.6,
+            .perOpOverheadMs = 0.05, .perInferenceOverheadMs = 8.0,
+            .saturationMacs = 6e7, .saturationExponent = 0.5,
+            .groupedConvFactor = 1.0};
+}
+
+EngineProfile
+profilePynq(FrameworkId fw)
+{
+    if (fw == FrameworkId::kTvmVta) {
+        return {.computeEfficiency = 0.12, .memoryEfficiency = 0.8,
+                .perOpOverheadMs = 1.0, .perInferenceOverheadMs = 30.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.3};
+    }
+    if (fw == FrameworkId::kFinn) {
+        // Binarized implementations reach higher effective rates.
+        return {.computeEfficiency = 0.5, .memoryEfficiency = 0.8,
+                .perOpOverheadMs = 0.5, .perInferenceOverheadMs = 10.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.3};
+    }
+    throw InvalidArgumentError("no PYNQ profile for framework");
+}
+
+EngineProfile
+profileXeon(FrameworkId fw)
+{
+    // Anchors: Fig. 9/10 -- Xeon trails TX2 on compute-bound models
+    // (single batch cannot fill 44 cores) and matches it on
+    // VGG-class layers (paper Section VI-C).
+    EngineProfile p{.computeEfficiency = 0.12, .memoryEfficiency = 0.5,
+                    .perOpOverheadMs = 0.1,
+                    .perInferenceOverheadMs = 3.0,
+                    .saturationMacs = 3e8, .groupedConvFactor = 0.2};
+    if (fw == FrameworkId::kTensorFlow) {
+        p.perOpOverheadMs = 0.6;
+        p.perInferenceOverheadMs = 10.0;
+    } else if (fw == FrameworkId::kDarkNet) {
+        p.computeEfficiency = 0.04;
+    }
+    return p;
+}
+
+EngineProfile
+profileHpcGpu(FrameworkId fw)
+{
+    switch (fw) {
+      case FrameworkId::kPyTorch:
+        // Anchors: Fig. 6 GTX Titan X PyTorch; Fig. 10 geomean 3x
+        // over TX2 with VGG/C3D high and ResNets low.
+        return {.computeEfficiency = 0.30, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.03, .perInferenceOverheadMs = 1.0,
+                .saturationMacs = 6e8, .groupedConvFactor = 0.3};
+      case FrameworkId::kTensorFlow:
+        // Fig. 6: TF feed overhead dominates small models on GPUs.
+        return {.computeEfficiency = 0.30, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.15, .perInferenceOverheadMs = 10.0,
+                .saturationMacs = 6e8, .groupedConvFactor = 0.3};
+      case FrameworkId::kCaffe:
+        return {.computeEfficiency = 0.28, .memoryEfficiency = 0.6,
+                .perOpOverheadMs = 0.08, .perInferenceOverheadMs = 4.0,
+                .saturationMacs = 6e8, .groupedConvFactor = 0.25};
+      case FrameworkId::kDarkNet:
+        return {.computeEfficiency = 0.05, .memoryEfficiency = 0.5,
+                .perOpOverheadMs = 0.05, .perInferenceOverheadMs = 2.0,
+                .saturationMacs = 0.0, .groupedConvFactor = 0.2};
+      case FrameworkId::kTensorRt:
+        return {.computeEfficiency = 0.45, .memoryEfficiency = 0.7,
+                .perOpOverheadMs = 0.02, .perInferenceOverheadMs = 0.8,
+                .saturationMacs = 5e8, .groupedConvFactor = 0.5};
+      default:
+        break;
+    }
+    throw InvalidArgumentError("no HPC-GPU profile for framework");
+}
+
+} // namespace
+
+namespace
+{
+
+/** Keras drives the TensorFlow engine with an extra API layer. */
+EngineProfile
+kerasFrom(EngineProfile tf)
+{
+    tf.perOpOverheadMs *= 1.15;
+    tf.perInferenceOverheadMs *= 1.2;
+    return tf;
+}
+
+} // namespace
+
+hw::EngineProfile
+engineProfile(FrameworkId fw, hw::DeviceId device)
+{
+    if (fw == FrameworkId::kKeras) {
+        if (!framework(fw).supportsDevice(device)) {
+            throw InvalidArgumentError(
+                "Keras does not support " + hw::deviceName(device));
+        }
+        return kerasFrom(
+            engineProfile(FrameworkId::kTensorFlow, device));
+    }
+    if (!framework(fw).supportsDevice(device)) {
+        throw InvalidArgumentError(
+            frameworkName(fw) + " does not support " +
+            hw::deviceName(device));
+    }
+    switch (device) {
+      case DeviceId::kRpi3:
+        return profileRpi3(fw);
+      case DeviceId::kJetsonTx2:
+        return profileJetsonTx2(fw);
+      case DeviceId::kJetsonNano:
+        return profileJetsonNano(fw);
+      case DeviceId::kEdgeTpu:
+        return profileEdgeTpu();
+      case DeviceId::kMovidius:
+        return profileMovidius();
+      case DeviceId::kPynqZ1:
+        return profilePynq(fw);
+      case DeviceId::kXeon:
+        return profileXeon(fw);
+      case DeviceId::kRtx2080:
+      case DeviceId::kGtxTitanX:
+      case DeviceId::kTitanXp:
+        return profileHpcGpu(fw);
+    }
+    throw InternalError("engineProfile: unknown device");
+}
+
+} // namespace frameworks
+} // namespace edgebench

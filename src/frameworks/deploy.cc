@@ -1,0 +1,127 @@
+#include "edgebench/frameworks/deploy.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace frameworks
+{
+
+std::string
+markSymbol(DeployMark m)
+{
+    switch (m) {
+      case DeployMark::kOk: return "OK";
+      case DeployMark::kDynamicSwap: return "^";
+      case DeployMark::kCodeIncompat: return "O";
+      case DeployMark::kConversionBarrier: return "4";
+      case DeployMark::kBramSpill: return "^^";
+      case DeployMark::kMemoryError: return "MEM";
+    }
+    throw InternalError("markSymbol: unknown mark");
+}
+
+std::optional<Deployment>
+tryDeploy(FrameworkId fw, const graph::Graph& model_graph,
+          hw::DeviceId device, const CompileOptions& opts)
+{
+    if (!framework(fw).supportsDevice(device))
+        return std::nullopt;
+    try {
+        CompiledModel m = framework(fw).compile(model_graph, device,
+                                                opts);
+        Deployment d{fw, std::move(m), DeployMark::kOk};
+        if (d.model.usedDynamicGraphFallback)
+            d.mark = DeployMark::kDynamicSwap;
+        return d;
+    } catch (const CompatibilityError&) {
+        return std::nullopt;
+    } catch (const MemoryCapacityError&) {
+        return std::nullopt;
+    }
+}
+
+std::optional<Deployment>
+bestDeployment(const graph::Graph& model_graph, hw::DeviceId device)
+{
+    std::optional<Deployment> best;
+    for (FrameworkId fw : frameworksFor(device)) {
+        auto d = tryDeploy(fw, model_graph, device);
+        if (!d)
+            continue;
+        if (!best ||
+            d->model.latencyMs() < best->model.latencyMs()) {
+            best = std::move(d);
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+/**
+ * The framework context the paper used per platform (Section VI-A):
+ * general-purpose stacks on the CPU/GPU boards, the captive toolkit
+ * on each accelerator. Table V marks are relative to these, not to
+ * every framework that could possibly target the device (e.g. a
+ * quantized TFLite AlexNet would fit the RPi, but the paper's Table V
+ * records the TF/PyTorch behaviour).
+ */
+std::vector<FrameworkId>
+representativeFrameworks(hw::DeviceId device)
+{
+    switch (device) {
+      case hw::DeviceId::kRpi3:
+        return {FrameworkId::kTensorFlow, FrameworkId::kPyTorch};
+      case hw::DeviceId::kJetsonTx2:
+      case hw::DeviceId::kJetsonNano:
+        return {FrameworkId::kPyTorch, FrameworkId::kTensorFlow};
+      case hw::DeviceId::kEdgeTpu:
+        return {FrameworkId::kTfLite};
+      case hw::DeviceId::kMovidius:
+        return {FrameworkId::kMovidiusNcsdk};
+      case hw::DeviceId::kPynqZ1:
+        return {FrameworkId::kTvmVta, FrameworkId::kFinn};
+      default:
+        return {FrameworkId::kPyTorch};
+    }
+}
+
+} // namespace
+
+DeployMark
+deploymentMark(models::ModelId model, hw::DeviceId device)
+{
+    const graph::Graph g = models::buildModel(model);
+    DeployMark failure = DeployMark::kMemoryError;
+    bool any_attempt = false;
+
+    for (FrameworkId fw : representativeFrameworks(device)) {
+        any_attempt = true;
+        try {
+            CompiledModel m = framework(fw).compile(g, device);
+            return m.usedDynamicGraphFallback
+                ? DeployMark::kDynamicSwap
+                : DeployMark::kOk;
+        } catch (const CompatibilityError&) {
+            if (device == hw::DeviceId::kEdgeTpu) {
+                failure = DeployMark::kConversionBarrier;
+            } else if (device == hw::DeviceId::kPynqZ1) {
+                failure = DeployMark::kBramSpill;
+            } else {
+                failure = DeployMark::kCodeIncompat;
+            }
+        } catch (const MemoryCapacityError&) {
+            // keep kMemoryError unless a later framework succeeds
+        }
+    }
+    EB_CHECK(any_attempt,
+             "no framework targets " << hw::deviceName(device));
+    return failure;
+}
+
+} // namespace frameworks
+} // namespace edgebench

@@ -1,0 +1,506 @@
+#include "edgebench/frameworks/framework.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/passes.hh"
+
+namespace edgebench
+{
+namespace frameworks
+{
+
+namespace
+{
+
+/** Table II, encoded. */
+std::vector<Framework>
+buildRegistry()
+{
+    std::vector<Framework> fws;
+
+    fws.emplace_back(FrameworkId::kTensorFlow, "TensorFlow",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = true, .usability = 3,
+            .addingNewModels = 2, .preDefinedModels = 3,
+            .documentation = 2, .noExtraSteps = true,
+            .mobileDeployment = false, .lowLevelModifications = 2,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = true, .fusion = true,
+            .autoTuning = false, .halfPrecision = true,
+            .memoryOverheadFactor = 2.2, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kTfLite, "TFLite",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = false, .usability = 1,
+            .addingNewModels = 1, .preDefinedModels = 1,
+            .documentation = 1, .noExtraSteps = false,
+            .mobileDeployment = true, .lowLevelModifications = 1,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = true, .fusion = true,
+            .autoTuning = false, .halfPrecision = true,
+            .memoryOverheadFactor = 1.1, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kKeras, "Keras",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = true, .usability = 3,
+            .addingNewModels = 3, .preDefinedModels = 3,
+            .documentation = 3, .noExtraSteps = true,
+            .mobileDeployment = false, .lowLevelModifications = 1,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = true, .fusion = false,
+            .autoTuning = false, .halfPrecision = true,
+            .memoryOverheadFactor = 2.3, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kCaffe, "Caffe",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = true, .usability = 2,
+            .addingNewModels = 3, .preDefinedModels = 2,
+            .documentation = 1, .noExtraSteps = true,
+            .mobileDeployment = false, .lowLevelModifications = 2,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = false, .fusion = false,
+            .autoTuning = false, .halfPrecision = true,
+            .memoryOverheadFactor = 1.8, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kMovidiusNcsdk, "Movidius",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = false, .usability = 1,
+            .addingNewModels = 1, .preDefinedModels = 1,
+            .documentation = 1, .noExtraSteps = false,
+            .mobileDeployment = true, .lowLevelModifications = 1,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = false, .fusion = true,
+            .autoTuning = false, .halfPrecision = true,
+            .memoryOverheadFactor = 1.2, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kPyTorch, "PyTorch",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = true, .usability = 3,
+            .addingNewModels = 3, .preDefinedModels = 3,
+            .documentation = 3, .noExtraSteps = true,
+            .mobileDeployment = false, .lowLevelModifications = 1,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = true,
+            .pruningExploit = false, .fusion = false,
+            .autoTuning = false, .halfPrecision = true,
+            .memoryOverheadFactor = 1.4, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kTensorRt, "TensorRT",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = true,
+            .trainingFramework = false, .usability = 2,
+            .addingNewModels = 2, .preDefinedModels = 2,
+            .documentation = 1, .noExtraSteps = true,
+            .mobileDeployment = false, .lowLevelModifications = 1,
+            .compatibilityWithOthers = 2, .quantization = true,
+            .mixedPrecision = true, .dynamicGraph = true,
+            .pruningExploit = true, .fusion = true,
+            .autoTuning = true, .halfPrecision = true,
+            .memoryOverheadFactor = 1.1, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kDarkNet, "DarkNet",
+        FrameworkTraits{
+            .language = "C", .industryBacked = false,
+            .trainingFramework = true, .usability = 2,
+            .addingNewModels = 3, .preDefinedModels = 2,
+            .documentation = 1, .noExtraSteps = true,
+            .mobileDeployment = false, .lowLevelModifications = 3,
+            .compatibilityWithOthers = 1, .quantization = false,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = false, .fusion = false,
+            .autoTuning = false, .halfPrecision = false,
+            .memoryOverheadFactor = 1.2, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kTvmVta, "TVM VTA",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = false,
+            .trainingFramework = false, .usability = 1,
+            .addingNewModels = 1, .preDefinedModels = 1,
+            .documentation = 1, .noExtraSteps = false,
+            .mobileDeployment = true, .lowLevelModifications = 3,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = false, .fusion = true,
+            .autoTuning = true, .halfPrecision = false,
+            .memoryOverheadFactor = 1.1, .swapPenaltyFactor = 12.0});
+
+    fws.emplace_back(FrameworkId::kFinn, "FINN",
+        FrameworkTraits{
+            .language = "Python", .industryBacked = false,
+            .trainingFramework = false, .usability = 1,
+            .addingNewModels = 1, .preDefinedModels = 1,
+            .documentation = 1, .noExtraSteps = false,
+            .mobileDeployment = true, .lowLevelModifications = 3,
+            .compatibilityWithOthers = 1, .quantization = true,
+            .mixedPrecision = false, .dynamicGraph = false,
+            .pruningExploit = false, .fusion = true,
+            .autoTuning = false, .halfPrecision = false,
+            .memoryOverheadFactor = 1.0, .swapPenaltyFactor = 12.0});
+
+    return fws;
+}
+
+const std::vector<Framework>&
+registry()
+{
+    static const auto fws = buildRegistry();
+    return fws;
+}
+
+bool
+isNvidiaGpuDevice(hw::DeviceId d)
+{
+    switch (d) {
+      case hw::DeviceId::kJetsonTx2:
+      case hw::DeviceId::kJetsonNano:
+      case hw::DeviceId::kRtx2080:
+      case hw::DeviceId::kGtxTitanX:
+      case hw::DeviceId::kTitanXp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Framework::Framework(FrameworkId id, std::string name,
+                     FrameworkTraits traits)
+    : id_(id), name_(std::move(name)), traits_(std::move(traits))
+{
+}
+
+bool
+Framework::supportsDevice(hw::DeviceId device) const
+{
+    // Accelerator platforms are captive to their toolkits (Table III
+    // "Platform" row).
+    switch (device) {
+      case hw::DeviceId::kEdgeTpu:
+        return id_ == FrameworkId::kTfLite;
+      case hw::DeviceId::kMovidius:
+        return id_ == FrameworkId::kMovidiusNcsdk;
+      case hw::DeviceId::kPynqZ1:
+        return id_ == FrameworkId::kTvmVta || id_ == FrameworkId::kFinn;
+      default:
+        break;
+    }
+    switch (id_) {
+      case FrameworkId::kMovidiusNcsdk:
+      case FrameworkId::kTvmVta:
+      case FrameworkId::kFinn:
+        return false; // captive toolkits, handled above
+      case FrameworkId::kTfLite:
+        // Mobile/IoT wrapper: CPU edge boards only.
+        return device == hw::DeviceId::kRpi3;
+      case FrameworkId::kTensorRt:
+        return isNvidiaGpuDevice(device);
+      default:
+        return true; // TF, Caffe, PyTorch, DarkNet run everywhere else
+    }
+}
+
+namespace
+{
+
+/** True when the graph contains 3D convolutions. */
+bool
+hasConv3d(const graph::Graph& g)
+{
+    for (const auto& n : g.nodes())
+        if (n.kind == graph::OpKind::kConv3d)
+            return true;
+    return false;
+}
+
+/** True when the graph contains partially grouped convolutions. */
+bool
+hasPartialGroups(const graph::Graph& g)
+{
+    for (const auto& n : g.nodes()) {
+        if (n.kind != graph::OpKind::kConv2d &&
+            n.kind != graph::OpKind::kFusedConvBnAct)
+            continue;
+        const auto& c = n.attrs.conv2d;
+        if (c.groups > 1 && c.groups != c.inC)
+            return true;
+    }
+    return false;
+}
+
+bool
+hasRecurrent(const graph::Graph& g)
+{
+    for (const auto& n : g.nodes())
+        if (n.kind == graph::OpKind::kLstm ||
+            n.kind == graph::OpKind::kGru)
+            return true;
+    return false;
+}
+
+bool
+hasDetectPostprocess(const graph::Graph& g)
+{
+    for (const auto& n : g.nodes())
+        if (n.kind == graph::OpKind::kDetectPostprocess)
+            return true;
+    return false;
+}
+
+bool
+hasYoloHead(const graph::Graph& g)
+{
+    for (const auto& n : g.nodes())
+        if (n.kind == graph::OpKind::kYoloDetect)
+            return true;
+    return false;
+}
+
+} // namespace
+
+const hw::ComputeUnit&
+CompiledModel::computeUnit() const
+{
+    const auto& spec = hw::deviceSpec(device);
+    switch (unit) {
+      case hw::UnitKind::kCpu:
+        return spec.cpu;
+      case hw::UnitKind::kGpu:
+        EB_CHECK(spec.gpu.has_value(),
+                 "compiled for missing GPU on " << spec.name);
+        return *spec.gpu;
+      case hw::UnitKind::kAccelerator:
+        EB_CHECK(spec.accelerator.has_value(),
+                 "compiled for missing accelerator on " << spec.name);
+        return *spec.accelerator;
+    }
+    throw InternalError("CompiledModel: bad unit kind");
+}
+
+hw::GraphCost
+CompiledModel::latency() const
+{
+    hw::GraphCost c =
+        hw::graphLatencyUnchecked(graph, computeUnit(), profile);
+    if (swapFactor > 1.0) {
+        c.totalMs *= swapFactor;
+        c.memoryMs *= swapFactor;
+    }
+    return c;
+}
+
+CompiledModel
+Framework::compile(const graph::Graph& model, hw::DeviceId device,
+                   const CompileOptions& options) const
+{
+    if (!supportsDevice(device)) {
+        throw CompatibilityError(name_ + " cannot target " +
+                                 hw::deviceName(device));
+    }
+
+    // --- Table V op-support / conversion rules -----------------------
+    if (device == hw::DeviceId::kRpi3 && hasDetectPostprocess(model)) {
+        // The paper hits code incompatibilities for SSD's extra image
+        // processing library on the RPi (Table V, "O").
+        throw CompatibilityError(
+            "SSD post-processing library is incompatible with RPi (" +
+            model.name() + ")");
+    }
+    if (id_ == FrameworkId::kMovidiusNcsdk && hasConv3d(model)) {
+        // NCSDK has no 3D-convolution support (paper Section VI-A).
+        throw CompatibilityError("NCSDK cannot compile 3D convolutions (" +
+                                 model.name() + ")");
+    }
+    if (id_ == FrameworkId::kMovidiusNcsdk && hasRecurrent(model)) {
+        throw CompatibilityError(
+            "NCSDK cannot compile recurrent layers (" + model.name() +
+            ")");
+    }
+    if (id_ == FrameworkId::kTfLite &&
+        (hasConv3d(model) || hasYoloHead(model) ||
+         hasRecurrent(model))) {
+        // The 2019-era TFLite converter has no 3D-conv or YOLO-region
+        // op support.
+        throw CompatibilityError(
+            "TFLite converter: unsupported ops in " + model.name());
+    }
+    if (device == hw::DeviceId::kEdgeTpu) {
+        // EdgeTPU compiler barriers (Table V, "4"): every op must be
+        // INT8-quantizable and dense/depthwise; additionally the paper
+        // could not obtain quantization-aware checkpoints for a few
+        // models (ResNet-18).
+        if (hasConv3d(model) || hasYoloHead(model) ||
+            hasRecurrent(model)) {
+            throw CompatibilityError(
+                "EdgeTPU compiler: model contains ops without "
+                "quantized support (" + model.name() + ")");
+        }
+        if (hasPartialGroups(model)) {
+            throw CompatibilityError(
+                "EdgeTPU compiler: partially grouped convolutions are "
+                "unsupported (" + model.name() + ")");
+        }
+        if (model.name() == "ResNet-18") {
+            throw CompatibilityError(
+                "EdgeTPU: no quantization-aware-trained checkpoint "
+                "could be produced for ResNet-18 (paper Section "
+                "VI-A, barrier 4)");
+        }
+    }
+    if (device == hw::DeviceId::kPynqZ1) {
+        // The paper only brings up CifarNet/ResNet-18-class models on
+        // the FPGA stacks; everything else fails to compile or needs
+        // retraining (Section VI-A footnote 5).
+        const bool feasible = model.name() == "CifarNet" ||
+            model.name() == "ResNet-18";
+        if (!feasible) {
+            throw CompatibilityError(
+                name_ + " on PYNQ: model " + model.name() +
+                " exceeds the VTA/FINN compilable subset");
+        }
+    }
+
+    CompiledModel out;
+    out.framework = id_;
+    out.device = device;
+    out.graph = model;
+
+    // --- Optimization pipeline (Table II) ----------------------------
+    // TensorFlow's fusion is marked "experimental implementation" in
+    // Table II (footnote ++): it exists but is not engaged in the
+    // deployments the paper measures, so we do not apply it either.
+    if (traits_.fusion && id_ != FrameworkId::kTensorFlow)
+        out.graph = graph::fuseConvBnAct(out.graph).graph;
+    if (!traits_.dynamicGraph)
+        out.graph = graph::eliminateDeadNodes(out.graph).graph;
+    if (options.pruneFraction > 0.0)
+        out.graph = graph::pruneWeights(out.graph,
+                                        options.pruneFraction).graph;
+
+    // EdgeTPU and the FPGA stacks require quantized deployment;
+    // TFLite quantizes by default (its standard deployment mode, per
+    // the paper's footnote about quantized weights).
+    const bool forced_quantize = device == hw::DeviceId::kEdgeTpu ||
+        id_ == FrameworkId::kTvmVta || id_ == FrameworkId::kFinn;
+    const bool quantize = forced_quantize ||
+        options.quantizeInt8.value_or(id_ == FrameworkId::kTfLite);
+    EB_CHECK(!quantize || traits_.quantization,
+             name_ << " does not implement INT8 quantization");
+    if (quantize) {
+        out.graph = graph::quantizeInt8(out.graph).graph;
+    } else {
+        const bool fp16_default =
+            id_ == FrameworkId::kTensorRt ||
+            id_ == FrameworkId::kMovidiusNcsdk;
+        const bool fp16 = options.useFp16.value_or(fp16_default);
+        if (fp16) {
+            EB_CHECK(traits_.halfPrecision,
+                     name_ << " does not implement FP16 inference");
+            out.graph = graph::convertToF16(out.graph).graph;
+        }
+    }
+
+    // --- Unit selection ----------------------------------------------
+    const auto& spec = hw::deviceSpec(device);
+    if (spec.accelerator &&
+        (device == hw::DeviceId::kEdgeTpu ||
+         device == hw::DeviceId::kMovidius ||
+         device == hw::DeviceId::kPynqZ1)) {
+        out.unit = hw::UnitKind::kAccelerator;
+    } else if (spec.gpu) {
+        out.unit = hw::UnitKind::kGpu;
+    } else {
+        out.unit = hw::UnitKind::kCpu;
+    }
+
+    out.profile = engineProfile(id_, device);
+    if (traits_.pruningExploit)
+        out.profile.exploitsSparsity = true;
+
+    // --- Memory-capacity policy (Table V memory marks) ---------------
+    const double footprint =
+        graph::deploymentFootprintBytes(out.graph) *
+        traits_.memoryOverheadFactor;
+    const double capacity = out.computeUnit().memCapacityBytes;
+    if (footprint > capacity) {
+        if (traits_.dynamicGraph) {
+            // PyTorch-style dynamic graphs page through memory at an
+            // order-of-magnitude latency cost (Table V "^").
+            out.swapFactor = traits_.swapPenaltyFactor;
+            out.usedDynamicGraphFallback = true;
+        } else {
+            std::ostringstream oss;
+            oss << name_ << " on " << spec.name << ": " << model.name()
+                << " needs "
+                << footprint / (1024.0 * 1024.0) << " MiB (incl. "
+                << traits_.memoryOverheadFactor
+                << "x runtime overhead) but only "
+                << capacity / (1024.0 * 1024.0) << " MiB available";
+            throw MemoryCapacityError(oss.str());
+        }
+    }
+    return out;
+}
+
+const Framework&
+framework(FrameworkId id)
+{
+    for (const auto& f : registry())
+        if (f.id() == id)
+            return f;
+    throw InternalError("framework: unknown id");
+}
+
+const std::vector<FrameworkId>&
+allFrameworks()
+{
+    static const std::vector<FrameworkId> ids = [] {
+        std::vector<FrameworkId> v;
+        for (const auto& f : registry())
+            v.push_back(f.id());
+        return v;
+    }();
+    return ids;
+}
+
+std::string
+frameworkName(FrameworkId id)
+{
+    return framework(id).name();
+}
+
+FrameworkId
+frameworkByName(const std::string& name)
+{
+    for (const auto& f : registry())
+        if (f.name() == name)
+            return f.id();
+    throw InvalidArgumentError("frameworkByName: unknown framework '" +
+                               name + "'");
+}
+
+std::vector<FrameworkId>
+frameworksFor(hw::DeviceId device)
+{
+    std::vector<FrameworkId> out;
+    for (const auto& f : registry())
+        if (f.supportsDevice(device))
+            out.push_back(f.id());
+    return out;
+}
+
+} // namespace frameworks
+} // namespace edgebench

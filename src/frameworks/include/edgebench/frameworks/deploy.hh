@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deployment helpers: best-framework selection (Fig. 2 methodology)
+ * and the model x platform compatibility matrix (Table V).
+ */
+
+#ifndef EDGEBENCH_FRAMEWORKS_DEPLOY_HH
+#define EDGEBENCH_FRAMEWORKS_DEPLOY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edgebench/frameworks/framework.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace edgebench
+{
+namespace frameworks
+{
+
+/** Table V deployability marks. */
+enum class DeployMark
+{
+    kOk,                ///< "3": deploys and runs normally
+    kDynamicSwap,       ///< "^": runs via dynamic graph, order-of-
+                        ///  magnitude slower (memory pressure)
+    kCodeIncompat,      ///< "O": code incompatibility
+    kConversionBarrier, ///< "4": cannot be converted (EdgeTPU)
+    kBramSpill,         ///< "^^": exceeds FPGA BRAM / toolchain scope
+    kMemoryError,       ///< static-graph out-of-memory (Figs. 3-4)
+};
+
+/** Table V symbol for a mark ("OK", "^", "O", "4", "^^", "MEM"). */
+std::string markSymbol(DeployMark m);
+
+/** One attempted deployment. */
+struct Deployment
+{
+    FrameworkId framework;
+    CompiledModel model;
+    DeployMark mark = DeployMark::kOk;
+};
+
+/**
+ * Compile @p model_graph with @p fw for @p device, mapping failures
+ * to marks. Returns nullopt when the framework cannot produce any
+ * runnable plan (code incompatibility, conversion barrier, OOM).
+ */
+std::optional<Deployment> tryDeploy(FrameworkId fw,
+                                    const graph::Graph& model_graph,
+                                    hw::DeviceId device,
+                                    const CompileOptions& opts = {});
+
+/**
+ * The Fig. 2 methodology: try every framework available on
+ * @p device and return the fastest runnable deployment.
+ */
+std::optional<Deployment> bestDeployment(
+    const graph::Graph& model_graph, hw::DeviceId device);
+
+/**
+ * Table V entry for (model, device): the mark of the best achievable
+ * deployment, or the failure mark when nothing runs.
+ */
+DeployMark deploymentMark(models::ModelId model, hw::DeviceId device);
+
+} // namespace frameworks
+} // namespace edgebench
+
+#endif // EDGEBENCH_FRAMEWORKS_DEPLOY_HH

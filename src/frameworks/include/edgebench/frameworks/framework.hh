@@ -1,0 +1,168 @@
+/**
+ * @file
+ * DNN framework models.
+ *
+ * A Framework is a *compiler* plus a *runtime model*: compile() takes
+ * a zoo graph, checks deployability on a target device (op support,
+ * conversion barriers, memory capacity — the Table V rules), applies
+ * the optimization passes the framework supports (Table II), selects
+ * the compute unit, and attaches the calibrated EngineProfile. The
+ * result is a CompiledModel whose latency/energy are then priced by
+ * the roofline engine.
+ */
+
+#ifndef EDGEBENCH_FRAMEWORKS_FRAMEWORK_HH
+#define EDGEBENCH_FRAMEWORKS_FRAMEWORK_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edgebench/graph/graph.hh"
+#include "edgebench/hw/device.hh"
+#include "edgebench/hw/roofline.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace edgebench
+{
+namespace frameworks
+{
+
+/** Framework identifiers (Table II plus the two PYNQ stacks). */
+enum class FrameworkId
+{
+    kTensorFlow,
+    kTfLite,
+    /** Keras: high-level API over the TensorFlow engine (paper
+     *  Section III-A: "we use Keras and TensorFlow implementations
+     *  interchangeably"). */
+    kKeras,
+    kCaffe,
+    kMovidiusNcsdk,
+    kPyTorch,
+    kTensorRt,
+    kDarkNet,
+    kTvmVta,
+    kFinn,
+};
+
+/** Star ratings used by Table II (1-3). */
+using Stars = int;
+
+/** Table II traits of one framework. */
+struct FrameworkTraits
+{
+    std::string language;        ///< main interfacing language
+    bool industryBacked = false;
+    bool trainingFramework = false;
+    Stars usability = 1;
+    Stars addingNewModels = 1;
+    Stars preDefinedModels = 1;
+    Stars documentation = 1;
+    bool noExtraSteps = true;    ///< deployment without extra steps
+    bool mobileDeployment = false;
+    Stars lowLevelModifications = 1;
+    Stars compatibilityWithOthers = 1;
+    /** @name Optimization rows of Table II */
+    /// @{
+    bool quantization = false;
+    bool mixedPrecision = false;
+    bool dynamicGraph = false;
+    bool pruningExploit = false;
+    bool fusion = false;
+    bool autoTuning = false;
+    bool halfPrecision = false;
+    /// @}
+    /** Memory overhead multiplier of the runtime over raw weights. */
+    double memoryOverheadFactor = 1.5;
+    /** Latency multiplier when a dynamic graph pages out of RAM. */
+    double swapPenaltyFactor = 12.0;
+};
+
+/** Compilation knobs. */
+struct CompileOptions
+{
+    /** Request INT8 quantization (forced on EdgeTPU/TVM targets). */
+    std::optional<bool> quantizeInt8;
+    /** Request FP16 inference where supported. */
+    std::optional<bool> useFp16;
+    /** Weight sparsity to apply before deployment (0 = dense). */
+    double pruneFraction = 0.0;
+};
+
+/** A model lowered onto a (framework, device) pair. */
+struct CompiledModel
+{
+    graph::Graph graph;
+    FrameworkId framework;
+    hw::DeviceId device;
+    hw::UnitKind unit = hw::UnitKind::kCpu;
+    hw::EngineProfile profile;
+    /** >1 when the dynamic-graph fallback pages memory. */
+    double swapFactor = 1.0;
+    bool usedDynamicGraphFallback = false;
+
+    /** The compute unit this plan executes on. */
+    const hw::ComputeUnit& computeUnit() const;
+
+    /** End-to-end single-batch latency (includes swap penalty). */
+    hw::GraphCost latency() const;
+    double latencyMs() const { return latency().totalMs; }
+};
+
+class Framework
+{
+  public:
+    Framework(FrameworkId id, std::string name, FrameworkTraits traits);
+
+    FrameworkId id() const { return id_; }
+    const std::string& name() const { return name_; }
+    const FrameworkTraits& traits() const { return traits_; }
+
+    /** True when this framework can drive @p device at all. */
+    bool supportsDevice(hw::DeviceId device) const;
+
+    /**
+     * Lower @p model onto @p device. Throws CompatibilityError on op
+     * or conversion barriers, MemoryCapacityError when a static-graph
+     * framework cannot fit the model; dynamic-graph frameworks fall
+     * back to a swap-penalized plan instead of failing.
+     */
+    CompiledModel compile(const graph::Graph& model,
+                          hw::DeviceId device,
+                          const CompileOptions& options = {}) const;
+
+  private:
+    FrameworkId id_;
+    std::string name_;
+    FrameworkTraits traits_;
+};
+
+/** Registry lookup. */
+const Framework& framework(FrameworkId id);
+
+/** All frameworks, Table II order. */
+const std::vector<FrameworkId>& allFrameworks();
+
+/** Stable display name, e.g. "TensorFlow". */
+std::string frameworkName(FrameworkId id);
+
+/** Lookup by display name; throws if unknown. */
+FrameworkId frameworkByName(const std::string& name);
+
+/**
+ * Frameworks that can drive @p device (Table III "Platform" row).
+ */
+std::vector<FrameworkId> frameworksFor(hw::DeviceId device);
+
+/**
+ * Calibrated execution profile of @p fw on @p device; throws
+ * InvalidArgumentError for unsupported pairs. Anchored to the
+ * latencies the paper reports (see EXPERIMENTS.md).
+ */
+hw::EngineProfile engineProfile(FrameworkId fw, hw::DeviceId device);
+
+} // namespace frameworks
+} // namespace edgebench
+
+#endif // EDGEBENCH_FRAMEWORKS_FRAMEWORK_HH

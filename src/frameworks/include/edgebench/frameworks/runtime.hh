@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulated framework runtime: inference-loop timing and the
+ * software-stack phase profiler that reproduces Fig. 5 of the paper.
+ *
+ * The paper profiles TensorFlow and PyTorch with cProfile and groups
+ * low-level functions into tasks (library loading, graph setup,
+ * tensor transfer, compute kernels, session management). We model
+ * each phase from first principles — one-time costs scale with model
+ * size and host speed, per-inference costs come from the roofline —
+ * and report them under the same labels the paper uses.
+ */
+
+#ifndef EDGEBENCH_FRAMEWORKS_RUNTIME_HH
+#define EDGEBENCH_FRAMEWORKS_RUNTIME_HH
+
+#include <string>
+#include <vector>
+
+#include "edgebench/frameworks/framework.hh"
+
+namespace edgebench
+{
+namespace frameworks
+{
+
+/** Software-stack phases (Fig. 5 grouping). */
+enum class Phase
+{
+    kLibraryLoading,
+    kGraphConstruction,
+    kWeightInit,
+    kDataTransfer,
+    kCompute,
+    kSessionManagement,
+};
+
+/** @return stable phase mnemonic, e.g. "graph_construction". */
+std::string phaseName(Phase p);
+
+/** One profiled entry: a phase plus its framework-specific label. */
+struct PhaseSample
+{
+    Phase phase;
+    /** The label the paper's Fig. 5 uses, e.g. "base_layer". */
+    std::string label;
+    double ms = 0.0;
+};
+
+/** Output of a profiled run. */
+struct ProfileReport
+{
+    std::vector<PhaseSample> samples;
+    std::int64_t inferences = 0;
+
+    double totalMs() const;
+    /** Fraction [0,1] of total time spent in @p phase. */
+    double fraction(Phase p) const;
+};
+
+/** Timing of an inference loop (paper Section V conventions). */
+struct TimingResult
+{
+    /** One-time setup cost, excluded from time-per-inference. */
+    double initializationMs = 0.0;
+    /** Steady-state time per single-batch inference. */
+    double perInferenceMs = 0.0;
+    std::int64_t inferences = 0;
+
+    double totalMs() const
+    {
+        return initializationMs + perInferenceMs * inferences;
+    }
+};
+
+/**
+ * A deployed model ready to serve inferences. Wraps a CompiledModel
+ * with the framework's one-time cost model.
+ */
+class InferenceSession
+{
+  public:
+    explicit InferenceSession(CompiledModel model);
+
+    const CompiledModel& model() const { return model_; }
+
+    /** Simulate @p n single-batch inferences. */
+    TimingResult run(std::int64_t n) const;
+
+    /**
+     * Simulate a profiled run of @p n inferences and attribute time
+     * to software-stack phases (Fig. 5).
+     */
+    ProfileReport profileRun(std::int64_t n) const;
+
+    /** @name One-time cost components (exposed for tests) */
+    /// @{
+    double libraryLoadMs() const;
+    double graphConstructionMs() const;
+    double weightInitMs() const;
+    double weightUploadMs() const;
+    /// @}
+
+  private:
+    CompiledModel model_;
+};
+
+} // namespace frameworks
+} // namespace edgebench
+
+#endif // EDGEBENCH_FRAMEWORKS_RUNTIME_HH

@@ -1,0 +1,63 @@
+#include "edgebench/graph/export.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <unordered_set>
+
+namespace edgebench
+{
+namespace graph
+{
+
+void
+printSummary(const Graph& g, std::ostream& os)
+{
+    os << "Model: " << g.name() << " (input "
+       << g.inputDescription() << ")\n";
+    os << std::left << std::setw(5) << "id" << std::setw(26) << "name"
+       << std::setw(20) << "kind" << std::setw(22) << "output"
+       << std::setw(6) << "prec" << std::right << std::setw(12)
+       << "params" << std::setw(16) << "MACs" << "\n";
+    os << std::string(107, '-') << "\n";
+    for (const auto& n : g.nodes()) {
+        os << std::left << std::setw(5) << n.id << std::setw(26)
+           << n.name.substr(0, 25) << std::setw(20)
+           << opKindName(n.kind) << std::setw(22)
+           << core::shapeToString(n.outShape) << std::setw(6)
+           << core::dtypeName(n.dtype) << std::right << std::setw(12)
+           << n.paramElems() << std::setw(16) << n.macs() << "\n";
+    }
+    const auto st = g.stats();
+    os << std::string(107, '-') << "\n"
+       << "total: " << st.numNodes << " nodes, " << st.params
+       << " params (" << st.paramBytes / 1e6 << " MB), " << st.macs
+       << " MACs, FLOP/param " << st.flopPerParam << "\n";
+}
+
+void
+writeDot(const Graph& g, std::ostream& os)
+{
+    std::unordered_set<NodeId> outputs(g.outputIds().begin(),
+                                       g.outputIds().end());
+    os << "digraph \"" << g.name() << "\" {\n"
+       << "  rankdir=TB;\n"
+       << "  node [shape=box, fontsize=10];\n";
+    for (const auto& n : g.nodes()) {
+        os << "  n" << n.id << " [label=\"" << n.name << "\\n"
+           << opKindName(n.kind) << " "
+           << core::shapeToString(n.outShape) << "\"";
+        if (n.kind == OpKind::kInput)
+            os << ", style=filled, fillcolor=lightblue";
+        else if (outputs.count(n.id))
+            os << ", style=filled, fillcolor=lightsalmon";
+        os << "];\n";
+    }
+    for (const auto& n : g.nodes())
+        for (auto in : n.inputs)
+            os << "  n" << in << " -> n" << n.id << ";\n";
+    os << "}\n";
+}
+
+} // namespace graph
+} // namespace edgebench

@@ -1,0 +1,817 @@
+#include "edgebench/graph/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+namespace
+{
+
+/** Default maximum detections emitted by the SSD postprocess op. */
+constexpr std::int64_t kMaxDetections = 100;
+
+} // namespace
+
+std::int64_t
+Node::macs() const
+{
+    switch (kind) {
+      case OpKind::kConv2d:
+      case OpKind::kFusedConvBnAct:
+        return attrs.conv2d.macs();
+      case OpKind::kConv3d:
+        return attrs.conv3d.macs();
+      case OpKind::kDense:
+        return attrs.dense.macs();
+      case OpKind::kLstm:
+      case OpKind::kGru:
+        return attrs.rnn.macs();
+      case OpKind::kBatchNorm:
+        // One scale+shift per element.
+        return outputElems();
+      default:
+        return 0;
+    }
+}
+
+std::int64_t
+Node::paramElems() const
+{
+    std::int64_t n = 0;
+    for (const auto& s : paramShapes)
+        n += core::numElements(s);
+    return n;
+}
+
+double
+Node::paramBytes() const
+{
+    return static_cast<double>(paramElems()) * core::dtypeBytes(dtype);
+}
+
+std::int64_t
+Node::outputElems() const
+{
+    return core::numElements(outShape);
+}
+
+double
+Node::outputBytes() const
+{
+    return static_cast<double>(outputElems()) * core::dtypeBytes(dtype);
+}
+
+const Node&
+Graph::node(NodeId id) const
+{
+    EB_CHECK(id >= 0 && id < numNodes(), "bad node id " << id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node&
+Graph::node(NodeId id)
+{
+    EB_CHECK(id >= 0 && id < numNodes(), "bad node id " << id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId
+Graph::addNode(Node n)
+{
+    n.id = static_cast<NodeId>(nodes_.size());
+    if (n.name.empty())
+        n.name = opKindName(n.kind) + "_" + std::to_string(n.id);
+    for (NodeId in : n.inputs) {
+        EB_CHECK(in >= 0 && in < n.id,
+                 "node " << n.name << " references invalid input " << in);
+    }
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+const core::Shape&
+Graph::inShape(NodeId id, const char* what) const
+{
+    EB_CHECK(id >= 0 && id < numNodes(),
+             what << ": invalid input node id " << id);
+    return nodes_[static_cast<std::size_t>(id)].outShape;
+}
+
+NodeId
+Graph::addInput(core::Shape shape, const std::string& name)
+{
+    Node n;
+    n.kind = OpKind::kInput;
+    n.name = name;
+    n.outShape = std::move(shape);
+    const NodeId id = addNode(std::move(n));
+    inputs_.push_back(id);
+    if (inputDesc_.empty()) {
+        const auto& s = nodes_.back().outShape;
+        std::string d;
+        for (std::size_t i = 2; i < s.size(); ++i) {
+            if (!d.empty())
+                d += "x";
+            d += std::to_string(s[i]);
+        }
+        inputDesc_ = d;
+    }
+    return id;
+}
+
+NodeId
+Graph::addConv2d(NodeId input, std::int64_t out_c, std::int64_t k_h,
+                 std::int64_t k_w, std::int64_t stride, std::int64_t pad,
+                 std::int64_t dilation, std::int64_t groups, bool bias,
+                 const std::string& name)
+{
+    const auto& s = inShape(input, "addConv2d");
+    EB_CHECK(s.size() == 4,
+             "addConv2d(" << name << "): input must be rank 4, got "
+                          << core::shapeToString(s));
+    Node n;
+    n.kind = OpKind::kConv2d;
+    n.name = name;
+    n.inputs = {input};
+    auto& g = n.attrs.conv2d;
+    g.n = s[0];
+    g.inC = s[1];
+    g.inH = s[2];
+    g.inW = s[3];
+    g.outC = out_c;
+    g.kH = k_h;
+    g.kW = k_w;
+    g.strideH = g.strideW = stride;
+    g.padH = g.padW = pad;
+    g.dilH = g.dilW = dilation;
+    g.groups = groups;
+    g.validate();
+    n.outShape = {g.n, g.outC, g.outH(), g.outW()};
+    n.paramShapes = {{g.outC, g.inC / g.groups, g.kH, g.kW}};
+    if (bias)
+        n.paramShapes.push_back({g.outC});
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addConv2dRect(NodeId input, std::int64_t out_c, std::int64_t k_h,
+                     std::int64_t k_w, std::int64_t stride_h,
+                     std::int64_t stride_w, std::int64_t pad_h,
+                     std::int64_t pad_w, bool bias,
+                     const std::string& name)
+{
+    const auto& s = inShape(input, "addConv2dRect");
+    EB_CHECK(s.size() == 4,
+             "addConv2dRect(" << name << "): input must be rank 4");
+    Node n;
+    n.kind = OpKind::kConv2d;
+    n.name = name;
+    n.inputs = {input};
+    auto& g = n.attrs.conv2d;
+    g.n = s[0];
+    g.inC = s[1];
+    g.inH = s[2];
+    g.inW = s[3];
+    g.outC = out_c;
+    g.kH = k_h;
+    g.kW = k_w;
+    g.strideH = stride_h;
+    g.strideW = stride_w;
+    g.padH = pad_h;
+    g.padW = pad_w;
+    g.validate();
+    n.outShape = {g.n, g.outC, g.outH(), g.outW()};
+    n.paramShapes = {{g.outC, g.inC, g.kH, g.kW}};
+    if (bias)
+        n.paramShapes.push_back({g.outC});
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addConv3d(NodeId input, std::int64_t out_c, std::int64_t k_d,
+                 std::int64_t k_h, std::int64_t k_w,
+                 std::int64_t stride_d, std::int64_t stride_hw,
+                 std::int64_t pad_d, std::int64_t pad_hw, bool bias,
+                 const std::string& name)
+{
+    const auto& s = inShape(input, "addConv3d");
+    EB_CHECK(s.size() == 5,
+             "addConv3d(" << name << "): input must be rank 5, got "
+                          << core::shapeToString(s));
+    Node n;
+    n.kind = OpKind::kConv3d;
+    n.name = name;
+    n.inputs = {input};
+    auto& g = n.attrs.conv3d;
+    g.n = s[0];
+    g.inC = s[1];
+    g.inD = s[2];
+    g.inH = s[3];
+    g.inW = s[4];
+    g.outC = out_c;
+    g.kD = k_d;
+    g.kH = k_h;
+    g.kW = k_w;
+    g.strideD = stride_d;
+    g.strideH = g.strideW = stride_hw;
+    g.padD = pad_d;
+    g.padH = g.padW = pad_hw;
+    g.validate();
+    n.outShape = {g.n, g.outC, g.outD(), g.outH(), g.outW()};
+    n.paramShapes = {{g.outC, g.inC, g.kD, g.kH, g.kW}};
+    if (bias)
+        n.paramShapes.push_back({g.outC});
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addDense(NodeId input, std::int64_t out_features, bool bias,
+                const std::string& name)
+{
+    const auto& s = inShape(input, "addDense");
+    EB_CHECK(s.size() == 2,
+             "addDense(" << name << "): input must be rank 2 "
+                         << "(use addFlatten first), got "
+                         << core::shapeToString(s));
+    Node n;
+    n.kind = OpKind::kDense;
+    n.name = name;
+    n.inputs = {input};
+    auto& g = n.attrs.dense;
+    g.batch = s[0];
+    g.inFeatures = s[1];
+    g.outFeatures = out_features;
+    g.validate();
+    n.outShape = {g.batch, g.outFeatures};
+    n.paramShapes = {{g.outFeatures, g.inFeatures}};
+    if (bias)
+        n.paramShapes.push_back({g.outFeatures});
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addBatchNorm(NodeId input, double epsilon, const std::string& name)
+{
+    const auto& s = inShape(input, "addBatchNorm");
+    EB_CHECK(s.size() >= 2,
+             "addBatchNorm(" << name << "): rank must be >= 2");
+    Node n;
+    n.kind = OpKind::kBatchNorm;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.bnEpsilon = epsilon;
+    n.outShape = s;
+    const std::int64_t c = s[1];
+    n.paramShapes = {{c}, {c}, {c}, {c}}; // gamma, beta, mean, var
+    return addNode(std::move(n));
+}
+
+namespace
+{
+
+/** Shared construction for the two recurrent layer kinds. */
+Node
+makeRnnNode(OpKind kind, NodeId input, const core::Shape& s,
+            std::int64_t hidden, std::int64_t gates,
+            const std::string& name)
+{
+    Node n;
+    n.kind = kind;
+    n.name = name;
+    n.inputs = {input};
+    auto& g = n.attrs.rnn;
+    g.batch = s[0];
+    g.seqLen = s[1];
+    g.inputSize = s[2];
+    g.hiddenSize = hidden;
+    g.gates = gates;
+    g.validate();
+    n.outShape = {g.batch, g.seqLen, g.hiddenSize};
+    const std::int64_t gh = gates * hidden;
+    n.paramShapes = {{gh, g.inputSize}, {gh, g.hiddenSize}, {gh}};
+    return n;
+}
+
+} // namespace
+
+NodeId
+Graph::addLstm(NodeId input, std::int64_t hidden,
+               const std::string& name)
+{
+    const auto& s = inShape(input, "addLstm");
+    EB_CHECK(s.size() == 3,
+             "addLstm(" << name << "): input must be [N, T, I], got "
+                        << core::shapeToString(s));
+    return addNode(makeRnnNode(OpKind::kLstm, input, s, hidden, 4,
+                               name));
+}
+
+NodeId
+Graph::addGru(NodeId input, std::int64_t hidden,
+              const std::string& name)
+{
+    const auto& s = inShape(input, "addGru");
+    EB_CHECK(s.size() == 3,
+             "addGru(" << name << "): input must be [N, T, I], got "
+                       << core::shapeToString(s));
+    return addNode(makeRnnNode(OpKind::kGru, input, s, hidden, 3,
+                               name));
+}
+
+NodeId
+Graph::addSelectTimestep(NodeId input, std::int64_t t,
+                         const std::string& name)
+{
+    const auto& s = inShape(input, "addSelectTimestep");
+    EB_CHECK(s.size() == 3,
+             "addSelectTimestep: input must be [N, T, F]");
+    const std::int64_t steps = s[1];
+    // Negative indices count from the end (Python-style).
+    const std::int64_t resolved = t < 0 ? steps + t : t;
+    EB_CHECK(resolved >= 0 && resolved < steps,
+             "addSelectTimestep(" << name << "): t " << t
+                                  << " outside [0, " << steps << ")");
+    Node n;
+    n.kind = OpKind::kSelectTimestep;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.timestep = resolved;
+    n.outShape = {s[0], s[2]};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addChannelShuffle(NodeId input, std::int64_t groups,
+                         const std::string& name)
+{
+    const auto& s = inShape(input, "addChannelShuffle");
+    EB_CHECK(s.size() == 4, "addChannelShuffle: input must be rank 4");
+    EB_CHECK(groups > 0 && s[1] % groups == 0,
+             "addChannelShuffle(" << name << "): channels " << s[1]
+                                  << " not divisible by groups "
+                                  << groups);
+    Node n;
+    n.kind = OpKind::kChannelShuffle;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.conv2d.groups = groups; // reuse the groups slot
+    n.outShape = s;
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addActivation(NodeId input, ActKind act, const std::string& name)
+{
+    EB_CHECK(act != ActKind::kNone, "addActivation: kNone is not an op");
+    Node n;
+    n.kind = OpKind::kActivation;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.activation = act;
+    n.outShape = inShape(input, "addActivation");
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addSoftmax(NodeId input, const std::string& name)
+{
+    Node n;
+    n.kind = OpKind::kSoftmax;
+    n.name = name;
+    n.inputs = {input};
+    n.outShape = inShape(input, "addSoftmax");
+    return addNode(std::move(n));
+}
+
+namespace
+{
+
+void
+fillPool2d(core::Pool2dGeom& g, const core::Shape& s, std::int64_t k,
+           std::int64_t stride, std::int64_t pad, bool ceil_mode)
+{
+    g.n = s[0];
+    g.c = s[1];
+    g.inH = s[2];
+    g.inW = s[3];
+    g.kH = g.kW = k;
+    g.strideH = g.strideW = stride;
+    g.padH = g.padW = pad;
+    g.ceilMode = ceil_mode;
+    g.validate();
+}
+
+} // namespace
+
+NodeId
+Graph::addMaxPool2d(NodeId input, std::int64_t k, std::int64_t stride,
+                    std::int64_t pad, bool ceil_mode,
+                    const std::string& name)
+{
+    const auto& s = inShape(input, "addMaxPool2d");
+    EB_CHECK(s.size() == 4, "addMaxPool2d: input must be rank 4");
+    Node n;
+    n.kind = OpKind::kMaxPool2d;
+    n.name = name;
+    n.inputs = {input};
+    fillPool2d(n.attrs.pool2d, s, k, stride, pad, ceil_mode);
+    n.outShape = {s[0], s[1], n.attrs.pool2d.outH(),
+                  n.attrs.pool2d.outW()};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addAvgPool2d(NodeId input, std::int64_t k, std::int64_t stride,
+                    std::int64_t pad, bool ceil_mode,
+                    const std::string& name)
+{
+    const auto& s = inShape(input, "addAvgPool2d");
+    EB_CHECK(s.size() == 4, "addAvgPool2d: input must be rank 4");
+    Node n;
+    n.kind = OpKind::kAvgPool2d;
+    n.name = name;
+    n.inputs = {input};
+    fillPool2d(n.attrs.pool2d, s, k, stride, pad, ceil_mode);
+    n.outShape = {s[0], s[1], n.attrs.pool2d.outH(),
+                  n.attrs.pool2d.outW()};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addMaxPool3d(NodeId input, std::int64_t k_d, std::int64_t k_hw,
+                    std::int64_t stride_d, std::int64_t stride_hw,
+                    std::int64_t pad_d, std::int64_t pad_hw,
+                    const std::string& name)
+{
+    const auto& s = inShape(input, "addMaxPool3d");
+    EB_CHECK(s.size() == 5, "addMaxPool3d: input must be rank 5");
+    Node n;
+    n.kind = OpKind::kMaxPool3d;
+    n.name = name;
+    n.inputs = {input};
+    auto& g = n.attrs.pool3d;
+    g.n = s[0];
+    g.c = s[1];
+    g.inD = s[2];
+    g.inH = s[3];
+    g.inW = s[4];
+    g.kD = k_d;
+    g.kH = g.kW = k_hw;
+    g.strideD = stride_d;
+    g.strideH = g.strideW = stride_hw;
+    g.padD = pad_d;
+    g.padH = g.padW = pad_hw;
+    g.validate();
+    n.outShape = {s[0], s[1], g.outD(), g.outH(), g.outW()};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addGlobalAvgPool(NodeId input, const std::string& name)
+{
+    const auto& s = inShape(input, "addGlobalAvgPool");
+    EB_CHECK(s.size() == 4, "addGlobalAvgPool: input must be rank 4");
+    Node n;
+    n.kind = OpKind::kGlobalAvgPool;
+    n.name = name;
+    n.inputs = {input};
+    n.outShape = {s[0], s[1]};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addAdd(NodeId a, NodeId b, const std::string& name)
+{
+    const auto& sa = inShape(a, "addAdd");
+    const auto& sb = inShape(b, "addAdd");
+    EB_CHECK(core::sameShape(sa, sb),
+             "addAdd(" << name << "): shape mismatch "
+                       << core::shapeToString(sa) << " vs "
+                       << core::shapeToString(sb));
+    Node n;
+    n.kind = OpKind::kAdd;
+    n.name = name;
+    n.inputs = {a, b};
+    n.outShape = sa;
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addConcat(const std::vector<NodeId>& inputs,
+                 const std::string& name)
+{
+    EB_CHECK(!inputs.empty(), "addConcat: no inputs");
+    const auto& s0 = inShape(inputs.front(), "addConcat");
+    EB_CHECK(s0.size() == 4, "addConcat: inputs must be rank 4");
+    std::int64_t total_c = 0;
+    for (NodeId id : inputs) {
+        const auto& s = inShape(id, "addConcat");
+        EB_CHECK(s.size() == 4 && s[0] == s0[0] && s[2] == s0[2] &&
+                     s[3] == s0[3],
+                 "addConcat(" << name << "): incompatible input "
+                              << core::shapeToString(s));
+        total_c += s[1];
+    }
+    Node n;
+    n.kind = OpKind::kConcat;
+    n.name = name;
+    n.inputs = inputs;
+    n.outShape = {s0[0], total_c, s0[2], s0[3]};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addFlatten(NodeId input, const std::string& name)
+{
+    const auto& s = inShape(input, "addFlatten");
+    EB_CHECK(!s.empty(), "addFlatten: scalar input");
+    std::int64_t rest = 1;
+    for (std::size_t i = 1; i < s.size(); ++i)
+        rest *= s[i];
+    Node n;
+    n.kind = OpKind::kFlatten;
+    n.name = name;
+    n.inputs = {input};
+    n.outShape = {s[0], rest};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addReshape(NodeId input, core::Shape shape,
+                  const std::string& name)
+{
+    const auto& s = inShape(input, "addReshape");
+    EB_CHECK(core::numElements(shape) == core::numElements(s),
+             "addReshape(" << name << "): numel mismatch "
+                           << core::shapeToString(s) << " -> "
+                           << core::shapeToString(shape));
+    Node n;
+    n.kind = OpKind::kReshape;
+    n.name = name;
+    n.inputs = {input};
+    n.outShape = std::move(shape);
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addConcatLast(const std::vector<NodeId>& inputs,
+                     const std::string& name)
+{
+    EB_CHECK(!inputs.empty(), "addConcatLast: no inputs");
+    const auto& s0 = inShape(inputs.front(), "addConcatLast");
+    EB_CHECK(s0.size() >= 2, "addConcatLast: inputs must be rank >= 2");
+    std::int64_t total_last = 0;
+    for (NodeId id : inputs) {
+        const auto& s = inShape(id, "addConcatLast");
+        EB_CHECK(s.size() == s0.size(),
+                 "addConcatLast(" << name << "): rank mismatch");
+        for (std::size_t i = 0; i + 1 < s.size(); ++i)
+            EB_CHECK(s[i] == s0[i],
+                     "addConcatLast(" << name
+                         << "): leading dim mismatch at " << i);
+        total_last += s.back();
+    }
+    Node n;
+    n.kind = OpKind::kConcatLast;
+    n.name = name;
+    n.inputs = inputs;
+    n.outShape = s0;
+    n.outShape.back() = total_last;
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addPadSpatial(NodeId input, std::int64_t top, std::int64_t bottom,
+                     std::int64_t left, std::int64_t right,
+                     const std::string& name)
+{
+    const auto& s = inShape(input, "addPadSpatial");
+    EB_CHECK(s.size() == 4, "addPadSpatial: input must be rank 4");
+    EB_CHECK(top >= 0 && bottom >= 0 && left >= 0 && right >= 0,
+             "addPadSpatial: negative pad");
+    Node n;
+    n.kind = OpKind::kPadSpatial;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.pads[0] = top;
+    n.attrs.pads[1] = bottom;
+    n.attrs.pads[2] = left;
+    n.attrs.pads[3] = right;
+    n.outShape = {s[0], s[1], s[2] + top + bottom, s[3] + left + right};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addUpsample(NodeId input, std::int64_t factor,
+                   const std::string& name)
+{
+    const auto& s = inShape(input, "addUpsample");
+    EB_CHECK(s.size() == 4, "addUpsample: input must be rank 4");
+    EB_CHECK(factor >= 1, "addUpsample: factor must be >= 1");
+    Node n;
+    n.kind = OpKind::kUpsample;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.upsampleFactor = factor;
+    n.outShape = {s[0], s[1], s[2] * factor, s[3] * factor};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addDetectPostprocess(NodeId input, std::int64_t num_classes,
+                            double score_threshold, double iou_threshold,
+                            const std::string& name)
+{
+    const auto& s = inShape(input, "addDetectPostprocess");
+    EB_CHECK(s.size() == 3 && s[2] == 4 + num_classes,
+             "addDetectPostprocess(" << name
+                 << "): input must be [N, boxes, 4+classes], got "
+                 << core::shapeToString(s));
+    Node n;
+    n.kind = OpKind::kDetectPostprocess;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.numClasses = num_classes;
+    n.attrs.scoreThreshold = score_threshold;
+    n.attrs.iouThreshold = iou_threshold;
+    n.outShape = {s[0], kMaxDetections, 6};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::addYoloDetect(NodeId input, std::int64_t num_classes,
+                     std::int64_t num_anchors, const std::string& name)
+{
+    const auto& s = inShape(input, "addYoloDetect");
+    EB_CHECK(s.size() == 4 && s[1] == num_anchors * (5 + num_classes),
+             "addYoloDetect(" << name
+                 << "): channels must equal anchors*(5+classes), got "
+                 << core::shapeToString(s));
+    Node n;
+    n.kind = OpKind::kYoloDetect;
+    n.name = name;
+    n.inputs = {input};
+    n.attrs.numClasses = num_classes;
+    n.attrs.numAnchors = num_anchors;
+    n.outShape = s;
+    return addNode(std::move(n));
+}
+
+void
+Graph::markOutput(NodeId id)
+{
+    EB_CHECK(id >= 0 && id < numNodes(), "markOutput: bad node " << id);
+    outputs_.push_back(id);
+}
+
+NodeId
+Graph::appendRaw(Node n)
+{
+    if (!n.params.empty())
+        materialized_ = true;
+    return addNode(std::move(n));
+}
+
+void
+Graph::markInput(NodeId id)
+{
+    EB_CHECK(id >= 0 && id < numNodes(), "markInput: bad node " << id);
+    EB_CHECK(node(id).kind == OpKind::kInput,
+             "markInput: node " << id << " is not an input node");
+    inputs_.push_back(id);
+}
+
+std::vector<std::int32_t>
+Graph::consumerCounts() const
+{
+    std::vector<std::int32_t> counts(nodes_.size(), 0);
+    for (const auto& n : nodes_)
+        for (NodeId in : n.inputs)
+            ++counts[static_cast<std::size_t>(in)];
+    return counts;
+}
+
+GraphStats
+Graph::stats() const
+{
+    GraphStats st;
+    st.numNodes = numNodes();
+    for (const auto& n : nodes_) {
+        st.macs += n.macs();
+        st.params += n.paramElems();
+        st.paramBytes += n.paramBytes();
+        st.activationBytes += n.outputBytes();
+    }
+    st.flopPerParam = st.params > 0
+        ? static_cast<double>(st.macs) / static_cast<double>(st.params)
+        : 0.0;
+    return st;
+}
+
+void
+Graph::materializeParams(core::Rng& rng)
+{
+    for (auto& n : nodes_) {
+        n.params.clear();
+        switch (n.kind) {
+          case OpKind::kLstm:
+          case OpKind::kGru: {
+            const double stddev = std::sqrt(
+                1.0 / static_cast<double>(n.attrs.rnn.hiddenSize));
+            n.params.push_back(core::Tensor::randomNormal(
+                n.paramShapes[0], rng, stddev)); // W_ih
+            n.params.push_back(core::Tensor::randomNormal(
+                n.paramShapes[1], rng, stddev)); // W_hh
+            n.params.push_back(core::Tensor::randomNormal(
+                n.paramShapes[2], rng, 0.01)); // bias
+            break;
+          }
+          case OpKind::kConv2d:
+          case OpKind::kConv3d:
+          case OpKind::kFusedConvBnAct:
+          case OpKind::kDense: {
+            EB_CHECK(!n.paramShapes.empty(),
+                     "materialize: " << n.name << " has no param shapes");
+            const auto& ws = n.paramShapes[0];
+            std::int64_t fan_in = 1;
+            for (std::size_t i = 1; i < ws.size(); ++i)
+                fan_in *= ws[i];
+            const double stddev =
+                std::sqrt(2.0 / static_cast<double>(fan_in));
+            n.params.push_back(
+                core::Tensor::randomNormal(ws, rng, stddev));
+            if (n.paramShapes.size() > 1) {
+                n.params.push_back(core::Tensor::randomNormal(
+                    n.paramShapes[1], rng, 0.01));
+            }
+            break;
+          }
+          case OpKind::kBatchNorm: {
+            const auto& cs = n.paramShapes[0];
+            n.params.push_back(
+                core::Tensor::randomUniform(cs, rng, 0.8, 1.2)); // gamma
+            n.params.push_back(
+                core::Tensor::randomNormal(cs, rng, 0.05)); // beta
+            n.params.push_back(
+                core::Tensor::randomNormal(cs, rng, 0.05)); // mean
+            n.params.push_back(
+                core::Tensor::randomUniform(cs, rng, 0.5, 1.5)); // var
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    materialized_ = true;
+}
+
+void
+Graph::dropParams()
+{
+    for (auto& n : nodes_)
+        n.params.clear();
+    materialized_ = false;
+}
+
+double
+estimatePeakActivationBytes(const Graph& g)
+{
+    auto refcount = g.consumerCounts();
+    for (NodeId id : g.outputIds())
+        ++refcount[static_cast<std::size_t>(id)];
+    std::vector<bool> live(static_cast<std::size_t>(g.numNodes()),
+                           false);
+    double live_bytes = 0.0;
+    double peak = 0.0;
+    for (const auto& n : g.nodes()) {
+        live_bytes += n.outputBytes();
+        live[static_cast<std::size_t>(n.id)] = true;
+        peak = std::max(peak, live_bytes);
+        for (NodeId in : n.inputs) {
+            auto& rc = refcount[static_cast<std::size_t>(in)];
+            if (live[static_cast<std::size_t>(in)] && --rc == 0) {
+                live_bytes -= g.node(in).outputBytes();
+                live[static_cast<std::size_t>(in)] = false;
+            }
+        }
+    }
+    return peak;
+}
+
+double
+deploymentFootprintBytes(const Graph& g)
+{
+    double params = 0.0;
+    for (const auto& n : g.nodes())
+        params += n.paramBytes();
+    return params + estimatePeakActivationBytes(g);
+}
+
+} // namespace graph
+} // namespace edgebench

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable graph exports: a Keras-style layer summary and a
+ * Graphviz dot rendering.
+ */
+
+#ifndef EDGEBENCH_GRAPH_EXPORT_HH
+#define EDGEBENCH_GRAPH_EXPORT_HH
+
+#include <iosfwd>
+
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+/**
+ * Print a layer table: id, name, kind, output shape, precision,
+ * parameter count and MACs, followed by graph totals.
+ */
+void printSummary(const Graph& g, std::ostream& os);
+
+/**
+ * Emit the graph in Graphviz dot syntax. Node labels carry the op
+ * kind and output shape; graph inputs/outputs are highlighted.
+ */
+void writeDot(const Graph& g, std::ostream& os);
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_EXPORT_HH

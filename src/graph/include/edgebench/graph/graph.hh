@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Computation-graph IR.
+ *
+ * A Graph is an append-only DAG of Nodes (append order is a topological
+ * order). Construction performs shape inference eagerly, so invalid
+ * model definitions fail at build time with a precise message.
+ *
+ * Parameters are *deferred by default*: nodes record parameter shapes
+ * (enough for the cost model used by the device simulator) and actual
+ * weight tensors are only allocated by materializeParams(). This keeps
+ * graph-zoo construction cheap — ResNet-101 metadata is a few KB while
+ * its weights would be 178 MB.
+ */
+
+#ifndef EDGEBENCH_GRAPH_GRAPH_HH
+#define EDGEBENCH_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edgebench/core/geometry.hh"
+#include "edgebench/core/quant.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/tensor.hh"
+#include "edgebench/core/types.hh"
+#include "edgebench/graph/op.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+using NodeId = std::int32_t;
+
+/** Per-node attribute bundle; only the fields for the kind are used. */
+struct OpAttrs
+{
+    core::Conv2dGeom conv2d;
+    core::Conv3dGeom conv3d;
+    core::Pool2dGeom pool2d;
+    core::Pool3dGeom pool3d;
+    core::DenseGeom dense;
+    core::RnnGeom rnn;
+    double bnEpsilon = 1e-5;
+    float leakySlope = 0.1f;
+    std::int64_t upsampleFactor = 2;
+    std::int64_t timestep = 0;
+    std::int64_t pads[4] = {0, 0, 0, 0}; // top, bottom, left, right
+    ActKind activation = ActKind::kNone;
+    /** Detection-head attributes. */
+    std::int64_t numClasses = 0;
+    std::int64_t numAnchors = 0;
+    double scoreThreshold = 0.25;
+    double iouThreshold = 0.5;
+};
+
+/** One operator instance. */
+struct Node
+{
+    NodeId id = -1;
+    OpKind kind = OpKind::kInput;
+    std::string name;
+    std::vector<NodeId> inputs;
+    OpAttrs attrs;
+    core::Shape outShape;
+    /** Compute/storage precision of this node. */
+    core::DType dtype = core::DType::kF32;
+    /** Shapes of parameters (conv: W[,b]; bn: gamma,beta,mean,var). */
+    std::vector<core::Shape> paramShapes;
+    /** Materialized parameters; empty until materializeParams(). */
+    std::vector<core::Tensor> params;
+    /** Fraction of weights pruned to zero (cost-model annotation). */
+    double weightSparsity = 0.0;
+    /** Activation quant params (set by the INT8 calibration pass). */
+    std::optional<core::QuantParams> outQuant;
+
+    /** Multiply-accumulates per inference (paper FLOP convention). */
+    std::int64_t macs() const;
+    /** Parameter element count. */
+    std::int64_t paramElems() const;
+    /** Parameter bytes at the node precision. */
+    double paramBytes() const;
+    /** Output activation element count. */
+    std::int64_t outputElems() const;
+    /** Output activation bytes at the node precision. */
+    double outputBytes() const;
+};
+
+/** Aggregate statistics for one graph (drives Table I / Fig. 1). */
+struct GraphStats
+{
+    std::int64_t macs = 0;
+    std::int64_t params = 0;
+    double paramBytes = 0.0;
+    double activationBytes = 0.0;
+    /** FLOP per parameter, the paper's compute-intensity metric. */
+    double flopPerParam = 0.0;
+    std::int64_t numNodes = 0;
+};
+
+class Graph
+{
+  public:
+    Graph() = default;
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Human-readable input description, e.g. "224x224". */
+    const std::string& inputDescription() const { return inputDesc_; }
+    void setInputDescription(std::string d) { inputDesc_ = std::move(d); }
+
+    /** @name Builder methods (all perform shape inference) */
+    /// @{
+    NodeId addInput(core::Shape shape, const std::string& name = "input");
+
+    /**
+     * 2D convolution. Stride/pad/dilation/groups come from @p geom's
+     * corresponding fields; its input dims are inferred from @p input.
+     */
+    NodeId addConv2d(NodeId input, std::int64_t out_c, std::int64_t k_h,
+                     std::int64_t k_w, std::int64_t stride = 1,
+                     std::int64_t pad = 0, std::int64_t dilation = 1,
+                     std::int64_t groups = 1, bool bias = true,
+                     const std::string& name = "");
+
+    /**
+     * Rectangular-kernel convolution with independent H/W stride and
+     * padding (Inception 1x7 / 7x1 factorized convolutions).
+     */
+    NodeId addConv2dRect(NodeId input, std::int64_t out_c,
+                         std::int64_t k_h, std::int64_t k_w,
+                         std::int64_t stride_h, std::int64_t stride_w,
+                         std::int64_t pad_h, std::int64_t pad_w,
+                         bool bias = true, const std::string& name = "");
+
+    NodeId addConv3d(NodeId input, std::int64_t out_c, std::int64_t k_d,
+                     std::int64_t k_h, std::int64_t k_w,
+                     std::int64_t stride_d = 1, std::int64_t stride_hw = 1,
+                     std::int64_t pad_d = 0, std::int64_t pad_hw = 0,
+                     bool bias = true, const std::string& name = "");
+
+    NodeId addDense(NodeId input, std::int64_t out_features,
+                    bool bias = true, const std::string& name = "");
+
+    NodeId addBatchNorm(NodeId input, double epsilon = 1e-5,
+                        const std::string& name = "");
+
+    /** LSTM over a [N, T, I] sequence; output is [N, T, hidden]. */
+    NodeId addLstm(NodeId input, std::int64_t hidden,
+                   const std::string& name = "");
+
+    /** GRU over a [N, T, I] sequence; output is [N, T, hidden]. */
+    NodeId addGru(NodeId input, std::int64_t hidden,
+                  const std::string& name = "");
+
+    /** Select one timestep of a [N, T, F] sequence -> [N, F]. */
+    NodeId addSelectTimestep(NodeId input, std::int64_t t,
+                             const std::string& name = "");
+
+    /** ShuffleNet channel shuffle over @p groups channel groups. */
+    NodeId addChannelShuffle(NodeId input, std::int64_t groups,
+                             const std::string& name = "");
+
+    NodeId addActivation(NodeId input, ActKind act,
+                         const std::string& name = "");
+
+    NodeId addSoftmax(NodeId input, const std::string& name = "");
+
+    NodeId addMaxPool2d(NodeId input, std::int64_t k, std::int64_t stride,
+                        std::int64_t pad = 0, bool ceil_mode = false,
+                        const std::string& name = "");
+
+    NodeId addAvgPool2d(NodeId input, std::int64_t k, std::int64_t stride,
+                        std::int64_t pad = 0, bool ceil_mode = false,
+                        const std::string& name = "");
+
+    NodeId addMaxPool3d(NodeId input, std::int64_t k_d, std::int64_t k_hw,
+                        std::int64_t stride_d, std::int64_t stride_hw,
+                        std::int64_t pad_d = 0, std::int64_t pad_hw = 0,
+                        const std::string& name = "");
+
+    NodeId addGlobalAvgPool(NodeId input, const std::string& name = "");
+
+    NodeId addAdd(NodeId a, NodeId b, const std::string& name = "");
+
+    NodeId addConcat(const std::vector<NodeId>& inputs,
+                     const std::string& name = "");
+
+    NodeId addFlatten(NodeId input, const std::string& name = "");
+
+    /** Zero-cost reshape; numel must be preserved. */
+    NodeId addReshape(NodeId input, core::Shape shape,
+                      const std::string& name = "");
+
+    /** Concatenate along the last dimension (all other dims equal). */
+    NodeId addConcatLast(const std::vector<NodeId>& inputs,
+                         const std::string& name = "");
+
+    NodeId addPadSpatial(NodeId input, std::int64_t top,
+                         std::int64_t bottom, std::int64_t left,
+                         std::int64_t right,
+                         const std::string& name = "");
+
+    NodeId addUpsample(NodeId input, std::int64_t factor,
+                       const std::string& name = "");
+
+    /**
+     * SSD-style detection post-processing. @p input must be a
+     * [N, boxes, 4 + numClasses] tensor (box regressions followed by
+     * class scores). Output is [N, maxDetections, 6].
+     */
+    NodeId addDetectPostprocess(NodeId input, std::int64_t num_classes,
+                                double score_threshold = 0.25,
+                                double iou_threshold = 0.5,
+                                const std::string& name = "");
+
+    /**
+     * YOLO region head over a conv feature map laid out as
+     * [N, anchors*(5+classes), H, W].
+     */
+    NodeId addYoloDetect(NodeId input, std::int64_t num_classes,
+                         std::int64_t num_anchors,
+                         const std::string& name = "");
+
+    /** Mark a node as a graph output. */
+    void markOutput(NodeId id);
+    /// @}
+
+    /** @name Low-level API for graph-rewriting passes */
+    /// @{
+    /**
+     * Append a fully-formed node (inputs must reference existing
+     * nodes; no shape inference is performed). Returns the new id.
+     */
+    NodeId appendRaw(Node n);
+    /** Register an already-appended node as a graph input. */
+    void markInput(NodeId id);
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    std::int64_t numNodes() const
+    {
+        return static_cast<std::int64_t>(nodes_.size());
+    }
+    const Node& node(NodeId id) const;
+    Node& node(NodeId id);
+    const std::vector<Node>& nodes() const { return nodes_; }
+    std::vector<Node>& nodes() { return nodes_; }
+    const std::vector<NodeId>& inputIds() const { return inputs_; }
+    const std::vector<NodeId>& outputIds() const { return outputs_; }
+    /** Number of consumers of each node (0 for pure outputs). */
+    std::vector<std::int32_t> consumerCounts() const;
+    /// @}
+
+    /** Aggregate cost statistics. */
+    GraphStats stats() const;
+
+    /** True when any node carries materialized parameter tensors. */
+    bool materialized() const { return materialized_; }
+
+    /**
+     * Allocate and initialize all parameters (He-style normal for
+     * weights, zeros for biases, identity stats for batch norm).
+     */
+    void materializeParams(core::Rng& rng);
+
+    /** Drop materialized parameters (back to deferred mode). */
+    void dropParams();
+
+  private:
+    NodeId addNode(Node n);
+    /** Fetch the shape of a producer node and validate the id. */
+    const core::Shape& inShape(NodeId id, const char* what) const;
+
+    std::string name_ = "graph";
+    std::string inputDesc_;
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<NodeId> outputs_;
+    bool materialized_ = false;
+};
+
+/**
+ * Estimate the peak bytes of simultaneously-live activations for a
+ * single-batch forward pass, by liveness analysis over the (possibly
+ * deferred) graph. Matches Interpreter::RunStats::peakActivationBytes
+ * for fp32 graphs.
+ */
+double estimatePeakActivationBytes(const Graph& g);
+
+/**
+ * Total memory footprint of deploying @p g: parameters plus peak
+ * activations. This is the quantity compared against device memory
+ * capacity (Table V memory-error analysis).
+ */
+double deploymentFootprintBytes(const Graph& g);
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_GRAPH_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Functional executor for computation graphs.
+ *
+ * The interpreter actually runs a graph on core::Tensor values. It is
+ * the semantic oracle of edgebench-sim: optimization passes (fusion,
+ * quantization, fp16) are validated by comparing interpreter outputs
+ * before and after the pass. It also tracks live activation memory,
+ * which backs the paper's static-vs-dynamic-graph footprint analysis.
+ *
+ * Nodes annotated kI8 with calibrated QuantParams execute on the real
+ * INT8 kernels (conv/dense/relu/add); other ops on int8 tensors fall
+ * back to dequantize -> fp32 compute -> requantize, matching TFLite's
+ * reference behaviour for ops without quantized implementations.
+ */
+
+#ifndef EDGEBENCH_GRAPH_INTERPRETER_HH
+#define EDGEBENCH_GRAPH_INTERPRETER_HH
+
+#include <utility>
+#include <vector>
+
+#include "edgebench/core/tensor.hh"
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+/** Execution metrics of one interpreter run. */
+struct RunStats
+{
+    /** Peak bytes of simultaneously live activation tensors. */
+    double peakActivationBytes = 0.0;
+    std::int64_t nodesExecuted = 0;
+};
+
+class Interpreter
+{
+  public:
+    /** @p graph must outlive the interpreter and be materialized. */
+    explicit Interpreter(const Graph& graph);
+
+    /**
+     * Execute the graph on @p inputs (one tensor per graph input, in
+     * declaration order). Returns one tensor per marked output.
+     */
+    std::vector<core::Tensor> run(
+        const std::vector<core::Tensor>& inputs);
+
+    /** Metrics of the most recent run(). */
+    const RunStats& lastStats() const { return stats_; }
+
+    /**
+     * Calibration pass: run in pure fp32 and record the (min, max)
+     * activation range of every node. Feeds the INT8 quantization
+     * pass (TFLite-style post-training calibration).
+     */
+    std::vector<std::pair<double, double>> calibrate(
+        const std::vector<core::Tensor>& inputs);
+
+  private:
+    core::Tensor execNode(const Node& n,
+                          const std::vector<const core::Tensor*>& ins,
+                          bool force_f32);
+    core::Tensor execNodeF32(const Node& n,
+                             const std::vector<core::Tensor>& ins);
+    std::vector<core::Tensor> runImpl(
+        const std::vector<core::Tensor>& inputs, bool force_f32,
+        std::vector<std::pair<double, double>>* ranges);
+
+    const Graph& graph_;
+    RunStats stats_;
+};
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_INTERPRETER_HH

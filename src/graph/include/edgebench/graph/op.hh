@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Operator vocabulary of the computation-graph IR.
+ *
+ * The set covers every layer used by the paper's sixteen CNN models
+ * (Table I): 2D/3D convolutions (grouped/depthwise/dilated), dense
+ * layers, batch normalization, the ReLU activation family, pooling,
+ * residual adds, inception concats, YOLO/SSD detection heads, and the
+ * fused conv+BN+activation node produced by the fusion pass.
+ */
+
+#ifndef EDGEBENCH_GRAPH_OP_HH
+#define EDGEBENCH_GRAPH_OP_HH
+
+#include <string>
+
+namespace edgebench
+{
+namespace graph
+{
+
+/** Operator kinds. */
+enum class OpKind
+{
+    kInput,
+    kConv2d,
+    kConv3d,
+    kDense,
+    kBatchNorm,
+    kActivation,
+    kSoftmax,
+    kMaxPool2d,
+    kAvgPool2d,
+    kMaxPool3d,
+    kGlobalAvgPool,
+    kAdd,
+    kConcat,
+    kFlatten,
+    kReshape,
+    /** Concatenation along the last dimension (rank >= 2). */
+    kConcatLast,
+    kPadSpatial,
+    kUpsample,
+    kFusedConvBnAct,
+    /** LSTM layer over a sequence (paper future work: RNNs). */
+    kLstm,
+    /** GRU layer over a sequence. */
+    kGru,
+    /** Select one timestep of a [N, T, F] sequence. */
+    kSelectTimestep,
+    /** ShuffleNet channel shuffle: interleave grouped channels. */
+    kChannelShuffle,
+    /** SSD-style box decoding + non-maximum suppression. */
+    kDetectPostprocess,
+    /** YOLO region head: sigmoid/exp decode of raw predictions. */
+    kYoloDetect,
+};
+
+/** Activation functions attachable to kActivation / fused nodes. */
+enum class ActKind
+{
+    kNone,
+    kRelu,
+    kRelu6,
+    kLeakyRelu,
+    kSigmoid,
+    kTanh,
+};
+
+/** @return stable lowercase mnemonic, e.g. "conv2d". */
+std::string opKindName(OpKind kind);
+
+/** @return stable lowercase mnemonic, e.g. "relu6". */
+std::string actKindName(ActKind kind);
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_OP_HH

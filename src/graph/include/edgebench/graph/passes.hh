@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Graph optimization passes.
+ *
+ * These implement, for real, the optimizations the paper attributes to
+ * the frameworks in Table II:
+ *  - kernel fusion (conv+BN+activation) — TFLite, Movidius, TensorRT;
+ *  - post-training INT8 quantization with calibration — TFLite,
+ *    TensorRT, EdgeTPU deployment requirement;
+ *  - FP16 (half-precision) conversion — nearly all frameworks;
+ *  - magnitude pruning with sparsity annotations — TF/TFLite/TensorRT
+ *    exploit them, others only shrink storage;
+ *  - dead-node elimination ("freezing" a graph, TFLite deployment).
+ *
+ * Every pass is semantics-preserving up to the precision change, and
+ * the test suite verifies that property with the interpreter.
+ */
+
+#ifndef EDGEBENCH_GRAPH_PASSES_HH
+#define EDGEBENCH_GRAPH_PASSES_HH
+
+#include <vector>
+
+#include "edgebench/core/tensor.hh"
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+/** Outcome of a rewriting pass, with a rewrite count for reporting. */
+struct PassResult
+{
+    Graph graph;
+    std::int64_t rewrites = 0;
+};
+
+/**
+ * Fuse conv2d -> batch_norm [-> activation] chains (and conv2d ->
+ * activation chains) into single kFusedConvBnAct nodes. When the graph
+ * is materialized, batch-norm parameters are folded into the conv
+ * weights/bias analytically.
+ */
+PassResult fuseConvBnAct(const Graph& g);
+
+/**
+ * Post-training INT8 quantization. For a materialized graph, runs a
+ * calibration pass over @p calibration_inputs to derive per-node
+ * activation ranges, quantizes weights symmetrically, and annotates
+ * each supported node with kI8 + QuantParams. Deferred graphs receive
+ * dtype annotations only (sufficient for the cost model).
+ *
+ * Ops without quantized support (softmax, detection heads, conv3d)
+ * stay fp32, mirroring TFLite's partial-delegation behaviour.
+ */
+PassResult quantizeInt8(
+    const Graph& g,
+    const std::vector<core::Tensor>* calibration_inputs = nullptr);
+
+/** @return true when @p kind is quantizable to INT8 by quantizeInt8. */
+bool isInt8Quantizable(OpKind kind, const Node& node);
+
+/** Convert all nodes (and materialized weights) to emulated FP16. */
+PassResult convertToF16(const Graph& g);
+
+/**
+ * Magnitude-prune conv/dense weights to @p fraction sparsity; sets the
+ * weightSparsity annotation consumed by sparsity-aware cost models.
+ */
+PassResult pruneWeights(const Graph& g, double fraction);
+
+/** Remove nodes that no marked output depends on (graph freezing). */
+PassResult eliminateDeadNodes(const Graph& g);
+
+/**
+ * Rewrite the graph for batch size @p batch (paper Section VI-C:
+ * multi-batch inferencing is the cloud practice that single-batch
+ * edge serving cannot use). Only valid on deferred graphs; parameters
+ * are batch-independent so shapes/geometries are scaled in place.
+ */
+PassResult rebatch(const Graph& g, std::int64_t batch);
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_PASSES_HH

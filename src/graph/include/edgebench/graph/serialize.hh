@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text serialization of computation graphs.
+ *
+ * The format ("EBG v1") captures everything a deferred graph holds —
+ * topology, op attributes, precision annotations, parameter shapes,
+ * sparsity — so a round trip preserves cost-model behaviour exactly.
+ * Materialized weights are intentionally not serialized (the repo's
+ * weights are always reproducible from a seed); saving a materialized
+ * graph stores its deferred skeleton.
+ *
+ * The format is line-oriented and diff-friendly:
+ *
+ *   EBG v1
+ *   name <model name>
+ *   input_desc <desc>
+ *   node <id> <kind> dtype=<d> shape=[..] in=[..] name=<...>
+ *     attr <key> <value...>
+ *     param [shape]
+ *   inputs [ids]
+ *   outputs [ids]
+ */
+
+#ifndef EDGEBENCH_GRAPH_SERIALIZE_HH
+#define EDGEBENCH_GRAPH_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+/** Write @p g in EBG v1 text form. */
+void writeGraphText(const Graph& g, std::ostream& os);
+
+/** Parse an EBG v1 stream; throws InvalidArgumentError on bad input. */
+Graph readGraphText(std::istream& is);
+
+/** Convenience: serialize to / parse from a string. */
+std::string graphToString(const Graph& g);
+Graph graphFromString(const std::string& text);
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_SERIALIZE_HH

@@ -1,0 +1,463 @@
+#include "edgebench/graph/interpreter.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_int8.hh"
+#include "edgebench/core/kernels_rnn.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+namespace
+{
+
+/** Simplified per-class NMS over a [boxes, 4+classes] tensor. */
+core::Tensor
+detectPostprocess(const core::Tensor& in, const Node& n)
+{
+    const auto& s = in.shape();
+    const std::int64_t batch = s[0];
+    const std::int64_t boxes = s[1];
+    const std::int64_t stride = s[2];
+    const std::int64_t classes = n.attrs.numClasses;
+    const std::int64_t max_det = n.outShape[1];
+
+    core::Tensor out(n.outShape); // zero-filled; score==0 => unused slot
+    auto data = in.data();
+
+    struct Det
+    {
+        float score;
+        std::int64_t cls;
+        float box[4];
+    };
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        std::vector<Det> dets;
+        const float* base = data.data() + b * boxes * stride;
+        for (std::int64_t i = 0; i < boxes; ++i) {
+            const float* row = base + i * stride;
+            for (std::int64_t c = 0; c < classes; ++c) {
+                const float score = row[4 + c];
+                if (score >= n.attrs.scoreThreshold)
+                    dets.push_back(
+                        {score, c, {row[0], row[1], row[2], row[3]}});
+            }
+        }
+        std::sort(dets.begin(), dets.end(),
+                  [](const Det& a, const Det& b) {
+                      return a.score > b.score;
+                  });
+        // Greedy per-class IoU suppression.
+        auto iou = [](const float* a, const float* b) {
+            const float x1 = std::max(a[0], b[0]);
+            const float y1 = std::max(a[1], b[1]);
+            const float x2 = std::min(a[2], b[2]);
+            const float y2 = std::min(a[3], b[3]);
+            const float inter = std::max(0.0f, x2 - x1) *
+                std::max(0.0f, y2 - y1);
+            const float area_a = std::max(0.0f, a[2] - a[0]) *
+                std::max(0.0f, a[3] - a[1]);
+            const float area_b = std::max(0.0f, b[2] - b[0]) *
+                std::max(0.0f, b[3] - b[1]);
+            const float uni = area_a + area_b - inter;
+            return uni > 0.0f ? inter / uni : 0.0f;
+        };
+        std::vector<Det> kept;
+        for (const auto& d : dets) {
+            bool suppressed = false;
+            for (const auto& k : kept) {
+                if (k.cls == d.cls &&
+                    iou(k.box, d.box) > n.attrs.iouThreshold) {
+                    suppressed = true;
+                    break;
+                }
+            }
+            if (!suppressed) {
+                kept.push_back(d);
+                if (static_cast<std::int64_t>(kept.size()) >= max_det)
+                    break;
+            }
+        }
+        auto odata = out.data();
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            float* row = odata.data() + (b * max_det +
+                                         static_cast<std::int64_t>(i)) *
+                6;
+            row[0] = static_cast<float>(kept[i].cls);
+            row[1] = kept[i].score;
+            std::copy_n(kept[i].box, 4, row + 2);
+        }
+    }
+    return out;
+}
+
+/** YOLO region decode: sigmoid on xy/objectness/classes, keep wh raw. */
+core::Tensor
+yoloDetect(const core::Tensor& in, const Node& n)
+{
+    const auto& s = in.shape();
+    const std::int64_t batch = s[0];
+    const std::int64_t per_anchor = 5 + n.attrs.numClasses;
+    const std::int64_t hw = s[2] * s[3];
+    core::Tensor out(in.shape());
+    auto src = in.data();
+    auto dst = out.data();
+    for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t a = 0; a < n.attrs.numAnchors; ++a)
+    for (std::int64_t f = 0; f < per_anchor; ++f) {
+        const std::int64_t c = a * per_anchor + f;
+        const float* srow = src.data() + (b * s[1] + c) * hw;
+        float* drow = dst.data() + (b * s[1] + c) * hw;
+        const bool apply_sigmoid = (f == 0 || f == 1 || f >= 4);
+        for (std::int64_t i = 0; i < hw; ++i) {
+            drow[i] = apply_sigmoid
+                ? 1.0f / (1.0f + std::exp(-srow[i]))
+                : srow[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Graph& graph) : graph_(graph)
+{
+    EB_CHECK(graph.materialized(),
+             "Interpreter requires a materialized graph (call "
+             "materializeParams first)");
+    EB_CHECK(!graph.outputIds().empty(),
+             "Interpreter: graph " << graph.name() << " has no outputs");
+}
+
+std::vector<core::Tensor>
+Interpreter::run(const std::vector<core::Tensor>& inputs)
+{
+    return runImpl(inputs, /*force_f32=*/false, nullptr);
+}
+
+std::vector<std::pair<double, double>>
+Interpreter::calibrate(const std::vector<core::Tensor>& inputs)
+{
+    std::vector<std::pair<double, double>> ranges(
+        static_cast<std::size_t>(graph_.numNodes()),
+        {std::numeric_limits<double>::infinity(),
+         -std::numeric_limits<double>::infinity()});
+    runImpl(inputs, /*force_f32=*/true, &ranges);
+    return ranges;
+}
+
+std::vector<core::Tensor>
+Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
+                     bool force_f32,
+                     std::vector<std::pair<double, double>>* ranges)
+{
+    const auto& input_ids = graph_.inputIds();
+    EB_CHECK(inputs.size() == input_ids.size(),
+             "run: expected " << input_ids.size() << " inputs, got "
+                              << inputs.size());
+
+    stats_ = RunStats{};
+    auto refcount = graph_.consumerCounts();
+    // Outputs stay live to the end.
+    for (NodeId id : graph_.outputIds())
+        ++refcount[static_cast<std::size_t>(id)];
+
+    std::vector<std::optional<core::Tensor>> values(
+        static_cast<std::size_t>(graph_.numNodes()));
+    double live_bytes = 0.0;
+
+    auto retain = [&](NodeId id, core::Tensor t) {
+        live_bytes += t.byteSize();
+        stats_.peakActivationBytes =
+            std::max(stats_.peakActivationBytes, live_bytes);
+        values[static_cast<std::size_t>(id)] = std::move(t);
+    };
+    auto release = [&](NodeId id) {
+        auto& slot = values[static_cast<std::size_t>(id)];
+        if (slot && --refcount[static_cast<std::size_t>(id)] == 0) {
+            live_bytes -= slot->byteSize();
+            slot.reset();
+        }
+    };
+
+    for (const auto& n : graph_.nodes()) {
+        if (n.kind == OpKind::kInput) {
+            const auto it = std::find(input_ids.begin(), input_ids.end(),
+                                      n.id);
+            EB_CHECK(it != input_ids.end(),
+                     "input node " << n.name << " not registered");
+            const auto idx = static_cast<std::size_t>(
+                it - input_ids.begin());
+            core::Tensor t = inputs[idx].toF32();
+            EB_CHECK(core::sameShape(t.shape(), n.outShape),
+                     "input " << n.name << ": shape "
+                              << core::shapeToString(t.shape())
+                              << " != declared "
+                              << core::shapeToString(n.outShape));
+            if (!force_f32 && n.dtype == core::DType::kI8 && n.outQuant)
+                t = t.toInt8(*n.outQuant);
+            if (ranges) {
+                const core::Tensor f = t.toF32();
+                auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
+                core::observeMinMax(f.data(), r.first, r.second);
+            }
+            retain(n.id, std::move(t));
+            ++stats_.nodesExecuted;
+            continue;
+        }
+
+        std::vector<const core::Tensor*> ins;
+        ins.reserve(n.inputs.size());
+        for (NodeId in : n.inputs) {
+            const auto& slot = values[static_cast<std::size_t>(in)];
+            EB_CHECK(slot.has_value(),
+                     "value of node " << in << " freed too early");
+            ins.push_back(&*slot);
+        }
+
+        core::Tensor result = execNode(n, ins, force_f32);
+        if (ranges) {
+            const core::Tensor f = result.toF32();
+            auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
+            core::observeMinMax(f.data(), r.first, r.second);
+        }
+        retain(n.id, std::move(result));
+        ++stats_.nodesExecuted;
+        for (NodeId in : n.inputs)
+            release(in);
+    }
+
+    std::vector<core::Tensor> outputs;
+    for (NodeId id : graph_.outputIds()) {
+        const auto& slot = values[static_cast<std::size_t>(id)];
+        EB_CHECK(slot.has_value(), "output value missing");
+        outputs.push_back(*slot);
+    }
+    return outputs;
+}
+
+core::Tensor
+Interpreter::execNode(const Node& n,
+                      const std::vector<const core::Tensor*>& ins,
+                      bool force_f32)
+{
+    const bool quantized = !force_f32 && n.dtype == core::DType::kI8 &&
+        n.outQuant.has_value();
+
+    if (quantized) {
+        // Real INT8 paths for the ops that have them.
+        switch (n.kind) {
+          case OpKind::kConv2d:
+          case OpKind::kFusedConvBnAct: {
+            core::Tensor input = ins[0]->dtype() == core::DType::kI8
+                ? *ins[0]
+                : ins[0]->toInt8();
+            const core::Tensor w =
+                n.params[0].dtype() == core::DType::kI8
+                    ? n.params[0]
+                    : n.params[0].toInt8();
+            const core::Tensor bias = n.params.size() > 1
+                ? n.params[1].toF32()
+                : core::Tensor();
+            auto g = n.attrs.conv2d;
+            core::Tensor out = core::conv2dInt8(input, w, bias, g,
+                                                *n.outQuant);
+            if (n.kind == OpKind::kFusedConvBnAct) {
+                if (n.attrs.activation == ActKind::kRelu)
+                    out = core::reluInt8(out);
+                else if (n.attrs.activation == ActKind::kRelu6)
+                    out = core::relu6Int8(out);
+                else if (n.attrs.activation != ActKind::kNone)
+                    out = core::relu(out.toF32()).toInt8(*n.outQuant);
+            }
+            return out;
+          }
+          case OpKind::kDense: {
+            core::Tensor input = ins[0]->dtype() == core::DType::kI8
+                ? *ins[0]
+                : ins[0]->toInt8();
+            const core::Tensor w =
+                n.params[0].dtype() == core::DType::kI8
+                    ? n.params[0]
+                    : n.params[0].toInt8();
+            const core::Tensor bias = n.params.size() > 1
+                ? n.params[1].toF32()
+                : core::Tensor();
+            return core::denseInt8(input, w, bias, n.attrs.dense,
+                                   *n.outQuant);
+          }
+          case OpKind::kActivation:
+            if (ins[0]->dtype() == core::DType::kI8) {
+                if (n.attrs.activation == ActKind::kRelu)
+                    return core::reluInt8(*ins[0]);
+                if (n.attrs.activation == ActKind::kRelu6)
+                    return core::relu6Int8(*ins[0]);
+            }
+            break; // fall through to dequant path
+          case OpKind::kAdd:
+            if (ins[0]->dtype() == core::DType::kI8 &&
+                ins[1]->dtype() == core::DType::kI8) {
+                return core::addInt8(*ins[0], *ins[1], *n.outQuant);
+            }
+            break;
+          default:
+            break; // dequant fallback below
+        }
+        // Fallback: dequantize -> fp32 op -> requantize.
+        std::vector<core::Tensor> f32_ins;
+        f32_ins.reserve(ins.size());
+        for (const auto* t : ins)
+            f32_ins.push_back(t->toF32());
+        return execNodeF32(n, f32_ins).toInt8(*n.outQuant);
+    }
+
+    std::vector<core::Tensor> f32_ins;
+    f32_ins.reserve(ins.size());
+    for (const auto* t : ins)
+        f32_ins.push_back(t->toF32());
+    core::Tensor out = execNodeF32(n, f32_ins);
+    if (!force_f32 && n.dtype == core::DType::kF16)
+        out = out.toF16();
+    return out;
+}
+
+core::Tensor
+Interpreter::execNodeF32(const Node& n,
+                         const std::vector<core::Tensor>& ins)
+{
+    switch (n.kind) {
+      case OpKind::kConv2d:
+        return core::conv2d(ins[0], n.params[0].toF32(),
+                            n.params.size() > 1 ? n.params[1].toF32()
+                                                : core::Tensor(),
+                            n.attrs.conv2d);
+      case OpKind::kFusedConvBnAct: {
+        core::Tensor out =
+            core::conv2d(ins[0], n.params[0].toF32(),
+                         n.params.size() > 1 ? n.params[1].toF32()
+                                             : core::Tensor(),
+                         n.attrs.conv2d);
+        switch (n.attrs.activation) {
+          case ActKind::kNone: return out;
+          case ActKind::kRelu: return core::relu(out);
+          case ActKind::kRelu6: return core::relu6(out);
+          case ActKind::kLeakyRelu:
+            return core::leakyRelu(out, n.attrs.leakySlope);
+          case ActKind::kSigmoid: return core::sigmoid(out);
+          case ActKind::kTanh: return core::tanhAct(out);
+        }
+        throw InternalError("bad fused activation");
+      }
+      case OpKind::kConv3d:
+        return core::conv3d(ins[0], n.params[0].toF32(),
+                            n.params.size() > 1 ? n.params[1].toF32()
+                                                : core::Tensor(),
+                            n.attrs.conv3d);
+      case OpKind::kDense:
+        return core::dense(ins[0], n.params[0].toF32(),
+                           n.params.size() > 1 ? n.params[1].toF32()
+                                               : core::Tensor(),
+                           n.attrs.dense);
+      case OpKind::kBatchNorm:
+        return core::batchNorm(ins[0], n.params[0].toF32(),
+                               n.params[1].toF32(), n.params[2].toF32(),
+                               n.params[3].toF32(), n.attrs.bnEpsilon);
+      case OpKind::kActivation:
+        switch (n.attrs.activation) {
+          case ActKind::kRelu: return core::relu(ins[0]);
+          case ActKind::kRelu6: return core::relu6(ins[0]);
+          case ActKind::kLeakyRelu:
+            return core::leakyRelu(ins[0], n.attrs.leakySlope);
+          case ActKind::kSigmoid: return core::sigmoid(ins[0]);
+          case ActKind::kTanh: return core::tanhAct(ins[0]);
+          case ActKind::kNone: break;
+        }
+        throw InternalError("bad activation kind");
+      case OpKind::kSoftmax:
+        return core::softmax(ins[0]);
+      case OpKind::kMaxPool2d:
+        return core::maxPool2d(ins[0], n.attrs.pool2d);
+      case OpKind::kAvgPool2d:
+        return core::avgPool2d(ins[0], n.attrs.pool2d);
+      case OpKind::kMaxPool3d:
+        return core::maxPool3d(ins[0], n.attrs.pool3d);
+      case OpKind::kGlobalAvgPool:
+        return core::globalAvgPool(ins[0]);
+      case OpKind::kAdd:
+        return core::addElementwise(ins[0], ins[1]);
+      case OpKind::kConcat:
+        return core::concatChannels(ins);
+      case OpKind::kFlatten:
+        return core::flatten(ins[0]);
+      case OpKind::kLstm:
+        return core::lstmForward(ins[0], n.params[0].toF32(),
+                                 n.params[1].toF32(),
+                                 n.params[2].toF32(), n.attrs.rnn);
+      case OpKind::kGru:
+        return core::gruForward(ins[0], n.params[0].toF32(),
+                                n.params[1].toF32(),
+                                n.params[2].toF32(), n.attrs.rnn);
+      case OpKind::kChannelShuffle: {
+        const auto& s = ins[0].shape();
+        const std::int64_t batch = s[0], c = s[1], hw = s[2] * s[3];
+        const std::int64_t g_count = n.attrs.conv2d.groups;
+        const std::int64_t per = c / g_count;
+        core::Tensor out(s);
+        auto src = ins[0].data();
+        auto dst = out.data();
+        for (std::int64_t b = 0; b < batch; ++b)
+            for (std::int64_t ch = 0; ch < c; ++ch) {
+                // Channel ch comes from group (ch / per) position
+                // (ch % per); the shuffle interleaves them.
+                const std::int64_t out_ch =
+                    (ch % per) * g_count + ch / per;
+                std::copy_n(src.data() + (b * c + ch) * hw, hw,
+                            dst.data() + (b * c + out_ch) * hw);
+            }
+        return out;
+      }
+      case OpKind::kSelectTimestep: {
+        const auto& s = ins[0].shape();
+        const std::int64_t batch = s[0], steps = s[1], f = s[2];
+        core::Tensor out(core::Shape{batch, f});
+        auto src = ins[0].data();
+        auto dst = out.data();
+        for (std::int64_t b = 0; b < batch; ++b)
+            std::copy_n(src.data() +
+                            (b * steps + n.attrs.timestep) * f,
+                        f, dst.data() + b * f);
+        return out;
+      }
+      case OpKind::kReshape: {
+        core::Tensor f = ins[0].toF32();
+        return core::Tensor(
+            n.outShape,
+            std::vector<float>(f.data().begin(), f.data().end()));
+      }
+      case OpKind::kConcatLast:
+        return core::concatLastDim(ins);
+      case OpKind::kPadSpatial:
+        return core::padSpatial(ins[0], n.attrs.pads[0], n.attrs.pads[1],
+                                n.attrs.pads[2], n.attrs.pads[3]);
+      case OpKind::kUpsample:
+        return core::upsampleNearest(ins[0], n.attrs.upsampleFactor);
+      case OpKind::kDetectPostprocess:
+        return detectPostprocess(ins[0], n);
+      case OpKind::kYoloDetect:
+        return yoloDetect(ins[0], n);
+      case OpKind::kInput:
+        break;
+    }
+    throw InternalError("execNodeF32: unhandled op kind");
+}
+
+} // namespace graph
+} // namespace edgebench

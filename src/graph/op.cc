@@ -1,0 +1,58 @@
+#include "edgebench/graph/op.hh"
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kInput: return "input";
+      case OpKind::kConv2d: return "conv2d";
+      case OpKind::kConv3d: return "conv3d";
+      case OpKind::kDense: return "dense";
+      case OpKind::kBatchNorm: return "batch_norm";
+      case OpKind::kActivation: return "activation";
+      case OpKind::kSoftmax: return "softmax";
+      case OpKind::kMaxPool2d: return "max_pool2d";
+      case OpKind::kAvgPool2d: return "avg_pool2d";
+      case OpKind::kMaxPool3d: return "max_pool3d";
+      case OpKind::kGlobalAvgPool: return "global_avg_pool";
+      case OpKind::kAdd: return "add";
+      case OpKind::kConcat: return "concat";
+      case OpKind::kFlatten: return "flatten";
+      case OpKind::kReshape: return "reshape";
+      case OpKind::kConcatLast: return "concat_last";
+      case OpKind::kPadSpatial: return "pad";
+      case OpKind::kUpsample: return "upsample";
+      case OpKind::kFusedConvBnAct: return "fused_conv_bn_act";
+      case OpKind::kLstm: return "lstm";
+      case OpKind::kGru: return "gru";
+      case OpKind::kSelectTimestep: return "select_timestep";
+      case OpKind::kChannelShuffle: return "channel_shuffle";
+      case OpKind::kDetectPostprocess: return "detect_postprocess";
+      case OpKind::kYoloDetect: return "yolo_detect";
+    }
+    throw InternalError("opKindName: unknown OpKind");
+}
+
+std::string
+actKindName(ActKind kind)
+{
+    switch (kind) {
+      case ActKind::kNone: return "none";
+      case ActKind::kRelu: return "relu";
+      case ActKind::kRelu6: return "relu6";
+      case ActKind::kLeakyRelu: return "leaky_relu";
+      case ActKind::kSigmoid: return "sigmoid";
+      case ActKind::kTanh: return "tanh";
+    }
+    throw InternalError("actKindName: unknown ActKind");
+}
+
+} // namespace graph
+} // namespace edgebench

@@ -1,0 +1,418 @@
+#include "edgebench/graph/passes.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/interpreter.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+namespace
+{
+
+/** Copy graph-level metadata. */
+Graph
+cloneHeader(const Graph& g)
+{
+    Graph out(g.name());
+    out.setInputDescription(g.inputDescription());
+    return out;
+}
+
+/** Build per-node consumer lists. */
+std::vector<std::vector<NodeId>>
+consumersOf(const Graph& g)
+{
+    std::vector<std::vector<NodeId>> consumers(
+        static_cast<std::size_t>(g.numNodes()));
+    for (const auto& n : g.nodes())
+        for (NodeId in : n.inputs)
+            consumers[static_cast<std::size_t>(in)].push_back(n.id);
+    return consumers;
+}
+
+bool
+isFusableActivation(const Node& n)
+{
+    if (n.kind != OpKind::kActivation)
+        return false;
+    switch (n.attrs.activation) {
+      case ActKind::kRelu:
+      case ActKind::kRelu6:
+      case ActKind::kLeakyRelu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Fold BN params into conv weights/bias (materialized graphs). */
+void
+foldBatchNorm(Node& fused, const Node& bn)
+{
+    const core::Tensor gamma = bn.params[0].toF32();
+    const core::Tensor beta = bn.params[1].toF32();
+    const core::Tensor mean = bn.params[2].toF32();
+    const core::Tensor var = bn.params[3].toF32();
+    const double eps = bn.attrs.bnEpsilon;
+
+    core::Tensor w = fused.params[0].toF32();
+    const std::int64_t out_c = w.shape()[0];
+    const std::int64_t per_filter = w.numel() / out_c;
+    const bool had_bias = fused.params.size() > 1;
+    core::Tensor b = had_bias ? fused.params[1].toF32()
+                              : core::Tensor::zeros({out_c});
+
+    auto wd = w.data();
+    auto bd = b.data();
+    for (std::int64_t oc = 0; oc < out_c; ++oc) {
+        const double inv_std = 1.0 /
+            std::sqrt(static_cast<double>(var.at(oc)) + eps);
+        const double scale = gamma.at(oc) * inv_std;
+        const double shift = beta.at(oc) - mean.at(oc) * scale;
+        for (std::int64_t i = 0; i < per_filter; ++i)
+            wd[oc * per_filter + i] = static_cast<float>(
+                wd[oc * per_filter + i] * scale);
+        bd[oc] = static_cast<float>(bd[oc] * scale + shift);
+    }
+    fused.params.clear();
+    fused.params.push_back(std::move(w));
+    fused.params.push_back(std::move(b));
+    if (fused.paramShapes.size() < 2)
+        fused.paramShapes.push_back({out_c});
+}
+
+} // namespace
+
+PassResult
+fuseConvBnAct(const Graph& g)
+{
+    const auto consumers = consumersOf(g);
+
+    // For each node: the id of the fusion group leader that replaces
+    // it, or -1 when the node survives on its own.
+    std::vector<NodeId> replaced_by(
+        static_cast<std::size_t>(g.numNodes()), -1);
+    std::vector<bool> absorbed(static_cast<std::size_t>(g.numNodes()),
+                               false);
+
+    // Identify patterns first (ids refer to the original graph).
+    struct Group
+    {
+        NodeId conv;
+        NodeId bn = -1;
+        NodeId act = -1;
+    };
+    std::vector<Group> groups(static_cast<std::size_t>(g.numNodes()));
+    std::vector<bool> is_leader(static_cast<std::size_t>(g.numNodes()),
+                                false);
+
+    const auto& output_ids = g.outputIds();
+    auto is_output = [&](NodeId id) {
+        return std::find(output_ids.begin(), output_ids.end(), id) !=
+            output_ids.end();
+    };
+
+    for (const auto& n : g.nodes()) {
+        if (n.kind != OpKind::kConv2d)
+            continue;
+        Group grp{n.id};
+        NodeId tail = n.id;
+        // conv -> bn (only when conv feeds exactly the bn).
+        const auto& cons = consumers[static_cast<std::size_t>(tail)];
+        if (cons.size() == 1 && !is_output(tail) &&
+            g.node(cons[0]).kind == OpKind::kBatchNorm) {
+            grp.bn = cons[0];
+            tail = cons[0];
+        }
+        const auto& cons2 = consumers[static_cast<std::size_t>(tail)];
+        if (cons2.size() == 1 && !is_output(tail) &&
+            isFusableActivation(g.node(cons2[0]))) {
+            grp.act = cons2[0];
+        }
+        if (grp.bn < 0 && grp.act < 0)
+            continue; // nothing to fuse
+        is_leader[static_cast<std::size_t>(n.id)] = true;
+        groups[static_cast<std::size_t>(n.id)] = grp;
+        if (grp.bn >= 0) {
+            absorbed[static_cast<std::size_t>(grp.bn)] = true;
+            replaced_by[static_cast<std::size_t>(grp.bn)] = n.id;
+        }
+        if (grp.act >= 0) {
+            absorbed[static_cast<std::size_t>(grp.act)] = true;
+            replaced_by[static_cast<std::size_t>(grp.act)] = n.id;
+        }
+    }
+
+    // Rebuild the graph.
+    Graph out = cloneHeader(g);
+    std::vector<NodeId> remap(static_cast<std::size_t>(g.numNodes()),
+                              -1);
+    std::int64_t rewrites = 0;
+
+    auto resolve = [&](NodeId old_id) {
+        NodeId target = old_id;
+        if (replaced_by[static_cast<std::size_t>(old_id)] >= 0)
+            target = replaced_by[static_cast<std::size_t>(old_id)];
+        const NodeId mapped = remap[static_cast<std::size_t>(target)];
+        EB_CHECK(mapped >= 0, "fusion: forward reference to node "
+                                  << target);
+        return mapped;
+    };
+
+    for (const auto& n : g.nodes()) {
+        if (absorbed[static_cast<std::size_t>(n.id)])
+            continue;
+        Node copy = n;
+        copy.params = n.params;
+        for (auto& in : copy.inputs)
+            in = resolve(in);
+        if (is_leader[static_cast<std::size_t>(n.id)]) {
+            const auto& grp = groups[static_cast<std::size_t>(n.id)];
+            copy.kind = OpKind::kFusedConvBnAct;
+            copy.name = n.name + "_fused";
+            if (grp.act >= 0) {
+                const auto& act = g.node(grp.act);
+                copy.attrs.activation = act.attrs.activation;
+                copy.attrs.leakySlope = act.attrs.leakySlope;
+            } else {
+                copy.attrs.activation = ActKind::kNone;
+            }
+            if (grp.bn >= 0) {
+                if (g.materialized()) {
+                    foldBatchNorm(copy, g.node(grp.bn));
+                } else if (copy.paramShapes.size() < 2) {
+                    // Folding introduces a bias parameter.
+                    copy.paramShapes.push_back(
+                        {copy.attrs.conv2d.outC});
+                }
+            }
+            ++rewrites;
+        }
+        const NodeId new_id = out.appendRaw(std::move(copy));
+        remap[static_cast<std::size_t>(n.id)] = new_id;
+        if (n.kind == OpKind::kInput)
+            out.markInput(new_id);
+    }
+    for (NodeId id : g.outputIds())
+        out.markOutput(resolve(id));
+    return {std::move(out), rewrites};
+}
+
+bool
+isInt8Quantizable(OpKind kind, const Node& node)
+{
+    switch (kind) {
+      case OpKind::kInput:
+      case OpKind::kConv2d:
+      case OpKind::kFusedConvBnAct:
+      case OpKind::kDense:
+      case OpKind::kAdd:
+      case OpKind::kConcat:
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+      case OpKind::kGlobalAvgPool:
+      case OpKind::kFlatten:
+      case OpKind::kReshape:
+      case OpKind::kConcatLast:
+      case OpKind::kPadSpatial:
+      case OpKind::kUpsample:
+      case OpKind::kChannelShuffle:
+        return true;
+      case OpKind::kActivation:
+        return node.attrs.activation == ActKind::kRelu ||
+            node.attrs.activation == ActKind::kRelu6;
+      default:
+        // softmax, detection heads, batch_norm (pre-fusion), conv3d:
+        // no int8 kernel -> stays fp32 (partial delegation).
+        return false;
+    }
+}
+
+PassResult
+quantizeInt8(const Graph& g,
+             const std::vector<core::Tensor>* calibration_inputs)
+{
+    Graph out = cloneHeader(g);
+    std::int64_t rewrites = 0;
+
+    std::vector<std::pair<double, double>> ranges;
+    if (g.materialized()) {
+        EB_CHECK(calibration_inputs != nullptr,
+                 "quantizeInt8: materialized graph requires "
+                 "calibration inputs");
+        Interpreter interp(g);
+        ranges = interp.calibrate(*calibration_inputs);
+    }
+
+    for (const auto& n : g.nodes()) {
+        Node copy = n;
+        copy.params = n.params;
+        if (isInt8Quantizable(n.kind, n)) {
+            copy.dtype = core::DType::kI8;
+            if (!ranges.empty()) {
+                auto [mn, mx] =
+                    ranges[static_cast<std::size_t>(n.id)];
+                if (!(mn <= mx)) { // node never observed
+                    mn = 0.0;
+                    mx = 1.0;
+                }
+                copy.outQuant = core::chooseQuantParams(mn, mx);
+                // Symmetric weight quantization (TensorRT scheme).
+                if ((n.kind == OpKind::kConv2d ||
+                     n.kind == OpKind::kFusedConvBnAct ||
+                     n.kind == OpKind::kDense) &&
+                    !copy.params.empty()) {
+                    const core::Tensor wf = copy.params[0].toF32();
+                    double amax = 0.0;
+                    for (float v : wf.data())
+                        amax = std::max(amax,
+                                        std::fabs(
+                                            static_cast<double>(v)));
+                    copy.params[0] = wf.toInt8(
+                        core::chooseSymmetricQuantParams(amax));
+                }
+            }
+            ++rewrites;
+        }
+        const NodeId new_id = out.appendRaw(std::move(copy));
+        if (n.kind == OpKind::kInput)
+            out.markInput(new_id);
+    }
+    for (NodeId id : g.outputIds())
+        out.markOutput(id);
+    return {std::move(out), rewrites};
+}
+
+PassResult
+convertToF16(const Graph& g)
+{
+    Graph out = cloneHeader(g);
+    std::int64_t rewrites = 0;
+    for (const auto& n : g.nodes()) {
+        Node copy = n;
+        copy.params = n.params;
+        if (copy.dtype == core::DType::kF32) {
+            copy.dtype = core::DType::kF16;
+            for (auto& p : copy.params)
+                p = p.toF16();
+            ++rewrites;
+        }
+        const NodeId new_id = out.appendRaw(std::move(copy));
+        if (n.kind == OpKind::kInput)
+            out.markInput(new_id);
+    }
+    for (NodeId id : g.outputIds())
+        out.markOutput(id);
+    return {std::move(out), rewrites};
+}
+
+PassResult
+pruneWeights(const Graph& g, double fraction)
+{
+    EB_CHECK(fraction >= 0.0 && fraction < 1.0,
+             "pruneWeights: fraction " << fraction
+                                       << " outside [0, 1)");
+    Graph out = cloneHeader(g);
+    std::int64_t rewrites = 0;
+    for (const auto& n : g.nodes()) {
+        Node copy = n;
+        copy.params = n.params;
+        const bool prunable = n.kind == OpKind::kConv2d ||
+            n.kind == OpKind::kFusedConvBnAct ||
+            n.kind == OpKind::kConv3d || n.kind == OpKind::kDense;
+        if (prunable) {
+            copy.weightSparsity = fraction;
+            if (!copy.params.empty())
+                copy.params[0] =
+                    copy.params[0].toF32().prunedByMagnitude(fraction);
+            ++rewrites;
+        }
+        const NodeId new_id = out.appendRaw(std::move(copy));
+        if (n.kind == OpKind::kInput)
+            out.markInput(new_id);
+    }
+    for (NodeId id : g.outputIds())
+        out.markOutput(id);
+    return {std::move(out), rewrites};
+}
+
+PassResult
+eliminateDeadNodes(const Graph& g)
+{
+    std::vector<bool> live(static_cast<std::size_t>(g.numNodes()),
+                           false);
+    std::vector<NodeId> stack(g.outputIds().begin(),
+                              g.outputIds().end());
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (live[static_cast<std::size_t>(id)])
+            continue;
+        live[static_cast<std::size_t>(id)] = true;
+        for (NodeId in : g.node(id).inputs)
+            stack.push_back(in);
+    }
+
+    Graph out = cloneHeader(g);
+    std::vector<NodeId> remap(static_cast<std::size_t>(g.numNodes()),
+                              -1);
+    std::int64_t removed = 0;
+    for (const auto& n : g.nodes()) {
+        if (!live[static_cast<std::size_t>(n.id)]) {
+            ++removed;
+            continue;
+        }
+        Node copy = n;
+        copy.params = n.params;
+        for (auto& in : copy.inputs) {
+            in = remap[static_cast<std::size_t>(in)];
+            EB_CHECK(in >= 0, "dead-node elim: dangling input");
+        }
+        const NodeId new_id = out.appendRaw(std::move(copy));
+        remap[static_cast<std::size_t>(n.id)] = new_id;
+        if (n.kind == OpKind::kInput)
+            out.markInput(new_id);
+    }
+    for (NodeId id : g.outputIds())
+        out.markOutput(remap[static_cast<std::size_t>(id)]);
+    return {std::move(out), removed};
+}
+
+PassResult
+rebatch(const Graph& g, std::int64_t batch)
+{
+    EB_CHECK(batch > 0, "rebatch: batch must be positive, got "
+                            << batch);
+    EB_CHECK(!g.materialized(),
+             "rebatch: only deferred graphs can be re-batched");
+    Graph out = cloneHeader(g);
+    std::int64_t rewrites = 0;
+    for (const auto& n : g.nodes()) {
+        Node copy = n;
+        if (!copy.outShape.empty() && copy.outShape[0] != batch) {
+            copy.outShape[0] = batch;
+            ++rewrites;
+        }
+        copy.attrs.conv2d.n = batch;
+        copy.attrs.conv3d.n = batch;
+        copy.attrs.pool2d.n = batch;
+        copy.attrs.pool3d.n = batch;
+        copy.attrs.dense.batch = batch;
+        copy.attrs.rnn.batch = batch;
+        const NodeId new_id = out.appendRaw(std::move(copy));
+        if (n.kind == OpKind::kInput)
+            out.markInput(new_id);
+    }
+    for (NodeId id : g.outputIds())
+        out.markOutput(id);
+    return {std::move(out), rewrites};
+}
+
+} // namespace graph
+} // namespace edgebench

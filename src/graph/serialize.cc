@@ -1,0 +1,395 @@
+#include "edgebench/graph/serialize.hh"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+namespace
+{
+
+constexpr std::array<OpKind, 24> kAllKinds = {
+    OpKind::kInput,        OpKind::kConv2d,
+    OpKind::kConv3d,       OpKind::kDense,
+    OpKind::kBatchNorm,    OpKind::kActivation,
+    OpKind::kSoftmax,      OpKind::kMaxPool2d,
+    OpKind::kAvgPool2d,    OpKind::kMaxPool3d,
+    OpKind::kGlobalAvgPool, OpKind::kAdd,
+    OpKind::kConcat,       OpKind::kFlatten,
+    OpKind::kReshape,      OpKind::kConcatLast,
+    OpKind::kPadSpatial,   OpKind::kUpsample,
+    OpKind::kFusedConvBnAct, OpKind::kLstm,
+    OpKind::kGru,          OpKind::kSelectTimestep,
+    OpKind::kChannelShuffle, OpKind::kDetectPostprocess,
+};
+
+constexpr std::array<ActKind, 6> kAllActs = {
+    ActKind::kNone,      ActKind::kRelu,  ActKind::kRelu6,
+    ActKind::kLeakyRelu, ActKind::kSigmoid, ActKind::kTanh,
+};
+
+constexpr std::array<core::DType, 5> kAllDtypes = {
+    core::DType::kF32, core::DType::kF16, core::DType::kI8,
+    core::DType::kI32, core::DType::kBin1,
+};
+
+OpKind
+opKindFromName(const std::string& name)
+{
+    for (auto k : kAllKinds)
+        if (opKindName(k) == name)
+            return k;
+    if (name == "yolo_detect")
+        return OpKind::kYoloDetect;
+    throw InvalidArgumentError("serialize: unknown op kind '" + name +
+                               "'");
+}
+
+ActKind
+actKindFromName(const std::string& name)
+{
+    for (auto a : kAllActs)
+        if (actKindName(a) == name)
+            return a;
+    throw InvalidArgumentError("serialize: unknown activation '" +
+                               name + "'");
+}
+
+core::DType
+dtypeFromName(const std::string& name)
+{
+    for (auto d : kAllDtypes)
+        if (core::dtypeName(d) == name)
+            return d;
+    throw InvalidArgumentError("serialize: unknown dtype '" + name +
+                               "'");
+}
+
+/** Print a shape / id list as v1,v2,v3 (empty string when empty). */
+template <typename Seq>
+std::string
+joinInts(const Seq& seq)
+{
+    std::ostringstream oss;
+    bool first = true;
+    for (auto v : seq) {
+        if (!first)
+            oss << ",";
+        oss << v;
+        first = false;
+    }
+    return oss.str();
+}
+
+std::vector<std::int64_t>
+splitInts(const std::string& text)
+{
+    std::vector<std::int64_t> out;
+    std::string token;
+    std::istringstream iss(text);
+    while (std::getline(iss, token, ','))
+        if (!token.empty())
+            out.push_back(std::stoll(token));
+    return out;
+}
+
+} // namespace
+
+void
+writeGraphText(const Graph& g, std::ostream& os)
+{
+    os << "EBG v1\n";
+    os << "name " << g.name() << "\n";
+    os << "input_desc " << g.inputDescription() << "\n";
+    for (const auto& n : g.nodes()) {
+        os << "node " << n.id << " " << opKindName(n.kind)
+           << " dtype=" << core::dtypeName(n.dtype)
+           << " shape=" << joinInts(n.outShape)
+           << " in=" << joinInts(n.inputs) << " name=" << n.name
+           << "\n";
+        const auto& a = n.attrs;
+        switch (n.kind) {
+          case OpKind::kConv2d:
+          case OpKind::kFusedConvBnAct:
+            os << " attr conv2d " << a.conv2d.n << " " << a.conv2d.inC
+               << " " << a.conv2d.inH << " " << a.conv2d.inW << " "
+               << a.conv2d.outC << " " << a.conv2d.kH << " "
+               << a.conv2d.kW << " " << a.conv2d.strideH << " "
+               << a.conv2d.strideW << " " << a.conv2d.padH << " "
+               << a.conv2d.padW << " " << a.conv2d.dilH << " "
+               << a.conv2d.dilW << " " << a.conv2d.groups << "\n";
+            if (n.kind == OpKind::kFusedConvBnAct) {
+                os << " attr act " << actKindName(a.activation)
+                   << " " << a.leakySlope << "\n";
+            }
+            break;
+          case OpKind::kConv3d:
+            os << " attr conv3d " << a.conv3d.n << " " << a.conv3d.inC
+               << " " << a.conv3d.inD << " " << a.conv3d.inH << " "
+               << a.conv3d.inW << " " << a.conv3d.outC << " "
+               << a.conv3d.kD << " " << a.conv3d.kH << " "
+               << a.conv3d.kW << " " << a.conv3d.strideD << " "
+               << a.conv3d.strideH << " " << a.conv3d.strideW << " "
+               << a.conv3d.padD << " " << a.conv3d.padH << " "
+               << a.conv3d.padW << "\n";
+            break;
+          case OpKind::kDense:
+            os << " attr dense " << a.dense.batch << " "
+               << a.dense.inFeatures << " " << a.dense.outFeatures
+               << "\n";
+            break;
+          case OpKind::kLstm:
+          case OpKind::kGru:
+            os << " attr rnn " << a.rnn.batch << " " << a.rnn.seqLen
+               << " " << a.rnn.inputSize << " " << a.rnn.hiddenSize
+               << " " << a.rnn.gates << "\n";
+            break;
+          case OpKind::kBatchNorm:
+            os << " attr bn_eps " << a.bnEpsilon << "\n";
+            break;
+          case OpKind::kActivation:
+            os << " attr act " << actKindName(a.activation) << " "
+               << a.leakySlope << "\n";
+            break;
+          case OpKind::kMaxPool2d:
+          case OpKind::kAvgPool2d:
+            os << " attr pool2d " << a.pool2d.n << " " << a.pool2d.c
+               << " " << a.pool2d.inH << " " << a.pool2d.inW << " "
+               << a.pool2d.kH << " " << a.pool2d.kW << " "
+               << a.pool2d.strideH << " " << a.pool2d.strideW << " "
+               << a.pool2d.padH << " " << a.pool2d.padW << " "
+               << (a.pool2d.ceilMode ? 1 : 0) << "\n";
+            break;
+          case OpKind::kMaxPool3d:
+            os << " attr pool3d " << a.pool3d.n << " " << a.pool3d.c
+               << " " << a.pool3d.inD << " " << a.pool3d.inH << " "
+               << a.pool3d.inW << " " << a.pool3d.kD << " "
+               << a.pool3d.kH << " " << a.pool3d.kW << " "
+               << a.pool3d.strideD << " " << a.pool3d.strideH << " "
+               << a.pool3d.strideW << " " << a.pool3d.padD << " "
+               << a.pool3d.padH << " " << a.pool3d.padW << "\n";
+            break;
+          case OpKind::kPadSpatial:
+            os << " attr pads " << a.pads[0] << " " << a.pads[1]
+               << " " << a.pads[2] << " " << a.pads[3] << "\n";
+            break;
+          case OpKind::kUpsample:
+            os << " attr upsample " << a.upsampleFactor << "\n";
+            break;
+          case OpKind::kSelectTimestep:
+            os << " attr timestep " << a.timestep << "\n";
+            break;
+          case OpKind::kChannelShuffle:
+            os << " attr groups " << a.conv2d.groups << "\n";
+            break;
+          case OpKind::kDetectPostprocess:
+            os << " attr detect " << a.numClasses << " "
+               << a.scoreThreshold << " " << a.iouThreshold << "\n";
+            break;
+          case OpKind::kYoloDetect:
+            os << " attr yolo " << a.numClasses << " " << a.numAnchors
+               << "\n";
+            break;
+          default:
+            break;
+        }
+        for (const auto& ps : n.paramShapes)
+            os << " param " << joinInts(ps) << "\n";
+        if (n.weightSparsity > 0.0)
+            os << " attr sparsity " << n.weightSparsity << "\n";
+        if (n.outQuant) {
+            os << " attr outquant " << n.outQuant->scale << " "
+               << n.outQuant->zeroPoint << "\n";
+        }
+    }
+    os << "inputs " << joinInts(g.inputIds()) << "\n";
+    os << "outputs " << joinInts(g.outputIds()) << "\n";
+}
+
+Graph
+readGraphText(std::istream& is)
+{
+    std::string line;
+    EB_CHECK(std::getline(is, line) && line == "EBG v1",
+             "serialize: bad magic, expected 'EBG v1'");
+
+    Graph g;
+    Node* current = nullptr;
+    std::vector<Node> pending; // nodes staged before appendRaw
+
+    auto flush = [&]() {
+        for (auto& n : pending)
+            g.appendRaw(std::move(n));
+        pending.clear();
+        current = nullptr;
+    };
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string tag;
+        iss >> tag;
+        if (tag == "name") {
+            std::string rest;
+            std::getline(iss, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(0, 1);
+            g.setName(rest);
+        } else if (tag == "input_desc") {
+            std::string rest;
+            std::getline(iss, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(0, 1);
+            g.setInputDescription(rest);
+        } else if (tag == "node") {
+            Node n;
+            std::int64_t id;
+            std::string kind, field;
+            iss >> id >> kind;
+            n.kind = opKindFromName(kind);
+            while (iss >> field) {
+                const auto eq = field.find('=');
+                EB_CHECK(eq != std::string::npos,
+                         "serialize: bad node field '" << field
+                                                       << "'");
+                const std::string key = field.substr(0, eq);
+                const std::string val = field.substr(eq + 1);
+                if (key == "dtype") {
+                    n.dtype = dtypeFromName(val);
+                } else if (key == "shape") {
+                    n.outShape = splitInts(val);
+                } else if (key == "in") {
+                    for (auto v : splitInts(val))
+                        n.inputs.push_back(
+                            static_cast<NodeId>(v));
+                } else if (key == "name") {
+                    // The name may contain spaces: take the rest.
+                    std::string rest;
+                    std::getline(iss, rest);
+                    n.name = val + rest;
+                } else {
+                    throw InvalidArgumentError(
+                        "serialize: unknown node field '" + key +
+                        "'");
+                }
+            }
+            pending.push_back(std::move(n));
+            current = &pending.back();
+        } else if (tag == "attr") {
+            EB_CHECK(current != nullptr,
+                     "serialize: attr before any node");
+            std::string which;
+            iss >> which;
+            auto& a = current->attrs;
+            if (which == "conv2d") {
+                auto& c = a.conv2d;
+                iss >> c.n >> c.inC >> c.inH >> c.inW >> c.outC >>
+                    c.kH >> c.kW >> c.strideH >> c.strideW >> c.padH >>
+                    c.padW >> c.dilH >> c.dilW >> c.groups;
+            } else if (which == "conv3d") {
+                auto& c = a.conv3d;
+                iss >> c.n >> c.inC >> c.inD >> c.inH >> c.inW >>
+                    c.outC >> c.kD >> c.kH >> c.kW >> c.strideD >>
+                    c.strideH >> c.strideW >> c.padD >> c.padH >>
+                    c.padW;
+            } else if (which == "dense") {
+                iss >> a.dense.batch >> a.dense.inFeatures >>
+                    a.dense.outFeatures;
+            } else if (which == "rnn") {
+                iss >> a.rnn.batch >> a.rnn.seqLen >>
+                    a.rnn.inputSize >> a.rnn.hiddenSize >>
+                    a.rnn.gates;
+            } else if (which == "bn_eps") {
+                iss >> a.bnEpsilon;
+            } else if (which == "act") {
+                std::string act;
+                iss >> act >> a.leakySlope;
+                a.activation = actKindFromName(act);
+            } else if (which == "pool2d") {
+                auto& p = a.pool2d;
+                int ceil = 0;
+                iss >> p.n >> p.c >> p.inH >> p.inW >> p.kH >> p.kW >>
+                    p.strideH >> p.strideW >> p.padH >> p.padW >> ceil;
+                p.ceilMode = (ceil != 0);
+            } else if (which == "pool3d") {
+                auto& p = a.pool3d;
+                iss >> p.n >> p.c >> p.inD >> p.inH >> p.inW >> p.kD >>
+                    p.kH >> p.kW >> p.strideD >> p.strideH >>
+                    p.strideW >> p.padD >> p.padH >> p.padW;
+            } else if (which == "pads") {
+                iss >> a.pads[0] >> a.pads[1] >> a.pads[2] >>
+                    a.pads[3];
+            } else if (which == "upsample") {
+                iss >> a.upsampleFactor;
+            } else if (which == "timestep") {
+                iss >> a.timestep;
+            } else if (which == "groups") {
+                iss >> a.conv2d.groups;
+            } else if (which == "detect") {
+                iss >> a.numClasses >> a.scoreThreshold >>
+                    a.iouThreshold;
+            } else if (which == "yolo") {
+                iss >> a.numClasses >> a.numAnchors;
+            } else if (which == "sparsity") {
+                iss >> current->weightSparsity;
+            } else if (which == "outquant") {
+                core::QuantParams qp;
+                iss >> qp.scale >> qp.zeroPoint;
+                current->outQuant = qp;
+            } else {
+                throw InvalidArgumentError(
+                    "serialize: unknown attr '" + which + "'");
+            }
+        } else if (tag == "param") {
+            EB_CHECK(current != nullptr,
+                     "serialize: param before any node");
+            std::string val;
+            iss >> val;
+            current->paramShapes.push_back(splitInts(val));
+        } else if (tag == "inputs") {
+            flush();
+            std::string val;
+            iss >> val;
+            for (auto v : splitInts(val))
+                g.markInput(static_cast<NodeId>(v));
+        } else if (tag == "outputs") {
+            flush();
+            std::string val;
+            iss >> val;
+            for (auto v : splitInts(val))
+                g.markOutput(static_cast<NodeId>(v));
+        } else {
+            throw InvalidArgumentError("serialize: unknown tag '" +
+                                       tag + "'");
+        }
+    }
+    flush();
+    EB_CHECK(g.numNodes() > 0, "serialize: empty graph");
+    return g;
+}
+
+std::string
+graphToString(const Graph& g)
+{
+    std::ostringstream oss;
+    writeGraphText(g, oss);
+    return oss.str();
+}
+
+Graph
+graphFromString(const std::string& text)
+{
+    std::istringstream iss(text);
+    return readGraphText(iss);
+}
+
+} // namespace graph
+} // namespace edgebench

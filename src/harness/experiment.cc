@@ -1,0 +1,83 @@
+#include "edgebench/harness/experiment.hh"
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace harness
+{
+
+Stats
+timeInferenceLoop(const frameworks::InferenceSession& session,
+                  std::int64_t loops, core::Rng& rng, double jitter)
+{
+    EB_CHECK(loops > 0, "timeInferenceLoop: need at least one loop");
+    EB_CHECK(jitter >= 0.0 && jitter < 0.5,
+             "timeInferenceLoop: unreasonable jitter " << jitter);
+    const double base = session.run(1).perInferenceMs;
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(loops));
+    for (std::int64_t i = 0; i < loops; ++i) {
+        const double noisy = base * (1.0 + rng.normal(0.0, jitter));
+        samples.push_back(noisy > 0.0 ? noisy : base);
+    }
+    return Stats::of(samples);
+}
+
+const std::vector<ExperimentInfo>&
+experimentRegistry()
+{
+    static const std::vector<ExperimentInfo> registry = {
+        {"table1", "II", "model FLOP/params/FLOP-per-param",
+         "bench_table1_models"},
+        {"table2", "III", "framework traits matrix",
+         "bench_table2_frameworks"},
+        {"table3", "IV", "device specifications and power",
+         "bench_table3_devices"},
+        {"table5", "VI-A", "model x platform compatibility",
+         "bench_table5_compat"},
+        {"table6", "VI-F", "cooling instruments and idle temps",
+         "bench_table6_cooling"},
+        {"fig1", "II", "models sorted by FLOP/param",
+         "bench_table1_models"},
+        {"fig2", "VI-A", "time per inference, best framework per device",
+         "bench_fig02_edge_inference"},
+        {"fig3", "VI-B1", "RPi cross-framework time per inference",
+         "bench_fig03_rpi_frameworks"},
+        {"fig4", "VI-B1", "TX2 cross-framework time per inference",
+         "bench_fig04_tx2_frameworks"},
+        {"fig5", "VI-B3", "software-stack phase breakdown",
+         "bench_fig05_software_stack"},
+        {"fig6", "VI-B1", "GTX Titan X: TensorFlow vs PyTorch",
+         "bench_fig06_gtx_tf_vs_pt"},
+        {"fig7", "VI-B2", "Jetson Nano: PyTorch vs TensorRT",
+         "bench_fig07_nano_tensorrt"},
+        {"fig8", "VI-B2", "RPi: PyTorch vs TensorFlow vs TFLite",
+         "bench_fig08_rpi_tflite"},
+        {"fig9", "VI-C", "edge vs HPC time per inference",
+         "bench_fig09_edge_vs_hpc"},
+        {"fig10", "VI-C", "speedup over Jetson TX2",
+         "bench_fig10_speedup_tx2"},
+        {"fig11", "VI-E", "energy per inference",
+         "bench_fig11_energy"},
+        {"fig12", "VI-E", "inference time vs active power",
+         "bench_fig12_time_vs_power"},
+        {"fig13", "VI-D", "bare metal vs Docker slowdown",
+         "bench_fig13_virtualization"},
+        {"fig14", "VI-F", "temperature behaviour under load",
+         "bench_fig14_temperature"},
+    };
+    return registry;
+}
+
+const ExperimentInfo&
+experiment(const std::string& id)
+{
+    for (const auto& e : experimentRegistry())
+        if (e.id == id)
+            return e;
+    throw InvalidArgumentError("experiment: unknown id '" + id + "'");
+}
+
+} // namespace harness
+} // namespace edgebench

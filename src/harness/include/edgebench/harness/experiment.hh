@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Experiment runner: ties deployments, the measured-loop protocol of
+ * the paper (Section V) and the experiment registry (Table IV)
+ * together.
+ */
+
+#ifndef EDGEBENCH_HARNESS_EXPERIMENT_HH
+#define EDGEBENCH_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "edgebench/core/rng.hh"
+#include "edgebench/frameworks/runtime.hh"
+#include "edgebench/harness/stats.hh"
+
+namespace edgebench
+{
+namespace harness
+{
+
+/**
+ * Emulate the paper's timing protocol: run @p loops single-batch
+ * inferences, exclude initialization, and report per-inference
+ * statistics. Run-to-run jitter (scheduler noise, DVFS) is applied
+ * deterministically from @p rng at @p jitter relative sigma.
+ */
+Stats timeInferenceLoop(const frameworks::InferenceSession& session,
+                        std::int64_t loops, core::Rng& rng,
+                        double jitter = 0.02);
+
+/** One Table IV experiment descriptor. */
+struct ExperimentInfo
+{
+    std::string id;       ///< "fig2", "table5", ...
+    std::string section;  ///< paper section, e.g. "VI-A"
+    std::string metric;   ///< what the experiment reports
+    std::string benchTarget; ///< bench binary reproducing it
+};
+
+/** Registry of every reproduced table/figure (Table IV). */
+const std::vector<ExperimentInfo>& experimentRegistry();
+
+/** Lookup by id; throws when unknown. */
+const ExperimentInfo& experiment(const std::string& id);
+
+} // namespace harness
+} // namespace edgebench
+
+#endif // EDGEBENCH_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ASCII table and figure-series emitters used by the bench binaries
+ * to print paper-style tables and figure data.
+ */
+
+#ifndef EDGEBENCH_HARNESS_REPORT_HH
+#define EDGEBENCH_HARNESS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edgebench
+{
+namespace harness
+{
+
+/** A fixed-column ASCII table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    void print(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * A named series of (label, value) points; prints as aligned rows.
+ * Bench binaries use one Figure per paper figure, one series per
+ * bar/line group.
+ */
+class Figure
+{
+  public:
+    Figure(std::string id, std::string caption);
+
+    void addSeries(const std::string& name,
+                   const std::vector<std::string>& labels,
+                   const std::vector<double>& values);
+
+    void print(std::ostream& os) const;
+
+  private:
+    std::string id_;
+    std::string caption_;
+    struct Series
+    {
+        std::string name;
+        std::vector<std::string> labels;
+        std::vector<double> values;
+    };
+    std::vector<Series> series_;
+};
+
+/** Print a bench banner: "== fig2: <title> ==". */
+void printBanner(std::ostream& os, const std::string& id,
+                 const std::string& title);
+
+} // namespace harness
+} // namespace edgebench
+
+#endif // EDGEBENCH_HARNESS_REPORT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Summary statistics for repeated measurements.
+ */
+
+#ifndef EDGEBENCH_HARNESS_STATS_HH
+#define EDGEBENCH_HARNESS_STATS_HH
+
+#include <iosfwd>
+#include <vector>
+
+namespace edgebench
+{
+namespace harness
+{
+
+/** Summary of a sample set. */
+struct Stats
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /** Compute all fields from @p samples (must be non-empty). */
+    static Stats of(std::vector<double> samples);
+};
+
+/** Geometric mean of strictly positive values. */
+double geomean(const std::vector<double>& values);
+
+/**
+ * Fixed-range histogram with underflow/overflow buckets and an ASCII
+ * bar rendering (used for latency distributions in serving reports).
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int buckets);
+
+    void add(double v);
+
+    std::size_t total() const { return total_; }
+    /** Count in bucket @p i (0..buckets-1). */
+    std::size_t bucketCount(int i) const;
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLow(int i) const;
+
+    /** Render as rows of "[lo, hi)  count  ####". */
+    void print(std::ostream& os, int max_bar_width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace harness
+} // namespace edgebench
+
+#endif // EDGEBENCH_HARNESS_STATS_HH

@@ -1,0 +1,104 @@
+#include "edgebench/harness/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace harness
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    EB_CHECK(!headers_.empty(), "Table: no headers");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    EB_CHECK(cells.size() == headers_.size(),
+             "Table: row has " << cells.size() << " cells, expected "
+                               << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::left
+               << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << " |\n";
+    };
+    emit(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+Figure::Figure(std::string id, std::string caption)
+    : id_(std::move(id)), caption_(std::move(caption))
+{
+}
+
+void
+Figure::addSeries(const std::string& name,
+                  const std::vector<std::string>& labels,
+                  const std::vector<double>& values)
+{
+    EB_CHECK(labels.size() == values.size(),
+             "Figure: labels/values mismatch in series " << name);
+    series_.push_back({name, labels, values});
+}
+
+void
+Figure::print(std::ostream& os) const
+{
+    os << "-- " << id_ << ": " << caption_ << " --\n";
+    for (const auto& s : series_) {
+        os << "series: " << s.name << "\n";
+        std::size_t w = 0;
+        for (const auto& l : s.labels)
+            w = std::max(w, l.size());
+        for (std::size_t i = 0; i < s.labels.size(); ++i) {
+            os << "  " << std::left
+               << std::setw(static_cast<int>(w)) << s.labels[i]
+               << "  " << Table::num(s.values[i], 3) << "\n";
+        }
+    }
+}
+
+void
+printBanner(std::ostream& os, const std::string& id,
+            const std::string& title)
+{
+    os << "\n== " << id << ": " << title << " ==\n";
+}
+
+} // namespace harness
+} // namespace edgebench

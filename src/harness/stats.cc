@@ -1,0 +1,116 @@
+#include "edgebench/harness/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace harness
+{
+
+Stats
+Stats::of(std::vector<double> samples)
+{
+    EB_CHECK(!samples.empty(), "Stats::of: empty sample set");
+    Stats s;
+    s.count = samples.size();
+    std::sort(samples.begin(), samples.end());
+    s.min = samples.front();
+    s.max = samples.back();
+    const std::size_t n = samples.size();
+    s.median = (n % 2 == 1)
+        ? samples[n / 2]
+        : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (double v : samples)
+        ss += (v - s.mean) * (v - s.mean);
+    s.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+    return s;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    EB_CHECK(!values.empty(), "geomean: empty input");
+    double log_sum = 0.0;
+    for (double v : values) {
+        EB_CHECK(v > 0.0, "geomean: non-positive value " << v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi),
+      counts_(static_cast<std::size_t>(buckets), 0)
+{
+    EB_CHECK(hi > lo, "Histogram: hi " << hi << " <= lo " << lo);
+    EB_CHECK(buckets > 0, "Histogram: need at least one bucket");
+}
+
+void
+Histogram::add(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto n = counts_.size();
+    auto idx = static_cast<std::size_t>(
+        (v - lo_) / (hi_ - lo_) * static_cast<double>(n));
+    if (idx >= n)
+        idx = n - 1;
+    ++counts_[idx];
+}
+
+std::size_t
+Histogram::bucketCount(int i) const
+{
+    EB_CHECK(i >= 0 && static_cast<std::size_t>(i) < counts_.size(),
+             "Histogram: bucket " << i << " out of range");
+    return counts_[static_cast<std::size_t>(i)];
+}
+
+double
+Histogram::bucketLow(int i) const
+{
+    EB_CHECK(i >= 0 && static_cast<std::size_t>(i) <= counts_.size(),
+             "Histogram: edge " << i << " out of range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(counts_.size());
+}
+
+void
+Histogram::print(std::ostream& os, int max_bar_width) const
+{
+    std::size_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    if (underflow_ > 0)
+        os << "  (<" << bucketLow(0) << ")  " << underflow_ << "\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) /
+            static_cast<double>(peak) * max_bar_width);
+        os << "  [" << bucketLow(static_cast<int>(i)) << ", "
+           << bucketLow(static_cast<int>(i) + 1) << ")  "
+           << counts_[i] << "  " << std::string(bar, '#') << "\n";
+    }
+    if (overflow_ > 0)
+        os << "  (>=" << hi_ << ")  " << overflow_ << "\n";
+}
+
+} // namespace harness
+} // namespace edgebench

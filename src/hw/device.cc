@@ -1,0 +1,326 @@
+#include "edgebench/hw/device.hh"
+
+#include <array>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace hw
+{
+
+double
+ComputeUnit::peakFor(core::DType t) const
+{
+    switch (t) {
+      case core::DType::kF32:
+        // Integer-only accelerators (EdgeTPU) emulate residual fp32
+        // ops at a fraction of their integer rate.
+        if (peakGflopsF32 > 0.0)
+            return peakGflopsF32;
+        return peakGflopsF16 > 0.0 ? peakGflopsF16 : peakGopsI8 / 4.0;
+      case core::DType::kF16:
+        return peakGflopsF16 > 0.0 ? peakGflopsF16 : peakFor(
+            core::DType::kF32);
+      case core::DType::kI8:
+      case core::DType::kBin1:
+        return peakGopsI8 > 0.0 ? peakGopsI8 : peakGflopsF32;
+      case core::DType::kI32:
+        return peakGflopsF32;
+    }
+    throw InternalError("peakFor: unknown dtype");
+}
+
+const ComputeUnit&
+DeviceSpec::preferredUnit() const
+{
+    if (accelerator)
+        return *accelerator;
+    if (gpu)
+        return *gpu;
+    return cpu;
+}
+
+bool
+DeviceSpec::isEdge() const
+{
+    return category != DeviceCategory::kHpcCpu &&
+        category != DeviceCategory::kHpcGpu;
+}
+
+namespace
+{
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kKiB = 1024.0;
+
+/**
+ * Registry of Table III platforms. Peak numbers are theoretical
+ * hardware capabilities derived from the published core counts and
+ * clocks in Table III; idle/average power are the paper's measured
+ * values. See EXPERIMENTS.md for the derivations.
+ */
+const std::array<DeviceSpec, 10>
+buildRegistry()
+{
+    std::array<DeviceSpec, 10> r{};
+
+    // (1) Raspberry Pi 3B: 4x Cortex-A53 @ 1.2 GHz, 1 GB LPDDR2,
+    // no GPGPU, no accelerator.
+    r[0] = DeviceSpec{
+        .id = DeviceId::kRpi3,
+        .name = "RPi3",
+        .category = DeviceCategory::kIoTEdge,
+        // Capacity is the ~450 MB usable for a model once the OS and
+        // the framework runtime claim their share of the 1 GB board.
+        .cpu = {UnitKind::kCpu, "Cortex-A53 x4 @1.2GHz",
+                /*f32=*/9.6, /*f16=*/9.6, /*i8=*/0.0,
+                /*bw=*/2.6, /*cap=*/0.45 * kGiB, 0.0, 1.0},
+        .gpu = std::nullopt,
+        .accelerator = std::nullopt,
+        .idlePowerW = 1.33,
+        .averagePowerW = 2.73,
+        .memoryDescription = "1 GB LPDDR2",
+    };
+
+    // (2) Jetson TX2: 4x A57 + 2x Denver2 @ 2 GHz, 256-core Pascal
+    // GPU, 8 GB shared LPDDR4 (128-bit).
+    r[1] = DeviceSpec{
+        .id = DeviceId::kJetsonTx2,
+        .name = "Jetson TX2",
+        .category = DeviceCategory::kGpuEdge,
+        .cpu = {UnitKind::kCpu, "A57x4+Denver2x2 @2GHz",
+                48.0, 48.0, 0.0, 35.0, 7.5 * kGiB, 0.0, 1.0},
+        .gpu = ComputeUnit{UnitKind::kGpu, "Pascal 256-core",
+                           665.0, 1330.0, 0.0, 35.0, 7.5 * kGiB, 0.0,
+                           1.0},
+        .accelerator = std::nullopt,
+        .idlePowerW = 1.90,
+        .averagePowerW = 9.65,
+        .memoryDescription = "8 GB LPDDR4",
+    };
+
+    // (3) Jetson Nano: 4x A57 @ 1.43 GHz, 128-core Maxwell GPU,
+    // 4 GB shared LPDDR4 (64-bit).
+    r[2] = DeviceSpec{
+        .id = DeviceId::kJetsonNano,
+        .name = "Jetson Nano",
+        .category = DeviceCategory::kGpuEdge,
+        .cpu = {UnitKind::kCpu, "Cortex-A57 x4 @1.43GHz",
+                22.9, 22.9, 0.0, 21.0, 3.6 * kGiB, 0.0, 1.0},
+        .gpu = ComputeUnit{UnitKind::kGpu, "Maxwell 128-core",
+                           236.0, 472.0, 944.0, 21.0, 3.6 * kGiB, 0.0,
+                           1.0},
+        .accelerator = std::nullopt,
+        .idlePowerW = 1.25,
+        .averagePowerW = 4.58,
+        .memoryDescription = "4 GB LPDDR4",
+    };
+
+    // (4) EdgeTPU dev board: 4x A53 host + EdgeTPU ASIC (4 TOPS
+    // INT8, ~8 MB on-chip SRAM), 1 GB LPDDR4.
+    r[3] = DeviceSpec{
+        .id = DeviceId::kEdgeTpu,
+        .name = "EdgeTPU",
+        .category = DeviceCategory::kAsicEdge,
+        .cpu = {UnitKind::kCpu, "Cortex-A53 x4 @1.5GHz",
+                12.0, 12.0, 0.0, 12.8, 0.5 * kGiB, 0.0, 1.0},
+        .gpu = std::nullopt,
+        .accelerator = ComputeUnit{UnitKind::kAccelerator,
+                                   "EdgeTPU ASIC", 0.0, 0.0, 4000.0,
+                                   12.8, 0.5 * kGiB, 8.0 * kMiB, 3.0},
+        .idlePowerW = 3.24,
+        .averagePowerW = 4.14,
+        .memoryDescription = "1 GB LPDDR4 (host)",
+    };
+
+    // (5) Movidius NCS: Myriad 2 VPU, 12 SHAVE VLIW cores, native
+    // FP16, 512 MB on-stick LPDDR. USB-attached.
+    r[4] = DeviceSpec{
+        .id = DeviceId::kMovidius,
+        .name = "Movidius",
+        .category = DeviceCategory::kAsicEdge,
+        .cpu = {UnitKind::kCpu, "host (USB)", 8.0, 8.0, 0.0, 2.0,
+                0.4 * kGiB, 0.0, 1.0},
+        .gpu = std::nullopt,
+        .accelerator = ComputeUnit{UnitKind::kAccelerator,
+                                   "Myriad 2 VPU (12 SHAVE)", 80.0,
+                                   160.0, 160.0, 4.0, 0.45 * kGiB,
+                                   2.0 * kMiB, 1.5},
+        .idlePowerW = 0.36,
+        .averagePowerW = 1.52,
+        .memoryDescription = "512 MB LPDDR (on stick)",
+    };
+
+    // (6) PYNQ-Z1: 2x A9 @ 650 MHz + Artix-7 fabric (220 DSP,
+    // 630 KB BRAM), 512 MB DDR3 (16-bit).
+    r[5] = DeviceSpec{
+        .id = DeviceId::kPynqZ1,
+        .name = "PYNQ",
+        .category = DeviceCategory::kFpgaEdge,
+        .cpu = {UnitKind::kCpu, "Cortex-A9 x2 @650MHz", 2.6, 2.6,
+                0.0, 1.0, 0.4 * kGiB, 0.0, 1.0},
+        .gpu = std::nullopt,
+        .accelerator = ComputeUnit{UnitKind::kAccelerator,
+                                   "ZYNQ XC7Z020 fabric", 15.0, 30.0,
+                                   62.0, 1.6, 0.4 * kGiB,
+                                   630.0 * kKiB, 20.0},
+        .idlePowerW = 2.65,
+        .averagePowerW = 5.24,
+        .memoryDescription = "630 KB BRAM + 512 MB DDR3",
+    };
+
+    // (7) Xeon E5-2696 v4 x2: 44 cores @ 2.2 GHz, AVX2.
+    r[6] = DeviceSpec{
+        .id = DeviceId::kXeon,
+        .name = "Xeon CPU",
+        .category = DeviceCategory::kHpcCpu,
+        .cpu = {UnitKind::kCpu, "E5-2696v4 x2 (44 cores)", 1549.0,
+                1549.0, 0.0, 130.0, 250.0 * kGiB, 0.0, 1.0},
+        .gpu = std::nullopt,
+        .accelerator = std::nullopt,
+        .idlePowerW = 70.0,
+        .averagePowerW = 145.0,
+        .memoryDescription = "264 GB DDR4",
+    };
+
+    // (8) RTX 2080: 2944-core Turing, FP16 2x, INT8 tensor cores.
+    r[7] = DeviceSpec{
+        .id = DeviceId::kRtx2080,
+        .name = "RTX 2080",
+        .category = DeviceCategory::kHpcGpu,
+        .cpu = {UnitKind::kCpu, "host", 200.0, 200.0, 0.0, 50.0,
+                32.0 * kGiB, 0.0, 1.0},
+        .gpu = ComputeUnit{UnitKind::kGpu, "Turing 2944-core",
+                           10100.0, 20200.0, 80000.0, 448.0,
+                           7.5 * kGiB, 0.0, 1.0},
+        .accelerator = std::nullopt,
+        .idlePowerW = 39.0,
+        .averagePowerW = 120.0,
+        .memoryDescription = "8 GB GDDR6",
+    };
+
+    // (9) GTX Titan X: 3072-core Maxwell.
+    r[8] = DeviceSpec{
+        .id = DeviceId::kGtxTitanX,
+        .name = "GTX Titan X",
+        .category = DeviceCategory::kHpcGpu,
+        .cpu = {UnitKind::kCpu, "host", 200.0, 200.0, 0.0, 50.0,
+                32.0 * kGiB, 0.0, 1.0},
+        .gpu = ComputeUnit{UnitKind::kGpu, "Maxwell 3072-core",
+                           6600.0, 6600.0, 0.0, 336.0, 11.5 * kGiB,
+                           0.0, 1.0},
+        .accelerator = std::nullopt,
+        .idlePowerW = 15.0,
+        .averagePowerW = 100.0,
+        .memoryDescription = "12 GB GDDR5",
+    };
+
+    // (10) Titan Xp: 3840-core Pascal.
+    r[9] = DeviceSpec{
+        .id = DeviceId::kTitanXp,
+        .name = "Titan Xp",
+        .category = DeviceCategory::kHpcGpu,
+        .cpu = {UnitKind::kCpu, "host", 200.0, 200.0, 0.0, 50.0,
+                32.0 * kGiB, 0.0, 1.0},
+        .gpu = ComputeUnit{UnitKind::kGpu, "Pascal 3840-core",
+                           12150.0, 12150.0, 0.0, 548.0, 11.5 * kGiB,
+                           0.0, 1.0},
+        .accelerator = std::nullopt,
+        .idlePowerW = 55.0,
+        .averagePowerW = 130.0,
+        .memoryDescription = "12 GB GDDR5X",
+    };
+
+    return r;
+}
+
+const std::array<DeviceSpec, 10>&
+registry()
+{
+    static const auto r = buildRegistry();
+    return r;
+}
+
+} // namespace
+
+const DeviceSpec&
+deviceSpec(DeviceId id)
+{
+    for (const auto& d : registry())
+        if (d.id == id)
+            return d;
+    throw InternalError("deviceSpec: unknown device");
+}
+
+const std::vector<DeviceId>&
+allDevices()
+{
+    static const std::vector<DeviceId> ids = [] {
+        std::vector<DeviceId> v;
+        for (const auto& d : registry())
+            v.push_back(d.id);
+        return v;
+    }();
+    return ids;
+}
+
+const std::vector<DeviceId>&
+edgeDevices()
+{
+    static const std::vector<DeviceId> ids = [] {
+        std::vector<DeviceId> v;
+        for (const auto& d : registry())
+            if (d.isEdge())
+                v.push_back(d.id);
+        return v;
+    }();
+    return ids;
+}
+
+const std::vector<DeviceId>&
+hpcDevices()
+{
+    static const std::vector<DeviceId> ids = [] {
+        std::vector<DeviceId> v;
+        for (const auto& d : registry())
+            if (!d.isEdge())
+                v.push_back(d.id);
+        return v;
+    }();
+    return ids;
+}
+
+std::string
+deviceName(DeviceId id)
+{
+    return deviceSpec(id).name;
+}
+
+DeviceId
+deviceByName(const std::string& name)
+{
+    for (const auto& d : registry())
+        if (d.name == name)
+            return d.id;
+    throw InvalidArgumentError("deviceByName: unknown device '" + name +
+                               "'");
+}
+
+std::string
+categoryName(DeviceCategory c)
+{
+    switch (c) {
+      case DeviceCategory::kIoTEdge: return "IoT/Edge Device";
+      case DeviceCategory::kGpuEdge: return "GPU-Based Edge Device";
+      case DeviceCategory::kAsicEdge: return "Custom-ASIC Edge Accelerator";
+      case DeviceCategory::kFpgaEdge: return "FPGA-Based";
+      case DeviceCategory::kHpcCpu: return "HPC CPU";
+      case DeviceCategory::kHpcGpu: return "HPC GPU";
+    }
+    throw InternalError("categoryName: unknown category");
+}
+
+} // namespace hw
+} // namespace edgebench

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Hardware platform models for every device in Table III of the
+ * paper: Raspberry Pi 3B, Jetson TX2, Jetson Nano, EdgeTPU, Movidius
+ * NCS, PYNQ-Z1, a Xeon server, and three HPC GPUs.
+ *
+ * Each device is described by one or more ComputeUnits (CPU, GPU,
+ * accelerator) with per-precision peak throughput, memory bandwidth
+ * and capacity, plus the idle/average power measured by the paper.
+ * The analytical latency engine (roofline.hh) prices computation
+ * graphs against these units.
+ */
+
+#ifndef EDGEBENCH_HW_DEVICE_HH
+#define EDGEBENCH_HW_DEVICE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edgebench/core/types.hh"
+
+namespace edgebench
+{
+namespace hw
+{
+
+/** Device identifiers, Table III order. */
+enum class DeviceId
+{
+    kRpi3,
+    kJetsonTx2,
+    kJetsonNano,
+    kEdgeTpu,
+    kMovidius,
+    kPynqZ1,
+    kXeon,
+    kRtx2080,
+    kGtxTitanX,
+    kTitanXp,
+};
+
+/** Table III device categories. */
+enum class DeviceCategory
+{
+    kIoTEdge,
+    kGpuEdge,
+    kAsicEdge,
+    kFpgaEdge,
+    kHpcCpu,
+    kHpcGpu,
+};
+
+/** Kinds of execution engines inside a device. */
+enum class UnitKind
+{
+    kCpu,
+    kGpu,
+    kAccelerator,
+};
+
+/**
+ * One execution engine. Peak numbers are theoretical hardware peaks;
+ * achieved fractions come from per-framework EngineProfiles.
+ */
+struct ComputeUnit
+{
+    UnitKind kind = UnitKind::kCpu;
+    std::string name;
+    double peakGflopsF32 = 0.0;
+    double peakGflopsF16 = 0.0;
+    /** INT8 throughput; 0 means no INT8 speedup over fp32. */
+    double peakGopsI8 = 0.0;
+    double memBandwidthGBs = 0.0;
+    /** Usable memory for weights+activations, bytes. */
+    double memCapacityBytes = 0.0;
+    /**
+     * Fast on-chip memory (EdgeTPU SRAM, PYNQ BRAM), bytes. Models
+     * whose working set exceeds it pay offChipPenalty on bandwidth.
+     */
+    double onChipBytes = 0.0;
+    /** Bandwidth divisor when spilling past onChipBytes (>= 1). */
+    double offChipPenalty = 1.0;
+
+    /** Peak throughput in GOP/s for the given element precision. */
+    double peakFor(core::DType t) const;
+};
+
+/** One Table III platform. */
+struct DeviceSpec
+{
+    DeviceId id;
+    std::string name;
+    DeviceCategory category;
+    ComputeUnit cpu;
+    std::optional<ComputeUnit> gpu;
+    std::optional<ComputeUnit> accelerator;
+    /** Measured idle power, Watts (Table III). */
+    double idlePowerW = 0.0;
+    /** Measured average power while executing DNNs (Table III). */
+    double averagePowerW = 0.0;
+    /** Human-readable memory description (Table III). */
+    std::string memoryDescription;
+
+    /** The fastest unit available for DNN execution. */
+    const ComputeUnit& preferredUnit() const;
+    bool isEdge() const;
+};
+
+/** Immutable registry entry lookup. */
+const DeviceSpec& deviceSpec(DeviceId id);
+
+/** All platforms, Table III order. */
+const std::vector<DeviceId>& allDevices();
+
+/** The six edge platforms. */
+const std::vector<DeviceId>& edgeDevices();
+
+/** The four HPC platforms. */
+const std::vector<DeviceId>& hpcDevices();
+
+/** Stable display name, e.g. "Jetson TX2". */
+std::string deviceName(DeviceId id);
+
+/** Lookup by display name; throws if unknown. */
+DeviceId deviceByName(const std::string& name);
+
+/** Category display string, e.g. "GPU-Based Edge Device". */
+std::string categoryName(DeviceCategory c);
+
+} // namespace hw
+} // namespace edgebench
+
+#endif // EDGEBENCH_HW_DEVICE_HH

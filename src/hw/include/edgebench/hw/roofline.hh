@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Analytical roofline latency engine.
+ *
+ * Per-layer latency is max(compute time, memory time) plus a per-op
+ * dispatch overhead; compute time uses the executing unit's peak for
+ * the node's precision scaled by a framework-dependent efficiency,
+ * and memory time streams inputs + outputs + weights at the unit's
+ * effective bandwidth. This decomposition is what makes the paper's
+ * compute-bound vs memory-bound model distinction (Fig. 1, Section
+ * VI-C) fall out of the model naturally.
+ */
+
+#ifndef EDGEBENCH_HW_ROOFLINE_HH
+#define EDGEBENCH_HW_ROOFLINE_HH
+
+#include <vector>
+
+#include "edgebench/graph/graph.hh"
+#include "edgebench/hw/device.hh"
+
+namespace edgebench
+{
+namespace hw
+{
+
+/**
+ * How a particular software stack drives a compute unit. Instances
+ * are calibrated per (framework, device) pair in the frameworks
+ * module, anchored to the paper's measured latencies.
+ */
+struct EngineProfile
+{
+    /** Fraction of the unit's peak throughput actually achieved. */
+    double computeEfficiency = 0.25;
+    /** Fraction of the unit's peak bandwidth actually achieved. */
+    double memoryEfficiency = 0.5;
+    /** Per-operator dispatch/launch cost, milliseconds. */
+    double perOpOverheadMs = 0.0;
+    /** Per-inference fixed cost (session entry, transfers), ms. */
+    double perInferenceOverheadMs = 0.0;
+    /** Whether pruned (sparse) weights skip compute. */
+    bool exploitsSparsity = false;
+    /**
+     * Utilization ramp: a layer only reaches computeEfficiency once
+     * its operation count saturates the unit's parallelism. Effective
+     * efficiency scales by min(1, ops/saturationMacs). 0 disables the
+     * ramp. This is what makes single-batch inference underuse
+     * many-core HPC hardware (paper Section VI-C): small ResNet
+     * layers cannot fill a 44-core Xeon or a 3840-core GPU, while
+     * VGG-sized layers can.
+     */
+    double saturationMacs = 0.0;
+    /**
+     * Shape of the utilization ramp: efficiency scales by
+     * (ops/saturationMacs)^saturationExponent below saturation.
+     * 1.0 = linear; 0.5 = square-root (gentler at the bottom).
+     */
+    double saturationExponent = 1.0;
+    /**
+     * Relative efficiency of grouped/depthwise convolutions (most
+     * general-purpose stacks run them far below dense-conv rates;
+     * mobile-tuned stacks do not).
+     */
+    double groupedConvFactor = 1.0;
+};
+
+/** Cost breakdown for one node. */
+struct NodeCost
+{
+    double computeMs = 0.0;
+    double memoryMs = 0.0;
+    double overheadMs = 0.0;
+
+    double totalMs() const
+    {
+        return (computeMs > memoryMs ? computeMs : memoryMs) +
+            overheadMs;
+    }
+};
+
+/** Cost breakdown for a whole graph. */
+struct GraphCost
+{
+    double computeMs = 0.0;    ///< sum of per-node compute times
+    double memoryMs = 0.0;     ///< sum of per-node memory times
+    double overheadMs = 0.0;   ///< dispatch + per-inference overhead
+    double totalMs = 0.0;      ///< end-to-end latency
+    std::int64_t computeBoundNodes = 0;
+    std::int64_t memoryBoundNodes = 0;
+};
+
+/** Latency of a single node on @p unit under @p profile. */
+NodeCost nodeLatency(const graph::Node& node, const ComputeUnit& unit,
+                     const EngineProfile& profile);
+
+/**
+ * End-to-end single-batch inference latency of @p g on @p unit.
+ * Throws MemoryCapacityError when the deployment footprint exceeds
+ * the unit's memory capacity.
+ */
+GraphCost graphLatency(const graph::Graph& g, const ComputeUnit& unit,
+                       const EngineProfile& profile);
+
+/**
+ * As graphLatency, but without the capacity check (used by dynamic-
+ * graph frameworks that swap instead of failing; the caller applies
+ * the swap penalty).
+ */
+GraphCost graphLatencyUnchecked(const graph::Graph& g,
+                                const ComputeUnit& unit,
+                                const EngineProfile& profile);
+
+/**
+ * Per-node end-to-end latency (max(compute, memory) + dispatch
+ * overhead), indexed by NodeId. The per-inference overhead is NOT
+ * included. Used by schedulers/partitioners that price subgraphs.
+ */
+std::vector<double> perNodeTotalMs(const graph::Graph& g,
+                                   const ComputeUnit& unit,
+                                   const EngineProfile& profile);
+
+} // namespace hw
+} // namespace edgebench
+
+#endif // EDGEBENCH_HW_ROOFLINE_HH

@@ -1,0 +1,217 @@
+#include "edgebench/hw/roofline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace hw
+{
+
+namespace
+{
+
+/** Bytes a node moves: inputs + output + weights at node precision. */
+double
+nodeBytes(const graph::Graph& g, const graph::Node& n)
+{
+    double bytes = n.outputBytes() + n.paramBytes();
+    for (auto in : n.inputs)
+        bytes += g.node(in).outputBytes();
+    return bytes;
+}
+
+/**
+ * Elementwise/data-movement work for zero-MAC ops, in operations.
+ * Pool/activation/add ops execute ~1 op per output element; this
+ * keeps them from being free on compute-starved devices.
+ */
+std::int64_t
+elementOps(const graph::Node& n)
+{
+    using graph::OpKind;
+    switch (n.kind) {
+      case OpKind::kActivation:
+      case OpKind::kSoftmax:
+      case OpKind::kAdd:
+      case OpKind::kGlobalAvgPool:
+      case OpKind::kUpsample:
+      case OpKind::kYoloDetect:
+        return n.outputElems();
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+        return n.outputElems() * n.attrs.pool2d.kH *
+            n.attrs.pool2d.kW;
+      case OpKind::kMaxPool3d:
+        return n.outputElems() * n.attrs.pool3d.kD *
+            n.attrs.pool3d.kH * n.attrs.pool3d.kW;
+      case OpKind::kDetectPostprocess:
+        // Score scan dominates (boxes x classes comparisons).
+        return n.inputs.empty() ? n.outputElems() : n.outputElems();
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+NodeCost
+nodeLatency(const graph::Node& node, const ComputeUnit& unit,
+            const EngineProfile& profile)
+{
+    EB_CHECK(profile.computeEfficiency > 0.0 &&
+                 profile.computeEfficiency <= 1.0,
+             "bad computeEfficiency " << profile.computeEfficiency);
+    EB_CHECK(profile.memoryEfficiency > 0.0 &&
+                 profile.memoryEfficiency <= 1.0,
+             "bad memoryEfficiency " << profile.memoryEfficiency);
+
+    NodeCost cost;
+    if (node.kind == graph::OpKind::kInput)
+        return cost;
+
+    double ops = static_cast<double>(node.macs());
+    if (profile.exploitsSparsity && node.weightSparsity > 0.0)
+        ops *= (1.0 - node.weightSparsity);
+    ops += static_cast<double>(elementOps(node));
+
+    // Recurrent layers execute one timestep at a time: only a single
+    // step's work is available to fill the machine, and each step is
+    // a separate dispatch.
+    const bool recurrent = node.kind == graph::OpKind::kLstm ||
+        node.kind == graph::OpKind::kGru;
+    const double seq_len =
+        recurrent ? static_cast<double>(node.attrs.rnn.seqLen) : 1.0;
+
+    // The utilization ramp applies to MAC-bearing kernels only;
+    // elementwise ops are bandwidth-bound and priced by the memory
+    // term instead.
+    double efficiency = profile.computeEfficiency;
+    if (profile.saturationMacs > 0.0 && node.macs() > 0) {
+        const double ramp = std::min(
+            1.0, ops / seq_len / profile.saturationMacs);
+        efficiency *= std::pow(ramp, profile.saturationExponent);
+    }
+    const bool grouped =
+        (node.kind == graph::OpKind::kConv2d ||
+         node.kind == graph::OpKind::kFusedConvBnAct) &&
+        node.attrs.conv2d.groups > 1;
+    if (grouped)
+        efficiency *= profile.groupedConvFactor;
+
+    const double peak_gops = unit.peakFor(node.dtype) * efficiency;
+    if (ops > 0.0)
+        cost.computeMs = ops / (peak_gops * 1e9) * 1e3;
+
+    // Memory traffic at node precision (cheap way to model the
+    // footprint reduction of INT8/FP16 inference). Producer
+    // activation sizes are not visible here; graphLatency() accounts
+    // them when the whole graph is available.
+    const double bytes = node.outputBytes() + node.paramBytes();
+    double bw = unit.memBandwidthGBs * profile.memoryEfficiency;
+    if (unit.onChipBytes > 0.0 &&
+        node.paramBytes() + node.outputBytes() > unit.onChipBytes)
+        bw /= unit.offChipPenalty;
+    cost.memoryMs = bytes / (bw * 1e9) * 1e3;
+    // One dispatch per timestep for recurrent layers.
+    cost.overheadMs = profile.perOpOverheadMs * seq_len;
+    return cost;
+}
+
+namespace
+{
+
+GraphCost
+latencyImpl(const graph::Graph& g, const ComputeUnit& unit,
+            const EngineProfile& profile)
+{
+    // Model-level spill decision: when the whole weight set exceeds
+    // the unit's on-chip memory, weights restream from off-chip every
+    // inference (EdgeTPU SRAM / PYNQ BRAM behaviour).
+    double total_param_bytes = 0.0;
+    for (const auto& n : g.nodes())
+        total_param_bytes += n.paramBytes();
+    const bool spills = unit.onChipBytes > 0.0 &&
+        total_param_bytes > unit.onChipBytes;
+
+    GraphCost total;
+    for (const auto& n : g.nodes()) {
+        if (n.kind == graph::OpKind::kInput)
+            continue;
+        NodeCost c = nodeLatency(n, unit, profile);
+        // Full memory traffic including producer activations.
+        double bytes = nodeBytes(g, n);
+        double bw = unit.memBandwidthGBs * profile.memoryEfficiency;
+        if (spills)
+            bw /= unit.offChipPenalty;
+        c.memoryMs = bytes / (bw * 1e9) * 1e3;
+
+        total.computeMs += c.computeMs;
+        total.memoryMs += c.memoryMs;
+        total.overheadMs += c.overheadMs;
+        total.totalMs += c.totalMs();
+        if (c.computeMs >= c.memoryMs)
+            ++total.computeBoundNodes;
+        else
+            ++total.memoryBoundNodes;
+    }
+    total.overheadMs += profile.perInferenceOverheadMs;
+    total.totalMs += profile.perInferenceOverheadMs;
+    return total;
+}
+
+} // namespace
+
+GraphCost
+graphLatency(const graph::Graph& g, const ComputeUnit& unit,
+             const EngineProfile& profile)
+{
+    const double footprint = graph::deploymentFootprintBytes(g);
+    if (footprint > unit.memCapacityBytes) {
+        std::ostringstream oss;
+        oss << "model " << g.name() << " needs "
+            << footprint / (1024.0 * 1024.0) << " MiB but unit '"
+            << unit.name << "' has "
+            << unit.memCapacityBytes / (1024.0 * 1024.0) << " MiB";
+        throw MemoryCapacityError(oss.str());
+    }
+    return latencyImpl(g, unit, profile);
+}
+
+GraphCost
+graphLatencyUnchecked(const graph::Graph& g, const ComputeUnit& unit,
+                      const EngineProfile& profile)
+{
+    return latencyImpl(g, unit, profile);
+}
+
+std::vector<double>
+perNodeTotalMs(const graph::Graph& g, const ComputeUnit& unit,
+               const EngineProfile& profile)
+{
+    double total_param_bytes = 0.0;
+    for (const auto& n : g.nodes())
+        total_param_bytes += n.paramBytes();
+    const bool spills = unit.onChipBytes > 0.0 &&
+        total_param_bytes > unit.onChipBytes;
+
+    std::vector<double> out(static_cast<std::size_t>(g.numNodes()),
+                            0.0);
+    for (const auto& n : g.nodes()) {
+        if (n.kind == graph::OpKind::kInput)
+            continue;
+        NodeCost c = nodeLatency(n, unit, profile);
+        double bw = unit.memBandwidthGBs * profile.memoryEfficiency;
+        if (spills)
+            bw /= unit.offChipPenalty;
+        c.memoryMs = nodeBytes(g, n) / (bw * 1e9) * 1e3;
+        out[static_cast<std::size_t>(n.id)] = c.totalMs();
+    }
+    return out;
+}
+
+} // namespace hw
+} // namespace edgebench

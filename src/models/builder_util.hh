@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Internal helpers shared by the model builders. Not installed as a
+ * public header.
+ */
+
+#ifndef EDGEBENCH_MODELS_BUILDER_UTIL_HH
+#define EDGEBENCH_MODELS_BUILDER_UTIL_HH
+
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace models
+{
+namespace detail
+{
+
+using graph::ActKind;
+using graph::Graph;
+using graph::NodeId;
+
+/** conv (no bias) + batch norm + activation; the ubiquitous block. */
+inline NodeId
+convBnAct(Graph& g, NodeId in, std::int64_t out_c, std::int64_t k,
+          std::int64_t stride, std::int64_t pad,
+          ActKind act = ActKind::kRelu, std::int64_t groups = 1,
+          const std::string& name = "")
+{
+    NodeId x = g.addConv2d(in, out_c, k, k, stride, pad, 1, groups,
+                           /*bias=*/false, name);
+    x = g.addBatchNorm(x, 1e-5, name.empty() ? "" : name + "_bn");
+    if (act != ActKind::kNone)
+        x = g.addActivation(x, act,
+                            name.empty() ? "" : name + "_act");
+    return x;
+}
+
+/** Rectangular conv + bn + relu (Inception factorized convs). */
+inline NodeId
+convBnActRect(Graph& g, NodeId in, std::int64_t out_c, std::int64_t k_h,
+              std::int64_t k_w, std::int64_t stride_h,
+              std::int64_t stride_w, std::int64_t pad_h,
+              std::int64_t pad_w, const std::string& name = "")
+{
+    NodeId x = g.addConv2dRect(in, out_c, k_h, k_w, stride_h, stride_w,
+                               pad_h, pad_w, /*bias=*/false, name);
+    x = g.addBatchNorm(x);
+    return g.addActivation(x, ActKind::kRelu);
+}
+
+/** conv with bias + activation, no batch norm (VGG/AlexNet style). */
+inline NodeId
+convAct(Graph& g, NodeId in, std::int64_t out_c, std::int64_t k,
+        std::int64_t stride, std::int64_t pad,
+        ActKind act = ActKind::kRelu, std::int64_t groups = 1,
+        const std::string& name = "")
+{
+    NodeId x = g.addConv2d(in, out_c, k, k, stride, pad, 1, groups,
+                           /*bias=*/true, name);
+    if (act != ActKind::kNone)
+        x = g.addActivation(x, act);
+    return x;
+}
+
+/** Depthwise separable block (MobileNet-v1): dw3x3 + pw1x1. */
+inline NodeId
+depthwiseSeparable(Graph& g, NodeId in, std::int64_t in_c,
+                   std::int64_t out_c, std::int64_t stride,
+                   ActKind act = ActKind::kRelu6)
+{
+    NodeId x = convBnAct(g, in, in_c, 3, stride, 1, act, in_c);
+    return convBnAct(g, x, out_c, 1, 1, 0, act);
+}
+
+/** fc + relu. */
+inline NodeId
+denseAct(Graph& g, NodeId in, std::int64_t out_f,
+         ActKind act = ActKind::kRelu)
+{
+    NodeId x = g.addDense(in, out_f, /*bias=*/true);
+    if (act != ActKind::kNone)
+        x = g.addActivation(x, act);
+    return x;
+}
+
+} // namespace detail
+} // namespace models
+} // namespace edgebench
+
+#endif // EDGEBENCH_MODELS_BUILDER_UTIL_HH

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Classic classification models: ResNet, VGG, VGG-S, AlexNet,
+ * CifarNet.
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+namespace
+{
+
+/** ResNet basic block (two 3x3 convs), used by ResNet-18. */
+NodeId
+basicBlock(Graph& g, NodeId in, std::int64_t in_c, std::int64_t out_c,
+           std::int64_t stride)
+{
+    NodeId x = convBnAct(g, in, out_c, 3, stride, 1);
+    x = convBnAct(g, x, out_c, 3, 1, 1, ActKind::kNone);
+    NodeId shortcut = in;
+    if (stride != 1 || in_c != out_c)
+        shortcut = convBnAct(g, in, out_c, 1, stride, 0,
+                             ActKind::kNone);
+    NodeId sum = g.addAdd(x, shortcut);
+    return g.addActivation(sum, ActKind::kRelu);
+}
+
+/** ResNet bottleneck block (1x1 -> 3x3 -> 1x1 x4), ResNet-50/101. */
+NodeId
+bottleneckBlock(Graph& g, NodeId in, std::int64_t in_c,
+                std::int64_t mid_c, std::int64_t stride)
+{
+    const std::int64_t out_c = mid_c * 4;
+    NodeId x = convBnAct(g, in, mid_c, 1, 1, 0);
+    x = convBnAct(g, x, mid_c, 3, stride, 1);
+    x = convBnAct(g, x, out_c, 1, 1, 0, ActKind::kNone);
+    NodeId shortcut = in;
+    if (stride != 1 || in_c != out_c)
+        shortcut = convBnAct(g, in, out_c, 1, stride, 0,
+                             ActKind::kNone);
+    NodeId sum = g.addAdd(x, shortcut);
+    return g.addActivation(sum, ActKind::kRelu);
+}
+
+} // namespace
+
+graph::Graph
+buildResNet(int depth, std::int64_t classes, std::int64_t image)
+{
+    int blocks[4];
+    bool bottleneck = true;
+    switch (depth) {
+      case 18:
+        blocks[0] = 2; blocks[1] = 2; blocks[2] = 2; blocks[3] = 2;
+        bottleneck = false;
+        break;
+      case 50:
+        blocks[0] = 3; blocks[1] = 4; blocks[2] = 6; blocks[3] = 3;
+        break;
+      case 101:
+        blocks[0] = 3; blocks[1] = 4; blocks[2] = 23; blocks[3] = 3;
+        break;
+      default:
+        throw InvalidArgumentError(
+            "buildResNet: unsupported depth " +
+            std::to_string(depth));
+    }
+
+    Graph g("ResNet-" + std::to_string(depth));
+    NodeId x = g.addInput({1, 3, image, image});
+    x = convBnAct(g, x, 64, 7, 2, 3, ActKind::kRelu, 1, "conv1");
+    x = g.addMaxPool2d(x, 3, 2, 1, false, "pool1");
+
+    std::int64_t in_c = 64;
+    const std::int64_t widths[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const std::int64_t w = widths[stage];
+        for (int b = 0; b < blocks[stage]; ++b) {
+            const std::int64_t stride =
+                (b == 0 && stage > 0) ? 2 : 1;
+            if (bottleneck) {
+                x = bottleneckBlock(g, x, in_c, w, stride);
+                in_c = w * 4;
+            } else {
+                x = basicBlock(g, x, in_c, w, stride);
+                in_c = w;
+            }
+        }
+    }
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+graph::Graph
+buildVgg(int depth, std::int64_t classes, std::int64_t image)
+{
+    // Configuration D (VGG-16) / E (VGG-19): conv counts per stage.
+    int per_stage[5];
+    switch (depth) {
+      case 16:
+        per_stage[0] = 2; per_stage[1] = 2; per_stage[2] = 3;
+        per_stage[3] = 3; per_stage[4] = 3;
+        break;
+      case 19:
+        per_stage[0] = 2; per_stage[1] = 2; per_stage[2] = 4;
+        per_stage[3] = 4; per_stage[4] = 4;
+        break;
+      default:
+        throw InvalidArgumentError("buildVgg: unsupported depth " +
+                                   std::to_string(depth));
+    }
+
+    Graph g("VGG" + std::to_string(depth));
+    NodeId x = g.addInput({1, 3, image, image});
+    const std::int64_t widths[5] = {64, 128, 256, 512, 512};
+    for (int stage = 0; stage < 5; ++stage) {
+        for (int c = 0; c < per_stage[stage]; ++c)
+            x = convAct(g, x, widths[stage], 3, 1, 1);
+        x = g.addMaxPool2d(x, 2, 2);
+    }
+    x = g.addFlatten(x);
+    x = denseAct(g, x, 4096);
+    x = denseAct(g, x, 4096);
+    x = g.addDense(x, classes);
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+graph::Graph
+buildVggS(std::int64_t image, std::int64_t classes)
+{
+    EB_CHECK(image == 224 || image == 32,
+             "buildVggS: image must be 224 or 32, got " << image);
+    Graph g("VGG-S " + std::to_string(image) + "x" +
+            std::to_string(image));
+    NodeId x = g.addInput({1, 3, image, image});
+    if (image == 224) {
+        // CNN-S (Chatfield et al.): 224 -> conv7/2 -> 109 ->
+        // pool3/3 -> 36 -> conv5 -> pool2/2 -> 18 -> conv3 x3 ->
+        // pool3/3 -> 6.
+        x = convAct(g, x, 96, 7, 2, 0, ActKind::kRelu, 1, "conv1");
+        x = g.addMaxPool2d(x, 3, 3);
+        x = convAct(g, x, 256, 5, 1, 2, ActKind::kRelu, 1, "conv2");
+        x = g.addMaxPool2d(x, 2, 2);
+        x = convAct(g, x, 512, 3, 1, 1);
+        x = convAct(g, x, 512, 3, 1, 1);
+        x = convAct(g, x, 512, 3, 1, 1);
+        x = g.addMaxPool2d(x, 3, 3);
+    } else {
+        // Scaled-down CNN-S for CIFAR-sized inputs: 32 -> conv7/2
+        // (pad 3) -> 16 -> pool3/2 -> 7 -> conv5 -> pool2/2 -> 3 ->
+        // conv3 x3 -> pool3/3 -> 1.
+        x = convAct(g, x, 96, 7, 2, 3, ActKind::kRelu, 1, "conv1");
+        x = g.addMaxPool2d(x, 3, 2);
+        x = convAct(g, x, 256, 5, 1, 2, ActKind::kRelu, 1, "conv2");
+        x = g.addMaxPool2d(x, 2, 2);
+        x = convAct(g, x, 512, 3, 1, 1);
+        x = convAct(g, x, 512, 3, 1, 1);
+        x = convAct(g, x, 512, 3, 1, 1);
+        x = g.addMaxPool2d(x, 3, 3);
+    }
+    x = g.addFlatten(x);
+    x = denseAct(g, x, 4096);
+    x = denseAct(g, x, 4096);
+    x = g.addDense(x, classes);
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+namespace
+{
+
+graph::Graph
+buildAlexNetImpl(std::int64_t classes, std::int64_t fc6, bool grouped,
+                 const std::string& name)
+{
+    Graph g(name);
+    // Caffe-style AlexNet takes 227x227 crops.
+    NodeId x = g.addInput({1, 3, 227, 227});
+    x = convAct(g, x, 96, 11, 4, 0, ActKind::kRelu, 1, "conv1");
+    x = g.addMaxPool2d(x, 3, 2);
+    x = convAct(g, x, 256, 5, 1, 2, ActKind::kRelu, grouped ? 2 : 1,
+                "conv2");
+    x = g.addMaxPool2d(x, 3, 2);
+    x = convAct(g, x, 384, 3, 1, 1, ActKind::kRelu, 1, "conv3");
+    x = convAct(g, x, 384, 3, 1, 1, ActKind::kRelu, grouped ? 2 : 1,
+                "conv4");
+    x = convAct(g, x, 256, 3, 1, 1, ActKind::kRelu, grouped ? 2 : 1,
+                "conv5");
+    x = g.addMaxPool2d(x, 3, 2);
+    x = g.addFlatten(x);
+    x = denseAct(g, x, fc6);
+    x = denseAct(g, x, 4096);
+    x = g.addDense(x, classes);
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    g.setInputDescription("224x224");
+    return g;
+}
+
+} // namespace
+
+graph::Graph
+buildAlexNet(std::int64_t classes)
+{
+    // fc6 = 7168 reproduces Table I's 102.14 M-parameter AlexNet
+    // variant (see DESIGN.md, "Known deviations").
+    return buildAlexNetImpl(classes, 7168, /*grouped=*/true, "AlexNet");
+}
+
+graph::Graph
+buildAlexNetCanonical(std::int64_t classes)
+{
+    return buildAlexNetImpl(classes, 4096, /*grouped=*/true,
+                            "AlexNet-canonical");
+}
+
+graph::Graph
+buildCifarNet(std::int64_t classes)
+{
+    Graph g("CifarNet");
+    NodeId x = g.addInput({1, 3, 32, 32});
+    x = convAct(g, x, 32, 5, 1, 2, ActKind::kRelu, 1, "conv1");
+    x = g.addMaxPool2d(x, 2, 2);
+    x = convAct(g, x, 32, 5, 1, 2, ActKind::kRelu, 1, "conv2");
+    x = g.addMaxPool2d(x, 2, 2);
+    x = convAct(g, x, 64, 3, 1, 1, ActKind::kRelu, 1, "conv3");
+    x = g.addMaxPool2d(x, 2, 2);
+    x = g.addFlatten(x);
+    x = denseAct(g, x, 576);
+    x = denseAct(g, x, 256);
+    x = g.addDense(x, classes);
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace models
+} // namespace edgebench

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Detection models: SSD with MobileNet-v1 features (SSDLite-style
+ * heads), YOLOv3 (Darknet-53), and Tiny YOLO (v2 head).
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+namespace
+{
+
+/** DarkNet conv unit: conv + bn + leaky(0.1). */
+NodeId
+darkConv(Graph& g, NodeId in, std::int64_t out_c, std::int64_t k,
+         std::int64_t stride, const std::string& name = "")
+{
+    const std::int64_t pad = k / 2;
+    NodeId x = g.addConv2d(in, out_c, k, k, stride, pad, 1, 1,
+                           /*bias=*/false, name);
+    x = g.addBatchNorm(x);
+    return g.addActivation(x, ActKind::kLeakyRelu);
+}
+
+/** DarkNet-53 residual unit: 1x1 c/2 -> 3x3 c, identity add. */
+NodeId
+darkResidual(Graph& g, NodeId in, std::int64_t c)
+{
+    NodeId x = darkConv(g, in, c / 2, 1, 1);
+    x = darkConv(g, x, c, 3, 1);
+    return g.addAdd(x, in);
+}
+
+/** DarkNet "same" 2x2/1 maxpool (pads right/bottom by one). */
+NodeId
+samePool2x2Stride1(Graph& g, NodeId in)
+{
+    NodeId x = g.addPadSpatial(in, 0, 1, 0, 1);
+    return g.addMaxPool2d(x, 2, 1);
+}
+
+} // namespace
+
+graph::Graph
+buildTinyYolo(std::int64_t classes, std::int64_t image)
+{
+    EB_CHECK(image % 32 == 0,
+             "buildTinyYolo: image must be a multiple of 32");
+    constexpr std::int64_t kAnchors = 5;
+    Graph g("TinyYolo");
+    NodeId x = g.addInput({1, 3, image, image});
+    const std::int64_t widths[] = {16, 32, 64, 128, 256};
+    for (std::int64_t w : widths) {
+        x = darkConv(g, x, w, 3, 1);
+        x = g.addMaxPool2d(x, 2, 2);
+    }
+    x = darkConv(g, x, 512, 3, 1);
+    x = samePool2x2Stride1(g, x);
+    x = darkConv(g, x, 1024, 3, 1);
+    x = darkConv(g, x, 1024, 3, 1);
+    x = g.addConv2d(x, kAnchors * (5 + classes), 1, 1, 1, 0, 1, 1,
+                    /*bias=*/true, "detect_conv");
+    x = g.addYoloDetect(x, classes, kAnchors);
+    g.markOutput(x);
+    g.setInputDescription("224x224");
+    return g;
+}
+
+graph::Graph
+buildYoloV3(std::int64_t classes, std::int64_t image)
+{
+    EB_CHECK(image % 32 == 0,
+             "buildYoloV3: image must be a multiple of 32");
+    constexpr std::int64_t kAnchors = 3;
+    const std::int64_t det_c = kAnchors * (5 + classes);
+    Graph g("YOLOv3");
+    NodeId x = g.addInput({1, 3, image, image});
+
+    // Darknet-53 backbone.
+    x = darkConv(g, x, 32, 3, 1);
+    x = darkConv(g, x, 64, 3, 2);
+    x = darkResidual(g, x, 64);
+    x = darkConv(g, x, 128, 3, 2);
+    for (int i = 0; i < 2; ++i)
+        x = darkResidual(g, x, 128);
+    x = darkConv(g, x, 256, 3, 2);
+    for (int i = 0; i < 8; ++i)
+        x = darkResidual(g, x, 256);
+    const NodeId route36 = x; // 52x52 scale (at 416)
+    x = darkConv(g, x, 512, 3, 2);
+    for (int i = 0; i < 8; ++i)
+        x = darkResidual(g, x, 512);
+    const NodeId route61 = x; // 26x26 scale
+    x = darkConv(g, x, 1024, 3, 2);
+    for (int i = 0; i < 4; ++i)
+        x = darkResidual(g, x, 1024);
+
+    // Detection head, scale 1 (13x13 at 416).
+    auto conv_set = [&](NodeId in, std::int64_t c) {
+        NodeId y = darkConv(g, in, c, 1, 1);
+        y = darkConv(g, y, c * 2, 3, 1);
+        y = darkConv(g, y, c, 1, 1);
+        y = darkConv(g, y, c * 2, 3, 1);
+        return darkConv(g, y, c, 1, 1);
+    };
+    x = conv_set(x, 512);
+    {
+        NodeId y = darkConv(g, x, 1024, 3, 1);
+        y = g.addConv2d(y, det_c, 1, 1, 1, 0, 1, 1, true, "detect1");
+        y = g.addYoloDetect(y, classes, kAnchors);
+        g.markOutput(y);
+    }
+
+    // Scale 2 (26x26).
+    x = darkConv(g, x, 256, 1, 1);
+    x = g.addUpsample(x, 2);
+    x = g.addConcat({x, route61});
+    x = conv_set(x, 256);
+    {
+        NodeId y = darkConv(g, x, 512, 3, 1);
+        y = g.addConv2d(y, det_c, 1, 1, 1, 0, 1, 1, true, "detect2");
+        y = g.addYoloDetect(y, classes, kAnchors);
+        g.markOutput(y);
+    }
+
+    // Scale 3 (52x52).
+    x = darkConv(g, x, 128, 1, 1);
+    x = g.addUpsample(x, 2);
+    x = g.addConcat({x, route36});
+    x = conv_set(x, 128);
+    {
+        NodeId y = darkConv(g, x, 256, 3, 1);
+        y = g.addConv2d(y, det_c, 1, 1, 1, 0, 1, 1, true, "detect3");
+        y = g.addYoloDetect(y, classes, kAnchors);
+        g.markOutput(y);
+    }
+    g.setInputDescription("224x224");
+    return g;
+}
+
+namespace
+{
+
+/** SSDLite prediction head: dw3x3 + pw1x1 projecting to out_c. */
+NodeId
+liteHead(Graph& g, NodeId in, std::int64_t in_c, std::int64_t out_c)
+{
+    NodeId x = convBnAct(g, in, in_c, 3, 1, 1, ActKind::kRelu6, in_c);
+    return g.addConv2d(x, out_c, 1, 1, 1, 0, 1, 1, /*bias=*/true);
+}
+
+/** SSDLite extra feature layer: pw1x1(mid) + dw3x3/2 + pw1x1(out). */
+NodeId
+liteExtra(Graph& g, NodeId in, std::int64_t mid_c, std::int64_t out_c)
+{
+    NodeId x = convBnAct(g, in, mid_c, 1, 1, 0, ActKind::kRelu6);
+    x = convBnAct(g, x, mid_c, 3, 2, 1, ActKind::kRelu6, mid_c);
+    return convBnAct(g, x, out_c, 1, 1, 0, ActKind::kRelu6);
+}
+
+} // namespace
+
+graph::Graph
+buildSsdMobileNetV1(std::int64_t classes)
+{
+    Graph g("SSD MobileNet-v1");
+    NodeId x = g.addInput({1, 3, 300, 300});
+    x = convBnAct(g, x, 32, 3, 2, 1, ActKind::kRelu6, 1, "conv1");
+
+    struct Ds { std::int64_t in_c, out_c, stride; };
+    const Ds blocks[] = {
+        {32, 64, 1},    {64, 128, 2},   {128, 128, 1},
+        {128, 256, 2},  {256, 256, 1},  {256, 512, 2},
+        {512, 512, 1},  {512, 512, 1},  {512, 512, 1},
+        {512, 512, 1},  {512, 512, 1},  // conv11 -> 19x19x512
+    };
+    for (const auto& b : blocks)
+        x = depthwiseSeparable(g, x, b.in_c, b.out_c, b.stride);
+    const NodeId fm1 = x; // 19x19x512
+    x = depthwiseSeparable(g, x, 512, 1024, 2);
+    x = depthwiseSeparable(g, x, 1024, 1024, 1);
+    const NodeId fm2 = x; // 10x10x1024
+
+    const NodeId fm3 = liteExtra(g, fm2, 256, 512);  // 5x5
+    const NodeId fm4 = liteExtra(g, fm3, 128, 256);  // 3x3
+    const NodeId fm5 = liteExtra(g, fm4, 128, 256);  // 2x2
+    const NodeId fm6 = liteExtra(g, fm5, 64, 128);   // 1x1
+
+    struct Fm { NodeId node; std::int64_t c, anchors; };
+    const Fm fms[] = {
+        {fm1, 512, 3},  {fm2, 1024, 6}, {fm3, 512, 6},
+        {fm4, 256, 6},  {fm5, 256, 6},  {fm6, 128, 6},
+    };
+
+    std::vector<NodeId> box_parts;
+    std::vector<NodeId> cls_parts;
+    std::int64_t total_boxes = 0;
+    for (const auto& fm : fms) {
+        const auto& s = g.node(fm.node).outShape;
+        total_boxes += fm.anchors * s[2] * s[3];
+        NodeId box = liteHead(g, fm.node, fm.c, fm.anchors * 4);
+        NodeId cls = liteHead(g, fm.node, fm.c,
+                              fm.anchors * classes);
+        box_parts.push_back(g.addFlatten(box));
+        cls_parts.push_back(g.addFlatten(cls));
+    }
+    NodeId boxes = g.addConcatLast(box_parts);
+    boxes = g.addReshape(boxes, {1, total_boxes, 4});
+    NodeId scores = g.addConcatLast(cls_parts);
+    scores = g.addReshape(scores, {1, total_boxes, classes});
+    scores = g.addActivation(scores, ActKind::kSigmoid);
+    NodeId dets = g.addConcatLast({boxes, scores});
+    dets = g.addDetectPostprocess(dets, classes, 0.5, 0.5,
+                                  "nms");
+    g.markOutput(dets);
+    g.setInputDescription("300x300");
+    return g;
+}
+
+} // namespace models
+} // namespace edgebench

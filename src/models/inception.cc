@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Inception-v4 (Szegedy et al.) and Xception (Chollet).
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+namespace
+{
+
+NodeId
+inceptionA(Graph& g, NodeId in)
+{
+    NodeId b1 = g.addAvgPool2d(in, 3, 1, 1);
+    b1 = convBnAct(g, b1, 96, 1, 1, 0);
+    NodeId b2 = convBnAct(g, in, 96, 1, 1, 0);
+    NodeId b3 = convBnAct(g, in, 64, 1, 1, 0);
+    b3 = convBnAct(g, b3, 96, 3, 1, 1);
+    NodeId b4 = convBnAct(g, in, 64, 1, 1, 0);
+    b4 = convBnAct(g, b4, 96, 3, 1, 1);
+    b4 = convBnAct(g, b4, 96, 3, 1, 1);
+    return g.addConcat({b1, b2, b3, b4});
+}
+
+NodeId
+reductionA(Graph& g, NodeId in)
+{
+    NodeId b1 = g.addMaxPool2d(in, 3, 2);
+    NodeId b2 = convBnAct(g, in, 384, 3, 2, 0);
+    NodeId b3 = convBnAct(g, in, 192, 1, 1, 0);
+    b3 = convBnAct(g, b3, 224, 3, 1, 1);
+    b3 = convBnAct(g, b3, 256, 3, 2, 0);
+    return g.addConcat({b1, b2, b3});
+}
+
+NodeId
+inceptionB(Graph& g, NodeId in)
+{
+    NodeId b1 = g.addAvgPool2d(in, 3, 1, 1);
+    b1 = convBnAct(g, b1, 128, 1, 1, 0);
+    NodeId b2 = convBnAct(g, in, 384, 1, 1, 0);
+    NodeId b3 = convBnAct(g, in, 192, 1, 1, 0);
+    b3 = convBnActRect(g, b3, 224, 1, 7, 1, 1, 0, 3);
+    b3 = convBnActRect(g, b3, 256, 7, 1, 1, 1, 3, 0);
+    NodeId b4 = convBnAct(g, in, 192, 1, 1, 0);
+    b4 = convBnActRect(g, b4, 192, 1, 7, 1, 1, 0, 3);
+    b4 = convBnActRect(g, b4, 224, 7, 1, 1, 1, 3, 0);
+    b4 = convBnActRect(g, b4, 224, 1, 7, 1, 1, 0, 3);
+    b4 = convBnActRect(g, b4, 256, 7, 1, 1, 1, 3, 0);
+    return g.addConcat({b1, b2, b3, b4});
+}
+
+NodeId
+reductionB(Graph& g, NodeId in)
+{
+    NodeId b1 = g.addMaxPool2d(in, 3, 2);
+    NodeId b2 = convBnAct(g, in, 192, 1, 1, 0);
+    b2 = convBnAct(g, b2, 192, 3, 2, 0);
+    NodeId b3 = convBnAct(g, in, 256, 1, 1, 0);
+    b3 = convBnActRect(g, b3, 256, 1, 7, 1, 1, 0, 3);
+    b3 = convBnActRect(g, b3, 320, 7, 1, 1, 1, 3, 0);
+    b3 = convBnAct(g, b3, 320, 3, 2, 0);
+    return g.addConcat({b1, b2, b3});
+}
+
+NodeId
+inceptionC(Graph& g, NodeId in)
+{
+    NodeId b1 = g.addAvgPool2d(in, 3, 1, 1);
+    b1 = convBnAct(g, b1, 256, 1, 1, 0);
+    NodeId b2 = convBnAct(g, in, 256, 1, 1, 0);
+    NodeId b3 = convBnAct(g, in, 384, 1, 1, 0);
+    NodeId b3a = convBnActRect(g, b3, 256, 1, 3, 1, 1, 0, 1);
+    NodeId b3b = convBnActRect(g, b3, 256, 3, 1, 1, 1, 1, 0);
+    NodeId b4 = convBnAct(g, in, 384, 1, 1, 0);
+    b4 = convBnActRect(g, b4, 448, 1, 3, 1, 1, 0, 1);
+    b4 = convBnActRect(g, b4, 512, 3, 1, 1, 1, 1, 0);
+    NodeId b4a = convBnActRect(g, b4, 256, 1, 3, 1, 1, 0, 1);
+    NodeId b4b = convBnActRect(g, b4, 256, 3, 1, 1, 1, 1, 0);
+    return g.addConcat({b1, b2, b3a, b3b, b4a, b4b});
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionV4(std::int64_t classes)
+{
+    Graph g("Inception-v4");
+    NodeId x = g.addInput({1, 3, 299, 299});
+
+    // Stem.
+    x = convBnAct(g, x, 32, 3, 2, 0);  // 149
+    x = convBnAct(g, x, 32, 3, 1, 0);  // 147
+    x = convBnAct(g, x, 64, 3, 1, 1);  // 147
+    {
+        NodeId p = g.addMaxPool2d(x, 3, 2);          // 73
+        NodeId c = convBnAct(g, x, 96, 3, 2, 0);     // 73
+        x = g.addConcat({p, c});                     // 160
+    }
+    {
+        NodeId a = convBnAct(g, x, 64, 1, 1, 0);
+        a = convBnAct(g, a, 96, 3, 1, 0);            // 71
+        NodeId b = convBnAct(g, x, 64, 1, 1, 0);
+        b = convBnActRect(g, b, 64, 7, 1, 1, 1, 3, 0);
+        b = convBnActRect(g, b, 64, 1, 7, 1, 1, 0, 3);
+        b = convBnAct(g, b, 96, 3, 1, 0);            // 71
+        x = g.addConcat({a, b});                     // 192
+    }
+    {
+        NodeId c = convBnAct(g, x, 192, 3, 2, 0);    // 35
+        NodeId p = g.addMaxPool2d(x, 3, 2);          // 35
+        x = g.addConcat({c, p});                     // 384
+    }
+
+    for (int i = 0; i < 4; ++i)
+        x = inceptionA(g, x);
+    x = reductionA(g, x);
+    for (int i = 0; i < 7; ++i)
+        x = inceptionB(g, x);
+    x = reductionB(g, x);
+    for (int i = 0; i < 3; ++i)
+        x = inceptionC(g, x);
+
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    g.setInputDescription("224x224");
+    return g;
+}
+
+namespace
+{
+
+/** Xception separable conv: [relu ->] dw3x3+bn -> pw1x1+bn. */
+NodeId
+sepConv(Graph& g, NodeId in, std::int64_t in_c, std::int64_t out_c,
+        bool pre_relu)
+{
+    NodeId x = in;
+    if (pre_relu)
+        x = g.addActivation(x, ActKind::kRelu);
+    x = convBnAct(g, x, in_c, 3, 1, 1, ActKind::kNone, in_c);
+    x = convBnAct(g, x, out_c, 1, 1, 0, ActKind::kNone);
+    return x;
+}
+
+/** Xception entry/exit residual module with maxpool downsample. */
+NodeId
+xceptionDownModule(Graph& g, NodeId in, std::int64_t in_c,
+                   std::int64_t mid_c, std::int64_t out_c,
+                   bool first_relu)
+{
+    NodeId x = sepConv(g, in, in_c, mid_c, first_relu);
+    x = sepConv(g, x, mid_c, out_c, true);
+    x = g.addMaxPool2d(x, 3, 2, 1);
+    NodeId shortcut = convBnAct(g, in, out_c, 1, 2, 0, ActKind::kNone);
+    return g.addAdd(x, shortcut);
+}
+
+} // namespace
+
+graph::Graph
+buildXception(std::int64_t classes, std::int64_t image)
+{
+    Graph g("Xception");
+    NodeId x = g.addInput({1, 3, image, image});
+
+    // Entry flow.
+    x = convBnAct(g, x, 32, 3, 2, 0);   // 111 (at 224)
+    x = convBnAct(g, x, 64, 3, 1, 0);   // 109
+    x = xceptionDownModule(g, x, 64, 128, 128, /*first_relu=*/false);
+    x = xceptionDownModule(g, x, 128, 256, 256, true);
+    x = xceptionDownModule(g, x, 256, 728, 728, true);
+
+    // Middle flow: 8 identity-residual modules.
+    for (int i = 0; i < 8; ++i) {
+        NodeId y = sepConv(g, x, 728, 728, true);
+        y = sepConv(g, y, 728, 728, true);
+        y = sepConv(g, y, 728, 728, true);
+        x = g.addAdd(x, y);
+    }
+
+    // Exit flow.
+    {
+        NodeId y = sepConv(g, x, 728, 728, true);
+        y = sepConv(g, y, 728, 1024, true);
+        y = g.addMaxPool2d(y, 3, 2, 1);
+        NodeId shortcut = convBnAct(g, x, 1024, 1, 2, 0,
+                                    ActKind::kNone);
+        x = g.addAdd(y, shortcut);
+    }
+    x = sepConv(g, x, 1024, 1536, false);
+    x = g.addActivation(x, ActKind::kRelu);
+    x = sepConv(g, x, 1536, 2048, false);
+    x = g.addActivation(x, ActKind::kRelu);
+
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace models
+} // namespace edgebench

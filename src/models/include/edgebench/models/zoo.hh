@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The model zoo: builders for every DNN model in Table I of the paper.
+ *
+ * All models are constructed as real computation graphs with exact
+ * layer shapes; parameter and FLOP counts are validated against the
+ * paper's Table I (see tests/models). The FLOP convention follows the
+ * paper: one multiply-accumulate counts as one FLOP.
+ *
+ * Known deviations from Table I are documented per model in
+ * DESIGN.md ("Known deviations") and encoded in ModelInfo tolerances.
+ */
+
+#ifndef EDGEBENCH_MODELS_ZOO_HH
+#define EDGEBENCH_MODELS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+/** The sixteen Table I models. */
+enum class ModelId
+{
+    kResNet18,
+    kResNet50,
+    kResNet101,
+    kXception,
+    kMobileNetV2,
+    kInceptionV4,
+    kAlexNet,
+    kVgg16,
+    kVgg19,
+    kVggS32,
+    kVggS224,
+    kCifarNet,
+    kSsdMobileNetV1,
+    kYoloV3,
+    kTinyYolo,
+    kC3d,
+};
+
+/** Static metadata + the paper's published Table I reference values. */
+struct ModelInfo
+{
+    ModelId id;
+    std::string name;       ///< Table I model name.
+    std::string inputSize;  ///< Table I "Input Size" column.
+    double paperGFlop;      ///< Table I FLOP (giga).
+    double paperMParams;    ///< Table I parameters (millions).
+    double paperFlopPerParam; ///< Table I FLOP/Param.
+    /** Relative tolerance our implementation meets vs Table I. */
+    double flopTolerance;
+    double paramTolerance;
+};
+
+/** All models in Table I order. */
+const std::vector<ModelId>& allModels();
+
+/** Metadata for one model. */
+const ModelInfo& modelInfo(ModelId id);
+
+/** Look up a model id by its Table I name; throws if unknown. */
+ModelId modelByName(const std::string& name);
+
+/** Build any zoo model (deferred parameters, single batch). */
+graph::Graph buildModel(ModelId id);
+
+/** @name Individual builders */
+/// @{
+/** ResNet of depth 18, 50 or 101 (He et al.). */
+graph::Graph buildResNet(int depth, std::int64_t classes = 1000,
+                         std::int64_t image = 224);
+/** VGG-16 / VGG-19 (Simonyan & Zisserman, configuration D / E). */
+graph::Graph buildVgg(int depth, std::int64_t classes = 1000,
+                      std::int64_t image = 224);
+/** VGG-S / CNN-S (Chatfield et al.); image is 224 or 32. */
+graph::Graph buildVggS(std::int64_t image, std::int64_t classes = 1000);
+/**
+ * AlexNet as characterized by the paper (grouped convolutions,
+ * enlarged fc6 = 7168 to land at Table I's 102.14 M parameters).
+ */
+graph::Graph buildAlexNet(std::int64_t classes = 1000);
+/** Canonical AlexNet (Krizhevsky et al., 61 M parameters). */
+graph::Graph buildAlexNetCanonical(std::int64_t classes = 1000);
+/** Compact CIFAR CNN sized to Table I (0.79 M params, 0.01 GFLOP). */
+graph::Graph buildCifarNet(std::int64_t classes = 10);
+/** MobileNet-v1 backbone-style classifier (Howard et al.). */
+graph::Graph buildMobileNetV1(std::int64_t classes = 1000,
+                              std::int64_t image = 224);
+/** MobileNet-v2 (Sandler et al.). */
+graph::Graph buildMobileNetV2(std::int64_t classes = 1000,
+                              std::int64_t image = 224);
+/** Inception-v4 (Szegedy et al.), built at its native 299x299. */
+graph::Graph buildInceptionV4(std::int64_t classes = 1000);
+/** Xception (Chollet), built at 224x224 to match Table I FLOPs. */
+graph::Graph buildXception(std::int64_t classes = 1000,
+                           std::int64_t image = 224);
+/** SSDLite-style SSD with MobileNet-v1 feature extractor, 300x300. */
+graph::Graph buildSsdMobileNetV1(std::int64_t classes = 91);
+/** YOLOv3 on Darknet-53 (Redmon & Farhadi); image must be /32. */
+graph::Graph buildYoloV3(std::int64_t classes = 80,
+                         std::int64_t image = 448);
+/** Tiny YOLO (v2 head; Redmon & Farhadi). */
+graph::Graph buildTinyYolo(std::int64_t classes = 80,
+                           std::int64_t image = 416);
+/** C3D (Tran et al.) with the paper's 12x112x112 clip input. */
+graph::Graph buildC3d(std::int64_t classes = 1000,
+                      std::int64_t frames = 12);
+/// @}
+
+/**
+ * @name Extension models (the paper's stated future work: "we plan to
+ * extend our models to include more varieties of DNN models, such as
+ * RNNs and LSTMs")
+ */
+/// @{
+/** Two-layer LSTM character language model (Karpathy char-rnn). */
+graph::Graph buildCharRnn(std::int64_t vocab = 128,
+                          std::int64_t seq_len = 64,
+                          std::int64_t hidden = 512);
+/** GRU sequence classifier (sensor/keyword-spotting style). */
+graph::Graph buildGruClassifier(std::int64_t features = 40,
+                                std::int64_t seq_len = 100,
+                                std::int64_t hidden = 256,
+                                std::int64_t classes = 12);
+/**
+ * DeepSpeech2-lite: conv front-end over a spectrogram followed by
+ * stacked LSTMs and a character-distribution head.
+ */
+graph::Graph buildDeepSpeech2Lite(std::int64_t time_steps = 200,
+                                  std::int64_t freq_bins = 161,
+                                  std::int64_t hidden = 800,
+                                  std::int64_t alphabet = 29);
+
+/** All three extension models (for sweeps). */
+std::vector<graph::Graph> buildRecurrentExtensions();
+/// @}
+
+/**
+ * @name Mobile-specific extension models (the paper's related work,
+ * Section VIII group 2: handcrafted efficient architectures)
+ */
+/// @{
+/** SqueezeNet v1.1 (Iandola et al., paper reference [84]). */
+graph::Graph buildSqueezeNet(std::int64_t classes = 1000,
+                             std::int64_t image = 224);
+/** ShuffleNet v1, 1x, g groups (Zhang et al., reference [85]). */
+graph::Graph buildShuffleNet(std::int64_t classes = 1000,
+                             std::int64_t image = 224,
+                             std::int64_t groups = 3);
+/**
+ * DenseNet-121 (Huang et al.) — the dense-connectivity family that
+ * CondenseNet (reference [86]) builds on; exercises the concat-heavy
+ * memory path of the cost model.
+ */
+graph::Graph buildDenseNet121(std::int64_t classes = 1000,
+                              std::int64_t image = 224);
+/// @}
+
+} // namespace models
+} // namespace edgebench
+
+#endif // EDGEBENCH_MODELS_ZOO_HH

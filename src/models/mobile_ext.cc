@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Mobile-specific extension models cited by the paper's related work
+ * (Section VIII, group 2): SqueezeNet (reference [84]) and
+ * ShuffleNet (reference [85]).
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+namespace
+{
+
+/** SqueezeNet fire module: squeeze 1x1 -> expand {1x1, 3x3}. */
+NodeId
+fire(Graph& g, NodeId in, std::int64_t squeeze, std::int64_t expand)
+{
+    NodeId s = convAct(g, in, squeeze, 1, 1, 0);
+    NodeId e1 = convAct(g, s, expand, 1, 1, 0);
+    NodeId e3 = convAct(g, s, expand, 3, 1, 1);
+    return g.addConcat({e1, e3});
+}
+
+} // namespace
+
+graph::Graph
+buildSqueezeNet(std::int64_t classes, std::int64_t image)
+{
+    // SqueezeNet v1.1 (the 2.4x-cheaper revision).
+    Graph g("SqueezeNet");
+    NodeId x = g.addInput({1, 3, image, image});
+    x = convAct(g, x, 64, 3, 2, 0, ActKind::kRelu, 1, "conv1");
+    x = g.addMaxPool2d(x, 3, 2, 0, /*ceil=*/true);
+    x = fire(g, x, 16, 64);
+    x = fire(g, x, 16, 64);
+    x = g.addMaxPool2d(x, 3, 2, 0, true);
+    x = fire(g, x, 32, 128);
+    x = fire(g, x, 32, 128);
+    x = g.addMaxPool2d(x, 3, 2, 0, true);
+    x = fire(g, x, 48, 192);
+    x = fire(g, x, 48, 192);
+    x = fire(g, x, 64, 256);
+    x = fire(g, x, 64, 256);
+    x = convAct(g, x, classes, 1, 1, 0, ActKind::kRelu, 1, "conv10");
+    x = g.addGlobalAvgPool(x);
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+namespace
+{
+
+/** ShuffleNet v1 unit. @p stride 1 = residual add; 2 = concat. */
+NodeId
+shuffleUnit(Graph& g, NodeId in, std::int64_t in_c,
+            std::int64_t out_c, std::int64_t groups,
+            std::int64_t stride, bool first_unit)
+{
+    // The very first unit uses a dense 1x1 (input has 24 channels,
+    // not divisible into meaningful groups).
+    const std::int64_t g1 = first_unit ? 1 : groups;
+    const std::int64_t branch_c =
+        stride == 2 ? out_c - in_c : out_c;
+    const std::int64_t mid_c = branch_c / 4;
+
+    NodeId x = convBnAct(g, in, mid_c, 1, 1, 0, ActKind::kRelu, g1);
+    x = g.addChannelShuffle(x, groups);
+    x = convBnAct(g, x, mid_c, 3, stride, 1, ActKind::kNone, mid_c);
+    x = convBnAct(g, x, branch_c, 1, 1, 0, ActKind::kNone, groups);
+
+    NodeId out;
+    if (stride == 2) {
+        NodeId shortcut = g.addAvgPool2d(in, 3, 2, 1);
+        out = g.addConcat({shortcut, x});
+    } else {
+        out = g.addAdd(x, in);
+    }
+    return g.addActivation(out, ActKind::kRelu);
+}
+
+} // namespace
+
+graph::Graph
+buildShuffleNet(std::int64_t classes, std::int64_t image,
+                std::int64_t groups)
+{
+    // Stage output channels for the 1x width net per group count
+    // (Zhang et al., Table 1).
+    std::int64_t stage_c;
+    switch (groups) {
+      case 1: stage_c = 144; break;
+      case 2: stage_c = 200; break;
+      case 3: stage_c = 240; break;
+      case 4: stage_c = 272; break;
+      case 8: stage_c = 384; break;
+      default:
+        throw InvalidArgumentError(
+            "buildShuffleNet: groups must be 1, 2, 3, 4 or 8");
+    }
+
+    Graph g("ShuffleNet");
+    NodeId x = g.addInput({1, 3, image, image});
+    x = convBnAct(g, x, 24, 3, 2, 1, ActKind::kRelu, 1, "conv1");
+    x = g.addMaxPool2d(x, 3, 2, 1);
+
+    std::int64_t in_c = 24;
+    const std::int64_t repeats[3] = {3, 7, 3};
+    for (int stage = 0; stage < 3; ++stage) {
+        const std::int64_t out_c = stage_c << stage;
+        x = shuffleUnit(g, x, in_c, out_c, groups, 2,
+                        /*first_unit=*/stage == 0);
+        in_c = out_c;
+        for (std::int64_t r = 0; r < repeats[stage]; ++r)
+            x = shuffleUnit(g, x, in_c, in_c, groups, 1, false);
+    }
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+namespace
+{
+
+/** DenseNet layer: bn-relu-1x1(4k) bottleneck, bn-relu-3x3(k). */
+NodeId
+denseLayer(Graph& g, NodeId in, std::int64_t growth)
+{
+    NodeId x = g.addBatchNorm(in);
+    x = g.addActivation(x, ActKind::kRelu);
+    x = g.addConv2d(x, 4 * growth, 1, 1, 1, 0, 1, 1, false);
+    x = g.addBatchNorm(x);
+    x = g.addActivation(x, ActKind::kRelu);
+    x = g.addConv2d(x, growth, 3, 3, 1, 1, 1, 1, false);
+    return g.addConcat({in, x});
+}
+
+/** DenseNet transition: bn-relu-1x1(half) + 2x2 average pool. */
+NodeId
+denseTransition(Graph& g, NodeId in, std::int64_t in_c)
+{
+    NodeId x = g.addBatchNorm(in);
+    x = g.addActivation(x, ActKind::kRelu);
+    x = g.addConv2d(x, in_c / 2, 1, 1, 1, 0, 1, 1, false);
+    return g.addAvgPool2d(x, 2, 2);
+}
+
+} // namespace
+
+graph::Graph
+buildDenseNet121(std::int64_t classes, std::int64_t image)
+{
+    constexpr std::int64_t kGrowth = 32;
+    const std::int64_t blocks[4] = {6, 12, 24, 16};
+
+    Graph g("DenseNet-121");
+    NodeId x = g.addInput({1, 3, image, image});
+    x = convBnAct(g, x, 64, 7, 2, 3, ActKind::kRelu, 1, "conv1");
+    x = g.addMaxPool2d(x, 3, 2, 1);
+
+    std::int64_t channels = 64;
+    for (int stage = 0; stage < 4; ++stage) {
+        for (std::int64_t l = 0; l < blocks[stage]; ++l) {
+            x = denseLayer(g, x, kGrowth);
+            channels += kGrowth;
+        }
+        if (stage < 3) {
+            x = denseTransition(g, x, channels);
+            channels /= 2;
+        }
+    }
+    x = g.addBatchNorm(x);
+    x = g.addActivation(x, ActKind::kRelu);
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace models
+} // namespace edgebench

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * MobileNet-v1 (Howard et al.) and MobileNet-v2 (Sandler et al.).
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+graph::Graph
+buildMobileNetV1(std::int64_t classes, std::int64_t image)
+{
+    Graph g("MobileNet-v1");
+    NodeId x = g.addInput({1, 3, image, image});
+    x = convBnAct(g, x, 32, 3, 2, 1, ActKind::kRelu6, 1, "conv1");
+
+    struct Ds { std::int64_t in_c, out_c, stride; };
+    const Ds blocks[] = {
+        {32, 64, 1},    {64, 128, 2},   {128, 128, 1},
+        {128, 256, 2},  {256, 256, 1},  {256, 512, 2},
+        {512, 512, 1},  {512, 512, 1},  {512, 512, 1},
+        {512, 512, 1},  {512, 512, 1},  {512, 1024, 2},
+        {1024, 1024, 1},
+    };
+    for (const auto& b : blocks)
+        x = depthwiseSeparable(g, x, b.in_c, b.out_c, b.stride);
+
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+namespace
+{
+
+/** MobileNet-v2 inverted residual with linear bottleneck. */
+NodeId
+invertedResidual(Graph& g, NodeId in, std::int64_t in_c,
+                 std::int64_t out_c, std::int64_t stride,
+                 std::int64_t expand)
+{
+    NodeId x = in;
+    const std::int64_t mid_c = in_c * expand;
+    if (expand != 1)
+        x = convBnAct(g, x, mid_c, 1, 1, 0, ActKind::kRelu6);
+    x = convBnAct(g, x, mid_c, 3, stride, 1, ActKind::kRelu6, mid_c);
+    x = convBnAct(g, x, out_c, 1, 1, 0, ActKind::kNone); // linear
+    if (stride == 1 && in_c == out_c)
+        x = g.addAdd(x, in);
+    return x;
+}
+
+} // namespace
+
+graph::Graph
+buildMobileNetV2(std::int64_t classes, std::int64_t image)
+{
+    Graph g("MobileNet-v2");
+    NodeId x = g.addInput({1, 3, image, image});
+    x = convBnAct(g, x, 32, 3, 2, 1, ActKind::kRelu6, 1, "conv1");
+
+    // (expansion t, channels c, repeats n, first stride s).
+    struct Cfg { std::int64_t t, c, n, s; };
+    const Cfg cfgs[] = {
+        {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+        {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+        {6, 320, 1, 1},
+    };
+    std::int64_t in_c = 32;
+    for (const auto& cfg : cfgs) {
+        for (std::int64_t i = 0; i < cfg.n; ++i) {
+            const std::int64_t stride = (i == 0) ? cfg.s : 1;
+            x = invertedResidual(g, x, in_c, cfg.c, stride, cfg.t);
+            in_c = cfg.c;
+        }
+    }
+    x = convBnAct(g, x, 1280, 1, 1, 0, ActKind::kRelu6, 1,
+                  "conv_last");
+    x = g.addGlobalAvgPool(x);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace models
+} // namespace edgebench

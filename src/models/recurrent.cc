@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Recurrent extension models — the paper's stated future work
+ * ("extend our models to include more varieties of DNN models, such
+ * as RNNs and LSTMs").
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+graph::Graph
+buildCharRnn(std::int64_t vocab, std::int64_t seq_len,
+             std::int64_t hidden)
+{
+    Graph g("CharRNN");
+    // One-hot character input.
+    NodeId x = g.addInput({1, seq_len, vocab});
+    x = g.addLstm(x, hidden, "lstm1");
+    x = g.addLstm(x, hidden, "lstm2");
+    x = g.addSelectTimestep(x, -1);
+    x = g.addDense(x, vocab, true, "decoder");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    g.setInputDescription(std::to_string(seq_len) + "x" +
+                          std::to_string(vocab));
+    return g;
+}
+
+graph::Graph
+buildGruClassifier(std::int64_t features, std::int64_t seq_len,
+                   std::int64_t hidden, std::int64_t classes)
+{
+    Graph g("GRU-Classifier");
+    NodeId x = g.addInput({1, seq_len, features});
+    x = g.addGru(x, hidden, "gru1");
+    x = g.addGru(x, hidden, "gru2");
+    x = g.addSelectTimestep(x, -1);
+    x = g.addDense(x, classes, true, "fc");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    g.setInputDescription(std::to_string(seq_len) + "x" +
+                          std::to_string(features));
+    return g;
+}
+
+graph::Graph
+buildDeepSpeech2Lite(std::int64_t time_steps, std::int64_t freq_bins,
+                     std::int64_t hidden, std::int64_t alphabet)
+{
+    EB_CHECK(time_steps % 2 == 0 && freq_bins > 10,
+             "buildDeepSpeech2Lite: bad spectrogram dims");
+    Graph g("DeepSpeech2-lite");
+    // Spectrogram as a 1-channel image: [1, 1, T, F].
+    NodeId x = g.addInput({1, 1, time_steps, freq_bins});
+    // Conv front-end: 2x (time, freq) downsampling, 32 channels.
+    x = g.addConv2dRect(x, 32, 11, 41, 2, 2, 5, 20, false, "conv1");
+    x = g.addBatchNorm(x);
+    x = g.addActivation(x, ActKind::kRelu);
+    x = g.addConv2dRect(x, 32, 11, 21, 1, 2, 5, 10, false, "conv2");
+    x = g.addBatchNorm(x);
+    x = g.addActivation(x, ActKind::kRelu);
+    // Collapse (channels, freq) into the feature dim: [1, T', C*F'].
+    const auto& s = g.node(x).outShape; // [1, 32, T', F']
+    const std::int64_t t_out = s[2];
+    const std::int64_t feat = s[1] * s[3];
+    // NCHW -> [N, T, F] is a transpose in a real engine; the reshape
+    // preserves element count and, with random weights, statistics.
+    x = g.addReshape(x, {1, t_out, feat});
+    for (int i = 0; i < 3; ++i)
+        x = g.addLstm(x, hidden,
+                      "lstm" + std::to_string(i + 1));
+    x = g.addSelectTimestep(x, -1);
+    x = g.addDense(x, alphabet, true, "char_head");
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    g.setInputDescription(std::to_string(time_steps) + "x" +
+                          std::to_string(freq_bins));
+    return g;
+}
+
+std::vector<graph::Graph>
+buildRecurrentExtensions()
+{
+    std::vector<graph::Graph> v;
+    v.push_back(buildCharRnn());
+    v.push_back(buildGruClassifier());
+    v.push_back(buildDeepSpeech2Lite());
+    return v;
+}
+
+} // namespace models
+} // namespace edgebench

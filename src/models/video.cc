@@ -1,0 +1,67 @@
+/**
+ * @file
+ * C3D (Tran et al.): 3D-convolutional video recognition network, built
+ * with the paper's 12-frame 112x112 clip input.
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include "builder_util.hh"
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+using namespace detail;
+
+namespace
+{
+
+NodeId
+conv3dRelu(Graph& g, NodeId in, std::int64_t out_c,
+           const std::string& name)
+{
+    NodeId x = g.addConv3d(in, out_c, 3, 3, 3, 1, 1, 1, 1,
+                           /*bias=*/true, name);
+    return g.addActivation(x, ActKind::kRelu);
+}
+
+} // namespace
+
+graph::Graph
+buildC3d(std::int64_t classes, std::int64_t frames)
+{
+    EB_CHECK(frames >= 8, "buildC3d: need at least 8 frames");
+    Graph g("C3D");
+    NodeId x = g.addInput({1, 3, frames, 112, 112});
+
+    x = conv3dRelu(g, x, 64, "conv1a");
+    x = g.addMaxPool3d(x, 1, 2, 1, 2);             // D, 56
+    x = conv3dRelu(g, x, 128, "conv2a");
+    x = g.addMaxPool3d(x, 2, 2, 2, 2);             // D/2, 28
+    x = conv3dRelu(g, x, 256, "conv3a");
+    x = conv3dRelu(g, x, 256, "conv3b");
+    x = g.addMaxPool3d(x, 2, 2, 2, 2);             // D/4, 14
+    x = conv3dRelu(g, x, 512, "conv4a");
+    x = conv3dRelu(g, x, 512, "conv4b");
+    x = g.addMaxPool3d(x, 2, 2, 2, 2);             // D/8, 7
+    x = conv3dRelu(g, x, 512, "conv5a");
+    x = conv3dRelu(g, x, 512, "conv5b");
+    // Spatial pad keeps the canonical 4x4 fc6 input (as the original
+    // Caffe deploy net does).
+    x = g.addMaxPool3d(x, 2, 2, 2, 2, 1, 1);       // 1, 4x4
+
+    x = g.addFlatten(x);
+    x = denseAct(g, x, 4096);
+    x = denseAct(g, x, 4096);
+    x = g.addDense(x, classes);
+    x = g.addSoftmax(x);
+    g.markOutput(x);
+    g.setInputDescription("12x112x112");
+    return g;
+}
+
+} // namespace models
+} // namespace edgebench

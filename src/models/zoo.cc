@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Model registry: Table I metadata and the buildModel dispatcher.
+ */
+
+#include "edgebench/models/zoo.hh"
+
+#include <array>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace models
+{
+
+namespace
+{
+
+/**
+ * Table I of the paper, plus the relative tolerance our builders meet
+ * against it. Tolerances wider than a few percent are documented
+ * deviations (DESIGN.md "Known deviations"): the paper's AlexNet,
+ * TinyYolo, YOLOv3 and C3D entries use nonstandard variants or the
+ * 2-FLOP-per-MAC convention.
+ */
+const std::array<ModelInfo, 16> kModelTable = {{
+    {ModelId::kResNet18, "ResNet-18", "224x224", 1.83, 11.69, 156.54,
+     0.02, 0.01},
+    {ModelId::kResNet50, "ResNet-50", "224x224", 4.14, 25.56, 161.97,
+     0.02, 0.01},
+    {ModelId::kResNet101, "ResNet-101", "224x224", 7.87, 44.55, 176.66,
+     0.02, 0.01},
+    {ModelId::kXception, "Xception", "224x224", 4.65, 22.91, 202.97,
+     0.03, 0.01},
+    {ModelId::kMobileNetV2, "MobileNet-v2", "224x224", 0.32, 3.53,
+     90.65, 0.05, 0.01},
+    {ModelId::kInceptionV4, "Inception-v4", "224x224", 12.27, 42.71,
+     287.29, 0.01, 0.01},
+    {ModelId::kAlexNet, "AlexNet", "224x224", 0.72, 102.14, 7.05,
+     0.08, 0.01},
+    {ModelId::kVgg16, "VGG16", "224x224", 15.47, 138.36, 111.81,
+     0.005, 0.005},
+    {ModelId::kVgg19, "VGG19", "224x224", 19.63, 143.66, 136.64,
+     0.005, 0.005},
+    {ModelId::kVggS32, "VGG-S", "32x32", 0.11, 32.11, 3.42, 0.02,
+     0.10},
+    {ModelId::kVggS224, "VGG-S", "224x224", 3.27, 102.91, 31.77, 0.10,
+     0.005},
+    {ModelId::kCifarNet, "CifarNet", "32x32", 0.01, 0.79, 12.65, 0.12,
+     0.01},
+    {ModelId::kSsdMobileNetV1, "SSD MobileNet-v1", "300x300", 0.98,
+     4.23, 236.07, 0.30, 0.30},
+    {ModelId::kYoloV3, "YOLOv3", "224x224", 38.97, 62.00, 628.54,
+     0.03, 0.005},
+    {ModelId::kTinyYolo, "TinyYolo", "224x224", 5.56, 15.87, 350.35,
+     0.40, 0.03},
+    {ModelId::kC3d, "C3D", "12x112x112", 57.99, 89.00, 734.05, 0.55,
+     0.10},
+}};
+
+} // namespace
+
+const std::vector<ModelId>&
+allModels()
+{
+    static const std::vector<ModelId> ids = [] {
+        std::vector<ModelId> v;
+        for (const auto& m : kModelTable)
+            v.push_back(m.id);
+        return v;
+    }();
+    return ids;
+}
+
+const ModelInfo&
+modelInfo(ModelId id)
+{
+    for (const auto& m : kModelTable)
+        if (m.id == id)
+            return m;
+    throw InternalError("modelInfo: unknown model id");
+}
+
+ModelId
+modelByName(const std::string& name)
+{
+    for (const auto& m : kModelTable)
+        if (m.name == name)
+            return m.id;
+    throw InvalidArgumentError("modelByName: unknown model '" + name +
+                               "'");
+}
+
+graph::Graph
+buildModel(ModelId id)
+{
+    switch (id) {
+      case ModelId::kResNet18: return buildResNet(18);
+      case ModelId::kResNet50: return buildResNet(50);
+      case ModelId::kResNet101: return buildResNet(101);
+      case ModelId::kXception: return buildXception();
+      case ModelId::kMobileNetV2: return buildMobileNetV2();
+      case ModelId::kInceptionV4: return buildInceptionV4();
+      case ModelId::kAlexNet: return buildAlexNet();
+      case ModelId::kVgg16: return buildVgg(16);
+      case ModelId::kVgg19: return buildVgg(19);
+      case ModelId::kVggS32: return buildVggS(32);
+      case ModelId::kVggS224: return buildVggS(224);
+      case ModelId::kCifarNet: return buildCifarNet();
+      case ModelId::kSsdMobileNetV1: return buildSsdMobileNetV1();
+      case ModelId::kYoloV3: return buildYoloV3();
+      case ModelId::kTinyYolo: return buildTinyYolo();
+      case ModelId::kC3d: return buildC3d();
+    }
+    throw InternalError("buildModel: unknown model id");
+}
+
+} // namespace models
+} // namespace edgebench

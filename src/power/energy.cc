@@ -1,0 +1,52 @@
+#include "edgebench/power/energy.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace power
+{
+
+EnergyResult
+energyPerInference(const frameworks::CompiledModel& m)
+{
+    const auto& spec = hw::deviceSpec(m.device);
+    const auto cost = m.latency();
+
+    EnergyResult r;
+    r.inferenceTimeMs = cost.totalMs;
+
+    // Utilization: compute-dominated time draws the full average
+    // power; memory-stalled or overhead time draws ~60% of the
+    // dynamic component.
+    const double busy = std::max(cost.computeMs, 1e-9);
+    const double stalled = std::max(cost.totalMs - busy, 0.0);
+    const double util =
+        (busy + 0.6 * stalled) / std::max(cost.totalMs, 1e-9);
+
+    const double dynamic_full = spec.averagePowerW - spec.idlePowerW;
+    r.dynamicPowerW = dynamic_full * std::clamp(util, 0.0, 1.0);
+    r.activePowerW = spec.idlePowerW + r.dynamicPowerW;
+    r.energyPerInferenceMJ = r.activePowerW * r.inferenceTimeMs;
+    return r;
+}
+
+double
+batteryLifeHours(const frameworks::CompiledModel& m,
+                 double capacity_wh, double request_rate_hz)
+{
+    EB_CHECK(capacity_wh > 0.0, "battery: non-positive capacity");
+    EB_CHECK(request_rate_hz >= 0.0, "battery: negative rate");
+    const auto& spec = hw::deviceSpec(m.device);
+    const auto e = energyPerInference(m);
+    const double duty = std::clamp(
+        request_rate_hz * e.inferenceTimeMs / 1e3, 0.0, 1.0);
+    const double avg_w = spec.idlePowerW +
+        (e.activePowerW - spec.idlePowerW) * duty;
+    return capacity_wh / avg_w;
+}
+
+} // namespace power
+} // namespace edgebench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Energy-per-inference model (paper Section VI-E, Figs. 11-12).
+ *
+ * Energy is average device power while executing DNNs (Table III)
+ * integrated over the modeled inference latency. Active power can be
+ * scaled by a utilization factor derived from the roofline (a memory-
+ * stalled device draws less than its busy average).
+ */
+
+#ifndef EDGEBENCH_POWER_ENERGY_HH
+#define EDGEBENCH_POWER_ENERGY_HH
+
+#include "edgebench/frameworks/framework.hh"
+
+namespace edgebench
+{
+namespace power
+{
+
+/** Energy estimate for one deployment. */
+struct EnergyResult
+{
+    double inferenceTimeMs = 0.0;
+    /** Total device power while inferencing, Watts. */
+    double activePowerW = 0.0;
+    /** Power above idle attributable to the DNN, Watts. */
+    double dynamicPowerW = 0.0;
+    /** Energy per single-batch inference, millijoules. */
+    double energyPerInferenceMJ = 0.0;
+};
+
+/**
+ * Estimate energy per inference of a compiled deployment. Power is
+ * the device's measured average power (Table III); the dynamic
+ * component scales with the fraction of time compute (vs. memory
+ * stall) dominates.
+ */
+EnergyResult energyPerInference(const frameworks::CompiledModel& m);
+
+/**
+ * Battery life (hours) of a @p capacity_wh pack powering @p m while
+ * serving @p request_rate_hz single-batch requests: the device idles
+ * between requests and draws its active power during them. A rate
+ * beyond the device's capacity clamps to 100% duty cycle.
+ */
+double batteryLifeHours(const frameworks::CompiledModel& m,
+                        double capacity_wh, double request_rate_hz);
+
+} // namespace power
+} // namespace edgebench
+
+#endif // EDGEBENCH_POWER_ENERGY_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Emulated power-measurement instruments (paper Section V).
+ *
+ * The paper measures USB-powered devices with a UM25C USB multimeter
+ * (voltage accuracy +-(0.05% + 2 digits), current +-(0.1% + 4
+ * digits), 1 Hz sampling) and outlet-powered devices with a power
+ * analyzer (+-0.005 W). These classes reproduce that measurement
+ * chain — quantization to display digits, calibrated gain error, and
+ * 1 Hz sampling — so energy numbers inherit realistic instrument
+ * error, deterministically via a seeded RNG.
+ */
+
+#ifndef EDGEBENCH_POWER_METER_HH
+#define EDGEBENCH_POWER_METER_HH
+
+#include <functional>
+#include <vector>
+
+#include "edgebench/core/rng.hh"
+
+namespace edgebench
+{
+namespace power
+{
+
+/** One timestamped power sample. */
+struct PowerSample
+{
+    double timeS = 0.0;
+    double powerW = 0.0;
+};
+
+/** A sampled power trace with integration helpers. */
+struct PowerTrace
+{
+    std::vector<PowerSample> samples;
+
+    /** Trapezoidal energy integral over the trace, Joules. */
+    double energyJ() const;
+    /** Mean power, Watts. */
+    double averageW() const;
+};
+
+/** Ground-truth power as a function of time, Watts. */
+using PowerFunction = std::function<double(double time_s)>;
+
+/**
+ * UM25C-style USB multimeter: quantizes to 0.01 V / 0.0001 A display
+ * digits, applies a per-device calibration gain within the rated
+ * accuracy, and samples at 1 Hz.
+ */
+class UsbMultimeter
+{
+  public:
+    explicit UsbMultimeter(core::Rng rng);
+
+    /** Measure a (voltage, current) pair once. */
+    double measureVoltage(double true_v);
+    double measureCurrent(double true_a);
+
+    /**
+     * Record @p truth at 1 Hz for @p duration_s seconds assuming a
+     * fixed 5.1 V USB rail (current = power / rail).
+     */
+    PowerTrace record(const PowerFunction& truth, double duration_s);
+
+    /** Worst-case relative voltage error at @p v volts. */
+    static double voltageErrorBound(double v);
+    /** Worst-case relative current error at @p a amps. */
+    static double currentErrorBound(double a);
+
+  private:
+    core::Rng rng_;
+    double vGain_;
+    double iGain_;
+};
+
+/** Outlet power analyzer: +-0.005 W absolute accuracy, 1 Hz. */
+class PowerAnalyzer
+{
+  public:
+    explicit PowerAnalyzer(core::Rng rng);
+
+    double measurePower(double true_w);
+    PowerTrace record(const PowerFunction& truth, double duration_s);
+
+    static constexpr double kAccuracyW = 0.005;
+
+  private:
+    core::Rng rng_;
+    double offsetW_;
+};
+
+} // namespace power
+} // namespace edgebench
+
+#endif // EDGEBENCH_POWER_METER_HH

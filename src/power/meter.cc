@@ -1,0 +1,122 @@
+#include "edgebench/power/meter.hh"
+
+#include <cmath>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace power
+{
+
+double
+PowerTrace::energyJ() const
+{
+    double e = 0.0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        const double dt = samples[i].timeS - samples[i - 1].timeS;
+        e += 0.5 * (samples[i].powerW + samples[i - 1].powerW) * dt;
+    }
+    return e;
+}
+
+double
+PowerTrace::averageW() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto& s : samples)
+        sum += s.powerW;
+    return sum / static_cast<double>(samples.size());
+}
+
+namespace
+{
+
+constexpr double kUsbRailV = 5.1;
+constexpr double kVoltageDigit = 0.01;   // 10 mV display resolution
+constexpr double kCurrentDigit = 0.0001; // 0.1 mA display resolution
+constexpr double kVoltageGainSpec = 0.0005; // 0.05 %
+constexpr double kCurrentGainSpec = 0.001;  // 0.1 %
+
+double
+quantize(double v, double digit)
+{
+    return std::nearbyint(v / digit) * digit;
+}
+
+} // namespace
+
+UsbMultimeter::UsbMultimeter(core::Rng rng) : rng_(rng)
+{
+    // Calibration gain error fixed per instrument, inside spec.
+    vGain_ = 1.0 + rng_.uniform(-kVoltageGainSpec, kVoltageGainSpec);
+    iGain_ = 1.0 + rng_.uniform(-kCurrentGainSpec, kCurrentGainSpec);
+}
+
+double
+UsbMultimeter::measureVoltage(double true_v)
+{
+    EB_CHECK(true_v >= 0.0, "negative voltage");
+    return quantize(true_v * vGain_, kVoltageDigit);
+}
+
+double
+UsbMultimeter::measureCurrent(double true_a)
+{
+    EB_CHECK(true_a >= 0.0, "negative current");
+    return quantize(true_a * iGain_, kCurrentDigit);
+}
+
+PowerTrace
+UsbMultimeter::record(const PowerFunction& truth, double duration_s)
+{
+    EB_CHECK(duration_s > 0.0, "record: non-positive duration");
+    PowerTrace trace;
+    for (double t = 0.0; t <= duration_s; t += 1.0) {
+        const double p = truth(t);
+        const double i = p / kUsbRailV;
+        const double mv = measureVoltage(kUsbRailV);
+        const double mi = measureCurrent(i);
+        trace.samples.push_back({t, mv * mi});
+    }
+    return trace;
+}
+
+double
+UsbMultimeter::voltageErrorBound(double v)
+{
+    return kVoltageGainSpec + 2.0 * kVoltageDigit / std::max(v, 1e-9);
+}
+
+double
+UsbMultimeter::currentErrorBound(double a)
+{
+    return kCurrentGainSpec + 4.0 * kCurrentDigit / std::max(a, 1e-9);
+}
+
+PowerAnalyzer::PowerAnalyzer(core::Rng rng) : rng_(rng)
+{
+    offsetW_ = rng_.uniform(-kAccuracyW, kAccuracyW);
+}
+
+double
+PowerAnalyzer::measurePower(double true_w)
+{
+    EB_CHECK(true_w >= 0.0, "negative power");
+    return std::max(0.0, true_w + offsetW_);
+}
+
+PowerTrace
+PowerAnalyzer::record(const PowerFunction& truth, double duration_s)
+{
+    EB_CHECK(duration_s > 0.0, "record: non-positive duration");
+    PowerTrace trace;
+    for (double t = 0.0; t <= duration_s; t += 1.0)
+        trace.samples.push_back({t, measurePower(truth(t))});
+    return trace;
+}
+
+} // namespace power
+} // namespace edgebench

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Edge request-serving simulator.
+ *
+ * The paper frames edge inference as serving a limited request stream
+ * in real time (single-batch, Section I) and measures the pieces —
+ * latency, power, temperature — separately. This module puts them
+ * together: a single-server FIFO queue fed by a (deterministic or
+ * Poisson) arrival process, with energy integrated over busy/idle
+ * intervals and an optional thermal coupling that can take the device
+ * down mid-run (the Fig. 14 RPi shutdown, now with consequences).
+ */
+
+#ifndef EDGEBENCH_SERVING_SIMULATOR_HH
+#define EDGEBENCH_SERVING_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "edgebench/frameworks/runtime.hh"
+
+namespace edgebench
+{
+namespace serving
+{
+
+/** Serving-scenario description. */
+struct ServingConfig
+{
+    /** Wall-clock window to simulate, seconds. */
+    double durationS = 600.0;
+    /** Mean request arrival rate, Hz. */
+    double arrivalRateHz = 1.0;
+    /** Deterministic (evenly spaced) instead of Poisson arrivals. */
+    bool deterministicArrivals = false;
+    /** RNG seed (arrivals + service jitter). */
+    std::uint64_t seed = 1;
+    /** Relative service-time jitter (sigma). */
+    double serviceJitter = 0.02;
+    /** Couple the run to the device thermal model when available. */
+    bool enableThermal = true;
+    double ambientC = 25.0;
+};
+
+/** Outcome of a serving run. */
+struct ServingReport
+{
+    std::int64_t offered = 0;  ///< requests that arrived
+    std::int64_t served = 0;   ///< completed before any shutdown
+    std::int64_t dropped = 0;  ///< lost to thermal shutdown
+    /** End-to-end (queue + service) latency percentiles, ms. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+    double throughputHz = 0.0; ///< served / window
+    double utilization = 0.0;  ///< busy fraction of the window
+    double energyJ = 0.0;      ///< total device energy over the window
+    double energyPerRequestJ = 0.0;
+    bool thermalThrottled = false; ///< soft throttle engaged at any point
+    bool thermalShutdown = false;
+    double shutdownAtS = 0.0;
+    double peakSurfaceC = 0.0;
+};
+
+/** Simulate serving @p config on a deployed model. */
+ServingReport simulateServing(
+    const frameworks::InferenceSession& session,
+    const ServingConfig& config);
+
+} // namespace serving
+} // namespace edgebench
+
+#endif // EDGEBENCH_SERVING_SIMULATOR_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Execution-environment (virtualization) model — paper Section VI-D,
+ * Fig. 13.
+ *
+ * Docker adds overhead to syscall/IO-bound portions of a run (dispatch
+ * and session entry) while raw compute runs at native speed; the
+ * result is the paper's "almost negligible, within 5%" slowdown.
+ */
+
+#ifndef EDGEBENCH_SYSMODEL_VIRTUALIZATION_HH
+#define EDGEBENCH_SYSMODEL_VIRTUALIZATION_HH
+
+#include <string>
+
+#include "edgebench/frameworks/framework.hh"
+
+namespace edgebench
+{
+namespace sysmodel
+{
+
+/** Where the framework runs. */
+enum class ExecEnvironment
+{
+    kBareMetal,
+    kDocker,
+};
+
+/** Display name, "Bare Metal" / "Docker". */
+std::string environmentName(ExecEnvironment e);
+
+/** Overhead coefficients of a container runtime. */
+struct VirtualizationModel
+{
+    /** Multiplier on dispatch/session (syscall-heavy) time. */
+    double overheadOnOverheadTime = 1.035;
+    /** Multiplier on kernel compute/memory time. */
+    double overheadOnComputeTime = 1.004;
+};
+
+/** The Docker model used for Fig. 13. */
+const VirtualizationModel& dockerModel();
+
+/**
+ * Latency of @p m in environment @p env, milliseconds. Bare metal
+ * returns the roofline latency unchanged.
+ */
+double environmentLatencyMs(const frameworks::CompiledModel& m,
+                            ExecEnvironment env);
+
+/** Fractional slowdown of Docker vs bare metal (0.03 == 3%). */
+double dockerSlowdown(const frameworks::CompiledModel& m);
+
+} // namespace sysmodel
+} // namespace edgebench
+
+#endif // EDGEBENCH_SYSMODEL_VIRTUALIZATION_HH

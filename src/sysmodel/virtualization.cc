@@ -1,0 +1,52 @@
+#include "edgebench/sysmodel/virtualization.hh"
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace sysmodel
+{
+
+std::string
+environmentName(ExecEnvironment e)
+{
+    switch (e) {
+      case ExecEnvironment::kBareMetal: return "Bare Metal";
+      case ExecEnvironment::kDocker: return "Docker";
+    }
+    throw InternalError("environmentName: unknown environment");
+}
+
+const VirtualizationModel&
+dockerModel()
+{
+    static const VirtualizationModel m{};
+    return m;
+}
+
+double
+environmentLatencyMs(const frameworks::CompiledModel& m,
+                     ExecEnvironment env)
+{
+    const auto cost = m.latency();
+    if (env == ExecEnvironment::kBareMetal)
+        return cost.totalMs;
+
+    const auto& v = dockerModel();
+    const double kernel_ms = cost.totalMs - cost.overheadMs;
+    return kernel_ms * v.overheadOnComputeTime +
+        cost.overheadMs * v.overheadOnOverheadTime;
+}
+
+double
+dockerSlowdown(const frameworks::CompiledModel& m)
+{
+    const double bare =
+        environmentLatencyMs(m, ExecEnvironment::kBareMetal);
+    const double docker =
+        environmentLatencyMs(m, ExecEnvironment::kDocker);
+    return docker / bare - 1.0;
+}
+
+} // namespace sysmodel
+} // namespace edgebench

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * RC thermal simulator (paper Section VI-F, Fig. 14, Table VI).
+ *
+ * Two-node lumped thermal network per device:
+ *
+ *   P -> [junction] --R_jh--> [heatsink surface] --R_ha--> ambient
+ *           C_j                     C_h
+ *
+ * The thermal camera in the paper reads the heatsink surface, which
+ * sits 5-10 degC below the junction; fans cut R_ha when the surface
+ * crosses the fan trip point; the RPi's junction crossing its trip
+ * limit reproduces the "Device Shutdown" event in Fig. 14.
+ */
+
+#ifndef EDGEBENCH_THERMAL_THERMAL_HH
+#define EDGEBENCH_THERMAL_THERMAL_HH
+
+#include <string>
+#include <vector>
+
+#include "edgebench/hw/device.hh"
+#include "edgebench/power/meter.hh"
+
+namespace edgebench
+{
+namespace thermal
+{
+
+/** Table VI cooling-instrument description. */
+struct CoolingSpec
+{
+    bool heatsink = false;
+    std::string heatsinkSize;
+    bool fan = false;
+    /** Measured idle surface temperature, degC (Table VI). */
+    double idleTempC = 0.0;
+    /** Whether the paper observed the fan activating (Fig. 14). */
+    bool fanActivates = false;
+};
+
+/** Table VI entry for an edge device; throws for HPC platforms. */
+const CoolingSpec& coolingSpec(hw::DeviceId id);
+
+/** Lumped RC parameters of a device's thermal network. */
+struct ThermalParams
+{
+    double rJunctionHeatsink = 1.0; ///< K/W
+    double rHeatsinkAmbient = 5.0;  ///< K/W, fan off
+    double rHeatsinkAmbientFan = 5.0; ///< K/W, fan on
+    double cJunction = 20.0;        ///< J/K
+    double cHeatsink = 80.0;        ///< J/K
+    double fanOnSurfaceC = 1e9;     ///< fan trip point (surface)
+    double fanOffSurfaceC = 1e9;    ///< fan release (hysteresis)
+    /** Soft-throttle trip point (junction); clocks drop above it. */
+    double throttleJunctionC = 1e9;
+    /** Service-time multiplier while throttled (>= 1). */
+    double throttleSlowdown = 1.0;
+    double shutdownJunctionC = 1e9; ///< thermal trip (junction)
+};
+
+/** Calibrated parameters for an edge device. */
+const ThermalParams& thermalParams(hw::DeviceId id);
+
+/** Events the simulator can emit. */
+enum class ThermalEvent
+{
+    kFanOn,
+    kFanOff,
+    kThrottleOn,
+    kThrottleOff,
+    kShutdown,
+};
+
+/** One recorded event. */
+struct ThermalEventRecord
+{
+    double timeS = 0.0;
+    ThermalEvent event;
+};
+
+/** A simulated temperature trace. */
+struct TemperatureTrace
+{
+    std::vector<double> timeS;
+    std::vector<double> surfaceC;
+    std::vector<double> junctionC;
+    std::vector<ThermalEventRecord> events;
+
+    double finalSurfaceC() const;
+    bool sawEvent(ThermalEvent e) const;
+};
+
+class ThermalSimulator
+{
+  public:
+    ThermalSimulator(hw::DeviceId device, double ambient_c = 25.0);
+
+    /** Advance the network by @p dt_s at dissipation @p power_w. */
+    void step(double power_w, double dt_s);
+
+    double junctionC() const { return junction_c_; }
+    double surfaceC() const { return surface_c_; }
+    bool fanOn() const { return fan_on_; }
+    /** True while the soft thermal throttle is engaged. */
+    bool throttled() const { return throttled_; }
+    /** Current service-time multiplier (throttleSlowdown or 1). */
+    double slowdownFactor() const
+    {
+        return throttled_ ? params_.throttleSlowdown : 1.0;
+    }
+    bool shutDown() const { return shut_down_; }
+    double timeS() const { return time_s_; }
+
+    /**
+     * Simulate @p duration_s seconds of @p power, sampling every
+     * @p sample_every_s. A shutdown drops power to zero for the rest
+     * of the run (the device turns off).
+     */
+    TemperatureTrace simulate(const power::PowerFunction& power,
+                              double duration_s,
+                              double sample_every_s = 1.0);
+
+    /**
+     * Run at constant power until |dT/dt| of both nodes falls below
+     * 1e-4 K/s (or shutdown). Returns the trace.
+     */
+    TemperatureTrace runToSteadyState(double power_w,
+                                      double max_duration_s = 7200.0);
+
+  private:
+    hw::DeviceId device_;
+    ThermalParams params_;
+    double ambient_c_;
+    double junction_c_;
+    double surface_c_;
+    bool fan_on_ = false;
+    bool throttled_ = false;
+    bool shut_down_ = false;
+    double time_s_ = 0.0;
+    std::vector<ThermalEventRecord> events_;
+
+    friend class ThermalSimulatorTestPeer;
+    TemperatureTrace simulateImpl(const power::PowerFunction& power,
+                                  double duration_s,
+                                  double sample_every_s,
+                                  bool stop_at_steady);
+};
+
+} // namespace thermal
+} // namespace edgebench
+
+#endif // EDGEBENCH_THERMAL_THERMAL_HH

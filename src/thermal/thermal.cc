@@ -1,0 +1,225 @@
+#include "edgebench/thermal/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace thermal
+{
+
+namespace
+{
+
+struct Entry
+{
+    hw::DeviceId id;
+    CoolingSpec cooling;
+    ThermalParams params;
+};
+
+/**
+ * Table VI cooling data plus RC parameters calibrated so that (a)
+ * idle surface temperatures reproduce Table VI at the devices' idle
+ * power, and (b) loaded behaviour reproduces Fig. 14 (TX2/Nano fans
+ * activate, RPi trips its thermal limit, Movidius barely warms).
+ */
+const std::vector<Entry>&
+table()
+{
+    static const std::vector<Entry> entries = {
+        {hw::DeviceId::kRpi3,
+         {true, "14x14 mm", false, 43.3, false},
+         {.rJunctionHeatsink = 4.0, .rHeatsinkAmbient = 13.76,
+          .rHeatsinkAmbientFan = 13.76, .cJunction = 15.0,
+          .cHeatsink = 60.0, .fanOnSurfaceC = 1e9,
+          .fanOffSurfaceC = 1e9, .throttleJunctionC = 60.0,
+          .throttleSlowdown = 1.8, .shutdownJunctionC = 70.0}},
+        {hw::DeviceId::kJetsonTx2,
+         {true, "80x55x20 mm", true, 32.4, true},
+         {.rJunctionHeatsink = 0.8, .rHeatsinkAmbient = 3.9,
+          .rHeatsinkAmbientFan = 1.5, .cJunction = 25.0,
+          .cHeatsink = 150.0, .fanOnSurfaceC = 40.0,
+          .fanOffSurfaceC = 35.0, .shutdownJunctionC = 1e9}},
+        {hw::DeviceId::kJetsonNano,
+         {true, "59x39x17 mm", true, 35.2, true},
+         {.rJunctionHeatsink = 1.0, .rHeatsinkAmbient = 8.16,
+          .rHeatsinkAmbientFan = 3.6, .cJunction = 20.0,
+          .cHeatsink = 100.0, .fanOnSurfaceC = 45.0,
+          .fanOffSurfaceC = 40.0, .shutdownJunctionC = 1e9}},
+        {hw::DeviceId::kEdgeTpu,
+         {true, "44x40x9 mm", true, 33.9, false},
+         {.rJunctionHeatsink = 1.0, .rHeatsinkAmbient = 2.75,
+          .rHeatsinkAmbientFan = 1.8, .cJunction = 15.0,
+          .cHeatsink = 80.0, .fanOnSurfaceC = 50.0,
+          .fanOffSurfaceC = 45.0, .shutdownJunctionC = 1e9}},
+        {hw::DeviceId::kMovidius,
+         {true, "USB stick body (60x27x14 mm)", false, 25.8, false},
+         {.rJunctionHeatsink = 2.0, .rHeatsinkAmbient = 2.2,
+          .rHeatsinkAmbientFan = 2.2, .cJunction = 5.0,
+          .cHeatsink = 30.0, .fanOnSurfaceC = 1e9,
+          .fanOffSurfaceC = 1e9, .shutdownJunctionC = 1e9}},
+    };
+    return entries;
+}
+
+const Entry&
+entry(hw::DeviceId id)
+{
+    for (const auto& e : table())
+        if (e.id == id)
+            return e;
+    throw InvalidArgumentError(
+        "thermal: no cooling data for " + hw::deviceName(id) +
+        " (the paper instruments edge devices only)");
+}
+
+} // namespace
+
+const CoolingSpec&
+coolingSpec(hw::DeviceId id)
+{
+    return entry(id).cooling;
+}
+
+const ThermalParams&
+thermalParams(hw::DeviceId id)
+{
+    return entry(id).params;
+}
+
+double
+TemperatureTrace::finalSurfaceC() const
+{
+    EB_CHECK(!surfaceC.empty(), "empty temperature trace");
+    return surfaceC.back();
+}
+
+bool
+TemperatureTrace::sawEvent(ThermalEvent e) const
+{
+    for (const auto& rec : events)
+        if (rec.event == e)
+            return true;
+    return false;
+}
+
+ThermalSimulator::ThermalSimulator(hw::DeviceId device,
+                                   double ambient_c)
+    : device_(device), params_(thermalParams(device)),
+      ambient_c_(ambient_c)
+{
+    // Start from the idle steady state at the device's idle power.
+    const double idle_w = hw::deviceSpec(device).idlePowerW;
+    surface_c_ = ambient_c_ + idle_w * params_.rHeatsinkAmbient;
+    junction_c_ = surface_c_ + idle_w * params_.rJunctionHeatsink;
+}
+
+void
+ThermalSimulator::step(double power_w, double dt_s)
+{
+    EB_CHECK(dt_s > 0.0, "step: non-positive dt");
+    EB_CHECK(power_w >= 0.0, "step: negative power");
+    if (shut_down_)
+        power_w = 0.0;
+
+    // Fan control with hysteresis on the surface temperature.
+    if (!fan_on_ && surface_c_ >= params_.fanOnSurfaceC) {
+        fan_on_ = true;
+        events_.push_back({time_s_, ThermalEvent::kFanOn});
+    } else if (fan_on_ && surface_c_ <= params_.fanOffSurfaceC) {
+        fan_on_ = false;
+        events_.push_back({time_s_, ThermalEvent::kFanOff});
+    }
+    const double r_ha = fan_on_ ? params_.rHeatsinkAmbientFan
+                                : params_.rHeatsinkAmbient;
+
+    // Forward Euler with substeps bounded for stability.
+    const double max_sub = 0.25 *
+        std::min(params_.cJunction * params_.rJunctionHeatsink,
+                 params_.cHeatsink * r_ha);
+    const int substeps = std::max(
+        1, static_cast<int>(std::ceil(dt_s / std::max(max_sub, 1e-3))));
+    const double h = dt_s / substeps;
+    for (int i = 0; i < substeps; ++i) {
+        const double q_jh =
+            (junction_c_ - surface_c_) / params_.rJunctionHeatsink;
+        const double q_ha = (surface_c_ - ambient_c_) / r_ha;
+        junction_c_ += h * (power_w - q_jh) / params_.cJunction;
+        surface_c_ += h * (q_jh - q_ha) / params_.cHeatsink;
+    }
+    time_s_ += dt_s;
+
+    // Soft throttle with 5 degC hysteresis on the junction.
+    if (!throttled_ && junction_c_ >= params_.throttleJunctionC) {
+        throttled_ = true;
+        events_.push_back({time_s_, ThermalEvent::kThrottleOn});
+    } else if (throttled_ &&
+               junction_c_ <= params_.throttleJunctionC - 5.0) {
+        throttled_ = false;
+        events_.push_back({time_s_, ThermalEvent::kThrottleOff});
+    }
+
+    if (!shut_down_ && junction_c_ >= params_.shutdownJunctionC) {
+        shut_down_ = true;
+        events_.push_back({time_s_, ThermalEvent::kShutdown});
+    }
+}
+
+TemperatureTrace
+ThermalSimulator::simulate(const power::PowerFunction& power,
+                           double duration_s, double sample_every_s)
+{
+    return simulateImpl(power, duration_s, sample_every_s, false);
+}
+
+TemperatureTrace
+ThermalSimulator::runToSteadyState(double power_w,
+                                   double max_duration_s)
+{
+    return simulateImpl([power_w](double) { return power_w; },
+                        max_duration_s, 1.0, true);
+}
+
+TemperatureTrace
+ThermalSimulator::simulateImpl(const power::PowerFunction& power,
+                               double duration_s,
+                               double sample_every_s,
+                               bool stop_at_steady)
+{
+    EB_CHECK(duration_s > 0.0 && sample_every_s > 0.0,
+             "simulate: bad durations");
+    TemperatureTrace trace;
+    events_.clear();
+    trace.timeS.push_back(time_s_);
+    trace.surfaceC.push_back(surface_c_);
+    trace.junctionC.push_back(junction_c_);
+
+    const double t_end = time_s_ + duration_s;
+    while (time_s_ < t_end - 1e-9) {
+        const double prev_j = junction_c_;
+        const double prev_s = surface_c_;
+        step(power(time_s_), sample_every_s);
+        trace.timeS.push_back(time_s_);
+        trace.surfaceC.push_back(surface_c_);
+        trace.junctionC.push_back(junction_c_);
+        if (stop_at_steady && !shut_down_) {
+            const double dj =
+                std::fabs(junction_c_ - prev_j) / sample_every_s;
+            const double ds =
+                std::fabs(surface_c_ - prev_s) / sample_every_s;
+            if (dj < 1e-4 && ds < 1e-4)
+                break;
+        }
+        if (stop_at_steady && shut_down_ &&
+            std::fabs(surface_c_ - prev_s) < 1e-4)
+            break;
+    }
+    trace.events = events_;
+    return trace;
+}
+
+} // namespace thermal
+} // namespace edgebench

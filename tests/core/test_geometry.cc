@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for kernel geometry: output dims and MAC arithmetic.
+ *
+ * Several cases check well-known layers of the paper's models so the
+ * cost model is anchored to published numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/geometry.hh"
+
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+TEST(Conv2dGeomTest, ResNetStemDims)
+{
+    // ResNet conv1: 3x224x224, 64 filters 7x7, stride 2, pad 3.
+    ec::Conv2dGeom g{.n = 1, .inC = 3, .inH = 224, .inW = 224,
+                     .outC = 64, .kH = 7, .kW = 7, .strideH = 2,
+                     .strideW = 2, .padH = 3, .padW = 3};
+    g.validate();
+    EXPECT_EQ(g.outH(), 112);
+    EXPECT_EQ(g.outW(), 112);
+    // 112*112*64*3*7*7 = 118,013,952 MACs.
+    EXPECT_EQ(g.macs(), 118013952);
+    EXPECT_EQ(g.weightCount(), 64 * 3 * 7 * 7);
+}
+
+TEST(Conv2dGeomTest, SameConvolutionKeepsSpatialDims)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 16, .inH = 56, .inW = 56,
+                     .outC = 16, .kH = 3, .kW = 3, .padH = 1, .padW = 1};
+    g.validate();
+    EXPECT_EQ(g.outH(), 56);
+    EXPECT_EQ(g.outW(), 56);
+}
+
+TEST(Conv2dGeomTest, DilationExpandsReceptiveField)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 1, .inH = 9, .inW = 9, .outC = 1,
+                     .kH = 3, .kW = 3, .dilH = 2, .dilW = 2};
+    g.validate();
+    // Effective kernel = 5 -> out = 9 - 5 + 1 = 5.
+    EXPECT_EQ(g.outH(), 5);
+}
+
+TEST(Conv2dGeomTest, DepthwiseGroupsDivideMacs)
+{
+    // MobileNet depthwise: groups == channels.
+    ec::Conv2dGeom dw{.n = 1, .inC = 32, .inH = 112, .inW = 112,
+                      .outC = 32, .kH = 3, .kW = 3, .padH = 1,
+                      .padW = 1, .groups = 32};
+    dw.validate();
+    EXPECT_EQ(dw.macs(), 112 * 112 * 32 * 3 * 3);
+    EXPECT_EQ(dw.weightCount(), 32 * 3 * 3);
+}
+
+TEST(Conv2dGeomTest, InvalidGeometriesThrow)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 3, .inH = 8, .inW = 8, .outC = 8,
+                     .kH = 3, .kW = 3};
+    g.groups = 2; // inC % groups != 0
+    EXPECT_THROW(g.validate(), InvalidArgumentError);
+    g.groups = 1;
+    g.strideH = 0;
+    EXPECT_THROW(g.validate(), InvalidArgumentError);
+    g.strideH = 1;
+    g.kH = 20; // window larger than padded input
+    EXPECT_THROW(g.validate(), InvalidArgumentError);
+}
+
+TEST(Conv3dGeomTest, C3dFirstLayerDims)
+{
+    // C3D conv1a on 3x16x112x112 (paper uses 12 frames; this checks
+    // the canonical 16-frame variant's arithmetic).
+    ec::Conv3dGeom g{.n = 1, .inC = 3, .inD = 16, .inH = 112,
+                     .inW = 112, .outC = 64, .kD = 3, .kH = 3, .kW = 3,
+                     .padD = 1, .padH = 1, .padW = 1};
+    g.validate();
+    EXPECT_EQ(g.outD(), 16);
+    EXPECT_EQ(g.outH(), 112);
+    EXPECT_EQ(g.outW(), 112);
+    EXPECT_EQ(g.weightCount(), 64 * 3 * 27);
+}
+
+TEST(Pool2dGeomTest, FloorAndCeilModes)
+{
+    ec::Pool2dGeom g{.n = 1, .c = 1, .inH = 7, .inW = 7, .kH = 2,
+                     .kW = 2, .strideH = 2, .strideW = 2};
+    g.validate();
+    EXPECT_EQ(g.outH(), 3);
+    g.ceilMode = true;
+    EXPECT_EQ(g.outH(), 4);
+}
+
+TEST(Pool3dGeomTest, C3dPool1Dims)
+{
+    ec::Pool3dGeom g{.n = 1, .c = 64, .inD = 16, .inH = 112,
+                     .inW = 112, .kD = 1, .kH = 2, .kW = 2,
+                     .strideD = 1, .strideH = 2, .strideW = 2};
+    g.validate();
+    EXPECT_EQ(g.outD(), 16);
+    EXPECT_EQ(g.outH(), 56);
+}
+
+TEST(DenseGeomTest, MacsAndWeights)
+{
+    ec::DenseGeom g{.batch = 1, .inFeatures = 4096,
+                    .outFeatures = 1000};
+    g.validate();
+    EXPECT_EQ(g.macs(), 4096 * 1000);
+    EXPECT_EQ(g.weightCount(), 4096 * 1000);
+}
+
+TEST(DenseGeomTest, ZeroDimsThrow)
+{
+    ec::DenseGeom g{.batch = 1, .inFeatures = 0, .outFeatures = 10};
+    EXPECT_THROW(g.validate(), InvalidArgumentError);
+}

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit + property tests for the fp32 compute kernels. The im2col+GEMM
+ * convolution is cross-checked against the direct loop-nest oracle over
+ * a parameter sweep (stride/pad/dilation/groups).
+ */
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/kernels.hh"
+
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+namespace
+{
+
+ec::Tensor
+randomTensor(const ec::Shape& s, std::uint64_t seed)
+{
+    ec::Rng rng(seed);
+    return ec::Tensor::randomNormal(s, rng);
+}
+
+} // namespace
+
+TEST(GemmTest, MatchesHandComputedProduct)
+{
+    // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]].
+    std::vector<float> a = {1, 2, 3, 4};
+    std::vector<float> b = {5, 6, 7, 8};
+    std::vector<float> c(4);
+    ec::gemm(2, 2, 2, a, b, c);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(GemmTest, MatchesNaiveTripleLoopOnRandomMatrices)
+{
+    const std::int64_t m = 17, n = 23, k = 131;
+    auto ta = randomTensor({m, k}, 1);
+    auto tb = randomTensor({k, n}, 2);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    ec::gemm(m, n, k, ta.data(), tb.data(), c);
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p)
+                acc += static_cast<double>(ta.at(i * k + p)) *
+                    tb.at(p * n + j);
+            ASSERT_NEAR(c[static_cast<std::size_t>(i * n + j)], acc,
+                        1e-3);
+        }
+}
+
+TEST(GemmTest, SizeMismatchThrows)
+{
+    std::vector<float> a(4), b(4), c(3);
+    EXPECT_THROW(ec::gemm(2, 2, 2, a, b, c), InvalidArgumentError);
+}
+
+/**
+ * Conv2d property sweep: (kernel, stride, pad, dilation, groups).
+ */
+using ConvCase = std::tuple<int, int, int, int, int>;
+
+class ConvEquivalence : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvEquivalence, Im2colMatchesNaive)
+{
+    const auto [k, stride, pad, dil, groups] = GetParam();
+    ec::Conv2dGeom g;
+    g.n = 2;
+    g.inC = 4 * groups;
+    g.inH = 11;
+    g.inW = 13;
+    g.outC = 6 * groups;
+    g.kH = k;
+    g.kW = k;
+    g.strideH = stride;
+    g.strideW = stride;
+    g.padH = pad;
+    g.padW = pad;
+    g.dilH = dil;
+    g.dilW = dil;
+    g.groups = groups;
+    g.validate();
+
+    auto input = randomTensor({g.n, g.inC, g.inH, g.inW}, 10 + k);
+    auto weights = randomTensor(
+        {g.outC, g.inC / g.groups, g.kH, g.kW}, 20 + stride);
+    auto bias = randomTensor({g.outC}, 30 + pad);
+
+    auto fast = ec::conv2d(input, weights, bias, g);
+    auto slow = ec::conv2dNaive(input, weights, bias, g);
+    EXPECT_EQ(fast.shape(), slow.shape());
+    EXPECT_LT(fast.maxAbsDiff(slow), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvEquivalence,
+    ::testing::Values(
+        ConvCase{1, 1, 0, 1, 1}, ConvCase{3, 1, 1, 1, 1},
+        ConvCase{3, 2, 1, 1, 1}, ConvCase{5, 1, 2, 1, 1},
+        ConvCase{3, 1, 2, 2, 1}, ConvCase{3, 1, 1, 1, 2},
+        ConvCase{3, 2, 1, 1, 4}, ConvCase{1, 2, 0, 1, 2},
+        ConvCase{7, 2, 3, 1, 1}, ConvCase{3, 3, 1, 1, 1}));
+
+TEST(Conv2dTest, DepthwiseMatchesPerChannelConvolution)
+{
+    // groups == inC == outC: each channel is convolved independently.
+    ec::Conv2dGeom g{.n = 1, .inC = 3, .inH = 8, .inW = 8, .outC = 3,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1,
+                     .groups = 3};
+    auto input = randomTensor({1, 3, 8, 8}, 42);
+    auto weights = randomTensor({3, 1, 3, 3}, 43);
+    auto out = ec::conv2d(input, weights, ec::Tensor::zeros({3}), g);
+
+    for (std::int64_t c = 0; c < 3; ++c) {
+        // Single-channel convolution of channel c.
+        ec::Conv2dGeom g1{.n = 1, .inC = 1, .inH = 8, .inW = 8,
+                          .outC = 1, .kH = 3, .kW = 3, .padH = 1,
+                          .padW = 1};
+        ec::Tensor ic({1, 1, 8, 8});
+        for (std::int64_t i = 0; i < 64; ++i)
+            ic.set(i, input.at(c * 64 + i));
+        ec::Tensor wc({1, 1, 3, 3});
+        for (std::int64_t i = 0; i < 9; ++i)
+            wc.set(i, weights.at(c * 9 + i));
+        auto oc = ec::conv2dNaive(ic, wc, ec::Tensor::zeros({1}), g1);
+        for (std::int64_t i = 0; i < 64; ++i)
+            ASSERT_NEAR(out.at(c * 64 + i), oc.at(i), 1e-4);
+    }
+}
+
+TEST(Conv2dTest, IdentityKernelReproducesInput)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 1, .inH = 5, .inW = 5, .outC = 1,
+                     .kH = 1, .kW = 1};
+    auto input = randomTensor({1, 1, 5, 5}, 7);
+    ec::Tensor w({1, 1, 1, 1}, {1.0f});
+    auto out = ec::conv2d(input, w, ec::Tensor::zeros({1}), g);
+    EXPECT_LT(out.maxAbsDiff(input), 1e-6);
+}
+
+TEST(Conv3dTest, ReducesToConv2dWhenDepthIsOne)
+{
+    ec::Conv3dGeom g3{.n = 1, .inC = 2, .inD = 1, .inH = 6, .inW = 6,
+                      .outC = 3, .kD = 1, .kH = 3, .kW = 3, .padH = 1,
+                      .padW = 1};
+    ec::Conv2dGeom g2{.n = 1, .inC = 2, .inH = 6, .inW = 6, .outC = 3,
+                      .kH = 3, .kW = 3, .padH = 1, .padW = 1};
+    auto in2 = randomTensor({1, 2, 6, 6}, 77);
+    ec::Tensor in3({1, 2, 1, 6, 6});
+    for (std::int64_t i = 0; i < in2.numel(); ++i)
+        in3.set(i, in2.at(i));
+    auto w2 = randomTensor({3, 2, 3, 3}, 78);
+    ec::Tensor w3({3, 2, 1, 3, 3});
+    for (std::int64_t i = 0; i < w2.numel(); ++i)
+        w3.set(i, w2.at(i));
+    auto bias = randomTensor({3}, 79);
+
+    auto o3 = ec::conv3d(in3, w3, bias, g3);
+    auto o2 = ec::conv2d(in2, w2, bias, g2);
+    ASSERT_EQ(o3.numel(), o2.numel());
+    for (std::int64_t i = 0; i < o2.numel(); ++i)
+        ASSERT_NEAR(o3.at(i), o2.at(i), 1e-4);
+}
+
+TEST(DenseTest, MatchesManualDotProduct)
+{
+    ec::DenseGeom g{.batch = 2, .inFeatures = 3, .outFeatures = 2};
+    ec::Tensor in({2, 3}, {1, 2, 3, 4, 5, 6});
+    ec::Tensor w({2, 3}, {1, 0, -1, 0.5f, 0.5f, 0.5f});
+    ec::Tensor b({2}, {10, 20});
+    auto out = ec::dense(in, w, b, g);
+    EXPECT_FLOAT_EQ(out.at(0), 1 - 3 + 10);
+    EXPECT_FLOAT_EQ(out.at(1), 0.5f * 6 + 20);
+    EXPECT_FLOAT_EQ(out.at(2), 4 - 6 + 10);
+    EXPECT_FLOAT_EQ(out.at(3), 0.5f * 15 + 20);
+}
+
+TEST(PoolTest, MaxPoolPicksWindowMaximum)
+{
+    ec::Pool2dGeom g{.n = 1, .c = 1, .inH = 4, .inW = 4, .kH = 2,
+                     .kW = 2, .strideH = 2, .strideW = 2};
+    ec::Tensor in({1, 1, 4, 4},
+                  {1, 2, 3, 4,
+                   5, 6, 7, 8,
+                   9, 10, 11, 12,
+                   13, 14, 15, 16});
+    auto out = ec::maxPool2d(in, g);
+    EXPECT_EQ(out.shape(), (ec::Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(out.at(0), 6);
+    EXPECT_FLOAT_EQ(out.at(1), 8);
+    EXPECT_FLOAT_EQ(out.at(2), 14);
+    EXPECT_FLOAT_EQ(out.at(3), 16);
+}
+
+TEST(PoolTest, AvgPoolAveragesOnlyInBoundsElements)
+{
+    ec::Pool2dGeom g{.n = 1, .c = 1, .inH = 2, .inW = 2, .kH = 2,
+                     .kW = 2, .strideH = 2, .strideW = 2, .padH = 1,
+                     .padW = 1};
+    ec::Tensor in({1, 1, 2, 2}, {4, 8, 12, 16});
+    auto out = ec::avgPool2d(in, g);
+    // Each 2x2 window sees exactly one in-bounds element.
+    EXPECT_EQ(out.shape(), (ec::Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(out.at(0), 4);
+    EXPECT_FLOAT_EQ(out.at(3), 16);
+}
+
+TEST(PoolTest, MaxPool3dReducesTemporalDim)
+{
+    ec::Pool3dGeom g{.n = 1, .c = 1, .inD = 2, .inH = 2, .inW = 2,
+                     .kD = 2, .kH = 2, .kW = 2, .strideD = 2,
+                     .strideH = 2, .strideW = 2};
+    ec::Tensor in({1, 1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+    auto out = ec::maxPool3d(in, g);
+    EXPECT_EQ(out.numel(), 1);
+    EXPECT_FLOAT_EQ(out.at(0), 8);
+}
+
+TEST(PoolTest, GlobalAvgPoolMatchesMean)
+{
+    ec::Tensor in({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+    auto out = ec::globalAvgPool(in);
+    EXPECT_EQ(out.shape(), (ec::Shape{1, 2}));
+    EXPECT_FLOAT_EQ(out.at(0), 2.5f);
+    EXPECT_FLOAT_EQ(out.at(1), 25.0f);
+}
+
+TEST(BatchNormTest, NormalizesToGammaBetaAffine)
+{
+    ec::Tensor in({1, 1, 1, 4}, {2, 4, 6, 8});
+    ec::Tensor gamma({1}, {2.0f});
+    ec::Tensor beta({1}, {1.0f});
+    ec::Tensor mean({1}, {5.0f});
+    ec::Tensor var({1}, {4.0f});
+    auto out = ec::batchNorm(in, gamma, beta, mean, var, 0.0);
+    // (x - 5) / 2 * 2 + 1 = x - 4.
+    EXPECT_FLOAT_EQ(out.at(0), -2.0f);
+    EXPECT_FLOAT_EQ(out.at(3), 4.0f);
+}
+
+TEST(ActivationTest, ReluFamilyClampsCorrectly)
+{
+    ec::Tensor in({5}, {-2, -0.5f, 0, 3, 10});
+    auto r = ec::relu(in);
+    EXPECT_FLOAT_EQ(r.at(0), 0);
+    EXPECT_FLOAT_EQ(r.at(3), 3);
+    auto r6 = ec::relu6(in);
+    EXPECT_FLOAT_EQ(r6.at(4), 6);
+    auto lr = ec::leakyRelu(in, 0.1f);
+    EXPECT_FLOAT_EQ(lr.at(0), -0.2f);
+    EXPECT_FLOAT_EQ(lr.at(4), 10);
+}
+
+TEST(ActivationTest, SigmoidAndTanhMatchStdFunctions)
+{
+    ec::Tensor in({3}, {-1, 0, 2});
+    auto s = ec::sigmoid(in);
+    EXPECT_NEAR(s.at(1), 0.5f, 1e-6);
+    EXPECT_NEAR(s.at(2), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6);
+    auto t = ec::tanhAct(in);
+    EXPECT_NEAR(t.at(0), std::tanh(-1.0f), 1e-6);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndOrderIsPreserved)
+{
+    ec::Tensor in({2, 3}, {1, 2, 3, -1, 0, 1});
+    auto out = ec::softmax(in);
+    for (int r = 0; r < 2; ++r) {
+        double sum = 0.0;
+        for (int c = 0; c < 3; ++c)
+            sum += out.at(r * 3 + c);
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+        EXPECT_LT(out.at(r * 3), out.at(r * 3 + 2));
+    }
+}
+
+TEST(SoftmaxTest, IsShiftInvariantAndOverflowSafe)
+{
+    ec::Tensor a({1, 3}, {1000, 1001, 1002});
+    ec::Tensor b({1, 3}, {0, 1, 2});
+    auto oa = ec::softmax(a);
+    auto ob = ec::softmax(b);
+    EXPECT_LT(oa.maxAbsDiff(ob), 1e-6);
+}
+
+TEST(CombineTest, AddAndConcat)
+{
+    ec::Tensor a({1, 1, 1, 2}, {1, 2});
+    ec::Tensor b({1, 1, 1, 2}, {10, 20});
+    auto sum = ec::addElementwise(a, b);
+    EXPECT_FLOAT_EQ(sum.at(0), 11);
+    auto cat = ec::concatChannels({a, b});
+    EXPECT_EQ(cat.shape(), (ec::Shape{1, 2, 1, 2}));
+    EXPECT_FLOAT_EQ(cat.at(2), 10);
+}
+
+TEST(CombineTest, ConcatRejectsMismatchedSpatialDims)
+{
+    auto a = ec::Tensor::zeros({1, 1, 2, 2});
+    auto b = ec::Tensor::zeros({1, 1, 3, 3});
+    EXPECT_THROW(ec::concatChannels({a, b}), InvalidArgumentError);
+}
+
+TEST(ShapeOpsTest, PadUpsampleFlatten)
+{
+    ec::Tensor in({1, 1, 1, 2}, {3, 4});
+    auto padded = ec::padSpatial(in, 1, 0, 0, 1);
+    EXPECT_EQ(padded.shape(), (ec::Shape{1, 1, 2, 3}));
+    EXPECT_FLOAT_EQ(padded.at(0), 0);
+    EXPECT_FLOAT_EQ(padded.at(3), 3);
+    EXPECT_FLOAT_EQ(padded.at(5), 0);
+
+    auto up = ec::upsampleNearest(in, 2);
+    EXPECT_EQ(up.shape(), (ec::Shape{1, 1, 2, 4}));
+    EXPECT_FLOAT_EQ(up.at(0), 3);
+    EXPECT_FLOAT_EQ(up.at(1), 3);
+    EXPECT_FLOAT_EQ(up.at(7), 4);
+
+    auto flat = ec::flatten(up);
+    EXPECT_EQ(flat.shape(), (ec::Shape{1, 8}));
+}
+
+TEST(ConvPruningTest, PrunedWeightsProduceSameResultAsExplicitZeros)
+{
+    // Sanity for the GEMM pruned-weight fast path: numerically a
+    // weight==0 skip must be exact.
+    ec::Conv2dGeom g{.n = 1, .inC = 3, .inH = 8, .inW = 8, .outC = 4,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1};
+    auto input = randomTensor({1, 3, 8, 8}, 101);
+    auto weights = randomTensor({4, 3, 3, 3}, 102).prunedByMagnitude(0.5);
+    auto bias = ec::Tensor::zeros({4});
+    auto fast = ec::conv2d(input, weights, bias, g);
+    auto slow = ec::conv2dNaive(input, weights, bias, g);
+    EXPECT_LT(fast.maxAbsDiff(slow), 1e-4);
+}

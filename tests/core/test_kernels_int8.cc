@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the quantized INT8 kernels: the quantized result must track
+ * the fp32 result within an analytically derived error bound.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_int8.hh"
+
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+namespace
+{
+
+ec::Tensor
+randomTensor(const ec::Shape& s, std::uint64_t seed, double scale = 1.0)
+{
+    ec::Rng rng(seed);
+    return ec::Tensor::randomNormal(s, rng, scale);
+}
+
+/** Observe fp32 output range and build output quant params. */
+ec::QuantParams
+outputParams(const ec::Tensor& fp_out)
+{
+    double mn = 1e300, mx = -1e300;
+    ec::observeMinMax(fp_out.data(), mn, mx);
+    return ec::chooseQuantParams(mn, mx);
+}
+
+} // namespace
+
+TEST(Conv2dInt8Test, TracksFp32WithinQuantizationNoise)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 3, .inH = 10, .inW = 10, .outC = 8,
+                     .kH = 3, .kW = 3, .strideH = 1, .strideW = 1,
+                     .padH = 1, .padW = 1};
+    auto input = randomTensor({1, 3, 10, 10}, 1);
+    auto weights = randomTensor({8, 3, 3, 3}, 2, 0.2);
+    auto bias = randomTensor({8}, 3, 0.1);
+
+    auto fp = ec::conv2d(input, weights, bias, g);
+    const auto out_qp = outputParams(fp);
+
+    auto q = ec::conv2dInt8(input.toInt8(), weights.toInt8(), bias, g,
+                            out_qp);
+    ASSERT_EQ(q.dtype(), ec::DType::kI8);
+    ASSERT_EQ(q.shape(), fp.shape());
+
+    // Error bound: per-MAC input/weight step errors accumulate plus the
+    // final output step. Use a generous multiple to stay robust.
+    const double per_mac =
+        input.toInt8().quantParams().scale +
+        weights.toInt8().quantParams().scale;
+    const double macs_per_out = 3 * 3 * 3;
+    const double bound =
+        macs_per_out * per_mac * 3.0 + out_qp.scale;
+    EXPECT_LT(fp.maxAbsDiff(q.toF32()), bound);
+    // And it must be a *good* approximation in aggregate.
+    double sum_err = 0.0;
+    auto fpd = fp.data();
+    auto qd = q.toF32();
+    for (std::int64_t i = 0; i < fp.numel(); ++i)
+        sum_err += std::fabs(fpd[i] - qd.at(i));
+    EXPECT_LT(sum_err / fp.numel(), 0.1);
+}
+
+TEST(Conv2dInt8Test, DepthwiseGroupsSupported)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 4, .inH = 6, .inW = 6, .outC = 4,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1,
+                     .groups = 4};
+    auto input = randomTensor({1, 4, 6, 6}, 4);
+    auto weights = randomTensor({4, 1, 3, 3}, 5, 0.3);
+    auto bias = ec::Tensor::zeros({4});
+    auto fp = ec::conv2d(input, weights, bias, g);
+    auto q = ec::conv2dInt8(input.toInt8(), weights.toInt8(), bias, g,
+                            outputParams(fp));
+    EXPECT_LT(fp.maxAbsDiff(q.toF32()), 0.5);
+}
+
+TEST(Conv2dInt8Test, RequiresInt8Inputs)
+{
+    ec::Conv2dGeom g{.n = 1, .inC = 1, .inH = 4, .inW = 4, .outC = 1,
+                     .kH = 1, .kW = 1};
+    auto input = randomTensor({1, 1, 4, 4}, 6);
+    auto weights = randomTensor({1, 1, 1, 1}, 7);
+    EXPECT_THROW(ec::conv2dInt8(input, weights.toInt8(),
+                                ec::Tensor::zeros({1}), g, {1.0, 0}),
+                 InvalidArgumentError);
+}
+
+TEST(DenseInt8Test, TracksFp32WithinQuantizationNoise)
+{
+    ec::DenseGeom g{.batch = 2, .inFeatures = 64, .outFeatures = 16};
+    auto input = randomTensor({2, 64}, 8);
+    auto weights = randomTensor({16, 64}, 9, 0.1);
+    auto bias = randomTensor({16}, 10, 0.05);
+    auto fp = ec::dense(input, weights, bias, g);
+    auto q = ec::denseInt8(input.toInt8(), weights.toInt8(), bias, g,
+                           outputParams(fp));
+    double sum_err = 0.0;
+    auto fpd = fp.data();
+    auto qd = q.toF32();
+    for (std::int64_t i = 0; i < fp.numel(); ++i)
+        sum_err += std::fabs(fpd[i] - qd.at(i));
+    EXPECT_LT(sum_err / fp.numel(), 0.15);
+}
+
+TEST(ReluInt8Test, ClampsNegativeRealValues)
+{
+    ec::Tensor t({4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+    auto q = t.toInt8();
+    auto r = ec::reluInt8(q).toF32();
+    // Zero-point rounding can push the worst case to a full step.
+    const double step =
+        2.0 * ec::quantizationStepError(q.quantParams()) + 1e-9;
+    EXPECT_NEAR(r.at(0), 0.0, step);
+    EXPECT_NEAR(r.at(1), 0.0, step);
+    EXPECT_NEAR(r.at(2), 0.5, step);
+    EXPECT_NEAR(r.at(3), 2.0, step);
+}
+
+TEST(Relu6Int8Test, ClampsAboveSix)
+{
+    ec::Tensor t({3}, {-1.0f, 3.0f, 9.0f});
+    auto q = t.toInt8();
+    auto r = ec::relu6Int8(q).toF32();
+    const double step =
+        2.0 * ec::quantizationStepError(q.quantParams()) + 1e-9;
+    EXPECT_NEAR(r.at(0), 0.0, step);
+    EXPECT_NEAR(r.at(1), 3.0, step);
+    EXPECT_NEAR(r.at(2), 6.0, step);
+}
+
+TEST(AddInt8Test, MatchesRealDomainAddition)
+{
+    ec::Tensor a({4}, {-1.0f, 0.0f, 0.5f, 1.0f});
+    ec::Tensor b({4}, {0.5f, 0.5f, 0.5f, 0.5f});
+    const auto out_qp = ec::chooseQuantParams(-2.0, 2.0);
+    auto sum = ec::addInt8(a.toInt8(), b.toInt8(), out_qp).toF32();
+    for (std::int64_t i = 0; i < 4; ++i)
+        ASSERT_NEAR(sum.at(i), a.at(i) + b.at(i), 3 * out_qp.scale);
+}
+
+TEST(AddInt8Test, ShapeMismatchThrows)
+{
+    auto a = ec::Tensor::zeros({2}).toInt8();
+    auto b = ec::Tensor::zeros({3}).toInt8();
+    EXPECT_THROW(ec::addInt8(a, b, {1.0, 0}), InvalidArgumentError);
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the LSTM/GRU reference kernels.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/kernels_rnn.hh"
+
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+namespace
+{
+
+ec::RnnGeom
+lstmGeom(std::int64_t n, std::int64_t t, std::int64_t i,
+         std::int64_t h)
+{
+    return {.batch = n, .seqLen = t, .inputSize = i, .hiddenSize = h,
+            .gates = 4};
+}
+
+ec::RnnGeom
+gruGeom(std::int64_t n, std::int64_t t, std::int64_t i, std::int64_t h)
+{
+    return {.batch = n, .seqLen = t, .inputSize = i, .hiddenSize = h,
+            .gates = 3};
+}
+
+} // namespace
+
+TEST(RnnGeomTest, MacsAndWeights)
+{
+    const auto g = lstmGeom(2, 10, 16, 32);
+    EXPECT_EQ(g.macs(), 2 * 10 * 4 * 32 * (16 + 32));
+    EXPECT_EQ(g.weightCount(), 4 * 32 * (16 + 32));
+    EXPECT_THROW((ec::RnnGeom{.batch = 1, .seqLen = 1, .inputSize = 1,
+                              .hiddenSize = 1, .gates = 2})
+                     .validate(),
+                 InvalidArgumentError);
+}
+
+TEST(LstmTest, ZeroInputZeroWeightsGivesZeroOutput)
+{
+    const auto g = lstmGeom(1, 3, 4, 5);
+    auto out = ec::lstmForward(
+        ec::Tensor::zeros({1, 3, 4}), ec::Tensor::zeros({20, 4}),
+        ec::Tensor::zeros({20, 5}), ec::Tensor::zeros({20}), g);
+    EXPECT_EQ(out.shape(), (ec::Shape{1, 3, 5}));
+    // Gates: i=f=o=sigmoid(0)=0.5, g=tanh(0)=0 -> c=0, h=0.
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        ASSERT_FLOAT_EQ(out.at(i), 0.0f);
+}
+
+TEST(LstmTest, SingleStepMatchesHandComputation)
+{
+    // 1 batch, 1 step, 1 input, 1 hidden; set every weight to w and
+    // bias to 0: all four gate pre-activations equal w*x.
+    const auto g = lstmGeom(1, 1, 1, 1);
+    const float w = 0.7f, x = 1.3f;
+    auto out = ec::lstmForward(
+        ec::Tensor({1, 1, 1}, {x}), ec::Tensor({4, 1}, {w, w, w, w}),
+        ec::Tensor::zeros({4, 1}), ec::Tensor::zeros({4}), g);
+    const double a = w * x;
+    const double sig = 1.0 / (1.0 + std::exp(-a));
+    const double c = sig * std::tanh(a);
+    const double h = sig * std::tanh(c);
+    EXPECT_NEAR(out.at(0), h, 1e-6);
+}
+
+TEST(LstmTest, HiddenStateCarriesAcrossTimesteps)
+{
+    // Same input at both steps: with recurrence, outputs must differ.
+    const auto g = lstmGeom(1, 2, 3, 4);
+    ec::Rng rng(5);
+    auto in = ec::Tensor::zeros({1, 2, 3});
+    auto one_step = ec::Tensor::randomNormal({1, 3}, rng);
+    for (std::int64_t t = 0; t < 2; ++t)
+        for (std::int64_t i = 0; i < 3; ++i)
+            in.set(t * 3 + i, one_step.at(i));
+    auto w_ih = ec::Tensor::randomNormal({16, 3}, rng);
+    auto w_hh = ec::Tensor::randomNormal({16, 4}, rng);
+    auto bias = ec::Tensor::randomNormal({16}, rng, 0.1);
+    auto out = ec::lstmForward(in, w_ih, w_hh, bias, g);
+    double diff = 0.0;
+    for (std::int64_t j = 0; j < 4; ++j)
+        diff += std::fabs(out.at(j) - out.at(4 + j));
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(LstmTest, OutputsAreBoundedByTanh)
+{
+    const auto g = lstmGeom(2, 8, 6, 10);
+    ec::Rng rng(6);
+    auto out = ec::lstmForward(
+        ec::Tensor::randomNormal({2, 8, 6}, rng, 3.0),
+        ec::Tensor::randomNormal({40, 6}, rng),
+        ec::Tensor::randomNormal({40, 10}, rng),
+        ec::Tensor::randomNormal({40}, rng), g);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        ASSERT_LT(out.at(i), 1.0f);
+        ASSERT_GT(out.at(i), -1.0f);
+    }
+}
+
+TEST(LstmTest, BatchRowsAreIndependent)
+{
+    const auto g1 = lstmGeom(1, 4, 3, 5);
+    const auto g2 = lstmGeom(2, 4, 3, 5);
+    ec::Rng rng(7);
+    auto w_ih = ec::Tensor::randomNormal({20, 3}, rng);
+    auto w_hh = ec::Tensor::randomNormal({20, 5}, rng);
+    auto bias = ec::Tensor::randomNormal({20}, rng, 0.1);
+    auto a = ec::Tensor::randomNormal({1, 4, 3}, rng);
+    auto b = ec::Tensor::randomNormal({1, 4, 3}, rng);
+    // Stack a and b into one batch.
+    ec::Tensor ab({2, 4, 3});
+    for (std::int64_t i = 0; i < 12; ++i) {
+        ab.set(i, a.at(i));
+        ab.set(12 + i, b.at(i));
+    }
+    auto oa = ec::lstmForward(a, w_ih, w_hh, bias, g1);
+    auto ob = ec::lstmForward(b, w_ih, w_hh, bias, g1);
+    auto oab = ec::lstmForward(ab, w_ih, w_hh, bias, g2);
+    for (std::int64_t i = 0; i < 20; ++i) {
+        ASSERT_NEAR(oab.at(i), oa.at(i), 1e-6);
+        ASSERT_NEAR(oab.at(20 + i), ob.at(i), 1e-6);
+    }
+}
+
+TEST(LstmTest, ShapeMismatchesThrow)
+{
+    const auto g = lstmGeom(1, 2, 3, 4);
+    EXPECT_THROW(
+        ec::lstmForward(ec::Tensor::zeros({1, 2, 3}),
+                        ec::Tensor::zeros({15, 3}), // 16 expected
+                        ec::Tensor::zeros({16, 4}),
+                        ec::Tensor::zeros({16}), g),
+        InvalidArgumentError);
+    EXPECT_THROW(
+        ec::lstmForward(ec::Tensor::zeros({1, 3, 3}), // wrong T
+                        ec::Tensor::zeros({16, 3}),
+                        ec::Tensor::zeros({16, 4}),
+                        ec::Tensor::zeros({16}), g),
+        InvalidArgumentError);
+    // GRU geometry passed to LSTM kernel.
+    EXPECT_THROW(
+        ec::lstmForward(ec::Tensor::zeros({1, 2, 3}),
+                        ec::Tensor::zeros({12, 3}),
+                        ec::Tensor::zeros({12, 4}),
+                        ec::Tensor::zeros({12}), gruGeom(1, 2, 3, 4)),
+        InvalidArgumentError);
+}
+
+TEST(GruTest, ZeroEverythingStaysZero)
+{
+    const auto g = gruGeom(1, 3, 2, 4);
+    auto out = ec::gruForward(
+        ec::Tensor::zeros({1, 3, 2}), ec::Tensor::zeros({12, 2}),
+        ec::Tensor::zeros({12, 4}), ec::Tensor::zeros({12}), g);
+    // z = 0.5, n = tanh(0) = 0, h' = 0.5*0 + 0.5*0 = 0.
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        ASSERT_FLOAT_EQ(out.at(i), 0.0f);
+}
+
+TEST(GruTest, UpdateGateInterpolates)
+{
+    // With a huge positive update-gate bias, z ~= 1 and the hidden
+    // state barely moves from 0 regardless of input.
+    const auto g = gruGeom(1, 1, 1, 1);
+    ec::Tensor bias({3}, {50.0f, 0.0f, 0.0f}); // z, r, n
+    ec::Rng rng(8);
+    auto out = ec::gruForward(ec::Tensor({1, 1, 1}, {2.0f}),
+                              ec::Tensor::randomNormal({3, 1}, rng),
+                              ec::Tensor::randomNormal({3, 1}, rng),
+                              bias, g);
+    EXPECT_NEAR(out.at(0), 0.0, 1e-6);
+}
+
+TEST(GruTest, OutputsAreBounded)
+{
+    const auto g = gruGeom(2, 6, 5, 7);
+    ec::Rng rng(9);
+    auto out = ec::gruForward(
+        ec::Tensor::randomNormal({2, 6, 5}, rng, 2.0),
+        ec::Tensor::randomNormal({21, 5}, rng),
+        ec::Tensor::randomNormal({21, 7}, rng),
+        ec::Tensor::randomNormal({21}, rng), g);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        ASSERT_LE(out.at(i), 1.0f);
+        ASSERT_GE(out.at(i), -1.0f);
+    }
+}
+
+TEST(GruTest, DeterministicAcrossCalls)
+{
+    const auto g = gruGeom(1, 5, 4, 6);
+    ec::Rng rng(10);
+    auto in = ec::Tensor::randomNormal({1, 5, 4}, rng);
+    auto w_ih = ec::Tensor::randomNormal({18, 4}, rng);
+    auto w_hh = ec::Tensor::randomNormal({18, 6}, rng);
+    auto bias = ec::Tensor::randomNormal({18}, rng);
+    auto a = ec::gruForward(in, w_ih, w_hh, bias, g);
+    auto b = ec::gruForward(in, w_ih, w_hh, bias, g);
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.0);
+}

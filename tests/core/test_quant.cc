@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the affine INT8 quantization primitives.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/quant.hh"
+
+namespace ec = edgebench::core;
+
+TEST(QuantParamsTest, ZeroIsExactlyRepresentable)
+{
+    const auto qp = ec::chooseQuantParams(-1.7, 3.2);
+    const auto q0 = ec::quantizeValue(0.0, qp);
+    EXPECT_DOUBLE_EQ(ec::dequantizeValue(q0, qp), 0.0);
+}
+
+TEST(QuantParamsTest, RangeNotContainingZeroIsWidened)
+{
+    const auto qp = ec::chooseQuantParams(2.0, 6.0);
+    // Widened range is [0, 6]; zero must map inside [-128, 127].
+    EXPECT_GE(qp.zeroPoint, -128);
+    EXPECT_LE(qp.zeroPoint, 127);
+    EXPECT_DOUBLE_EQ(
+        ec::dequantizeValue(ec::quantizeValue(0.0, qp), qp), 0.0);
+}
+
+TEST(QuantParamsTest, DegenerateRangeGetsUnitScale)
+{
+    const auto qp = ec::chooseQuantParams(0.0, 0.0);
+    EXPECT_DOUBLE_EQ(qp.scale, 1.0);
+    EXPECT_EQ(qp.zeroPoint, 0);
+}
+
+TEST(QuantParamsTest, InvertedRangeThrows)
+{
+    EXPECT_THROW(ec::chooseQuantParams(1.0, -1.0),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(QuantParamsTest, SymmetricHasZeroZeroPoint)
+{
+    const auto qp = ec::chooseSymmetricQuantParams(4.0);
+    EXPECT_EQ(qp.zeroPoint, 0);
+    EXPECT_DOUBLE_EQ(qp.scale, 4.0 / 127.0);
+}
+
+TEST(QuantizeTest, SaturatesOutOfRangeValues)
+{
+    const auto qp = ec::chooseQuantParams(-1.0, 1.0);
+    EXPECT_EQ(ec::quantizeValue(100.0, qp), 127);
+    EXPECT_EQ(ec::quantizeValue(-100.0, qp), -128);
+}
+
+TEST(QuantizeTest, RoundTripErrorBoundedByHalfStep)
+{
+    const auto qp = ec::chooseQuantParams(-2.0, 2.0);
+    const double bound = ec::quantizationStepError(qp) + 1e-12;
+    for (double v = -2.0; v <= 2.0; v += 0.01) {
+        const double r = ec::dequantizeValue(ec::quantizeValue(v, qp), qp);
+        ASSERT_LE(std::fabs(r - v), bound) << "v=" << v;
+    }
+}
+
+TEST(QuantizeTest, BufferRoundTripMatchesScalarPath)
+{
+    const auto qp = ec::chooseQuantParams(-1.0, 1.0);
+    const std::vector<float> src = {-1.0f, -0.5f, 0.0f, 0.33f, 0.99f};
+    const auto q = ec::quantize(src, qp);
+    const auto back = ec::dequantize(q, qp);
+    ASSERT_EQ(back.size(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        EXPECT_FLOAT_EQ(
+            back[i],
+            static_cast<float>(ec::dequantizeValue(
+                ec::quantizeValue(src[i], qp), qp)));
+    }
+}
+
+TEST(QuantizeTest, ObserveMinMaxTracksExtremes)
+{
+    double mn = 1e300, mx = -1e300;
+    const std::vector<float> src = {0.5f, -3.0f, 2.0f};
+    ec::observeMinMax(src, mn, mx);
+    EXPECT_DOUBLE_EQ(mn, -3.0);
+    EXPECT_DOUBLE_EQ(mx, 2.0);
+}

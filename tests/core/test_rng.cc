@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/rng.hh"
+
+namespace ec = edgebench::core;
+
+TEST(RngTest, SameSeedSameStream)
+{
+    ec::Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    ec::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval)
+{
+    ec::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    ec::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange)
+{
+    ec::Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(0, 7);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 7);
+        saw_lo |= (v == 0);
+        saw_hi |= (v == 7);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalHasApproximatelyUnitMoments)
+{
+    ec::Rng rng(11);
+    const int n = 200000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ScaledNormalAppliesMeanAndStddev)
+{
+    ec::Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 0.5);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    ec::Rng parent(21);
+    ec::Rng child = parent.fork();
+    // The fork must not replay the parent stream.
+    ec::Rng parent2(21);
+    parent2.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (child.next() == parent2.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic)
+{
+    ec::Rng a(33), b(33);
+    ec::Rng ca = a.fork(), cb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(ca.next(), cb.next());
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for Tensor: construction, conversions, pruning.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/tensor.hh"
+
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+TEST(TensorTest, DefaultIsScalarZero)
+{
+    ec::Tensor t;
+    EXPECT_EQ(t.numel(), 1);
+    EXPECT_FLOAT_EQ(t.at(0), 0.0f);
+}
+
+TEST(TensorTest, ZerosHasRequestedShape)
+{
+    auto t = ec::Tensor::zeros({2, 3, 4});
+    EXPECT_EQ(t.shape(), (ec::Shape{2, 3, 4}));
+    EXPECT_EQ(t.numel(), 24);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        ASSERT_FLOAT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullFillsValue)
+{
+    auto t = ec::Tensor::full({5}, 2.5f);
+    for (std::int64_t i = 0; i < 5; ++i)
+        ASSERT_FLOAT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, DataSizeMismatchThrows)
+{
+    EXPECT_THROW(ec::Tensor({2, 2}, {1.0f, 2.0f, 3.0f}),
+                 InvalidArgumentError);
+}
+
+TEST(TensorTest, OutOfRangeAccessThrows)
+{
+    auto t = ec::Tensor::zeros({2});
+    EXPECT_THROW(t.at(2), InvalidArgumentError);
+    EXPECT_THROW(t.at(-1), InvalidArgumentError);
+    EXPECT_THROW(t.set(5, 1.0f), InvalidArgumentError);
+}
+
+TEST(TensorTest, RandomNormalIsDeterministicPerSeed)
+{
+    ec::Rng r1(5), r2(5);
+    auto a = ec::Tensor::randomNormal({100}, r1);
+    auto b = ec::Tensor::randomNormal({100}, r2);
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.0);
+}
+
+TEST(TensorTest, ByteSizeScalesWithDtype)
+{
+    ec::Rng rng(1);
+    auto t = ec::Tensor::randomNormal({10, 10}, rng);
+    EXPECT_DOUBLE_EQ(t.byteSize(), 400.0);
+    EXPECT_DOUBLE_EQ(t.toF16().byteSize(), 200.0);
+    EXPECT_DOUBLE_EQ(t.toInt8().byteSize(), 100.0);
+}
+
+TEST(TensorTest, Int8RoundTripWithinStepError)
+{
+    ec::Rng rng(2);
+    auto t = ec::Tensor::randomUniform({1000}, rng, -3.0, 3.0);
+    auto q = t.toInt8();
+    ASSERT_EQ(q.dtype(), ec::DType::kI8);
+    const double bound =
+        ec::quantizationStepError(q.quantParams()) + 1e-9;
+    EXPECT_LE(t.maxAbsDiff(q.toF32()), bound);
+}
+
+TEST(TensorTest, F16RoundTripIsCloseForModerateValues)
+{
+    ec::Rng rng(3);
+    auto t = ec::Tensor::randomUniform({1000}, rng, -8.0, 8.0);
+    auto h = t.toF16();
+    ASSERT_EQ(h.dtype(), ec::DType::kF16);
+    // binary16 has ~3 decimal digits; relative error < 2^-11.
+    auto ha = h.data();
+    auto ta = t.data();
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        ASSERT_NEAR(ha[i], ta[i],
+                    std::fabs(ta[i]) * 0x1.0p-10 + 1e-6);
+    }
+}
+
+TEST(TensorTest, F16IsIdempotent)
+{
+    ec::Rng rng(4);
+    auto t = ec::Tensor::randomNormal({256}, rng);
+    auto once = t.toF16();
+    auto twice = once.toF16();
+    EXPECT_DOUBLE_EQ(once.maxAbsDiff(twice), 0.0);
+}
+
+TEST(TensorTest, F16HandlesSpecialValues)
+{
+    EXPECT_FLOAT_EQ(ec::roundThroughF16(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(ec::roundThroughF16(-0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(ec::roundThroughF16(1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(ec::roundThroughF16(-2.0f), -2.0f);
+    EXPECT_FLOAT_EQ(ec::roundThroughF16(65504.0f), 65504.0f);
+    // Overflow saturates to infinity.
+    EXPECT_TRUE(std::isinf(ec::roundThroughF16(1e6f)));
+    EXPECT_TRUE(std::isnan(ec::roundThroughF16(NAN)));
+    // Subnormal half range round-trips approximately.
+    EXPECT_NEAR(ec::roundThroughF16(1e-5f), 1e-5f, 1e-7f);
+}
+
+TEST(TensorTest, QuantizedAccessorsGuardDtype)
+{
+    auto t = ec::Tensor::zeros({4});
+    EXPECT_THROW(t.qdata(), InvalidArgumentError);
+    EXPECT_THROW(t.quantParams(), InvalidArgumentError);
+    auto q = t.toInt8();
+    EXPECT_THROW(q.data(), InvalidArgumentError);
+}
+
+TEST(TensorTest, SparsityCountsZeros)
+{
+    ec::Tensor t({4}, {0.0f, 1.0f, 0.0f, 2.0f});
+    EXPECT_DOUBLE_EQ(t.sparsity(), 0.5);
+}
+
+TEST(TensorTest, PruneZeroesSmallestMagnitudes)
+{
+    ec::Tensor t({5}, {0.1f, -5.0f, 0.2f, 3.0f, -0.05f});
+    auto p = t.prunedByMagnitude(0.6);
+    EXPECT_DOUBLE_EQ(p.sparsity(), 0.6);
+    // The two largest magnitudes must survive.
+    EXPECT_FLOAT_EQ(p.at(1), -5.0f);
+    EXPECT_FLOAT_EQ(p.at(3), 3.0f);
+}
+
+TEST(TensorTest, PruneFractionBoundsAreChecked)
+{
+    auto t = ec::Tensor::zeros({4});
+    EXPECT_THROW(t.prunedByMagnitude(-0.1), InvalidArgumentError);
+    EXPECT_THROW(t.prunedByMagnitude(1.5), InvalidArgumentError);
+}
+
+TEST(TensorTest, PruneZeroFractionIsIdentity)
+{
+    ec::Rng rng(6);
+    auto t = ec::Tensor::randomNormal({64}, rng);
+    EXPECT_DOUBLE_EQ(t.maxAbsDiff(t.prunedByMagnitude(0.0)), 0.0);
+}
+
+TEST(TensorTest, MaxAbsDiffRequiresSameShape)
+{
+    auto a = ec::Tensor::zeros({2});
+    auto b = ec::Tensor::zeros({3});
+    EXPECT_THROW(a.maxAbsDiff(b), InvalidArgumentError);
+}
+
+TEST(TensorTest, MaxAbsDiffComparesAcrossDtypes)
+{
+    ec::Tensor t({2}, {1.0f, -1.0f});
+    auto q = t.toInt8();
+    // Zero-point rounding can push the worst case to a full step.
+    EXPECT_LE(t.maxAbsDiff(q),
+              2.0 * ec::quantizationStepError(q.quantParams()) + 1e-9);
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for core element types and shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/types.hh"
+
+namespace ec = edgebench::core;
+
+TEST(DTypeTest, SizesMatchSpecification)
+{
+    EXPECT_DOUBLE_EQ(ec::dtypeBytes(ec::DType::kF32), 4.0);
+    EXPECT_DOUBLE_EQ(ec::dtypeBytes(ec::DType::kF16), 2.0);
+    EXPECT_DOUBLE_EQ(ec::dtypeBytes(ec::DType::kI8), 1.0);
+    EXPECT_DOUBLE_EQ(ec::dtypeBytes(ec::DType::kI32), 4.0);
+    EXPECT_DOUBLE_EQ(ec::dtypeBytes(ec::DType::kBin1), 0.125);
+}
+
+TEST(DTypeTest, NamesAreStable)
+{
+    EXPECT_EQ(ec::dtypeName(ec::DType::kF32), "fp32");
+    EXPECT_EQ(ec::dtypeName(ec::DType::kF16), "fp16");
+    EXPECT_EQ(ec::dtypeName(ec::DType::kI8), "int8");
+    EXPECT_EQ(ec::dtypeName(ec::DType::kI32), "int32");
+    EXPECT_EQ(ec::dtypeName(ec::DType::kBin1), "bin1");
+}
+
+TEST(ShapeTest, NumElementsOfScalarShapeIsOne)
+{
+    EXPECT_EQ(ec::numElements({}), 1);
+}
+
+TEST(ShapeTest, NumElementsMultipliesExtents)
+{
+    EXPECT_EQ(ec::numElements({1, 3, 224, 224}), 150528);
+    EXPECT_EQ(ec::numElements({2, 0, 5}), 0);
+}
+
+TEST(ShapeTest, NegativeExtentThrows)
+{
+    EXPECT_THROW(ec::numElements({1, -2}),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(ShapeTest, ToStringFormatsLikeAList)
+{
+    EXPECT_EQ(ec::shapeToString({1, 3, 224, 224}), "[1, 3, 224, 224]");
+    EXPECT_EQ(ec::shapeToString({}), "[]");
+}
+
+TEST(ShapeTest, SameShapeComparesElementwise)
+{
+    EXPECT_TRUE(ec::sameShape({1, 2}, {1, 2}));
+    EXPECT_FALSE(ec::sameShape({1, 2}, {2, 1}));
+    EXPECT_FALSE(ec::sameShape({1, 2}, {1, 2, 1}));
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the cloud-edge partitioner (Neurosurgeon-style, paper
+ * reference [88]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/distrib/partition.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ed = edgebench::distrib;
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+
+namespace
+{
+
+ef::CompiledModel
+compileOn(em::ModelId m, ef::FrameworkId fw, eh::DeviceId d)
+{
+    return ef::framework(fw).compile(em::buildModel(m), d);
+}
+
+ed::PartitionResult
+run(em::ModelId m, const ed::LinkModel& link,
+    eh::DeviceId edge_dev = eh::DeviceId::kRpi3)
+{
+    auto edge = compileOn(m, ef::FrameworkId::kPyTorch, edge_dev);
+    auto cloud =
+        compileOn(m, ef::FrameworkId::kPyTorch, eh::DeviceId::kTitanXp);
+    return ed::partition(edge, cloud, link);
+}
+
+} // namespace
+
+TEST(LinkModelTest, UploadTimeIsBandwidthPlusLatency)
+{
+    ed::LinkModel link{2.0, 10.0, 1.0}; // 2 MB/s, 10 ms
+    EXPECT_NEAR(link.uploadMs(2e6), 1000.0 + 10.0, 1e-9);
+    ed::LinkModel bad{0.0, 0.0, 0.0};
+    EXPECT_THROW(bad.uploadMs(1.0),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(LinkModelTest, PresetsAreOrdered)
+{
+    EXPECT_GT(ed::lanLink().uplinkMBs, ed::wifiLink().uplinkMBs);
+    EXPECT_GT(ed::wifiLink().uplinkMBs, ed::lteLink().uplinkMBs);
+}
+
+TEST(PartitionTest, CandidatesIncludeBothExtremes)
+{
+    const auto r = run(em::ModelId::kResNet18, ed::wifiLink());
+    ASSERT_GE(r.candidates.size(), 2u);
+    // Cloud-only first, edge-only last.
+    EXPECT_EQ(r.candidates.front().cutAfter, -1);
+    EXPECT_EQ(r.candidates.back().boundaryName, "(edge only)");
+    EXPECT_NEAR(r.candidates.back().totalMs, r.edgeOnlyMs, 1e-9);
+    EXPECT_NEAR(r.candidates.front().totalMs, r.cloudOnlyMs, 1e-9);
+}
+
+TEST(PartitionTest, BestIsNoWorseThanExtremes)
+{
+    for (auto m : {em::ModelId::kResNet18, em::ModelId::kVggS224,
+                   em::ModelId::kCifarNet}) {
+        const auto r = run(m, ed::wifiLink());
+        EXPECT_LE(r.best.totalMs, r.edgeOnlyMs + 1e-9);
+        EXPECT_LE(r.best.totalMs, r.cloudOnlyMs + 1e-9);
+    }
+}
+
+TEST(PartitionTest, FastLinkFavorsCloud)
+{
+    // With a very fast link and a slow edge device, offloading wins.
+    ed::LinkModel fast{500.0, 0.2, 0.5};
+    const auto r = run(em::ModelId::kResNet50, fast);
+    EXPECT_LT(r.best.totalMs, r.edgeOnlyMs * 0.5);
+    // Most of the work should sit on the cloud side.
+    EXPECT_GT(r.best.cloudMs, r.best.edgeMs);
+}
+
+TEST(PartitionTest, SlowLinkFavorsEdge)
+{
+    // A dribbling link makes any transfer prohibitive for a compact
+    // model on a capable edge device.
+    ed::LinkModel slow{0.01, 200.0, 1.0};
+    auto edge = compileOn(em::ModelId::kResNet18,
+                          ef::FrameworkId::kTensorRt,
+                          eh::DeviceId::kJetsonNano);
+    auto cloud = compileOn(em::ModelId::kResNet18,
+                           ef::FrameworkId::kPyTorch,
+                           eh::DeviceId::kTitanXp);
+    const auto r = ed::partition(edge, cloud, slow);
+    EXPECT_NEAR(r.best.totalMs, r.edgeOnlyMs, 1e-9);
+    EXPECT_EQ(r.best.boundaryName, "(edge only)");
+}
+
+TEST(PartitionTest, InteriorSplitCanBeatBothExtremes)
+{
+    // The Neurosurgeon result: a mid-network split can win when
+    // activations shrink below the input size while the edge is too
+    // slow to finish the job. VGG-S pools aggressively early.
+    ed::LinkModel link{3.0, 5.0, 0.8};
+    const auto r = run(em::ModelId::kVgg16, link);
+    if (r.best.boundaryName != "(edge only)" &&
+        r.best.cutAfter >= 0) {
+        // Found an interior split: it must be strictly better.
+        EXPECT_LT(r.best.totalMs,
+                  std::min(r.edgeOnlyMs, r.cloudOnlyMs));
+        EXPECT_GT(r.best.edgeMs, 0.0);
+        EXPECT_GT(r.best.cloudMs, 0.0);
+    } else {
+        // Otherwise an extreme won; both costs must be consistent.
+        EXPECT_LE(r.best.totalMs,
+                  std::min(r.edgeOnlyMs, r.cloudOnlyMs) + 1e-9);
+    }
+}
+
+TEST(PartitionTest, CrossingBytesMatchBoundaryTensor)
+{
+    const auto r = run(em::ModelId::kCifarNet, ed::wifiLink());
+    for (const auto& c : r.candidates) {
+        if (c.cutAfter < 0 || c.boundaryName == "(edge only)")
+            continue;
+        EXPECT_GT(c.crossingBytes, 0.0);
+        EXPECT_GT(c.uploadMs, 0.0);
+    }
+}
+
+TEST(PartitionTest, EnergyOptimumPrefersLessEdgeWork)
+{
+    // Minimizing edge energy never does more edge work than the
+    // latency optimum on a fast link.
+    ed::LinkModel fast{100.0, 1.0, 0.5};
+    const auto r = run(em::ModelId::kResNet50, fast);
+    EXPECT_LE(r.bestEnergy.edgeEnergyMJ,
+              r.best.edgeEnergyMJ + 1e-9);
+}
+
+TEST(PartitionTest, ResidualNetworksStillHaveLinearCuts)
+{
+    // ResNet skip connections make many positions non-linear cuts,
+    // but block boundaries remain valid.
+    const auto r = run(em::ModelId::kResNet18, ed::wifiLink());
+    std::int64_t interior = 0;
+    for (const auto& c : r.candidates)
+        if (c.cutAfter >= 0 && c.boundaryName != "(edge only)")
+            ++interior;
+    EXPECT_GT(interior, 5);
+}

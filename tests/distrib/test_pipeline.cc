@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for pipelined model parallelism across identical edge
+ * devices (the paper authors' collaborative-IoT distribution line).
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/distrib/partition.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ed = edgebench::distrib;
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+
+namespace
+{
+
+ef::CompiledModel
+onRpi(em::ModelId m)
+{
+    return ef::framework(ef::FrameworkId::kTensorFlow)
+        .compile(em::buildModel(m), eh::DeviceId::kRpi3);
+}
+
+} // namespace
+
+TEST(PipelineTest, SingleDeviceMatchesMonolithicWork)
+{
+    const auto m = onRpi(em::ModelId::kResNet18);
+    const auto r = ed::pipelinePartition(m, ed::lanLink(), 1);
+    EXPECT_EQ(r.devices, 1);
+    ASSERT_EQ(r.stageMs.size(), 1u);
+    EXPECT_TRUE(r.transferMs.empty());
+    // One stage == total per-node work (per-inference overhead is
+    // added to latency).
+    EXPECT_NEAR(r.latencyMs,
+                r.stageMs[0] + m.profile.perInferenceOverheadMs,
+                1e-9);
+}
+
+TEST(PipelineTest, ThroughputScalesWithDevices)
+{
+    const auto m = onRpi(em::ModelId::kResNet18);
+    double prev = 0.0;
+    for (int k : {1, 2, 4}) {
+        const auto r = ed::pipelinePartition(m, ed::lanLink(), k);
+        EXPECT_GE(r.throughputHz, prev * 0.999) << k;
+        EXPECT_LE(static_cast<int>(r.stageMs.size()), k);
+        prev = r.throughputHz;
+    }
+    // Four RPis over a LAN should get meaningful speedup.
+    const auto r1 = ed::pipelinePartition(m, ed::lanLink(), 1);
+    const auto r4 = ed::pipelinePartition(m, ed::lanLink(), 4);
+    EXPECT_GT(r4.throughputHz, 2.0 * r1.throughputHz);
+}
+
+TEST(PipelineTest, BottleneckIsMaxOfStagesAndTransfers)
+{
+    const auto m = onRpi(em::ModelId::kResNet50);
+    const auto r = ed::pipelinePartition(m, ed::wifiLink(), 3);
+    double expected = 0.0;
+    for (double s : r.stageMs)
+        expected = std::max(expected, s);
+    for (double t : r.transferMs)
+        expected = std::max(expected, t);
+    EXPECT_DOUBLE_EQ(r.bottleneckMs, expected);
+    EXPECT_NEAR(r.throughputHz, 1e3 / r.bottleneckMs, 1e-9);
+}
+
+TEST(PipelineTest, StagesAreBalanced)
+{
+    const auto m = onRpi(em::ModelId::kResNet18);
+    const auto r = ed::pipelinePartition(m, ed::lanLink(), 4);
+    if (r.stageMs.size() >= 2) {
+        double total = 0.0;
+        for (double s : r.stageMs)
+            total += s;
+        // No stage exceeds the bound the search settled on, and the
+        // bottleneck stage is within 3x of the ideal equal split.
+        EXPECT_LT(r.bottleneckMs,
+                  3.0 * total /
+                      static_cast<double>(r.stageMs.size()));
+    }
+}
+
+TEST(PipelineTest, SlowLinkLimitsParallelismGains)
+{
+    const auto m = onRpi(em::ModelId::kResNet18);
+    const auto lan = ed::pipelinePartition(m, ed::lanLink(), 4);
+    ed::LinkModel crawl{0.05, 50.0, 0.5};
+    const auto slow = ed::pipelinePartition(m, crawl, 4);
+    EXPECT_LE(slow.throughputHz, lan.throughputHz);
+    // With a crawling link the partitioner concentrates work instead
+    // of paying transfers it cannot afford.
+    EXPECT_LE(slow.transferMs.size(), lan.transferMs.size());
+}
+
+TEST(PipelineTest, LatencyNeverBelowMonolithic)
+{
+    // Pipelining buys throughput, not single-frame latency.
+    const auto m = onRpi(em::ModelId::kResNet50);
+    const auto r1 = ed::pipelinePartition(m, ed::lanLink(), 1);
+    const auto r4 = ed::pipelinePartition(m, ed::lanLink(), 4);
+    EXPECT_GE(r4.latencyMs, r1.latencyMs * 0.999);
+}
+
+TEST(PipelineTest, RejectsZeroDevices)
+{
+    const auto m = onRpi(em::ModelId::kCifarNet);
+    EXPECT_THROW(ed::pipelinePartition(m, ed::lanLink(), 0),
+                 edgebench::InvalidArgumentError);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Calibration-anchor regression tests: every latency point the paper
+ * publishes that we calibrate against must stay within a bounded
+ * factor of the paper's value. This pins the cost model against
+ * accidental drift when profiles or device specs change.
+ *
+ * Bands are deliberately wide (the substrate is a simulator, and a
+ * few of the paper's own numbers are self-inconsistent — see
+ * EXPERIMENTS.md); the *orderings* are tested tightly in
+ * test_paper_claims.cc.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/frameworks/deploy.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+
+namespace
+{
+
+struct Anchor
+{
+    const char* what;
+    ef::FrameworkId fw;
+    em::ModelId model;
+    eh::DeviceId device;
+    double paperMs;
+    double band; // measured/paper must lie in [1/band, band]
+};
+
+const Anchor kAnchors[] = {
+    // Fig. 8 (RPi, seconds -> ms).
+    {"rpi_pt_resnet18", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet18, eh::DeviceId::kRpi3, 6570, 2.0},
+    {"rpi_pt_resnet50", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet50, eh::DeviceId::kRpi3, 8300, 2.0},
+    {"rpi_pt_mobilenetv2", ef::FrameworkId::kPyTorch,
+     em::ModelId::kMobileNetV2, eh::DeviceId::kRpi3, 8280, 3.0},
+    {"rpi_pt_inceptionv4", ef::FrameworkId::kPyTorch,
+     em::ModelId::kInceptionV4, eh::DeviceId::kRpi3, 13840, 3.0},
+    {"rpi_tf_resnet18", ef::FrameworkId::kTensorFlow,
+     em::ModelId::kResNet18, eh::DeviceId::kRpi3, 990, 1.5},
+    {"rpi_tf_resnet50", ef::FrameworkId::kTensorFlow,
+     em::ModelId::kResNet50, eh::DeviceId::kRpi3, 3060, 1.5},
+    {"rpi_tf_mobilenetv2", ef::FrameworkId::kTensorFlow,
+     em::ModelId::kMobileNetV2, eh::DeviceId::kRpi3, 1400, 2.5},
+    {"rpi_tf_inceptionv4", ef::FrameworkId::kTensorFlow,
+     em::ModelId::kInceptionV4, eh::DeviceId::kRpi3, 8870, 1.5},
+    {"rpi_tflite_resnet18", ef::FrameworkId::kTfLite,
+     em::ModelId::kResNet18, eh::DeviceId::kRpi3, 870, 1.5},
+    {"rpi_tflite_resnet50", ef::FrameworkId::kTfLite,
+     em::ModelId::kResNet50, eh::DeviceId::kRpi3, 2460, 1.5},
+    {"rpi_tflite_inceptionv4", ef::FrameworkId::kTfLite,
+     em::ModelId::kInceptionV4, eh::DeviceId::kRpi3, 5510, 1.5},
+    // Fig. 2 (Jetson TX2, PyTorch).
+    {"tx2_pt_resnet18", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet18, eh::DeviceId::kJetsonTx2, 26.5, 1.6},
+    {"tx2_pt_resnet50", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet50, eh::DeviceId::kJetsonTx2, 54.3, 1.6},
+    {"tx2_pt_mobilenetv2", ef::FrameworkId::kPyTorch,
+     em::ModelId::kMobileNetV2, eh::DeviceId::kJetsonTx2, 40.1, 2.0},
+    {"tx2_pt_inceptionv4", ef::FrameworkId::kPyTorch,
+     em::ModelId::kInceptionV4, eh::DeviceId::kJetsonTx2, 106.2, 2.0},
+    {"tx2_pt_vgg16", ef::FrameworkId::kPyTorch, em::ModelId::kVgg16,
+     eh::DeviceId::kJetsonTx2, 87.7, 1.6},
+    {"tx2_pt_c3d", ef::FrameworkId::kPyTorch, em::ModelId::kC3d,
+     eh::DeviceId::kJetsonTx2, 196.8, 1.6},
+    // Fig. 7 (Jetson Nano).
+    {"nano_trt_resnet18", ef::FrameworkId::kTensorRt,
+     em::ModelId::kResNet18, eh::DeviceId::kJetsonNano, 23, 1.5},
+    {"nano_trt_resnet50", ef::FrameworkId::kTensorRt,
+     em::ModelId::kResNet50, eh::DeviceId::kJetsonNano, 32, 1.6},
+    {"nano_trt_inceptionv4", ef::FrameworkId::kTensorRt,
+     em::ModelId::kInceptionV4, eh::DeviceId::kJetsonNano, 95, 1.5},
+    {"nano_trt_vgg16", ef::FrameworkId::kTensorRt,
+     em::ModelId::kVgg16, eh::DeviceId::kJetsonNano, 92, 2.0},
+    {"nano_trt_c3d", ef::FrameworkId::kTensorRt, em::ModelId::kC3d,
+     eh::DeviceId::kJetsonNano, 229, 1.5},
+    {"nano_pt_resnet18", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet18, eh::DeviceId::kJetsonNano, 141.3, 2.0},
+    {"nano_pt_resnet50", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet50, eh::DeviceId::kJetsonNano, 215.0, 1.6},
+    {"nano_pt_mobilenetv2", ef::FrameworkId::kPyTorch,
+     em::ModelId::kMobileNetV2, eh::DeviceId::kJetsonNano, 118.4,
+     1.6},
+    {"nano_pt_c3d", ef::FrameworkId::kPyTorch, em::ModelId::kC3d,
+     eh::DeviceId::kJetsonNano, 555.4, 1.6},
+    // Fig. 2 accelerators.
+    {"edgetpu_tflite_mobilenetv2", ef::FrameworkId::kTfLite,
+     em::ModelId::kMobileNetV2, eh::DeviceId::kEdgeTpu, 2.9, 2.0},
+    {"movidius_mobilenetv2", ef::FrameworkId::kMovidiusNcsdk,
+     em::ModelId::kMobileNetV2, eh::DeviceId::kMovidius, 51, 1.6},
+    {"movidius_resnet50", ef::FrameworkId::kMovidiusNcsdk,
+     em::ModelId::kResNet50, eh::DeviceId::kMovidius, 101.9, 2.0},
+    {"movidius_inceptionv4", ef::FrameworkId::kMovidiusNcsdk,
+     em::ModelId::kInceptionV4, eh::DeviceId::kMovidius, 632.6, 1.8},
+    {"pynq_tvm_resnet18", ef::FrameworkId::kTvmVta,
+     em::ModelId::kResNet18, eh::DeviceId::kPynqZ1, 600, 2.0},
+    // Fig. 9 (HPC, PyTorch).
+    {"xeon_pt_resnet50", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet50, eh::DeviceId::kXeon, 110, 2.2},
+    {"xeon_pt_vgg16", ef::FrameworkId::kPyTorch, em::ModelId::kVgg16,
+     eh::DeviceId::kXeon, 90, 1.6},
+    {"gtx_pt_resnet50", ef::FrameworkId::kPyTorch,
+     em::ModelId::kResNet50, eh::DeviceId::kGtxTitanX, 20, 2.2},
+    {"gtx_pt_vgg16", ef::FrameworkId::kPyTorch, em::ModelId::kVgg16,
+     eh::DeviceId::kGtxTitanX, 12, 1.6},
+};
+
+} // namespace
+
+class CalibrationAnchors : public ::testing::TestWithParam<Anchor>
+{
+};
+
+TEST_P(CalibrationAnchors, WithinBandOfPaperValue)
+{
+    const auto& a = GetParam();
+    auto dep = ef::tryDeploy(a.fw, em::buildModel(a.model), a.device);
+    ASSERT_TRUE(dep.has_value()) << a.what;
+    const double ratio = dep->model.latencyMs() / a.paperMs;
+    EXPECT_GE(ratio, 1.0 / a.band) << a.what;
+    EXPECT_LE(ratio, a.band) << a.what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, CalibrationAnchors, ::testing::ValuesIn(kAnchors),
+    [](const ::testing::TestParamInfo<Anchor>& pi) {
+        return std::string(pi.param.what);
+    });

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deployment tests: the Table V compatibility matrix must reproduce
+ * the paper exactly, and best-framework selection must follow the
+ * Fig. 2 methodology.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/frameworks/deploy.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+
+namespace
+{
+
+using ef::DeployMark;
+using MarkCase = std::tuple<em::ModelId, eh::DeviceId, DeployMark>;
+
+/** Table V of the paper, transcribed. */
+const MarkCase kTableV[] = {
+    // ResNet-18: OK everywhere except the EdgeTPU conversion barrier.
+    {em::ModelId::kResNet18, eh::DeviceId::kRpi3, DeployMark::kOk},
+    {em::ModelId::kResNet18, eh::DeviceId::kJetsonTx2, DeployMark::kOk},
+    {em::ModelId::kResNet18, eh::DeviceId::kJetsonNano,
+     DeployMark::kOk},
+    {em::ModelId::kResNet18, eh::DeviceId::kEdgeTpu,
+     DeployMark::kConversionBarrier},
+    {em::ModelId::kResNet18, eh::DeviceId::kMovidius, DeployMark::kOk},
+    {em::ModelId::kResNet18, eh::DeviceId::kPynqZ1, DeployMark::kOk},
+    // ResNet-50.
+    {em::ModelId::kResNet50, eh::DeviceId::kRpi3, DeployMark::kOk},
+    {em::ModelId::kResNet50, eh::DeviceId::kEdgeTpu, DeployMark::kOk},
+    {em::ModelId::kResNet50, eh::DeviceId::kPynqZ1,
+     DeployMark::kBramSpill},
+    // MobileNet-v2.
+    {em::ModelId::kMobileNetV2, eh::DeviceId::kRpi3, DeployMark::kOk},
+    {em::ModelId::kMobileNetV2, eh::DeviceId::kEdgeTpu,
+     DeployMark::kOk},
+    {em::ModelId::kMobileNetV2, eh::DeviceId::kMovidius,
+     DeployMark::kOk},
+    {em::ModelId::kMobileNetV2, eh::DeviceId::kPynqZ1,
+     DeployMark::kBramSpill},
+    // Inception-v4.
+    {em::ModelId::kInceptionV4, eh::DeviceId::kRpi3, DeployMark::kOk},
+    {em::ModelId::kInceptionV4, eh::DeviceId::kEdgeTpu,
+     DeployMark::kOk},
+    // AlexNet: RPi dynamic-graph fallback; EdgeTPU barrier.
+    {em::ModelId::kAlexNet, eh::DeviceId::kRpi3,
+     DeployMark::kDynamicSwap},
+    {em::ModelId::kAlexNet, eh::DeviceId::kJetsonTx2, DeployMark::kOk},
+    {em::ModelId::kAlexNet, eh::DeviceId::kEdgeTpu,
+     DeployMark::kConversionBarrier},
+    {em::ModelId::kAlexNet, eh::DeviceId::kMovidius, DeployMark::kOk},
+    // VGG16.
+    {em::ModelId::kVgg16, eh::DeviceId::kRpi3,
+     DeployMark::kDynamicSwap},
+    {em::ModelId::kVgg16, eh::DeviceId::kJetsonTx2, DeployMark::kOk},
+    {em::ModelId::kVgg16, eh::DeviceId::kEdgeTpu, DeployMark::kOk},
+    {em::ModelId::kVgg16, eh::DeviceId::kMovidius, DeployMark::kOk},
+    // SSD MobileNet-v1: code incompatibility on the RPi.
+    {em::ModelId::kSsdMobileNetV1, eh::DeviceId::kRpi3,
+     DeployMark::kCodeIncompat},
+    {em::ModelId::kSsdMobileNetV1, eh::DeviceId::kJetsonTx2,
+     DeployMark::kOk},
+    {em::ModelId::kSsdMobileNetV1, eh::DeviceId::kEdgeTpu,
+     DeployMark::kOk},
+    {em::ModelId::kSsdMobileNetV1, eh::DeviceId::kMovidius,
+     DeployMark::kOk},
+    // TinyYolo.
+    {em::ModelId::kTinyYolo, eh::DeviceId::kRpi3, DeployMark::kOk},
+    {em::ModelId::kTinyYolo, eh::DeviceId::kEdgeTpu,
+     DeployMark::kConversionBarrier},
+    {em::ModelId::kTinyYolo, eh::DeviceId::kMovidius, DeployMark::kOk},
+    // C3D: RPi swap, EdgeTPU barrier, Movidius code incompatibility
+    // (paper Section VI-A: "C3D on Movidius, marked with O").
+    {em::ModelId::kC3d, eh::DeviceId::kRpi3,
+     DeployMark::kDynamicSwap},
+    {em::ModelId::kC3d, eh::DeviceId::kJetsonTx2, DeployMark::kOk},
+    {em::ModelId::kC3d, eh::DeviceId::kJetsonNano, DeployMark::kOk},
+    {em::ModelId::kC3d, eh::DeviceId::kEdgeTpu,
+     DeployMark::kConversionBarrier},
+    {em::ModelId::kC3d, eh::DeviceId::kMovidius,
+     DeployMark::kCodeIncompat},
+    {em::ModelId::kC3d, eh::DeviceId::kPynqZ1, DeployMark::kBramSpill},
+};
+
+} // namespace
+
+class TableVMatrix : public ::testing::TestWithParam<MarkCase>
+{
+};
+
+TEST_P(TableVMatrix, MarkMatchesPaper)
+{
+    const auto [model, device, expected] = GetParam();
+    EXPECT_EQ(ef::deploymentMark(model, device), expected)
+        << em::modelInfo(model).name << " on "
+        << eh::deviceName(device);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableVMatrix, ::testing::ValuesIn(kTableV),
+    [](const ::testing::TestParamInfo<MarkCase>& pi) {
+        std::string n =
+            em::modelInfo(std::get<0>(pi.param)).name + "_on_" +
+            eh::deviceName(std::get<1>(pi.param));
+        for (auto& c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(MarkSymbolTest, SymbolsAreStable)
+{
+    EXPECT_EQ(ef::markSymbol(DeployMark::kOk), "OK");
+    EXPECT_EQ(ef::markSymbol(DeployMark::kDynamicSwap), "^");
+    EXPECT_EQ(ef::markSymbol(DeployMark::kCodeIncompat), "O");
+    EXPECT_EQ(ef::markSymbol(DeployMark::kConversionBarrier), "4");
+    EXPECT_EQ(ef::markSymbol(DeployMark::kBramSpill), "^^");
+}
+
+TEST(BestDeploymentTest, PicksFastestRunnableFramework)
+{
+    // On the Jetson Nano, TensorRT beats PyTorch (Fig. 7).
+    const auto g = em::buildResNet(50);
+    auto best = ef::bestDeployment(g, eh::DeviceId::kJetsonNano);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->framework, ef::FrameworkId::kTensorRt);
+}
+
+TEST(BestDeploymentTest, SkipsIncompatibleFrameworks)
+{
+    // SSD cannot run on the RPi with any framework.
+    const auto g = em::buildSsdMobileNetV1();
+    EXPECT_FALSE(
+        ef::bestDeployment(g, eh::DeviceId::kRpi3).has_value());
+}
+
+TEST(BestDeploymentTest, EveryEdgeDeviceRunsMobileNetV2)
+{
+    const auto g = em::buildMobileNetV2();
+    for (auto d : eh::edgeDevices()) {
+        if (d == eh::DeviceId::kPynqZ1)
+            continue; // outside the VTA/FINN compilable subset
+        auto best = ef::bestDeployment(g, d);
+        EXPECT_TRUE(best.has_value()) << eh::deviceName(d);
+        if (best)
+            EXPECT_GT(best->model.latencyMs(), 0.0);
+    }
+}
+
+TEST(TryDeployTest, ReportsSwapMark)
+{
+    const auto g = em::buildVgg(16);
+    auto d = ef::tryDeploy(ef::FrameworkId::kPyTorch, g,
+                           eh::DeviceId::kRpi3);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->mark, DeployMark::kDynamicSwap);
+}
+
+TEST(TryDeployTest, ReturnsNulloptOnFailure)
+{
+    const auto g = em::buildVgg(16);
+    EXPECT_FALSE(ef::tryDeploy(ef::FrameworkId::kTensorFlow, g,
+                               eh::DeviceId::kRpi3)
+                     .has_value());
+    EXPECT_FALSE(ef::tryDeploy(ef::FrameworkId::kTensorRt, g,
+                               eh::DeviceId::kRpi3)
+                     .has_value());
+}

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the framework registry (Table II) and the compile
+ * pipeline policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/framework.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace eg = edgebench::graph;
+using edgebench::CompatibilityError;
+using edgebench::InvalidArgumentError;
+using edgebench::MemoryCapacityError;
+
+TEST(FrameworkRegistryTest, TenFrameworksRegistered)
+{
+    EXPECT_EQ(ef::allFrameworks().size(), 10u);
+    for (auto id : ef::allFrameworks())
+        EXPECT_EQ(ef::frameworkByName(ef::frameworkName(id)), id);
+    EXPECT_THROW(ef::frameworkByName("Theano"), InvalidArgumentError);
+}
+
+TEST(FrameworkRegistryTest, TableIITraitRows)
+{
+    // Spot-check Table II entries.
+    const auto& tf = ef::framework(ef::FrameworkId::kTensorFlow);
+    EXPECT_TRUE(tf.traits().industryBacked);
+    EXPECT_TRUE(tf.traits().trainingFramework);
+    EXPECT_FALSE(tf.traits().dynamicGraph);
+    EXPECT_TRUE(tf.traits().quantization);
+    EXPECT_FALSE(tf.traits().autoTuning);
+
+    const auto& pt = ef::framework(ef::FrameworkId::kPyTorch);
+    EXPECT_TRUE(pt.traits().dynamicGraph);
+    EXPECT_FALSE(pt.traits().fusion);
+    EXPECT_FALSE(pt.traits().pruningExploit);
+
+    const auto& trt = ef::framework(ef::FrameworkId::kTensorRt);
+    EXPECT_TRUE(trt.traits().mixedPrecision);
+    EXPECT_TRUE(trt.traits().autoTuning);
+    EXPECT_TRUE(trt.traits().fusion);
+    EXPECT_TRUE(trt.traits().dynamicGraph);
+
+    const auto& dn = ef::framework(ef::FrameworkId::kDarkNet);
+    EXPECT_EQ(dn.traits().language, "C");
+    EXPECT_FALSE(dn.traits().industryBacked);
+    EXPECT_FALSE(dn.traits().quantization);
+    EXPECT_FALSE(dn.traits().halfPrecision);
+
+    const auto& tflite = ef::framework(ef::FrameworkId::kTfLite);
+    EXPECT_TRUE(tflite.traits().mobileDeployment);
+    EXPECT_FALSE(tflite.traits().noExtraSteps);
+    EXPECT_TRUE(tflite.traits().fusion);
+}
+
+TEST(FrameworkSupportTest, AcceleratorsAreCaptive)
+{
+    using ef::FrameworkId;
+    using eh::DeviceId;
+    // EdgeTPU: TFLite only.
+    auto on_edgetpu = ef::frameworksFor(DeviceId::kEdgeTpu);
+    ASSERT_EQ(on_edgetpu.size(), 1u);
+    EXPECT_EQ(on_edgetpu[0], FrameworkId::kTfLite);
+    // Movidius: NCSDK only.
+    auto on_ncs = ef::frameworksFor(DeviceId::kMovidius);
+    ASSERT_EQ(on_ncs.size(), 1u);
+    EXPECT_EQ(on_ncs[0], FrameworkId::kMovidiusNcsdk);
+    // PYNQ: the two FPGA stacks.
+    auto on_pynq = ef::frameworksFor(DeviceId::kPynqZ1);
+    EXPECT_EQ(on_pynq.size(), 2u);
+    // TensorRT only targets Nvidia GPUs.
+    const auto& trt = ef::framework(FrameworkId::kTensorRt);
+    EXPECT_TRUE(trt.supportsDevice(DeviceId::kJetsonNano));
+    EXPECT_TRUE(trt.supportsDevice(DeviceId::kGtxTitanX));
+    EXPECT_FALSE(trt.supportsDevice(DeviceId::kRpi3));
+    EXPECT_FALSE(trt.supportsDevice(DeviceId::kXeon));
+    // General-purpose frameworks run on CPU/GPU platforms.
+    const auto& pt = ef::framework(FrameworkId::kPyTorch);
+    for (auto d : {DeviceId::kRpi3, DeviceId::kJetsonTx2,
+                   DeviceId::kXeon, DeviceId::kTitanXp})
+        EXPECT_TRUE(pt.supportsDevice(d));
+    EXPECT_FALSE(pt.supportsDevice(DeviceId::kEdgeTpu));
+}
+
+TEST(CompileTest, UnsupportedDeviceThrows)
+{
+    const auto g = em::buildCifarNet();
+    EXPECT_THROW(ef::framework(ef::FrameworkId::kPyTorch)
+                     .compile(g, eh::DeviceId::kEdgeTpu),
+                 CompatibilityError);
+}
+
+TEST(CompileTest, EdgeTpuForcesInt8Quantization)
+{
+    const auto g = em::buildMobileNetV2();
+    auto m = ef::framework(ef::FrameworkId::kTfLite)
+                 .compile(g, eh::DeviceId::kEdgeTpu);
+    bool saw_int8_conv = false;
+    for (const auto& n : m.graph.nodes()) {
+        if (n.kind == eg::OpKind::kFusedConvBnAct)
+            saw_int8_conv |=
+                (n.dtype == edgebench::core::DType::kI8);
+    }
+    EXPECT_TRUE(saw_int8_conv);
+    EXPECT_EQ(m.unit, eh::UnitKind::kAccelerator);
+}
+
+TEST(CompileTest, TensorRtDefaultsToFp16WithFusion)
+{
+    const auto g = em::buildResNet(18);
+    auto m = ef::framework(ef::FrameworkId::kTensorRt)
+                 .compile(g, eh::DeviceId::kJetsonNano);
+    std::int64_t fused = 0;
+    for (const auto& n : m.graph.nodes()) {
+        if (n.kind == eg::OpKind::kFusedConvBnAct) {
+            ++fused;
+            EXPECT_EQ(n.dtype, edgebench::core::DType::kF16);
+        }
+        EXPECT_NE(n.kind, eg::OpKind::kBatchNorm)
+            << "fusion must remove standalone batch norms";
+    }
+    EXPECT_GT(fused, 15);
+}
+
+TEST(CompileTest, PyTorchDoesNotFuse)
+{
+    const auto g = em::buildResNet(18);
+    auto m = ef::framework(ef::FrameworkId::kPyTorch)
+                 .compile(g, eh::DeviceId::kJetsonTx2);
+    for (const auto& n : m.graph.nodes())
+        EXPECT_NE(n.kind, eg::OpKind::kFusedConvBnAct);
+}
+
+TEST(CompileTest, DarkNetRejectsFp16Request)
+{
+    const auto g = em::buildTinyYolo();
+    ef::CompileOptions opts;
+    opts.useFp16 = true;
+    EXPECT_THROW(ef::framework(ef::FrameworkId::kDarkNet)
+                     .compile(g, eh::DeviceId::kJetsonTx2, opts),
+                 InvalidArgumentError);
+}
+
+TEST(CompileTest, QuantizationRequestRespectsTraits)
+{
+    const auto g = em::buildCifarNet();
+    ef::CompileOptions opts;
+    opts.quantizeInt8 = true;
+    // TensorFlow implements quantization.
+    auto m = ef::framework(ef::FrameworkId::kTensorFlow)
+                 .compile(g, eh::DeviceId::kXeon, opts);
+    bool saw = false;
+    for (const auto& n : m.graph.nodes())
+        saw |= (n.dtype == edgebench::core::DType::kI8);
+    EXPECT_TRUE(saw);
+    // DarkNet does not.
+    EXPECT_THROW(ef::framework(ef::FrameworkId::kDarkNet)
+                     .compile(g, eh::DeviceId::kXeon, opts),
+                 InvalidArgumentError);
+}
+
+TEST(CompileTest, PruneOptionAnnotatesSparsity)
+{
+    const auto g = em::buildCifarNet();
+    ef::CompileOptions opts;
+    opts.pruneFraction = 0.6;
+    auto m = ef::framework(ef::FrameworkId::kTensorFlow)
+                 .compile(g, eh::DeviceId::kXeon, opts);
+    bool saw = false;
+    for (const auto& n : m.graph.nodes())
+        if (n.kind == eg::OpKind::kFusedConvBnAct ||
+            n.kind == eg::OpKind::kConv2d ||
+            n.kind == eg::OpKind::kDense)
+            saw |= (n.weightSparsity == 0.6);
+    EXPECT_TRUE(saw);
+    EXPECT_TRUE(m.profile.exploitsSparsity);
+}
+
+TEST(CompileTest, StaticGraphOutOfMemoryThrows)
+{
+    // VGG16 (553 MB fp32) x TF's 2.2x overhead >> RPi's usable RAM.
+    const auto g = em::buildVgg(16);
+    EXPECT_THROW(ef::framework(ef::FrameworkId::kTensorFlow)
+                     .compile(g, eh::DeviceId::kRpi3),
+                 MemoryCapacityError);
+}
+
+TEST(CompileTest, DynamicGraphFallsBackToSwap)
+{
+    const auto g = em::buildVgg(16);
+    auto m = ef::framework(ef::FrameworkId::kPyTorch)
+                 .compile(g, eh::DeviceId::kRpi3);
+    EXPECT_TRUE(m.usedDynamicGraphFallback);
+    EXPECT_GT(m.swapFactor, 5.0);
+    // The paper reports an order-of-magnitude hit for these cases.
+    auto small = ef::framework(ef::FrameworkId::kPyTorch)
+                     .compile(em::buildResNet(18), eh::DeviceId::kRpi3);
+    EXPECT_DOUBLE_EQ(small.swapFactor, 1.0);
+    EXPECT_GT(m.latencyMs() / g.stats().macs * 1e9,
+              small.latencyMs() / em::buildResNet(18).stats().macs *
+                  1e9 * 3.0);
+}
+
+TEST(CompileTest, SsdOnRpiIsCodeIncompatible)
+{
+    const auto g = em::buildSsdMobileNetV1();
+    EXPECT_THROW(ef::framework(ef::FrameworkId::kTensorFlow)
+                     .compile(g, eh::DeviceId::kRpi3),
+                 CompatibilityError);
+}
+
+TEST(CompileTest, NcsdkRejectsConv3d)
+{
+    const auto g = em::buildC3d();
+    EXPECT_THROW(ef::framework(ef::FrameworkId::kMovidiusNcsdk)
+                     .compile(g, eh::DeviceId::kMovidius),
+                 CompatibilityError);
+}
+
+TEST(CompileTest, EdgeTpuConversionBarriers)
+{
+    using ef::FrameworkId;
+    const auto& tflite = ef::framework(FrameworkId::kTfLite);
+    // TinyYolo: YOLO head has no quantized support.
+    EXPECT_THROW(tflite.compile(em::buildTinyYolo(),
+                                eh::DeviceId::kEdgeTpu),
+                 CompatibilityError);
+    // AlexNet: partially grouped convolutions.
+    EXPECT_THROW(tflite.compile(em::buildAlexNet(),
+                                eh::DeviceId::kEdgeTpu),
+                 CompatibilityError);
+    // C3D: conv3d.
+    EXPECT_THROW(tflite.compile(em::buildC3d(),
+                                eh::DeviceId::kEdgeTpu),
+                 CompatibilityError);
+    // ResNet-18: the paper's QAT-checkpoint barrier.
+    EXPECT_THROW(tflite.compile(em::buildResNet(18),
+                                eh::DeviceId::kEdgeTpu),
+                 CompatibilityError);
+    // ResNet-50 converts fine.
+    EXPECT_NO_THROW(tflite.compile(em::buildResNet(50),
+                                   eh::DeviceId::kEdgeTpu));
+}
+
+TEST(CompileTest, PynqOnlyCompilesSmallModels)
+{
+    const auto& tvm = ef::framework(ef::FrameworkId::kTvmVta);
+    EXPECT_NO_THROW(tvm.compile(em::buildResNet(18),
+                                eh::DeviceId::kPynqZ1));
+    EXPECT_NO_THROW(tvm.compile(em::buildCifarNet(),
+                                eh::DeviceId::kPynqZ1));
+    EXPECT_THROW(tvm.compile(em::buildResNet(50),
+                             eh::DeviceId::kPynqZ1),
+                 CompatibilityError);
+}
+
+TEST(CompileTest, UnitSelectionFollowsDeviceClass)
+{
+    const auto g = em::buildCifarNet();
+    EXPECT_EQ(ef::framework(ef::FrameworkId::kPyTorch)
+                  .compile(g, eh::DeviceId::kRpi3).unit,
+              eh::UnitKind::kCpu);
+    EXPECT_EQ(ef::framework(ef::FrameworkId::kPyTorch)
+                  .compile(g, eh::DeviceId::kJetsonTx2).unit,
+              eh::UnitKind::kGpu);
+    EXPECT_EQ(ef::framework(ef::FrameworkId::kMovidiusNcsdk)
+                  .compile(g, eh::DeviceId::kMovidius).unit,
+              eh::UnitKind::kAccelerator);
+    EXPECT_EQ(ef::framework(ef::FrameworkId::kPyTorch)
+                  .compile(g, eh::DeviceId::kXeon).unit,
+              eh::UnitKind::kCpu);
+}
+
+TEST(KerasTest, InterchangeableWithTensorFlow)
+{
+    // Paper Section III-A: "we use Keras and TensorFlow
+    // implementations interchangeably" — Keras drives the TF engine
+    // through a thin API layer, so latency tracks TF within a small
+    // constant overhead.
+    const auto g = em::buildResNet(50);
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kXeon}) {
+        const auto keras = ef::framework(ef::FrameworkId::kKeras)
+                               .compile(g, d).latencyMs();
+        const auto tf = ef::framework(ef::FrameworkId::kTensorFlow)
+                            .compile(g, d).latencyMs();
+        EXPECT_GE(keras, tf) << eh::deviceName(d);
+        EXPECT_LE(keras, tf * 1.3) << eh::deviceName(d);
+    }
+    // Same device support surface as TensorFlow.
+    for (auto d : eh::allDevices())
+        EXPECT_EQ(ef::framework(ef::FrameworkId::kKeras)
+                      .supportsDevice(d),
+                  ef::framework(ef::FrameworkId::kTensorFlow)
+                      .supportsDevice(d))
+            << eh::deviceName(d);
+}
+
+TEST(EngineProfileTest, UnsupportedPairThrows)
+{
+    EXPECT_THROW(ef::engineProfile(ef::FrameworkId::kTensorRt,
+                                   eh::DeviceId::kRpi3),
+                 InvalidArgumentError);
+}
+
+TEST(EngineProfileTest, AllSupportedPairsHaveValidProfiles)
+{
+    for (auto d : eh::allDevices()) {
+        for (auto fw : ef::frameworksFor(d)) {
+            const auto p = ef::engineProfile(fw, d);
+            EXPECT_GT(p.computeEfficiency, 0.0);
+            EXPECT_LE(p.computeEfficiency, 1.0);
+            EXPECT_GT(p.memoryEfficiency, 0.0);
+            EXPECT_LE(p.memoryEfficiency, 1.0);
+            EXPECT_GE(p.perOpOverheadMs, 0.0);
+            EXPECT_GE(p.perInferenceOverheadMs, 0.0);
+        }
+    }
+}

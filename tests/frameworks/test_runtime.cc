@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the simulated runtime: timing protocol and the Fig. 5
+ * software-stack phase model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/frameworks/runtime.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+
+namespace
+{
+
+ef::InferenceSession
+session(ef::FrameworkId fw, em::ModelId model, eh::DeviceId device)
+{
+    auto d = ef::tryDeploy(fw, em::buildModel(model), device);
+    EB_CHECK(d.has_value(), "deployment failed in test setup");
+    return ef::InferenceSession(std::move(d->model));
+}
+
+} // namespace
+
+TEST(RuntimeTest, PerInferenceTimeExcludesInitialization)
+{
+    auto s = session(ef::FrameworkId::kTensorFlow,
+                     em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    const auto r1 = s.run(1);
+    const auto r100 = s.run(100);
+    EXPECT_DOUBLE_EQ(r1.perInferenceMs, r100.perInferenceMs);
+    EXPECT_DOUBLE_EQ(r1.initializationMs, r100.initializationMs);
+    EXPECT_GT(r1.initializationMs, 0.0);
+    EXPECT_NEAR(r100.totalMs(),
+                r100.initializationMs + 100 * r100.perInferenceMs,
+                1e-9);
+}
+
+TEST(RuntimeTest, RunRequiresPositiveCount)
+{
+    auto s = session(ef::FrameworkId::kPyTorch,
+                     em::ModelId::kCifarNet, eh::DeviceId::kXeon);
+    EXPECT_THROW(s.run(0), edgebench::InvalidArgumentError);
+}
+
+TEST(RuntimeTest, StaticGraphSetupDwarfsDynamic)
+{
+    auto tf = session(ef::FrameworkId::kTensorFlow,
+                      em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    auto pt = session(ef::FrameworkId::kPyTorch,
+                      em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    // TF's base_layer machinery is orders of magnitude above
+    // PyTorch's dynamic construction (Fig. 5a vs 5b).
+    EXPECT_GT(tf.graphConstructionMs(),
+              20.0 * pt.graphConstructionMs());
+}
+
+TEST(RuntimeTest, WeightUploadOnlyOnGpuLikeUnits)
+{
+    auto cpu = session(ef::FrameworkId::kTensorFlow,
+                       em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    EXPECT_DOUBLE_EQ(cpu.weightUploadMs(), 0.0);
+    auto gpu = session(ef::FrameworkId::kPyTorch,
+                       em::ModelId::kResNet18,
+                       eh::DeviceId::kJetsonTx2);
+    EXPECT_GT(gpu.weightUploadMs(), 0.0);
+}
+
+TEST(RuntimeTest, ProfileFractionsSumToOne)
+{
+    auto s = session(ef::FrameworkId::kPyTorch,
+                     em::ModelId::kResNet18, eh::DeviceId::kJetsonTx2);
+    const auto rep = s.profileRun(1000);
+    double total_fraction = 0.0;
+    for (auto p : {ef::Phase::kLibraryLoading,
+                   ef::Phase::kGraphConstruction,
+                   ef::Phase::kWeightInit, ef::Phase::kDataTransfer,
+                   ef::Phase::kCompute,
+                   ef::Phase::kSessionManagement})
+        total_fraction += rep.fraction(p);
+    EXPECT_NEAR(total_fraction, 1.0, 1e-9);
+    EXPECT_GT(rep.totalMs(), 0.0);
+}
+
+TEST(RuntimeTest, Fig5aRpiPyTorchIsComputeDominated)
+{
+    // Fig. 5a: PyTorch on RPi spends ~96% in compute-related
+    // functions, with conv2d ~81% of the program.
+    auto s = session(ef::FrameworkId::kPyTorch,
+                     em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    const auto rep = s.profileRun(30);
+    EXPECT_GT(rep.fraction(ef::Phase::kCompute), 0.75);
+    EXPECT_LT(rep.fraction(ef::Phase::kGraphConstruction), 0.10);
+    EXPECT_DOUBLE_EQ(rep.fraction(ef::Phase::kDataTransfer), 0.0);
+}
+
+TEST(RuntimeTest, Fig5bRpiTensorFlowGraphSetupDominates)
+{
+    // Fig. 5b: base_layer = 50.7%, RunCallable = 12.8% over 30
+    // inferences.
+    auto s = session(ef::FrameworkId::kTensorFlow,
+                     em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    const auto rep = s.profileRun(30);
+    EXPECT_GT(rep.fraction(ef::Phase::kGraphConstruction), 0.30);
+    EXPECT_GT(rep.fraction(ef::Phase::kLibraryLoading), 0.05);
+    // Graph setup exceeds the compute share at this loop count.
+    EXPECT_GT(rep.fraction(ef::Phase::kGraphConstruction),
+              rep.fraction(ef::Phase::kCompute));
+}
+
+TEST(RuntimeTest, Fig5cTx2PyTorchTransferBecomesVisible)
+{
+    // Fig. 5c: on the GPU the tensor-transfer phase
+    // (_C._TensorBase.to()) is a major share.
+    auto s = session(ef::FrameworkId::kPyTorch,
+                     em::ModelId::kResNet18, eh::DeviceId::kJetsonTx2);
+    const auto rep = s.profileRun(1000);
+    EXPECT_GT(rep.fraction(ef::Phase::kDataTransfer), 0.15);
+    // And compute share drops vs. the RPi (GPU is fast).
+    auto rpi = session(ef::FrameworkId::kPyTorch,
+                       em::ModelId::kResNet18, eh::DeviceId::kRpi3);
+    EXPECT_LT(rep.fraction(ef::Phase::kCompute),
+              rpi.profileRun(1000).fraction(ef::Phase::kCompute));
+}
+
+TEST(RuntimeTest, Fig5dTx2TensorFlowSplitsSetupAndSession)
+{
+    // Fig. 5d: base_layer 38.2% and RunCallable 34.3%.
+    auto s = session(ef::FrameworkId::kTensorFlow,
+                     em::ModelId::kResNet18, eh::DeviceId::kJetsonTx2);
+    const auto rep = s.profileRun(1000);
+    EXPECT_GT(rep.fraction(ef::Phase::kGraphConstruction), 0.15);
+    EXPECT_GT(rep.fraction(ef::Phase::kSessionManagement), 0.10);
+}
+
+TEST(RuntimeTest, PhaseLabelsMatchPaperVocabulary)
+{
+    auto s = session(ef::FrameworkId::kPyTorch,
+                     em::ModelId::kResNet18, eh::DeviceId::kJetsonTx2);
+    const auto rep = s.profileRun(10);
+    bool saw_to = false, saw_conv = false, saw_import = false;
+    for (const auto& sample : rep.samples) {
+        saw_to |= (sample.label == "_C._TensorBase.to()");
+        saw_conv |= (sample.label == "conv2d");
+        saw_import |= (sample.label == "<built-in import>");
+    }
+    EXPECT_TRUE(saw_to);
+    EXPECT_TRUE(saw_conv);
+    EXPECT_TRUE(saw_import);
+}
+
+TEST(RuntimeTest, PhaseNamesAreStable)
+{
+    EXPECT_EQ(ef::phaseName(ef::Phase::kCompute), "compute");
+    EXPECT_EQ(ef::phaseName(ef::Phase::kLibraryLoading),
+              "library_loading");
+}

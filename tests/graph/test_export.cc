@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the graph export facilities (summary table, Graphviz).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/graph/export.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+
+TEST(SummaryTest, ContainsEveryNodeAndTotals)
+{
+    const auto g = em::buildCifarNet();
+    std::ostringstream oss;
+    eg::printSummary(g, oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Model: CifarNet"), std::string::npos);
+    for (const auto& n : g.nodes())
+        EXPECT_NE(out.find(n.name.substr(0, 25)), std::string::npos)
+            << n.name;
+    EXPECT_NE(out.find("total: "), std::string::npos);
+    EXPECT_NE(out.find("FLOP/param"), std::string::npos);
+}
+
+TEST(SummaryTest, ShowsPrecisionAnnotations)
+{
+    auto g = em::buildCifarNet();
+    auto q = eg::quantizeInt8(g).graph;
+    std::ostringstream oss;
+    eg::printSummary(q, oss);
+    EXPECT_NE(oss.str().find("int8"), std::string::npos);
+}
+
+TEST(DotTest, ValidStructure)
+{
+    const auto g = em::buildCifarNet();
+    std::ostringstream oss;
+    eg::writeDot(g, oss);
+    const std::string out = oss.str();
+    EXPECT_EQ(out.rfind("digraph", 0), 0u);
+    EXPECT_NE(out.find("n0 ["), std::string::npos);
+    EXPECT_NE(out.find("lightblue"), std::string::npos);   // input
+    EXPECT_NE(out.find("lightsalmon"), std::string::npos); // output
+    EXPECT_EQ(out.back(), '\n');
+    // One edge line per node input.
+    std::size_t edges = 0, pos = 0;
+    while ((pos = out.find(" -> ", pos)) != std::string::npos) {
+        ++edges;
+        pos += 4;
+    }
+    std::size_t expected = 0;
+    for (const auto& n : g.nodes())
+        expected += n.inputs.size();
+    EXPECT_EQ(edges, expected);
+}
+
+TEST(DotTest, ResidualGraphHasBranchEdges)
+{
+    const auto g = em::buildResNet(18);
+    std::ostringstream oss;
+    eg::writeDot(g, oss);
+    std::size_t edges = 0, pos = 0;
+    const std::string out = oss.str();
+    while ((pos = out.find(" -> ", pos)) != std::string::npos) {
+        ++edges;
+        pos += 4;
+    }
+    // More edges than nodes: residual fan-out.
+    EXPECT_GT(edges, static_cast<std::size_t>(g.numNodes()));
+}

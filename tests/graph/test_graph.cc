@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the Graph IR: builders, shape inference, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/graph.hh"
+
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+TEST(GraphBuildTest, ConvShapeInference)
+{
+    eg::Graph g("t");
+    auto in = g.addInput({1, 3, 224, 224});
+    auto c = g.addConv2d(in, 64, 7, 7, 2, 3);
+    EXPECT_EQ(g.node(c).outShape, (ec::Shape{1, 64, 112, 112}));
+    EXPECT_EQ(g.node(c).paramShapes[0], (ec::Shape{64, 3, 7, 7}));
+    EXPECT_EQ(g.node(c).paramShapes[1], (ec::Shape{64}));
+}
+
+TEST(GraphBuildTest, ConvWithoutBiasHasSingleParam)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1, 1, 1, /*bias=*/false);
+    EXPECT_EQ(g.node(c).paramShapes.size(), 1u);
+}
+
+TEST(GraphBuildTest, RectangularConvShapes)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 16, 17, 17});
+    auto c = g.addConv2dRect(in, 32, 1, 7, 1, 1, 0, 3);
+    EXPECT_EQ(g.node(c).outShape, (ec::Shape{1, 32, 17, 17}));
+    EXPECT_EQ(g.node(c).paramShapes[0], (ec::Shape{32, 16, 1, 7}));
+}
+
+TEST(GraphBuildTest, DenseRequiresRank2)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 8, 4, 4});
+    EXPECT_THROW(g.addDense(in, 10), InvalidArgumentError);
+    auto flat = g.addFlatten(in);
+    auto fc = g.addDense(flat, 10);
+    EXPECT_EQ(g.node(fc).outShape, (ec::Shape{1, 10}));
+}
+
+TEST(GraphBuildTest, AddRequiresSameShape)
+{
+    eg::Graph g;
+    auto a = g.addInput({1, 3, 4, 4});
+    auto b = g.addInput({1, 4, 4, 4});
+    EXPECT_THROW(g.addAdd(a, b), InvalidArgumentError);
+}
+
+TEST(GraphBuildTest, ConcatSumsChannels)
+{
+    eg::Graph g;
+    auto a = g.addInput({1, 3, 4, 4});
+    auto b = g.addInput({1, 5, 4, 4});
+    auto c = g.addConcat({a, b});
+    EXPECT_EQ(g.node(c).outShape, (ec::Shape{1, 8, 4, 4}));
+}
+
+TEST(GraphBuildTest, ConcatLastValidatesLeadingDims)
+{
+    eg::Graph g;
+    auto a = g.addInput({1, 6});
+    auto b = g.addInput({1, 4});
+    auto c = g.addConcatLast({a, b});
+    EXPECT_EQ(g.node(c).outShape, (ec::Shape{1, 10}));
+    auto d = g.addInput({2, 4});
+    EXPECT_THROW(g.addConcatLast({a, d}), InvalidArgumentError);
+}
+
+TEST(GraphBuildTest, ReshapePreservesNumel)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 12});
+    auto r = g.addReshape(in, {1, 3, 4});
+    EXPECT_EQ(g.node(r).outShape, (ec::Shape{1, 3, 4}));
+    EXPECT_THROW(g.addReshape(in, {1, 5}), InvalidArgumentError);
+}
+
+TEST(GraphBuildTest, YoloDetectValidatesChannels)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 425, 13, 13});
+    auto y = g.addYoloDetect(in, 80, 5);
+    EXPECT_EQ(g.node(y).outShape, (ec::Shape{1, 425, 13, 13}));
+    auto bad = g.addInput({1, 424, 13, 13});
+    EXPECT_THROW(g.addYoloDetect(bad, 80, 5), InvalidArgumentError);
+}
+
+TEST(GraphBuildTest, DetectPostprocessValidatesLastDim)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 100, 95});
+    auto d = g.addDetectPostprocess(in, 91);
+    EXPECT_EQ(g.node(d).outShape[2], 6);
+    auto bad = g.addInput({1, 100, 90});
+    EXPECT_THROW(g.addDetectPostprocess(bad, 91),
+                 InvalidArgumentError);
+}
+
+TEST(GraphStatsTest, MacsAndParamsAggregate)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1); // macs = 64*4*27 = 6912
+    auto f = g.addFlatten(c);
+    auto fc = g.addDense(f, 10); // macs = 256*10 = 2560
+    g.markOutput(fc);
+    const auto st = g.stats();
+    EXPECT_EQ(st.macs, 6912 + 2560);
+    // conv: 4*3*9 + 4 = 112; dense: 256*10 + 10 = 2570.
+    EXPECT_EQ(st.params, 112 + 2570);
+    EXPECT_GT(st.flopPerParam, 0.0);
+}
+
+TEST(GraphStatsTest, BatchNormCountsOneMacPerElement)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 4, 8, 8});
+    auto bn = g.addBatchNorm(in);
+    EXPECT_EQ(g.node(bn).macs(), 4 * 64);
+    EXPECT_EQ(g.node(bn).paramElems(), 16);
+}
+
+TEST(GraphStatsTest, DtypeScalesByteCosts)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto& n = g.node(c);
+    const double f32_bytes = n.paramBytes();
+    n.dtype = ec::DType::kI8;
+    EXPECT_DOUBLE_EQ(n.paramBytes(), f32_bytes / 4.0);
+}
+
+TEST(GraphTest, ConsumerCountsMatchFanOut)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto a = g.addConv2d(in, 3, 1, 1);
+    auto b = g.addConv2d(in, 3, 1, 1);
+    auto sum = g.addAdd(a, b);
+    g.markOutput(sum);
+    const auto counts = g.consumerCounts();
+    EXPECT_EQ(counts[static_cast<std::size_t>(in)], 2);
+    EXPECT_EQ(counts[static_cast<std::size_t>(a)], 1);
+    EXPECT_EQ(counts[static_cast<std::size_t>(sum)], 0);
+}
+
+TEST(GraphTest, MaterializeAllocatesDeclaredShapes)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto bn = g.addBatchNorm(c);
+    g.markOutput(bn);
+    EXPECT_FALSE(g.materialized());
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    EXPECT_TRUE(g.materialized());
+    EXPECT_EQ(g.node(c).params.size(), 2u);
+    EXPECT_EQ(g.node(c).params[0].shape(), (ec::Shape{4, 3, 3, 3}));
+    EXPECT_EQ(g.node(bn).params.size(), 4u);
+    g.dropParams();
+    EXPECT_FALSE(g.materialized());
+    EXPECT_TRUE(g.node(c).params.empty());
+}
+
+TEST(GraphTest, InputDescriptionDerivedFromShape)
+{
+    eg::Graph g;
+    g.addInput({1, 3, 224, 224});
+    EXPECT_EQ(g.inputDescription(), "224x224");
+    eg::Graph g3;
+    g3.addInput({1, 3, 12, 112, 112});
+    EXPECT_EQ(g3.inputDescription(), "12x112x112");
+}
+
+TEST(GraphTest, NodeNamesAutoGenerated)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    EXPECT_EQ(g.node(c).name, "conv2d_1");
+}

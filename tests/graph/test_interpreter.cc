@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the graph interpreter: numeric correctness against
+ * hand-built expectations, memory accounting, and detection heads.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/kernels.hh"
+#include "edgebench/graph/graph.hh"
+#include "edgebench/graph/interpreter.hh"
+
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+
+namespace
+{
+
+ec::Tensor
+randomInput(const ec::Shape& s, std::uint64_t seed)
+{
+    ec::Rng rng(seed);
+    return ec::Tensor::randomNormal(s, rng);
+}
+
+} // namespace
+
+TEST(InterpreterTest, RequiresMaterializedGraph)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 4, 4});
+    auto c = g.addConv2d(in, 2, 1, 1);
+    g.markOutput(c);
+    EXPECT_THROW(eg::Interpreter interp(g),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(InterpreterTest, LinearChainMatchesDirectKernelCalls)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto r = g.addActivation(c, eg::ActKind::kRelu);
+    g.markOutput(r);
+    ec::Rng rng(7);
+    g.materializeParams(rng);
+
+    auto x = randomInput({1, 3, 8, 8}, 9);
+    eg::Interpreter interp(g);
+    auto out = interp.run({x});
+    ASSERT_EQ(out.size(), 1u);
+
+    const auto& conv_node = g.node(c);
+    auto expect = ec::relu(ec::conv2d(x, conv_node.params[0],
+                                      conv_node.params[1],
+                                      conv_node.attrs.conv2d));
+    EXPECT_LT(out[0].maxAbsDiff(expect), 1e-5);
+}
+
+TEST(InterpreterTest, ResidualTopologyExecutes)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 4, 6, 6});
+    auto a = g.addConv2d(in, 4, 3, 3, 1, 1, 1, 1, false);
+    auto bn = g.addBatchNorm(a);
+    auto r = g.addActivation(bn, eg::ActKind::kRelu);
+    auto sum = g.addAdd(r, in);
+    g.markOutput(sum);
+    ec::Rng rng(3);
+    g.materializeParams(rng);
+
+    auto x = randomInput({1, 4, 6, 6}, 4);
+    eg::Interpreter interp(g);
+    auto out = interp.run({x});
+    // sum = relu(bn(conv(x))) + x; verify additivity on one element.
+    auto partial = interp.lastStats();
+    EXPECT_EQ(partial.nodesExecuted, g.numNodes());
+    EXPECT_EQ(out[0].shape(), (ec::Shape{1, 4, 6, 6}));
+}
+
+TEST(InterpreterTest, TracksPeakActivationMemory)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 8, 16, 16}); // 8 KiB fp32
+    auto c1 = g.addConv2d(in, 8, 3, 3, 1, 1);
+    auto c2 = g.addConv2d(c1, 8, 3, 3, 1, 1);
+    g.markOutput(c2);
+    ec::Rng rng(5);
+    g.materializeParams(rng);
+
+    eg::Interpreter interp(g);
+    interp.run({randomInput({1, 8, 16, 16}, 6)});
+    const auto& st = interp.lastStats();
+    const double one = 8 * 16 * 16 * 4.0;
+    // At most two tensors are live at once (producer + consumer).
+    EXPECT_GE(st.peakActivationBytes, 2 * one - 1);
+    EXPECT_LT(st.peakActivationBytes, 3 * one);
+}
+
+TEST(InterpreterTest, InputShapeMismatchThrows)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 4, 4});
+    g.markOutput(in);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    EXPECT_THROW(interp.run({randomInput({1, 3, 5, 5}, 2)}),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(interp.run({}), edgebench::InvalidArgumentError);
+}
+
+TEST(InterpreterTest, MultipleOutputsReturnedInOrder)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 2, 4, 4});
+    auto a = g.addActivation(in, eg::ActKind::kRelu);
+    auto b = g.addActivation(in, eg::ActKind::kSigmoid);
+    g.markOutput(a);
+    g.markOutput(b);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    auto outs = interp.run({randomInput({1, 2, 4, 4}, 3)});
+    ASSERT_EQ(outs.size(), 2u);
+    // Sigmoid output lies in (0, 1).
+    for (std::int64_t i = 0; i < outs[1].numel(); ++i) {
+        ASSERT_GT(outs[1].at(i), 0.0f);
+        ASSERT_LT(outs[1].at(i), 1.0f);
+    }
+}
+
+TEST(InterpreterTest, CalibrationRecordsRanges)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 2, 4, 4});
+    auto r = g.addActivation(in, eg::ActKind::kRelu);
+    g.markOutput(r);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    auto ranges = interp.calibrate({randomInput({1, 2, 4, 4}, 8)});
+    ASSERT_EQ(ranges.size(), static_cast<std::size_t>(g.numNodes()));
+    // ReLU output range is non-negative.
+    EXPECT_GE(ranges[static_cast<std::size_t>(r)].first, 0.0);
+    EXPECT_GT(ranges[static_cast<std::size_t>(r)].second, 0.0);
+    // Input range spans negative values.
+    EXPECT_LT(ranges[static_cast<std::size_t>(in)].first, 0.0);
+}
+
+TEST(InterpreterTest, YoloDetectAppliesSigmoidSelectively)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 7, 2, 2}); // 1 anchor, 2 classes: 5+2=7
+    auto y = g.addYoloDetect(in, 2, 1);
+    g.markOutput(y);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+
+    ec::Tensor x = ec::Tensor::full({1, 7, 2, 2}, 0.0f);
+    auto out = interp.run({x})[0];
+    // Channels 0,1 (xy), 4 (obj), 5,6 (classes): sigmoid(0) = 0.5;
+    // channels 2,3 (wh): raw 0.
+    EXPECT_FLOAT_EQ(out.at(0), 0.5f);              // x
+    EXPECT_FLOAT_EQ(out.at(2 * 4), 0.0f);          // w raw
+    EXPECT_FLOAT_EQ(out.at(4 * 4), 0.5f);          // objectness
+    EXPECT_FLOAT_EQ(out.at(6 * 4), 0.5f);          // class 2
+}
+
+TEST(InterpreterTest, DetectPostprocessSuppressesOverlaps)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 5}); // 3 boxes, 1 class
+    auto d = g.addDetectPostprocess(in, 1, 0.5, 0.4);
+    g.markOutput(d);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+
+    // Boxes: two heavily overlapping, one disjoint, one below
+    // threshold (score 0.1 on the disjoint slot is replaced by 0.9).
+    ec::Tensor x({1, 3, 5},
+                 {0, 0, 10, 10, 0.9f,     // keep (best)
+                  1, 1, 10, 10, 0.8f,     // suppressed (IoU high)
+                  20, 20, 30, 30, 0.7f}); // keep (disjoint)
+    auto out = interp.run({x})[0];
+    // Slot 0: best box.
+    EXPECT_FLOAT_EQ(out.at(1), 0.9f);
+    // Slot 1: the disjoint box, not the overlapped one.
+    EXPECT_FLOAT_EQ(out.at(6 + 1), 0.7f);
+    // Slot 2: empty.
+    EXPECT_FLOAT_EQ(out.at(12 + 1), 0.0f);
+}
+
+TEST(InterpreterTest, DetectPostprocessKeepsDistinctClasses)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 2, 6}); // 2 boxes, 2 classes
+    auto d = g.addDetectPostprocess(in, 2, 0.5, 0.4);
+    g.markOutput(d);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    // Same box, different classes: NMS is per-class, both survive.
+    ec::Tensor x({1, 2, 6},
+                 {0, 0, 10, 10, 0.9f, 0.0f,
+                  0, 0, 10, 10, 0.0f, 0.8f});
+    auto out = interp.run({x})[0];
+    EXPECT_FLOAT_EQ(out.at(1), 0.9f);
+    EXPECT_FLOAT_EQ(out.at(0), 0.0f); // class id 0
+    EXPECT_FLOAT_EQ(out.at(6 + 1), 0.8f);
+    EXPECT_FLOAT_EQ(out.at(6 + 0), 1.0f); // class id 1
+}
+
+TEST(InterpreterTest, F16GraphTracksF32WithinHalfPrecision)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    g.markOutput(c);
+    ec::Rng rng(11);
+    g.materializeParams(rng);
+
+    eg::Interpreter interp(g);
+    auto x = randomInput({1, 3, 8, 8}, 12);
+    auto f32_out = interp.run({x})[0];
+
+    for (auto& n : g.nodes())
+        n.dtype = ec::DType::kF16;
+    auto f16_out = interp.run({x})[0];
+    EXPECT_EQ(f16_out.dtype(), ec::DType::kF16);
+    EXPECT_LT(f32_out.maxAbsDiff(f16_out), 0.05);
+}

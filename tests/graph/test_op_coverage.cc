@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Op-coverage completeness test: every OpKind in the vocabulary must
+ * be constructible through the builder API, executable by the
+ * interpreter, priceable by the cost model, and serializable. This
+ * catches future ops that are added to the enum but not wired
+ * everywhere.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/graph/serialize.hh"
+#include "edgebench/hw/roofline.hh"
+
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+namespace eh = edgebench::hw;
+
+namespace
+{
+
+/**
+ * Build one graph touching every op kind: a small CNN body with a
+ * residual, concat, shuffle, pads, upsample, detection heads, an RNN
+ * tail and a fused node (via the fusion pass on a sub-pattern).
+ */
+eg::Graph
+buildOpZoo()
+{
+    eg::Graph g("opzoo");
+    auto img = g.addInput({1, 4, 8, 8});
+
+    auto c1 = g.addConv2d(img, 4, 3, 3, 1, 1, 1, 1, false, "c1");
+    auto bn = g.addBatchNorm(c1);
+    auto act = g.addActivation(bn, eg::ActKind::kRelu);
+    auto res = g.addAdd(act, img);
+    auto cat = g.addConcat({res, img});           // 8 channels
+    auto shuf = g.addChannelShuffle(cat, 2);
+    auto pad = g.addPadSpatial(shuf, 1, 1, 1, 1); // 10x10
+    auto mp = g.addMaxPool2d(pad, 2, 2);          // 5x5
+    auto ap = g.addAvgPool2d(mp, 3, 1, 1);        // 5x5
+    auto up = g.addUpsample(ap, 2);               // 10x10
+    auto gap = g.addGlobalAvgPool(up);            // [1, 8]
+    auto fc = g.addDense(gap, 6);
+    auto sm = g.addSoftmax(fc);
+    g.markOutput(sm);
+
+    // YOLO head branch.
+    auto yconv = g.addConv2d(mp, 7, 1, 1, 1, 0, 1, 1, true, "yhead");
+    auto yolo = g.addYoloDetect(yconv, 2, 1);
+    g.markOutput(yolo);
+
+    // SSD-style detect branch.
+    auto flat = g.addFlatten(mp);                 // [1, 200]
+    auto det_in = g.addReshape(flat, {1, 40, 5});
+    auto det = g.addDetectPostprocess(det_in, 1);
+    g.markOutput(det);
+
+    // Sequence branch: reshape spatial into a sequence.
+    auto seq = g.addReshape(flat, {1, 40, 5});
+    auto lstm = g.addLstm(seq, 3);
+    auto gru = g.addGru(lstm, 2);
+    auto last = g.addSelectTimestep(gru, -1);
+    auto cl = g.addConcatLast({last, last});
+    g.markOutput(cl);
+
+    // 3D branch.
+    auto vol = g.addInput({1, 2, 3, 6, 6}, "clip");
+    auto c3 = g.addConv3d(vol, 3, 3, 3, 3, 1, 1, 1, 1);
+    auto p3 = g.addMaxPool3d(c3, 1, 2, 1, 2);
+    auto f3 = g.addFlatten(p3);
+    auto fc3 = g.addDense(f3, 2);
+    g.markOutput(fc3);
+    return g;
+}
+
+} // namespace
+
+TEST(OpCoverageTest, GraphTouchesEveryOpKindExceptFused)
+{
+    const auto g = buildOpZoo();
+    std::set<eg::OpKind> seen;
+    for (const auto& n : g.nodes())
+        seen.insert(n.kind);
+    // Fused nodes only come from the pass; everything else must be
+    // present.
+    for (auto k :
+         {eg::OpKind::kInput, eg::OpKind::kConv2d,
+          eg::OpKind::kConv3d, eg::OpKind::kDense,
+          eg::OpKind::kBatchNorm, eg::OpKind::kActivation,
+          eg::OpKind::kSoftmax, eg::OpKind::kMaxPool2d,
+          eg::OpKind::kAvgPool2d, eg::OpKind::kMaxPool3d,
+          eg::OpKind::kGlobalAvgPool, eg::OpKind::kAdd,
+          eg::OpKind::kConcat, eg::OpKind::kFlatten,
+          eg::OpKind::kReshape, eg::OpKind::kConcatLast,
+          eg::OpKind::kPadSpatial, eg::OpKind::kUpsample,
+          eg::OpKind::kLstm, eg::OpKind::kGru,
+          eg::OpKind::kSelectTimestep, eg::OpKind::kChannelShuffle,
+          eg::OpKind::kDetectPostprocess, eg::OpKind::kYoloDetect}) {
+        EXPECT_TRUE(seen.count(k)) << eg::opKindName(k);
+    }
+}
+
+TEST(OpCoverageTest, InterpreterExecutesEveryOp)
+{
+    auto g = buildOpZoo();
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Rng irng(2);
+    const auto outs = interp.run(
+        {ec::Tensor::randomNormal({1, 4, 8, 8}, irng),
+         ec::Tensor::randomNormal({1, 2, 3, 6, 6}, irng)});
+    ASSERT_EQ(outs.size(), 5u);
+    EXPECT_EQ(interp.lastStats().nodesExecuted, g.numNodes());
+}
+
+TEST(OpCoverageTest, FusedNodeExecutesToo)
+{
+    auto g = buildOpZoo();
+    auto fused = eg::fuseConvBnAct(g).graph;
+    bool has_fused = false;
+    for (const auto& n : fused.nodes())
+        has_fused |= (n.kind == eg::OpKind::kFusedConvBnAct);
+    ASSERT_TRUE(has_fused);
+    ec::Rng rng(3);
+    fused.materializeParams(rng);
+    eg::Interpreter interp(fused);
+    ec::Rng irng(4);
+    EXPECT_NO_THROW(interp.run(
+        {ec::Tensor::randomNormal({1, 4, 8, 8}, irng),
+         ec::Tensor::randomNormal({1, 2, 3, 6, 6}, irng)}));
+}
+
+TEST(OpCoverageTest, CostModelPricesEveryOp)
+{
+    const auto g = buildOpZoo();
+    eh::ComputeUnit unit;
+    unit.name = "t";
+    unit.peakGflopsF32 = 10.0;
+    unit.memBandwidthGBs = 10.0;
+    unit.memCapacityBytes = 1e12;
+    eh::EngineProfile p;
+    const auto per_node = eh::perNodeTotalMs(g, unit, p);
+    for (const auto& n : g.nodes()) {
+        if (n.kind == eg::OpKind::kInput)
+            continue;
+        EXPECT_GT(per_node[static_cast<std::size_t>(n.id)], 0.0)
+            << n.name;
+    }
+}
+
+TEST(OpCoverageTest, SerializationRoundTripsEveryOp)
+{
+    const auto g = buildOpZoo();
+    const auto back =
+        eg::graphFromString(eg::graphToString(g));
+    ASSERT_EQ(back.numNodes(), g.numNodes());
+    for (eg::NodeId i = 0; i < g.numNodes(); ++i) {
+        EXPECT_EQ(back.node(i).kind, g.node(i).kind) << i;
+        EXPECT_EQ(back.node(i).outShape, g.node(i).outShape) << i;
+    }
+    EXPECT_EQ(back.stats().macs, g.stats().macs);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the experiment registry and the measured-loop protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/harness/experiment.hh"
+
+namespace ehar = edgebench::harness;
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace ec = edgebench::core;
+
+TEST(ExperimentRegistryTest, CoversEveryPaperTableAndFigure)
+{
+    // 5 tables (I, II, III, V, VI) + 14 figures.
+    EXPECT_EQ(ehar::experimentRegistry().size(), 19u);
+    for (const char* id :
+         {"table1", "table2", "table3", "table5", "table6", "fig1",
+          "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+          "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}) {
+        EXPECT_NO_THROW(ehar::experiment(id)) << id;
+        EXPECT_FALSE(ehar::experiment(id).benchTarget.empty());
+    }
+    EXPECT_THROW(ehar::experiment("fig99"),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(ExperimentRegistryTest, BenchTargetsAreUnique)
+{
+    // Each figure/table maps to a concrete bench binary; fig1 shares
+    // table1's binary by design.
+    std::vector<std::string> targets;
+    for (const auto& e : ehar::experimentRegistry())
+        targets.push_back(e.benchTarget);
+    std::sort(targets.begin(), targets.end());
+    const auto dupes =
+        std::unique(targets.begin(), targets.end()) - targets.begin();
+    EXPECT_EQ(targets.size() - static_cast<std::size_t>(dupes), 1u)
+        << "only fig1/table1 may share a bench target";
+}
+
+TEST(TimeLoopTest, StatsCenterOnModelLatency)
+{
+    auto d = ef::tryDeploy(ef::FrameworkId::kPyTorch,
+                           em::buildModel(em::ModelId::kCifarNet),
+                           eh::DeviceId::kXeon);
+    ASSERT_TRUE(d.has_value());
+    ef::InferenceSession s(std::move(d->model));
+    const double base = s.run(1).perInferenceMs;
+
+    ec::Rng rng(42);
+    const auto stats = ehar::timeInferenceLoop(s, 500, rng, 0.02);
+    EXPECT_EQ(stats.count, 500u);
+    EXPECT_NEAR(stats.mean, base, base * 0.01);
+    EXPECT_NEAR(stats.stddev, base * 0.02, base * 0.008);
+    EXPECT_LT(stats.min, stats.median);
+    EXPECT_LT(stats.median, stats.max);
+}
+
+TEST(TimeLoopTest, ZeroJitterIsExact)
+{
+    auto d = ef::tryDeploy(ef::FrameworkId::kPyTorch,
+                           em::buildModel(em::ModelId::kCifarNet),
+                           eh::DeviceId::kXeon);
+    ASSERT_TRUE(d.has_value());
+    ef::InferenceSession s(std::move(d->model));
+    ec::Rng rng(1);
+    const auto stats = ehar::timeInferenceLoop(s, 10, rng, 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(stats.mean, s.run(1).perInferenceMs);
+}
+
+TEST(TimeLoopTest, InvalidArgumentsThrow)
+{
+    auto d = ef::tryDeploy(ef::FrameworkId::kPyTorch,
+                           em::buildModel(em::ModelId::kCifarNet),
+                           eh::DeviceId::kXeon);
+    ASSERT_TRUE(d.has_value());
+    ef::InferenceSession s(std::move(d->model));
+    ec::Rng rng(1);
+    EXPECT_THROW(ehar::timeInferenceLoop(s, 0, rng),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(ehar::timeInferenceLoop(s, 10, rng, 0.9),
+                 edgebench::InvalidArgumentError);
+}

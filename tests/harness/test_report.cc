@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the table/figure emitters.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/harness/report.hh"
+
+namespace ehar = edgebench::harness;
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    ehar::Table t({"Model", "Time (ms)"});
+    t.addRow({"ResNet-18", "26.5"});
+    t.addRow({"VGG16", "87.7"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("| Model"), std::string::npos);
+    EXPECT_NE(out.find("ResNet-18"), std::string::npos);
+    EXPECT_NE(out.find("|----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RowWidthMismatchThrows)
+{
+    ehar::Table t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only one"}),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(TableTest, EmptyHeadersThrow)
+{
+    EXPECT_THROW(ehar::Table({}), edgebench::InvalidArgumentError);
+}
+
+TEST(TableTest, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(ehar::Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ehar::Table::num(1.0, 0), "1");
+}
+
+TEST(FigureTest, PrintsSeriesWithValues)
+{
+    ehar::Figure f("fig2", "time per inference");
+    f.addSeries("RPi3", {"ResNet-18", "VGG16"}, {870.0, 16485.0});
+    std::ostringstream oss;
+    f.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("fig2"), std::string::npos);
+    EXPECT_NE(out.find("series: RPi3"), std::string::npos);
+    EXPECT_NE(out.find("870.000"), std::string::npos);
+}
+
+TEST(FigureTest, MismatchedSeriesThrows)
+{
+    ehar::Figure f("x", "y");
+    EXPECT_THROW(f.addSeries("s", {"a"}, {1.0, 2.0}),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(BannerTest, ContainsIdAndTitle)
+{
+    std::ostringstream oss;
+    ehar::printBanner(oss, "fig7", "Nano TensorRT");
+    EXPECT_NE(oss.str().find("== fig7: Nano TensorRT =="),
+              std::string::npos);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for summary statistics.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/harness/stats.hh"
+
+namespace ehar = edgebench::harness;
+
+TEST(StatsTest, SingleSample)
+{
+    const auto s = ehar::Stats::of({5.0});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.min, 5.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(StatsTest, KnownDistribution)
+{
+    const auto s = ehar::Stats::of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                    7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.5);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    // Sample stddev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, MedianOfOddCount)
+{
+    const auto s = ehar::Stats::of({3.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(StatsTest, EmptyThrows)
+{
+    EXPECT_THROW(ehar::Stats::of({}),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(GeomeanTest, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(ehar::geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(ehar::geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeomeanTest, RejectsNonPositive)
+{
+    EXPECT_THROW(ehar::geomean({1.0, 0.0}),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(ehar::geomean({}), edgebench::InvalidArgumentError);
+}
+
+TEST(HistogramTest, BucketsValuesCorrectly)
+{
+    ehar::Histogram h(0.0, 10.0, 5);
+    for (double v : {0.5, 1.5, 2.5, 2.9, 9.9})
+        h.add(v);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u); // [0,2)
+    EXPECT_EQ(h.bucketCount(1), 2u); // [2,4)
+    EXPECT_EQ(h.bucketCount(4), 1u); // [8,10)
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, TracksOutOfRangeSeparately)
+{
+    ehar::Histogram h(0.0, 1.0, 4);
+    h.add(-1.0);
+    h.add(2.0);
+    h.add(1.0); // hi edge is exclusive -> overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BucketEdgesAreUniform)
+{
+    ehar::Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(2), 15.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 20.0);
+    EXPECT_THROW(h.bucketCount(4), edgebench::InvalidArgumentError);
+}
+
+TEST(HistogramTest, PrintsBars)
+{
+    ehar::Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    std::ostringstream oss;
+    h.print(oss, 10);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows)
+{
+    EXPECT_THROW(ehar::Histogram(1.0, 1.0, 4),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(ehar::Histogram(0.0, 1.0, 0),
+                 edgebench::InvalidArgumentError);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the device registry: Table III invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/hw/device.hh"
+
+namespace eh = edgebench::hw;
+namespace ec = edgebench::core;
+
+TEST(DeviceRegistryTest, TenPlatformsSixEdgeFourHpc)
+{
+    EXPECT_EQ(eh::allDevices().size(), 10u);
+    EXPECT_EQ(eh::edgeDevices().size(), 6u);
+    EXPECT_EQ(eh::hpcDevices().size(), 4u);
+}
+
+TEST(DeviceRegistryTest, NamesRoundTrip)
+{
+    for (auto id : eh::allDevices())
+        EXPECT_EQ(eh::deviceByName(eh::deviceName(id)), id);
+    EXPECT_THROW(eh::deviceByName("TPUv4"),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(DeviceRegistryTest, IdleAndAveragePowerMatchTableIII)
+{
+    // Spot-check the paper's measured power numbers.
+    EXPECT_DOUBLE_EQ(eh::deviceSpec(eh::DeviceId::kRpi3).idlePowerW,
+                     1.33);
+    EXPECT_DOUBLE_EQ(eh::deviceSpec(eh::DeviceId::kRpi3).averagePowerW,
+                     2.73);
+    EXPECT_DOUBLE_EQ(
+        eh::deviceSpec(eh::DeviceId::kJetsonTx2).idlePowerW, 1.90);
+    EXPECT_DOUBLE_EQ(
+        eh::deviceSpec(eh::DeviceId::kJetsonNano).averagePowerW, 4.58);
+    EXPECT_DOUBLE_EQ(
+        eh::deviceSpec(eh::DeviceId::kMovidius).idlePowerW, 0.36);
+    EXPECT_DOUBLE_EQ(
+        eh::deviceSpec(eh::DeviceId::kEdgeTpu).idlePowerW, 3.24);
+    EXPECT_DOUBLE_EQ(
+        eh::deviceSpec(eh::DeviceId::kPynqZ1).averagePowerW, 5.24);
+}
+
+TEST(DeviceRegistryTest, IdlePowerBelowAveragePower)
+{
+    for (auto id : eh::allDevices()) {
+        const auto& d = eh::deviceSpec(id);
+        EXPECT_LT(d.idlePowerW, d.averagePowerW) << d.name;
+    }
+}
+
+TEST(DeviceRegistryTest, PreferredUnitPrefersAccelerators)
+{
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kEdgeTpu)
+                  .preferredUnit().kind,
+              eh::UnitKind::kAccelerator);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kJetsonTx2)
+                  .preferredUnit().kind,
+              eh::UnitKind::kGpu);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kRpi3)
+                  .preferredUnit().kind,
+              eh::UnitKind::kCpu);
+}
+
+TEST(DeviceRegistryTest, EdgeTpuIsInt8Only)
+{
+    const auto& acc =
+        *eh::deviceSpec(eh::DeviceId::kEdgeTpu).accelerator;
+    EXPECT_DOUBLE_EQ(acc.peakGflopsF32, 0.0);
+    EXPECT_GT(acc.peakGopsI8, 1000.0);
+}
+
+TEST(DeviceRegistryTest, PeakForFallsBackSensibly)
+{
+    const auto& rpi_cpu = eh::deviceSpec(eh::DeviceId::kRpi3).cpu;
+    // RPi has no INT8 speedup: int8 runs at the fp32 rate.
+    EXPECT_DOUBLE_EQ(rpi_cpu.peakFor(ec::DType::kI8),
+                     rpi_cpu.peakFor(ec::DType::kF32));
+    const auto& tx2_gpu = *eh::deviceSpec(eh::DeviceId::kJetsonTx2).gpu;
+    EXPECT_GT(tx2_gpu.peakFor(ec::DType::kF16),
+              tx2_gpu.peakFor(ec::DType::kF32));
+}
+
+TEST(DeviceRegistryTest, HpcPlatformsDwarfEdgeCompute)
+{
+    double best_edge = 0.0;
+    for (auto id : eh::edgeDevices()) {
+        const auto& u = eh::deviceSpec(id).preferredUnit();
+        best_edge = std::max(best_edge, u.peakGflopsF32);
+    }
+    for (auto id : eh::hpcDevices()) {
+        const auto& u = eh::deviceSpec(id).preferredUnit();
+        EXPECT_GT(u.peakGflopsF32, best_edge) << eh::deviceName(id);
+    }
+}
+
+TEST(DeviceRegistryTest, PynqHasTinyOnChipMemoryWithBigPenalty)
+{
+    const auto& acc = *eh::deviceSpec(eh::DeviceId::kPynqZ1).accelerator;
+    EXPECT_LT(acc.onChipBytes, 1024.0 * 1024.0);
+    EXPECT_GT(acc.offChipPenalty, 4.0);
+}
+
+TEST(DeviceRegistryTest, CategoriesMatchTableIII)
+{
+    using eh::DeviceCategory;
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kRpi3).category,
+              DeviceCategory::kIoTEdge);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kJetsonNano).category,
+              DeviceCategory::kGpuEdge);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kEdgeTpu).category,
+              DeviceCategory::kAsicEdge);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kPynqZ1).category,
+              DeviceCategory::kFpgaEdge);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kXeon).category,
+              DeviceCategory::kHpcCpu);
+    EXPECT_EQ(eh::deviceSpec(eh::DeviceId::kTitanXp).category,
+              DeviceCategory::kHpcGpu);
+    EXPECT_FALSE(eh::categoryName(DeviceCategory::kIoTEdge).empty());
+}

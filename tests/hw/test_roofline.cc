@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the roofline latency engine: monotonicity properties,
+ * compute- vs memory-bound classification, precision effects, and
+ * memory capacity enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/hw/roofline.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace eh = edgebench::hw;
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+namespace em = edgebench::models;
+
+namespace
+{
+
+eh::ComputeUnit
+testUnit(double gflops, double bw_gbs, double cap_gib = 8.0)
+{
+    eh::ComputeUnit u;
+    u.name = "test";
+    u.peakGflopsF32 = gflops;
+    u.peakGflopsF16 = gflops * 2;
+    u.peakGopsI8 = gflops * 4;
+    u.memBandwidthGBs = bw_gbs;
+    u.memCapacityBytes = cap_gib * 1024.0 * 1024.0 * 1024.0;
+    return u;
+}
+
+eg::Graph
+convGraph()
+{
+    eg::Graph g("conv");
+    auto in = g.addInput({1, 64, 56, 56});
+    auto c = g.addConv2d(in, 64, 3, 3, 1, 1);
+    g.markOutput(c);
+    return g;
+}
+
+} // namespace
+
+TEST(RooflineTest, ComputeTimeMatchesAnalyticalFormula)
+{
+    auto g = convGraph();
+    const auto& node = g.node(1);
+    eh::EngineProfile p{.computeEfficiency = 0.5,
+                        .memoryEfficiency = 1.0};
+    auto unit = testUnit(100.0, 1000.0);
+    const auto cost = eh::nodeLatency(node, unit, p);
+    const double expected_ms =
+        static_cast<double>(node.macs()) / (100.0 * 0.5 * 1e9) * 1e3;
+    EXPECT_NEAR(cost.computeMs, expected_ms, expected_ms * 1e-9);
+}
+
+TEST(RooflineTest, FasterUnitIsNeverSlower)
+{
+    auto g = em::buildResNet(18);
+    eh::EngineProfile p;
+    const auto slow =
+        eh::graphLatency(g, testUnit(10.0, 5.0), p).totalMs;
+    const auto fast =
+        eh::graphLatency(g, testUnit(100.0, 50.0), p).totalMs;
+    EXPECT_GT(slow, fast);
+    const auto faster =
+        eh::graphLatency(g, testUnit(1000.0, 500.0), p).totalMs;
+    EXPECT_GT(fast, faster);
+}
+
+TEST(RooflineTest, BiggerModelTakesLonger)
+{
+    eh::EngineProfile p;
+    auto unit = testUnit(100.0, 20.0);
+    const auto t18 =
+        eh::graphLatency(em::buildResNet(18), unit, p).totalMs;
+    const auto t50 =
+        eh::graphLatency(em::buildResNet(50), unit, p).totalMs;
+    const auto t101 =
+        eh::graphLatency(em::buildResNet(101), unit, p).totalMs;
+    EXPECT_LT(t18, t50);
+    EXPECT_LT(t50, t101);
+}
+
+TEST(RooflineTest, LowBandwidthMakesVggMemoryBound)
+{
+    // VGG16's fc layers stream 400+ MB of weights: on a low-bandwidth
+    // unit they must classify as memory bound.
+    auto g = em::buildVgg(16);
+    eh::EngineProfile p;
+    auto unit = testUnit(500.0, 2.0);
+    const auto cost = eh::graphLatency(g, unit, p);
+    EXPECT_GT(cost.memoryBoundNodes, 0);
+    EXPECT_GT(cost.memoryMs, 0.0);
+}
+
+TEST(RooflineTest, HighComputeIntensityModelIsComputeBound)
+{
+    // On a balanced unit, conv-heavy layers are compute bound.
+    auto g = convGraph();
+    eh::EngineProfile p;
+    auto unit = testUnit(10.0, 50.0);
+    const auto cost = eh::graphLatency(g, unit, p);
+    EXPECT_EQ(cost.memoryBoundNodes, 0);
+}
+
+TEST(RooflineTest, Int8QuantizationSpeedsUpInferenceOnInt8Hardware)
+{
+    auto g = em::buildMobileNetV2();
+    auto q = eg::quantizeInt8(g).graph;
+    eh::EngineProfile p;
+    auto unit = testUnit(100.0, 10.0);
+    const auto fp = eh::graphLatency(g, unit, p).totalMs;
+    const auto i8 = eh::graphLatency(q, unit, p).totalMs;
+    EXPECT_LT(i8, fp);
+}
+
+TEST(RooflineTest, F16HalvesWeightTrafficOnF16Hardware)
+{
+    auto g = em::buildVgg(16);
+    auto h = eg::convertToF16(g).graph;
+    eh::EngineProfile p;
+    auto unit = testUnit(100.0, 5.0);
+    const auto fp = eh::graphLatency(g, unit, p);
+    const auto f16 = eh::graphLatency(h, unit, p);
+    EXPECT_LT(f16.totalMs, fp.totalMs);
+    EXPECT_LT(f16.memoryMs, fp.memoryMs * 0.6);
+}
+
+TEST(RooflineTest, SparsityExploitationReducesComputeOnly)
+{
+    auto g = convGraph();
+    auto pruned = eg::pruneWeights(g, 0.8).graph;
+    auto unit = testUnit(10.0, 1000.0);
+    eh::EngineProfile no_sparse{.computeEfficiency = 0.5,
+                                .memoryEfficiency = 0.5,
+                                .exploitsSparsity = false};
+    eh::EngineProfile sparse = no_sparse;
+    sparse.exploitsSparsity = true;
+    const auto dense_t = eh::graphLatency(pruned, unit, no_sparse);
+    const auto sparse_t = eh::graphLatency(pruned, unit, sparse);
+    EXPECT_LT(sparse_t.computeMs, dense_t.computeMs * 0.35);
+    EXPECT_DOUBLE_EQ(sparse_t.memoryMs, dense_t.memoryMs);
+}
+
+TEST(RooflineTest, PerOpOverheadScalesWithNodeCount)
+{
+    auto g = em::buildResNet(18);
+    auto unit = testUnit(1000.0, 1000.0);
+    eh::EngineProfile p0{.perOpOverheadMs = 0.0};
+    eh::EngineProfile p1{.perOpOverheadMs = 0.1};
+    const auto t0 = eh::graphLatency(g, unit, p0);
+    const auto t1 = eh::graphLatency(g, unit, p1);
+    // 69 non-input nodes, 0.1 ms each.
+    EXPECT_NEAR(t1.totalMs - t0.totalMs, 0.1 * (g.numNodes() - 1),
+                1e-6);
+}
+
+TEST(RooflineTest, MemoryCapacityIsEnforced)
+{
+    auto g = em::buildVgg(16); // ~550 MB fp32 weights
+    eh::EngineProfile p;
+    auto small = testUnit(100.0, 10.0, /*cap_gib=*/0.25);
+    EXPECT_THROW(eh::graphLatency(g, small, p),
+                 edgebench::MemoryCapacityError);
+    // The unchecked variant still prices it (dynamic-graph path).
+    EXPECT_GT(eh::graphLatencyUnchecked(g, small, p).totalMs, 0.0);
+}
+
+TEST(RooflineTest, OnChipSpillPenaltySlowsLargeLayers)
+{
+    auto g = em::buildResNet(50);
+    eh::EngineProfile p;
+    auto fits = testUnit(100.0, 10.0);
+    auto spills = fits;
+    spills.onChipBytes = 1024.0; // everything spills
+    spills.offChipPenalty = 10.0;
+    const auto fast = eh::graphLatency(g, fits, p).totalMs;
+    const auto slow = eh::graphLatency(g, spills, p).totalMs;
+    EXPECT_GT(slow, fast);
+}
+
+TEST(RooflineTest, InvalidEfficienciesAreRejected)
+{
+    auto g = convGraph();
+    auto unit = testUnit(10.0, 10.0);
+    eh::EngineProfile bad{.computeEfficiency = 0.0};
+    EXPECT_THROW(eh::graphLatency(g, unit, bad),
+                 edgebench::InvalidArgumentError);
+    eh::EngineProfile bad2{.computeEfficiency = 0.5,
+                           .memoryEfficiency = 1.5};
+    EXPECT_THROW(eh::graphLatency(g, unit, bad2),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(RooflineTest, InputNodesAreFree)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 224, 224});
+    g.markOutput(in);
+    auto unit = testUnit(10.0, 10.0);
+    eh::EngineProfile p;
+    const auto cost = eh::graphLatency(g, unit, p);
+    EXPECT_DOUBLE_EQ(cost.totalMs, p.perInferenceOverheadMs);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Failure-injection tests: malformed graphs, corrupted deployments
+ * and pathological numeric inputs must fail loudly (typed exceptions)
+ * or degrade gracefully (NaN propagation) — never crash or silently
+ * mis-account.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/hw/roofline.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+namespace eh = edgebench::hw;
+namespace ef = edgebench::frameworks;
+namespace em = edgebench::models;
+using edgebench::InvalidArgumentError;
+
+TEST(FaultInjectionTest, DanglingInputInRawNodeIsRejected)
+{
+    eg::Graph g;
+    g.addInput({1, 3, 4, 4});
+    eg::Node bad;
+    bad.kind = eg::OpKind::kActivation;
+    bad.attrs.activation = eg::ActKind::kRelu;
+    bad.inputs = {7}; // does not exist
+    bad.outShape = {1, 3, 4, 4};
+    EXPECT_THROW(g.appendRaw(std::move(bad)), InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, ForwardReferenceIsRejected)
+{
+    eg::Graph g;
+    g.addInput({1, 3, 4, 4});
+    eg::Node bad;
+    bad.kind = eg::OpKind::kActivation;
+    bad.attrs.activation = eg::ActKind::kRelu;
+    bad.inputs = {1}; // would be its own id
+    bad.outShape = {1, 3, 4, 4};
+    EXPECT_THROW(g.appendRaw(std::move(bad)), InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, MarkInputOnNonInputNodeThrows)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 2});
+    auto fc = g.addDense(in, 4);
+    EXPECT_THROW(g.markInput(fc), InvalidArgumentError);
+    EXPECT_THROW(g.markOutput(99), InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, InterpreterRefusesGraphWithoutOutputs)
+{
+    eg::Graph g;
+    g.addInput({1, 2});
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    EXPECT_THROW(eg::Interpreter interp(g), InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, DroppedParamsAreDetected)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    g.dropParams();
+    EXPECT_THROW(eg::Interpreter interp(g), InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, NanInputsPropagateWithoutCrashing)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(2);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    auto x = ec::Tensor::full({1, 3, 32, 32}, NAN);
+    const auto out = interp.run({x})[0];
+    // The pipeline must not abort. Max-pooling legitimately absorbs
+    // NaN (max(-inf, NaN) keeps the accumulator), so each output is
+    // either NaN or a valid probability.
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        const float v = out.at(i);
+        EXPECT_TRUE(std::isnan(v) || (v >= 0.0f && v <= 1.0f))
+            << "i=" << i << " v=" << v;
+    }
+}
+
+TEST(FaultInjectionTest, InfiniteInputsSaturateSoftmax)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(3);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    auto x = ec::Tensor::full({1, 3, 32, 32}, 1e30f);
+    const auto out = interp.run({x})[0];
+    // Shift-invariant softmax keeps the result finite or NaN-free
+    // unless upstream kernels produced inf-inf.
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_FALSE(out.at(i) < 0.0f) << i;
+}
+
+TEST(FaultInjectionTest, ZeroBandwidthUnitIsRejectedUpstream)
+{
+    eh::ComputeUnit unit;
+    unit.peakGflopsF32 = 10.0;
+    unit.memBandwidthGBs = 10.0;
+    unit.memCapacityBytes = 1e12;
+    eh::EngineProfile p;
+    p.memoryEfficiency = 0.0; // degenerate
+    const auto g = em::buildCifarNet();
+    EXPECT_THROW(eh::graphLatency(g, unit, p),
+                 InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, RebatchAfterFusionStillConsistent)
+{
+    // Pass-order robustness: fuse -> rebatch -> quantize on a graph
+    // with residuals must keep stats self-consistent.
+    const auto g = em::buildResNet(18);
+    const auto fused = eg::fuseConvBnAct(g).graph;
+    const auto b4 = eg::rebatch(fused, 4).graph;
+    const auto q = eg::quantizeInt8(b4).graph;
+    EXPECT_EQ(b4.stats().macs, fused.stats().macs * 4);
+    EXPECT_EQ(q.stats().macs, b4.stats().macs);
+    EXPECT_LT(q.stats().paramBytes, b4.stats().paramBytes);
+    // And it still prices on a device.
+    const auto& unit = *eh::deviceSpec(eh::DeviceId::kJetsonTx2).gpu;
+    const auto profile = ef::engineProfile(
+        ef::FrameworkId::kPyTorch, eh::DeviceId::kJetsonTx2);
+    EXPECT_GT(eh::graphLatencyUnchecked(q, unit, profile).totalMs,
+              0.0);
+}
+
+TEST(FaultInjectionTest, EmptyShapeEdgeCases)
+{
+    eg::Graph g;
+    // Zero-extent input: legal shape, zero elements.
+    auto in = g.addInput({1, 0, 4, 4});
+    EXPECT_EQ(g.node(in).outputElems(), 0);
+    // Convolution over it must be rejected by geometry validation.
+    EXPECT_THROW(g.addConv2d(in, 4, 3, 3, 1, 1),
+                 InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, InterpreterRejectsWrongInputCount)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(4);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    auto x = ec::Tensor::zeros({1, 3, 32, 32});
+    EXPECT_THROW(interp.run({x, x}), InvalidArgumentError);
+}
+
+TEST(FaultInjectionTest, HugeBatchOverflowsNoSilently)
+{
+    // A pathologically large batch must not wrap MAC counters.
+    const auto g = em::buildCifarNet();
+    const auto big = eg::rebatch(g, 1 << 20).graph;
+    EXPECT_GT(big.stats().macs, g.stats().macs);
+    EXPECT_EQ(big.stats().macs, g.stats().macs * (1 << 20));
+}

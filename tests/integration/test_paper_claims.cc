@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Integration tests for the paper's headline claims: each test states
+ * a conclusion from the paper and verifies our full pipeline (model
+ * zoo -> framework compile -> device roofline -> energy) reproduces
+ * it.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/harness/stats.hh"
+#include "edgebench/power/energy.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace ehar = edgebench::harness;
+
+namespace
+{
+
+double
+latency(ef::FrameworkId fw, em::ModelId m, eh::DeviceId d)
+{
+    auto dep = ef::tryDeploy(fw, em::buildModel(m), d);
+    EXPECT_TRUE(dep.has_value())
+        << ef::frameworkName(fw) << "/" << em::modelInfo(m).name
+        << "/" << eh::deviceName(d);
+    return dep ? dep->model.latencyMs() : -1.0;
+}
+
+const std::vector<em::ModelId> kFig8Models = {
+    em::ModelId::kResNet18, em::ModelId::kResNet50,
+    em::ModelId::kResNet101, em::ModelId::kMobileNetV2,
+    em::ModelId::kInceptionV4};
+
+} // namespace
+
+TEST(PaperClaims, SectionVIA_GpuOrAsicDevicesWinOnEdge)
+{
+    // Fig. 2: "In most cases, either GPU-based devices or EdgeTPU
+    // provides the best performance."
+    for (auto m : {em::ModelId::kResNet50, em::ModelId::kMobileNetV2,
+                   em::ModelId::kInceptionV4}) {
+        const auto g = em::buildModel(m);
+        double best_ms = 1e300;
+        eh::DeviceId best_dev{};
+        for (auto d : eh::edgeDevices()) {
+            auto dep = ef::bestDeployment(g, d);
+            if (dep && dep->model.latencyMs() < best_ms) {
+                best_ms = dep->model.latencyMs();
+                best_dev = d;
+            }
+        }
+        const auto cat = eh::deviceSpec(best_dev).category;
+        EXPECT_TRUE(cat == eh::DeviceCategory::kGpuEdge ||
+                    cat == eh::DeviceCategory::kAsicEdge)
+            << em::modelInfo(m).name << " won by "
+            << eh::deviceName(best_dev);
+    }
+}
+
+TEST(PaperClaims, SectionVIB1_TensorFlowBeatsPyTorchOnRpi)
+{
+    // Fig. 3: TensorFlow is the fastest full framework on the RPi.
+    for (auto m : kFig8Models) {
+        EXPECT_LT(latency(ef::FrameworkId::kTensorFlow, m,
+                          eh::DeviceId::kRpi3),
+                  latency(ef::FrameworkId::kPyTorch, m,
+                          eh::DeviceId::kRpi3))
+            << em::modelInfo(m).name;
+    }
+}
+
+TEST(PaperClaims, SectionVIB1_PyTorchBeatsTensorFlowOnTx2Gpu)
+{
+    // Fig. 4 / Section VI-B3: on the GPU the static-graph feeding
+    // overhead flips the ranking.
+    for (auto m : {em::ModelId::kResNet50, em::ModelId::kMobileNetV2,
+                   em::ModelId::kInceptionV4}) {
+        EXPECT_LT(latency(ef::FrameworkId::kPyTorch, m,
+                          eh::DeviceId::kJetsonTx2),
+                  latency(ef::FrameworkId::kTensorFlow, m,
+                          eh::DeviceId::kJetsonTx2))
+            << em::modelInfo(m).name;
+    }
+}
+
+TEST(PaperClaims, SectionVIB1_PyTorchBeatsTensorFlowOnGtxTitanX)
+{
+    // Fig. 6.
+    for (auto m : {em::ModelId::kResNet50, em::ModelId::kMobileNetV2,
+                   em::ModelId::kVgg16, em::ModelId::kVgg19}) {
+        EXPECT_LT(latency(ef::FrameworkId::kPyTorch, m,
+                          eh::DeviceId::kGtxTitanX),
+                  latency(ef::FrameworkId::kTensorFlow, m,
+                          eh::DeviceId::kGtxTitanX))
+            << em::modelInfo(m).name;
+    }
+}
+
+TEST(PaperClaims, SectionVIB2_TensorRtSpeedsUpNanoAbout4x)
+{
+    // Fig. 7: average 4.1x TensorRT speedup over PyTorch on Nano.
+    std::vector<double> speedups;
+    for (auto m : {em::ModelId::kResNet18, em::ModelId::kResNet50,
+                   em::ModelId::kMobileNetV2,
+                   em::ModelId::kInceptionV4, em::ModelId::kAlexNet,
+                   em::ModelId::kVgg16, em::ModelId::kTinyYolo,
+                   em::ModelId::kC3d}) {
+        speedups.push_back(
+            latency(ef::FrameworkId::kPyTorch, m,
+                    eh::DeviceId::kJetsonNano) /
+            latency(ef::FrameworkId::kTensorRt, m,
+                    eh::DeviceId::kJetsonNano));
+    }
+    const double avg = ehar::geomean(speedups);
+    EXPECT_GT(avg, 2.0);
+    EXPECT_LT(avg, 8.0);
+    for (double s : speedups)
+        EXPECT_GT(s, 1.0) << "TensorRT must never lose to PyTorch";
+}
+
+TEST(PaperClaims, SectionVIB2_LargeModelsGainLessFromTensorRt)
+{
+    // Fig. 7: "models with large memory footprints (AlexNet, VGG16)
+    // ... achieve smaller speedups compared to other models."
+    const double rn18 =
+        latency(ef::FrameworkId::kPyTorch, em::ModelId::kResNet18,
+                eh::DeviceId::kJetsonNano) /
+        latency(ef::FrameworkId::kTensorRt, em::ModelId::kResNet18,
+                eh::DeviceId::kJetsonNano);
+    const double vgg =
+        latency(ef::FrameworkId::kPyTorch, em::ModelId::kVgg16,
+                eh::DeviceId::kJetsonNano) /
+        latency(ef::FrameworkId::kTensorRt, em::ModelId::kVgg16,
+                eh::DeviceId::kJetsonNano);
+    EXPECT_LT(vgg, rn18);
+}
+
+TEST(PaperClaims, SectionVIB2_TfLiteSpeedsUpRpi)
+{
+    // Fig. 8: TFLite averages 1.58x over TF and 4.53x over PyTorch.
+    std::vector<double> vs_tf, vs_pt;
+    for (auto m : kFig8Models) {
+        const double tfl = latency(ef::FrameworkId::kTfLite, m,
+                                   eh::DeviceId::kRpi3);
+        vs_tf.push_back(latency(ef::FrameworkId::kTensorFlow, m,
+                                eh::DeviceId::kRpi3) /
+                        tfl);
+        vs_pt.push_back(latency(ef::FrameworkId::kPyTorch, m,
+                                eh::DeviceId::kRpi3) /
+                        tfl);
+    }
+    const double avg_tf = ehar::geomean(vs_tf);
+    const double avg_pt = ehar::geomean(vs_pt);
+    EXPECT_GT(avg_tf, 1.1);
+    EXPECT_LT(avg_tf, 2.6);
+    EXPECT_GT(avg_pt, 3.0);
+    EXPECT_LT(avg_pt, 16.0);
+    // TFLite's gain over TF is smaller than over PyTorch (TF already
+    // optimizes its static graph).
+    EXPECT_LT(avg_tf, avg_pt);
+}
+
+TEST(PaperClaims, SectionVIC_HpcSpeedupOverTx2IsOnlyAFewX)
+{
+    // Figs. 9-10: "the average speedup over Jetson TX2 on all
+    // benchmarks is only 3x."
+    std::vector<double> speedups;
+    for (auto m : {em::ModelId::kResNet18, em::ModelId::kResNet50,
+                   em::ModelId::kResNet101, em::ModelId::kMobileNetV2,
+                   em::ModelId::kInceptionV4, em::ModelId::kAlexNet,
+                   em::ModelId::kVgg16, em::ModelId::kVgg19,
+                   em::ModelId::kC3d}) {
+        const double tx2 = latency(ef::FrameworkId::kPyTorch, m,
+                                   eh::DeviceId::kJetsonTx2);
+        for (auto d : eh::hpcDevices()) {
+            speedups.push_back(
+                tx2 / latency(ef::FrameworkId::kPyTorch, m, d));
+        }
+    }
+    const double gm = ehar::geomean(speedups);
+    EXPECT_GT(gm, 1.2);
+    EXPECT_LT(gm, 6.0);
+}
+
+TEST(PaperClaims, SectionVIC_XeonTrailsGpusOnCompactModels)
+{
+    // "on several benchmarks, the Xeon CPU performance is lower than
+    // that of all platforms" (compute-bound models).
+    for (auto m : {em::ModelId::kResNet18, em::ModelId::kResNet50}) {
+        const double xeon = latency(ef::FrameworkId::kPyTorch, m,
+                                    eh::DeviceId::kXeon);
+        EXPECT_GT(xeon, latency(ef::FrameworkId::kPyTorch, m,
+                                eh::DeviceId::kJetsonTx2))
+            << em::modelInfo(m).name;
+        EXPECT_GT(xeon, latency(ef::FrameworkId::kPyTorch, m,
+                                eh::DeviceId::kTitanXp));
+    }
+}
+
+TEST(PaperClaims, SectionVIC_XeonMatchesTx2OnVggClassModels)
+{
+    // "only for memory-bounded benchmarks (e.g., VGG16 and VGG19)
+    // does Xeon CPU perform similarly to TX2."
+    for (auto m : {em::ModelId::kVgg16, em::ModelId::kVgg19}) {
+        const double ratio =
+            latency(ef::FrameworkId::kPyTorch, m,
+                    eh::DeviceId::kXeon) /
+            latency(ef::FrameworkId::kPyTorch, m,
+                    eh::DeviceId::kJetsonTx2);
+        EXPECT_GT(ratio, 0.5) << em::modelInfo(m).name;
+        EXPECT_LT(ratio, 2.0) << em::modelInfo(m).name;
+    }
+}
+
+TEST(PaperClaims, SectionVIC_VggGainsMoreThanResNetOnHpcGpus)
+{
+    // "benchmarks with large memory footprint such as VGG models and
+    // C3D generally achieve higher speedups [on HPC GPUs] ... ResNet
+    // models benefit less."
+    auto speedup = [&](em::ModelId m) {
+        return latency(ef::FrameworkId::kPyTorch, m,
+                       eh::DeviceId::kJetsonTx2) /
+            latency(ef::FrameworkId::kPyTorch, m,
+                    eh::DeviceId::kTitanXp);
+    };
+    EXPECT_GT(speedup(em::ModelId::kVgg16),
+              speedup(em::ModelId::kResNet50));
+    EXPECT_GT(speedup(em::ModelId::kC3d),
+              speedup(em::ModelId::kResNet18));
+}
+
+TEST(PaperClaims, SectionVIF_EnergyDelayTradeoffExists)
+{
+    // Conclusion: "a tradeoff between energy consumption and
+    // inference time on edge devices (e.g., Movidius vs Jetson
+    // Nano)": Movidius draws less power but is slower.
+    auto nano = ef::bestDeployment(
+        em::buildModel(em::ModelId::kInceptionV4),
+        eh::DeviceId::kJetsonNano);
+    auto mov = ef::bestDeployment(
+        em::buildModel(em::ModelId::kInceptionV4),
+        eh::DeviceId::kMovidius);
+    ASSERT_TRUE(nano && mov);
+    const auto e_nano = edgebench::power::energyPerInference(
+        nano->model);
+    const auto e_mov = edgebench::power::energyPerInference(
+        mov->model);
+    EXPECT_LT(e_mov.activePowerW, e_nano.activePowerW);
+    EXPECT_GT(e_mov.inferenceTimeMs, e_nano.inferenceTimeMs);
+}
+
+TEST(PaperClaims, SingleBatchKeepsHpcGpusUnderutilized)
+{
+    // Sanity on the mechanism: the achieved fraction of peak on a
+    // Titan Xp running ResNet-50 single-batch is a few percent.
+    auto dep = ef::tryDeploy(ef::FrameworkId::kPyTorch,
+                             em::buildModel(em::ModelId::kResNet50),
+                             eh::DeviceId::kTitanXp);
+    ASSERT_TRUE(dep.has_value());
+    const double gflops = 4.1 / (dep->model.latencyMs() / 1e3);
+    const double peak =
+        eh::deviceSpec(eh::DeviceId::kTitanXp).gpu->peakGflopsF32;
+    EXPECT_LT(gflops / peak, 0.10);
+    EXPECT_GT(gflops / peak, 0.001);
+}

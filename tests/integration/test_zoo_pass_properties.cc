@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Zoo-wide property tests: every optimization pass must preserve the
+ * structural invariants of every Table I model (plus the recurrent
+ * extensions). These are the repo's broadest invariance sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+namespace ec = edgebench::core;
+
+class ZooPassProperties : public ::testing::TestWithParam<em::ModelId>
+{
+  protected:
+    eg::Graph graph_ = em::buildModel(GetParam());
+};
+
+TEST_P(ZooPassProperties, FusionPreservesConvMacs)
+{
+    const auto before = graph_.stats();
+    const auto fused = eg::fuseConvBnAct(graph_).graph;
+    const auto after = fused.stats();
+    // Fusion removes standalone-BN MAC accounting but never touches
+    // conv/dense work: macs may only shrink by the BN share.
+    EXPECT_LE(after.macs, before.macs);
+    double bn_macs = 0.0;
+    for (const auto& n : graph_.nodes())
+        if (n.kind == eg::OpKind::kBatchNorm)
+            bn_macs += static_cast<double>(n.macs());
+    EXPECT_GE(after.macs, before.macs - bn_macs - 1);
+    // Node count shrinks whenever the model has BN/activations.
+    EXPECT_LE(after.numNodes, before.numNodes);
+}
+
+TEST_P(ZooPassProperties, FusionPreservesOutputShapes)
+{
+    const auto fused = eg::fuseConvBnAct(graph_).graph;
+    ASSERT_EQ(fused.outputIds().size(), graph_.outputIds().size());
+    for (std::size_t i = 0; i < fused.outputIds().size(); ++i) {
+        EXPECT_EQ(fused.node(fused.outputIds()[i]).outShape,
+                  graph_.node(graph_.outputIds()[i]).outShape);
+    }
+}
+
+TEST_P(ZooPassProperties, QuantizationShrinksParamBytes)
+{
+    const auto q = eg::quantizeInt8(graph_).graph;
+    EXPECT_EQ(q.stats().params, graph_.stats().params);
+    EXPECT_LT(q.stats().paramBytes, graph_.stats().paramBytes);
+    // Conv-dominated models approach the 4x ceiling.
+    EXPECT_GT(graph_.stats().paramBytes / q.stats().paramBytes, 1.5);
+}
+
+TEST_P(ZooPassProperties, F16ExactlyHalvesParamBytes)
+{
+    const auto h = eg::convertToF16(graph_).graph;
+    EXPECT_DOUBLE_EQ(h.stats().paramBytes,
+                     graph_.stats().paramBytes / 2.0);
+    EXPECT_EQ(h.stats().macs, graph_.stats().macs);
+}
+
+TEST_P(ZooPassProperties, DeadNodeEliminationIsIdentityOnZooModels)
+{
+    // The builders never create dead nodes.
+    const auto [frozen, removed] = eg::eliminateDeadNodes(graph_);
+    EXPECT_EQ(removed, 0) << graph_.name();
+    EXPECT_EQ(frozen.numNodes(), graph_.numNodes());
+}
+
+TEST_P(ZooPassProperties, PeakActivationIsPositiveAndBounded)
+{
+    const double peak = eg::estimatePeakActivationBytes(graph_);
+    EXPECT_GT(peak, 0.0);
+    // Liveness-based peak never exceeds the sum of all activations.
+    EXPECT_LE(peak, graph_.stats().activationBytes);
+}
+
+TEST_P(ZooPassProperties, RebatchTimesFourScalesActivations)
+{
+    const auto b = eg::rebatch(graph_, 4).graph;
+    EXPECT_EQ(b.stats().macs, graph_.stats().macs * 4);
+    EXPECT_DOUBLE_EQ(b.stats().activationBytes,
+                     graph_.stats().activationBytes * 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooPassProperties,
+    ::testing::ValuesIn(em::allModels()),
+    [](const ::testing::TestParamInfo<em::ModelId>& pi) {
+        std::string n = em::modelInfo(pi.param).name + "_" +
+            em::modelInfo(pi.param).inputSize;
+        for (auto& c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the mobile/efficient extension models: SqueezeNet,
+ * ShuffleNet (channel shuffle included) and DenseNet-121.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace em = edgebench::models;
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+
+TEST(MobileExtTest, SqueezeNetMatchesCanonicalStats)
+{
+    const auto st = em::buildSqueezeNet().stats();
+    // SqueezeNet v1.1: ~1.24 M params, ~0.35 GMACs.
+    EXPECT_NEAR(st.params / 1e6, 1.24, 0.05);
+    EXPECT_NEAR(st.macs / 1e9, 0.35, 0.02);
+}
+
+TEST(MobileExtTest, ShuffleNetMatchesCanonicalStats)
+{
+    const auto st = em::buildShuffleNet().stats();
+    // ShuffleNet v1 1x (g=3): ~1.9 M params, ~0.137 GMACs.
+    EXPECT_NEAR(st.params / 1e6, 1.88, 0.15);
+    EXPECT_NEAR(st.macs / 1e9, 0.137, 0.015);
+    EXPECT_THROW(em::buildShuffleNet(1000, 224, 5),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(MobileExtTest, DenseNetMatchesCanonicalStats)
+{
+    const auto st = em::buildDenseNet121().stats();
+    // DenseNet-121: ~7.98 M params, ~2.88 GMACs.
+    EXPECT_NEAR(st.params / 1e6, 7.98, 0.25);
+    EXPECT_NEAR(st.macs / 1e9, 2.88, 0.10);
+}
+
+TEST(MobileExtTest, ChannelShuffleIsAPermutation)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 6, 1, 1});
+    auto sh = g.addChannelShuffle(in, 3);
+    g.markOutput(sh);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    // Channels 0..5 grouped as (0,1)(2,3)(4,5); shuffle interleaves
+    // them to 0,2,4,1,3,5.
+    ec::Tensor x({1, 6, 1, 1}, {0, 1, 2, 3, 4, 5});
+    const auto out = interp.run({x})[0];
+    EXPECT_FLOAT_EQ(out.at(0), 0);
+    EXPECT_FLOAT_EQ(out.at(1), 2);
+    EXPECT_FLOAT_EQ(out.at(2), 4);
+    EXPECT_FLOAT_EQ(out.at(3), 1);
+    EXPECT_FLOAT_EQ(out.at(4), 3);
+    EXPECT_FLOAT_EQ(out.at(5), 5);
+}
+
+TEST(MobileExtTest, ChannelShuffleValidatesGroups)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 6, 2, 2});
+    EXPECT_THROW(g.addChannelShuffle(in, 4),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(MobileExtTest, ShuffleNetRunsOnInterpreter)
+{
+    // Tiny ShuffleNet config to keep the functional run fast.
+    auto g = em::buildShuffleNet(10, 32, 3);
+    ec::Rng rng(2);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Rng irng(3);
+    const auto out = interp.run(
+        {ec::Tensor::randomNormal({1, 3, 32, 32}, irng)})[0];
+    EXPECT_EQ(out.shape(), (ec::Shape{1, 10}));
+}
+
+TEST(MobileExtTest, ExtensionsSurvivePassPipeline)
+{
+    for (auto g : {em::buildSqueezeNet(), em::buildShuffleNet(),
+                   em::buildDenseNet121()}) {
+        const auto fused = eg::fuseConvBnAct(g).graph;
+        EXPECT_LE(fused.numNodes(), g.numNodes()) << g.name();
+        const auto q = eg::quantizeInt8(fused).graph;
+        EXPECT_LT(q.stats().paramBytes, g.stats().paramBytes)
+            << g.name();
+        EXPECT_EQ(eg::eliminateDeadNodes(g).rewrites, 0) << g.name();
+    }
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the recurrent extension models (paper future work) and
+ * the rebatch pass that backs the multi-batch study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace em = edgebench::models;
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+
+TEST(RecurrentModelsTest, CharRnnStats)
+{
+    const auto g = em::buildCharRnn();
+    const auto st = g.stats();
+    // 2 LSTM layers: 4*512*(128+512) + 4*512*(512+512) weights
+    // (+ biases) + decoder.
+    const std::int64_t lstm1 = 4 * 512 * (128 + 512) + 4 * 512;
+    const std::int64_t lstm2 = 4 * 512 * (512 + 512) + 4 * 512;
+    const std::int64_t decoder = 512 * 128 + 128;
+    EXPECT_EQ(st.params, lstm1 + lstm2 + decoder);
+    // Sequence MACs dominate: 64 steps of both layers.
+    EXPECT_GT(st.macs, 64 * (lstm1 + lstm2 - 8 * 512) * 9 / 10);
+}
+
+TEST(RecurrentModelsTest, AllExtensionsBuild)
+{
+    const auto models = em::buildRecurrentExtensions();
+    ASSERT_EQ(models.size(), 3u);
+    for (const auto& g : models) {
+        EXPECT_FALSE(g.outputIds().empty()) << g.name();
+        EXPECT_GT(g.stats().macs, 0) << g.name();
+        EXPECT_GT(g.stats().params, 0) << g.name();
+    }
+}
+
+TEST(RecurrentModelsTest, CharRnnRunsOnInterpreter)
+{
+    auto g = em::buildCharRnn(32, 8, 16); // tiny config
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Rng irng(2);
+    auto x = ec::Tensor::randomNormal({1, 8, 32}, irng);
+    auto out = interp.run({x})[0];
+    ASSERT_EQ(out.shape(), (ec::Shape{1, 32}));
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        sum += out.at(i);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(RecurrentModelsTest, GruClassifierRunsOnInterpreter)
+{
+    auto g = em::buildGruClassifier(8, 6, 12, 4);
+    ec::Rng rng(3);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Rng irng(4);
+    auto out = interp.run(
+        {ec::Tensor::randomNormal({1, 6, 8}, irng)})[0];
+    ASSERT_EQ(out.shape(), (ec::Shape{1, 4}));
+}
+
+TEST(RecurrentModelsTest, DeepSpeechMixesConvAndLstm)
+{
+    const auto g = em::buildDeepSpeech2Lite();
+    bool conv = false, lstm = false;
+    for (const auto& n : g.nodes()) {
+        conv |= (n.kind == eg::OpKind::kConv2d);
+        lstm |= (n.kind == eg::OpKind::kLstm);
+    }
+    EXPECT_TRUE(conv);
+    EXPECT_TRUE(lstm);
+}
+
+TEST(RecurrentDeployTest, RunsOnGeneralFrameworksOnly)
+{
+    const auto g = em::buildCharRnn();
+    // PyTorch / TF on CPU+GPU platforms: fine.
+    EXPECT_TRUE(ef::tryDeploy(ef::FrameworkId::kPyTorch, g,
+                              eh::DeviceId::kJetsonTx2)
+                    .has_value());
+    EXPECT_TRUE(ef::tryDeploy(ef::FrameworkId::kTensorFlow, g,
+                              eh::DeviceId::kXeon)
+                    .has_value());
+    // 2019-era TFLite, EdgeTPU and NCSDK cannot take RNNs.
+    EXPECT_FALSE(ef::tryDeploy(ef::FrameworkId::kTfLite, g,
+                               eh::DeviceId::kRpi3)
+                     .has_value());
+    EXPECT_FALSE(ef::tryDeploy(ef::FrameworkId::kTfLite, g,
+                               eh::DeviceId::kEdgeTpu)
+                     .has_value());
+    EXPECT_FALSE(ef::tryDeploy(ef::FrameworkId::kMovidiusNcsdk, g,
+                               eh::DeviceId::kMovidius)
+                     .has_value());
+}
+
+TEST(RecurrentGraphTest, SelectTimestepSemantics)
+{
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 2});
+    auto last = g.addSelectTimestep(in, -1);
+    g.markOutput(last);
+    ec::Rng rng(5);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Tensor x({1, 3, 2}, {1, 2, 3, 4, 5, 6});
+    auto out = interp.run({x})[0];
+    EXPECT_EQ(out.shape(), (ec::Shape{1, 2}));
+    EXPECT_FLOAT_EQ(out.at(0), 5);
+    EXPECT_FLOAT_EQ(out.at(1), 6);
+    EXPECT_THROW(g.addSelectTimestep(in, 3),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(RebatchTest, ScalesShapesAndMacsLinearly)
+{
+    const auto g = em::buildResNet(18);
+    const auto b8 = eg::rebatch(g, 8).graph;
+    EXPECT_EQ(b8.stats().macs, g.stats().macs * 8);
+    EXPECT_EQ(b8.stats().params, g.stats().params);
+    for (const auto& n : b8.nodes())
+        EXPECT_EQ(n.outShape[0], 8) << n.name;
+}
+
+TEST(RebatchTest, BatchOneIsIdentityOnStats)
+{
+    const auto g = em::buildMobileNetV2();
+    const auto b1 = eg::rebatch(g, 1).graph;
+    EXPECT_EQ(b1.stats().macs, g.stats().macs);
+    EXPECT_EQ(b1.stats().activationBytes, g.stats().activationBytes);
+}
+
+TEST(RebatchTest, RejectsBadInputs)
+{
+    auto g = em::buildCifarNet();
+    EXPECT_THROW(eg::rebatch(g, 0), edgebench::InvalidArgumentError);
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    EXPECT_THROW(eg::rebatch(g, 2), edgebench::InvalidArgumentError);
+}
+
+TEST(RebatchTest, RebatchedLstmExecutes)
+{
+    auto g = em::buildCharRnn(16, 4, 8);
+    auto b2 = eg::rebatch(g, 2).graph;
+    ec::Rng rng(6);
+    b2.materializeParams(rng);
+    eg::Interpreter interp(b2);
+    ec::Rng irng(7);
+    auto out = interp.run(
+        {ec::Tensor::randomNormal({2, 4, 16}, irng)})[0];
+    EXPECT_EQ(out.shape(), (ec::Shape{2, 16}));
+}
+
+TEST(RebatchTest, MultiBatchAmortizesHpcGpuOverheads)
+{
+    // The Section VI-C mechanism: throughput (img/s) on an HPC GPU
+    // grows superlinearly with batch until the ramp saturates.
+    const auto g = em::buildResNet(50);
+    const auto& unit = *eh::deviceSpec(eh::DeviceId::kTitanXp).gpu;
+    const auto profile = ef::engineProfile(
+        ef::FrameworkId::kPyTorch, eh::DeviceId::kTitanXp);
+    const double t1 =
+        eh::graphLatencyUnchecked(g, unit, profile).totalMs;
+    const auto g16 = eg::rebatch(g, 16).graph;
+    const double t16 =
+        eh::graphLatencyUnchecked(g16, unit, profile).totalMs;
+    const double throughput1 = 1.0 / t1;
+    const double throughput16 = 16.0 / t16;
+    EXPECT_GT(throughput16, 4.0 * throughput1);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Model-zoo tests: every Table I model must reproduce the paper's FLOP
+ * and parameter counts within its documented tolerance, and the graphs
+ * must be structurally sound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace em = edgebench::models;
+namespace eg = edgebench::graph;
+namespace ec = edgebench::core;
+
+class ZooTableI : public ::testing::TestWithParam<em::ModelId>
+{
+};
+
+TEST_P(ZooTableI, FlopAndParamCountsMatchPaper)
+{
+    const auto& info = em::modelInfo(GetParam());
+    const auto g = em::buildModel(GetParam());
+    const auto st = g.stats();
+    const double gflop = static_cast<double>(st.macs) / 1e9;
+    const double mparam = static_cast<double>(st.params) / 1e6;
+    EXPECT_NEAR(gflop, info.paperGFlop,
+                info.paperGFlop * info.flopTolerance)
+        << g.name() << ": GFLOP";
+    EXPECT_NEAR(mparam, info.paperMParams,
+                info.paperMParams * info.paramTolerance)
+        << g.name() << ": MParams";
+}
+
+TEST_P(ZooTableI, GraphIsWellFormed)
+{
+    const auto g = em::buildModel(GetParam());
+    EXPECT_FALSE(g.outputIds().empty());
+    EXPECT_FALSE(g.inputIds().empty());
+    EXPECT_FALSE(g.materialized()) << "zoo graphs must be deferred";
+    // Topological well-formedness: inputs precede consumers.
+    for (const auto& n : g.nodes())
+        for (auto in : n.inputs)
+            EXPECT_LT(in, n.id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooTableI, ::testing::ValuesIn(em::allModels()),
+    [](const ::testing::TestParamInfo<em::ModelId>& pi) {
+        std::string n = em::modelInfo(pi.param).name + "_" +
+            em::modelInfo(pi.param).inputSize;
+        for (auto& c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(ZooTest, AllModelsEnumeratesSixteen)
+{
+    EXPECT_EQ(em::allModels().size(), 16u);
+}
+
+TEST(ZooTest, ModelByNameRoundTrips)
+{
+    EXPECT_EQ(em::modelByName("ResNet-50"), em::ModelId::kResNet50);
+    EXPECT_THROW(em::modelByName("NotAModel"),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(ZooTest, FlopPerParamOrderingMatchesFig1Extremes)
+{
+    // Fig. 1: VGG-S 32x32 and AlexNet are the most memory-bound;
+    // C3D and YOLOv3 the most compute-intense.
+    const auto fpp = [](em::ModelId id) {
+        return em::buildModel(id).stats().flopPerParam;
+    };
+    const double vggs32 = fpp(em::ModelId::kVggS32);
+    const double alexnet = fpp(em::ModelId::kAlexNet);
+    const double c3d = fpp(em::ModelId::kC3d);
+    const double yolo = fpp(em::ModelId::kYoloV3);
+    const double resnet18 = fpp(em::ModelId::kResNet18);
+    EXPECT_LT(vggs32, alexnet + 5.0);
+    EXPECT_LT(alexnet, resnet18);
+    EXPECT_LT(resnet18, yolo);
+    EXPECT_LT(resnet18, c3d);
+}
+
+TEST(ZooTest, ResNetDepthsScaleParameters)
+{
+    const auto p18 = em::buildResNet(18).stats().params;
+    const auto p50 = em::buildResNet(50).stats().params;
+    const auto p101 = em::buildResNet(101).stats().params;
+    EXPECT_LT(p18, p50);
+    EXPECT_LT(p50, p101);
+    EXPECT_THROW(em::buildResNet(34), edgebench::InvalidArgumentError);
+}
+
+TEST(ZooTest, AlexNetCanonicalIsSmaller)
+{
+    const auto paper = em::buildAlexNet().stats().params;
+    const auto canonical = em::buildAlexNetCanonical().stats().params;
+    // Canonical AlexNet is ~61 M; the paper variant ~102 M.
+    EXPECT_NEAR(static_cast<double>(canonical) / 1e6, 61.0, 3.0);
+    EXPECT_GT(paper, canonical);
+}
+
+TEST(ZooTest, YoloV3HasThreeDetectionScales)
+{
+    const auto g = em::buildYoloV3();
+    EXPECT_EQ(g.outputIds().size(), 3u);
+    for (auto id : g.outputIds())
+        EXPECT_EQ(g.node(id).kind, eg::OpKind::kYoloDetect);
+}
+
+TEST(ZooTest, YoloRejectsNonMultipleOf32)
+{
+    EXPECT_THROW(em::buildYoloV3(80, 200),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(em::buildTinyYolo(80, 100),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(ZooTest, SsdEndsInDetectionPostprocess)
+{
+    const auto g = em::buildSsdMobileNetV1();
+    ASSERT_EQ(g.outputIds().size(), 1u);
+    const auto& out = g.node(g.outputIds()[0]);
+    EXPECT_EQ(out.kind, eg::OpKind::kDetectPostprocess);
+    EXPECT_EQ(out.outShape[2], 6);
+}
+
+TEST(ZooTest, C3dUsesThreeDConvolutions)
+{
+    const auto g = em::buildC3d();
+    std::int64_t n3d = 0;
+    for (const auto& n : g.nodes())
+        n3d += (n.kind == eg::OpKind::kConv3d);
+    EXPECT_EQ(n3d, 8);
+}
+
+TEST(ZooTest, CifarNetRunsEndToEndOnInterpreter)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Rng irng(2);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, irng);
+    auto out = interp.run({x})[0];
+    ASSERT_EQ(out.shape(), (ec::Shape{1, 10}));
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < 10; ++i)
+        sum += out.at(i);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(ZooTest, MobileNetV2RunsEndToEndOnInterpreter)
+{
+    auto g = em::buildMobileNetV2(10, 32); // tiny config for speed
+    ec::Rng rng(3);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    ec::Rng irng(4);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, irng);
+    auto out = interp.run({x})[0];
+    ASSERT_EQ(out.shape(), (ec::Shape{1, 10}));
+}
+
+TEST(ZooTest, InputDescriptionsMatchTableI)
+{
+    for (auto id : em::allModels()) {
+        const auto g = em::buildModel(id);
+        EXPECT_EQ(g.inputDescription(), em::modelInfo(id).inputSize)
+            << g.name();
+    }
+}

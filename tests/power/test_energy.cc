@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Energy-model tests (Fig. 11 / Fig. 12 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/power/energy.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace ep = edgebench::power;
+
+namespace
+{
+
+ep::EnergyResult
+energy(em::ModelId m, eh::DeviceId d)
+{
+    auto dep = ef::bestDeployment(em::buildModel(m), d);
+    EXPECT_TRUE(dep.has_value());
+    return ep::energyPerInference(dep->model);
+}
+
+} // namespace
+
+TEST(EnergyTest, ActivePowerBoundedByTableIII)
+{
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano}) {
+        const auto e = energy(em::ModelId::kResNet50, d);
+        const auto& spec = eh::deviceSpec(d);
+        EXPECT_GE(e.activePowerW, spec.idlePowerW);
+        EXPECT_LE(e.activePowerW, spec.averagePowerW + 1e-9);
+        EXPECT_GT(e.energyPerInferenceMJ, 0.0);
+    }
+}
+
+TEST(EnergyTest, EnergyEqualsPowerTimesTime)
+{
+    const auto e = energy(em::ModelId::kResNet18,
+                          eh::DeviceId::kJetsonNano);
+    EXPECT_NEAR(e.energyPerInferenceMJ,
+                e.activePowerW * e.inferenceTimeMs, 1e-9);
+}
+
+TEST(EnergyTest, Fig11RpiHasHighestEnergyPerInference)
+{
+    // Fig. 11: RPi tops every model it runs; edge accelerators are
+    // orders of magnitude lower.
+    for (auto m : {em::ModelId::kResNet18, em::ModelId::kResNet50,
+                   em::ModelId::kMobileNetV2,
+                   em::ModelId::kInceptionV4}) {
+        const double rpi =
+            energy(m, eh::DeviceId::kRpi3).energyPerInferenceMJ;
+        for (auto d : {eh::DeviceId::kJetsonTx2,
+                       eh::DeviceId::kJetsonNano,
+                       eh::DeviceId::kMovidius}) {
+            EXPECT_GT(rpi, energy(m, d).energyPerInferenceMJ)
+                << em::modelInfo(m).name << " vs "
+                << eh::deviceName(d);
+        }
+    }
+}
+
+TEST(EnergyTest, Fig11EdgeTpuMobileNetIsLowest)
+{
+    // Paper: "as low as 11 mJ per inference (MobileNet-v2 on
+    // EdgeTPU)".
+    const double etpu = energy(em::ModelId::kMobileNetV2,
+                               eh::DeviceId::kEdgeTpu)
+                            .energyPerInferenceMJ;
+    EXPECT_LT(etpu, 60.0);
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano, eh::DeviceId::kMovidius,
+                   eh::DeviceId::kGtxTitanX}) {
+        EXPECT_GT(energy(em::ModelId::kMobileNetV2, d)
+                      .energyPerInferenceMJ,
+                  etpu)
+            << eh::deviceName(d);
+    }
+}
+
+TEST(EnergyTest, Fig11Tx2SavesEnergyOverGtxTitanX)
+{
+    // Paper: TX2 averages ~5x energy savings vs GTX Titan X.
+    std::vector<double> ratios;
+    for (auto m : {em::ModelId::kResNet18, em::ModelId::kResNet50,
+                   em::ModelId::kMobileNetV2,
+                   em::ModelId::kInceptionV4}) {
+        const double gtx =
+            energy(m, eh::DeviceId::kGtxTitanX).energyPerInferenceMJ;
+        const double tx2 =
+            energy(m, eh::DeviceId::kJetsonTx2).energyPerInferenceMJ;
+        ratios.push_back(gtx / tx2);
+    }
+    double min_ratio = 1e300;
+    for (double r : ratios)
+        min_ratio = std::min(min_ratio, r);
+    EXPECT_GT(min_ratio, 1.5);
+}
+
+TEST(EnergyTest, Fig12MovidiusHasLowestActivePower)
+{
+    // Fig. 12: Movidius Stick draws the least active power.
+    const double mov = energy(em::ModelId::kMobileNetV2,
+                              eh::DeviceId::kMovidius)
+                           .activePowerW;
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano, eh::DeviceId::kEdgeTpu,
+                   eh::DeviceId::kGtxTitanX}) {
+        EXPECT_LT(mov,
+                  energy(em::ModelId::kMobileNetV2, d).activePowerW)
+            << eh::deviceName(d);
+    }
+}
+
+TEST(EnergyTest, Fig12EdgeTpuHasLowestInferenceTime)
+{
+    // Fig. 12: EdgeTPU is the fastest platform (on models it runs).
+    const double etpu = energy(em::ModelId::kMobileNetV2,
+                               eh::DeviceId::kEdgeTpu)
+                            .inferenceTimeMs;
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano,
+                   eh::DeviceId::kMovidius}) {
+        EXPECT_LT(etpu,
+                  energy(em::ModelId::kMobileNetV2, d).inferenceTimeMs)
+            << eh::deviceName(d);
+    }
+}
+
+TEST(BatteryTest, IdleRateGivesIdleLife)
+{
+    auto dep = ef::bestDeployment(
+        em::buildModel(em::ModelId::kMobileNetV2),
+        eh::DeviceId::kRpi3);
+    ASSERT_TRUE(dep.has_value());
+    const auto& spec = eh::deviceSpec(eh::DeviceId::kRpi3);
+    // Rate 0: pure idle draw.
+    EXPECT_NEAR(ep::batteryLifeHours(dep->model, 10.0, 0.0),
+                10.0 / spec.idlePowerW, 1e-9);
+}
+
+TEST(BatteryTest, HigherRateDrainsFaster)
+{
+    auto dep = ef::bestDeployment(
+        em::buildModel(em::ModelId::kMobileNetV2),
+        eh::DeviceId::kJetsonNano);
+    ASSERT_TRUE(dep.has_value());
+    const double slow = ep::batteryLifeHours(dep->model, 20.0, 0.5);
+    const double fast = ep::batteryLifeHours(dep->model, 20.0, 10.0);
+    EXPECT_GT(slow, fast);
+    // Saturated duty cycle bounds life from below.
+    const double floor = 20.0 /
+        eh::deviceSpec(eh::DeviceId::kJetsonNano).averagePowerW;
+    EXPECT_GE(fast, floor * 0.99);
+}
+
+TEST(BatteryTest, RejectsBadArguments)
+{
+    auto dep = ef::bestDeployment(
+        em::buildModel(em::ModelId::kMobileNetV2),
+        eh::DeviceId::kJetsonNano);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_THROW(ep::batteryLifeHours(dep->model, 0.0, 1.0),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(ep::batteryLifeHours(dep->model, 5.0, -1.0),
+                 edgebench::InvalidArgumentError);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the emulated measurement instruments.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/power/meter.hh"
+
+namespace ep = edgebench::power;
+namespace ec = edgebench::core;
+
+TEST(UsbMultimeterTest, VoltageWithinRatedAccuracy)
+{
+    ec::Rng rng(1);
+    ep::UsbMultimeter meter(rng);
+    for (double v : {0.5, 1.0, 5.1, 12.0, 20.0}) {
+        const double m = meter.measureVoltage(v);
+        const double bound =
+            v * ep::UsbMultimeter::voltageErrorBound(v) + 1e-12;
+        EXPECT_NEAR(m, v, bound) << "v=" << v;
+    }
+}
+
+TEST(UsbMultimeterTest, CurrentWithinRatedAccuracy)
+{
+    ec::Rng rng(2);
+    ep::UsbMultimeter meter(rng);
+    for (double a : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+        const double m = meter.measureCurrent(a);
+        const double bound =
+            a * ep::UsbMultimeter::currentErrorBound(a) + 1e-12;
+        EXPECT_NEAR(m, a, bound) << "a=" << a;
+    }
+}
+
+TEST(UsbMultimeterTest, MeasurementIsDeterministicPerSeed)
+{
+    ec::Rng r1(3), r2(3);
+    ep::UsbMultimeter a(r1), b(r2);
+    EXPECT_DOUBLE_EQ(a.measureVoltage(5.1), b.measureVoltage(5.1));
+    EXPECT_DOUBLE_EQ(a.measureCurrent(0.5), b.measureCurrent(0.5));
+}
+
+TEST(UsbMultimeterTest, RejectsNegativeInputs)
+{
+    ec::Rng rng(4);
+    ep::UsbMultimeter meter(rng);
+    EXPECT_THROW(meter.measureVoltage(-1.0),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(meter.measureCurrent(-0.1),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(UsbMultimeterTest, RecordsAtOneHertz)
+{
+    ec::Rng rng(5);
+    ep::UsbMultimeter meter(rng);
+    const auto trace =
+        meter.record([](double) { return 2.5; }, 10.0);
+    EXPECT_EQ(trace.samples.size(), 11u);
+    for (std::size_t i = 1; i < trace.samples.size(); ++i)
+        EXPECT_DOUBLE_EQ(trace.samples[i].timeS -
+                             trace.samples[i - 1].timeS,
+                         1.0);
+}
+
+TEST(UsbMultimeterTest, TraceEnergyTracksTruth)
+{
+    ec::Rng rng(6);
+    ep::UsbMultimeter meter(rng);
+    // 2.5 W for 100 s = 250 J.
+    const auto trace =
+        meter.record([](double) { return 2.5; }, 100.0);
+    EXPECT_NEAR(trace.energyJ(), 250.0, 250.0 * 0.01);
+    EXPECT_NEAR(trace.averageW(), 2.5, 2.5 * 0.01);
+}
+
+TEST(PowerAnalyzerTest, WithinFiveMilliwatts)
+{
+    ec::Rng rng(7);
+    ep::PowerAnalyzer analyzer(rng);
+    for (double w : {0.1, 1.0, 9.65, 100.0}) {
+        EXPECT_NEAR(analyzer.measurePower(w), w,
+                    ep::PowerAnalyzer::kAccuracyW + 1e-12);
+    }
+}
+
+TEST(PowerAnalyzerTest, NeverReturnsNegativePower)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ec::Rng rng(seed);
+        ep::PowerAnalyzer analyzer(rng);
+        EXPECT_GE(analyzer.measurePower(0.0), 0.0);
+    }
+}
+
+TEST(PowerTraceTest, TimeVaryingLoadIntegration)
+{
+    ec::Rng rng(8);
+    ep::PowerAnalyzer analyzer(rng);
+    // Square wave: 10 W for t<50, 2 W after; total = 500+100 = 600 J.
+    const auto trace = analyzer.record(
+        [](double t) { return t < 50.0 ? 10.0 : 2.0; }, 100.0);
+    EXPECT_NEAR(trace.energyJ(), 600.0, 15.0);
+}
+
+TEST(PowerTraceTest, EmptyTraceIsZero)
+{
+    ep::PowerTrace t;
+    EXPECT_DOUBLE_EQ(t.energyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(t.averageW(), 0.0);
+}

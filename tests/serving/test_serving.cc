@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the request-serving simulator: queueing behaviour, energy
+ * accounting, and the thermal coupling that reproduces Fig. 14's RPi
+ * shutdown as a serving-availability event.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/serving/simulator.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace es = edgebench::serving;
+
+namespace
+{
+
+ef::InferenceSession
+deploy(em::ModelId m, eh::DeviceId d,
+       ef::FrameworkId fw = ef::FrameworkId::kPyTorch)
+{
+    auto dep = ef::tryDeploy(fw, em::buildModel(m), d);
+    EB_CHECK(dep.has_value(), "test deployment failed");
+    return ef::InferenceSession(std::move(dep->model));
+}
+
+} // namespace
+
+TEST(ServingTest, LightLoadHasNoQueueing)
+{
+    // TensorRT ResNet-18 on the Nano at 1 req/s: service ~19 ms, so
+    // p99 ~ service time.
+    auto s = deploy(em::ModelId::kResNet18, eh::DeviceId::kJetsonNano,
+                    ef::FrameworkId::kTensorRt);
+    es::ServingConfig cfg{.durationS = 600.0, .arrivalRateHz = 1.0,
+                          .seed = 3};
+    const auto rep = es::simulateServing(s, cfg);
+    EXPECT_FALSE(rep.thermalShutdown);
+    EXPECT_EQ(rep.dropped, 0);
+    const double service = s.run(1).perInferenceMs;
+    EXPECT_NEAR(rep.p50Ms, service, service * 0.15);
+    EXPECT_LT(rep.p99Ms, service * 1.5);
+    EXPECT_LT(rep.utilization, 0.1);
+}
+
+TEST(ServingTest, OverloadGrowsTailLatency)
+{
+    // Offered load ~4x capacity: the queue builds without bound and
+    // the tail explodes while throughput caps at the service rate.
+    auto s = deploy(em::ModelId::kResNet50, eh::DeviceId::kJetsonNano);
+    const double service_s = s.run(1).perInferenceMs / 1e3;
+    es::ServingConfig cfg{.durationS = 120.0, .seed = 4,
+                          .enableThermal = false};
+    cfg.arrivalRateHz = 4.0 / service_s; // 4x capacity
+    const auto rep = es::simulateServing(s, cfg);
+    EXPECT_GT(rep.utilization, 0.95);
+    EXPECT_GT(rep.p99Ms, 1.5 * rep.p50Ms);
+    EXPECT_GT(rep.p99Ms, s.run(1).perInferenceMs * 10.0);
+    // Throughput is bounded by the service rate.
+    EXPECT_LT(rep.throughputHz, 1.05 / service_s);
+}
+
+TEST(ServingTest, DeterministicArrivalsAreReproducible)
+{
+    auto s = deploy(em::ModelId::kCifarNet, eh::DeviceId::kXeon);
+    es::ServingConfig cfg{.durationS = 100.0, .arrivalRateHz = 5.0,
+                          .deterministicArrivals = true, .seed = 7,
+                          .serviceJitter = 0.0,
+                          .enableThermal = false};
+    const auto a = es::simulateServing(s, cfg);
+    const auto b = es::simulateServing(s, cfg);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_DOUBLE_EQ(a.p99Ms, b.p99Ms);
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+    // 5 Hz for 100 s ~ 500 arrivals.
+    EXPECT_NEAR(static_cast<double>(a.offered), 500.0, 2.0);
+}
+
+TEST(ServingTest, EnergyIsBetweenIdleAndActiveEnvelope)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonTx2);
+    es::ServingConfig cfg{.durationS = 300.0, .arrivalRateHz = 2.0,
+                          .seed = 9, .enableThermal = false};
+    const auto rep = es::simulateServing(s, cfg);
+    const auto& d = eh::deviceSpec(eh::DeviceId::kJetsonTx2);
+    EXPECT_GT(rep.energyJ, d.idlePowerW * 300.0 * 0.95);
+    EXPECT_LT(rep.energyJ, d.averagePowerW * 300.0 * 1.05);
+    EXPECT_GT(rep.energyPerRequestJ, 0.0);
+}
+
+TEST(ServingTest, SustainedLoadShutsDownTheRpi)
+{
+    // Saturating the RPi with Inception-class work trips the Fig. 14
+    // thermal limit, and later requests are dropped.
+    auto s = deploy(em::ModelId::kInceptionV4, eh::DeviceId::kRpi3,
+                    ef::FrameworkId::kTensorFlow);
+    es::ServingConfig cfg{.durationS = 3600.0,
+                          .arrivalRateHz = 1.0, // far above capacity
+                          .seed = 11};
+    const auto rep = es::simulateServing(s, cfg);
+    EXPECT_TRUE(rep.thermalShutdown);
+    EXPECT_GT(rep.shutdownAtS, 0.0);
+    EXPECT_GT(rep.dropped, 0);
+    EXPECT_GT(rep.peakSurfaceC, 55.0);
+}
+
+TEST(ServingTest, ModerateRpiLoadThrottlesWithoutDying)
+{
+    // ~50% unthrottled utilization heats the RPi past the 60 degC
+    // throttle point; the stretched service times then raise
+    // utilization further, but hysteresis keeps it oscillating below
+    // the 70 degC shutdown trip.
+    auto s = deploy(em::ModelId::kMobileNetV2, eh::DeviceId::kRpi3,
+                    ef::FrameworkId::kTfLite);
+    const double service_s = s.run(1).perInferenceMs / 1e3;
+    es::ServingConfig cfg{.durationS = 5400.0, .seed = 17};
+    cfg.arrivalRateHz = 0.5 / service_s;
+    const auto rep = es::simulateServing(s, cfg);
+    EXPECT_TRUE(rep.thermalThrottled);
+    EXPECT_FALSE(rep.thermalShutdown);
+    // Throttled service shows up in the tail.
+    EXPECT_GT(rep.p99Ms, s.run(1).perInferenceMs * 1.3);
+}
+
+TEST(ServingTest, MovidiusNeverOverheats)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kMovidius,
+                    ef::FrameworkId::kMovidiusNcsdk);
+    es::ServingConfig cfg{.durationS = 3600.0,
+                          .arrivalRateHz = 50.0, // saturate
+                          .seed = 13};
+    const auto rep = es::simulateServing(s, cfg);
+    EXPECT_FALSE(rep.thermalShutdown);
+    EXPECT_LT(rep.peakSurfaceC, 35.0);
+    EXPECT_GT(rep.utilization, 0.9);
+}
+
+TEST(ServingTest, HpcPlatformsRunWithoutThermalModel)
+{
+    auto s = deploy(em::ModelId::kResNet50, eh::DeviceId::kTitanXp);
+    es::ServingConfig cfg{.durationS = 60.0, .arrivalRateHz = 10.0,
+                          .seed = 15};
+    const auto rep = es::simulateServing(s, cfg);
+    EXPECT_FALSE(rep.thermalShutdown);
+    EXPECT_DOUBLE_EQ(rep.peakSurfaceC, 0.0);
+    EXPECT_GT(rep.served, 0);
+}
+
+TEST(ServingTest, InvalidConfigsThrow)
+{
+    auto s = deploy(em::ModelId::kCifarNet, eh::DeviceId::kXeon);
+    es::ServingConfig cfg;
+    cfg.durationS = 0.0;
+    EXPECT_THROW(es::simulateServing(s, cfg),
+                 edgebench::InvalidArgumentError);
+    cfg.durationS = 10.0;
+    cfg.arrivalRateHz = 0.0;
+    EXPECT_THROW(es::simulateServing(s, cfg),
+                 edgebench::InvalidArgumentError);
+}

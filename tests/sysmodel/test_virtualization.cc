@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Virtualization-overhead tests (Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/sysmodel/virtualization.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace es = edgebench::sysmodel;
+
+namespace
+{
+
+ef::CompiledModel
+deployOnRpi(em::ModelId m)
+{
+    auto d = ef::tryDeploy(ef::FrameworkId::kTensorFlow,
+                           em::buildModel(m), eh::DeviceId::kRpi3);
+    EXPECT_TRUE(d.has_value());
+    return d->model;
+}
+
+} // namespace
+
+TEST(VirtualizationTest, EnvironmentNames)
+{
+    EXPECT_EQ(es::environmentName(es::ExecEnvironment::kBareMetal),
+              "Bare Metal");
+    EXPECT_EQ(es::environmentName(es::ExecEnvironment::kDocker),
+              "Docker");
+}
+
+TEST(VirtualizationTest, BareMetalMatchesRoofline)
+{
+    auto m = deployOnRpi(em::ModelId::kResNet18);
+    EXPECT_DOUBLE_EQ(
+        es::environmentLatencyMs(m, es::ExecEnvironment::kBareMetal),
+        m.latencyMs());
+}
+
+TEST(VirtualizationTest, DockerIsSlowerButWithinFivePercent)
+{
+    // Fig. 13: "the overhead is almost negligible, within 5%, in all
+    // cases" on the RPi.
+    for (auto model : {em::ModelId::kResNet18, em::ModelId::kResNet50,
+                       em::ModelId::kMobileNetV2,
+                       em::ModelId::kInceptionV4,
+                       em::ModelId::kTinyYolo}) {
+        auto m = deployOnRpi(model);
+        const double slowdown = es::dockerSlowdown(m);
+        EXPECT_GT(slowdown, 0.0) << em::modelInfo(model).name;
+        EXPECT_LT(slowdown, 0.05) << em::modelInfo(model).name;
+    }
+}
+
+TEST(VirtualizationTest, OverheadHitsDispatchHeavyModelsHarder)
+{
+    // MobileNet-v2 has far more ops per FLOP than ResNet-18, so its
+    // relative Docker penalty is larger.
+    const double mnv2 =
+        es::dockerSlowdown(deployOnRpi(em::ModelId::kMobileNetV2));
+    const double vgg = es::dockerSlowdown(
+        deployOnRpi(em::ModelId::kResNet18));
+    EXPECT_GT(mnv2, vgg);
+}
+
+TEST(VirtualizationTest, ModelCoefficientsAreSane)
+{
+    const auto& v = es::dockerModel();
+    EXPECT_GT(v.overheadOnOverheadTime, 1.0);
+    EXPECT_GE(v.overheadOnComputeTime, 1.0);
+    EXPECT_LT(v.overheadOnComputeTime, 1.05);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Thermal simulator tests (Fig. 14 / Table VI).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/thermal/thermal.hh"
+
+namespace et = edgebench::thermal;
+namespace eh = edgebench::hw;
+
+TEST(CoolingSpecTest, TableVIEntries)
+{
+    const auto& rpi = et::coolingSpec(eh::DeviceId::kRpi3);
+    EXPECT_TRUE(rpi.heatsink);
+    EXPECT_FALSE(rpi.fan);
+    EXPECT_DOUBLE_EQ(rpi.idleTempC, 43.3);
+
+    const auto& tx2 = et::coolingSpec(eh::DeviceId::kJetsonTx2);
+    EXPECT_TRUE(tx2.fan);
+    EXPECT_TRUE(tx2.fanActivates);
+    EXPECT_DOUBLE_EQ(tx2.idleTempC, 32.4);
+
+    const auto& mov = et::coolingSpec(eh::DeviceId::kMovidius);
+    EXPECT_FALSE(mov.fan);
+    EXPECT_DOUBLE_EQ(mov.idleTempC, 25.8);
+}
+
+TEST(CoolingSpecTest, HpcPlatformsAreNotInstrumented)
+{
+    EXPECT_THROW(et::coolingSpec(eh::DeviceId::kXeon),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(et::thermalParams(eh::DeviceId::kGtxTitanX),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(ThermalSimTest, StartsAtCalibratedIdleTemperature)
+{
+    // The RC parameters are calibrated so that idle power produces
+    // Table VI's idle surface temperatures at 25 degC ambient.
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano, eh::DeviceId::kEdgeTpu,
+                   eh::DeviceId::kMovidius}) {
+        et::ThermalSimulator sim(d);
+        EXPECT_NEAR(sim.surfaceC(), et::coolingSpec(d).idleTempC, 1.0)
+            << eh::deviceName(d);
+    }
+}
+
+TEST(ThermalSimTest, JunctionRunsHotterThanSurface)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kRpi3);
+    sim.step(2.73, 60.0);
+    EXPECT_GT(sim.junctionC(), sim.surfaceC());
+}
+
+TEST(ThermalSimTest, TemperatureRisesUntilFanActivates)
+{
+    // Heating is monotonic while the fan is off; once the Nano's fan
+    // trips, the surface is allowed to dip toward the new (cooler)
+    // steady state.
+    et::ThermalSimulator sim(eh::DeviceId::kJetsonNano);
+    double prev = sim.surfaceC();
+    bool fan_seen = false;
+    for (int i = 0; i < 60; ++i) {
+        sim.step(4.58, 10.0);
+        fan_seen |= sim.fanOn();
+        if (!fan_seen)
+            EXPECT_GE(sim.surfaceC(), prev - 1e-9) << "step " << i;
+        prev = sim.surfaceC();
+    }
+    EXPECT_TRUE(fan_seen);
+}
+
+TEST(ThermalSimTest, SteadyStateIsLoadIndependentOfPath)
+{
+    // Same power, different step sizes -> same steady state.
+    et::ThermalSimulator a(eh::DeviceId::kMovidius);
+    et::ThermalSimulator b(eh::DeviceId::kMovidius);
+    auto ta = a.runToSteadyState(1.52);
+    for (int i = 0; i < 4000; ++i)
+        b.step(1.52, 1.0);
+    EXPECT_NEAR(ta.finalSurfaceC(), b.surfaceC(), 0.2);
+}
+
+TEST(ThermalSimTest, Tx2FanActivatesUnderLoad)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kJetsonTx2);
+    auto trace = sim.runToSteadyState(9.65);
+    EXPECT_TRUE(trace.sawEvent(et::ThermalEvent::kFanOn));
+    EXPECT_TRUE(sim.fanOn());
+    // With the fan, the surface stays well below the no-fan value.
+    const auto& p = et::thermalParams(eh::DeviceId::kJetsonTx2);
+    EXPECT_LT(trace.finalSurfaceC(),
+              25.0 + 9.65 * p.rHeatsinkAmbient);
+}
+
+TEST(ThermalSimTest, NanoFanAlsoActivates)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kJetsonNano);
+    auto trace = sim.runToSteadyState(4.58);
+    EXPECT_TRUE(trace.sawEvent(et::ThermalEvent::kFanOn));
+}
+
+TEST(ThermalSimTest, RpiThrottlesBeforeShutdown)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kRpi3);
+    auto trace = sim.runToSteadyState(2.73);
+    ASSERT_TRUE(trace.sawEvent(et::ThermalEvent::kThrottleOn));
+    ASSERT_TRUE(trace.sawEvent(et::ThermalEvent::kShutdown));
+    double throttle_at = -1.0, shutdown_at = -1.0;
+    for (const auto& e : trace.events) {
+        if (e.event == et::ThermalEvent::kThrottleOn &&
+            throttle_at < 0.0)
+            throttle_at = e.timeS;
+        if (e.event == et::ThermalEvent::kShutdown)
+            shutdown_at = e.timeS;
+    }
+    EXPECT_LT(throttle_at, shutdown_at);
+    EXPECT_DOUBLE_EQ(sim.slowdownFactor(), 1.0) << "off after death";
+}
+
+TEST(ThermalSimTest, ThrottleHysteresisReleases)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kRpi3);
+    // Heat just past the throttle point, then idle down.
+    while (!sim.throttled() && !sim.shutDown())
+        sim.step(2.73, 5.0);
+    ASSERT_TRUE(sim.throttled());
+    EXPECT_GT(sim.slowdownFactor(), 1.0);
+    auto trace = sim.simulate([](double) { return 0.5; }, 3600.0,
+                              5.0);
+    EXPECT_TRUE(trace.sawEvent(et::ThermalEvent::kThrottleOff));
+    EXPECT_FALSE(sim.throttled());
+}
+
+TEST(ThermalSimTest, FannedDevicesNeverThrottle)
+{
+    for (auto d : {eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano}) {
+        et::ThermalSimulator sim(d);
+        auto trace = sim.runToSteadyState(
+            eh::deviceSpec(d).averagePowerW);
+        EXPECT_FALSE(trace.sawEvent(et::ThermalEvent::kThrottleOn))
+            << eh::deviceName(d);
+    }
+}
+
+TEST(ThermalSimTest, RpiShutsDownUnderSustainedLoad)
+{
+    // Fig. 14's "Device Shutdown" annotation on the RPi.
+    et::ThermalSimulator sim(eh::DeviceId::kRpi3);
+    auto trace = sim.runToSteadyState(2.73);
+    EXPECT_TRUE(trace.sawEvent(et::ThermalEvent::kShutdown));
+    EXPECT_TRUE(sim.shutDown());
+    // After shutdown the device cools back toward ambient.
+    const double at_shutdown = trace.events.front().timeS;
+    EXPECT_GT(at_shutdown, 0.0);
+}
+
+TEST(ThermalSimTest, MovidiusShowsSmallestTemperatureRise)
+{
+    // Fig. 14: Movidius has the lowest variation despite no fan.
+    double movidius_rise = 0.0;
+    double max_other_rise = 0.0;
+    for (auto d : {eh::DeviceId::kRpi3, eh::DeviceId::kJetsonTx2,
+                   eh::DeviceId::kJetsonNano, eh::DeviceId::kEdgeTpu,
+                   eh::DeviceId::kMovidius}) {
+        et::ThermalSimulator sim(d);
+        const double idle = sim.surfaceC();
+        const double load = eh::deviceSpec(d).averagePowerW;
+        // Compare pre-shutdown peaks.
+        auto trace = sim.simulate([load](double) { return load; },
+                                  600.0, 5.0);
+        double peak = idle;
+        for (double t : trace.surfaceC)
+            peak = std::max(peak, t);
+        const double rise = peak - idle;
+        if (d == eh::DeviceId::kMovidius)
+            movidius_rise = rise;
+        else
+            max_other_rise = std::max(max_other_rise, rise);
+    }
+    EXPECT_LT(movidius_rise, max_other_rise);
+    EXPECT_LT(movidius_rise, 3.0);
+}
+
+TEST(ThermalSimTest, ShutdownCutsPower)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kRpi3);
+    auto trace = sim.simulate([](double) { return 2.73; }, 3600.0,
+                              10.0);
+    ASSERT_TRUE(trace.sawEvent(et::ThermalEvent::kShutdown));
+    // Final temperature must be below the peak (device cooled off).
+    double peak = 0.0;
+    for (double t : trace.surfaceC)
+        peak = std::max(peak, t);
+    EXPECT_LT(trace.finalSurfaceC(), peak - 1.0);
+}
+
+TEST(ThermalSimTest, FanHysteresisEmitsOffEvent)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kJetsonTx2);
+    // Heat up under load, then idle down.
+    auto heat = sim.simulate([](double) { return 9.65; }, 1200.0, 5.0);
+    ASSERT_TRUE(heat.sawEvent(et::ThermalEvent::kFanOn));
+    auto cool = sim.simulate([](double) { return 1.9; }, 3600.0, 5.0);
+    EXPECT_TRUE(cool.sawEvent(et::ThermalEvent::kFanOff));
+}
+
+TEST(ThermalSimTest, InvalidStepArgumentsThrow)
+{
+    et::ThermalSimulator sim(eh::DeviceId::kJetsonNano);
+    EXPECT_THROW(sim.step(1.0, 0.0), edgebench::InvalidArgumentError);
+    EXPECT_THROW(sim.step(-1.0, 1.0), edgebench::InvalidArgumentError);
+}

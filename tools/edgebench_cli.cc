@@ -1,0 +1,261 @@
+/**
+ * @file
+ * edgebench — the command-line front end of edgebench-sim.
+ *
+ *   edgebench models                         list the model zoo
+ *   edgebench devices                        list platforms
+ *   edgebench frameworks <device>            frameworks for a device
+ *   edgebench summary <model>                layer table
+ *   edgebench dot <model>                    Graphviz rendering
+ *   edgebench save <model> <file.ebg>        serialize a zoo model
+ *   edgebench show <file.ebg>                summary of a saved graph
+ *   edgebench predict <model> <device> [fw]  latency + energy
+ *   edgebench compat                         Table V matrix
+ *   edgebench partition <model> <device> <lan|wifi|lte>
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/distrib/partition.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/graph/export.hh"
+#include "edgebench/graph/serialize.hh"
+#include "edgebench/harness/report.hh"
+#include "edgebench/power/energy.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: edgebench <command> [args]\n"
+        << "  models | devices | frameworks <device> | compat\n"
+        << "  summary <model> | dot <model>\n"
+        << "  save <model> <file.ebg> | show <file.ebg>\n"
+        << "  predict <model> <device> [framework]\n"
+        << "  partition <model> <edge-device> <lan|wifi|lte>\n";
+    return 2;
+}
+
+int
+cmdModels()
+{
+    harness::Table t({"Model", "Input", "GFLOP", "MParams",
+                      "FLOP/Param"});
+    for (auto id : models::allModels()) {
+        const auto g = models::buildModel(id);
+        const auto st = g.stats();
+        t.addRow({g.name(), g.inputDescription(),
+                  harness::Table::num(st.macs / 1e9, 2),
+                  harness::Table::num(st.params / 1e6, 2),
+                  harness::Table::num(st.flopPerParam, 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdDevices()
+{
+    harness::Table t({"Device", "Category", "Unit", "Idle W",
+                      "Avg W"});
+    for (auto id : hw::allDevices()) {
+        const auto& d = hw::deviceSpec(id);
+        t.addRow({d.name, hw::categoryName(d.category),
+                  d.preferredUnit().name,
+                  harness::Table::num(d.idlePowerW, 2),
+                  harness::Table::num(d.averagePowerW, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdFrameworks(const std::string& device)
+{
+    const auto id = hw::deviceByName(device);
+    for (auto fw : frameworks::frameworksFor(id))
+        std::cout << frameworks::frameworkName(fw) << "\n";
+    return 0;
+}
+
+int
+cmdSummary(const std::string& model)
+{
+    const auto g = models::buildModel(models::modelByName(model));
+    graph::printSummary(g, std::cout);
+    return 0;
+}
+
+int
+cmdDot(const std::string& model)
+{
+    const auto g = models::buildModel(models::modelByName(model));
+    graph::writeDot(g, std::cout);
+    return 0;
+}
+
+int
+cmdSave(const std::string& model, const std::string& path)
+{
+    const auto g = models::buildModel(models::modelByName(model));
+    std::ofstream out(path);
+    EB_CHECK(out.good(), "cannot open '" << path << "' for writing");
+    graph::writeGraphText(g, out);
+    std::cout << "wrote " << g.numNodes() << " nodes to " << path
+              << "\n";
+    return 0;
+}
+
+int
+cmdShow(const std::string& path)
+{
+    std::ifstream in(path);
+    EB_CHECK(in.good(), "cannot open '" << path << "'");
+    const auto g = graph::readGraphText(in);
+    graph::printSummary(g, std::cout);
+    return 0;
+}
+
+int
+cmdPredict(const std::string& model, const std::string& device,
+           const std::string& fw_name)
+{
+    const auto g = models::buildModel(models::modelByName(model));
+    const auto dev = hw::deviceByName(device);
+
+    std::optional<frameworks::Deployment> dep;
+    if (fw_name.empty()) {
+        dep = frameworks::bestDeployment(g, dev);
+    } else {
+        dep = frameworks::tryDeploy(
+            frameworks::frameworkByName(fw_name), g, dev);
+    }
+    if (!dep) {
+        std::cout << model << " is not deployable on " << device
+                  << (fw_name.empty() ? ""
+                                      : " with " + fw_name)
+                  << "\n";
+        return 1;
+    }
+    const auto e = power::energyPerInference(dep->model);
+    const auto cost = dep->model.latency();
+    std::cout << model << " on " << device << " via "
+              << frameworks::frameworkName(dep->framework) << ":\n"
+              << "  latency:        "
+              << harness::Table::num(cost.totalMs, 2) << " ms\n"
+              << "  compute time:   "
+              << harness::Table::num(cost.computeMs, 2) << " ms\n"
+              << "  memory time:    "
+              << harness::Table::num(cost.memoryMs, 2) << " ms\n"
+              << "  dispatch/other: "
+              << harness::Table::num(cost.overheadMs, 2) << " ms\n"
+              << "  active power:   "
+              << harness::Table::num(e.activePowerW, 2) << " W\n"
+              << "  energy:         "
+              << harness::Table::num(e.energyPerInferenceMJ, 1)
+              << " mJ/inference\n";
+    if (dep->model.usedDynamicGraphFallback)
+        std::cout << "  note: dynamic-graph swap fallback engaged\n";
+    return 0;
+}
+
+int
+cmdCompat()
+{
+    std::vector<std::string> headers{"Model"};
+    for (auto d : hw::edgeDevices())
+        headers.push_back(hw::deviceName(d));
+    harness::Table t(std::move(headers));
+    for (auto m : models::allModels()) {
+        std::vector<std::string> cells{models::modelInfo(m).name};
+        for (auto d : hw::edgeDevices())
+            cells.push_back(frameworks::markSymbol(
+                frameworks::deploymentMark(m, d)));
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdPartition(const std::string& model, const std::string& device,
+             const std::string& link_name)
+{
+    distrib::LinkModel link;
+    if (link_name == "lan")
+        link = distrib::lanLink();
+    else if (link_name == "wifi")
+        link = distrib::wifiLink();
+    else if (link_name == "lte")
+        link = distrib::lteLink();
+    else
+        return usage();
+
+    const auto g = models::buildModel(models::modelByName(model));
+    auto edge =
+        frameworks::bestDeployment(g, hw::deviceByName(device));
+    auto cloud = frameworks::tryDeploy(
+        frameworks::FrameworkId::kPyTorch, g,
+        hw::DeviceId::kTitanXp);
+    EB_CHECK(edge && cloud, "model undeployable on an endpoint");
+    const auto r = distrib::partition(edge->model, cloud->model, link);
+    std::cout << "edge only:  "
+              << harness::Table::num(r.edgeOnlyMs, 1) << " ms\n"
+              << "cloud only: "
+              << harness::Table::num(r.cloudOnlyMs, 1) << " ms\n"
+              << "best:       "
+              << harness::Table::num(r.best.totalMs, 1)
+              << " ms (cut: "
+              << (r.best.cutAfter < 0 ? "(cloud only)"
+                                      : r.best.boundaryName)
+              << ")\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.empty())
+            return usage();
+        const auto& cmd = args[0];
+        if (cmd == "models")
+            return cmdModels();
+        if (cmd == "devices")
+            return cmdDevices();
+        if (cmd == "frameworks" && args.size() == 2)
+            return cmdFrameworks(args[1]);
+        if (cmd == "summary" && args.size() == 2)
+            return cmdSummary(args[1]);
+        if (cmd == "dot" && args.size() == 2)
+            return cmdDot(args[1]);
+        if (cmd == "save" && args.size() == 3)
+            return cmdSave(args[1], args[2]);
+        if (cmd == "show" && args.size() == 2)
+            return cmdShow(args[1]);
+        if (cmd == "predict" &&
+            (args.size() == 3 || args.size() == 4))
+            return cmdPredict(args[1], args[2],
+                              args.size() == 4 ? args[3] : "");
+        if (cmd == "compat")
+            return cmdCompat();
+        if (cmd == "partition" && args.size() == 4)
+            return cmdPartition(args[1], args[2], args[3]);
+        return usage();
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
