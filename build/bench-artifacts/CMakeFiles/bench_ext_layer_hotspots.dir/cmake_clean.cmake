@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_layer_hotspots"
+  "../bench/bench_ext_layer_hotspots.pdb"
+  "CMakeFiles/bench_ext_layer_hotspots.dir/bench_ext_layer_hotspots.cc.o"
+  "CMakeFiles/bench_ext_layer_hotspots.dir/bench_ext_layer_hotspots.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_layer_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

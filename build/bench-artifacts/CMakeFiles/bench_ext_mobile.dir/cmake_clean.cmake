@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_mobile"
+  "../bench/bench_ext_mobile.pdb"
+  "CMakeFiles/bench_ext_mobile.dir/bench_ext_mobile.cc.o"
+  "CMakeFiles/bench_ext_mobile.dir/bench_ext_mobile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

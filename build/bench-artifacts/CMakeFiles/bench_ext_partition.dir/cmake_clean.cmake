@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_partition"
+  "../bench/bench_ext_partition.pdb"
+  "CMakeFiles/bench_ext_partition.dir/bench_ext_partition.cc.o"
+  "CMakeFiles/bench_ext_partition.dir/bench_ext_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

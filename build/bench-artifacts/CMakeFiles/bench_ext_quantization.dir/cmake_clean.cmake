@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_quantization"
+  "../bench/bench_ext_quantization.pdb"
+  "CMakeFiles/bench_ext_quantization.dir/bench_ext_quantization.cc.o"
+  "CMakeFiles/bench_ext_quantization.dir/bench_ext_quantization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_recurrent"
+  "../bench/bench_ext_recurrent.pdb"
+  "CMakeFiles/bench_ext_recurrent.dir/bench_ext_recurrent.cc.o"
+  "CMakeFiles/bench_ext_recurrent.dir/bench_ext_recurrent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_recurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

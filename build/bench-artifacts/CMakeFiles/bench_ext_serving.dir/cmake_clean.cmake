@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_serving"
+  "../bench/bench_ext_serving.pdb"
+  "CMakeFiles/bench_ext_serving.dir/bench_ext_serving.cc.o"
+  "CMakeFiles/bench_ext_serving.dir/bench_ext_serving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_edge_inference"
+  "../bench/bench_fig02_edge_inference.pdb"
+  "CMakeFiles/bench_fig02_edge_inference.dir/bench_fig02_edge_inference.cc.o"
+  "CMakeFiles/bench_fig02_edge_inference.dir/bench_fig02_edge_inference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_edge_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

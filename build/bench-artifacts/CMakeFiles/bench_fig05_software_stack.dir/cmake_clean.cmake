@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_software_stack"
+  "../bench/bench_fig05_software_stack.pdb"
+  "CMakeFiles/bench_fig05_software_stack.dir/bench_fig05_software_stack.cc.o"
+  "CMakeFiles/bench_fig05_software_stack.dir/bench_fig05_software_stack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_software_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

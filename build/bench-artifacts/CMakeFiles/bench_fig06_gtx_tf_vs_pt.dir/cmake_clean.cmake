@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_gtx_tf_vs_pt"
+  "../bench/bench_fig06_gtx_tf_vs_pt.pdb"
+  "CMakeFiles/bench_fig06_gtx_tf_vs_pt.dir/bench_fig06_gtx_tf_vs_pt.cc.o"
+  "CMakeFiles/bench_fig06_gtx_tf_vs_pt.dir/bench_fig06_gtx_tf_vs_pt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_gtx_tf_vs_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_gtx_tf_vs_pt.
+# This may be replaced when dependencies are built.

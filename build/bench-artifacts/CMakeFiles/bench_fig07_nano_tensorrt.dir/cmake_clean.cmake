@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_nano_tensorrt"
+  "../bench/bench_fig07_nano_tensorrt.pdb"
+  "CMakeFiles/bench_fig07_nano_tensorrt.dir/bench_fig07_nano_tensorrt.cc.o"
+  "CMakeFiles/bench_fig07_nano_tensorrt.dir/bench_fig07_nano_tensorrt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_nano_tensorrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_rpi_tflite"
+  "../bench/bench_fig08_rpi_tflite.pdb"
+  "CMakeFiles/bench_fig08_rpi_tflite.dir/bench_fig08_rpi_tflite.cc.o"
+  "CMakeFiles/bench_fig08_rpi_tflite.dir/bench_fig08_rpi_tflite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_rpi_tflite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

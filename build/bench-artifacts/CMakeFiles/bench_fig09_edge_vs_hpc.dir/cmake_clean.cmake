@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_edge_vs_hpc"
+  "../bench/bench_fig09_edge_vs_hpc.pdb"
+  "CMakeFiles/bench_fig09_edge_vs_hpc.dir/bench_fig09_edge_vs_hpc.cc.o"
+  "CMakeFiles/bench_fig09_edge_vs_hpc.dir/bench_fig09_edge_vs_hpc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_edge_vs_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

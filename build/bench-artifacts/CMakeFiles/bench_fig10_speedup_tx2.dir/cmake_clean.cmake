@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_speedup_tx2"
+  "../bench/bench_fig10_speedup_tx2.pdb"
+  "CMakeFiles/bench_fig10_speedup_tx2.dir/bench_fig10_speedup_tx2.cc.o"
+  "CMakeFiles/bench_fig10_speedup_tx2.dir/bench_fig10_speedup_tx2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_speedup_tx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

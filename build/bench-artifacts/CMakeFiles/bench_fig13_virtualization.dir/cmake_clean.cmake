@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_virtualization"
+  "../bench/bench_fig13_virtualization.pdb"
+  "CMakeFiles/bench_fig13_virtualization.dir/bench_fig13_virtualization.cc.o"
+  "CMakeFiles/bench_fig13_virtualization.dir/bench_fig13_virtualization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_temperature"
+  "../bench/bench_fig14_temperature.pdb"
+  "CMakeFiles/bench_fig14_temperature.dir/bench_fig14_temperature.cc.o"
+  "CMakeFiles/bench_fig14_temperature.dir/bench_fig14_temperature.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_frameworks"
+  "../bench/bench_table2_frameworks.pdb"
+  "CMakeFiles/bench_table2_frameworks.dir/bench_table2_frameworks.cc.o"
+  "CMakeFiles/bench_table2_frameworks.dir/bench_table2_frameworks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_compat"
+  "../bench/bench_table5_compat.pdb"
+  "CMakeFiles/bench_table5_compat.dir/bench_table5_compat.cc.o"
+  "CMakeFiles/bench_table5_compat.dir/bench_table5_compat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_cooling"
+  "../bench/bench_table6_cooling.pdb"
+  "CMakeFiles/bench_table6_cooling.dir/bench_table6_cooling.cc.o"
+  "CMakeFiles/bench_table6_cooling.dir/bench_table6_cooling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_edge_partition.dir/cloud_edge_partition.cpp.o"
+  "CMakeFiles/cloud_edge_partition.dir/cloud_edge_partition.cpp.o.d"
+  "cloud_edge_partition"
+  "cloud_edge_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_edge_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_mission.dir/drone_mission.cpp.o"
+  "CMakeFiles/drone_mission.dir/drone_mission.cpp.o.d"
+  "drone_mission"
+  "drone_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

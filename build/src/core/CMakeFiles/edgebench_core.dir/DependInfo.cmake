@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/common.cc" "src/core/CMakeFiles/edgebench_core.dir/common.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/common.cc.o.d"
+  "/root/repo/src/core/geometry.cc" "src/core/CMakeFiles/edgebench_core.dir/geometry.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/geometry.cc.o.d"
+  "/root/repo/src/core/kernels.cc" "src/core/CMakeFiles/edgebench_core.dir/kernels.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/kernels.cc.o.d"
+  "/root/repo/src/core/kernels_int8.cc" "src/core/CMakeFiles/edgebench_core.dir/kernels_int8.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/kernels_int8.cc.o.d"
+  "/root/repo/src/core/kernels_rnn.cc" "src/core/CMakeFiles/edgebench_core.dir/kernels_rnn.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/kernels_rnn.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/edgebench_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/quant.cc" "src/core/CMakeFiles/edgebench_core.dir/quant.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/quant.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/edgebench_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/core/CMakeFiles/edgebench_core.dir/tensor.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/tensor.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/edgebench_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/edgebench_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_core.dir/common.cc.o"
+  "CMakeFiles/edgebench_core.dir/common.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/geometry.cc.o"
+  "CMakeFiles/edgebench_core.dir/geometry.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/kernels.cc.o"
+  "CMakeFiles/edgebench_core.dir/kernels.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/kernels_int8.cc.o"
+  "CMakeFiles/edgebench_core.dir/kernels_int8.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/kernels_rnn.cc.o"
+  "CMakeFiles/edgebench_core.dir/kernels_rnn.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/parallel.cc.o"
+  "CMakeFiles/edgebench_core.dir/parallel.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/quant.cc.o"
+  "CMakeFiles/edgebench_core.dir/quant.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/rng.cc.o"
+  "CMakeFiles/edgebench_core.dir/rng.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/tensor.cc.o"
+  "CMakeFiles/edgebench_core.dir/tensor.cc.o.d"
+  "CMakeFiles/edgebench_core.dir/types.cc.o"
+  "CMakeFiles/edgebench_core.dir/types.cc.o.d"
+  "libedgebench_core.a"
+  "libedgebench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

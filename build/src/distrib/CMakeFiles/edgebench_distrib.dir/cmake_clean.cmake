@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_distrib.dir/partition.cc.o"
+  "CMakeFiles/edgebench_distrib.dir/partition.cc.o.d"
+  "libedgebench_distrib.a"
+  "libedgebench_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_frameworks.dir/calibration.cc.o"
+  "CMakeFiles/edgebench_frameworks.dir/calibration.cc.o.d"
+  "CMakeFiles/edgebench_frameworks.dir/deploy.cc.o"
+  "CMakeFiles/edgebench_frameworks.dir/deploy.cc.o.d"
+  "CMakeFiles/edgebench_frameworks.dir/framework.cc.o"
+  "CMakeFiles/edgebench_frameworks.dir/framework.cc.o.d"
+  "CMakeFiles/edgebench_frameworks.dir/runtime.cc.o"
+  "CMakeFiles/edgebench_frameworks.dir/runtime.cc.o.d"
+  "libedgebench_frameworks.a"
+  "libedgebench_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/export.cc" "src/graph/CMakeFiles/edgebench_graph.dir/export.cc.o" "gcc" "src/graph/CMakeFiles/edgebench_graph.dir/export.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/edgebench_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/edgebench_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/interpreter.cc" "src/graph/CMakeFiles/edgebench_graph.dir/interpreter.cc.o" "gcc" "src/graph/CMakeFiles/edgebench_graph.dir/interpreter.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/graph/CMakeFiles/edgebench_graph.dir/op.cc.o" "gcc" "src/graph/CMakeFiles/edgebench_graph.dir/op.cc.o.d"
+  "/root/repo/src/graph/passes.cc" "src/graph/CMakeFiles/edgebench_graph.dir/passes.cc.o" "gcc" "src/graph/CMakeFiles/edgebench_graph.dir/passes.cc.o.d"
+  "/root/repo/src/graph/serialize.cc" "src/graph/CMakeFiles/edgebench_graph.dir/serialize.cc.o" "gcc" "src/graph/CMakeFiles/edgebench_graph.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edgebench_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

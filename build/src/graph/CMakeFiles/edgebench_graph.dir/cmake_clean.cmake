@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_graph.dir/export.cc.o"
+  "CMakeFiles/edgebench_graph.dir/export.cc.o.d"
+  "CMakeFiles/edgebench_graph.dir/graph.cc.o"
+  "CMakeFiles/edgebench_graph.dir/graph.cc.o.d"
+  "CMakeFiles/edgebench_graph.dir/interpreter.cc.o"
+  "CMakeFiles/edgebench_graph.dir/interpreter.cc.o.d"
+  "CMakeFiles/edgebench_graph.dir/op.cc.o"
+  "CMakeFiles/edgebench_graph.dir/op.cc.o.d"
+  "CMakeFiles/edgebench_graph.dir/passes.cc.o"
+  "CMakeFiles/edgebench_graph.dir/passes.cc.o.d"
+  "CMakeFiles/edgebench_graph.dir/serialize.cc.o"
+  "CMakeFiles/edgebench_graph.dir/serialize.cc.o.d"
+  "libedgebench_graph.a"
+  "libedgebench_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

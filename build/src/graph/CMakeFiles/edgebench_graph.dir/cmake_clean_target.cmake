@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgebench_graph.a"
+)

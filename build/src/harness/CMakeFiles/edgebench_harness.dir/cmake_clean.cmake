@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_harness.dir/experiment.cc.o"
+  "CMakeFiles/edgebench_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/edgebench_harness.dir/report.cc.o"
+  "CMakeFiles/edgebench_harness.dir/report.cc.o.d"
+  "CMakeFiles/edgebench_harness.dir/stats.cc.o"
+  "CMakeFiles/edgebench_harness.dir/stats.cc.o.d"
+  "libedgebench_harness.a"
+  "libedgebench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_hw.dir/device.cc.o"
+  "CMakeFiles/edgebench_hw.dir/device.cc.o.d"
+  "CMakeFiles/edgebench_hw.dir/roofline.cc.o"
+  "CMakeFiles/edgebench_hw.dir/roofline.cc.o.d"
+  "libedgebench_hw.a"
+  "libedgebench_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/classification.cc" "src/models/CMakeFiles/edgebench_models.dir/classification.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/classification.cc.o.d"
+  "/root/repo/src/models/detection.cc" "src/models/CMakeFiles/edgebench_models.dir/detection.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/detection.cc.o.d"
+  "/root/repo/src/models/inception.cc" "src/models/CMakeFiles/edgebench_models.dir/inception.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/inception.cc.o.d"
+  "/root/repo/src/models/mobile_ext.cc" "src/models/CMakeFiles/edgebench_models.dir/mobile_ext.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/mobile_ext.cc.o.d"
+  "/root/repo/src/models/mobilenet.cc" "src/models/CMakeFiles/edgebench_models.dir/mobilenet.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/mobilenet.cc.o.d"
+  "/root/repo/src/models/recurrent.cc" "src/models/CMakeFiles/edgebench_models.dir/recurrent.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/recurrent.cc.o.d"
+  "/root/repo/src/models/video.cc" "src/models/CMakeFiles/edgebench_models.dir/video.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/video.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/models/CMakeFiles/edgebench_models.dir/zoo.cc.o" "gcc" "src/models/CMakeFiles/edgebench_models.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/edgebench_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edgebench_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_models.dir/classification.cc.o"
+  "CMakeFiles/edgebench_models.dir/classification.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/detection.cc.o"
+  "CMakeFiles/edgebench_models.dir/detection.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/inception.cc.o"
+  "CMakeFiles/edgebench_models.dir/inception.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/mobile_ext.cc.o"
+  "CMakeFiles/edgebench_models.dir/mobile_ext.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/mobilenet.cc.o"
+  "CMakeFiles/edgebench_models.dir/mobilenet.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/recurrent.cc.o"
+  "CMakeFiles/edgebench_models.dir/recurrent.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/video.cc.o"
+  "CMakeFiles/edgebench_models.dir/video.cc.o.d"
+  "CMakeFiles/edgebench_models.dir/zoo.cc.o"
+  "CMakeFiles/edgebench_models.dir/zoo.cc.o.d"
+  "libedgebench_models.a"
+  "libedgebench_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

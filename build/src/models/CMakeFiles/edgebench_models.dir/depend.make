@@ -1,0 +1,2 @@
+# Empty dependencies file for edgebench_models.
+# This may be replaced when dependencies are built.

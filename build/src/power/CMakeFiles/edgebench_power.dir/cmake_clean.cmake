@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_power.dir/energy.cc.o"
+  "CMakeFiles/edgebench_power.dir/energy.cc.o.d"
+  "CMakeFiles/edgebench_power.dir/meter.cc.o"
+  "CMakeFiles/edgebench_power.dir/meter.cc.o.d"
+  "libedgebench_power.a"
+  "libedgebench_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_serving.dir/simulator.cc.o"
+  "CMakeFiles/edgebench_serving.dir/simulator.cc.o.d"
+  "libedgebench_serving.a"
+  "libedgebench_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

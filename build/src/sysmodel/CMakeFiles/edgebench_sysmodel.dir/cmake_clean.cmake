@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_sysmodel.dir/virtualization.cc.o"
+  "CMakeFiles/edgebench_sysmodel.dir/virtualization.cc.o.d"
+  "libedgebench_sysmodel.a"
+  "libedgebench_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

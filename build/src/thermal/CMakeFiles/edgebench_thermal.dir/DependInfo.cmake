@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/thermal.cc" "src/thermal/CMakeFiles/edgebench_thermal.dir/thermal.cc.o" "gcc" "src/thermal/CMakeFiles/edgebench_thermal.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/edgebench_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edgebench_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/edgebench_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/edgebench_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/edgebench_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edgebench_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

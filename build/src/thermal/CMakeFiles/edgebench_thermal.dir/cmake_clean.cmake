@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench_thermal.dir/thermal.cc.o"
+  "CMakeFiles/edgebench_thermal.dir/thermal.cc.o.d"
+  "libedgebench_thermal.a"
+  "libedgebench_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

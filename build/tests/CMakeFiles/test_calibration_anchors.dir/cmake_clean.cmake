@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_anchors.dir/frameworks/test_calibration_anchors.cc.o"
+  "CMakeFiles/test_calibration_anchors.dir/frameworks/test_calibration_anchors.cc.o.d"
+  "test_calibration_anchors"
+  "test_calibration_anchors.pdb"
+  "test_calibration_anchors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

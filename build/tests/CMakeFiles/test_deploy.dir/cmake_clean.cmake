@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy.dir/frameworks/test_deploy.cc.o"
+  "CMakeFiles/test_deploy.dir/frameworks/test_deploy.cc.o.d"
+  "test_deploy"
+  "test_deploy.pdb"
+  "test_deploy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_int8.dir/core/test_kernels_int8.cc.o"
+  "CMakeFiles/test_kernels_int8.dir/core/test_kernels_int8.cc.o.d"
+  "test_kernels_int8"
+  "test_kernels_int8.pdb"
+  "test_kernels_int8[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_int8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

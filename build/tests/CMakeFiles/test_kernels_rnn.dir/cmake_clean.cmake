@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_rnn.dir/core/test_kernels_rnn.cc.o"
+  "CMakeFiles/test_kernels_rnn.dir/core/test_kernels_rnn.cc.o.d"
+  "test_kernels_rnn"
+  "test_kernels_rnn.pdb"
+  "test_kernels_rnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

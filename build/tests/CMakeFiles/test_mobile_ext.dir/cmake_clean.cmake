@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobile_ext.dir/models/test_mobile_ext.cc.o"
+  "CMakeFiles/test_mobile_ext.dir/models/test_mobile_ext.cc.o.d"
+  "test_mobile_ext"
+  "test_mobile_ext.pdb"
+  "test_mobile_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobile_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

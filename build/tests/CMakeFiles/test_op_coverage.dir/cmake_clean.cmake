@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_coverage.dir/graph/test_op_coverage.cc.o"
+  "CMakeFiles/test_op_coverage.dir/graph/test_op_coverage.cc.o.d"
+  "test_op_coverage"
+  "test_op_coverage.pdb"
+  "test_op_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

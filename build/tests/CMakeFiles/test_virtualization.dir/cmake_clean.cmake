@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtualization.dir/sysmodel/test_virtualization.cc.o"
+  "CMakeFiles/test_virtualization.dir/sysmodel/test_virtualization.cc.o.d"
+  "test_virtualization"
+  "test_virtualization.pdb"
+  "test_virtualization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

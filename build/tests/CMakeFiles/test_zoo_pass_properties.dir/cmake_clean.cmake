@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoo_pass_properties.dir/integration/test_zoo_pass_properties.cc.o"
+  "CMakeFiles/test_zoo_pass_properties.dir/integration/test_zoo_pass_properties.cc.o.d"
+  "test_zoo_pass_properties"
+  "test_zoo_pass_properties.pdb"
+  "test_zoo_pass_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoo_pass_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgebench.dir/edgebench_cli.cc.o"
+  "CMakeFiles/edgebench.dir/edgebench_cli.cc.o.d"
+  "edgebench"
+  "edgebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
