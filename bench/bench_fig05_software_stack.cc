@@ -3,12 +3,18 @@
  * Regenerates Fig. 5: software-stack profiling of PyTorch and
  * TensorFlow on the Raspberry Pi (30 inferences) and Jetson TX2
  * (1000 inferences), printed as per-label percentage breakdowns.
+ *
+ * The breakdown is derived from the recorded trace (the same spans
+ * `edgebench predict --trace-out` writes), folded back into a table
+ * by harness::traceBreakdown. The legacy ProfileReport totals stay
+ * equal by construction; the obs integration test asserts it.
  */
 
 #include <iostream>
 
 #include "bench_util.hh"
 #include "edgebench/frameworks/runtime.hh"
+#include "edgebench/obs/trace.hh"
 
 using namespace edgebench;
 
@@ -26,22 +32,16 @@ printBreakdown(const char* tag, frameworks::FrameworkId fw,
         return;
     }
     frameworks::InferenceSession session(std::move(dep->model));
-    const auto rep = session.profileRun(inferences);
-    const double total = rep.totalMs();
+    obs::Tracer tracer("fig5");
+    const auto rep = session.profileRun(inferences, &tracer);
 
     std::cout << "\n(" << tag << ") "
               << frameworks::frameworkName(fw) << " on "
               << hw::deviceName(device) << ", " << inferences
-              << " inferences of ResNet-18:\n";
-    harness::Table t({"Label", "Phase", "Time (ms)", "Share (%)"});
-    for (const auto& s : rep.samples) {
-        if (s.ms <= 0.0)
-            continue;
-        t.addRow({s.label, frameworks::phaseName(s.phase),
-                  harness::Table::num(s.ms, 1),
-                  harness::Table::num(100.0 * s.ms / total, 1)});
-    }
-    t.print(std::cout);
+              << " inferences of ResNet-18, "
+              << harness::Table::num(rep.totalMs(), 1)
+              << " ms total:\n";
+    harness::traceBreakdown(tracer).print(std::cout);
 }
 
 } // namespace

@@ -1,0 +1,27 @@
+#include "edgebench/core/clock.hh"
+
+#include <cmath>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+void
+VirtualClock::advanceUs(double us)
+{
+    EB_CHECK(std::isfinite(us) && us >= 0.0,
+             "VirtualClock: cannot advance by " << us << " us");
+    now_us_ += us;
+}
+
+void
+VirtualClock::advanceMs(double ms)
+{
+    advanceUs(ms * 1e3);
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Simulated-time clock.
+ *
+ * edgebench-sim's determinism rules forbid reading wall clocks (see
+ * docs/ARCHITECTURE.md): every duration in the system is *modeled*,
+ * not measured. VirtualClock is the time base those modeled durations
+ * accumulate on — a manually-advanced monotonic counter that the
+ * tracing layer (src/obs) uses to place spans on a timeline. Layers
+ * that compute a cost advance the clock by it; nothing ever observes
+ * host time, so traces are bit-reproducible across runs and machines.
+ */
+
+#ifndef EDGEBENCH_CORE_CLOCK_HH
+#define EDGEBENCH_CORE_CLOCK_HH
+
+namespace edgebench
+{
+namespace core
+{
+
+/** A manually-advanced monotonic clock counting simulated time. */
+class VirtualClock
+{
+  public:
+    VirtualClock() = default;
+
+    /** Current simulated time, microseconds since reset(). */
+    double nowUs() const { return now_us_; }
+    /** Current simulated time, milliseconds since reset(). */
+    double nowMs() const { return now_us_ / 1e3; }
+
+    /** Advance by @p us microseconds; throws if @p us is negative. */
+    void advanceUs(double us);
+    /** Advance by @p ms milliseconds; throws if @p ms is negative. */
+    void advanceMs(double ms);
+
+    /** Rewind to t=0. */
+    void reset() { now_us_ = 0.0; }
+
+  private:
+    double now_us_ = 0.0;
+};
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_CLOCK_HH

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "edgebench/frameworks/framework.hh"
+#include "edgebench/obs/trace.hh"
 
 namespace edgebench
 {
@@ -90,8 +91,19 @@ class InferenceSession
     /**
      * Simulate a profiled run of @p n inferences and attribute time
      * to software-stack phases (Fig. 5).
+     *
+     * When @p tracer is non-null, the run is additionally emitted as
+     * a span timeline: one top-level span per one-time phase, then a
+     * fully detailed first inference — per-node spans grouped under
+     * operator-family spans, each node span carrying op kind, FLOPs,
+     * bytes and roofline boundedness — then one aggregated span for
+     * the remaining n-1 inferences. Span categories are the Fig. 5
+     * phase names, and the per-category time totals of the trace
+     * equal this report's per-phase totals (the fig05 bench and the
+     * `obs` integration suite assert this).
      */
-    ProfileReport profileRun(std::int64_t n) const;
+    ProfileReport profileRun(std::int64_t n,
+                             obs::Tracer* tracer = nullptr) const;
 
     /** @name One-time cost components (exposed for tests) */
     /// @{

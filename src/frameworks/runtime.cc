@@ -69,6 +69,54 @@ runsOnGpuLikeUnit(const CompiledModel& m)
     return m.unit != hw::UnitKind::kCpu;
 }
 
+/** Fig. 5 operator families the compute pie splits across. */
+enum Family
+{
+    kFamConv = 0,
+    kFamDense,
+    kFamBn,
+    kFamOther,
+    kFamCount,
+};
+
+int
+familyOf(const graph::Node& n)
+{
+    switch (n.kind) {
+      case graph::OpKind::kConv2d:
+      case graph::OpKind::kConv3d:
+      case graph::OpKind::kFusedConvBnAct:
+        return kFamConv;
+      case graph::OpKind::kDense:
+        return kFamDense;
+      case graph::OpKind::kBatchNorm:
+        return kFamBn;
+      default:
+        return kFamOther;
+    }
+}
+
+/** Work attributed to a node in the compute-phase split. */
+double
+familyWeight(const graph::Node& n)
+{
+    const auto m = static_cast<double>(n.macs());
+    if (familyOf(n) == kFamOther)
+        return m + static_cast<double>(n.outputElems());
+    return m;
+}
+
+const char*
+familyLabel(int family, bool torch_like)
+{
+    switch (family) {
+      case kFamConv: return "conv2d";
+      case kFamDense: return torch_like ? "linear" : "dense";
+      case kFamBn: return "batch_norm";
+      default: return "activation & other";
+    }
+}
+
 /** Per-node one-time graph-construction cost, ms (at TX2 scale). */
 double
 graphSetupPerNodeMs(FrameworkId fw)
@@ -151,7 +199,7 @@ InferenceSession::run(std::int64_t n) const
 }
 
 ProfileReport
-InferenceSession::profileRun(std::int64_t n) const
+InferenceSession::profileRun(std::int64_t n, obs::Tracer* tracer) const
 {
     EB_CHECK(n > 0, "profileRun: need at least one inference");
     ProfileReport rep;
@@ -160,81 +208,166 @@ InferenceSession::profileRun(std::int64_t n) const
         framework(model_.framework).traits().dynamicGraph;
     const bool gpu = runsOnGpuLikeUnit(model_);
 
+    const double lib_ms = libraryLoadMs();
+    const double graph_ms = graphConstructionMs();
+    const double winit_ms = weightInitMs();
+    // Static-graph session setup (TF_SessionMakeCallable +
+    // _initialize_variable + session.__init__ in Fig. 5).
+    const double setup_ms = torch_like ? 0.0 : 0.25 * graph_ms;
+
+    const char* lib_label =
+        torch_like ? "<built-in import>" : "Library Loading";
+    const char* graph_label =
+        torch_like ? "model.__init__" : "base_layer";
+    const char* winit_label =
+        torch_like ? "randn" : "layers & weights";
+    const char* transfer_label =
+        torch_like ? "_C._TensorBase.to()" : "feed/fetch transfer";
+    const char* session_label =
+        torch_like ? "forward" : "TF_SessionRunCallable";
+
     // --- One-time phases --------------------------------------------
-    rep.samples.push_back({Phase::kLibraryLoading,
-                           torch_like ? "<built-in import>"
-                                      : "Library Loading",
-                           libraryLoadMs()});
-    rep.samples.push_back({Phase::kGraphConstruction,
-                           torch_like ? "model.__init__" : "base_layer",
-                           graphConstructionMs()});
-    rep.samples.push_back({Phase::kWeightInit,
-                           torch_like ? "randn" : "layers & weights",
-                           weightInitMs()});
-    if (!torch_like) {
-        // Static-graph session setup (TF_SessionMakeCallable +
-        // _initialize_variable + session.__init__ in Fig. 5).
+    rep.samples.push_back({Phase::kLibraryLoading, lib_label, lib_ms});
+    rep.samples.push_back(
+        {Phase::kGraphConstruction, graph_label, graph_ms});
+    rep.samples.push_back({Phase::kWeightInit, winit_label, winit_ms});
+    if (!torch_like)
         rep.samples.push_back({Phase::kSessionManagement,
-                               "TF_SessionMakeCallable",
-                               0.25 * graphConstructionMs()});
-    }
+                               "TF_SessionMakeCallable", setup_ms});
 
     // --- Per-inference phases ---------------------------------------
     const auto cost = model_.latency();
     const double nf = static_cast<double>(n);
 
+    // Input staging each inference plus the one-time weight upload
+    // (PyTorch's _C._TensorBase.to()).
+    double per_inf_transfer_ms = 0.0;
     if (gpu) {
-        // Input staging each inference plus the one-time weight
-        // upload (PyTorch's _C._TensorBase.to()).
         double in_bytes = 0.0;
         for (auto id : model_.graph.inputIds())
             in_bytes += model_.graph.node(id).outputBytes();
-        const double per_inf_ms = in_bytes / 0.05e9 * 1e3;
-        rep.samples.push_back({Phase::kDataTransfer,
-                               torch_like ? "_C._TensorBase.to()"
-                                          : "feed/fetch transfer",
-                               weightUploadMs() + nf * per_inf_ms});
+        per_inf_transfer_ms = in_bytes / 0.05e9 * 1e3;
+        rep.samples.push_back(
+            {Phase::kDataTransfer, transfer_label,
+             weightUploadMs() + nf * per_inf_transfer_ms});
     }
 
     // Split compute across operator families like the paper's pies.
-    double conv_macs = 0.0, dense_macs = 0.0, bn_macs = 0.0,
-           other_macs = 0.0;
-    for (const auto& node : model_.graph.nodes()) {
-        const auto m = static_cast<double>(node.macs());
-        switch (node.kind) {
-          case graph::OpKind::kConv2d:
-          case graph::OpKind::kConv3d:
-          case graph::OpKind::kFusedConvBnAct:
-            conv_macs += m;
-            break;
-          case graph::OpKind::kDense:
-            dense_macs += m;
-            break;
-          case graph::OpKind::kBatchNorm:
-            bn_macs += m;
-            break;
-          default:
-            other_macs += m + static_cast<double>(node.outputElems());
+    double fam_macs[kFamCount] = {0.0, 0.0, 0.0, 0.0};
+    for (const auto& node : model_.graph.nodes())
+        fam_macs[familyOf(node)] += familyWeight(node);
+    const double total_macs =
+        std::max(fam_macs[kFamConv] + fam_macs[kFamDense] +
+                     fam_macs[kFamBn] + fam_macs[kFamOther],
+                 1.0);
+    const double kernel1_ms =
+        std::max(cost.computeMs, cost.memoryMs);
+    double fam1_ms[kFamCount];
+    for (int f = 0; f < kFamCount; ++f)
+        fam1_ms[f] = kernel1_ms * fam_macs[f] / total_macs;
+
+    for (int f = 0; f < kFamCount; ++f)
+        rep.samples.push_back({Phase::kCompute,
+                               familyLabel(f, torch_like),
+                               nf * fam1_ms[f]});
+
+    rep.samples.push_back({Phase::kSessionManagement, session_label,
+                           nf * cost.overheadMs});
+
+    // --- Span timeline (same numbers, per-node attribution) ---------
+    if (obs::kEnabledAtBuild && tracer) {
+        obs::Tracer& t = *tracer;
+        t.recordSpan(lib_label, phaseName(Phase::kLibraryLoading),
+                     lib_ms);
+        t.recordSpan(graph_label,
+                     phaseName(Phase::kGraphConstruction), graph_ms);
+        t.recordSpan(winit_label, phaseName(Phase::kWeightInit),
+                     winit_ms);
+        if (!torch_like)
+            t.recordSpan("TF_SessionMakeCallable",
+                         phaseName(Phase::kSessionManagement),
+                         setup_ms);
+        if (gpu)
+            t.recordSpan(transfer_label,
+                         phaseName(Phase::kDataTransfer),
+                         weightUploadMs());
+
+        // Roofline costs attribute family time to individual nodes
+        // and label their boundedness.
+        const auto node_costs = hw::perNodeCosts(
+            model_.graph, model_.computeUnit(), model_.profile);
+        double fam_w[kFamCount] = {0.0, 0.0, 0.0, 0.0};
+        double fam_members[kFamCount] = {0.0, 0.0, 0.0, 0.0};
+        for (const auto& node : model_.graph.nodes()) {
+            const auto idx = static_cast<std::size_t>(node.id);
+            fam_w[familyOf(node)] += node_costs[idx].totalMs();
+            fam_members[familyOf(node)] += 1.0;
+        }
+
+        // First inference in full detail.
+        const obs::SpanId inf0 = t.beginSpan("inference[0]",
+                                             "inference");
+        if (gpu)
+            t.recordSpan(transfer_label,
+                         phaseName(Phase::kDataTransfer),
+                         per_inf_transfer_ms);
+        for (int f = 0; f < kFamCount; ++f) {
+            if (fam1_ms[f] <= 0.0)
+                continue;
+            const obs::SpanId fam = t.beginSpan(
+                familyLabel(f, torch_like),
+                phaseName(Phase::kCompute));
+            for (const auto& node : model_.graph.nodes()) {
+                if (familyOf(node) != f)
+                    continue;
+                const auto& c =
+                    node_costs[static_cast<std::size_t>(node.id)];
+                // Distribute the family's phase time across its
+                // nodes proportionally to their roofline cost.
+                const double share = fam_w[f] > 0.0
+                    ? c.totalMs() / fam_w[f]
+                    : 1.0 / fam_members[f];
+                const obs::SpanId s = t.recordSpan(
+                    node.name, "op", fam1_ms[f] * share);
+                t.argText(s, "op", graph::opKindName(node.kind));
+                t.argNum(s, "flops",
+                         2.0 * static_cast<double>(node.macs()));
+                double bytes = node.outputBytes() + node.paramBytes();
+                for (auto in : node.inputs)
+                    bytes += model_.graph.node(in).outputBytes();
+                t.argNum(s, "bytes", bytes);
+                t.argText(s, "bound", hw::boundednessLabel(c));
+                t.argNum(s, "roofline_compute_ms", c.computeMs);
+                t.argNum(s, "roofline_memory_ms", c.memoryMs);
+            }
+            t.endSpan(fam);
+        }
+        t.recordSpan(session_label,
+                     phaseName(Phase::kSessionManagement),
+                     cost.overheadMs);
+        t.endSpan(inf0);
+
+        // Steady state: the remaining n-1 inferences, aggregated.
+        if (n > 1) {
+            const double rest = nf - 1.0;
+            const obs::SpanId bulk = t.beginSpan(
+                "inference[1.." + std::to_string(n) + ")",
+                "inference");
+            if (gpu)
+                t.recordSpan(transfer_label,
+                             phaseName(Phase::kDataTransfer),
+                             rest * per_inf_transfer_ms);
+            for (int f = 0; f < kFamCount; ++f)
+                if (fam1_ms[f] > 0.0)
+                    t.recordSpan(familyLabel(f, torch_like),
+                                 phaseName(Phase::kCompute),
+                                 rest * fam1_ms[f]);
+            t.recordSpan(session_label,
+                         phaseName(Phase::kSessionManagement),
+                         rest * cost.overheadMs);
+            t.endSpan(bulk);
         }
     }
-    const double total_macs =
-        std::max(conv_macs + dense_macs + bn_macs + other_macs, 1.0);
-    const double kernel_ms =
-        nf * std::max(cost.computeMs, cost.memoryMs);
-    rep.samples.push_back({Phase::kCompute, "conv2d",
-                           kernel_ms * conv_macs / total_macs});
-    rep.samples.push_back({Phase::kCompute,
-                           torch_like ? "linear" : "dense",
-                           kernel_ms * dense_macs / total_macs});
-    rep.samples.push_back({Phase::kCompute, "batch_norm",
-                           kernel_ms * bn_macs / total_macs});
-    rep.samples.push_back({Phase::kCompute, "activation & other",
-                           kernel_ms * other_macs / total_macs});
-
-    rep.samples.push_back({Phase::kSessionManagement,
-                           torch_like ? "forward"
-                                      : "TF_SessionRunCallable",
-                           nf * cost.overheadMs});
     return rep;
 }
 

@@ -22,6 +22,7 @@
 
 #include "edgebench/core/tensor.hh"
 #include "edgebench/graph/graph.hh"
+#include "edgebench/obs/trace.hh"
 
 namespace edgebench
 {
@@ -53,6 +54,19 @@ class Interpreter
     const RunStats& lastStats() const { return stats_; }
 
     /**
+     * Emit one span per executed node into @p tracer on subsequent
+     * runs (null disables). Spans carry op kind, FLOPs and bytes;
+     * their *durations* come from @p per_node_ms (indexed by NodeId,
+     * e.g. hw::perNodeTotalMs of the compiled plan) because the
+     * interpreter itself is the functional half of the
+     * functional/timing split and models no time. Without
+     * @p per_node_ms spans are zero-length markers in execution
+     * order.
+     */
+    void setTracer(obs::Tracer* tracer,
+                   const std::vector<double>* per_node_ms = nullptr);
+
+    /**
      * Calibration pass: run in pure fp32 and record the (min, max)
      * activation range of every node. Feeds the INT8 quantization
      * pass (TFLite-style post-training calibration).
@@ -72,6 +86,8 @@ class Interpreter
 
     const Graph& graph_;
     RunStats stats_;
+    obs::Tracer* tracer_ = nullptr;
+    std::vector<double> nodeMs_;
 };
 
 } // namespace graph

@@ -143,6 +143,22 @@ Interpreter::run(const std::vector<core::Tensor>& inputs)
     return runImpl(inputs, /*force_f32=*/false, nullptr);
 }
 
+void
+Interpreter::setTracer(obs::Tracer* tracer,
+                       const std::vector<double>* per_node_ms)
+{
+    tracer_ = tracer;
+    nodeMs_.clear();
+    if (per_node_ms) {
+        EB_CHECK(static_cast<std::int64_t>(per_node_ms->size()) ==
+                     graph_.numNodes(),
+                 "setTracer: got " << per_node_ms->size()
+                                   << " per-node costs for "
+                                   << graph_.numNodes() << " nodes");
+        nodeMs_ = *per_node_ms;
+    }
+}
+
 std::vector<std::pair<double, double>>
 Interpreter::calibrate(const std::vector<core::Tensor>& inputs)
 {
@@ -165,6 +181,25 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
                               << inputs.size());
 
     stats_ = RunStats{};
+    obs::Tracer* const tracer =
+        obs::kEnabledAtBuild ? tracer_ : nullptr;
+    obs::ScopedSpan run_span(tracer, "interpreter.run(" +
+                                 graph_.name() + ")", "run");
+    auto traceNode = [&](const Node& n) {
+        if (!tracer)
+            return;
+        const auto idx = static_cast<std::size_t>(n.id);
+        const double ms = idx < nodeMs_.size() ? nodeMs_[idx] : 0.0;
+        const obs::SpanId s =
+            tracer->recordSpan(n.name, "exec", ms);
+        tracer->argText(s, "op", opKindName(n.kind));
+        tracer->argNum(s, "flops",
+                       2.0 * static_cast<double>(n.macs()));
+        double bytes = n.outputBytes() + n.paramBytes();
+        for (NodeId in : n.inputs)
+            bytes += graph_.node(in).outputBytes();
+        tracer->argNum(s, "bytes", bytes);
+    };
     auto refcount = graph_.consumerCounts();
     // Outputs stay live to the end.
     for (NodeId id : graph_.outputIds())
@@ -211,6 +246,7 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
             }
             retain(n.id, std::move(t));
             ++stats_.nodesExecuted;
+            traceNode(n);
             continue;
         }
 
@@ -231,6 +267,7 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
         }
         retain(n.id, std::move(result));
         ++stats_.nodesExecuted;
+        traceNode(n);
         for (NodeId in : n.inputs)
             release(in);
     }

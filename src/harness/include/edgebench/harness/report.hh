@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "edgebench/obs/trace.hh"
+
 namespace edgebench
 {
 namespace harness
@@ -69,6 +71,16 @@ class Figure
 /** Print a bench banner: "== fig2: <title> ==". */
 void printBanner(std::ostream& os, const std::string& id,
                  const std::string& title);
+
+/**
+ * Fold a recorded trace into a Fig. 5-style software-stack table:
+ * spans whose category is one of the six frameworks::phaseName
+ * mnemonics are grouped by (name, category) in first-appearance
+ * order, yielding columns Label / Phase / Time (ms) / Share (%).
+ * Structural spans ("inference", "op", "run", ...) are excluded so
+ * nothing is double-counted.
+ */
+Table traceBreakdown(const obs::Tracer& tracer);
 
 } // namespace harness
 } // namespace edgebench

@@ -1,0 +1,58 @@
+#include "edgebench/harness/report.hh"
+
+#include <map>
+#include <utility>
+
+#include "edgebench/frameworks/runtime.hh"
+
+namespace edgebench
+{
+namespace harness
+{
+
+Table
+traceBreakdown(const obs::Tracer& tracer)
+{
+    // Only the six Fig. 5 phase categories count toward the stack
+    // breakdown; structural spans ("inference", "op", ...) wrap or
+    // subdivide them and would double-count.
+    const std::vector<std::string> phases = {
+        frameworks::phaseName(frameworks::Phase::kLibraryLoading),
+        frameworks::phaseName(frameworks::Phase::kGraphConstruction),
+        frameworks::phaseName(frameworks::Phase::kWeightInit),
+        frameworks::phaseName(frameworks::Phase::kDataTransfer),
+        frameworks::phaseName(frameworks::Phase::kCompute),
+        frameworks::phaseName(frameworks::Phase::kSessionManagement),
+    };
+    const auto isPhase = [&](const std::string& c) {
+        for (const auto& p : phases)
+            if (p == c)
+                return true;
+        return false;
+    };
+
+    using Key = std::pair<std::string, std::string>; // (name, category)
+    std::vector<Key> order;
+    std::map<Key, double> ms;
+    double total = 0.0;
+    for (const auto& e : tracer.events()) {
+        if (e.kind != obs::EventKind::kSpan || !isPhase(e.category))
+            continue;
+        const Key k{e.name, e.category};
+        if (ms.find(k) == ms.end())
+            order.push_back(k);
+        ms[k] += e.durMs();
+        total += e.durMs();
+    }
+
+    Table t({"Label", "Phase", "Time (ms)", "Share (%)"});
+    for (const auto& k : order) {
+        const double v = ms[k];
+        t.addRow({k.first, k.second, Table::num(v, 2),
+                  Table::num(total > 0.0 ? 100.0 * v / total : 0.0, 1)});
+    }
+    return t;
+}
+
+} // namespace harness
+} // namespace edgebench

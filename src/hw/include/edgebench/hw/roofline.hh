@@ -120,6 +120,25 @@ std::vector<double> perNodeTotalMs(const graph::Graph& g,
                                    const ComputeUnit& unit,
                                    const EngineProfile& profile);
 
+/**
+ * Full per-node cost breakdowns, indexed by NodeId (input nodes are
+ * all-zero). Memory time includes producer-activation traffic and
+ * the model-level on-chip spill decision, matching graphLatency()'s
+ * accounting; the per-inference overhead is NOT included. This is
+ * what the tracing layer uses to attribute simulated time and
+ * compute-vs-memory boundedness to individual spans.
+ */
+std::vector<NodeCost> perNodeCosts(const graph::Graph& g,
+                                   const ComputeUnit& unit,
+                                   const EngineProfile& profile);
+
+/**
+ * Roofline attribution of a priced node: "compute" when compute time
+ * dominates, "memory" otherwise (the Fig. 1 / Section VI-C
+ * distinction).
+ */
+const char* boundednessLabel(const NodeCost& cost);
+
 } // namespace hw
 } // namespace edgebench
 

@@ -188,9 +188,9 @@ graphLatencyUnchecked(const graph::Graph& g, const ComputeUnit& unit,
     return latencyImpl(g, unit, profile);
 }
 
-std::vector<double>
-perNodeTotalMs(const graph::Graph& g, const ComputeUnit& unit,
-               const EngineProfile& profile)
+std::vector<NodeCost>
+perNodeCosts(const graph::Graph& g, const ComputeUnit& unit,
+             const EngineProfile& profile)
 {
     double total_param_bytes = 0.0;
     for (const auto& n : g.nodes())
@@ -198,8 +198,7 @@ perNodeTotalMs(const graph::Graph& g, const ComputeUnit& unit,
     const bool spills = unit.onChipBytes > 0.0 &&
         total_param_bytes > unit.onChipBytes;
 
-    std::vector<double> out(static_cast<std::size_t>(g.numNodes()),
-                            0.0);
+    std::vector<NodeCost> out(static_cast<std::size_t>(g.numNodes()));
     for (const auto& n : g.nodes()) {
         if (n.kind == graph::OpKind::kInput)
             continue;
@@ -208,9 +207,26 @@ perNodeTotalMs(const graph::Graph& g, const ComputeUnit& unit,
         if (spills)
             bw /= unit.offChipPenalty;
         c.memoryMs = nodeBytes(g, n) / (bw * 1e9) * 1e3;
-        out[static_cast<std::size_t>(n.id)] = c.totalMs();
+        out[static_cast<std::size_t>(n.id)] = c;
     }
     return out;
+}
+
+std::vector<double>
+perNodeTotalMs(const graph::Graph& g, const ComputeUnit& unit,
+               const EngineProfile& profile)
+{
+    const auto costs = perNodeCosts(g, unit, profile);
+    std::vector<double> out(costs.size(), 0.0);
+    for (std::size_t i = 0; i < costs.size(); ++i)
+        out[i] = costs[i].totalMs();
+    return out;
+}
+
+const char*
+boundednessLabel(const NodeCost& cost)
+{
+    return cost.computeMs >= cost.memoryMs ? "compute" : "memory";
 }
 
 } // namespace hw

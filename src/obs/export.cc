@@ -1,0 +1,173 @@
+#include "edgebench/obs/export.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace edgebench
+{
+namespace obs
+{
+
+namespace
+{
+
+/** JSON string escaping (control chars, quotes, backslash). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest-round-trip JSON number (JSON forbids NaN/Inf). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+void
+writeArgsObject(const std::vector<TraceArg>& args, std::ostream& os)
+{
+    os << "{";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(args[i].key) << "\":";
+        if (args[i].numeric)
+            os << jsonNumber(args[i].number);
+        else
+            os << "\"" << jsonEscape(args[i].text) << "\"";
+    }
+    os << "}";
+}
+
+/** Replace CSV-hostile characters in a text field. */
+std::string
+csvField(std::string s)
+{
+    std::replace(s.begin(), s.end(), ',', ';');
+    std::replace(s.begin(), s.end(), '\n', ' ');
+    return s;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const Tracer& tracer, std::ostream& os)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    // Process-name metadata record, as chrome://tracing expects.
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
+       << "\"args\":{\"name\":\""
+       << jsonEscape(tracer.processName()) << "\"}}";
+    for (const auto& e : tracer.events()) {
+        os << ",\n{\"name\":\"" << jsonEscape(e.name) << "\","
+           << "\"cat\":\"" << jsonEscape(e.category) << "\","
+           << "\"pid\":1,\"tid\":1,"
+           << "\"ts\":" << jsonNumber(e.startUs);
+        if (e.kind == EventKind::kSpan) {
+            os << ",\"ph\":\"X\",\"dur\":" << jsonNumber(e.durUs);
+        } else {
+            // Thread-scoped instant event.
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+        }
+        if (!e.args.empty()) {
+            os << ",\"args\":";
+            writeArgsObject(e.args, os);
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+writeTraceCsv(const Tracer& tracer, std::ostream& os)
+{
+    os << "name,category,kind,start_us,dur_us,depth,args\n";
+    for (const auto& e : tracer.events()) {
+        os << csvField(e.name) << "," << csvField(e.category) << ","
+           << (e.kind == EventKind::kSpan ? "span" : "instant") << ","
+           << jsonNumber(e.startUs) << "," << jsonNumber(e.durUs)
+           << "," << e.depth << ",";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ";";
+            const auto& a = e.args[i];
+            os << csvField(a.key) << "=";
+            if (a.numeric)
+                os << jsonNumber(a.number);
+            else
+                os << csvField(a.text);
+        }
+        os << "\n";
+    }
+}
+
+void
+writeMetricsCsv(const MetricsRegistry& metrics, std::ostream& os)
+{
+    os << "name,type,count,value,min,max,mean,stddev\n";
+    for (const auto& [name, c] : metrics.counters())
+        os << csvField(name) << ",counter,," << c.value()
+           << ",,,,\n";
+    for (const auto& [name, h] : metrics.histograms())
+        os << csvField(name) << ",histogram," << h.count() << ",,"
+           << jsonNumber(h.min()) << "," << jsonNumber(h.max()) << ","
+           << jsonNumber(h.mean()) << "," << jsonNumber(h.stddev())
+           << "\n";
+}
+
+std::map<std::string, double>
+categoryTotalsMs(const Tracer& tracer)
+{
+    std::map<std::string, double> totals;
+    for (const auto& e : tracer.events())
+        if (e.kind == EventKind::kSpan)
+            totals[e.category] += e.durMs();
+    return totals;
+}
+
+MetricsRegistry
+metricsFromTrace(const Tracer& tracer)
+{
+    MetricsRegistry m;
+    for (const auto& e : tracer.events()) {
+        if (e.kind != EventKind::kSpan)
+            continue;
+        m.counter("spans." + e.category).add();
+        m.histogram("span_ms." + e.category).record(e.durMs());
+        for (const auto& a : e.args)
+            if (a.numeric)
+                m.histogram("arg." + a.key).record(a.number);
+    }
+    return m;
+}
+
+} // namespace obs
+} // namespace edgebench

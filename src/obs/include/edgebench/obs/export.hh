@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace and metrics exporters.
+ *
+ * Two trace formats: Chrome trace-event JSON (the "JSON Array/Object
+ * Format" consumed by chrome://tracing and Perfetto) for interactive
+ * inspection, and a flat CSV for the bench harness and spreadsheet
+ * post-processing. Plus aggregation helpers: per-category time totals
+ * (how the fig05 bench derives its breakdown) and trace-to-metrics
+ * distillation for `edgebench --metrics-out`.
+ */
+
+#ifndef EDGEBENCH_OBS_EXPORT_HH
+#define EDGEBENCH_OBS_EXPORT_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "edgebench/obs/metrics.hh"
+#include "edgebench/obs/trace.hh"
+
+namespace edgebench
+{
+namespace obs
+{
+
+/**
+ * Write @p tracer as Chrome trace-event JSON: a top-level object with
+ * a "traceEvents" array of complete ("X") and instant ("i") events,
+ * timestamps in microseconds. Open chrome://tracing or
+ * https://ui.perfetto.dev and load the file.
+ */
+void writeChromeTrace(const Tracer& tracer, std::ostream& os);
+
+/**
+ * Flat CSV, one row per event:
+ * name,category,kind,start_us,dur_us,depth,args — args packed as
+ * `key=value` pairs separated by ';'. Commas in text fields are
+ * replaced by ';' to keep the format trivially splittable.
+ */
+void writeTraceCsv(const Tracer& tracer, std::ostream& os);
+
+/**
+ * CSV dump of a registry: one row per metric,
+ * `name,type,count,value,min,max,mean,stddev` (counters leave the
+ * distribution columns empty).
+ */
+void writeMetricsCsv(const MetricsRegistry& metrics, std::ostream& os);
+
+/**
+ * Total span milliseconds per category. Nested spans are counted
+ * under their own category only, so with the standard taxonomy
+ * (structural parents use "inference"/"op", phase time lives on
+ * phase-category spans) a category's total is exactly its Fig. 5
+ * phase time.
+ */
+std::map<std::string, double> categoryTotalsMs(const Tracer& tracer);
+
+/**
+ * Distill a trace into metrics: per category a `spans.<cat>` counter
+ * and a `span_ms.<cat>` histogram of span durations, plus an
+ * `arg.<key>` histogram per numeric span attribute (flops, bytes,
+ * energy_mJ, ...).
+ */
+MetricsRegistry metricsFromTrace(const Tracer& tracer);
+
+} // namespace obs
+} // namespace edgebench
+
+#endif // EDGEBENCH_OBS_EXPORT_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Counter/histogram metrics registry.
+ *
+ * Metrics complement spans: where the tracer answers "where did the
+ * time go on this one run", the registry answers "how many / how big
+ * across the run" (nodes executed, FLOPs issued, span durations per
+ * phase). Registries are plain value objects — create one per
+ * experiment, fill it (directly or from a trace via
+ * metricsFromTrace() in export.hh), dump it with writeMetricsCsv().
+ *
+ * Histograms keep streaming summaries (count/min/max/mean/stddev)
+ * rather than samples, so a million-request serving run costs O(1)
+ * memory per metric.
+ */
+
+#ifndef EDGEBENCH_OBS_METRICS_HH
+#define EDGEBENCH_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace edgebench
+{
+namespace obs
+{
+
+/** A monotonically-increasing integer metric. */
+class Counter
+{
+  public:
+    void add(std::int64_t delta = 1);
+    std::int64_t value() const { return value_; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/** Streaming summary of a sample distribution. */
+class Histogram
+{
+  public:
+    void record(double v);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Smallest recorded value; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest recorded value; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const;
+    /** Population standard deviation; 0 when count < 2. */
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named metrics, get-or-create on first access. Iteration order is
+ * lexicographic (std::map), so CSV output is deterministic.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter& counter(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    bool empty() const
+    {
+        return counters_.empty() && histograms_.empty();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace obs
+} // namespace edgebench
+
+#endif // EDGEBENCH_OBS_METRICS_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Span-based structured tracer.
+ *
+ * A Tracer records *simulated-time* spans on a VirtualClock timeline:
+ * every layer of edgebench-sim that models a cost can also record
+ * where that cost went (which Fig. 5 phase, which graph node, which
+ * serving request). The result is exportable as Chrome trace-event
+ * JSON (export.hh) and loadable in chrome://tracing or Perfetto.
+ *
+ * Conventions (see docs/OBSERVABILITY.md for the full taxonomy):
+ *  - a span's *category* is its phase bucket ("compute",
+ *    "data_transfer", ... — the Fig. 5 vocabulary — plus structural
+ *    categories like "inference" and "op");
+ *  - a span's *name* is the framework-specific label the paper's
+ *    figures use ("base_layer", "conv2d", "_C._TensorBase.to()");
+ *  - numeric/text attributes ("flops", "bytes", "bound",
+ *    "energy_mJ") hang off spans as args.
+ *
+ * Instrumentation points live in the lower layers and take a nullable
+ * `Tracer*` — the null sink. A null tracer costs one pointer test per
+ * site; building with -DEDGEBENCH_OBS=OFF additionally compiles every
+ * recording method down to a no-op (kEnabledAtBuild below), so
+ * instrumented code is zero-overhead in both senses.
+ */
+
+#ifndef EDGEBENCH_OBS_TRACE_HH
+#define EDGEBENCH_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edgebench/core/clock.hh"
+
+#ifndef EDGEBENCH_OBS_ENABLED
+#define EDGEBENCH_OBS_ENABLED 1
+#endif
+
+namespace edgebench
+{
+namespace obs
+{
+
+/** False when the tree was configured with -DEDGEBENCH_OBS=OFF. */
+inline constexpr bool kEnabledAtBuild = EDGEBENCH_OBS_ENABLED != 0;
+
+/** One key/value span attribute (numeric or text). */
+struct TraceArg
+{
+    std::string key;
+    std::string text;    ///< used when !numeric
+    double number = 0.0; ///< used when numeric
+    bool numeric = false;
+};
+
+enum class EventKind
+{
+    kSpan,    ///< an interval [startUs, startUs + durUs)
+    kInstant, ///< a point event (thermal shutdown, dropped request)
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    EventKind kind = EventKind::kSpan;
+    double startUs = 0.0;
+    double durUs = 0.0;
+    /** Nesting depth at emission (0 = top level). */
+    int depth = 0;
+    std::vector<TraceArg> args;
+
+    double durMs() const { return durUs / 1e3; }
+    double endUs() const { return startUs + durUs; }
+};
+
+/** Handle to a recorded span; kNoSpan when tracing is disabled. */
+using SpanId = std::int32_t;
+inline constexpr SpanId kNoSpan = -1;
+
+class Tracer
+{
+  public:
+    explicit Tracer(std::string process_name = "edgebench");
+
+    /** The simulated timeline this tracer records on. */
+    core::VirtualClock& clock() { return clock_; }
+    const core::VirtualClock& clock() const { return clock_; }
+
+    /**
+     * Open a span starting now. Must be closed with endSpan() in LIFO
+     * order (enforced). Children recorded before endSpan() nest under
+     * it.
+     */
+    SpanId beginSpan(const std::string& name,
+                     const std::string& category);
+
+    /** Close the innermost open span; it ends at clock().nowUs(). */
+    void endSpan(SpanId id);
+
+    /**
+     * Record a complete span of @p dur_ms starting now, advancing the
+     * clock past it. The workhorse for modeled costs.
+     */
+    SpanId recordSpan(const std::string& name,
+                      const std::string& category, double dur_ms);
+
+    /**
+     * Record a complete span at an explicit position, without touching
+     * the clock. For layers with their own timeline (serving).
+     */
+    SpanId recordSpanAt(const std::string& name,
+                        const std::string& category, double start_ms,
+                        double dur_ms);
+
+    /** Record a point event at the current clock time. */
+    void instant(const std::string& name, const std::string& category);
+
+    /** Record a point event at an explicit position. */
+    void instantAt(const std::string& name, const std::string& category,
+                   double time_ms);
+
+    /** @name Span attributes (no-ops on kNoSpan) */
+    /// @{
+    void argNum(SpanId id, const std::string& key, double value);
+    void argText(SpanId id, const std::string& key, std::string value);
+    /// @}
+
+    /** Number of begun-but-unended spans. */
+    std::size_t openSpans() const { return open_.size(); }
+
+    bool empty() const { return events_.empty(); }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    /**
+     * Mutable event access for *annotators* (power/thermal attach
+     * per-span attributes after the fact). Instrumentation points
+     * must use the recording API instead.
+     */
+    std::vector<TraceEvent>& events() { return events_; }
+
+    const std::string& processName() const { return process_; }
+
+  private:
+    SpanId append(TraceEvent e);
+
+    std::string process_;
+    core::VirtualClock clock_;
+    std::vector<TraceEvent> events_;
+    std::vector<SpanId> open_;
+};
+
+/** RAII begin/end pair; tolerates a null tracer. */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer* tracer, const std::string& name,
+               const std::string& category)
+        : tracer_(tracer),
+          id_(tracer ? tracer->beginSpan(name, category) : kNoSpan)
+    {
+    }
+
+    ~ScopedSpan()
+    {
+        if (tracer_ && id_ != kNoSpan)
+            tracer_->endSpan(id_);
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    SpanId id() const { return id_; }
+
+  private:
+    Tracer* tracer_;
+    SpanId id_;
+};
+
+} // namespace obs
+} // namespace edgebench
+
+#endif // EDGEBENCH_OBS_TRACE_HH

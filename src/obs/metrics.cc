@@ -1,0 +1,65 @@
+#include "edgebench/obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace obs
+{
+
+void
+Counter::add(std::int64_t delta)
+{
+    EB_CHECK(delta >= 0, "Counter: negative increment " << delta);
+    value_ += delta;
+}
+
+void
+Histogram::record(double v)
+{
+    EB_CHECK(std::isfinite(v), "Histogram: non-finite sample");
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    sumsq_ += v * v;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = std::max(0.0, sumsq_ / n - mean() * mean());
+    return std::sqrt(var);
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    return histograms_[name];
+}
+
+} // namespace obs
+} // namespace edgebench

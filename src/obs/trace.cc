@@ -1,0 +1,140 @@
+#include "edgebench/obs/trace.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace obs
+{
+
+Tracer::Tracer(std::string process_name)
+    : process_(std::move(process_name))
+{
+}
+
+SpanId
+Tracer::append(TraceEvent e)
+{
+    events_.push_back(std::move(e));
+    return static_cast<SpanId>(events_.size() - 1);
+}
+
+SpanId
+Tracer::beginSpan(const std::string& name, const std::string& category)
+{
+    if (!kEnabledAtBuild)
+        return kNoSpan;
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.startUs = clock_.nowUs();
+    e.depth = static_cast<int>(open_.size());
+    const SpanId id = append(std::move(e));
+    open_.push_back(id);
+    return id;
+}
+
+void
+Tracer::endSpan(SpanId id)
+{
+    if (!kEnabledAtBuild)
+        return;
+    EB_CHECK(!open_.empty(), "endSpan: no span is open");
+    EB_CHECK(open_.back() == id,
+             "endSpan: span " << id << " is not the innermost open "
+                              << "span (" << open_.back()
+                              << "); spans must close in LIFO order");
+    open_.pop_back();
+    auto& e = events_[static_cast<std::size_t>(id)];
+    e.durUs = clock_.nowUs() - e.startUs;
+}
+
+SpanId
+Tracer::recordSpan(const std::string& name, const std::string& category,
+                   double dur_ms)
+{
+    if (!kEnabledAtBuild)
+        return kNoSpan;
+    EB_CHECK(std::isfinite(dur_ms) && dur_ms >= 0.0,
+             "recordSpan '" << name << "': bad duration " << dur_ms);
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.startUs = clock_.nowUs();
+    e.durUs = dur_ms * 1e3;
+    e.depth = static_cast<int>(open_.size());
+    clock_.advanceMs(dur_ms);
+    return append(std::move(e));
+}
+
+SpanId
+Tracer::recordSpanAt(const std::string& name,
+                     const std::string& category, double start_ms,
+                     double dur_ms)
+{
+    if (!kEnabledAtBuild)
+        return kNoSpan;
+    EB_CHECK(std::isfinite(start_ms) && start_ms >= 0.0,
+             "recordSpanAt '" << name << "': bad start " << start_ms);
+    EB_CHECK(std::isfinite(dur_ms) && dur_ms >= 0.0,
+             "recordSpanAt '" << name << "': bad duration " << dur_ms);
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.startUs = start_ms * 1e3;
+    e.durUs = dur_ms * 1e3;
+    e.depth = static_cast<int>(open_.size());
+    return append(std::move(e));
+}
+
+void
+Tracer::instant(const std::string& name, const std::string& category)
+{
+    instantAt(name, category, clock_.nowMs());
+}
+
+void
+Tracer::instantAt(const std::string& name, const std::string& category,
+                  double time_ms)
+{
+    if (!kEnabledAtBuild)
+        return;
+    EB_CHECK(std::isfinite(time_ms) && time_ms >= 0.0,
+             "instantAt '" << name << "': bad time " << time_ms);
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.kind = EventKind::kInstant;
+    e.startUs = time_ms * 1e3;
+    e.depth = static_cast<int>(open_.size());
+    append(std::move(e));
+}
+
+void
+Tracer::argNum(SpanId id, const std::string& key, double value)
+{
+    if (!kEnabledAtBuild || id == kNoSpan)
+        return;
+    TraceArg a;
+    a.key = key;
+    a.number = value;
+    a.numeric = true;
+    events_[static_cast<std::size_t>(id)].args.push_back(std::move(a));
+}
+
+void
+Tracer::argText(SpanId id, const std::string& key, std::string value)
+{
+    if (!kEnabledAtBuild || id == kNoSpan)
+        return;
+    TraceArg a;
+    a.key = key;
+    a.text = std::move(value);
+    events_[static_cast<std::size_t>(id)].args.push_back(std::move(a));
+}
+
+} // namespace obs
+} // namespace edgebench

@@ -34,6 +34,23 @@ energyPerInference(const frameworks::CompiledModel& m)
 }
 
 double
+annotateTraceEnergy(obs::Tracer& tracer,
+                    const frameworks::CompiledModel& m)
+{
+    const double active_w = energyPerInference(m).activePowerW;
+    for (auto& e : tracer.events()) {
+        if (e.kind != obs::EventKind::kSpan)
+            continue;
+        obs::TraceArg a;
+        a.key = "energy_mJ";
+        a.number = active_w * e.durMs(); // W * ms = mJ
+        a.numeric = true;
+        e.args.push_back(std::move(a));
+    }
+    return active_w;
+}
+
+double
 batteryLifeHours(const frameworks::CompiledModel& m,
                  double capacity_wh, double request_rate_hz)
 {

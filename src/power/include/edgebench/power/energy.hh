@@ -12,6 +12,7 @@
 #define EDGEBENCH_POWER_ENERGY_HH
 
 #include "edgebench/frameworks/framework.hh"
+#include "edgebench/obs/trace.hh"
 
 namespace edgebench
 {
@@ -37,6 +38,17 @@ struct EnergyResult
  * stall) dominates.
  */
 EnergyResult energyPerInference(const frameworks::CompiledModel& m);
+
+/**
+ * Attach an "energy_mJ" attribute to every span in @p tracer: the
+ * deployment's modeled active power (energyPerInference) integrated
+ * over the span's simulated duration. Run this *after* the trace is
+ * recorded — energy is an annotation pass injected from above, not an
+ * instrumentation point (docs/ARCHITECTURE.md). Returns the active
+ * power used, Watts.
+ */
+double annotateTraceEnergy(obs::Tracer& tracer,
+                           const frameworks::CompiledModel& m);
 
 /**
  * Battery life (hours) of a @p capacity_wh pack powering @p m while

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "edgebench/frameworks/runtime.hh"
+#include "edgebench/obs/trace.hh"
 
 namespace edgebench
 {
@@ -39,6 +40,12 @@ struct ServingConfig
     /** Couple the run to the device thermal model when available. */
     bool enableThermal = true;
     double ambientC = 25.0;
+    /**
+     * Optional trace sink: one "request" span per served request
+     * (with queue_ms/service_ms args) on the serving timeline, plus
+     * instants for drops and thermal shutdown. Null disables.
+     */
+    obs::Tracer* tracer = nullptr;
 };
 
 /** Outcome of a serving run. */

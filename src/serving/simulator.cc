@@ -148,6 +148,8 @@ simulateServing(const frameworks::InferenceSession& session,
     double server_free = 0.0;
     double t = 0.0;
     bool down = false;
+    obs::Tracer* const tracer =
+        obs::kEnabledAtBuild ? config.tracer : nullptr;
 
     while (true) {
         const double gap = config.deterministicArrivals
@@ -159,6 +161,9 @@ simulateServing(const frameworks::InferenceSession& session,
         ++rep.offered;
         if (down) {
             ++rep.dropped;
+            if (tracer)
+                tracer->instantAt("request dropped (device down)",
+                                  "serving", t * 1e3);
             continue;
         }
         const double start = std::max(t, server_free);
@@ -192,6 +197,13 @@ simulateServing(const frameworks::InferenceSession& session,
         ++rep.served;
         latencies_ms.push_back((end - t) * 1e3);
         busy_s += service;
+        if (tracer) {
+            const obs::SpanId s = tracer->recordSpanAt(
+                "request[" + std::to_string(rep.offered - 1) + "]",
+                "serving", t * 1e3, (end - t) * 1e3);
+            tracer->argNum(s, "queue_ms", (start - t) * 1e3);
+            tracer->argNum(s, "service_ms", service * 1e3);
+        }
     }
     walker.advance(config.durationS);
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "edgebench/hw/device.hh"
+#include "edgebench/obs/trace.hh"
 #include "edgebench/power/meter.hh"
 
 namespace edgebench
@@ -146,6 +147,18 @@ class ThermalSimulator
                                   double sample_every_s,
                                   bool stop_at_steady);
 };
+
+/**
+ * Attach a "surface_C" attribute to every span in @p tracer: the
+ * device's modeled heatsink-surface temperature at the span's start,
+ * obtained by walking the RC thermal network across the trace
+ * timeline at constant dissipation @p power_w. An annotation pass
+ * like power::annotateTraceEnergy — run it after recording. Throws
+ * InvalidArgumentError for platforms without thermal instrumentation
+ * (HPC machines, Table VI covers edge devices only).
+ */
+void annotateTraceTemperature(obs::Tracer& tracer, hw::DeviceId device,
+                              double power_w, double ambient_c = 25.0);
 
 } // namespace thermal
 } // namespace edgebench

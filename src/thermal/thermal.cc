@@ -221,5 +221,41 @@ ThermalSimulator::simulateImpl(const power::PowerFunction& power,
     return trace;
 }
 
+void
+annotateTraceTemperature(obs::Tracer& tracer, hw::DeviceId device,
+                         double power_w, double ambient_c)
+{
+    EB_CHECK(power_w >= 0.0,
+             "annotateTraceTemperature: negative power");
+    auto& events = tracer.events();
+
+    // Walk the RC network through event start times in chronological
+    // order (the event vector is in emission order, which recordSpanAt
+    // users may violate).
+    std::vector<std::size_t> order(events.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return events[a].startUs < events[b].startUs;
+                     });
+
+    ThermalSimulator sim(device, ambient_c);
+    double cursor_s = 0.0;
+    for (const std::size_t i : order) {
+        auto& e = events[i];
+        const double at_s = e.startUs / 1e6;
+        if (at_s > cursor_s && !sim.shutDown()) {
+            sim.step(power_w, at_s - cursor_s);
+            cursor_s = at_s;
+        }
+        obs::TraceArg a;
+        a.key = "surface_C";
+        a.number = sim.surfaceC();
+        a.numeric = true;
+        e.args.push_back(std::move(a));
+    }
+}
+
 } // namespace thermal
 } // namespace edgebench

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the manually-advanced simulated-time clock.
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/clock.hh"
+#include "edgebench/core/common.hh"
+
+namespace ecore = edgebench::core;
+
+TEST(VirtualClockTest, StartsAtZero)
+{
+    ecore::VirtualClock c;
+    EXPECT_EQ(c.nowUs(), 0.0);
+    EXPECT_EQ(c.nowMs(), 0.0);
+}
+
+TEST(VirtualClockTest, AdvancesInBothUnits)
+{
+    ecore::VirtualClock c;
+    c.advanceUs(1500.0);
+    EXPECT_DOUBLE_EQ(c.nowUs(), 1500.0);
+    EXPECT_DOUBLE_EQ(c.nowMs(), 1.5);
+    c.advanceMs(2.0);
+    EXPECT_DOUBLE_EQ(c.nowUs(), 3500.0);
+}
+
+TEST(VirtualClockTest, ZeroAdvanceIsAllowed)
+{
+    ecore::VirtualClock c;
+    c.advanceUs(0.0);
+    EXPECT_EQ(c.nowUs(), 0.0);
+}
+
+TEST(VirtualClockTest, RejectsNegativeAndNonFinite)
+{
+    ecore::VirtualClock c;
+    EXPECT_THROW(c.advanceUs(-1.0),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(c.advanceMs(
+                     std::numeric_limits<double>::infinity()),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(VirtualClockTest, ResetReturnsToZero)
+{
+    ecore::VirtualClock c;
+    c.advanceMs(10.0);
+    c.reset();
+    EXPECT_EQ(c.nowUs(), 0.0);
+}

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * End-to-end observability tests: the recorded trace must agree with
+ * the legacy aggregate numbers it was derived from.
+ *
+ *  - profileRun: per-category span totals == ProfileReport per-phase
+ *    totals (within 1%, the fig05 acceptance bound);
+ *  - per-node "op" spans carry op/flops/bytes/bound attributes and
+ *    their FLOPs sum to the graph total;
+ *  - power/thermal annotators attach energy_mJ / surface_C to spans;
+ *  - the interpreter emits one "exec" span per executed node;
+ *  - the serving simulator emits one "request" span per served
+ *    request;
+ *  - harness::traceBreakdown folds the trace back into a table whose
+ *    shares sum to 100%.
+ *
+ * Everything degrades to "the tracer stays empty" when the tree is
+ * built with -DEDGEBENCH_OBS=OFF; the suite passes either way.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/frameworks/runtime.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/harness/report.hh"
+#include "edgebench/hw/roofline.hh"
+#include "edgebench/obs/export.hh"
+#include "edgebench/power/energy.hh"
+#include "edgebench/serving/simulator.hh"
+#include "edgebench/thermal/thermal.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+frameworks::InferenceSession
+deploy(frameworks::FrameworkId fw, hw::DeviceId device)
+{
+    auto dep = frameworks::tryDeploy(
+        fw, models::buildModel(models::ModelId::kResNet18), device);
+    EB_CHECK(dep.has_value(), "test fixture: undeployable combo");
+    return frameworks::InferenceSession(std::move(dep->model));
+}
+
+/** Legacy per-phase totals from a ProfileReport. */
+std::map<std::string, double>
+reportPhaseTotals(const frameworks::ProfileReport& rep)
+{
+    std::map<std::string, double> totals;
+    for (const auto& s : rep.samples)
+        totals[frameworks::phaseName(s.phase)] += s.ms;
+    return totals;
+}
+
+const double* findNum(const obs::TraceEvent& e, const std::string& key)
+{
+    for (const auto& a : e.args)
+        if (a.numeric && a.key == key)
+            return &a.number;
+    return nullptr;
+}
+
+const std::string* findText(const obs::TraceEvent& e,
+                            const std::string& key)
+{
+    for (const auto& a : e.args)
+        if (!a.numeric && a.key == key)
+            return &a.text;
+    return nullptr;
+}
+
+} // namespace
+
+class TraceProfileTest
+    : public ::testing::TestWithParam<
+          std::pair<frameworks::FrameworkId, hw::DeviceId>>
+{
+};
+
+TEST_P(TraceProfileTest, TracePhaseTotalsMatchLegacyReport)
+{
+    const auto [fw, device] = GetParam();
+    auto session = deploy(fw, device);
+    obs::Tracer tracer;
+    const auto rep = session.profileRun(30, &tracer);
+
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(tracer.empty());
+        return;
+    }
+    const auto trace_totals = obs::categoryTotalsMs(tracer);
+    for (const auto& [phase, legacy_ms] : reportPhaseTotals(rep)) {
+        if (legacy_ms <= 0.0)
+            continue;
+        ASSERT_TRUE(trace_totals.count(phase))
+            << "phase " << phase << " missing from trace";
+        EXPECT_NEAR(trace_totals.at(phase), legacy_ms,
+                    0.01 * legacy_ms)
+            << "phase " << phase;
+    }
+    // And nothing in the trace invents phase time the report lacks.
+    EXPECT_EQ(trace_totals.size(), reportPhaseTotals(rep).size() + 2)
+        << "expected exactly the phase categories plus the "
+           "structural 'inference' and 'op' categories";
+    EXPECT_EQ(tracer.openSpans(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig05Combos, TraceProfileTest,
+    ::testing::Values(
+        std::make_pair(frameworks::FrameworkId::kPyTorch,
+                       hw::DeviceId::kRpi3),
+        std::make_pair(frameworks::FrameworkId::kTensorFlow,
+                       hw::DeviceId::kRpi3),
+        std::make_pair(frameworks::FrameworkId::kPyTorch,
+                       hw::DeviceId::kJetsonTx2),
+        std::make_pair(frameworks::FrameworkId::kTensorFlow,
+                       hw::DeviceId::kJetsonTx2)));
+
+TEST(TraceProfileDetailTest, OpSpansCarryNodeAttributes)
+{
+    auto session = deploy(frameworks::FrameworkId::kPyTorch,
+                          hw::DeviceId::kRpi3);
+    obs::Tracer tracer;
+    session.profileRun(30, &tracer);
+    if (!obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+
+    double flops_sum = 0.0;
+    std::size_t op_spans = 0;
+    for (const auto& e : tracer.events()) {
+        if (e.category != "op")
+            continue;
+        ++op_spans;
+        ASSERT_NE(findText(e, "op"), nullptr) << e.name;
+        ASSERT_NE(findNum(e, "flops"), nullptr) << e.name;
+        ASSERT_NE(findNum(e, "bytes"), nullptr) << e.name;
+        EXPECT_GT(*findNum(e, "bytes"), 0.0) << e.name;
+        const auto* bound = findText(e, "bound");
+        ASSERT_NE(bound, nullptr) << e.name;
+        EXPECT_TRUE(*bound == "compute" || *bound == "memory")
+            << *bound;
+        flops_sum += *findNum(e, "flops");
+    }
+    EXPECT_GT(op_spans, 20u); // ResNet-18 has ~50 graph nodes
+    const auto stats = session.model().graph.stats();
+    EXPECT_NEAR(flops_sum, 2.0 * static_cast<double>(stats.macs),
+                0.01 * 2.0 * static_cast<double>(stats.macs));
+}
+
+TEST(TraceAnnotateTest, EnergyAttachesToEverySpan)
+{
+    auto session = deploy(frameworks::FrameworkId::kTensorFlow,
+                          hw::DeviceId::kRpi3);
+    obs::Tracer tracer;
+    session.profileRun(5, &tracer);
+    const double active_w =
+        power::annotateTraceEnergy(tracer, session.model());
+    EXPECT_GT(active_w, 0.0);
+    if (!obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+    for (const auto& e : tracer.events()) {
+        if (e.kind != obs::EventKind::kSpan)
+            continue;
+        const auto* mj = findNum(e, "energy_mJ");
+        ASSERT_NE(mj, nullptr) << e.name;
+        EXPECT_NEAR(*mj, active_w * e.durMs(),
+                    1e-9 + 1e-12 * *mj);
+    }
+}
+
+TEST(TraceAnnotateTest, TemperatureAttachesAndStartsAtIdle)
+{
+    auto session = deploy(frameworks::FrameworkId::kTensorFlow,
+                          hw::DeviceId::kRpi3);
+    obs::Tracer tracer;
+    session.profileRun(5, &tracer);
+    const double active_w =
+        power::annotateTraceEnergy(tracer, session.model());
+    thermal::annotateTraceTemperature(tracer, hw::DeviceId::kRpi3,
+                                      active_w);
+    if (!obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+    const double idle_c =
+        thermal::coolingSpec(hw::DeviceId::kRpi3).idleTempC;
+    double peak_c = 0.0;
+    for (const auto& e : tracer.events()) {
+        const auto* c = findNum(e, "surface_C");
+        ASSERT_NE(c, nullptr) << e.name;
+        EXPECT_GE(*c, idle_c - 0.5) << e.name;
+        peak_c = std::max(peak_c, *c);
+    }
+    // Sustained active power must have warmed the surface.
+    EXPECT_GT(peak_c, idle_c);
+}
+
+TEST(TraceAnnotateTest, TemperatureRejectsHpcPlatforms)
+{
+    obs::Tracer tracer;
+    tracer.recordSpan("x", "compute", 1.0);
+    EXPECT_THROW(thermal::annotateTraceTemperature(
+                     tracer, hw::DeviceId::kTitanXp, 50.0),
+                 InvalidArgumentError);
+}
+
+TEST(InterpreterTraceTest, OneExecSpanPerNode)
+{
+    graph::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto r = g.addActivation(c, graph::ActKind::kRelu);
+    g.markOutput(r);
+    core::Rng rng(7);
+    g.materializeParams(rng);
+
+    graph::Interpreter interp(g);
+    obs::Tracer tracer;
+    const std::vector<double> node_ms = {0.0, 1.5, 0.5};
+    interp.setTracer(&tracer, &node_ms);
+    interp.run({core::Tensor::randomNormal({1, 3, 8, 8}, rng)});
+
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(tracer.empty());
+        return;
+    }
+    std::size_t exec_spans = 0;
+    double exec_ms = 0.0;
+    for (const auto& e : tracer.events()) {
+        if (e.category != "exec")
+            continue;
+        ++exec_spans;
+        exec_ms += e.durMs();
+        EXPECT_NE(findText(e, "op"), nullptr);
+        EXPECT_NE(findNum(e, "flops"), nullptr);
+        EXPECT_NE(findNum(e, "bytes"), nullptr);
+    }
+    EXPECT_EQ(exec_spans,
+              static_cast<std::size_t>(g.numNodes()));
+    EXPECT_DOUBLE_EQ(exec_ms, 2.0);
+    // The surrounding "run" span covers the whole execution.
+    const auto totals = obs::categoryTotalsMs(tracer);
+    EXPECT_DOUBLE_EQ(totals.at("run"), 2.0);
+    EXPECT_EQ(tracer.openSpans(), 0u);
+
+    // Re-running without a tracer must not record more events.
+    const auto before = tracer.events().size();
+    interp.setTracer(nullptr);
+    interp.run({core::Tensor::randomNormal({1, 3, 8, 8}, rng)});
+    EXPECT_EQ(tracer.events().size(), before);
+}
+
+TEST(ServingTraceTest, OneRequestSpanPerServedRequest)
+{
+    auto session = deploy(frameworks::FrameworkId::kTensorFlow,
+                          hw::DeviceId::kJetsonTx2);
+    serving::ServingConfig cfg;
+    cfg.durationS = 10.0;
+    cfg.arrivalRateHz = 2.0;
+    cfg.deterministicArrivals = true;
+    cfg.enableThermal = false;
+    obs::Tracer tracer;
+    cfg.tracer = &tracer;
+    const auto rep = serving::simulateServing(session, cfg);
+
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(tracer.empty());
+        return;
+    }
+    std::size_t request_spans = 0;
+    for (const auto& e : tracer.events()) {
+        if (e.kind != obs::EventKind::kSpan ||
+            e.category != "serving")
+            continue;
+        ++request_spans;
+        const auto* queue_ms = findNum(e, "queue_ms");
+        const auto* service_ms = findNum(e, "service_ms");
+        ASSERT_NE(queue_ms, nullptr);
+        ASSERT_NE(service_ms, nullptr);
+        EXPECT_GE(*queue_ms, 0.0);
+        EXPECT_GT(*service_ms, 0.0);
+        // Latency = queueing + service.
+        EXPECT_NEAR(e.durMs(), *queue_ms + *service_ms,
+                    1e-6 * e.durMs());
+    }
+    EXPECT_EQ(request_spans,
+              static_cast<std::size_t>(rep.served));
+}
+
+TEST(TraceBreakdownTest, SharesSumToOneHundredPercent)
+{
+    auto session = deploy(frameworks::FrameworkId::kPyTorch,
+                          hw::DeviceId::kJetsonTx2);
+    obs::Tracer tracer;
+    session.profileRun(100, &tracer);
+    if (!obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+    const auto table = harness::traceBreakdown(tracer);
+    EXPECT_GE(table.rows(), 6u);
+    std::ostringstream os;
+    table.print(os);
+    // Re-parse the Share column and sum it.
+    std::istringstream lines(os.str());
+    std::string line;
+    double share_sum = 0.0;
+    while (std::getline(lines, line)) {
+        const auto last = line.find_last_of('|');
+        const auto prev = line.find_last_of('|', last - 1);
+        if (last == std::string::npos || prev == std::string::npos)
+            continue;
+        const auto cell = line.substr(prev + 1, last - prev - 1);
+        try {
+            share_sum += std::stod(cell);
+        } catch (const std::invalid_argument&) {
+            // header / rule rows
+        }
+    }
+    // Each row rounds to 0.1%, so the sum can drift by a few tenths.
+    EXPECT_NEAR(share_sum, 100.0, 0.6);
+}

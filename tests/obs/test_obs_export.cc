@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Exporter tests: Chrome trace-event JSON well-formedness (checked
+ * with an in-test RFC 8259 recursive-descent validator, no external
+ * JSON dependency), CSV shape, and the trace aggregation helpers.
+ */
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/obs/export.hh"
+#include "edgebench/obs/metrics.hh"
+#include "edgebench/obs/trace.hh"
+
+namespace obs = edgebench::obs;
+
+namespace
+{
+
+/**
+ * Minimal JSON syntax checker: accepts exactly the RFC 8259 grammar
+ * (in particular it rejects NaN/Infinity literals, trailing commas,
+ * and unescaped control characters) and throws std::runtime_error at
+ * the first violation.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& s) : s_(s) {}
+
+    void check()
+    {
+        ws();
+        value();
+        ws();
+        if (p_ != s_.size())
+            fail("trailing data");
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& why) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(p_) + ": " + why);
+    }
+
+    char peek() const { return p_ < s_.size() ? s_[p_] : '\0'; }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++p_;
+    }
+
+    void ws()
+    {
+        while (p_ < s_.size() &&
+               (s_[p_] == ' ' || s_[p_] == '\t' || s_[p_] == '\n' ||
+                s_[p_] == '\r'))
+            ++p_;
+    }
+
+    void value()
+    {
+        switch (peek()) {
+          case '{': object(); break;
+          case '[': array(); break;
+          case '"': string(); break;
+          case 't': literal("true"); break;
+          case 'f': literal("false"); break;
+          case 'n': literal("null"); break;
+          default: number();
+        }
+    }
+
+    void literal(const std::string& lit)
+    {
+        if (s_.compare(p_, lit.size(), lit) != 0)
+            fail("bad literal");
+        p_ += lit.size();
+    }
+
+    void object()
+    {
+        expect('{');
+        ws();
+        if (peek() == '}') {
+            ++p_;
+            return;
+        }
+        while (true) {
+            string();
+            ws();
+            expect(':');
+            ws();
+            value();
+            ws();
+            if (peek() == ',') {
+                ++p_;
+                ws();
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void array()
+    {
+        expect('[');
+        ws();
+        if (peek() == ']') {
+            ++p_;
+            return;
+        }
+        while (true) {
+            value();
+            ws();
+            if (peek() == ',') {
+                ++p_;
+                ws();
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    void string()
+    {
+        expect('"');
+        while (true) {
+            if (p_ >= s_.size())
+                fail("unterminated string");
+            const unsigned char c =
+                static_cast<unsigned char>(s_[p_]);
+            if (c == '"') {
+                ++p_;
+                return;
+            }
+            if (c < 0x20)
+                fail("unescaped control character");
+            if (c == '\\') {
+                ++p_;
+                const char e = peek();
+                if (e == 'u') {
+                    ++p_;
+                    for (int i = 0; i < 4; ++i, ++p_)
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            fail("bad \\u escape");
+                    continue;
+                }
+                if (std::string("\"\\/bfnrt").find(e) ==
+                    std::string::npos)
+                    fail("bad escape");
+                ++p_;
+                continue;
+            }
+            ++p_;
+        }
+    }
+
+    void number()
+    {
+        if (peek() == '-')
+            ++p_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("bad number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++p_;
+        if (peek() == '.') {
+            ++p_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("bad fraction");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++p_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++p_;
+            if (peek() == '+' || peek() == '-')
+                ++p_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("bad exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++p_;
+        }
+    }
+
+    const std::string& s_;
+    std::size_t p_ = 0;
+};
+
+std::size_t
+countOccurrences(const std::string& hay, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (auto p = hay.find(needle); p != std::string::npos;
+         p = hay.find(needle, p + needle.size()))
+        ++n;
+    return n;
+}
+
+/** A small trace with nesting, args, and an instant event. */
+obs::Tracer
+sampleTrace()
+{
+    obs::Tracer t("unit \"test\"\\process");
+    const auto run = t.beginSpan("interpreter.run", "run");
+    const auto a = t.recordSpan("conv2d", "compute", 2.0);
+    t.argNum(a, "flops", 3.6e9);
+    t.argText(a, "bound", "compute");
+    const auto b = t.recordSpan("line\nbreak, comma", "compute", 1.0);
+    t.argNum(b, "bytes", 4096.0);
+    t.endSpan(run);
+    t.recordSpan("forward", "session_management", 0.5);
+    t.instant("shutdown", "serving");
+    return t;
+}
+
+} // namespace
+
+TEST(ChromeTraceTest, OutputIsWellFormedJson)
+{
+    const auto t = sampleTrace();
+    std::ostringstream os;
+    obs::writeChromeTrace(t, os);
+    const std::string json = os.str();
+    EXPECT_NO_THROW(JsonChecker(json).check()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    // One metadata record, one complete event per span, one instant.
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"M\""), 1u);
+    if (obs::kEnabledAtBuild) {
+        EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\""), 4u);
+        EXPECT_EQ(countOccurrences(json, "\"ph\":\"i\""), 1u);
+        EXPECT_NE(json.find("\"flops\":3600000000"),
+                  std::string::npos);
+    }
+}
+
+TEST(ChromeTraceTest, EmptyTracerStillProducesValidJson)
+{
+    obs::Tracer t;
+    std::ostringstream os;
+    obs::writeChromeTrace(t, os);
+    EXPECT_NO_THROW(JsonChecker(os.str()).check()) << os.str();
+}
+
+TEST(ChromeTraceTest, HostileStringsAreEscaped)
+{
+    obs::Tracer t("p");
+    const auto s =
+        t.recordSpan("quote\" slash\\ tab\t", "cat\n", 1.0);
+    t.argText(s, "k\"ey", std::string("nul\x01 char"));
+    std::ostringstream os;
+    obs::writeChromeTrace(t, os);
+    EXPECT_NO_THROW(JsonChecker(os.str()).check()) << os.str();
+}
+
+TEST(TraceCsvTest, OneRowPerEventPlusHeader)
+{
+    const auto t = sampleTrace();
+    std::ostringstream os;
+    obs::writeTraceCsv(t, os);
+    const std::string csv = os.str();
+    const std::size_t rows = countOccurrences(csv, "\n");
+    EXPECT_EQ(rows, 1u + t.events().size());
+    EXPECT_EQ(csv.rfind("name,category,kind,start_us,dur_us,depth,"
+                        "args\n", 0),
+              0u);
+    if (obs::kEnabledAtBuild) {
+        // Commas and newlines in fields are neutralized.
+        EXPECT_NE(csv.find("line break; comma"), std::string::npos);
+        EXPECT_NE(csv.find("bytes=4096"), std::string::npos);
+        EXPECT_NE(csv.find(",instant,"), std::string::npos);
+    }
+}
+
+TEST(CategoryTotalsTest, SumsSpansPerCategoryOnly)
+{
+    const auto t = sampleTrace();
+    const auto totals = obs::categoryTotalsMs(t);
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(totals.empty());
+        return;
+    }
+    // The "run" parent wraps 3 ms of children; instants contribute
+    // nothing.
+    EXPECT_DOUBLE_EQ(totals.at("compute"), 3.0);
+    EXPECT_DOUBLE_EQ(totals.at("run"), 3.0);
+    EXPECT_DOUBLE_EQ(totals.at("session_management"), 0.5);
+    EXPECT_EQ(totals.count("serving"), 0u);
+}
+
+TEST(MetricsFromTraceTest, DistillsCountsDurationsAndArgs)
+{
+    const auto t = sampleTrace();
+    const auto m = obs::metricsFromTrace(t);
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(m.empty());
+        return;
+    }
+    EXPECT_EQ(m.counters().at("spans.compute").value(), 2);
+    EXPECT_EQ(m.counters().at("spans.run").value(), 1);
+    EXPECT_DOUBLE_EQ(m.histograms().at("span_ms.compute").sum(), 3.0);
+    EXPECT_EQ(m.histograms().at("arg.flops").count(), 1u);
+    EXPECT_DOUBLE_EQ(m.histograms().at("arg.bytes").max(), 4096.0);
+}
+
+TEST(MetricsCsvTest, DeterministicHeaderAndRows)
+{
+    obs::MetricsRegistry m;
+    m.counter("zeta").add(7);
+    m.counter("alpha").add(1);
+    m.histogram("lat_ms").record(2.0);
+    m.histogram("lat_ms").record(4.0);
+    std::ostringstream os;
+    obs::writeMetricsCsv(m, os);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("name,type,count,value,min,max,mean,stddev\n",
+                        0),
+              0u);
+    // Counters first (map order), then histograms.
+    EXPECT_LT(csv.find("alpha,counter,,1"), csv.find("zeta,counter"));
+    EXPECT_NE(csv.find("lat_ms,histogram,2,,2,4,3,1"),
+              std::string::npos);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Metrics registry tests: counter monotonicity, streaming histogram
+ * moments, and get-or-create registry semantics.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/obs/metrics.hh"
+
+namespace obs = edgebench::obs;
+
+TEST(CounterTest, AccumulatesDeltas)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+}
+
+TEST(CounterTest, RejectsNegativeDelta)
+{
+    obs::Counter c;
+    EXPECT_THROW(c.add(-1), edgebench::InvalidArgumentError);
+}
+
+TEST(HistogramTest, EmptyIsAllZeros)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.stddev(), 0.0);
+}
+
+TEST(HistogramTest, StreamingMomentsMatchClosedForm)
+{
+    obs::Histogram h;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        h.record(v);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    // Textbook population-stddev example: exactly 2.
+    EXPECT_NEAR(h.stddev(), 2.0, 1e-12);
+}
+
+TEST(HistogramTest, SingleSampleHasZeroSpread)
+{
+    obs::Histogram h;
+    h.record(3.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+    EXPECT_EQ(h.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 3.5);
+    EXPECT_DOUBLE_EQ(h.max(), 3.5);
+}
+
+TEST(HistogramTest, RejectsNonFiniteSamples)
+{
+    obs::Histogram h;
+    EXPECT_THROW(h.record(std::nan("")),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameMetric)
+{
+    obs::MetricsRegistry r;
+    EXPECT_TRUE(r.empty());
+    r.counter("nodes").add(3);
+    r.counter("nodes").add(2);
+    EXPECT_EQ(r.counter("nodes").value(), 5);
+    r.histogram("span_ms").record(1.0);
+    r.histogram("span_ms").record(3.0);
+    EXPECT_DOUBLE_EQ(r.histogram("span_ms").mean(), 2.0);
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.counters().size(), 1u);
+    EXPECT_EQ(r.histograms().size(), 1u);
+}
+
+TEST(RegistryTest, IterationIsLexicographic)
+{
+    obs::MetricsRegistry r;
+    r.counter("zeta");
+    r.counter("alpha");
+    auto it = r.counters().begin();
+    EXPECT_EQ(it->first, "alpha");
+    EXPECT_EQ((++it)->first, "zeta");
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tracer tests: span nesting/ordering, the LIFO discipline, clock
+ * coupling, attributes, and the build-time kill switch. The suite is
+ * written to pass under both -DEDGEBENCH_OBS=ON and OFF: when tracing
+ * is compiled out, every recording call must be an observable no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/obs/trace.hh"
+
+namespace obs = edgebench::obs;
+
+TEST(TracerTest, StartsEmpty)
+{
+    obs::Tracer t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.openSpans(), 0u);
+    EXPECT_EQ(t.processName(), "edgebench");
+}
+
+TEST(TracerTest, RecordSpanAdvancesClockAndStoresDuration)
+{
+    obs::Tracer t;
+    const auto id = t.recordSpan("conv2d", "compute", 2.5);
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_EQ(id, obs::kNoSpan);
+        EXPECT_TRUE(t.empty());
+        EXPECT_EQ(t.clock().nowUs(), 0.0);
+        return;
+    }
+    ASSERT_EQ(t.events().size(), 1u);
+    const auto& e = t.events().front();
+    EXPECT_EQ(e.name, "conv2d");
+    EXPECT_EQ(e.category, "compute");
+    EXPECT_EQ(e.kind, obs::EventKind::kSpan);
+    EXPECT_DOUBLE_EQ(e.startUs, 0.0);
+    EXPECT_DOUBLE_EQ(e.durMs(), 2.5);
+    EXPECT_DOUBLE_EQ(t.clock().nowMs(), 2.5);
+}
+
+TEST(TracerTest, SpansNestAndTimeIsContained)
+{
+    obs::Tracer t;
+    const auto outer = t.beginSpan("inference[0]", "inference");
+    const auto a = t.recordSpan("conv2d", "op", 1.0);
+    const auto b = t.recordSpan("dense", "op", 0.5);
+    t.endSpan(outer);
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(t.empty());
+        return;
+    }
+    (void)a;
+    (void)b;
+    ASSERT_EQ(t.events().size(), 3u);
+    const auto& out_e = t.events()[static_cast<std::size_t>(outer)];
+    EXPECT_EQ(out_e.depth, 0);
+    EXPECT_DOUBLE_EQ(out_e.durMs(), 1.5); // children advance the clock
+    for (const auto id : {a, b}) {
+        const auto& c = t.events()[static_cast<std::size_t>(id)];
+        EXPECT_EQ(c.depth, 1);
+        EXPECT_GE(c.startUs, out_e.startUs);
+        EXPECT_LE(c.endUs(), out_e.endUs());
+    }
+}
+
+TEST(TracerTest, EndSpanEnforcesLifoOrder)
+{
+    if (!obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+    obs::Tracer t;
+    const auto outer = t.beginSpan("outer", "run");
+    const auto inner = t.beginSpan("inner", "run");
+    EXPECT_THROW(t.endSpan(outer), edgebench::InvalidArgumentError);
+    t.endSpan(inner);
+    t.endSpan(outer);
+    EXPECT_EQ(t.openSpans(), 0u);
+}
+
+TEST(TracerTest, EventsAreInEmissionOrder)
+{
+    if (!obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+    obs::Tracer t;
+    t.recordSpan("first", "a", 1.0);
+    t.recordSpan("second", "b", 1.0);
+    t.recordSpan("third", "c", 1.0);
+    ASSERT_EQ(t.events().size(), 3u);
+    EXPECT_EQ(t.events()[0].name, "first");
+    EXPECT_EQ(t.events()[2].name, "third");
+    EXPECT_LT(t.events()[0].startUs, t.events()[1].startUs);
+    EXPECT_LT(t.events()[1].startUs, t.events()[2].startUs);
+}
+
+TEST(TracerTest, RecordSpanAtDoesNotTouchTheClock)
+{
+    obs::Tracer t;
+    t.recordSpanAt("request[0]", "serving", 100.0, 5.0);
+    EXPECT_DOUBLE_EQ(t.clock().nowUs(), 0.0);
+    if (!obs::kEnabledAtBuild)
+        return;
+    ASSERT_EQ(t.events().size(), 1u);
+    EXPECT_DOUBLE_EQ(t.events()[0].startUs, 100.0 * 1e3);
+    EXPECT_DOUBLE_EQ(t.events()[0].durMs(), 5.0);
+}
+
+TEST(TracerTest, InstantEventsHaveZeroDuration)
+{
+    obs::Tracer t;
+    t.instantAt("thermal_shutdown", "serving", 42.0);
+    if (!obs::kEnabledAtBuild) {
+        EXPECT_TRUE(t.empty());
+        return;
+    }
+    ASSERT_EQ(t.events().size(), 1u);
+    EXPECT_EQ(t.events()[0].kind, obs::EventKind::kInstant);
+    EXPECT_DOUBLE_EQ(t.events()[0].durUs, 0.0);
+}
+
+TEST(TracerTest, ArgsAttachToTheRightSpan)
+{
+    obs::Tracer t;
+    const auto a = t.recordSpan("conv2d", "op", 1.0);
+    const auto b = t.recordSpan("dense", "op", 1.0);
+    t.argNum(a, "flops", 1e9);
+    t.argText(b, "bound", "memory");
+    t.argNum(obs::kNoSpan, "ignored", 0.0); // must be a no-op
+    if (!obs::kEnabledAtBuild)
+        return;
+    const auto& ea = t.events()[static_cast<std::size_t>(a)];
+    ASSERT_EQ(ea.args.size(), 1u);
+    EXPECT_EQ(ea.args[0].key, "flops");
+    EXPECT_TRUE(ea.args[0].numeric);
+    EXPECT_DOUBLE_EQ(ea.args[0].number, 1e9);
+    const auto& eb = t.events()[static_cast<std::size_t>(b)];
+    ASSERT_EQ(eb.args.size(), 1u);
+    EXPECT_FALSE(eb.args[0].numeric);
+    EXPECT_EQ(eb.args[0].text, "memory");
+}
+
+TEST(TracerTest, ScopedSpanClosesOnDestructionAndToleratesNull)
+{
+    obs::Tracer t;
+    {
+        obs::ScopedSpan outer(&t, "run", "run");
+        t.recordSpan("child", "op", 1.0);
+        EXPECT_EQ(t.openSpans(), obs::kEnabledAtBuild ? 1u : 0u);
+    }
+    EXPECT_EQ(t.openSpans(), 0u);
+    {
+        obs::ScopedSpan null_span(nullptr, "x", "y");
+        EXPECT_EQ(null_span.id(), obs::kNoSpan);
+    }
+}
+
+TEST(TracerTest, DisabledBuildRecordsNothing)
+{
+    // Meaningful under -DEDGEBENCH_OBS=OFF; trivially true otherwise.
+    if (obs::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled in";
+    obs::Tracer t;
+    const auto id = t.beginSpan("a", "b");
+    EXPECT_EQ(id, obs::kNoSpan);
+    t.endSpan(id);
+    t.instant("i", "c");
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.openSpans(), 0u);
+}

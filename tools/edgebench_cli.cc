@@ -12,6 +12,13 @@
  *   edgebench predict <model> <device> [fw]  latency + energy
  *   edgebench compat                         Table V matrix
  *   edgebench partition <model> <device> <lan|wifi|lte>
+ *
+ * Global options (consumed anywhere on the command line):
+ *   --trace-out <file>    record a profiled run of `predict` as
+ *                         Chrome trace-event JSON (chrome://tracing,
+ *                         https://ui.perfetto.dev)
+ *   --metrics-out <file>  distill the same run into a metrics CSV
+ *   --inferences <n>      inferences in the profiled run (default 30)
  */
 
 #include <fstream>
@@ -22,26 +29,48 @@
 #include "edgebench/core/common.hh"
 #include "edgebench/distrib/partition.hh"
 #include "edgebench/frameworks/deploy.hh"
+#include "edgebench/frameworks/runtime.hh"
 #include "edgebench/graph/export.hh"
 #include "edgebench/graph/serialize.hh"
 #include "edgebench/harness/report.hh"
+#include "edgebench/obs/export.hh"
 #include "edgebench/power/energy.hh"
+#include "edgebench/thermal/thermal.hh"
 
 using namespace edgebench;
 
 namespace
 {
 
+/** Profiling options lifted from the command line before dispatch. */
+struct ObsOptions
+{
+    std::string traceOut;
+    std::string metricsOut;
+    std::int64_t inferences = 30;
+
+    bool enabled() const
+    {
+        return !traceOut.empty() || !metricsOut.empty();
+    }
+};
+
 int
 usage()
 {
     std::cerr
-        << "usage: edgebench <command> [args]\n"
+        << "usage: edgebench [options] <command> [args]\n"
         << "  models | devices | frameworks <device> | compat\n"
         << "  summary <model> | dot <model>\n"
         << "  save <model> <file.ebg> | show <file.ebg>\n"
         << "  predict <model> <device> [framework]\n"
-        << "  partition <model> <edge-device> <lan|wifi|lte>\n";
+        << "  partition <model> <edge-device> <lan|wifi|lte>\n"
+        << "options (apply to predict):\n"
+        << "  --trace-out <file>    Chrome trace JSON of a profiled "
+           "run\n"
+        << "  --metrics-out <file>  metrics CSV of the same run\n"
+        << "  --inferences <n>      run length to profile "
+           "(default 30)\n";
     return 2;
 }
 
@@ -125,9 +154,53 @@ cmdShow(const std::string& path)
     return 0;
 }
 
+/**
+ * Record a profiled run of @p session, annotate the spans with the
+ * power/thermal models, and write the requested exports.
+ */
+void
+profileToFiles(const frameworks::InferenceSession& session,
+               const ObsOptions& opts)
+{
+    obs::Tracer tracer("edgebench predict");
+    session.profileRun(opts.inferences, &tracer);
+    const double active_w =
+        power::annotateTraceEnergy(tracer, session.model());
+    try {
+        thermal::annotateTraceTemperature(
+            tracer, session.model().device, active_w);
+    } catch (const InvalidArgumentError&) {
+        // HPC platform: no Table VI cooling data, skip surface_C.
+    }
+
+    if (!opts.traceOut.empty()) {
+        std::ofstream out(opts.traceOut);
+        EB_CHECK(out.good(),
+                 "cannot open '" << opts.traceOut << "' for writing");
+        obs::writeChromeTrace(tracer, out);
+        std::cout << "  trace:          " << tracer.events().size()
+                  << " events -> " << opts.traceOut
+                  << " (load in chrome://tracing or Perfetto)\n";
+    }
+    if (!opts.metricsOut.empty()) {
+        const auto metrics = obs::metricsFromTrace(tracer);
+        std::ofstream out(opts.metricsOut);
+        EB_CHECK(out.good(),
+                 "cannot open '" << opts.metricsOut
+                                 << "' for writing");
+        obs::writeMetricsCsv(metrics, out);
+        std::cout << "  metrics:        -> " << opts.metricsOut
+                  << "\n";
+    }
+
+    std::cout << "\nProfiled software stack (" << opts.inferences
+              << " inferences):\n";
+    harness::traceBreakdown(tracer).print(std::cout);
+}
+
 int
 cmdPredict(const std::string& model, const std::string& device,
-           const std::string& fw_name)
+           const std::string& fw_name, const ObsOptions& opts)
 {
     const auto g = models::buildModel(models::modelByName(model));
     const auto dev = hw::deviceByName(device);
@@ -163,8 +236,13 @@ cmdPredict(const std::string& model, const std::string& device,
               << "  energy:         "
               << harness::Table::num(e.energyPerInferenceMJ, 1)
               << " mJ/inference\n";
-    if (dep->model.usedDynamicGraphFallback)
+    const bool fallback = dep->model.usedDynamicGraphFallback;
+    if (fallback)
         std::cout << "  note: dynamic-graph swap fallback engaged\n";
+    if (opts.enabled()) {
+        frameworks::InferenceSession session(std::move(dep->model));
+        profileToFiles(session, opts);
+    }
     return 0;
 }
 
@@ -226,8 +304,30 @@ cmdPartition(const std::string& model, const std::string& device,
 int
 main(int argc, char** argv)
 {
-    const std::vector<std::string> args(argv + 1, argv + argc);
+    std::vector<std::string> args;
+    ObsOptions obs_opts;
     try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            const bool has_value = i + 1 < argc;
+            if (a == "--trace-out" && has_value)
+                obs_opts.traceOut = argv[++i];
+            else if (a == "--metrics-out" && has_value)
+                obs_opts.metricsOut = argv[++i];
+            else if (a == "--inferences" && has_value) {
+                try {
+                    obs_opts.inferences = std::stoll(argv[++i]);
+                } catch (const std::exception&) {
+                    obs_opts.inferences = 0; // fails the check below
+                }
+                EB_CHECK(obs_opts.inferences > 0,
+                         "--inferences: need a positive count");
+            } else if (a.rfind("--", 0) == 0) {
+                return usage();
+            } else {
+                args.push_back(a);
+            }
+        }
         if (args.empty())
             return usage();
         const auto& cmd = args[0];
@@ -248,7 +348,8 @@ main(int argc, char** argv)
         if (cmd == "predict" &&
             (args.size() == 3 || args.size() == 4))
             return cmdPredict(args[1], args[2],
-                              args.size() == 4 ? args[3] : "");
+                              args.size() == 4 ? args[3] : "",
+                              obs_opts);
         if (cmd == "compat")
             return cmdCompat();
         if (cmd == "partition" && args.size() == 4)
