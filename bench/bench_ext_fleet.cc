@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Extension bench: multi-replica fleet serving. Scales the paper's
+ * single-device deployment story out to a small fleet: how many
+ * replicas does an overloaded arrival stream need, which balancer
+ * spends the replicas best, and what happens to the fleet when one
+ * device hits the Fig. 14 thermal wall.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "edgebench/frameworks/runtime.hh"
+#include "edgebench/serving/fleet.hh"
+
+using namespace edgebench;
+
+namespace
+{
+
+serving::FleetConfig
+overloadConfig()
+{
+    serving::FleetConfig cfg;
+    cfg.durationS = 300.0;
+    // One Nano clears MobileNet-v2 in ~11 ms (~90 Hz); 300 req/s
+    // needs most of a 4-replica fleet.
+    cfg.arrivalRateHz = 300.0;
+    cfg.seed = 31;
+    cfg.queueCapacity = 16;
+    cfg.enableThermal = false; // isolate queueing from thermals
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto dep = frameworks::bestDeployment(
+        models::buildModel(models::ModelId::kMobileNetV2),
+        hw::DeviceId::kJetsonNano);
+    if (!dep) {
+        std::cout << "MobileNet-v2 undeployable on Jetson Nano?\n";
+        return 1;
+    }
+    frameworks::InferenceSession session(dep->model);
+
+    std::cout << "\n== ext-fleet: MobileNet-v2 on Jetson Nano "
+                 "replicas, open-loop 300 req/s for 5 minutes ==\n";
+    harness::Table t({"Replicas", "Served", "Dropped", "p50 (ms)",
+                      "p99 (ms)", "Tput (Hz)", "Speedup",
+                      "Util (%)"});
+    double base_tput = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+        const auto rep =
+            serving::simulateFleet(session, n, overloadConfig());
+        if (n == 1)
+            base_tput = rep.throughputHz;
+        t.addRow({std::to_string(n), std::to_string(rep.served),
+                  std::to_string(rep.dropped),
+                  harness::Table::num(rep.p50Ms, 1),
+                  harness::Table::num(rep.p99Ms, 1),
+                  harness::Table::num(rep.throughputHz, 2),
+                  harness::Table::num(
+                      base_tput > 0.0 ? rep.throughputHz / base_tput
+                                      : 0.0, 2),
+                  harness::Table::num(100.0 * rep.utilization, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nThroughput scales near-linearly until the fleet "
+                 "absorbs the offered load; after that extra replicas "
+                 "only buy idle headroom.\n";
+
+    std::cout << "\nBalancer policies, 4 replicas at the same "
+                 "overload:\n";
+    harness::Table tb({"Balancer", "Served", "Dropped", "p99 (ms)",
+                       "Tput (Hz)"});
+    for (auto p : {serving::BalancerPolicy::kRoundRobin,
+                   serving::BalancerPolicy::kLeastLoaded,
+                   serving::BalancerPolicy::kPowerOfTwo}) {
+        auto cfg = overloadConfig();
+        cfg.balancer = p;
+        const auto rep = serving::simulateFleet(session, 4, cfg);
+        tb.addRow({serving::balancerName(p),
+                   std::to_string(rep.served),
+                   std::to_string(rep.dropped),
+                   harness::Table::num(rep.p99Ms, 1),
+                   harness::Table::num(rep.throughputHz, 2)});
+    }
+    tb.print(std::cout);
+
+    std::cout << "\nMicro-batching on one replica (roofline batch "
+                 "gains, same load):\n";
+    harness::Table tm({"Max batch", "Served", "Dropped", "p99 (ms)",
+                       "Tput (Hz)"});
+    for (int b : {1, 2, 4, 8}) {
+        auto cfg = overloadConfig();
+        cfg.maxBatch = b;
+        const auto rep = serving::simulateFleet(session, 1, cfg);
+        tm.addRow({std::to_string(b), std::to_string(rep.served),
+                   std::to_string(rep.dropped),
+                   harness::Table::num(rep.p99Ms, 1),
+                   harness::Table::num(rep.throughputHz, 2)});
+    }
+    tm.print(std::cout);
+
+    std::cout << "\n== Graceful degradation: RPi3 + Jetson Nano "
+                 "fleet, Inception-v4 at 2 req/s for one hour ==\n";
+    auto rpi = frameworks::tryDeploy(
+        frameworks::FrameworkId::kTensorFlow,
+        models::buildModel(models::ModelId::kInceptionV4),
+        hw::DeviceId::kRpi3);
+    auto nano = frameworks::bestDeployment(
+        models::buildModel(models::ModelId::kInceptionV4),
+        hw::DeviceId::kJetsonNano);
+    if (rpi && nano) {
+        frameworks::InferenceSession rpi_s(rpi->model);
+        frameworks::InferenceSession nano_s(nano->model);
+        serving::FleetConfig cfg;
+        cfg.durationS = 3600.0;
+        cfg.arrivalRateHz = 2.0;
+        cfg.seed = 32;
+        cfg.queueCapacity = 32;
+        // Round-robin on purpose: it keeps feeding the RPi half the
+        // stream no matter how far behind it falls.
+        cfg.balancer = serving::BalancerPolicy::kRoundRobin;
+        cfg.retry.maxAttempts = 2;
+        const auto rep = serving::simulateFleet(
+            std::vector<const frameworks::InferenceSession*>{
+                &rpi_s, &nano_s},
+            cfg);
+        harness::Table td({"Replica", "Served", "Util (%)",
+                           "Peak (C)", "Fate"});
+        const char* names[] = {"RPi3", "Jetson Nano"};
+        for (std::size_t r = 0; r < rep.replicas.size(); ++r) {
+            const auto& rr = rep.replicas[r];
+            td.addRow({names[r], std::to_string(rr.served),
+                       harness::Table::num(
+                           100.0 * rr.utilization, 1),
+                       harness::Table::num(rr.peakSurfaceC, 1),
+                       rr.thermalShutdown
+                           ? "shutdown @" +
+                                 harness::Table::num(
+                                     rr.shutdownAtS, 0) + " s"
+                           : (rr.thermalThrottled ? "throttled"
+                                                  : "healthy")});
+        }
+        td.print(std::cout);
+        std::cout << "\nFleet: offered " << rep.offered << ", served "
+                  << rep.served << ", dropped " << rep.dropped
+                  << ", in flight " << rep.inFlight << "; "
+                  << rep.aliveReplicas
+                  << " replica(s) alive at the end. The fleet "
+                     "outlives its weakest device.\n";
+    }
+    return 0;
+}

@@ -17,6 +17,24 @@ namespace core
 namespace
 {
 
+/**
+ * True on any thread currently inside a parallelFor region (the
+ * caller while it runs its chunk, and every pool worker while it runs
+ * one). Nested parallelFor calls from such threads must not touch the
+ * pool's single job slot — they run serially instead.
+ */
+thread_local bool t_in_parallel_region = false;
+
+/** RAII setter for t_in_parallel_region (exception safe). */
+class ParallelRegionGuard
+{
+  public:
+    ParallelRegionGuard() { t_in_parallel_region = true; }
+    ~ParallelRegionGuard() { t_in_parallel_region = false; }
+    ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+    ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+};
+
 /** A tiny long-lived worker pool executing one range job at a time. */
 class Pool
 {
@@ -44,6 +62,10 @@ class Pool
     run(std::int64_t n,
         const std::function<void(std::int64_t, std::int64_t)>& fn)
     {
+        // One job at a time: the job slot (job_/pending_/generation_)
+        // is single-occupancy, so concurrent run() calls from
+        // independent threads take turns instead of corrupting it.
+        std::lock_guard<std::mutex> run_lock(run_mutex_);
         const int workers = size() + 1; // pool + caller
         const std::int64_t chunk = (n + workers - 1) / workers;
         {
@@ -55,8 +77,11 @@ class Pool
             ++generation_;
         }
         cv_.notify_all();
-        // The caller takes the first chunk.
-        fn(0, std::min(chunk, n));
+        {
+            // The caller takes the first chunk.
+            ParallelRegionGuard region;
+            fn(0, std::min(chunk, n));
+        }
         // Wait for the workers to drain theirs.
         std::unique_lock<std::mutex> lock(mutex_);
         done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -89,8 +114,10 @@ class Pool
                 std::min<std::int64_t>(n, (index + 1) * chunk);
             const std::int64_t end =
                 std::min<std::int64_t>(n, (index + 2) * chunk);
-            if (fn && begin < end)
+            if (fn && begin < end) {
+                ParallelRegionGuard region;
                 (*fn)(begin, end);
+            }
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (--pending_ == 0)
@@ -100,6 +127,7 @@ class Pool
     }
 
     std::vector<std::thread> threads_;
+    std::mutex run_mutex_; ///< serializes whole run() invocations
     std::mutex mutex_;
     std::condition_variable cv_;
     std::condition_variable done_cv_;
@@ -152,7 +180,11 @@ parallelFor(std::int64_t n,
     EB_CHECK(n >= 0, "parallelFor: negative range");
     if (n == 0)
         return;
-    if (pool().size() == 0 || n < min_grain) {
+    // Nested parallelFor (called from inside another parallelFor
+    // body, on the caller thread or a pool worker): the outer call
+    // owns the pool, so run the inner range serially right here. A
+    // worker blocking in run() would deadlock the outer job.
+    if (t_in_parallel_region || pool().size() == 0 || n < min_grain) {
         fn(0, n);
         return;
     }

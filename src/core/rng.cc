@@ -70,8 +70,31 @@ std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
     EB_CHECK(lo <= hi, "uniformInt: lo " << lo << " > hi " << hi);
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next() % span);
+    // All arithmetic in uint64: `hi - lo` and `lo + offset` would
+    // overflow int64 for extreme bounds.
+    const auto ulo = static_cast<std::uint64_t>(lo);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - ulo + 1;
+    auto place = [ulo](std::uint64_t offset) {
+        return static_cast<std::int64_t>(ulo + offset);
+    };
+    if (span == 0) // full 64-bit range: every draw is valid
+        return static_cast<std::int64_t>(next());
+    if ((span & (span - 1)) == 0) // power of two: mask, no bias
+        return place(next() & (span - 1));
+    // Lemire's multiply-shift bounded draw with rejection: a plain
+    // `next() % span` over-represents the low residues whenever span
+    // does not divide 2^64.
+    auto widen = [span](std::uint64_t x) {
+        return static_cast<unsigned __int128>(x) * span;
+    };
+    unsigned __int128 m = widen(next());
+    if (static_cast<std::uint64_t>(m) < span) {
+        const std::uint64_t thresh = (0 - span) % span;
+        while (static_cast<std::uint64_t>(m) < thresh)
+            m = widen(next());
+    }
+    return place(static_cast<std::uint64_t>(m >> 64));
 }
 
 double

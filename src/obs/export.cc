@@ -86,10 +86,15 @@ writeChromeTrace(const Tracer& tracer, std::ostream& os)
     os << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
        << "\"args\":{\"name\":\""
        << jsonEscape(tracer.processName()) << "\"}}";
+    // Lane labels become thread names (lane n renders as tid n+1).
+    for (const auto& [lane, label] : tracer.laneNames())
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << (lane + 1)
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(label) << "\"}}";
     for (const auto& e : tracer.events()) {
         os << ",\n{\"name\":\"" << jsonEscape(e.name) << "\","
            << "\"cat\":\"" << jsonEscape(e.category) << "\","
-           << "\"pid\":1,\"tid\":1,"
+           << "\"pid\":1,\"tid\":" << (e.lane + 1) << ","
            << "\"ts\":" << jsonNumber(e.startUs);
         if (e.kind == EventKind::kSpan) {
             os << ",\"ph\":\"X\",\"dur\":" << jsonNumber(e.durUs);
@@ -109,12 +114,12 @@ writeChromeTrace(const Tracer& tracer, std::ostream& os)
 void
 writeTraceCsv(const Tracer& tracer, std::ostream& os)
 {
-    os << "name,category,kind,start_us,dur_us,depth,args\n";
+    os << "name,category,kind,start_us,dur_us,depth,lane,args\n";
     for (const auto& e : tracer.events()) {
         os << csvField(e.name) << "," << csvField(e.category) << ","
            << (e.kind == EventKind::kSpan ? "span" : "instant") << ","
            << jsonNumber(e.startUs) << "," << jsonNumber(e.durUs)
-           << "," << e.depth << ",";
+           << "," << e.depth << "," << e.lane << ",";
         for (std::size_t i = 0; i < e.args.size(); ++i) {
             if (i)
                 os << ";";

@@ -35,7 +35,7 @@ void writeChromeTrace(const Tracer& tracer, std::ostream& os);
 
 /**
  * Flat CSV, one row per event:
- * name,category,kind,start_us,dur_us,depth,args — args packed as
+ * name,category,kind,start_us,dur_us,depth,lane,args — args packed as
  * `key=value` pairs separated by ';'. Commas in text fields are
  * replaced by ';' to keep the format trivially splittable.
  */

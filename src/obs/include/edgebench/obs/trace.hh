@@ -28,6 +28,7 @@
 #define EDGEBENCH_OBS_TRACE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,12 @@ struct TraceEvent
     double durUs = 0.0;
     /** Nesting depth at emission (0 = top level). */
     int depth = 0;
+    /**
+     * Display lane (Chrome-trace "thread"). 0 is the default
+     * timeline; the serving fleet gives each replica its own lane so
+     * per-replica queue/service decomposition stays readable.
+     */
+    int lane = 0;
     std::vector<TraceArg> args;
 
     double durMs() const { return durUs / 1e3; }
@@ -110,17 +117,30 @@ class Tracer
     /**
      * Record a complete span at an explicit position, without touching
      * the clock. For layers with their own timeline (serving).
+     * @p lane selects the display lane (see TraceEvent::lane).
      */
     SpanId recordSpanAt(const std::string& name,
                         const std::string& category, double start_ms,
-                        double dur_ms);
+                        double dur_ms, int lane = 0);
 
     /** Record a point event at the current clock time. */
     void instant(const std::string& name, const std::string& category);
 
     /** Record a point event at an explicit position. */
     void instantAt(const std::string& name, const std::string& category,
-                   double time_ms);
+                   double time_ms, int lane = 0);
+
+    /**
+     * Give display lane @p lane a human-readable label ("replica 0:
+     * rpi3"). Exported as Chrome-trace thread names.
+     */
+    void nameLane(int lane, std::string label);
+
+    /** Labels registered via nameLane, keyed by lane. */
+    const std::map<int, std::string>& laneNames() const
+    {
+        return lane_names_;
+    }
 
     /** @name Span attributes (no-ops on kNoSpan) */
     /// @{
@@ -150,6 +170,7 @@ class Tracer
     core::VirtualClock clock_;
     std::vector<TraceEvent> events_;
     std::vector<SpanId> open_;
+    std::map<int, std::string> lane_names_;
 };
 
 /** RAII begin/end pair; tolerates a null tracer. */

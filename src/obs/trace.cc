@@ -73,7 +73,7 @@ Tracer::recordSpan(const std::string& name, const std::string& category,
 SpanId
 Tracer::recordSpanAt(const std::string& name,
                      const std::string& category, double start_ms,
-                     double dur_ms)
+                     double dur_ms, int lane)
 {
     if (!kEnabledAtBuild)
         return kNoSpan;
@@ -81,12 +81,15 @@ Tracer::recordSpanAt(const std::string& name,
              "recordSpanAt '" << name << "': bad start " << start_ms);
     EB_CHECK(std::isfinite(dur_ms) && dur_ms >= 0.0,
              "recordSpanAt '" << name << "': bad duration " << dur_ms);
+    EB_CHECK(lane >= 0, "recordSpanAt '" << name << "': bad lane "
+                                         << lane);
     TraceEvent e;
     e.name = name;
     e.category = category;
     e.startUs = start_ms * 1e3;
     e.durUs = dur_ms * 1e3;
     e.depth = static_cast<int>(open_.size());
+    e.lane = lane;
     return append(std::move(e));
 }
 
@@ -98,19 +101,31 @@ Tracer::instant(const std::string& name, const std::string& category)
 
 void
 Tracer::instantAt(const std::string& name, const std::string& category,
-                  double time_ms)
+                  double time_ms, int lane)
 {
     if (!kEnabledAtBuild)
         return;
     EB_CHECK(std::isfinite(time_ms) && time_ms >= 0.0,
              "instantAt '" << name << "': bad time " << time_ms);
+    EB_CHECK(lane >= 0,
+             "instantAt '" << name << "': bad lane " << lane);
     TraceEvent e;
     e.name = name;
     e.category = category;
     e.kind = EventKind::kInstant;
     e.startUs = time_ms * 1e3;
     e.depth = static_cast<int>(open_.size());
+    e.lane = lane;
     append(std::move(e));
+}
+
+void
+Tracer::nameLane(int lane, std::string label)
+{
+    if (!kEnabledAtBuild)
+        return;
+    EB_CHECK(lane >= 0, "nameLane: bad lane " << lane);
+    lane_names_[lane] = std::move(label);
 }
 
 void

@@ -1,0 +1,691 @@
+#include "edgebench/serving/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/hw/roofline.hh"
+#include "edgebench/power/energy.hh"
+#include "edgebench/serving/events.hh"
+#include "edgebench/thermal/thermal.hh"
+
+namespace edgebench
+{
+namespace serving
+{
+
+namespace
+{
+
+double
+percentile(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/**
+ * Walks one replica's thermal model forward in one-second chunks, fed
+ * by the busy intervals the event loop produces. Keeps the energy
+ * integral as a by-product. After a thermal shutdown the device is
+ * off: busy intervals are truncated at the shutdown instant and the
+ * remaining window dissipates zero power.
+ */
+class ThermalWalker
+{
+  public:
+    ThermalWalker(hw::DeviceId device, double ambient_c,
+                  double idle_w, double active_w, bool enabled)
+        : idleW_(idle_w), activeW_(active_w)
+    {
+        if (enabled) {
+            try {
+                sim_.emplace(device, ambient_c);
+                peakC_ = sim_->surfaceC();
+            } catch (const InvalidArgumentError&) {
+                // Platform without thermal instrumentation.
+            }
+        }
+    }
+
+    /** Register a busy interval [start, end); starts are monotonic. */
+    void
+    addBusy(double start, double end)
+    {
+        if (shutdownAt_)
+            return; // a dead device serves nothing
+        busy_.push_back({start, end});
+    }
+
+    /** Advance to @p to (seconds); returns false after shutdown. */
+    bool
+    advance(double to)
+    {
+        while (cursor_ + 1e-9 < to) {
+            const double dt = std::min(1.0, to - cursor_);
+            if (!shutdownAt_) {
+                const double frac = busyFraction(cursor_, cursor_ + dt);
+                const double p = idleW_ + (activeW_ - idleW_) * frac;
+                energyJ_ += p * dt;
+                if (sim_ && !sim_->shutDown()) {
+                    sim_->step(p, dt);
+                    peakC_ = std::max(peakC_, sim_->surfaceC());
+                    everThrottled_ |= sim_->throttled();
+                    if (sim_->shutDown()) {
+                        shutdownAt_ = sim_->timeS();
+                        truncateBusyAt(*shutdownAt_);
+                    }
+                }
+            }
+            cursor_ += dt;
+            prune();
+        }
+        return !shutdownAt_.has_value();
+    }
+
+    double slowdown() const
+    {
+        return sim_ ? sim_->slowdownFactor() : 1.0;
+    }
+    bool everThrottled() const { return everThrottled_; }
+    std::optional<double> shutdownAt() const { return shutdownAt_; }
+    double energyJ() const { return energyJ_; }
+    double peakC() const { return sim_ ? peakC_ : 0.0; }
+
+  private:
+    /**
+     * Drop intervals that end at or before the cursor: busyFraction is
+     * only ever asked about [cursor, cursor+dt), so they can never
+     * overlap a future chunk. Without this the scan is O(intervals)
+     * per one-second chunk — quadratic over a long serving run.
+     */
+    void
+    prune()
+    {
+        while (pruned_ < busy_.size() &&
+               busy_[pruned_].second <= cursor_ + 1e-12)
+            ++pruned_;
+        if (pruned_ > 1024 && pruned_ * 2 > busy_.size()) {
+            busy_.erase(busy_.begin(),
+                        busy_.begin() +
+                            static_cast<std::ptrdiff_t>(pruned_));
+            pruned_ = 0;
+        }
+    }
+
+    /**
+     * A shutdown mid-service must not keep charging the aborted
+     * request's busy tail: clip every interval at @p t and drop the
+     * ones that had not even started.
+     */
+    void
+    truncateBusyAt(double t)
+    {
+        while (!busy_.empty() && busy_.back().first >= t)
+            busy_.pop_back();
+        if (!busy_.empty())
+            busy_.back().second = std::min(busy_.back().second, t);
+        pruned_ = std::min(pruned_, busy_.size());
+    }
+
+    double
+    busyFraction(double lo, double hi) const
+    {
+        double busy = 0.0;
+        for (std::size_t i = pruned_; i < busy_.size(); ++i) {
+            if (busy_[i].first >= hi)
+                break; // intervals are start-ordered
+            busy += std::max(0.0, std::min(hi, busy_[i].second) -
+                                      std::max(lo, busy_[i].first));
+        }
+        return std::clamp(busy / std::max(hi - lo, 1e-12), 0.0, 1.0);
+    }
+
+    std::optional<thermal::ThermalSimulator> sim_;
+    std::vector<std::pair<double, double>> busy_;
+    std::size_t pruned_ = 0;
+    double idleW_;
+    double activeW_;
+    double cursor_ = 0.0;
+    double energyJ_ = 0.0;
+    double peakC_ = 0.0;
+    bool everThrottled_ = false;
+    std::optional<double> shutdownAt_;
+};
+
+/**
+ * Batch-k service-time multipliers from the roofline of the rebatched
+ * graph: scale[k] = latency(batch k) / latency(batch 1). Falls back
+ * to linear scaling when the compiled graph cannot be rebatched.
+ */
+std::vector<double>
+batchScales(const frameworks::CompiledModel& model, int max_batch)
+{
+    std::vector<double> scale(
+        static_cast<std::size_t>(max_batch) + 1, 1.0);
+    if (max_batch <= 1)
+        return scale;
+    try {
+        const double base =
+            hw::graphLatencyUnchecked(model.graph, model.computeUnit(),
+                                      model.profile)
+                .totalMs;
+        for (int k = 2; k <= max_batch; ++k) {
+            const auto gb = graph::rebatch(model.graph, k).graph;
+            const double ms = hw::graphLatencyUnchecked(
+                                  gb, model.computeUnit(), model.profile)
+                                  .totalMs;
+            scale[static_cast<std::size_t>(k)] =
+                std::max(ms / std::max(base, 1e-12), 1.0);
+        }
+    } catch (const Error&) {
+        for (int k = 2; k <= max_batch; ++k)
+            scale[static_cast<std::size_t>(k)] = k;
+    }
+    return scale;
+}
+
+struct Request
+{
+    std::int64_t id = -1;
+    double arrivalS = 0.0; ///< first arrival (latency baseline)
+    /** Service-time jitter factor, assigned once on admission. */
+    double jitter = 0.0;
+    int attempts = 0;      ///< retries consumed so far
+};
+
+struct Replica
+{
+    const frameworks::InferenceSession* session = nullptr;
+    double baseServiceS = 0.0;
+    std::vector<double> batchScale;
+    ThermalWalker walker;
+    std::deque<Request> queue;
+    std::vector<Request> inService;
+    double serviceStartS = 0.0;
+    bool busy = false;
+    bool down = false;
+    ReplicaReport stats;
+
+    Replica(const frameworks::InferenceSession* s, double ambient_c,
+            bool thermal, int max_batch)
+        : session(s),
+          baseServiceS(s->run(1).perInferenceMs / 1e3),
+          batchScale(batchScales(s->model(), max_batch)),
+          walker(s->model().device, ambient_c,
+                 hw::deviceSpec(s->model().device).idlePowerW,
+                 power::energyPerInference(s->model()).activePowerW,
+                 thermal)
+    {
+    }
+
+    std::size_t load() const { return queue.size() + inService.size(); }
+};
+
+class FleetEngine
+{
+  public:
+    FleetEngine(
+        const std::vector<const frameworks::InferenceSession*>& fleet,
+        const FleetConfig& config)
+        : cfg_(config), rng_(config.seed),
+          choiceRng_(config.seed ^ 0xD1B54A32D192ED03ull),
+          tracer_(obs::kEnabledAtBuild ? config.tracer : nullptr)
+    {
+        replicas_.reserve(fleet.size());
+        for (const auto* s : fleet)
+            replicas_.emplace_back(s, cfg_.ambientC, cfg_.enableThermal,
+                                   cfg_.maxBatch);
+        if (tracer_) {
+            tracer_->nameLane(0, "fleet");
+            for (std::size_t r = 0; r < replicas_.size(); ++r)
+                tracer_->nameLane(
+                    static_cast<int>(r) + 1,
+                    "replica " + std::to_string(r) + ": " +
+                        hw::deviceName(
+                            replicas_[r].session->model().device));
+        }
+    }
+
+    FleetReport
+    run()
+    {
+        const double first = nextGap();
+        if (first <= cfg_.durationS)
+            events_.push({first, EventKind::kArrival, -1, -1});
+        while (!events_.empty() &&
+               events_.top().timeS <= cfg_.durationS + 1e-12) {
+            const Event e = events_.pop();
+            switch (e.kind) {
+              case EventKind::kArrival: onArrival(e.timeS); break;
+              case EventKind::kServiceDone:
+                onServiceDone(e.replica, e.timeS);
+                break;
+              case EventKind::kRetry: onRetry(e.timeS, e.requestId);
+                break;
+            }
+        }
+        return finish();
+    }
+
+  private:
+    double
+    nextGap()
+    {
+        return cfg_.deterministicArrivals
+            ? 1.0 / cfg_.arrivalRateHz
+            : -std::log(1.0 - rng_.uniform()) / cfg_.arrivalRateHz;
+    }
+
+    bool
+    anyAlive() const
+    {
+        for (const auto& r : replicas_)
+            if (!r.down)
+                return true;
+        return false;
+    }
+
+    void
+    onArrival(double t)
+    {
+        Request req;
+        req.id = rep_.offered++;
+        req.arrivalS = t;
+        // RNG discipline: one shared stream, jitter drawn on
+        // admission then the next inter-arrival gap — the exact draw
+        // order of the legacy single-server loop, so a one-replica
+        // fleet replays its scenarios stream-identically. (A dead
+        // fleet admits nothing, hence draws no jitter — also as
+        // before.)
+        if (anyAlive())
+            req.jitter = rng_.normal(0.0, cfg_.serviceJitter);
+        const double next = t + nextGap();
+        if (next <= cfg_.durationS)
+            events_.push({next, EventKind::kArrival, -1, -1});
+        dispatch(t, req);
+    }
+
+    void
+    onRetry(double t, std::int64_t id)
+    {
+        const auto it = pendingRetry_.find(id);
+        EB_CHECK(it != pendingRetry_.end(),
+                 "fleet: retry event for unknown request " << id);
+        const Request req = it->second;
+        pendingRetry_.erase(it);
+        dispatch(t, req);
+    }
+
+    /** Route @p req through the balancer and into a replica queue. */
+    void
+    dispatch(double t, Request req)
+    {
+        const int r = pickReplica();
+        if (r < 0) {
+            ++rep_.dropped;
+            if (tracer_)
+                tracer_->instantAt("request dropped (all replicas "
+                                   "down)",
+                                   "serving", t * 1e3, 0);
+            return;
+        }
+        Replica& rep = replicas_[static_cast<std::size_t>(r)];
+        if (cfg_.queueCapacity > 0 &&
+            rep.queue.size() >= cfg_.queueCapacity) {
+            ++rep_.rejected;
+            if (cfg_.dropPolicy == DropPolicy::kRejectNew) {
+                rejectOrRetry(t, req);
+                return;
+            }
+            // kDropOldest: evict the head to make room.
+            const Request evicted = rep.queue.front();
+            rep.queue.pop_front();
+            rejectOrRetry(t, evicted);
+        }
+        rep.queue.push_back(req);
+        tryStartService(r, t);
+    }
+
+    /** Apply the retry policy to a rejected/aborted request. */
+    void
+    rejectOrRetry(double t, Request req)
+    {
+        if (req.attempts < cfg_.retry.maxAttempts) {
+            const double delay = cfg_.retry.backoffS *
+                std::pow(cfg_.retry.backoffMult, req.attempts);
+            ++req.attempts;
+            ++rep_.retries;
+            pendingRetry_.emplace(req.id, req);
+            events_.push(
+                {t + delay, EventKind::kRetry, -1, req.id});
+            return;
+        }
+        ++rep_.dropped;
+        if (tracer_)
+            tracer_->instantAt("request rejected (queue full)",
+                               "serving", t * 1e3, 0);
+    }
+
+    /** Balancer: pick an alive replica, or -1 when none is left. */
+    int
+    pickReplica()
+    {
+        const int n = static_cast<int>(replicas_.size());
+        int alive = 0;
+        for (const auto& r : replicas_)
+            alive += !r.down;
+        if (alive == 0)
+            return -1;
+        auto nextAliveFrom = [&](int i) {
+            while (replicas_[static_cast<std::size_t>(i % n)].down)
+                ++i;
+            return i % n;
+        };
+        switch (cfg_.balancer) {
+          case BalancerPolicy::kRoundRobin: {
+            const int r = nextAliveFrom(rrNext_);
+            rrNext_ = (r + 1) % n;
+            return r;
+          }
+          case BalancerPolicy::kLeastLoaded: {
+            int best = -1;
+            for (int i = 0; i < n; ++i) {
+                const auto& ri = replicas_[static_cast<std::size_t>(i)];
+                if (ri.down)
+                    continue;
+                if (best < 0 ||
+                    ri.load() <
+                        replicas_[static_cast<std::size_t>(best)]
+                            .load())
+                    best = i;
+            }
+            return best;
+          }
+          case BalancerPolicy::kPowerOfTwo: {
+            if (alive == 1)
+                return nextAliveFrom(0);
+            // Sample two distinct alive replicas; ties go to the
+            // first sample (deterministic given the seed).
+            const int a = nthAlive(static_cast<int>(
+                choiceRng_.uniformInt(0, alive - 1)));
+            int b = a;
+            while (b == a)
+                b = nthAlive(static_cast<int>(
+                    choiceRng_.uniformInt(0, alive - 1)));
+            return replicas_[static_cast<std::size_t>(b)].load() <
+                    replicas_[static_cast<std::size_t>(a)].load()
+                ? b
+                : a;
+          }
+        }
+        return -1;
+    }
+
+    int
+    nthAlive(int k) const
+    {
+        for (std::size_t i = 0; i < replicas_.size(); ++i)
+            if (!replicas_[i].down && k-- == 0)
+                return static_cast<int>(i);
+        EB_CHECK(false, "fleet: alive-replica index out of range");
+        return -1;
+    }
+
+    /** Begin the next service interval on @p r if it can accept one. */
+    void
+    tryStartService(int r, double t)
+    {
+        Replica& rep = replicas_[static_cast<std::size_t>(r)];
+        if (rep.down || rep.busy || rep.queue.empty())
+            return;
+        // Bring the thermal state up to the service start so the
+        // throttle decision sees the current junction temperature.
+        if (!rep.walker.advance(std::min(t, cfg_.durationS))) {
+            onReplicaDeath(r, *rep.walker.shutdownAt(), t, true);
+            return;
+        }
+        const int k = static_cast<int>(
+            std::min<std::size_t>(
+                static_cast<std::size_t>(cfg_.maxBatch),
+                rep.queue.size()));
+        rep.inService.assign(rep.queue.begin(), rep.queue.begin() + k);
+        rep.queue.erase(rep.queue.begin(), rep.queue.begin() + k);
+        const double nominal = rep.baseServiceS *
+            rep.batchScale[static_cast<std::size_t>(k)];
+        // A batch inherits the jitter of its lead request.
+        double service = nominal * (1.0 + rep.inService.front().jitter);
+        if (service <= 0.0)
+            service = nominal;
+        service *= rep.walker.slowdown();
+        rep.serviceStartS = t;
+        rep.busy = true;
+        rep.walker.addBusy(t, t + service);
+        events_.push({t + service, EventKind::kServiceDone, r, -1});
+    }
+
+    void
+    onServiceDone(int r, double t)
+    {
+        Replica& rep = replicas_[static_cast<std::size_t>(r)];
+        if (rep.down)
+            return; // stale event from before the replica died
+        if (!rep.walker.advance(std::min(t, cfg_.durationS))) {
+            // The device died while serving this batch.
+            onReplicaDeath(r, *rep.walker.shutdownAt(), t, true);
+            return;
+        }
+        for (const Request& req : rep.inService) {
+            ++rep_.served;
+            ++rep.stats.served;
+            const double latency_ms = (t - req.arrivalS) * 1e3;
+            latenciesMs_.push_back(latency_ms);
+            if (tracer_) {
+                const obs::SpanId s = tracer_->recordSpanAt(
+                    "request[" + std::to_string(req.id) + "]",
+                    "serving", req.arrivalS * 1e3, latency_ms, r + 1);
+                tracer_->argNum(s, "queue_ms",
+                                (rep.serviceStartS - req.arrivalS) *
+                                    1e3);
+                tracer_->argNum(s, "service_ms",
+                                (t - rep.serviceStartS) * 1e3);
+                if (cfg_.maxBatch > 1)
+                    tracer_->argNum(
+                        s, "batch",
+                        static_cast<double>(rep.inService.size()));
+            }
+        }
+        rep.stats.busyS += t - rep.serviceStartS;
+        ++rep.stats.batches;
+        rep.inService.clear();
+        rep.busy = false;
+        tryStartService(r, t);
+    }
+
+    /**
+     * Take replica @p r out of the fleet. @p at is the physical
+     * shutdown instant (reported); @p now is the event time the death
+     * is detected at — all rescheduling uses @p now so simulated time
+     * never runs backwards. The aborted in-service batch follows the
+     * retry policy; queued requests are re-routed through the
+     * balancer (when @p redispatch — the window-end sweep leaves them
+     * in flight instead).
+     */
+    void
+    onReplicaDeath(int r, double at, double now, bool redispatch)
+    {
+        Replica& rep = replicas_[static_cast<std::size_t>(r)];
+        rep.down = true;
+        rep.busy = false;
+        rep.stats.thermalShutdown = true;
+        rep.stats.shutdownAtS = at;
+        if (tracer_)
+            tracer_->instantAt("replica thermal shutdown", "serving",
+                               at * 1e3, r + 1);
+        std::vector<Request> aborted;
+        aborted.swap(rep.inService);
+        std::deque<Request> queued;
+        queued.swap(rep.queue);
+        for (const Request& req : aborted)
+            rejectOrRetry(now, req);
+        if (redispatch) {
+            for (const Request& req : queued)
+                dispatch(now, req);
+        } else {
+            // Window-end sweep: the queue stays in flight.
+            rep.queue = std::move(queued);
+        }
+    }
+
+    FleetReport
+    finish()
+    {
+        // Integrate every replica's idle/busy energy (0 W once dead)
+        // out to the window end, catching deaths after the last event.
+        for (std::size_t r = 0; r < replicas_.size(); ++r) {
+            Replica& rep = replicas_[r];
+            if (!rep.walker.advance(cfg_.durationS) && !rep.down)
+                onReplicaDeath(static_cast<int>(r),
+                               *rep.walker.shutdownAt(),
+                               cfg_.durationS, false);
+        }
+
+        double busy_total = 0.0, window_total = 0.0;
+        for (Replica& rep : replicas_) {
+            ReplicaReport& s = rep.stats;
+            s.energyJ = rep.walker.energyJ();
+            s.peakSurfaceC = rep.walker.peakC();
+            s.thermalThrottled = rep.walker.everThrottled();
+            const double window =
+                s.thermalShutdown ? s.shutdownAtS : cfg_.durationS;
+            s.utilization = window > 0.0 ? s.busyS / window : 0.0;
+            rep_.energyJ += s.energyJ;
+            rep_.inFlight +=
+                static_cast<std::int64_t>(rep.queue.size()) +
+                static_cast<std::int64_t>(rep.inService.size());
+            rep_.aliveReplicas += !rep.down;
+            busy_total += s.busyS;
+            window_total += window;
+            rep_.replicas.push_back(s);
+        }
+        rep_.inFlight +=
+            static_cast<std::int64_t>(pendingRetry_.size());
+        rep_.throughputHz = cfg_.durationS > 0.0
+            ? static_cast<double>(rep_.served) / cfg_.durationS
+            : 0.0;
+        rep_.utilization =
+            window_total > 0.0 ? busy_total / window_total : 0.0;
+        rep_.energyPerRequestJ = rep_.served > 0
+            ? rep_.energyJ / static_cast<double>(rep_.served)
+            : 0.0;
+
+        std::sort(latenciesMs_.begin(), latenciesMs_.end());
+        rep_.p50Ms = percentile(latenciesMs_, 0.50);
+        rep_.p95Ms = percentile(latenciesMs_, 0.95);
+        rep_.p99Ms = percentile(latenciesMs_, 0.99);
+        rep_.maxMs = latenciesMs_.empty() ? 0.0 : latenciesMs_.back();
+
+        EB_CHECK(rep_.accountingConsistent(),
+                 "fleet: accounting leak — offered "
+                     << rep_.offered << " != served " << rep_.served
+                     << " + dropped " << rep_.dropped << " + inFlight "
+                     << rep_.inFlight);
+        return std::move(rep_);
+    }
+
+    FleetConfig cfg_;
+    /**
+     * Main stream. Draw order per arrival is jitter-then-gap, which
+     * reproduces the legacy single-server loop's interleaving
+     * (gap_1, jitter_1, gap_2, jitter_2, ...) bit for bit.
+     */
+    core::Rng rng_;
+    /** Separate stream so p2c sampling never perturbs rng_. */
+    core::Rng choiceRng_;
+    obs::Tracer* tracer_;
+    std::vector<Replica> replicas_;
+    EventQueue events_;
+    std::map<std::int64_t, Request> pendingRetry_;
+    std::vector<double> latenciesMs_;
+    int rrNext_ = 0;
+    FleetReport rep_;
+};
+
+} // namespace
+
+std::string
+balancerName(BalancerPolicy p)
+{
+    switch (p) {
+      case BalancerPolicy::kRoundRobin: return "round_robin";
+      case BalancerPolicy::kLeastLoaded: return "least_loaded";
+      case BalancerPolicy::kPowerOfTwo: return "power_of_two";
+    }
+    EB_CHECK(false, "balancerName: bad policy");
+    return {};
+}
+
+BalancerPolicy
+balancerByName(const std::string& name)
+{
+    if (name == "round_robin" || name == "rr")
+        return BalancerPolicy::kRoundRobin;
+    if (name == "least_loaded" || name == "least")
+        return BalancerPolicy::kLeastLoaded;
+    if (name == "power_of_two" || name == "p2c")
+        return BalancerPolicy::kPowerOfTwo;
+    EB_CHECK(false, "unknown balancer '" << name
+                                         << "' (round_robin | "
+                                            "least_loaded | "
+                                            "power_of_two)");
+    return BalancerPolicy::kRoundRobin;
+}
+
+FleetReport
+simulateFleet(
+    const std::vector<const frameworks::InferenceSession*>& replicas,
+    const FleetConfig& config)
+{
+    EB_CHECK(!replicas.empty(), "fleet: no replicas");
+    for (const auto* s : replicas)
+        EB_CHECK(s != nullptr, "fleet: null replica session");
+    EB_CHECK(config.durationS > 0.0, "fleet: non-positive duration");
+    EB_CHECK(config.arrivalRateHz > 0.0,
+             "fleet: non-positive arrival rate");
+    EB_CHECK(config.serviceJitter >= 0.0 &&
+                 config.serviceJitter < 0.5,
+             "fleet: unreasonable jitter");
+    EB_CHECK(config.maxBatch >= 1, "fleet: maxBatch must be >= 1");
+    EB_CHECK(config.retry.maxAttempts >= 0,
+             "fleet: negative retry attempts");
+    EB_CHECK(config.retry.backoffS >= 0.0,
+             "fleet: negative retry backoff");
+    EB_CHECK(config.retry.backoffMult >= 1.0,
+             "fleet: retry backoff multiplier must be >= 1");
+    return FleetEngine(replicas, config).run();
+}
+
+FleetReport
+simulateFleet(const frameworks::InferenceSession& session,
+              int replicas, const FleetConfig& config)
+{
+    EB_CHECK(replicas >= 1, "fleet: need at least one replica");
+    const std::vector<const frameworks::InferenceSession*> fleet(
+        static_cast<std::size_t>(replicas), &session);
+    return simulateFleet(fleet, config);
+}
+
+} // namespace serving
+} // namespace edgebench

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Discrete-event core of the serving simulator.
+ *
+ * A deterministic event heap on simulated time (seconds, the serving
+ * timeline; consistent with core::VirtualClock semantics — time only
+ * moves forward, nothing observes host clocks). Events at equal
+ * timestamps pop in insertion order, so a fleet run is bit-reproducible
+ * for a fixed seed regardless of heap internals.
+ */
+
+#ifndef EDGEBENCH_SERVING_EVENTS_HH
+#define EDGEBENCH_SERVING_EVENTS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace edgebench
+{
+namespace serving
+{
+
+/** What a scheduled event does when it fires. */
+enum class EventKind
+{
+    kArrival,     ///< a new request enters the admission path
+    kServiceDone, ///< a replica finishes its in-service batch
+    kRetry,       ///< a rejected request re-enters after backoff
+};
+
+/** One scheduled event on the serving timeline. */
+struct Event
+{
+    double timeS = 0.0;
+    EventKind kind = EventKind::kArrival;
+    /** Target replica (kServiceDone), -1 otherwise. */
+    int replica = -1;
+    /** Request being retried (kRetry), -1 otherwise. */
+    std::int64_t requestId = -1;
+};
+
+/**
+ * Min-heap of events ordered by (timeS, insertion order). The
+ * secondary key makes simultaneous events FIFO — deterministic
+ * tie-breaking is what keeps fleet runs reproducible.
+ */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Schedule @p e; throws on non-finite or negative time. */
+    void push(Event e);
+
+    /** Earliest event (undefined when empty — check empty() first). */
+    const Event& top() const { return heap_.front().event; }
+
+    /** Remove and return the earliest event. */
+    Event pop();
+
+  private:
+    struct Entry
+    {
+        Event event;
+        std::uint64_t seq = 0;
+    };
+
+    /** std::push_heap comparator: true when a fires *later* than b. */
+    static bool later(const Entry& a, const Entry& b);
+
+    std::vector<Entry> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace serving
+} // namespace edgebench
+
+#endif // EDGEBENCH_SERVING_EVENTS_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Multi-replica request-serving fleet simulator.
+ *
+ * Generalizes the single-server loop of simulator.hh to N replicas
+ * (possibly heterogeneous devices/frameworks) fed by one open-loop
+ * arrival stream, on a discrete-event engine (events.hh):
+ *
+ *  - a *balancer* routes each arriving request to one alive replica
+ *    (round-robin, least-loaded, or power-of-two-choices);
+ *  - each replica owns a bounded FIFO admission queue; on overflow the
+ *    drop policy either rejects the newcomer or evicts the oldest
+ *    queued request;
+ *  - rejected requests can retry with exponential backoff (they
+ *    re-enter the balancer, so a retry may land on another replica);
+ *  - a replica can serve up to maxBatch queued requests per service
+ *    interval; the batch-k service time comes from the roofline model
+ *    of the rebatched graph, so micro-batching gains are the device's
+ *    real utilization-ramp gains, not a tuning knob;
+ *  - every replica carries its own thermal/energy walker: one replica
+ *    can throttle or thermally shut down while the fleet keeps
+ *    serving. A dying replica's queue is re-routed through the
+ *    balancer; its aborted in-service batch follows the retry policy.
+ *
+ * Accounting invariant (asserted by the serving test suite): every
+ * offered request ends in exactly one bucket, so
+ * `offered == served + dropped + inFlight` where inFlight counts
+ * requests still queued, in service, or awaiting a retry when the
+ * window closes.
+ */
+
+#ifndef EDGEBENCH_SERVING_FLEET_HH
+#define EDGEBENCH_SERVING_FLEET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "edgebench/frameworks/runtime.hh"
+#include "edgebench/obs/trace.hh"
+
+namespace edgebench
+{
+namespace serving
+{
+
+/** How the fleet routes an arriving request to a replica. */
+enum class BalancerPolicy
+{
+    kRoundRobin,  ///< cyclic over alive replicas
+    kLeastLoaded, ///< fewest queued+in-service requests, ties to the
+                  ///< lowest replica index
+    kPowerOfTwo,  ///< sample two alive replicas, take the less loaded
+};
+
+/** @return stable mnemonic, e.g. "round_robin". */
+std::string balancerName(BalancerPolicy p);
+/** Inverse of balancerName; also accepts "rr", "least", "p2c". */
+BalancerPolicy balancerByName(const std::string& name);
+
+/** What happens when a replica's admission queue is full. */
+enum class DropPolicy
+{
+    kRejectNew,  ///< the arriving request is rejected
+    kDropOldest, ///< the oldest queued request is evicted to make room
+};
+
+/** Backoff-and-retry behaviour for rejected/aborted requests. */
+struct RetryPolicy
+{
+    /** Retry attempts after the first try (0 disables retry). */
+    int maxAttempts = 0;
+    /** First backoff delay, seconds. */
+    double backoffS = 0.5;
+    /** Multiplier applied per successive attempt (>= 1). */
+    double backoffMult = 2.0;
+};
+
+/** Fleet-scenario description. */
+struct FleetConfig
+{
+    /** Wall-clock window to simulate, seconds. */
+    double durationS = 600.0;
+    /** Mean request arrival rate into the fleet, Hz. */
+    double arrivalRateHz = 1.0;
+    /** Deterministic (evenly spaced) instead of Poisson arrivals. */
+    bool deterministicArrivals = false;
+    /** RNG seed (arrivals, service jitter, balancer choices). */
+    std::uint64_t seed = 1;
+    /** Relative service-time jitter (sigma). */
+    double serviceJitter = 0.02;
+    /** Couple replicas to their device thermal models if available. */
+    bool enableThermal = true;
+    double ambientC = 25.0;
+    /** Per-replica admission-queue capacity (0 = unbounded). */
+    std::size_t queueCapacity = 0;
+    BalancerPolicy balancer = BalancerPolicy::kRoundRobin;
+    DropPolicy dropPolicy = DropPolicy::kRejectNew;
+    /** Max requests a replica serves per service interval (>= 1). */
+    int maxBatch = 1;
+    RetryPolicy retry;
+    /**
+     * Optional trace sink. Request spans land on one lane per replica
+     * (lane r+1, named "replica r: <device>"); admission events
+     * (rejects, fleet-dead drops) land on lane 0 ("fleet").
+     */
+    obs::Tracer* tracer = nullptr;
+};
+
+/** Per-replica outcome. */
+struct ReplicaReport
+{
+    std::int64_t served = 0;  ///< requests completed in the window
+    std::int64_t dropped = 0; ///< requests this replica gave up on
+    std::int64_t batches = 0; ///< completed service intervals
+    double busyS = 0.0;       ///< time spent serving completed work
+    double utilization = 0.0; ///< busyS over the replica's live window
+    double energyJ = 0.0;
+    double peakSurfaceC = 0.0;
+    bool thermalThrottled = false;
+    bool thermalShutdown = false;
+    double shutdownAtS = 0.0;
+};
+
+/** Outcome of a fleet run. */
+struct FleetReport
+{
+    std::int64_t offered = 0; ///< requests that arrived
+    std::int64_t served = 0;
+    std::int64_t dropped = 0;
+    /** Queued, in service, or awaiting retry at window end. */
+    std::int64_t inFlight = 0;
+    /** Queue-full rejections (before any retry succeeded). */
+    std::int64_t rejected = 0;
+    /** Retry attempts scheduled. */
+    std::int64_t retries = 0;
+    /** End-to-end (first arrival to completion) latency, ms. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+    double throughputHz = 0.0; ///< served / durationS
+    double utilization = 0.0;  ///< fleet busy fraction of live time
+    double energyJ = 0.0;      ///< summed over replicas
+    double energyPerRequestJ = 0.0;
+    int aliveReplicas = 0; ///< replicas still up at window end
+    std::vector<ReplicaReport> replicas;
+
+    /** The accounting invariant every run must satisfy. */
+    bool accountingConsistent() const
+    {
+        return offered == served + dropped + inFlight;
+    }
+};
+
+/**
+ * Simulate @p config against a heterogeneous fleet, one entry per
+ * replica. Pointers must be non-null and outlive the call.
+ */
+FleetReport simulateFleet(
+    const std::vector<const frameworks::InferenceSession*>& replicas,
+    const FleetConfig& config);
+
+/** Homogeneous fleet: @p replicas copies of one deployment. */
+FleetReport simulateFleet(const frameworks::InferenceSession& session,
+                          int replicas, const FleetConfig& config);
+
+} // namespace serving
+} // namespace edgebench
+
+#endif // EDGEBENCH_SERVING_FLEET_HH

@@ -9,6 +9,11 @@
  * Poisson) arrival process, with energy integrated over busy/idle
  * intervals and an optional thermal coupling that can take the device
  * down mid-run (the Fig. 14 RPi shutdown, now with consequences).
+ *
+ * simulateServing is a thin wrapper over the discrete-event fleet
+ * simulator (fleet.hh) configured as one replica with an unbounded
+ * queue; use simulateFleet directly for multi-replica scenarios,
+ * bounded queues, balancer policies, micro-batching and retries.
  */
 
 #ifndef EDGEBENCH_SERVING_SIMULATOR_HH
@@ -48,12 +53,22 @@ struct ServingConfig
     obs::Tracer* tracer = nullptr;
 };
 
-/** Outcome of a serving run. */
+/**
+ * Outcome of a serving run.
+ *
+ * Accounting invariant: every offered request lands in exactly one of
+ * served / dropped / inFlight, so `offered == served + dropped +
+ * inFlight` always holds (requests still queued or mid-service when
+ * the window closes are inFlight — they are neither a success nor a
+ * loss). The serving test suite asserts this on every report.
+ */
 struct ServingReport
 {
     std::int64_t offered = 0;  ///< requests that arrived
     std::int64_t served = 0;   ///< completed before any shutdown
     std::int64_t dropped = 0;  ///< lost to thermal shutdown
+    /** Still queued or in service at window end. */
+    std::int64_t inFlight = 0;
     /** End-to-end (queue + service) latency percentiles, ms. */
     double p50Ms = 0.0;
     double p95Ms = 0.0;

@@ -1,124 +1,12 @@
 #include "edgebench/serving/simulator.hh"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-#include <vector>
-
 #include "edgebench/core/common.hh"
-#include "edgebench/core/rng.hh"
-#include "edgebench/power/energy.hh"
-#include "edgebench/thermal/thermal.hh"
+#include "edgebench/serving/fleet.hh"
 
 namespace edgebench
 {
 namespace serving
 {
-
-namespace
-{
-
-double
-percentile(const std::vector<double>& sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const double idx = p * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(idx);
-    const auto hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = idx - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-/**
- * Walks the thermal model forward in one-second chunks, fed by the
- * busy intervals the queue produces. Keeps the energy integral as a
- * by-product.
- */
-class ThermalWalker
-{
-  public:
-    ThermalWalker(hw::DeviceId device, double ambient_c,
-                  double idle_w, double active_w, bool enabled)
-        : idleW_(idle_w), activeW_(active_w)
-    {
-        if (enabled) {
-            try {
-                sim_.emplace(device, ambient_c);
-                peakC_ = sim_->surfaceC();
-            } catch (const InvalidArgumentError&) {
-                // Platform without thermal instrumentation.
-            }
-        }
-    }
-
-    /** Register a served busy interval [start, end). */
-    void
-    addBusy(double start, double end)
-    {
-        busy_.push_back({start, end});
-    }
-
-    /** Advance to @p to (seconds); returns false after shutdown. */
-    bool
-    advance(double to)
-    {
-        while (cursor_ + 1e-9 < to) {
-            const double dt = std::min(1.0, to - cursor_);
-            const double frac = busyFraction(cursor_, cursor_ + dt);
-            const double p = idleW_ + (activeW_ - idleW_) * frac;
-            energyJ_ += p * dt;
-            if (sim_ && !sim_->shutDown()) {
-                sim_->step(p, dt);
-                peakC_ = std::max(peakC_, sim_->surfaceC());
-                everThrottled_ |= sim_->throttled();
-                if (sim_->shutDown()) {
-                    shutdownAt_ = sim_->timeS();
-                    return false;
-                }
-            }
-            cursor_ += dt;
-        }
-        return !shutdownAt_.has_value();
-    }
-
-    double slowdown() const
-    {
-        return sim_ ? sim_->slowdownFactor() : 1.0;
-    }
-    bool throttledNow() const { return sim_ && sim_->throttled(); }
-    bool everThrottled() const { return everThrottled_; }
-    std::optional<double> shutdownAt() const { return shutdownAt_; }
-    double energyJ() const { return energyJ_; }
-    double peakC() const { return sim_ ? peakC_ : 0.0; }
-    double cursor() const { return cursor_; }
-
-  private:
-    double
-    busyFraction(double lo, double hi) const
-    {
-        double busy = 0.0;
-        for (auto it = busy_.rbegin(); it != busy_.rend(); ++it) {
-            if (it->second <= lo)
-                break; // intervals are time-ordered
-            busy += std::max(0.0, std::min(hi, it->second) -
-                                      std::max(lo, it->first));
-        }
-        return std::clamp(busy / std::max(hi - lo, 1e-12), 0.0, 1.0);
-    }
-
-    std::optional<thermal::ThermalSimulator> sim_;
-    std::vector<std::pair<double, double>> busy_;
-    double idleW_;
-    double activeW_;
-    double cursor_ = 0.0;
-    double energyJ_ = 0.0;
-    double peakC_ = 0.0;
-    bool everThrottled_ = false;
-    std::optional<double> shutdownAt_;
-};
-
-} // namespace
 
 ServingReport
 simulateServing(const frameworks::InferenceSession& session,
@@ -131,102 +19,51 @@ simulateServing(const frameworks::InferenceSession& session,
                  config.serviceJitter < 0.5,
              "serving: unreasonable jitter");
 
-    core::Rng rng(config.seed);
-    const double base_service_s =
-        session.run(1).perInferenceMs / 1e3;
-    const auto& device = hw::deviceSpec(session.model().device);
-    const auto energy_model =
-        power::energyPerInference(session.model());
+    // The paper's single-server scenario is a one-replica fleet with
+    // an unbounded FIFO queue, no batching and no retry.
+    FleetConfig fc;
+    fc.durationS = config.durationS;
+    fc.arrivalRateHz = config.arrivalRateHz;
+    fc.deterministicArrivals = config.deterministicArrivals;
+    fc.seed = config.seed;
+    fc.serviceJitter = config.serviceJitter;
+    fc.enableThermal = config.enableThermal;
+    fc.ambientC = config.ambientC;
+    fc.queueCapacity = 0;
+    fc.balancer = BalancerPolicy::kRoundRobin;
+    fc.maxBatch = 1;
+    fc.retry = RetryPolicy{};
+    fc.tracer = config.tracer;
 
-    ThermalWalker walker(session.model().device, config.ambientC,
-                         device.idlePowerW, energy_model.activePowerW,
-                         config.enableThermal);
+    const FleetReport fleet = simulateFleet(session, 1, fc);
+    const ReplicaReport& replica = fleet.replicas.front();
 
     ServingReport rep;
-    std::vector<double> latencies_ms;
-    double busy_s = 0.0;
-    double server_free = 0.0;
-    double t = 0.0;
-    bool down = false;
-    obs::Tracer* const tracer =
-        obs::kEnabledAtBuild ? config.tracer : nullptr;
-
-    while (true) {
-        const double gap = config.deterministicArrivals
-            ? 1.0 / config.arrivalRateHz
-            : -std::log(1.0 - rng.uniform()) / config.arrivalRateHz;
-        t += gap;
-        if (t > config.durationS)
-            break;
-        ++rep.offered;
-        if (down) {
-            ++rep.dropped;
-            if (tracer)
-                tracer->instantAt("request dropped (device down)",
-                                  "serving", t * 1e3);
-            continue;
-        }
-        const double start = std::max(t, server_free);
-        // Bring the thermal state up to the service start so the
-        // throttle decision sees the current junction temperature.
-        if (!walker.advance(std::min(start, config.durationS))) {
-            down = true;
-            ++rep.dropped;
-            continue;
-        }
-        double service = base_service_s *
-            (1.0 + rng.normal(0.0, config.serviceJitter));
-        if (service <= 0.0)
-            service = base_service_s;
-        service *= walker.slowdown();
-        const double end = start + service;
-        walker.addBusy(start, end);
-        if (!walker.advance(std::min(end, config.durationS))) {
-            // The device died while serving this request.
-            down = true;
-            ++rep.dropped;
-            continue;
-        }
-        if (end > config.durationS) {
-            // Still in flight at window end: neither served nor
-            // thermally dropped.
-            server_free = end;
-            continue;
-        }
-        server_free = end;
-        ++rep.served;
-        latencies_ms.push_back((end - t) * 1e3);
-        busy_s += service;
-        if (tracer) {
-            const obs::SpanId s = tracer->recordSpanAt(
-                "request[" + std::to_string(rep.offered - 1) + "]",
-                "serving", t * 1e3, (end - t) * 1e3);
-            tracer->argNum(s, "queue_ms", (start - t) * 1e3);
-            tracer->argNum(s, "service_ms", service * 1e3);
-        }
-    }
-    walker.advance(config.durationS);
-
-    const double window = walker.shutdownAt()
-        ? *walker.shutdownAt()
+    rep.offered = fleet.offered;
+    rep.served = fleet.served;
+    rep.dropped = fleet.dropped;
+    rep.inFlight = fleet.inFlight;
+    rep.p50Ms = fleet.p50Ms;
+    rep.p95Ms = fleet.p95Ms;
+    rep.p99Ms = fleet.p99Ms;
+    rep.maxMs = fleet.maxMs;
+    // Single-server convention: rates are over the device's live
+    // window (shutdown truncates it), matching the paper's framing of
+    // "throughput until the device fell over".
+    const double window = replica.thermalShutdown
+        ? replica.shutdownAtS
         : config.durationS;
-    rep.utilization = window > 0.0 ? busy_s / window : 0.0;
-    rep.throughputHz =
-        window > 0.0 ? static_cast<double>(rep.served) / window : 0.0;
-    rep.energyJ = walker.energyJ();
-    rep.energyPerRequestJ =
-        rep.served > 0 ? rep.energyJ / static_cast<double>(rep.served)
-                       : 0.0;
-    rep.thermalThrottled = walker.everThrottled();
-    rep.thermalShutdown = walker.shutdownAt().has_value();
-    rep.shutdownAtS = walker.shutdownAt().value_or(0.0);
-    rep.peakSurfaceC = walker.peakC();
-
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    rep.p50Ms = percentile(latencies_ms, 0.50);
-    rep.p95Ms = percentile(latencies_ms, 0.95);
-    rep.p99Ms = percentile(latencies_ms, 0.99);
-    rep.maxMs = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+    rep.utilization = window > 0.0 ? replica.busyS / window : 0.0;
+    rep.throughputHz = window > 0.0
+        ? static_cast<double>(fleet.served) / window
+        : 0.0;
+    rep.energyJ = fleet.energyJ;
+    rep.energyPerRequestJ = fleet.energyPerRequestJ;
+    rep.thermalThrottled = replica.thermalThrottled;
+    rep.thermalShutdown = replica.thermalShutdown;
+    rep.shutdownAtS = replica.thermalShutdown ? replica.shutdownAtS
+                                              : 0.0;
+    rep.peakSurfaceC = replica.peakSurfaceC;
     return rep;
 }
 

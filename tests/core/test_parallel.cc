@@ -5,6 +5,7 @@
  */
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,6 +80,59 @@ TEST(ParallelTest, GemmIsBitIdenticalAcrossRuns)
     ec::gemm(m, n, k, a.data(), b.data(), c2);
     for (std::size_t i = 0; i < c1.size(); ++i)
         ASSERT_EQ(c1[i], c2[i]) << i;
+}
+
+TEST(ParallelTest, NestedParallelForFallsBackToSerial)
+{
+    // A kernel calling parallelFor from inside a parallelFor worker
+    // must not deadlock or double-partition: the inner loop runs
+    // serially on its caller, and every element is still covered
+    // exactly once.
+    const std::int64_t outer = 64, inner = 512;
+    std::vector<std::atomic<int>> hits(
+        static_cast<std::size_t>(outer * inner));
+    ec::parallelFor(outer, [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t o = ob; o < oe; ++o) {
+            ec::parallelFor(
+                inner,
+                [&, o](std::int64_t ib, std::int64_t ie) {
+                    for (std::int64_t i = ib; i < ie; ++i)
+                        hits[static_cast<std::size_t>(o * inner + i)]
+                            .fetch_add(1);
+                },
+                /*min_grain=*/1);
+        }
+    });
+    for (const auto& h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, ConcurrentExternalCallersAreSerialized)
+{
+    // Pool::run from several plain threads at once: the run mutex
+    // serializes jobs, so each covers its range exactly once.
+    const int threads = 4;
+    const std::int64_t n = 10000;
+    std::vector<std::int64_t> sums(static_cast<std::size_t>(threads));
+    std::vector<std::thread> callers;
+    for (int c = 0; c < threads; ++c)
+        callers.emplace_back([&, c] {
+            for (int round = 0; round < 20; ++round) {
+                std::atomic<std::int64_t> sum{0};
+                ec::parallelFor(
+                    n, [&](std::int64_t b, std::int64_t e) {
+                        std::int64_t local = 0;
+                        for (std::int64_t i = b; i < e; ++i)
+                            local += i;
+                        sum.fetch_add(local);
+                    });
+                sums[static_cast<std::size_t>(c)] = sum.load();
+            }
+        });
+    for (auto& t : callers)
+        t.join();
+    for (const auto s : sums)
+        ASSERT_EQ(s, n * (n - 1) / 2);
 }
 
 TEST(ParallelTest, RepeatedStressCoversConcurrentJobs)

@@ -4,9 +4,11 @@
  */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "edgebench/core/common.hh"
 #include "edgebench/core/rng.hh"
 
 namespace ec = edgebench::core;
@@ -60,6 +62,48 @@ TEST(RngTest, UniformIntCoversInclusiveRange)
     }
     EXPECT_TRUE(saw_lo);
     EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntIsUnbiasedOnNonPowerOfTwoSpan)
+{
+    // Span 3 over a 64-bit word is the classic modulo-bias case; the
+    // rejection sampler must keep each bucket within chi-square
+    // bounds. With n=300000, sigma per bucket ~ 258; allow 4 sigma.
+    ec::Rng rng(17);
+    const int n = 300000;
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(0, 2)];
+    for (const int c : counts)
+        EXPECT_NEAR(static_cast<double>(c), n / 3.0, 4.0 * 258.0);
+}
+
+TEST(RngTest, UniformIntHandlesExtremeBounds)
+{
+    ec::Rng rng(19);
+    // Degenerate span.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5);
+    // Negative ranges.
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-7, -1);
+        ASSERT_GE(v, -7);
+        ASSERT_LE(v, -1);
+    }
+    // Full 64-bit span (span wraps to 0 internally).
+    const auto lo = std::numeric_limits<std::int64_t>::min();
+    const auto hi = std::numeric_limits<std::int64_t>::max();
+    bool saw_negative = false, saw_positive = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto v = rng.uniformInt(lo, hi);
+        saw_negative |= (v < 0);
+        saw_positive |= (v > 0);
+    }
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
+    // Inverted bounds throw.
+    EXPECT_THROW(rng.uniformInt(1, 0),
+                 edgebench::InvalidArgumentError);
 }
 
 TEST(RngTest, NormalHasApproximatelyUnitMoments)

@@ -274,7 +274,7 @@ TEST(TraceCsvTest, OneRowPerEventPlusHeader)
     const std::size_t rows = countOccurrences(csv, "\n");
     EXPECT_EQ(rows, 1u + t.events().size());
     EXPECT_EQ(csv.rfind("name,category,kind,start_us,dur_us,depth,"
-                        "args\n", 0),
+                        "lane,args\n", 0),
               0u);
     if (obs::kEnabledAtBuild) {
         // Commas and newlines in fields are neutralized.

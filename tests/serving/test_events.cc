@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the discrete-event core: time ordering, deterministic
+ * FIFO tie-breaking, and input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/serving/events.hh"
+
+namespace es = edgebench::serving;
+
+TEST(EventQueueTest, PopsInTimeOrder)
+{
+    es::EventQueue q;
+    for (double t : {5.0, 1.0, 3.0, 2.0, 4.0})
+        q.push({t, es::EventKind::kArrival, -1, -1});
+    ASSERT_EQ(q.size(), 5u);
+    double prev = -1.0;
+    while (!q.empty()) {
+        const auto e = q.pop();
+        EXPECT_GT(e.timeS, prev);
+        prev = e.timeS;
+    }
+}
+
+TEST(EventQueueTest, SimultaneousEventsPopInInsertionOrder)
+{
+    // Equal timestamps must be FIFO: the secondary sequence key is
+    // what makes fleet runs bit-reproducible.
+    es::EventQueue q;
+    for (std::int64_t id = 0; id < 32; ++id)
+        q.push({1.0, es::EventKind::kRetry, -1, id});
+    // Interleave an earlier and later event to exercise the heap.
+    q.push({0.5, es::EventKind::kArrival, -1, 100});
+    q.push({2.0, es::EventKind::kServiceDone, 3, 101});
+
+    EXPECT_EQ(q.pop().requestId, 100);
+    for (std::int64_t id = 0; id < 32; ++id) {
+        const auto e = q.pop();
+        EXPECT_EQ(e.timeS, 1.0);
+        EXPECT_EQ(e.requestId, id);
+    }
+    const auto last = q.pop();
+    EXPECT_EQ(last.requestId, 101);
+    EXPECT_EQ(last.replica, 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TopPeeksWithoutRemoving)
+{
+    es::EventQueue q;
+    q.push({2.0, es::EventKind::kArrival, -1, 1});
+    q.push({1.0, es::EventKind::kArrival, -1, 2});
+    EXPECT_EQ(q.top().requestId, 2);
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_EQ(q.top().requestId, 1);
+}
+
+TEST(EventQueueTest, RejectsInvalidTimes)
+{
+    es::EventQueue q;
+    EXPECT_THROW(q.push({-1.0, es::EventKind::kArrival, -1, -1}),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(
+        q.push({std::numeric_limits<double>::quiet_NaN(),
+                es::EventKind::kArrival, -1, -1}),
+        edgebench::InvalidArgumentError);
+    EXPECT_THROW(
+        q.push({std::numeric_limits<double>::infinity(),
+                es::EventKind::kArrival, -1, -1}),
+        edgebench::InvalidArgumentError);
+    EXPECT_TRUE(q.empty());
+}

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the multi-replica fleet simulator: throughput scaling,
+ * bounded-queue admission, drop/retry policies, balancers,
+ * micro-batching, heterogeneous fleets with replica death, and the
+ * accounting invariant `offered == served + dropped + inFlight` on
+ * every report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/frameworks/deploy.hh"
+#include "edgebench/serving/fleet.hh"
+
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace es = edgebench::serving;
+
+namespace
+{
+
+ef::InferenceSession
+deploy(em::ModelId m, eh::DeviceId d,
+       ef::FrameworkId fw = ef::FrameworkId::kPyTorch)
+{
+    auto dep = ef::tryDeploy(fw, em::buildModel(m), d);
+    EB_CHECK(dep.has_value(), "test deployment failed");
+    return ef::InferenceSession(std::move(dep->model));
+}
+
+void
+expectAccounting(const es::FleetReport& rep)
+{
+    EXPECT_TRUE(rep.accountingConsistent())
+        << "offered " << rep.offered << " != served " << rep.served
+        << " + dropped " << rep.dropped << " + inFlight "
+        << rep.inFlight;
+}
+
+/** Open-loop overload of Jetson Nano MobileNet-v2 (~11 ms service). */
+es::FleetConfig
+overload()
+{
+    es::FleetConfig cfg;
+    cfg.durationS = 120.0;
+    cfg.arrivalRateHz = 300.0; // ~3.3x one replica's capacity
+    cfg.seed = 41;
+    cfg.queueCapacity = 16;
+    cfg.enableThermal = false;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FleetTest, TwoReplicasNearlyDoubleThroughput)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    const auto one = es::simulateFleet(s, 1, overload());
+    const auto two = es::simulateFleet(s, 2, overload());
+    expectAccounting(one);
+    expectAccounting(two);
+    // Both saturated: the second replica buys its full share.
+    EXPECT_GT(one.dropped, 0);
+    EXPECT_GE(two.throughputHz, 1.9 * one.throughputHz);
+    EXPECT_GT(one.utilization, 0.99);
+    EXPECT_GT(two.utilization, 0.99);
+}
+
+TEST(FleetTest, QueueSaturationRejectsButNeverLeaks)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    auto cfg = overload();
+    cfg.queueCapacity = 4;
+    const auto rep = es::simulateFleet(s, 1, cfg);
+    expectAccounting(rep);
+    EXPECT_GT(rep.rejected, 0);
+    EXPECT_GT(rep.dropped, 0);
+    // A bounded queue bounds the tail: at most ~capacity+1 service
+    // times of waiting (throttling off, jitter is small).
+    const double service_ms = s.run(1).perInferenceMs;
+    EXPECT_LT(rep.maxMs, service_ms * (4 + 2) * 1.25);
+}
+
+TEST(FleetTest, DropOldestServesFresherRequests)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    auto reject_cfg = overload();
+    reject_cfg.queueCapacity = 8;
+    auto evict_cfg = reject_cfg;
+    evict_cfg.dropPolicy = es::DropPolicy::kDropOldest;
+    const auto reject = es::simulateFleet(s, 1, reject_cfg);
+    const auto evict = es::simulateFleet(s, 1, evict_cfg);
+    expectAccounting(reject);
+    expectAccounting(evict);
+    EXPECT_GT(evict.rejected, 0);
+    // Eviction trades old queued work for fresh arrivals; both
+    // policies serve at the same (saturated) rate.
+    EXPECT_NEAR(static_cast<double>(evict.served),
+                static_cast<double>(reject.served),
+                0.02 * static_cast<double>(reject.served));
+    EXPECT_GT(evict.dropped, 0);
+}
+
+TEST(FleetTest, RetryRecoversBurstRejections)
+{
+    // Near-capacity Poisson load with a tiny queue: bursts bounce off
+    // the full queue, and retry-with-backoff wins those requests back
+    // once the burst drains.
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    const double service_s = s.run(1).perInferenceMs / 1e3;
+    es::FleetConfig cfg;
+    cfg.durationS = 120.0;
+    cfg.arrivalRateHz = 0.8 / service_s; // bursty but under capacity
+    cfg.seed = 43;
+    cfg.queueCapacity = 1;
+    cfg.enableThermal = false;
+    const auto no_retry = es::simulateFleet(s, 1, cfg);
+    cfg.retry.maxAttempts = 3;
+    cfg.retry.backoffS = 0.05;
+    const auto with_retry = es::simulateFleet(s, 1, cfg);
+    expectAccounting(no_retry);
+    expectAccounting(with_retry);
+    EXPECT_GT(no_retry.dropped, 0);
+    EXPECT_GT(with_retry.retries, 0);
+    EXPECT_GT(with_retry.served, no_retry.served);
+    EXPECT_LT(with_retry.dropped, no_retry.dropped);
+}
+
+TEST(FleetTest, LeastLoadedBeatsRoundRobinOnHeterogeneousFleet)
+{
+    // A fast Nano paired with a slow RPi: round-robin keeps feeding
+    // the RPi half the stream, least-loaded routes around it.
+    auto nano = deploy(em::ModelId::kMobileNetV2,
+                       eh::DeviceId::kJetsonNano);
+    auto rpi = deploy(em::ModelId::kMobileNetV2, eh::DeviceId::kRpi3,
+                      ef::FrameworkId::kTfLite);
+    es::FleetConfig cfg;
+    cfg.durationS = 120.0;
+    cfg.arrivalRateHz = 40.0;
+    cfg.seed = 44;
+    cfg.queueCapacity = 8;
+    cfg.enableThermal = false;
+    std::vector<const ef::InferenceSession*> fleet{&nano, &rpi};
+
+    const auto rr = es::simulateFleet(fleet, cfg);
+    cfg.balancer = es::BalancerPolicy::kLeastLoaded;
+    const auto ll = es::simulateFleet(fleet, cfg);
+    expectAccounting(rr);
+    expectAccounting(ll);
+    EXPECT_GT(ll.served, rr.served);
+    // Least-loaded shifts work onto the fast replica.
+    EXPECT_GT(ll.replicas[0].served, ll.replicas[1].served);
+}
+
+TEST(FleetTest, PowerOfTwoChoicesHoldsUpUnderOverload)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    auto cfg = overload();
+    cfg.balancer = es::BalancerPolicy::kPowerOfTwo;
+    const auto rep = es::simulateFleet(s, 4, cfg);
+    expectAccounting(rep);
+    // All four replicas get meaningful work.
+    for (const auto& r : rep.replicas)
+        EXPECT_GT(r.served, rep.served / 8);
+}
+
+TEST(FleetTest, MicroBatchingRaisesSaturatedThroughput)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    const auto single = es::simulateFleet(s, 1, overload());
+    auto cfg = overload();
+    cfg.maxBatch = 8;
+    const auto batched = es::simulateFleet(s, 1, cfg);
+    expectAccounting(single);
+    expectAccounting(batched);
+    // Batch-8 service comes from the roofline of the rebatched
+    // graph — materially cheaper per request than 8 single runs.
+    EXPECT_GT(batched.throughputHz, 1.5 * single.throughputHz);
+    EXPECT_GT(batched.replicas[0].batches, 0);
+    EXPECT_LT(batched.replicas[0].batches, batched.served);
+}
+
+TEST(FleetTest, FleetDegradesGracefullyWhenOneReplicaDies)
+{
+    // Fig. 14 as a fleet event: the RPi3 thermally shuts down under
+    // Inception-class load while the Nano keeps the service alive.
+    auto rpi = deploy(em::ModelId::kInceptionV4, eh::DeviceId::kRpi3,
+                      ef::FrameworkId::kTensorFlow);
+    auto nano = deploy(em::ModelId::kInceptionV4,
+                       eh::DeviceId::kJetsonNano);
+    es::FleetConfig cfg;
+    cfg.durationS = 3600.0;
+    cfg.arrivalRateHz = 2.0;
+    cfg.seed = 32;
+    cfg.queueCapacity = 32;
+    cfg.retry.maxAttempts = 2;
+    const auto rep = es::simulateFleet(
+        std::vector<const ef::InferenceSession*>{&rpi, &nano}, cfg);
+    expectAccounting(rep);
+    EXPECT_TRUE(rep.replicas[0].thermalShutdown);
+    EXPECT_GT(rep.replicas[0].shutdownAtS, 0.0);
+    EXPECT_FALSE(rep.replicas[1].thermalShutdown);
+    EXPECT_EQ(rep.aliveReplicas, 1);
+    // The surviving Nano carries the fleet: far more served than the
+    // RPi managed, and the fleet keeps serving after the shutdown.
+    EXPECT_GT(rep.replicas[1].served, 10 * rep.replicas[0].served);
+    EXPECT_GT(rep.served, rep.replicas[0].served * 5);
+    // Dead replicas charge no energy after shutdown (the aborted
+    // request's busy interval is truncated), so the RPi's share is
+    // bounded by its live window at full power.
+    const auto& d = eh::deviceSpec(eh::DeviceId::kRpi3);
+    EXPECT_LT(rep.replicas[0].energyJ,
+              d.averagePowerW * rep.replicas[0].shutdownAtS * 1.05);
+}
+
+TEST(FleetTest, UnservedWorkIsInFlightNotLost)
+{
+    // Unbounded queue + overload: nothing is dropped, the backlog is
+    // in flight at window end.
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    auto cfg = overload();
+    cfg.queueCapacity = 0;
+    const auto rep = es::simulateFleet(s, 1, cfg);
+    expectAccounting(rep);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_GT(rep.inFlight, 0);
+    EXPECT_EQ(rep.inFlight, rep.offered - rep.served);
+}
+
+TEST(FleetTest, DeterministicFleetRunsAreReproducible)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    es::FleetConfig cfg;
+    cfg.durationS = 60.0;
+    cfg.arrivalRateHz = 120.0;
+    cfg.deterministicArrivals = true;
+    cfg.serviceJitter = 0.0;
+    cfg.seed = 47;
+    cfg.queueCapacity = 8;
+    cfg.enableThermal = false;
+    cfg.balancer = es::BalancerPolicy::kPowerOfTwo;
+    const auto a = es::simulateFleet(s, 3, cfg);
+    const auto b = es::simulateFleet(s, 3, cfg);
+    expectAccounting(a);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_DOUBLE_EQ(a.p99Ms, b.p99Ms);
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_EQ(a.replicas[r].served, b.replicas[r].served);
+}
+
+TEST(FleetTest, BalancerNamesRoundTrip)
+{
+    using es::BalancerPolicy;
+    for (auto p : {BalancerPolicy::kRoundRobin,
+                   BalancerPolicy::kLeastLoaded,
+                   BalancerPolicy::kPowerOfTwo})
+        EXPECT_EQ(es::balancerByName(es::balancerName(p)), p);
+    EXPECT_EQ(es::balancerByName("rr"), BalancerPolicy::kRoundRobin);
+    EXPECT_EQ(es::balancerByName("least"),
+              BalancerPolicy::kLeastLoaded);
+    EXPECT_EQ(es::balancerByName("p2c"), BalancerPolicy::kPowerOfTwo);
+    EXPECT_THROW(es::balancerByName("random"),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(FleetTest, InvalidConfigsThrow)
+{
+    auto s = deploy(em::ModelId::kMobileNetV2,
+                    eh::DeviceId::kJetsonNano);
+    es::FleetConfig cfg;
+    cfg.durationS = 30.0;
+    cfg.arrivalRateHz = 1.0;
+
+    EXPECT_THROW(es::simulateFleet(s, 0, cfg),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(
+        es::simulateFleet(
+            std::vector<const ef::InferenceSession*>{}, cfg),
+        edgebench::InvalidArgumentError);
+    EXPECT_THROW(
+        es::simulateFleet(
+            std::vector<const ef::InferenceSession*>{nullptr}, cfg),
+        edgebench::InvalidArgumentError);
+
+    auto bad = cfg;
+    bad.maxBatch = 0;
+    EXPECT_THROW(es::simulateFleet(s, 1, bad),
+                 edgebench::InvalidArgumentError);
+    bad = cfg;
+    bad.retry.maxAttempts = -1;
+    EXPECT_THROW(es::simulateFleet(s, 1, bad),
+                 edgebench::InvalidArgumentError);
+    bad = cfg;
+    bad.retry.backoffMult = 0.5;
+    EXPECT_THROW(es::simulateFleet(s, 1, bad),
+                 edgebench::InvalidArgumentError);
+}

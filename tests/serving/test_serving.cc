@@ -28,6 +28,21 @@ deploy(em::ModelId m, eh::DeviceId d,
     return ef::InferenceSession(std::move(dep->model));
 }
 
+/**
+ * The serving accounting invariant: every offered request lands in
+ * exactly one of served / dropped / inFlight. Asserted on every
+ * report this suite produces.
+ */
+void
+expectAccounting(const es::ServingReport& rep)
+{
+    EXPECT_EQ(rep.offered, rep.served + rep.dropped + rep.inFlight)
+        << "offered " << rep.offered << " != served " << rep.served
+        << " + dropped " << rep.dropped << " + inFlight "
+        << rep.inFlight;
+    EXPECT_GE(rep.inFlight, 0);
+}
+
 } // namespace
 
 TEST(ServingTest, LightLoadHasNoQueueing)
@@ -39,6 +54,7 @@ TEST(ServingTest, LightLoadHasNoQueueing)
     es::ServingConfig cfg{.durationS = 600.0, .arrivalRateHz = 1.0,
                           .seed = 3};
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     EXPECT_FALSE(rep.thermalShutdown);
     EXPECT_EQ(rep.dropped, 0);
     const double service = s.run(1).perInferenceMs;
@@ -57,6 +73,7 @@ TEST(ServingTest, OverloadGrowsTailLatency)
                           .enableThermal = false};
     cfg.arrivalRateHz = 4.0 / service_s; // 4x capacity
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     EXPECT_GT(rep.utilization, 0.95);
     EXPECT_GT(rep.p99Ms, 1.5 * rep.p50Ms);
     EXPECT_GT(rep.p99Ms, s.run(1).perInferenceMs * 10.0);
@@ -73,7 +90,11 @@ TEST(ServingTest, DeterministicArrivalsAreReproducible)
                           .enableThermal = false};
     const auto a = es::simulateServing(s, cfg);
     const auto b = es::simulateServing(s, cfg);
+    expectAccounting(a);
+    expectAccounting(b);
     EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.inFlight, b.inFlight);
     EXPECT_DOUBLE_EQ(a.p99Ms, b.p99Ms);
     EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
     // 5 Hz for 100 s ~ 500 arrivals.
@@ -87,6 +108,7 @@ TEST(ServingTest, EnergyIsBetweenIdleAndActiveEnvelope)
     es::ServingConfig cfg{.durationS = 300.0, .arrivalRateHz = 2.0,
                           .seed = 9, .enableThermal = false};
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     const auto& d = eh::deviceSpec(eh::DeviceId::kJetsonTx2);
     EXPECT_GT(rep.energyJ, d.idlePowerW * 300.0 * 0.95);
     EXPECT_LT(rep.energyJ, d.averagePowerW * 300.0 * 1.05);
@@ -103,10 +125,35 @@ TEST(ServingTest, SustainedLoadShutsDownTheRpi)
                           .arrivalRateHz = 1.0, // far above capacity
                           .seed = 11};
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     EXPECT_TRUE(rep.thermalShutdown);
     EXPECT_GT(rep.shutdownAtS, 0.0);
     EXPECT_GT(rep.dropped, 0);
     EXPECT_GT(rep.peakSurfaceC, 55.0);
+    // A dead device draws nothing, and the request it aborted is not
+    // charged: total energy fits inside the live window's active
+    // envelope (regression for the busy-interval truncation fix).
+    const auto& d = eh::deviceSpec(eh::DeviceId::kRpi3);
+    EXPECT_LT(rep.energyJ,
+              d.averagePowerW * rep.shutdownAtS * 1.05);
+}
+
+TEST(ServingTest, BacklogAtWindowEndIsInFlight)
+{
+    // Overload with an unbounded queue: the backlog is neither served
+    // nor lost — it is in flight, and the invariant balances.
+    auto s = deploy(em::ModelId::kResNet50,
+                    eh::DeviceId::kJetsonNano);
+    const double service_s = s.run(1).perInferenceMs / 1e3;
+    es::ServingConfig cfg{.durationS = 60.0, .seed = 19,
+                          .enableThermal = false};
+    cfg.arrivalRateHz = 3.0 / service_s;
+    const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_GT(rep.inFlight, 0);
+    // ~2/3 of the offered load cannot be served in the window.
+    EXPECT_GT(rep.inFlight, rep.offered / 2);
 }
 
 TEST(ServingTest, ModerateRpiLoadThrottlesWithoutDying)
@@ -121,6 +168,7 @@ TEST(ServingTest, ModerateRpiLoadThrottlesWithoutDying)
     es::ServingConfig cfg{.durationS = 5400.0, .seed = 17};
     cfg.arrivalRateHz = 0.5 / service_s;
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     EXPECT_TRUE(rep.thermalThrottled);
     EXPECT_FALSE(rep.thermalShutdown);
     // Throttled service shows up in the tail.
@@ -136,6 +184,7 @@ TEST(ServingTest, MovidiusNeverOverheats)
                           .arrivalRateHz = 50.0, // saturate
                           .seed = 13};
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     EXPECT_FALSE(rep.thermalShutdown);
     EXPECT_LT(rep.peakSurfaceC, 35.0);
     EXPECT_GT(rep.utilization, 0.9);
@@ -147,6 +196,7 @@ TEST(ServingTest, HpcPlatformsRunWithoutThermalModel)
     es::ServingConfig cfg{.durationS = 60.0, .arrivalRateHz = 10.0,
                           .seed = 15};
     const auto rep = es::simulateServing(s, cfg);
+    expectAccounting(rep);
     EXPECT_FALSE(rep.thermalShutdown);
     EXPECT_DOUBLE_EQ(rep.peakSurfaceC, 0.0);
     EXPECT_GT(rep.served, 0);

@@ -10,15 +10,27 @@
  *   edgebench save <model> <file.ebg>        serialize a zoo model
  *   edgebench show <file.ebg>                summary of a saved graph
  *   edgebench predict <model> <device> [fw]  latency + energy
+ *   edgebench serve <model> <device> [fw]    fleet serving simulation
  *   edgebench compat                         Table V matrix
  *   edgebench partition <model> <device> <lan|wifi|lte>
  *
  * Global options (consumed anywhere on the command line):
- *   --trace-out <file>    record a profiled run of `predict` as
- *                         Chrome trace-event JSON (chrome://tracing,
+ *   --trace-out <file>    record a profiled run of `predict` (or the
+ *                         serving timeline of `serve`) as Chrome
+ *                         trace-event JSON (chrome://tracing,
  *                         https://ui.perfetto.dev)
  *   --metrics-out <file>  distill the same run into a metrics CSV
  *   --inferences <n>      inferences in the profiled run (default 30)
+ *
+ * Serve options (apply to `serve`):
+ *   --replicas <n>        fleet size (default 1)
+ *   --queue-cap <n>       per-replica queue capacity (0 = unbounded)
+ *   --balancer <name>     round_robin | least_loaded | power_of_two
+ *   --batch <n>           max micro-batch per service interval
+ *   --duration <s>        simulated window, seconds (default 600)
+ *   --rate <hz>           mean arrival rate (default 1)
+ *   --seed <n>            RNG seed (default 1)
+ *   --retries <n>         retry attempts for rejected requests
  */
 
 #include <fstream>
@@ -35,6 +47,7 @@
 #include "edgebench/harness/report.hh"
 #include "edgebench/obs/export.hh"
 #include "edgebench/power/energy.hh"
+#include "edgebench/serving/fleet.hh"
 #include "edgebench/thermal/thermal.hh"
 
 using namespace edgebench;
@@ -55,6 +68,19 @@ struct ObsOptions
     }
 };
 
+/** Fleet options lifted from the command line before dispatch. */
+struct ServeOptions
+{
+    int replicas = 1;
+    std::size_t queueCap = 0;
+    std::string balancer = "round_robin";
+    int batch = 1;
+    double durationS = 600.0;
+    double rateHz = 1.0;
+    std::uint64_t seed = 1;
+    int retries = 0;
+};
+
 int
 usage()
 {
@@ -64,13 +90,18 @@ usage()
         << "  summary <model> | dot <model>\n"
         << "  save <model> <file.ebg> | show <file.ebg>\n"
         << "  predict <model> <device> [framework]\n"
+        << "  serve <model> <device> [framework]\n"
         << "  partition <model> <edge-device> <lan|wifi|lte>\n"
-        << "options (apply to predict):\n"
+        << "options (apply to predict; --trace-out also to serve):\n"
         << "  --trace-out <file>    Chrome trace JSON of a profiled "
            "run\n"
         << "  --metrics-out <file>  metrics CSV of the same run\n"
         << "  --inferences <n>      run length to profile "
-           "(default 30)\n";
+           "(default 30)\n"
+        << "options (apply to serve):\n"
+        << "  --replicas <n> --queue-cap <n> --balancer <name>\n"
+        << "  --batch <n> --duration <s> --rate <hz> --seed <n>\n"
+        << "  --retries <n>\n";
     return 2;
 }
 
@@ -247,6 +278,97 @@ cmdPredict(const std::string& model, const std::string& device,
 }
 
 int
+cmdServe(const std::string& model, const std::string& device,
+         const std::string& fw_name, const ServeOptions& serve,
+         const ObsOptions& opts)
+{
+    const auto g = models::buildModel(models::modelByName(model));
+    const auto dev = hw::deviceByName(device);
+
+    std::optional<frameworks::Deployment> dep;
+    if (fw_name.empty())
+        dep = frameworks::bestDeployment(g, dev);
+    else
+        dep = frameworks::tryDeploy(
+            frameworks::frameworkByName(fw_name), g, dev);
+    if (!dep) {
+        std::cout << model << " is not deployable on " << device
+                  << (fw_name.empty() ? "" : " with " + fw_name)
+                  << "\n";
+        return 1;
+    }
+    frameworks::InferenceSession session(std::move(dep->model));
+
+    serving::FleetConfig fc;
+    fc.durationS = serve.durationS;
+    fc.arrivalRateHz = serve.rateHz;
+    fc.seed = serve.seed;
+    fc.queueCapacity = serve.queueCap;
+    fc.balancer = serving::balancerByName(serve.balancer);
+    fc.maxBatch = serve.batch;
+    fc.retry.maxAttempts = serve.retries;
+
+    obs::Tracer tracer("edgebench serve");
+    if (!opts.traceOut.empty())
+        fc.tracer = &tracer;
+
+    const auto rep =
+        serving::simulateFleet(session, serve.replicas, fc);
+
+    std::cout << model << " on " << serve.replicas << "x " << device
+              << " (" << serving::balancerName(fc.balancer)
+              << ", queue " << (fc.queueCapacity == 0
+                                    ? std::string("unbounded")
+                                    : std::to_string(fc.queueCapacity))
+              << ", batch " << fc.maxBatch << "), "
+              << harness::Table::num(fc.arrivalRateHz, 2) << " Hz for "
+              << harness::Table::num(fc.durationS, 0) << " s:\n"
+              << "  offered:    " << rep.offered << "\n"
+              << "  served:     " << rep.served << "\n"
+              << "  dropped:    " << rep.dropped
+              << "  (rejections: " << rep.rejected
+              << ", retries: " << rep.retries << ")\n"
+              << "  in flight:  " << rep.inFlight << "\n"
+              << "  latency:    p50 "
+              << harness::Table::num(rep.p50Ms, 1) << " / p95 "
+              << harness::Table::num(rep.p95Ms, 1) << " / p99 "
+              << harness::Table::num(rep.p99Ms, 1) << " ms\n"
+              << "  throughput: "
+              << harness::Table::num(rep.throughputHz, 3) << " Hz\n"
+              << "  energy:     "
+              << harness::Table::num(rep.energyJ, 1) << " J ("
+              << harness::Table::num(rep.energyPerRequestJ, 2)
+              << " J/request)\n"
+              << "  alive:      " << rep.aliveReplicas << "/"
+              << serve.replicas << " replicas\n";
+    for (std::size_t r = 0; r < rep.replicas.size(); ++r) {
+        const auto& rr = rep.replicas[r];
+        std::cout << "  replica " << r << ": served " << rr.served
+                  << ", util "
+                  << harness::Table::num(rr.utilization * 100.0, 1)
+                  << "%, peak "
+                  << harness::Table::num(rr.peakSurfaceC, 1) << " C";
+        if (rr.thermalShutdown)
+            std::cout << ", SHUTDOWN at "
+                      << harness::Table::num(rr.shutdownAtS, 0)
+                      << " s";
+        else if (rr.thermalThrottled)
+            std::cout << ", throttled";
+        std::cout << "\n";
+    }
+
+    if (!opts.traceOut.empty()) {
+        std::ofstream out(opts.traceOut);
+        EB_CHECK(out.good(),
+                 "cannot open '" << opts.traceOut << "' for writing");
+        obs::writeChromeTrace(tracer, out);
+        std::cout << "  trace:      " << tracer.events().size()
+                  << " events -> " << opts.traceOut << "\n";
+    }
+    return 0;
+}
+
+int
 cmdCompat()
 {
     std::vector<std::string> headers{"Model"};
@@ -306,7 +428,26 @@ main(int argc, char** argv)
 {
     std::vector<std::string> args;
     ObsOptions obs_opts;
+    ServeOptions serve_opts;
     try {
+        auto int_flag = [](const char* flag, const char* v) {
+            std::int64_t n = -1;
+            try {
+                n = std::stoll(v);
+            } catch (const std::exception&) {
+            }
+            EB_CHECK(n >= 0, flag << ": need a non-negative integer");
+            return n;
+        };
+        auto double_flag = [](const char* flag, const char* v) {
+            double x = 0.0;
+            try {
+                x = std::stod(v);
+            } catch (const std::exception&) {
+            }
+            EB_CHECK(x > 0.0, flag << ": need a positive number");
+            return x;
+        };
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             const bool has_value = i + 1 < argc;
@@ -315,13 +456,36 @@ main(int argc, char** argv)
             else if (a == "--metrics-out" && has_value)
                 obs_opts.metricsOut = argv[++i];
             else if (a == "--inferences" && has_value) {
-                try {
-                    obs_opts.inferences = std::stoll(argv[++i]);
-                } catch (const std::exception&) {
-                    obs_opts.inferences = 0; // fails the check below
-                }
+                obs_opts.inferences =
+                    int_flag("--inferences", argv[++i]);
                 EB_CHECK(obs_opts.inferences > 0,
                          "--inferences: need a positive count");
+            } else if (a == "--replicas" && has_value) {
+                serve_opts.replicas = static_cast<int>(
+                    int_flag("--replicas", argv[++i]));
+                EB_CHECK(serve_opts.replicas > 0,
+                         "--replicas: need a positive count");
+            } else if (a == "--queue-cap" && has_value) {
+                serve_opts.queueCap = static_cast<std::size_t>(
+                    int_flag("--queue-cap", argv[++i]));
+            } else if (a == "--balancer" && has_value) {
+                serve_opts.balancer = argv[++i];
+            } else if (a == "--batch" && has_value) {
+                serve_opts.batch =
+                    static_cast<int>(int_flag("--batch", argv[++i]));
+                EB_CHECK(serve_opts.batch > 0,
+                         "--batch: need a positive count");
+            } else if (a == "--duration" && has_value) {
+                serve_opts.durationS =
+                    double_flag("--duration", argv[++i]);
+            } else if (a == "--rate" && has_value) {
+                serve_opts.rateHz = double_flag("--rate", argv[++i]);
+            } else if (a == "--seed" && has_value) {
+                serve_opts.seed = static_cast<std::uint64_t>(
+                    int_flag("--seed", argv[++i]));
+            } else if (a == "--retries" && has_value) {
+                serve_opts.retries = static_cast<int>(
+                    int_flag("--retries", argv[++i]));
             } else if (a.rfind("--", 0) == 0) {
                 return usage();
             } else {
@@ -350,6 +514,11 @@ main(int argc, char** argv)
             return cmdPredict(args[1], args[2],
                               args.size() == 4 ? args[3] : "",
                               obs_opts);
+        if (cmd == "serve" &&
+            (args.size() == 3 || args.size() == 4))
+            return cmdServe(args[1], args[2],
+                            args.size() == 4 ? args[3] : "",
+                            serve_opts, obs_opts);
         if (cmd == "compat")
             return cmdCompat();
         if (cmd == "partition" && args.size() == 4)
