@@ -1,16 +1,26 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the real compute kernels: GEMM,
- * im2col convolution (dense/depthwise), INT8 convolution,
+ * im2col convolution (dense/depthwise), INT8 convolution/dense, LSTM,
  * quantization, and graph-interpreter end-to-end CifarNet inference.
  * These measure this machine, not the modeled devices — they document
  * the functional substrate's own performance.
+ *
+ * Kernel benchmarks take a trailing thread-count argument (the pool
+ * is deterministic, so every thread count computes bit-identical
+ * results); comparing the /1 and /4 rows gives the parallel speedup
+ * quoted in docs/PERFORMANCE.md.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "edgebench/core/kernels.hh"
 #include "edgebench/core/kernels_int8.hh"
+#include "edgebench/core/kernels_rnn.hh"
+#include "edgebench/core/parallel.hh"
 #include "edgebench/graph/interpreter.hh"
 #include "edgebench/graph/passes.hh"
 #include "edgebench/models/zoo.hh"
@@ -22,9 +32,18 @@ namespace em = edgebench::models;
 namespace
 {
 
+/** Apply the benchmark's thread-count argument to the kernel pool. */
+void
+applyThreads(benchmark::State& state, std::int64_t threads)
+{
+    state.SetLabel("threads=" + std::to_string(threads));
+    ec::setParallelism(static_cast<int>(threads));
+}
+
 void
 BM_Gemm(benchmark::State& state)
 {
+    applyThreads(state, state.range(1));
     const auto n = state.range(0);
     ec::Rng rng(1);
     auto a = ec::Tensor::randomNormal({n, n}, rng);
@@ -36,11 +55,13 @@ BM_Gemm(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4});
 
 void
 BM_Conv2dIm2col(benchmark::State& state)
 {
+    applyThreads(state, state.range(1));
     const auto c = state.range(0);
     ec::Conv2dGeom g{.n = 1, .inC = c, .inH = 28, .inW = 28,
                      .outC = c, .kH = 3, .kW = 3, .padH = 1,
@@ -55,11 +76,13 @@ BM_Conv2dIm2col(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * g.macs());
 }
-BENCHMARK(BM_Conv2dIm2col)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Conv2dIm2col)
+    ->Args({64, 1})->Args({64, 2})->Args({64, 4});
 
 void
 BM_DepthwiseConv(benchmark::State& state)
 {
+    applyThreads(state, state.range(1));
     const auto c = state.range(0);
     ec::Conv2dGeom g{.n = 1, .inC = c, .inH = 28, .inW = 28,
                      .outC = c, .kH = 3, .kW = 3, .padH = 1,
@@ -74,11 +97,13 @@ BM_DepthwiseConv(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * g.macs());
 }
-BENCHMARK(BM_DepthwiseConv)->Arg(32)->Arg(128);
+BENCHMARK(BM_DepthwiseConv)
+    ->Args({128, 1})->Args({128, 4});
 
 void
 BM_Conv2dInt8(benchmark::State& state)
 {
+    applyThreads(state, state.range(1));
     const auto c = state.range(0);
     ec::Conv2dGeom g{.n = 1, .inC = c, .inH = 14, .inW = 14,
                      .outC = c, .kH = 3, .kW = 3, .padH = 1,
@@ -95,11 +120,73 @@ BM_Conv2dInt8(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * g.macs());
 }
-BENCHMARK(BM_Conv2dInt8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dInt8)
+    ->Args({32, 1})->Args({32, 2})->Args({32, 4});
+
+void
+BM_Dense(benchmark::State& state)
+{
+    applyThreads(state, state.range(1));
+    const auto n = state.range(0);
+    ec::DenseGeom g{.batch = 1, .inFeatures = n, .outFeatures = n};
+    ec::Rng rng(7);
+    auto input = ec::Tensor::randomNormal({1, n}, rng);
+    auto w = ec::Tensor::randomNormal({n, n}, rng);
+    auto bias = ec::Tensor::zeros({n});
+    for (auto _ : state) {
+        auto out = ec::dense(input, w, bias, g);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Dense)
+    ->Args({1024, 1})->Args({1024, 4});
+
+void
+BM_DenseInt8(benchmark::State& state)
+{
+    applyThreads(state, state.range(1));
+    const auto n = state.range(0);
+    ec::DenseGeom g{.batch = 1, .inFeatures = n, .outFeatures = n};
+    ec::Rng rng(8);
+    auto input = ec::Tensor::randomNormal({1, n}, rng).toInt8();
+    auto w = ec::Tensor::randomNormal({n, n}, rng).toInt8();
+    auto bias = ec::Tensor::zeros({n});
+    const auto out_qp = ec::chooseQuantParams(-4.0, 4.0);
+    for (auto _ : state) {
+        auto out = ec::denseInt8(input, w, bias, g, out_qp);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DenseInt8)
+    ->Args({1024, 1})->Args({1024, 4});
+
+void
+BM_LstmForward(benchmark::State& state)
+{
+    applyThreads(state, state.range(1));
+    const auto h = state.range(0);
+    ec::RnnGeom g{.batch = 1, .seqLen = 16, .inputSize = h,
+                  .hiddenSize = h, .gates = 4};
+    ec::Rng rng(9);
+    auto input = ec::Tensor::randomNormal({1, 16, h}, rng);
+    auto w_ih = ec::Tensor::randomNormal({4 * h, h}, rng);
+    auto w_hh = ec::Tensor::randomNormal({4 * h, h}, rng);
+    auto bias = ec::Tensor::zeros({4 * h});
+    for (auto _ : state) {
+        auto out = ec::lstmForward(input, w_ih, w_hh, bias, g);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 8 * h * h);
+}
+BENCHMARK(BM_LstmForward)
+    ->Args({256, 1})->Args({256, 4});
 
 void
 BM_QuantizeRoundTrip(benchmark::State& state)
 {
+    applyThreads(state, state.range(1));
     ec::Rng rng(5);
     auto t = ec::Tensor::randomNormal({state.range(0)}, rng);
     for (auto _ : state) {
@@ -109,11 +196,13 @@ BM_QuantizeRoundTrip(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_QuantizeRoundTrip)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_QuantizeRoundTrip)
+    ->Args({1 << 18, 1})->Args({1 << 18, 4});
 
 void
 BM_InterpreterCifarNet(benchmark::State& state)
 {
+    applyThreads(state, state.range(0));
     auto g = em::buildCifarNet();
     ec::Rng rng(6);
     g.materializeParams(rng);
@@ -125,7 +214,7 @@ BM_InterpreterCifarNet(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * g.stats().macs);
 }
-BENCHMARK(BM_InterpreterCifarNet);
+BENCHMARK(BM_InterpreterCifarNet)->Arg(1)->Arg(4);
 
 void
 BM_FusionPass(benchmark::State& state)

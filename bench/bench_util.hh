@@ -8,10 +8,12 @@
 #ifndef EDGEBENCH_BENCH_UTIL_HH
 #define EDGEBENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "edgebench/core/parallel.hh"
 #include "edgebench/frameworks/deploy.hh"
 #include "edgebench/harness/experiment.hh"
 #include "edgebench/harness/report.hh"
@@ -20,6 +22,24 @@ namespace edgebench
 {
 namespace bench
 {
+
+/**
+ * Apply a --threads <n> argument (or EDGEBENCH_THREADS) to the kernel
+ * thread pool before any timed work. Determinism makes the thread
+ * count a pure performance knob: results are identical for any value.
+ */
+inline void
+initThreads(int argc, char** argv)
+{
+    int threads = -1;
+    if (const char* env = std::getenv("EDGEBENCH_THREADS"))
+        threads = std::atoi(env);
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--threads")
+            threads = std::atoi(argv[i + 1]);
+    if (threads >= 0)
+        core::setParallelism(threads);
+}
 
 /** Print the standard experiment banner from the registry. */
 inline void

@@ -90,8 +90,14 @@ Tensor addElementwise(const Tensor& a, const Tensor& b);
 /** Concatenate along the channel dimension (dim 1). */
 Tensor concatChannels(const std::vector<Tensor>& inputs);
 
+/** Same, over borrowed tensors (no copies of the inputs). */
+Tensor concatChannels(const std::vector<const Tensor*>& inputs);
+
 /** Concatenate along the last dimension (all other dims equal). */
 Tensor concatLastDim(const std::vector<Tensor>& inputs);
+
+/** Same, over borrowed tensors (no copies of the inputs). */
+Tensor concatLastDim(const std::vector<const Tensor*>& inputs);
 
 /** Zero-pad H/W of an NCHW tensor. */
 Tensor padSpatial(const Tensor& input, std::int64_t pad_top,

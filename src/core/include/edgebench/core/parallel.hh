@@ -8,7 +8,7 @@
  * results are bit-identical for any thread count — determinism is a
  * repo-wide invariant (see docs/ARCHITECTURE.md).
  *
- * The pool is process-wide and lazy; set thread count once via
+ * The pool is process-wide and lazy; set the thread count via
  * setParallelism (0 = hardware concurrency). Kernels fall back to the
  * calling thread for small ranges.
  */
@@ -24,7 +24,13 @@ namespace edgebench
 namespace core
 {
 
-/** Set the worker count (0 = hardware concurrency). */
+/**
+ * Set the worker count (0 = hardware concurrency). Tears down any
+ * existing pool and rebuilds it lazily at the requested size, so the
+ * count can change between runs (CLI --threads, determinism tests).
+ * Must not be called concurrently with parallelFor, or from inside a
+ * parallelFor body.
+ */
 void setParallelism(int threads);
 
 /** Current worker count (>= 1). */

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thread-local scratch arenas for the compute kernels.
+ *
+ * Hot kernels (im2col convolution, RNN gate GEMVs, INT8 staging) used
+ * to allocate a fresh std::vector per call; under a model sweep that
+ * is one malloc/free pair per node per inference. A scratch arena
+ * hands out grow-only buffers that live for the thread's lifetime, so
+ * steady-state kernel execution performs no heap allocation.
+ *
+ * Slots are compile-time identities (one per independent concurrent
+ * use). Borrowing the same slot twice on one thread reuses — and
+ * clobbers — the same storage, so a kernel that calls another kernel
+ * must not share its slot with the callee. Buffers are thread-local:
+ * parallelFor workers that index into a caller's scratch span (the
+ * usual pattern: the caller borrows, workers fill disjoint ranges)
+ * share the caller's buffer, while workers that borrow for themselves
+ * get their own.
+ *
+ * Scratch reuse never changes arithmetic: every element of a borrowed
+ * span is written before it is read (the spans are not zeroed), so the
+ * repo-wide bit-determinism invariant (parallel.hh) is unaffected.
+ */
+
+#ifndef EDGEBENCH_CORE_SCRATCH_HH
+#define EDGEBENCH_CORE_SCRATCH_HH
+
+#include <cstddef>
+#include <span>
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Scratch slot identities; one per independent concurrent use. */
+enum class ScratchSlot
+{
+    kIm2Col,     ///< conv2d column matrix
+    kRnnGates,   ///< LSTM/GRU per-timestep gate pre-activations
+    kRnnGather,  ///< RNN strided timestep gather
+    kCount
+};
+
+/**
+ * Borrow an uninitialized float span of @p n elements from the calling
+ * thread's arena. Contents are unspecified; valid until the same slot
+ * is borrowed again on this thread.
+ */
+std::span<float> scratchF32(ScratchSlot slot, std::size_t n);
+
+/** Same, for double-precision accumulator scratch. */
+std::span<double> scratchF64(ScratchSlot slot, std::size_t n);
+
+/** Total bytes currently reserved by this thread's arenas (tests). */
+std::size_t scratchBytesReserved();
+
+/** Release this thread's arenas (tests; never required in production). */
+void scratchRelease();
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_SCRATCH_HH

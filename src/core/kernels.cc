@@ -6,6 +6,7 @@
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
+#include "edgebench/core/scratch.hh"
 
 namespace edgebench
 {
@@ -74,10 +75,16 @@ im2col(std::span<const float> image, const Conv2dGeom& g,
                  cg * g.kH * g.kW * oh * ow,
              "im2col: bad columns size");
     const std::int64_t c0 = group * cg;
-    std::int64_t col = 0;
-    for (std::int64_t c = 0; c < cg; ++c) {
-        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+    // Each patch row (c, ky, kx) owns one contiguous oh*ow slice of
+    // the column matrix; partition the rows across the workers.
+    parallelFor(
+        cg * g.kH * g.kW,
+        [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t c = r / (g.kH * g.kW);
+                const std::int64_t ky = (r / g.kW) % g.kH;
+                const std::int64_t kx = r % g.kW;
+                float* row = columns.data() + r * oh * ow;
                 for (std::int64_t oy = 0; oy < oh; ++oy) {
                     const std::int64_t iy =
                         oy * g.strideH - g.padH + ky * g.dilH;
@@ -90,12 +97,12 @@ im2col(std::span<const float> image, const Conv2dGeom& g,
                             v = image[((c0 + c) * g.inH + iy) * g.inW +
                                       ix];
                         }
-                        columns[col++] = v;
+                        row[oy * ow + ox] = v;
                     }
                 }
             }
-        }
-    }
+        },
+        /*min_grain=*/4);
 }
 
 Tensor
@@ -121,41 +128,53 @@ conv2dNaive(const Tensor& input, const Tensor& weights,
     auto in = input.data();
     auto w = weights.data();
     auto o = out.data();
-    for (std::int64_t b = 0; b < g.n; ++b) {
-        for (std::int64_t oc = 0; oc < g.outC; ++oc) {
-            const std::int64_t grp = oc / ocg;
-            for (std::int64_t oy = 0; oy < oh; ++oy) {
-                for (std::int64_t ox = 0; ox < ow; ++ox) {
-                    double acc =
-                        has_bias ? static_cast<double>(bias.at(oc)) : 0.0;
-                    for (std::int64_t c = 0; c < cg; ++c) {
-                        const std::int64_t ic = grp * cg + c;
-                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-                            const std::int64_t iy =
-                                oy * g.strideH - g.padH + ky * g.dilH;
-                            if (iy < 0 || iy >= g.inH)
-                                continue;
-                            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
-                                const std::int64_t ix = ox * g.strideW -
-                                    g.padW + kx * g.dilW;
-                                if (ix < 0 || ix >= g.inW)
+    // Each (batch, output-channel) plane is independent; partition the
+    // planes across the workers (per-element accumulation order is
+    // untouched, so results are bit-identical to serial).
+    parallelFor(
+        g.n * g.outC,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const std::int64_t b = p / g.outC;
+                const std::int64_t oc = p % g.outC;
+                const std::int64_t grp = oc / ocg;
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        double acc = has_bias
+                            ? static_cast<double>(bias.at(oc))
+                            : 0.0;
+                        for (std::int64_t c = 0; c < cg; ++c) {
+                            const std::int64_t ic = grp * cg + c;
+                            for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                                const std::int64_t iy =
+                                    oy * g.strideH - g.padH +
+                                    ky * g.dilH;
+                                if (iy < 0 || iy >= g.inH)
                                     continue;
-                                const float iv =
-                                    in[((b * g.inC + ic) * g.inH + iy) *
-                                           g.inW + ix];
-                                const float wv =
-                                    w[((oc * cg + c) * g.kH + ky) * g.kW +
-                                      kx];
-                                acc += static_cast<double>(iv) * wv;
+                                for (std::int64_t kx = 0; kx < g.kW;
+                                     ++kx) {
+                                    const std::int64_t ix =
+                                        ox * g.strideW - g.padW +
+                                        kx * g.dilW;
+                                    if (ix < 0 || ix >= g.inW)
+                                        continue;
+                                    const float iv =
+                                        in[((b * g.inC + ic) * g.inH +
+                                            iy) * g.inW + ix];
+                                    const float wv =
+                                        w[((oc * cg + c) * g.kH + ky) *
+                                              g.kW + kx];
+                                    acc += static_cast<double>(iv) * wv;
+                                }
                             }
                         }
+                        o[((b * g.outC + oc) * oh + oy) * ow + ox] =
+                            static_cast<float>(acc);
                     }
-                    o[((b * g.outC + oc) * oh + oy) * ow + ox] =
-                        static_cast<float>(acc);
                 }
             }
-        }
-    }
+        },
+        /*min_grain=*/2);
     return out;
 }
 
@@ -176,7 +195,10 @@ conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
     const std::int64_t ow = g.outW();
     const std::int64_t patch = cg * g.kH * g.kW;
     Tensor out(Shape{g.n, g.outC, oh, ow});
-    std::vector<float> columns(
+    // Column matrix comes from the scratch arena: reused across calls,
+    // so steady-state convolution performs no per-call allocation.
+    std::span<float> columns = scratchF32(
+        ScratchSlot::kIm2Col,
         static_cast<std::size_t>(patch * oh * ow));
     auto in = input.data();
     auto w = weights.data();
@@ -198,13 +220,17 @@ conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
         }
     }
     if (has_bias) {
-        for (std::int64_t b = 0; b < g.n; ++b)
-            for (std::int64_t oc = 0; oc < g.outC; ++oc) {
-                const float bv = bias.at(oc);
-                float* base = o.data() + (b * g.outC + oc) * oh * ow;
-                for (std::int64_t i = 0; i < oh * ow; ++i)
-                    base[i] += bv;
-            }
+        parallelFor(
+            g.n * g.outC,
+            [&](std::int64_t p0, std::int64_t p1) {
+                for (std::int64_t p = p0; p < p1; ++p) {
+                    const float bv = bias.at(p % g.outC);
+                    float* base = o.data() + p * oh * ow;
+                    for (std::int64_t i = 0; i < oh * ow; ++i)
+                        base[i] += bv;
+                }
+            },
+            /*min_grain=*/8);
     }
     return out;
 }
@@ -229,38 +255,50 @@ conv3d(const Tensor& input, const Tensor& weights, const Tensor& bias,
     auto in = input.data();
     auto w = weights.data();
     auto o = out.data();
-    for (std::int64_t b = 0; b < g.n; ++b)
-    for (std::int64_t oc = 0; oc < g.outC; ++oc)
-    for (std::int64_t oz = 0; oz < od; ++oz)
-    for (std::int64_t oy = 0; oy < oh; ++oy)
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
-        double acc = has_bias ? static_cast<double>(bias.at(oc)) : 0.0;
-        for (std::int64_t c = 0; c < g.inC; ++c)
-        for (std::int64_t kz = 0; kz < g.kD; ++kz) {
-            const std::int64_t iz = oz * g.strideD - g.padD + kz;
-            if (iz < 0 || iz >= g.inD)
-                continue;
-            for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-                const std::int64_t iy = oy * g.strideH - g.padH + ky;
-                if (iy < 0 || iy >= g.inH)
-                    continue;
-                for (std::int64_t kx = 0; kx < g.kW; ++kx) {
-                    const std::int64_t ix = ox * g.strideW - g.padW + kx;
-                    if (ix < 0 || ix >= g.inW)
-                        continue;
-                    const float iv =
-                        in[(((b * g.inC + c) * g.inD + iz) * g.inH + iy) *
-                               g.inW + ix];
-                    const float wv =
-                        w[(((oc * g.inC + c) * g.kD + kz) * g.kH + ky) *
-                              g.kW + kx];
-                    acc += static_cast<double>(iv) * wv;
+    // Partition (batch, output-channel, depth) slices across workers.
+    parallelFor(
+        g.n * g.outC * od,
+        [&](std::int64_t s0, std::int64_t s1) {
+            for (std::int64_t s = s0; s < s1; ++s) {
+                const std::int64_t b = s / (g.outC * od);
+                const std::int64_t oc = (s / od) % g.outC;
+                const std::int64_t oz = s % od;
+                for (std::int64_t oy = 0; oy < oh; ++oy)
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    double acc = has_bias
+                        ? static_cast<double>(bias.at(oc)) : 0.0;
+                    for (std::int64_t c = 0; c < g.inC; ++c)
+                    for (std::int64_t kz = 0; kz < g.kD; ++kz) {
+                        const std::int64_t iz =
+                            oz * g.strideD - g.padD + kz;
+                        if (iz < 0 || iz >= g.inD)
+                            continue;
+                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                            const std::int64_t iy =
+                                oy * g.strideH - g.padH + ky;
+                            if (iy < 0 || iy >= g.inH)
+                                continue;
+                            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                                const std::int64_t ix =
+                                    ox * g.strideW - g.padW + kx;
+                                if (ix < 0 || ix >= g.inW)
+                                    continue;
+                                const float iv =
+                                    in[(((b * g.inC + c) * g.inD + iz) *
+                                        g.inH + iy) * g.inW + ix];
+                                const float wv =
+                                    w[(((oc * g.inC + c) * g.kD + kz) *
+                                       g.kH + ky) * g.kW + kx];
+                                acc += static_cast<double>(iv) * wv;
+                            }
+                        }
+                    }
+                    o[(((b * g.outC + oc) * od + oz) * oh + oy) * ow +
+                      ox] = static_cast<float>(acc);
                 }
             }
-        }
-        o[(((b * g.outC + oc) * od + oz) * oh + oy) * ow + ox] =
-            static_cast<float>(acc);
-    }
+        },
+        /*min_grain=*/2);
     return out;
 }
 
@@ -316,35 +354,41 @@ pool2dImpl(const Tensor& input, const Pool2dGeom& g)
     Tensor out(Shape{g.n, g.c, oh, ow});
     auto in = input.data();
     auto o = out.data();
-    for (std::int64_t b = 0; b < g.n; ++b)
-    for (std::int64_t c = 0; c < g.c; ++c)
-    for (std::int64_t oy = 0; oy < oh; ++oy)
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
-        double acc = IsMax
-            ? -std::numeric_limits<double>::infinity() : 0.0;
-        std::int64_t count = 0;
-        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-            const std::int64_t iy = oy * g.strideH - g.padH + ky;
-            if (iy < 0 || iy >= g.inH)
-                continue;
-            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
-                const std::int64_t ix = ox * g.strideW - g.padW + kx;
-                if (ix < 0 || ix >= g.inW)
-                    continue;
-                const double v =
-                    in[((b * g.c + c) * g.inH + iy) * g.inW + ix];
-                if constexpr (IsMax) {
-                    acc = std::max(acc, v);
-                } else {
-                    acc += v;
+    // One worker per contiguous run of (batch, channel) planes.
+    parallelFor(
+        g.n * g.c,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p)
+            for (std::int64_t oy = 0; oy < oh; ++oy)
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                double acc = IsMax
+                    ? -std::numeric_limits<double>::infinity() : 0.0;
+                std::int64_t count = 0;
+                for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                    const std::int64_t iy = oy * g.strideH - g.padH + ky;
+                    if (iy < 0 || iy >= g.inH)
+                        continue;
+                    for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                        const std::int64_t ix =
+                            ox * g.strideW - g.padW + kx;
+                        if (ix < 0 || ix >= g.inW)
+                            continue;
+                        const double v =
+                            in[(p * g.inH + iy) * g.inW + ix];
+                        if constexpr (IsMax) {
+                            acc = std::max(acc, v);
+                        } else {
+                            acc += v;
+                        }
+                        ++count;
+                    }
                 }
-                ++count;
+                if constexpr (!IsMax)
+                    acc = count > 0 ? acc / count : 0.0;
+                o[(p * oh + oy) * ow + ox] = static_cast<float>(acc);
             }
-        }
-        if constexpr (!IsMax)
-            acc = count > 0 ? acc / count : 0.0;
-        o[((b * g.c + c) * oh + oy) * ow + ox] = static_cast<float>(acc);
-    }
+        },
+        /*min_grain=*/4);
     return out;
 }
 
@@ -374,35 +418,41 @@ maxPool3d(const Tensor& input, const Pool3dGeom& g)
     Tensor out(Shape{g.n, g.c, od, oh, ow});
     auto in = input.data();
     auto o = out.data();
-    for (std::int64_t b = 0; b < g.n; ++b)
-    for (std::int64_t c = 0; c < g.c; ++c)
-    for (std::int64_t oz = 0; oz < od; ++oz)
-    for (std::int64_t oy = 0; oy < oh; ++oy)
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
-        double acc = -std::numeric_limits<double>::infinity();
-        for (std::int64_t kz = 0; kz < g.kD; ++kz) {
-            const std::int64_t iz = oz * g.strideD - g.padD + kz;
-            if (iz < 0 || iz >= g.inD)
-                continue;
-            for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-                const std::int64_t iy = oy * g.strideH - g.padH + ky;
-                if (iy < 0 || iy >= g.inH)
-                    continue;
-                for (std::int64_t kx = 0; kx < g.kW; ++kx) {
-                    const std::int64_t ix = ox * g.strideW - g.padW + kx;
-                    if (ix < 0 || ix >= g.inW)
+    parallelFor(
+        g.n * g.c,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p)
+            for (std::int64_t oz = 0; oz < od; ++oz)
+            for (std::int64_t oy = 0; oy < oh; ++oy)
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                double acc = -std::numeric_limits<double>::infinity();
+                for (std::int64_t kz = 0; kz < g.kD; ++kz) {
+                    const std::int64_t iz = oz * g.strideD - g.padD + kz;
+                    if (iz < 0 || iz >= g.inD)
                         continue;
-                    acc = std::max(
-                        acc,
-                        static_cast<double>(
-                            in[(((b * g.c + c) * g.inD + iz) * g.inH +
-                                iy) * g.inW + ix]));
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        const std::int64_t iy =
+                            oy * g.strideH - g.padH + ky;
+                        if (iy < 0 || iy >= g.inH)
+                            continue;
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                            const std::int64_t ix =
+                                ox * g.strideW - g.padW + kx;
+                            if (ix < 0 || ix >= g.inW)
+                                continue;
+                            acc = std::max(
+                                acc,
+                                static_cast<double>(
+                                    in[((p * g.inD + iz) * g.inH + iy) *
+                                       g.inW + ix]));
+                        }
+                    }
                 }
+                o[((p * od + oz) * oh + oy) * ow + ox] =
+                    static_cast<float>(acc);
             }
-        }
-        o[(((b * g.c + c) * od + oz) * oh + oy) * ow + ox] =
-            static_cast<float>(acc);
-    }
+        },
+        /*min_grain=*/2);
     return out;
 }
 
@@ -415,14 +465,18 @@ globalAvgPool(const Tensor& input)
     Tensor out(Shape{n, c});
     auto in = input.data();
     auto o = out.data();
-    for (std::int64_t b = 0; b < n; ++b)
-        for (std::int64_t ch = 0; ch < c; ++ch) {
-            double acc = 0.0;
-            const float* base = in.data() + (b * c + ch) * hw;
-            for (std::int64_t i = 0; i < hw; ++i)
-                acc += base[i];
-            o[b * c + ch] = static_cast<float>(acc / hw);
-        }
+    parallelFor(
+        n * c,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                double acc = 0.0;
+                const float* base = in.data() + p * hw;
+                for (std::int64_t i = 0; i < hw; ++i)
+                    acc += base[i];
+                o[p] = static_cast<float>(acc / hw);
+            }
+        },
+        /*min_grain=*/8);
     return out;
 }
 
@@ -444,25 +498,38 @@ batchNorm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
     Tensor out(input.shape());
     auto in = input.data();
     auto o = out.data();
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-        const double inv_std =
-            1.0 / std::sqrt(static_cast<double>(variance.at(ch)) +
-                            epsilon);
-        const double scale = gamma.at(ch) * inv_std;
-        const double shift = beta.at(ch) - mean.at(ch) * scale;
-        for (std::int64_t b = 0; b < n; ++b) {
-            const float* ibase = in.data() + (b * c + ch) * inner;
-            float* obase = o.data() + (b * c + ch) * inner;
-            for (std::int64_t i = 0; i < inner; ++i)
-                obase[i] =
-                    static_cast<float>(ibase[i] * scale + shift);
-        }
-    }
+    parallelFor(
+        c,
+        [&](std::int64_t c0, std::int64_t c1) {
+            for (std::int64_t ch = c0; ch < c1; ++ch) {
+                const double inv_std = 1.0 /
+                    std::sqrt(static_cast<double>(variance.at(ch)) +
+                              epsilon);
+                const double scale = gamma.at(ch) * inv_std;
+                const double shift =
+                    beta.at(ch) - mean.at(ch) * scale;
+                for (std::int64_t b = 0; b < n; ++b) {
+                    const float* ibase =
+                        in.data() + (b * c + ch) * inner;
+                    float* obase = o.data() + (b * c + ch) * inner;
+                    for (std::int64_t i = 0; i < inner; ++i)
+                        obase[i] = static_cast<float>(
+                            ibase[i] * scale + shift);
+                }
+            }
+        },
+        /*min_grain=*/8);
     return out;
 }
 
 namespace
 {
+
+/**
+ * Elementwise kernels split the flat index range; small tensors stay
+ * on the caller (pool dispatch would dominate the map itself).
+ */
+constexpr std::int64_t kElementwiseGrain = 4096;
 
 template <typename F>
 Tensor
@@ -471,8 +538,13 @@ elementwise(const Tensor& input, F&& f)
     Tensor out(input.shape());
     auto in = input.data();
     auto o = out.data();
-    for (std::size_t i = 0; i < in.size(); ++i)
-        o[i] = f(in[i]);
+    parallelFor(
+        static_cast<std::int64_t>(in.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                o[i] = f(in[i]);
+        },
+        kElementwiseGrain);
     return out;
 }
 
@@ -522,20 +594,25 @@ softmax(const Tensor& input)
     Tensor out(input.shape());
     auto in = input.data();
     auto o = out.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-        const float* irow = in.data() + r * last;
-        float* orow = o.data() + r * last;
-        float mx = -std::numeric_limits<float>::infinity();
-        for (std::int64_t i = 0; i < last; ++i)
-            mx = std::max(mx, irow[i]);
-        double sum = 0.0;
-        for (std::int64_t i = 0; i < last; ++i) {
-            orow[i] = std::exp(irow[i] - mx);
-            sum += orow[i];
-        }
-        for (std::int64_t i = 0; i < last; ++i)
-            orow[i] = static_cast<float>(orow[i] / sum);
-    }
+    parallelFor(
+        rows,
+        [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const float* irow = in.data() + r * last;
+                float* orow = o.data() + r * last;
+                float mx = -std::numeric_limits<float>::infinity();
+                for (std::int64_t i = 0; i < last; ++i)
+                    mx = std::max(mx, irow[i]);
+                double sum = 0.0;
+                for (std::int64_t i = 0; i < last; ++i) {
+                    orow[i] = std::exp(irow[i] - mx);
+                    sum += orow[i];
+                }
+                for (std::int64_t i = 0; i < last; ++i)
+                    orow[i] = static_cast<float>(orow[i] / sum);
+            }
+        },
+        /*min_grain=*/4);
     return out;
 }
 
@@ -549,20 +626,25 @@ addElementwise(const Tensor& a, const Tensor& b)
     auto pa = a.data();
     auto pb = b.data();
     auto o = out.data();
-    for (std::size_t i = 0; i < pa.size(); ++i)
-        o[i] = pa[i] + pb[i];
+    parallelFor(
+        static_cast<std::int64_t>(pa.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                o[i] = pa[i] + pb[i];
+        },
+        kElementwiseGrain);
     return out;
 }
 
 Tensor
-concatChannels(const std::vector<Tensor>& inputs)
+concatChannels(const std::vector<const Tensor*>& inputs)
 {
     EB_CHECK(!inputs.empty(), "concat: no inputs");
-    const auto& s0 = inputs.front().shape();
+    const auto& s0 = inputs.front()->shape();
     EB_CHECK(s0.size() == 4, "concat: expected rank-4 inputs");
     std::int64_t total_c = 0;
-    for (const auto& t : inputs) {
-        const auto& s = t.shape();
+    for (const Tensor* t : inputs) {
+        const auto& s = t->shape();
         EB_CHECK(s.size() == 4 && s[0] == s0[0] && s[2] == s0[2] &&
                      s[3] == s0[3],
                  "concat: incompatible input "
@@ -573,31 +655,54 @@ concatChannels(const std::vector<Tensor>& inputs)
     const std::int64_t n = s0[0], hw = s0[2] * s0[3];
     Tensor out(Shape{n, total_c, s0[2], s0[3]});
     auto o = out.data();
-    for (std::int64_t b = 0; b < n; ++b) {
-        std::int64_t c_off = 0;
-        for (const auto& t : inputs) {
-            const std::int64_t tc = t.shape()[1];
-            auto in = t.data();
-            std::copy_n(in.data() + b * tc * hw, tc * hw,
-                        o.data() + (b * total_c + c_off) * hw);
-            c_off += tc;
-        }
+    // One copy task per (batch, input) block; blocks are disjoint in
+    // the output, so they can run on any worker.
+    const auto n_in = static_cast<std::int64_t>(inputs.size());
+    std::vector<std::int64_t> c_offs(inputs.size());
+    std::int64_t c_off = 0;
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+        c_offs[t] = c_off;
+        c_off += inputs[t]->shape()[1];
     }
+    parallelFor(
+        n * n_in,
+        [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t j = j0; j < j1; ++j) {
+                const std::int64_t b = j / n_in;
+                const auto t = static_cast<std::size_t>(j % n_in);
+                const std::int64_t tc = inputs[t]->shape()[1];
+                auto in = inputs[t]->data();
+                std::copy_n(in.data() + b * tc * hw, tc * hw,
+                            o.data() +
+                                (b * total_c + c_offs[t]) * hw);
+            }
+        },
+        /*min_grain=*/2);
     return out;
 }
 
 Tensor
-concatLastDim(const std::vector<Tensor>& inputs)
+concatChannels(const std::vector<Tensor>& inputs)
+{
+    std::vector<const Tensor*> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const auto& t : inputs)
+        ptrs.push_back(&t);
+    return concatChannels(ptrs);
+}
+
+Tensor
+concatLastDim(const std::vector<const Tensor*>& inputs)
 {
     EB_CHECK(!inputs.empty(), "concatLastDim: no inputs");
-    const auto& s0 = inputs.front().shape();
+    const auto& s0 = inputs.front()->shape();
     EB_CHECK(s0.size() >= 1, "concatLastDim: scalar inputs");
     std::int64_t rows = 1;
     for (std::size_t i = 0; i + 1 < s0.size(); ++i)
         rows *= s0[i];
     std::int64_t total_last = 0;
-    for (const auto& t : inputs) {
-        const auto& s = t.shape();
+    for (const Tensor* t : inputs) {
+        const auto& s = t->shape();
         EB_CHECK(s.size() == s0.size(), "concatLastDim: rank mismatch");
         for (std::size_t i = 0; i + 1 < s.size(); ++i)
             EB_CHECK(s[i] == s0[i],
@@ -608,17 +713,32 @@ concatLastDim(const std::vector<Tensor>& inputs)
     out_shape.back() = total_last;
     Tensor out(out_shape);
     auto o = out.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-        std::int64_t off = 0;
-        for (const auto& t : inputs) {
-            const std::int64_t last = t.shape().back();
-            auto in = t.data();
-            std::copy_n(in.data() + r * last, last,
-                        o.data() + r * total_last + off);
-            off += last;
-        }
-    }
+    parallelFor(
+        rows,
+        [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                std::int64_t off = 0;
+                for (const Tensor* t : inputs) {
+                    const std::int64_t last = t->shape().back();
+                    auto in = t->data();
+                    std::copy_n(in.data() + r * last, last,
+                                o.data() + r * total_last + off);
+                    off += last;
+                }
+            }
+        },
+        /*min_grain=*/16);
     return out;
+}
+
+Tensor
+concatLastDim(const std::vector<Tensor>& inputs)
+{
+    std::vector<const Tensor*> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const auto& t : inputs)
+        ptrs.push_back(&t);
+    return concatLastDim(ptrs);
 }
 
 Tensor
@@ -637,14 +757,18 @@ padSpatial(const Tensor& input, std::int64_t pad_top,
     Tensor out(Shape{n, c, oh, ow});
     auto in = input.data();
     auto o = out.data();
-    for (std::int64_t b = 0; b < n; ++b)
-        for (std::int64_t ch = 0; ch < c; ++ch)
-            for (std::int64_t y = 0; y < h; ++y) {
-                const float* src = in.data() + ((b * c + ch) * h + y) * w;
-                float* dst = o.data() +
-                    ((b * c + ch) * oh + y + pad_top) * ow + pad_left;
-                std::copy_n(src, w, dst);
-            }
+    parallelFor(
+        n * c,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p)
+                for (std::int64_t y = 0; y < h; ++y) {
+                    const float* src = in.data() + (p * h + y) * w;
+                    float* dst = o.data() +
+                        (p * oh + y + pad_top) * ow + pad_left;
+                    std::copy_n(src, w, dst);
+                }
+        },
+        /*min_grain=*/8);
     return out;
 }
 
@@ -659,13 +783,16 @@ upsampleNearest(const Tensor& input, std::int64_t factor)
     auto in = input.data();
     auto o = out.data();
     const std::int64_t oh = h * factor, ow = w * factor;
-    for (std::int64_t b = 0; b < n; ++b)
-        for (std::int64_t ch = 0; ch < c; ++ch)
-            for (std::int64_t y = 0; y < oh; ++y)
-                for (std::int64_t x = 0; x < ow; ++x)
-                    o[((b * c + ch) * oh + y) * ow + x] =
-                        in[((b * c + ch) * h + y / factor) * w +
-                           x / factor];
+    parallelFor(
+        n * c,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p)
+                for (std::int64_t y = 0; y < oh; ++y)
+                    for (std::int64_t x = 0; x < ow; ++x)
+                        o[(p * oh + y) * ow + x] =
+                            in[(p * h + y / factor) * w + x / factor];
+        },
+        /*min_grain=*/4);
     return out;
 }
 

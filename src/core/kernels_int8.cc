@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
 
 namespace edgebench
 {
@@ -51,44 +52,56 @@ conv2dInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
         static_cast<std::size_t>(g.n * g.outC * oh * ow));
     auto in = input.qdata();
     auto w = weights.qdata();
-    for (std::int64_t b = 0; b < g.n; ++b)
-    for (std::int64_t oc = 0; oc < g.outC; ++oc) {
-        const std::int64_t grp = oc / ocg;
-        for (std::int64_t oy = 0; oy < oh; ++oy)
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-            std::int64_t acc = 0;
-            for (std::int64_t c = 0; c < cg; ++c) {
-                const std::int64_t ic = grp * cg + c;
-                for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-                    const std::int64_t iy =
-                        oy * g.strideH - g.padH + ky * g.dilH;
-                    for (std::int64_t kx = 0; kx < g.kW; ++kx) {
-                        const std::int64_t ix =
-                            ox * g.strideW - g.padW + kx * g.dilW;
-                        // Out-of-bounds reads behave as real-zero input
-                        // (quantized value == input zero point).
-                        const std::int32_t qi =
-                            (iy >= 0 && iy < g.inH && ix >= 0 &&
-                             ix < g.inW)
-                                ? in[((b * g.inC + ic) * g.inH + iy) *
-                                         g.inW + ix]
-                                : iq.zeroPoint;
-                        const std::int32_t qw =
-                            w[((oc * cg + c) * g.kH + ky) * g.kW + kx];
-                        acc += static_cast<std::int64_t>(
-                                   qi - iq.zeroPoint) *
-                            (qw - wq.zeroPoint);
+    // Partition (batch, output-channel) planes across workers; integer
+    // accumulation per element is order-independent anyway, but the
+    // per-element loop order is also left untouched.
+    parallelFor(
+        g.n * g.outC,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const std::int64_t b = p / g.outC;
+                const std::int64_t oc = p % g.outC;
+                const std::int64_t grp = oc / ocg;
+                for (std::int64_t oy = 0; oy < oh; ++oy)
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    std::int64_t acc = 0;
+                    for (std::int64_t c = 0; c < cg; ++c) {
+                        const std::int64_t ic = grp * cg + c;
+                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                            const std::int64_t iy =
+                                oy * g.strideH - g.padH + ky * g.dilH;
+                            for (std::int64_t kx = 0; kx < g.kW;
+                                 ++kx) {
+                                const std::int64_t ix = ox * g.strideW -
+                                    g.padW + kx * g.dilW;
+                                // Out-of-bounds reads behave as
+                                // real-zero input (quantized value ==
+                                // input zero point).
+                                const std::int32_t qi =
+                                    (iy >= 0 && iy < g.inH && ix >= 0 &&
+                                     ix < g.inW)
+                                        ? in[((b * g.inC + ic) * g.inH +
+                                              iy) * g.inW + ix]
+                                        : iq.zeroPoint;
+                                const std::int32_t qw =
+                                    w[((oc * cg + c) * g.kH + ky) *
+                                          g.kW + kx];
+                                acc += static_cast<std::int64_t>(
+                                           qi - iq.zeroPoint) *
+                                    (qw - wq.zeroPoint);
+                            }
+                        }
                     }
+                    double real = static_cast<double>(acc) * acc_scale;
+                    if (has_bias)
+                        real += bias.at(oc);
+                    staging[static_cast<std::size_t>(
+                        (p * oh + oy) * ow + ox)] =
+                        static_cast<float>(real);
                 }
             }
-            double real = static_cast<double>(acc) * acc_scale;
-            if (has_bias)
-                real += bias.at(oc);
-            staging[static_cast<std::size_t>(
-                ((b * g.outC + oc) * oh + oy) * ow + ox)] =
-                static_cast<float>(real);
-        }
-    }
+        },
+        /*min_grain=*/2);
     Tensor staged(Shape{g.n, g.outC, oh, ow}, std::move(staging));
     return staged.toInt8(out_qp);
 }
@@ -115,20 +128,28 @@ denseInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
         static_cast<std::size_t>(g.batch * g.outFeatures));
     auto in = input.qdata();
     auto w = weights.qdata();
-    for (std::int64_t b = 0; b < g.batch; ++b)
-        for (std::int64_t of = 0; of < g.outFeatures; ++of) {
-            std::int64_t acc = 0;
-            const std::int8_t* irow = in.data() + b * g.inFeatures;
-            const std::int8_t* wrow = w.data() + of * g.inFeatures;
-            for (std::int64_t i = 0; i < g.inFeatures; ++i)
-                acc += static_cast<std::int64_t>(irow[i] - iq.zeroPoint) *
-                    (wrow[i] - wq.zeroPoint);
-            double real = static_cast<double>(acc) * acc_scale;
-            if (has_bias)
-                real += bias.at(of);
-            staging[static_cast<std::size_t>(b * g.outFeatures + of)] =
-                static_cast<float>(real);
-        }
+    // One output feature per task, flattened over the batch.
+    parallelFor(
+        g.batch * g.outFeatures,
+        [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t j = j0; j < j1; ++j) {
+                const std::int64_t b = j / g.outFeatures;
+                const std::int64_t of = j % g.outFeatures;
+                std::int64_t acc = 0;
+                const std::int8_t* irow = in.data() + b * g.inFeatures;
+                const std::int8_t* wrow = w.data() + of * g.inFeatures;
+                for (std::int64_t i = 0; i < g.inFeatures; ++i)
+                    acc += static_cast<std::int64_t>(
+                               irow[i] - iq.zeroPoint) *
+                        (wrow[i] - wq.zeroPoint);
+                double real = static_cast<double>(acc) * acc_scale;
+                if (has_bias)
+                    real += bias.at(of);
+                staging[static_cast<std::size_t>(j)] =
+                    static_cast<float>(real);
+            }
+        },
+        /*min_grain=*/16);
     Tensor staged(Shape{g.batch, g.outFeatures}, std::move(staging));
     return staged.toInt8(out_qp);
 }
@@ -153,12 +174,18 @@ clampInt8(const Tensor& input, double real_lo, double real_hi)
     }
     std::vector<float> staging(static_cast<std::size_t>(input.numel()));
     auto q = input.qdata();
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        const std::int32_t clamped = std::clamp<std::int32_t>(
-            q[i], qlo, qhi);
-        staging[i] = static_cast<float>(
-            dequantizeValue(static_cast<std::int8_t>(clamped), qp));
-    }
+    parallelFor(
+        static_cast<std::int64_t>(q.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+                const std::int32_t clamped = std::clamp<std::int32_t>(
+                    q[i], qlo, qhi);
+                staging[static_cast<std::size_t>(i)] =
+                    static_cast<float>(dequantizeValue(
+                        static_cast<std::int8_t>(clamped), qp));
+            }
+        },
+        /*min_grain=*/4096);
     Tensor staged(input.shape(), std::move(staging));
     return staged.toInt8(qp);
 }
@@ -188,17 +215,22 @@ addInt8(const Tensor& a, const Tensor& b, const QuantParams& out_qp)
     const QuantParams bq = b.quantParams();
     auto pa = a.qdata();
     auto pb = b.qdata();
-    std::vector<std::int8_t> out(pa.size());
-    for (std::size_t i = 0; i < pa.size(); ++i) {
-        const double real = dequantizeValue(pa[i], aq) +
-            dequantizeValue(pb[i], bq);
-        out[i] = requantize(real, out_qp);
-    }
-    // Re-wrap as an int8 tensor via a staging fp32 tensor.
-    std::vector<float> staging(out.size());
-    for (std::size_t i = 0; i < out.size(); ++i)
-        staging[i] =
-            static_cast<float>(dequantizeValue(out[i], out_qp));
+    // Re-wrap as an int8 tensor via a staging fp32 tensor; per element
+    // the value goes dequantize -> add -> requantize -> dequantize,
+    // exactly as the former two-pass loop computed it.
+    std::vector<float> staging(pa.size());
+    parallelFor(
+        static_cast<std::int64_t>(pa.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+                const double real = dequantizeValue(pa[i], aq) +
+                    dequantizeValue(pb[i], bq);
+                staging[static_cast<std::size_t>(i)] =
+                    static_cast<float>(dequantizeValue(
+                        requantize(real, out_qp), out_qp));
+            }
+        },
+        /*min_grain=*/4096);
     Tensor staged(a.shape(), std::move(staging));
     return staged.toInt8(out_qp);
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/scratch.hh"
 
 namespace edgebench
 {
@@ -44,32 +46,38 @@ checkRnnParams(const Tensor& input, const Tensor& w_ih,
 
 /**
  * gates[b][gh] = W_ih * x_t[b] + W_hh * h[b] + bias, for all batch
- * rows at one timestep.
+ * rows at one timestep. Parallel over (batch, gate-row); each gate
+ * pre-activation is one dot product computed start-to-finish by one
+ * worker, so accumulation order matches the serial loop exactly.
  */
 void
 computeGates(std::span<const float> x_t, std::span<const float> h,
              const Tensor& w_ih, const Tensor& w_hh,
              const Tensor& bias, const RnnGeom& g,
-             std::vector<double>& gates)
+             std::span<double> gates)
 {
     const std::int64_t gh = g.gates * g.hiddenSize;
     auto wi = w_ih.data();
     auto wh = w_hh.data();
-    for (std::int64_t b = 0; b < g.batch; ++b) {
-        const float* x = x_t.data() + b * g.inputSize;
-        const float* hb = h.data() + b * g.hiddenSize;
-        double* out = gates.data() + b * gh;
-        for (std::int64_t r = 0; r < gh; ++r) {
-            double acc = bias.at(r);
-            const float* wirow = wi.data() + r * g.inputSize;
-            for (std::int64_t i = 0; i < g.inputSize; ++i)
-                acc += static_cast<double>(x[i]) * wirow[i];
-            const float* whrow = wh.data() + r * g.hiddenSize;
-            for (std::int64_t i = 0; i < g.hiddenSize; ++i)
-                acc += static_cast<double>(hb[i]) * whrow[i];
-            out[r] = acc;
-        }
-    }
+    parallelFor(
+        g.batch * gh,
+        [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t j = j0; j < j1; ++j) {
+                const std::int64_t b = j / gh;
+                const std::int64_t r = j % gh;
+                const float* x = x_t.data() + b * g.inputSize;
+                const float* hb = h.data() + b * g.hiddenSize;
+                double acc = bias.at(r);
+                const float* wirow = wi.data() + r * g.inputSize;
+                for (std::int64_t i = 0; i < g.inputSize; ++i)
+                    acc += static_cast<double>(x[i]) * wirow[i];
+                const float* whrow = wh.data() + r * g.hiddenSize;
+                for (std::int64_t i = 0; i < g.hiddenSize; ++i)
+                    acc += static_cast<double>(hb[i]) * whrow[i];
+                gates[static_cast<std::size_t>(j)] = acc;
+            }
+        },
+        /*min_grain=*/8);
 }
 
 } // namespace
@@ -87,40 +95,47 @@ lstmForward(const Tensor& input, const Tensor& w_ih,
                          0.0f);
     std::vector<double> c(static_cast<std::size_t>(g.batch * h_size),
                           0.0);
-    std::vector<double> gates(
+    std::span<double> gates = scratchF64(
+        ScratchSlot::kRnnGates,
         static_cast<std::size_t>(g.batch * 4 * h_size));
+    // For batch > 1 the timestep slice is strided; gather into a
+    // contiguous [N, I] scratch block each step.
+    std::span<float> x_gathered = scratchF32(
+        ScratchSlot::kRnnGather,
+        static_cast<std::size_t>(g.batch * g.inputSize));
 
     auto in = input.data();
     auto o = out.data();
     for (std::int64_t t = 0; t < g.seqLen; ++t) {
-        std::span<const float> x_t(
-            in.data() + t * g.inputSize,
-            static_cast<std::size_t>(g.inputSize));
-        // For batch > 1 the timestep slice is strided; gather it.
-        std::vector<float> x_gathered(
-            static_cast<std::size_t>(g.batch * g.inputSize));
         for (std::int64_t b = 0; b < g.batch; ++b)
             std::copy_n(in.data() +
                             (b * g.seqLen + t) * g.inputSize,
                         g.inputSize,
                         x_gathered.data() + b * g.inputSize);
-        (void)x_t;
         computeGates(x_gathered, h, w_ih, w_hh, bias, g, gates);
 
-        for (std::int64_t b = 0; b < g.batch; ++b) {
-            const double* gb = gates.data() + b * 4 * h_size;
-            float* hb = h.data() + b * h_size;
-            double* cb = c.data() + b * h_size;
-            for (std::int64_t j = 0; j < h_size; ++j) {
-                const double ig = sigmoidScalar(gb[j]);
-                const double fg = sigmoidScalar(gb[h_size + j]);
-                const double gg = std::tanh(gb[2 * h_size + j]);
-                const double og = sigmoidScalar(gb[3 * h_size + j]);
-                cb[j] = fg * cb[j] + ig * gg;
-                hb[j] = static_cast<float>(og * std::tanh(cb[j]));
-                o[(b * g.seqLen + t) * h_size + j] = hb[j];
-            }
-        }
+        // Gate application: each (b, j) owns its own c/h/out cell, so
+        // the flattened index space partitions cleanly across workers.
+        parallelFor(
+            g.batch * h_size,
+            [&](std::int64_t s0, std::int64_t s1) {
+                for (std::int64_t s = s0; s < s1; ++s) {
+                    const std::int64_t b = s / h_size;
+                    const std::int64_t j = s % h_size;
+                    const double* gb = gates.data() + b * 4 * h_size;
+                    const double ig = sigmoidScalar(gb[j]);
+                    const double fg = sigmoidScalar(gb[h_size + j]);
+                    const double gg = std::tanh(gb[2 * h_size + j]);
+                    const double og = sigmoidScalar(gb[3 * h_size + j]);
+                    double& cs = c[static_cast<std::size_t>(s)];
+                    cs = fg * cs + ig * gg;
+                    const float hv =
+                        static_cast<float>(og * std::tanh(cs));
+                    h[static_cast<std::size_t>(s)] = hv;
+                    o[(b * g.seqLen + t) * h_size + j] = hv;
+                }
+            },
+            /*min_grain=*/64);
     }
     return out;
 }
@@ -142,42 +157,54 @@ gruForward(const Tensor& input, const Tensor& w_ih, const Tensor& w_hh,
     auto wh = w_hh.data();
 
     for (std::int64_t t = 0; t < g.seqLen; ++t) {
-        for (std::int64_t b = 0; b < g.batch; ++b) {
-            const float* x = in.data() +
-                (b * g.seqLen + t) * g.inputSize;
-            float* hb = h.data() + b * h_size;
-            for (std::int64_t j = 0; j < h_size; ++j) {
-                auto dot = [&](std::int64_t row) {
-                    double acc = bias.at(row);
-                    const float* wirow = wi.data() +
-                        row * g.inputSize;
-                    for (std::int64_t i = 0; i < g.inputSize; ++i)
-                        acc += static_cast<double>(x[i]) * wirow[i];
-                    return acc;
-                };
-                auto dot_h = [&](std::int64_t row) {
-                    double acc = 0.0;
-                    const float* whrow = wh.data() + row * h_size;
-                    for (std::int64_t i = 0; i < h_size; ++i)
-                        acc += static_cast<double>(hb[i]) * whrow[i];
-                    return acc;
-                };
-                const double z =
-                    sigmoidScalar(dot(j) + dot_h(j));
-                const double r =
-                    sigmoidScalar(dot(h_size + j) +
-                                  dot_h(h_size + j));
-                const double n = std::tanh(dot(2 * h_size + j) +
-                                           r * dot_h(2 * h_size + j));
-                const double h_new =
-                    (1.0 - z) * n + z * static_cast<double>(hb[j]);
-                o[(b * g.seqLen + t) * h_size + j] =
-                    static_cast<float>(h_new);
-            }
-            // Commit the new hidden state after computing the row.
+        // All (b, j) cells at one timestep read the previous hidden
+        // state and write only their own output cell; the new hidden
+        // state is committed serially after the whole step, exactly as
+        // the serial version deferred its commit past the j loop.
+        parallelFor(
+            g.batch * h_size,
+            [&](std::int64_t s0, std::int64_t s1) {
+                for (std::int64_t s = s0; s < s1; ++s) {
+                    const std::int64_t b = s / h_size;
+                    const std::int64_t j = s % h_size;
+                    const float* x = in.data() +
+                        (b * g.seqLen + t) * g.inputSize;
+                    const float* hb = h.data() + b * h_size;
+                    auto dot = [&](std::int64_t row) {
+                        double acc = bias.at(row);
+                        const float* wirow = wi.data() +
+                            row * g.inputSize;
+                        for (std::int64_t i = 0; i < g.inputSize; ++i)
+                            acc += static_cast<double>(x[i]) * wirow[i];
+                        return acc;
+                    };
+                    auto dot_h = [&](std::int64_t row) {
+                        double acc = 0.0;
+                        const float* whrow = wh.data() + row * h_size;
+                        for (std::int64_t i = 0; i < h_size; ++i)
+                            acc += static_cast<double>(hb[i]) *
+                                whrow[i];
+                        return acc;
+                    };
+                    const double z =
+                        sigmoidScalar(dot(j) + dot_h(j));
+                    const double r =
+                        sigmoidScalar(dot(h_size + j) +
+                                      dot_h(h_size + j));
+                    const double n =
+                        std::tanh(dot(2 * h_size + j) +
+                                  r * dot_h(2 * h_size + j));
+                    const double h_new = (1.0 - z) * n +
+                        z * static_cast<double>(hb[j]);
+                    o[(b * g.seqLen + t) * h_size + j] =
+                        static_cast<float>(h_new);
+                }
+            },
+            /*min_grain=*/8);
+        for (std::int64_t b = 0; b < g.batch; ++b)
             for (std::int64_t j = 0; j < h_size; ++j)
-                hb[j] = o[(b * g.seqLen + t) * h_size + j];
-        }
+                h[static_cast<std::size_t>(b * h_size + j)] =
+                    o[(b * g.seqLen + t) * h_size + j];
     }
     return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -140,19 +141,26 @@ class Pool
     bool stop_ = false;
 };
 
-int g_requested_threads = 0; // 0 = auto
+// The pool is rebuilt on demand: setParallelism drops the current one
+// and the next parallelFor constructs a pool of the requested size.
+// The mutex guards construction/teardown only; callers must not change
+// the parallelism while parallelFor runs on another thread.
+std::mutex g_pool_mutex;
+std::unique_ptr<Pool> g_pool;          // guarded by g_pool_mutex
+int g_requested_threads = 0;           // 0 = auto
 
 Pool&
 pool()
 {
-    static Pool p([] {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
         int n = g_requested_threads;
         if (n <= 0)
             n = static_cast<int>(std::thread::hardware_concurrency());
         n = std::clamp(n, 1, 64);
-        return n - 1; // caller participates
-    }());
-    return p;
+        g_pool = std::make_unique<Pool>(n - 1); // caller participates
+    }
+    return *g_pool;
 }
 
 } // namespace
@@ -161,9 +169,11 @@ void
 setParallelism(int threads)
 {
     EB_CHECK(threads >= 0, "setParallelism: negative thread count");
-    // Takes effect only before first use (the pool is immutable once
-    // built); callers configure it at startup.
+    EB_CHECK(!t_in_parallel_region,
+             "setParallelism: called from inside a parallelFor body");
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
     g_requested_threads = threads;
+    g_pool.reset(); // next parallelFor rebuilds at the new size
 }
 
 int

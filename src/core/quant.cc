@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
 
 namespace edgebench
 {
@@ -64,8 +65,14 @@ std::vector<std::int8_t>
 quantize(std::span<const float> src, const QuantParams& qp)
 {
     std::vector<std::int8_t> out(src.size());
-    for (std::size_t i = 0; i < src.size(); ++i)
-        out[i] = quantizeValue(src[i], qp);
+    parallelFor(
+        static_cast<std::int64_t>(src.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                out[static_cast<std::size_t>(i)] =
+                    quantizeValue(src[i], qp);
+        },
+        /*min_grain=*/4096);
     return out;
 }
 
@@ -73,8 +80,14 @@ std::vector<float>
 dequantize(std::span<const std::int8_t> src, const QuantParams& qp)
 {
     std::vector<float> out(src.size());
-    for (std::size_t i = 0; i < src.size(); ++i)
-        out[i] = static_cast<float>(dequantizeValue(src[i], qp));
+    parallelFor(
+        static_cast<std::int64_t>(src.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                out[static_cast<std::size_t>(i)] = static_cast<float>(
+                    dequantizeValue(src[i], qp));
+        },
+        /*min_grain=*/4096);
     return out;
 }
 

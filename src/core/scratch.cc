@@ -1,0 +1,76 @@
+#include "edgebench/core/scratch.hh"
+
+#include <array>
+#include <vector>
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+constexpr std::size_t kSlots =
+    static_cast<std::size_t>(ScratchSlot::kCount);
+
+struct Arena
+{
+    std::array<std::vector<float>, kSlots> f32;
+    std::array<std::vector<double>, kSlots> f64;
+};
+
+Arena&
+arena()
+{
+    thread_local Arena a;
+    return a;
+}
+
+} // namespace
+
+std::span<float>
+scratchF32(ScratchSlot slot, std::size_t n)
+{
+    auto& buf = arena().f32[static_cast<std::size_t>(slot)];
+    if (buf.size() < n)
+        buf.resize(n);
+    return {buf.data(), n};
+}
+
+std::span<double>
+scratchF64(ScratchSlot slot, std::size_t n)
+{
+    auto& buf = arena().f64[static_cast<std::size_t>(slot)];
+    if (buf.size() < n)
+        buf.resize(n);
+    return {buf.data(), n};
+}
+
+std::size_t
+scratchBytesReserved()
+{
+    std::size_t bytes = 0;
+    for (const auto& b : arena().f32)
+        bytes += b.capacity() * sizeof(float);
+    for (const auto& b : arena().f64)
+        bytes += b.capacity() * sizeof(double);
+    return bytes;
+}
+
+void
+scratchRelease()
+{
+    Arena& a = arena();
+    for (auto& b : a.f32) {
+        b.clear();
+        b.shrink_to_fit();
+    }
+    for (auto& b : a.f64) {
+        b.clear();
+        b.shrink_to_fit();
+    }
+}
+
+} // namespace core
+} // namespace edgebench

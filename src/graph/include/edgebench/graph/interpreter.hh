@@ -17,6 +17,8 @@
 #ifndef EDGEBENCH_GRAPH_INTERPRETER_HH
 #define EDGEBENCH_GRAPH_INTERPRETER_HH
 
+#include <cstddef>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -78,16 +80,31 @@ class Interpreter
     core::Tensor execNode(const Node& n,
                           const std::vector<const core::Tensor*>& ins,
                           bool force_f32);
-    core::Tensor execNodeF32(const Node& n,
-                             const std::vector<core::Tensor>& ins);
+    core::Tensor execNodeF32(
+        const Node& n, const std::vector<const core::Tensor*>& ins);
     std::vector<core::Tensor> runImpl(
         const std::vector<core::Tensor>& inputs, bool force_f32,
         std::vector<std::pair<double, double>>* ranges);
+
+    /**
+     * n.params[k] as fp32. Materialized params never change after
+     * construction, so the converted copy is cached across runs;
+     * params already in fp32 are returned by reference with no copy
+     * at all. (The old code called toF32() per node per run, which
+     * re-allocated every parameter tensor on every inference.)
+     */
+    const core::Tensor& paramF32(const Node& n, std::size_t k);
+
+    /** Same for int8 weight access on the quantized paths. */
+    const core::Tensor& paramI8(const Node& n, std::size_t k);
 
     const Graph& graph_;
     RunStats stats_;
     obs::Tracer* tracer_ = nullptr;
     std::vector<double> nodeMs_;
+    /** Per-node converted-parameter caches, indexed [NodeId][k]. */
+    std::vector<std::vector<std::optional<core::Tensor>>> paramF32_;
+    std::vector<std::vector<std::optional<core::Tensor>>> paramI8_;
 };
 
 } // namespace graph

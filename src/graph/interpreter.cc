@@ -18,6 +18,14 @@ namespace graph
 namespace
 {
 
+/** Shared empty tensor for the "no bias" kernel argument. */
+const core::Tensor&
+emptyTensor()
+{
+    static const core::Tensor t;
+    return t;
+}
+
 /** Simplified per-class NMS over a [boxes, 4+classes] tensor. */
 core::Tensor
 detectPostprocess(const core::Tensor& in, const Node& n)
@@ -28,6 +36,14 @@ detectPostprocess(const core::Tensor& in, const Node& n)
     const std::int64_t stride = s[2];
     const std::int64_t classes = n.attrs.numClasses;
     const std::int64_t max_det = n.outShape[1];
+    // Output row stride comes from the node's declared output shape,
+    // not a hard-coded 6: a detection head with extra per-detection
+    // fields (e.g. [class, score, box, angle]) must not write rows at
+    // the wrong pitch.
+    const std::int64_t out_stride = n.outShape[2];
+    EB_CHECK(out_stride >= 6,
+             "detectPostprocess: output stride " << out_stride
+                 << " too small for [class, score, 4-box]");
 
     core::Tensor out(n.outShape); // zero-filled; score==0 => unused slot
     auto data = in.data();
@@ -90,7 +106,7 @@ detectPostprocess(const core::Tensor& in, const Node& n)
         for (std::size_t i = 0; i < kept.size(); ++i) {
             float* row = odata.data() + (b * max_det +
                                          static_cast<std::int64_t>(i)) *
-                6;
+                out_stride;
             row[0] = static_cast<float>(kept[i].cls);
             row[1] = kept[i].score;
             std::copy_n(kept[i].box, 4, row + 2);
@@ -106,6 +122,14 @@ yoloDetect(const core::Tensor& in, const Node& n)
     const auto& s = in.shape();
     const std::int64_t batch = s[0];
     const std::int64_t per_anchor = 5 + n.attrs.numClasses;
+    // The decode below walks channels as numAnchors blocks of
+    // per_anchor; a mismatched channel count would silently read the
+    // wrong planes (or past the end) instead of failing loudly.
+    EB_CHECK(s.size() == 4 &&
+                 s[1] == n.attrs.numAnchors * per_anchor,
+             "yoloDetect: input channels " << s[1] << " != anchors("
+                 << n.attrs.numAnchors << ") * (5 + classes("
+                 << n.attrs.numClasses << "))");
     const std::int64_t hw = s[2] * s[3];
     core::Tensor out(in.shape());
     auto src = in.data();
@@ -135,6 +159,38 @@ Interpreter::Interpreter(const Graph& graph) : graph_(graph)
              "materializeParams first)");
     EB_CHECK(!graph.outputIds().empty(),
              "Interpreter: graph " << graph.name() << " has no outputs");
+    paramF32_.resize(static_cast<std::size_t>(graph.numNodes()));
+    paramI8_.resize(static_cast<std::size_t>(graph.numNodes()));
+}
+
+const core::Tensor&
+Interpreter::paramF32(const Node& n, std::size_t k)
+{
+    const core::Tensor& p = n.params[k];
+    if (p.dtype() == core::DType::kF32)
+        return p;
+    auto& slots = paramF32_[static_cast<std::size_t>(n.id)];
+    if (slots.size() < n.params.size())
+        slots.resize(n.params.size());
+    auto& slot = slots[k];
+    if (!slot)
+        slot = p.toF32();
+    return *slot;
+}
+
+const core::Tensor&
+Interpreter::paramI8(const Node& n, std::size_t k)
+{
+    const core::Tensor& p = n.params[k];
+    if (p.dtype() == core::DType::kI8)
+        return p;
+    auto& slots = paramI8_[static_cast<std::size_t>(n.id)];
+    if (slots.size() < n.params.size())
+        slots.resize(n.params.size());
+    auto& slot = slots[k];
+    if (!slot)
+        slot = p.toInt8();
+    return *slot;
 }
 
 std::vector<core::Tensor>
@@ -240,9 +296,13 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
             if (!force_f32 && n.dtype == core::DType::kI8 && n.outQuant)
                 t = t.toInt8(*n.outQuant);
             if (ranges) {
-                const core::Tensor f = t.toF32();
                 auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
-                core::observeMinMax(f.data(), r.first, r.second);
+                if (t.dtype() == core::DType::kF32) {
+                    core::observeMinMax(t.data(), r.first, r.second);
+                } else {
+                    const core::Tensor f = t.toF32();
+                    core::observeMinMax(f.data(), r.first, r.second);
+                }
             }
             retain(n.id, std::move(t));
             ++stats_.nodesExecuted;
@@ -261,9 +321,13 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
 
         core::Tensor result = execNode(n, ins, force_f32);
         if (ranges) {
-            const core::Tensor f = result.toF32();
             auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
-            core::observeMinMax(f.data(), r.first, r.second);
+            if (result.dtype() == core::DType::kF32) {
+                core::observeMinMax(result.data(), r.first, r.second);
+            } else {
+                const core::Tensor f = result.toF32();
+                core::observeMinMax(f.data(), r.first, r.second);
+            }
         }
         retain(n.id, std::move(result));
         ++stats_.nodesExecuted;
@@ -297,13 +361,9 @@ Interpreter::execNode(const Node& n,
             core::Tensor input = ins[0]->dtype() == core::DType::kI8
                 ? *ins[0]
                 : ins[0]->toInt8();
-            const core::Tensor w =
-                n.params[0].dtype() == core::DType::kI8
-                    ? n.params[0]
-                    : n.params[0].toInt8();
-            const core::Tensor bias = n.params.size() > 1
-                ? n.params[1].toF32()
-                : core::Tensor();
+            const core::Tensor& w = paramI8(n, 0);
+            const core::Tensor& bias =
+                n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
             auto g = n.attrs.conv2d;
             core::Tensor out = core::conv2dInt8(input, w, bias, g,
                                                 *n.outQuant);
@@ -321,13 +381,9 @@ Interpreter::execNode(const Node& n,
             core::Tensor input = ins[0]->dtype() == core::DType::kI8
                 ? *ins[0]
                 : ins[0]->toInt8();
-            const core::Tensor w =
-                n.params[0].dtype() == core::DType::kI8
-                    ? n.params[0]
-                    : n.params[0].toInt8();
-            const core::Tensor bias = n.params.size() > 1
-                ? n.params[1].toF32()
-                : core::Tensor();
+            const core::Tensor& w = paramI8(n, 0);
+            const core::Tensor& bias =
+                n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
             return core::denseInt8(input, w, bias, n.attrs.dense,
                                    *n.outQuant);
           }
@@ -349,17 +405,25 @@ Interpreter::execNode(const Node& n,
             break; // dequant fallback below
         }
         // Fallback: dequantize -> fp32 op -> requantize.
-        std::vector<core::Tensor> f32_ins;
-        f32_ins.reserve(ins.size());
-        for (const auto* t : ins)
-            f32_ins.push_back(t->toF32());
-        return execNodeF32(n, f32_ins).toInt8(*n.outQuant);
     }
 
-    std::vector<core::Tensor> f32_ins;
+    // Inputs already in fp32 are borrowed in place; only f16/int8
+    // activations get a converted temporary. (The old code round-
+    // tripped every input through toF32(), copying fp32 tensors too.)
+    std::vector<core::Tensor> converted;
+    converted.reserve(ins.size());
+    std::vector<const core::Tensor*> f32_ins;
     f32_ins.reserve(ins.size());
-    for (const auto* t : ins)
-        f32_ins.push_back(t->toF32());
+    for (const auto* t : ins) {
+        if (t->dtype() == core::DType::kF32) {
+            f32_ins.push_back(t);
+        } else {
+            converted.push_back(t->toF32());
+            f32_ins.push_back(&converted.back());
+        }
+    }
+    if (quantized)
+        return execNodeF32(n, f32_ins).toInt8(*n.outQuant);
     core::Tensor out = execNodeF32(n, f32_ins);
     if (!force_f32 && n.dtype == core::DType::kF16)
         out = out.toF16();
@@ -368,19 +432,19 @@ Interpreter::execNode(const Node& n,
 
 core::Tensor
 Interpreter::execNodeF32(const Node& n,
-                         const std::vector<core::Tensor>& ins)
+                         const std::vector<const core::Tensor*>& ins)
 {
     switch (n.kind) {
       case OpKind::kConv2d:
-        return core::conv2d(ins[0], n.params[0].toF32(),
-                            n.params.size() > 1 ? n.params[1].toF32()
-                                                : core::Tensor(),
+        return core::conv2d(*ins[0], paramF32(n, 0),
+                            n.params.size() > 1 ? paramF32(n, 1)
+                                                : emptyTensor(),
                             n.attrs.conv2d);
       case OpKind::kFusedConvBnAct: {
         core::Tensor out =
-            core::conv2d(ins[0], n.params[0].toF32(),
-                         n.params.size() > 1 ? n.params[1].toF32()
-                                             : core::Tensor(),
+            core::conv2d(*ins[0], paramF32(n, 0),
+                         n.params.size() > 1 ? paramF32(n, 1)
+                                             : emptyTensor(),
                          n.attrs.conv2d);
         switch (n.attrs.activation) {
           case ActKind::kNone: return out;
@@ -394,61 +458,61 @@ Interpreter::execNodeF32(const Node& n,
         throw InternalError("bad fused activation");
       }
       case OpKind::kConv3d:
-        return core::conv3d(ins[0], n.params[0].toF32(),
-                            n.params.size() > 1 ? n.params[1].toF32()
-                                                : core::Tensor(),
+        return core::conv3d(*ins[0], paramF32(n, 0),
+                            n.params.size() > 1 ? paramF32(n, 1)
+                                                : emptyTensor(),
                             n.attrs.conv3d);
       case OpKind::kDense:
-        return core::dense(ins[0], n.params[0].toF32(),
-                           n.params.size() > 1 ? n.params[1].toF32()
-                                               : core::Tensor(),
+        return core::dense(*ins[0], paramF32(n, 0),
+                           n.params.size() > 1 ? paramF32(n, 1)
+                                               : emptyTensor(),
                            n.attrs.dense);
       case OpKind::kBatchNorm:
-        return core::batchNorm(ins[0], n.params[0].toF32(),
-                               n.params[1].toF32(), n.params[2].toF32(),
-                               n.params[3].toF32(), n.attrs.bnEpsilon);
+        return core::batchNorm(*ins[0], paramF32(n, 0),
+                               paramF32(n, 1), paramF32(n, 2),
+                               paramF32(n, 3), n.attrs.bnEpsilon);
       case OpKind::kActivation:
         switch (n.attrs.activation) {
-          case ActKind::kRelu: return core::relu(ins[0]);
-          case ActKind::kRelu6: return core::relu6(ins[0]);
+          case ActKind::kRelu: return core::relu(*ins[0]);
+          case ActKind::kRelu6: return core::relu6(*ins[0]);
           case ActKind::kLeakyRelu:
-            return core::leakyRelu(ins[0], n.attrs.leakySlope);
-          case ActKind::kSigmoid: return core::sigmoid(ins[0]);
-          case ActKind::kTanh: return core::tanhAct(ins[0]);
+            return core::leakyRelu(*ins[0], n.attrs.leakySlope);
+          case ActKind::kSigmoid: return core::sigmoid(*ins[0]);
+          case ActKind::kTanh: return core::tanhAct(*ins[0]);
           case ActKind::kNone: break;
         }
         throw InternalError("bad activation kind");
       case OpKind::kSoftmax:
-        return core::softmax(ins[0]);
+        return core::softmax(*ins[0]);
       case OpKind::kMaxPool2d:
-        return core::maxPool2d(ins[0], n.attrs.pool2d);
+        return core::maxPool2d(*ins[0], n.attrs.pool2d);
       case OpKind::kAvgPool2d:
-        return core::avgPool2d(ins[0], n.attrs.pool2d);
+        return core::avgPool2d(*ins[0], n.attrs.pool2d);
       case OpKind::kMaxPool3d:
-        return core::maxPool3d(ins[0], n.attrs.pool3d);
+        return core::maxPool3d(*ins[0], n.attrs.pool3d);
       case OpKind::kGlobalAvgPool:
-        return core::globalAvgPool(ins[0]);
+        return core::globalAvgPool(*ins[0]);
       case OpKind::kAdd:
-        return core::addElementwise(ins[0], ins[1]);
+        return core::addElementwise(*ins[0], *ins[1]);
       case OpKind::kConcat:
         return core::concatChannels(ins);
       case OpKind::kFlatten:
-        return core::flatten(ins[0]);
+        return core::flatten(*ins[0]);
       case OpKind::kLstm:
-        return core::lstmForward(ins[0], n.params[0].toF32(),
-                                 n.params[1].toF32(),
-                                 n.params[2].toF32(), n.attrs.rnn);
+        return core::lstmForward(*ins[0], paramF32(n, 0),
+                                 paramF32(n, 1), paramF32(n, 2),
+                                 n.attrs.rnn);
       case OpKind::kGru:
-        return core::gruForward(ins[0], n.params[0].toF32(),
-                                n.params[1].toF32(),
-                                n.params[2].toF32(), n.attrs.rnn);
+        return core::gruForward(*ins[0], paramF32(n, 0),
+                                paramF32(n, 1), paramF32(n, 2),
+                                n.attrs.rnn);
       case OpKind::kChannelShuffle: {
-        const auto& s = ins[0].shape();
+        const auto& s = ins[0]->shape();
         const std::int64_t batch = s[0], c = s[1], hw = s[2] * s[3];
         const std::int64_t g_count = n.attrs.conv2d.groups;
         const std::int64_t per = c / g_count;
         core::Tensor out(s);
-        auto src = ins[0].data();
+        auto src = ins[0]->data();
         auto dst = out.data();
         for (std::int64_t b = 0; b < batch; ++b)
             for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -462,10 +526,10 @@ Interpreter::execNodeF32(const Node& n,
         return out;
       }
       case OpKind::kSelectTimestep: {
-        const auto& s = ins[0].shape();
+        const auto& s = ins[0]->shape();
         const std::int64_t batch = s[0], steps = s[1], f = s[2];
         core::Tensor out(core::Shape{batch, f});
-        auto src = ins[0].data();
+        auto src = ins[0]->data();
         auto dst = out.data();
         for (std::int64_t b = 0; b < batch; ++b)
             std::copy_n(src.data() +
@@ -474,22 +538,22 @@ Interpreter::execNodeF32(const Node& n,
         return out;
       }
       case OpKind::kReshape: {
-        core::Tensor f = ins[0].toF32();
-        return core::Tensor(
-            n.outShape,
-            std::vector<float>(f.data().begin(), f.data().end()));
+        auto d = ins[0]->data();
+        return core::Tensor(n.outShape,
+                            std::vector<float>(d.begin(), d.end()));
       }
       case OpKind::kConcatLast:
         return core::concatLastDim(ins);
       case OpKind::kPadSpatial:
-        return core::padSpatial(ins[0], n.attrs.pads[0], n.attrs.pads[1],
-                                n.attrs.pads[2], n.attrs.pads[3]);
+        return core::padSpatial(*ins[0], n.attrs.pads[0],
+                                n.attrs.pads[1], n.attrs.pads[2],
+                                n.attrs.pads[3]);
       case OpKind::kUpsample:
-        return core::upsampleNearest(ins[0], n.attrs.upsampleFactor);
+        return core::upsampleNearest(*ins[0], n.attrs.upsampleFactor);
       case OpKind::kDetectPostprocess:
-        return detectPostprocess(ins[0], n);
+        return detectPostprocess(*ins[0], n);
       case OpKind::kYoloDetect:
-        return yoloDetect(ins[0], n);
+        return yoloDetect(*ins[0], n);
       case OpKind::kInput:
         break;
     }

@@ -26,6 +26,15 @@ struct Stats
 
     /** Compute all fields from @p samples (must be non-empty). */
     static Stats of(std::vector<double> samples);
+
+    /**
+     * Linear-interpolation percentile of an ascending-@p sorted
+     * sample set; @p p is in [0, 1] (p=0 -> min, p=1 -> max). An
+     * empty sample set yields 0.0 so report code can emit "no
+     * traffic" rows without special-casing.
+     */
+    static double percentile(const std::vector<double>& sorted,
+                             double p);
 };
 
 /** Geometric mean of strictly positive values. */

@@ -36,6 +36,22 @@ Stats::of(std::vector<double> samples)
 }
 
 double
+Stats::percentile(const std::vector<double>& sorted, double p)
+{
+    EB_CHECK(p >= 0.0 && p <= 1.0,
+             "Stats::percentile: p " << p << " outside [0, 1]");
+    EB_CHECK(std::is_sorted(sorted.begin(), sorted.end()),
+             "Stats::percentile: samples not sorted ascending");
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
 geomean(const std::vector<double>& values)
 {
     EB_CHECK(!values.empty(), "geomean: empty input");

@@ -11,6 +11,7 @@
 #include "edgebench/core/common.hh"
 #include "edgebench/core/rng.hh"
 #include "edgebench/graph/passes.hh"
+#include "edgebench/harness/stats.hh"
 #include "edgebench/hw/roofline.hh"
 #include "edgebench/power/energy.hh"
 #include "edgebench/serving/events.hh"
@@ -23,18 +24,6 @@ namespace serving
 
 namespace
 {
-
-double
-percentile(const std::vector<double>& sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const double idx = p * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(idx);
-    const auto hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = idx - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
 
 /**
  * Walks one replica's thermal model forward in one-second chunks, fed
@@ -592,9 +581,9 @@ class FleetEngine
             : 0.0;
 
         std::sort(latenciesMs_.begin(), latenciesMs_.end());
-        rep_.p50Ms = percentile(latenciesMs_, 0.50);
-        rep_.p95Ms = percentile(latenciesMs_, 0.95);
-        rep_.p99Ms = percentile(latenciesMs_, 0.99);
+        rep_.p50Ms = harness::Stats::percentile(latenciesMs_, 0.50);
+        rep_.p95Ms = harness::Stats::percentile(latenciesMs_, 0.95);
+        rep_.p99Ms = harness::Stats::percentile(latenciesMs_, 0.99);
         rep_.maxMs = latenciesMs_.empty() ? 0.0 : latenciesMs_.back();
 
         EB_CHECK(rep_.accountingConsistent(),

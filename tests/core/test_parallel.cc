@@ -12,7 +12,11 @@
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_int8.hh"
+#include "edgebench/core/kernels_rnn.hh"
 #include "edgebench/core/parallel.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/scratch.hh"
 
 namespace ec = edgebench::core;
 
@@ -149,4 +153,94 @@ TEST(ParallelTest, RepeatedStressCoversConcurrentJobs)
         });
         ASSERT_EQ(sum.load(), 257 * 256 / 2);
     }
+}
+
+TEST(ParallelTest, SetParallelismReconfiguresPool)
+{
+    // The pool used to be immutable once built; now every
+    // setParallelism tears it down and the next parallelFor rebuilds
+    // it at the requested width.
+    ec::setParallelism(2);
+    ec::parallelFor(16, [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(ec::parallelism(), 2);
+    ec::setParallelism(5);
+    ec::parallelFor(16, [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(ec::parallelism(), 5);
+    ec::setParallelism(1);
+    ec::parallelFor(16, [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(ec::parallelism(), 1);
+    ec::setParallelism(0); // back to auto for the rest of the binary
+}
+
+TEST(ParallelTest, Conv2dInt8BitIdenticalAcrossThreadCounts)
+{
+    ec::Conv2dGeom g{.n = 2, .inC = 8, .inH = 9, .inW = 9,
+                     .outC = 6, .kH = 3, .kW = 3, .padH = 1,
+                     .padW = 1};
+    ec::Rng rng(41);
+    auto input = ec::Tensor::randomNormal({2, 8, 9, 9}, rng).toInt8();
+    auto w = ec::Tensor::randomNormal({6, 8, 3, 3}, rng).toInt8();
+    auto bias = ec::Tensor::randomNormal({6}, rng);
+    const auto qp = ec::chooseQuantParams(-8.0, 8.0);
+
+    ec::setParallelism(1);
+    auto ref = ec::conv2dInt8(input, w, bias, g, qp);
+    ec::setParallelism(4);
+    auto par = ec::conv2dInt8(input, w, bias, g, qp);
+    ec::setParallelism(0);
+
+    auto a = ref.qdata();
+    auto b = par.qdata();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(ParallelTest, LstmForwardBitIdenticalAcrossThreadCounts)
+{
+    ec::RnnGeom g{.batch = 2, .seqLen = 5, .inputSize = 12,
+                  .hiddenSize = 16, .gates = 4};
+    ec::Rng rng(42);
+    auto input = ec::Tensor::randomNormal({2, 5, 12}, rng);
+    auto w_ih = ec::Tensor::randomNormal({64, 12}, rng);
+    auto w_hh = ec::Tensor::randomNormal({64, 16}, rng);
+    auto bias = ec::Tensor::randomNormal({64}, rng);
+
+    ec::setParallelism(1);
+    auto ref = ec::lstmForward(input, w_ih, w_hh, bias, g);
+    ec::setParallelism(4);
+    auto par = ec::lstmForward(input, w_ih, w_hh, bias, g);
+    ec::setParallelism(0);
+
+    auto a = ref.data();
+    auto b = par.data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+TEST(ParallelTest, ScratchArenaGrowsAndReuses)
+{
+    ec::scratchRelease();
+    auto s1 = ec::scratchF32(ec::ScratchSlot::kIm2Col, 128);
+    ASSERT_EQ(s1.size(), 128u);
+    s1[0] = 7.0f;
+    s1[127] = 9.0f;
+    // Re-borrowing the slot at a smaller size reuses the same block.
+    auto s2 = ec::scratchF32(ec::ScratchSlot::kIm2Col, 64);
+    EXPECT_EQ(s2.data(), s1.data());
+    EXPECT_EQ(s2.size(), 64u);
+    const auto before = ec::scratchBytesReserved();
+    EXPECT_GE(before, 128 * sizeof(float));
+    // Growing may reallocate but never shrinks the reservation.
+    auto s3 = ec::scratchF32(ec::ScratchSlot::kIm2Col, 4096);
+    EXPECT_EQ(s3.size(), 4096u);
+    EXPECT_GE(ec::scratchBytesReserved(), 4096 * sizeof(float));
+    // Distinct slots are distinct buffers.
+    auto g1 = ec::scratchF64(ec::ScratchSlot::kRnnGates, 32);
+    auto g2 = ec::scratchF64(ec::ScratchSlot::kRnnGather, 32);
+    EXPECT_NE(static_cast<void*>(g1.data()),
+              static_cast<void*>(g2.data()));
+    ec::scratchRelease();
+    EXPECT_EQ(ec::scratchBytesReserved(), 0u);
 }

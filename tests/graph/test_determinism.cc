@@ -1,0 +1,129 @@
+/**
+ * @file
+ * End-to-end determinism across thread counts: a whole-model
+ * inference must produce byte-identical outputs whether the kernel
+ * layer runs on 1, 2, or 4 workers. This is the contract that makes
+ * the thread count a pure performance knob (parallel.hh) — any kernel
+ * that reorders accumulation or races on an output element shows up
+ * here as a bit difference.
+ *
+ * The suite name matches the tsan preset's test filter, so these
+ * whole-model parallel paths also run under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/tensor.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ec = edgebench::core;
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+
+namespace
+{
+
+void
+expectBitIdentical(const ec::Tensor& a, const ec::Tensor& b)
+{
+    ASSERT_EQ(a.dtype(), b.dtype());
+    ASSERT_TRUE(ec::sameShape(a.shape(), b.shape()));
+    if (a.dtype() == ec::DType::kI8) {
+        auto qa = a.qdata();
+        auto qb = b.qdata();
+        ASSERT_EQ(0, std::memcmp(qa.data(), qb.data(), qa.size()));
+    } else {
+        auto da = a.data();
+        auto db = b.data();
+        ASSERT_EQ(0, std::memcmp(da.data(), db.data(),
+                                 da.size() * sizeof(float)));
+    }
+}
+
+/** Run @p g on @p inputs at 1/2/4 threads; all runs must match. */
+void
+expectThreadCountInvariant(const eg::Graph& g,
+                           const std::vector<ec::Tensor>& inputs)
+{
+    std::vector<std::vector<ec::Tensor>> runs;
+    for (int threads : {1, 2, 4}) {
+        ec::setParallelism(threads);
+        eg::Interpreter interp(g);
+        runs.push_back(interp.run(inputs));
+    }
+    ec::setParallelism(0);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[0].size(), runs[r].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i)
+            expectBitIdentical(runs[0][i], runs[r][i]);
+    }
+}
+
+} // namespace
+
+TEST(ParallelDeterminismTest, CifarNetF32)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(21);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    expectThreadCountInvariant(g, {x});
+}
+
+TEST(ParallelDeterminismTest, MobileNetV1Int8Quantized)
+{
+    // Small image/class count keeps the run fast; the graph still
+    // exercises int8 conv, depthwise conv, dense and the dequant
+    // fallback ops.
+    auto g = em::buildMobileNetV1(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(22);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    std::vector<ec::Tensor> calib = {x};
+    auto [q, rewrites] = eg::quantizeInt8(g, &calib);
+    ASSERT_GT(rewrites, 0);
+    expectThreadCountInvariant(q, {x});
+}
+
+TEST(ParallelDeterminismTest, CharRnnLstm)
+{
+    auto g = em::buildCharRnn(/*vocab=*/32, /*seq_len=*/8,
+                              /*hidden=*/64);
+    ec::Rng rng(23);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 8, 32}, rng);
+    expectThreadCountInvariant(g, {x});
+}
+
+TEST(ParallelDeterminismTest, GruClassifier)
+{
+    auto g = em::buildGruClassifier(/*features=*/16, /*seq_len=*/10,
+                                    /*hidden=*/32, /*classes=*/4);
+    ec::Rng rng(24);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 10, 16}, rng);
+    expectThreadCountInvariant(g, {x});
+}
+
+TEST(ParallelDeterminismTest, RepeatedRunsAtFixedThreadCountMatch)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(25);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    ec::setParallelism(4);
+    eg::Interpreter interp(g);
+    auto a = interp.run({x});
+    auto b = interp.run({x});
+    ec::setParallelism(0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectBitIdentical(a[i], b[i]);
+}

@@ -114,3 +114,38 @@ TEST(HistogramTest, InvalidConstructionThrows)
     EXPECT_THROW(ehar::Histogram(0.0, 1.0, 0),
                  edgebench::InvalidArgumentError);
 }
+
+TEST(StatsTest, PercentileInterpolatesLinearly)
+{
+    const std::vector<double> s = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(s, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(s, 1.0 / 3.0), 20.0);
+    // p=0.95 over 4 samples: idx 2.85 -> 30 + 0.85 * 10.
+    EXPECT_NEAR(ehar::Stats::percentile(s, 0.95), 38.5, 1e-12);
+}
+
+TEST(StatsTest, PercentileEdgeCases)
+{
+    // n=1: every percentile is the single sample.
+    const std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(one, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(one, 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(one, 1.0), 42.0);
+    // p=0 is the minimum, p=1 the maximum.
+    const std::vector<double> s = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(s, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile(s, 1.0), 3.0);
+    // Empty sample set reports 0 (no-traffic serving rows).
+    EXPECT_DOUBLE_EQ(ehar::Stats::percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, PercentileValidatesInput)
+{
+    const std::vector<double> s = {1.0, 2.0};
+    EXPECT_THROW(ehar::Stats::percentile(s, -0.1),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(ehar::Stats::percentile(s, 1.1),
+                 edgebench::InvalidArgumentError);
+    EXPECT_THROW(ehar::Stats::percentile({2.0, 1.0}, 0.5),
+                 edgebench::InvalidArgumentError);
+}

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
 #include "edgebench/distrib/partition.hh"
 #include "edgebench/frameworks/deploy.hh"
 #include "edgebench/frameworks/runtime.hh"
@@ -101,7 +102,11 @@ usage()
         << "options (apply to serve):\n"
         << "  --replicas <n> --queue-cap <n> --balancer <name>\n"
         << "  --batch <n> --duration <s> --rate <hz> --seed <n>\n"
-        << "  --retries <n>\n";
+        << "  --retries <n>\n"
+        << "global options:\n"
+        << "  --threads <n>         worker threads for the compute\n"
+        << "                        kernels (0 = all cores; results\n"
+        << "                        are identical for any value)\n";
     return 2;
 }
 
@@ -486,6 +491,9 @@ main(int argc, char** argv)
             } else if (a == "--retries" && has_value) {
                 serve_opts.retries = static_cast<int>(
                     int_flag("--retries", argv[++i]));
+            } else if (a == "--threads" && has_value) {
+                core::setParallelism(static_cast<int>(
+                    int_flag("--threads", argv[++i])));
             } else if (a.rfind("--", 0) == 0) {
                 return usage();
             } else {
