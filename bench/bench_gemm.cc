@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Focused fp32 GEMM benchmark: the retired i-k-j reference loop vs.
+ * the pack-and-tile engine (gemm_packed.hh), with pre-packed-weight,
+ * pruned-weight and multi-thread cases. Also verifies on every run
+ * that packed outputs are byte-identical across 1/2/4 threads.
+ *
+ * `--json [--out <path>]` additionally writes a BENCH_gemm.json
+ * snapshot (one record per case) so CI keeps a performance trajectory
+ * to regress against; there is no pass/fail threshold here.
+ *
+ * The i-k-j loop is reproduced locally in two flavours — with and
+ * without the per-element `a == 0` pruning branch it used to carry —
+ * so the dense-case cost of that branch stays measurable after its
+ * removal from the production path.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "edgebench/core/gemm_packed.hh"
+#include "edgebench/core/kernels.hh"
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/rng.hh"
+
+namespace ec = edgebench::core;
+
+namespace
+{
+
+using i64 = std::int64_t;
+
+/** The pre-engine production GEMM, kept verbatim as the baseline. */
+void
+gemmRefIkj(i64 m, i64 n, i64 k, const float* a, const float* b,
+           float* c, bool zero_branch)
+{
+    std::fill(c, c + m * n, 0.0f);
+    constexpr i64 kBlock = 64;
+    for (i64 kk = 0; kk < k; kk += kBlock) {
+        const i64 k_end = std::min(k, kk + kBlock);
+        for (i64 i = 0; i < m; ++i) {
+            float* crow = c + i * n;
+            for (i64 p = kk; p < k_end; ++p) {
+                const float aval = a[i * k + p];
+                if (zero_branch && aval == 0.0f)
+                    continue;
+                const float* brow = b + p * n;
+                for (i64 j = 0; j < n; ++j)
+                    crow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
+struct Case
+{
+    std::string name;
+    i64 m, n, k;
+    int threads;
+    double ms;
+    double gflops;
+};
+
+/** Best-of-reps wall time of @p fn, auto-scaled to >= ~40ms reps. */
+template <typename F>
+double
+bestMs(F&& fn)
+{
+    i64 iters = 1;
+    for (;;) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (i64 i = 0; i < iters; ++i)
+            fn();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (ms >= 40.0 || iters >= (1 << 20)) {
+            double best = ms / static_cast<double>(iters);
+            for (int r = 0; r < 4; ++r) {
+                const auto r0 = std::chrono::steady_clock::now();
+                for (i64 i = 0; i < iters; ++i)
+                    fn();
+                const double rms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count();
+                best = std::min(best,
+                                rms / static_cast<double>(iters));
+            }
+            return best;
+        }
+        iters *= 2;
+    }
+}
+
+template <typename F>
+Case
+runCase(std::vector<Case>& cases, const std::string& name, i64 m,
+        i64 n, i64 k, int threads, F&& fn)
+{
+    ec::setParallelism(threads);
+    const double ms = bestMs(fn);
+    const double gflops =
+        2.0 * static_cast<double>(m) * static_cast<double>(n) *
+        static_cast<double>(k) / (ms * 1e6);
+    Case c{name, m, n, k, threads, ms, gflops};
+    cases.push_back(c);
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 28; ++pad)
+        std::cout << ' ';
+    std::cout << m << "x" << n << "x" << k << "  threads=" << threads
+              << "  " << ms << " ms  " << gflops << " GF/s\n";
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool json = false;
+    std::string out_path = "BENCH_gemm.json";
+    int base_threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else if (arg == "--threads" && i + 1 < argc)
+            base_threads = std::atoi(argv[++i]);
+    }
+
+    const i64 m = 256, n = 256, k = 256;
+    ec::Rng rng(1);
+    auto ta = ec::Tensor::randomNormal({m, k}, rng);
+    auto tb = ec::Tensor::randomNormal({k, n}, rng);
+    auto a = ta.data();
+    auto b = tb.data();
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+
+    std::cout << "bench_gemm: fp32 " << m << "x" << n << "x" << k
+              << " (pack-and-tile engine vs retired i-k-j loop)\n";
+    std::vector<Case> cases;
+
+    // Baselines: the old production loop with its per-element pruning
+    // branch, and the same loop without it (dense-case branch cost).
+    runCase(cases, "ref_ikj_zero_branch", m, n, k, base_threads, [&] {
+        gemmRefIkj(m, n, k, a.data(), b.data(), c.data(), true);
+    });
+    runCase(cases, "ref_ikj_no_branch", m, n, k, base_threads, [&] {
+        gemmRefIkj(m, n, k, a.data(), b.data(), c.data(), false);
+    });
+
+    // The engine, packing both operands per call (gemm entry point).
+    runCase(cases, "packed", m, n, k, base_threads,
+            [&] { ec::gemm(m, n, k, a, b, c); });
+
+    // Steady-state shape: weights packed once, per-call B pack only.
+    const ec::PackedA pa = ec::packA(m, k, a);
+    runCase(cases, "packed_prepacked_a", m, n, k, base_threads,
+            [&] { ec::gemmPackB(pa.view(), n, b, c); });
+    for (int t : {2, 4})
+        runCase(cases, "packed_prepacked_a", m, n, k, t,
+                [&] { ec::gemmPackB(pa.view(), n, b, c); });
+
+    // Magnitude-pruned weights: 75% of rows zeroed in whole register
+    // panels; the engine skips them via pack-time chunk flags, the old
+    // loop via its per-element branch.
+    auto pruned = ta;
+    {
+        auto pd = pruned.data();
+        std::fill(pd.begin(),
+                  pd.begin() +
+                      static_cast<std::size_t>((m * 3 / 4) * k),
+                  0.0f);
+    }
+    auto ap = pruned.data();
+    runCase(cases, "ref_ikj_pruned75", m, n, k, base_threads, [&] {
+        gemmRefIkj(m, n, k, ap.data(), b.data(), c.data(), true);
+    });
+    const ec::PackedA pa_pruned = ec::packA(m, k, ap);
+    runCase(cases, "packed_pruned75", m, n, k, base_threads,
+            [&] { ec::gemmPackB(pa_pruned.view(), n, b, c); });
+
+    // Thread-count determinism: packed output must be byte-identical
+    // at 1/2/4 threads (the repo-wide invariant, parallel.hh).
+    std::vector<float> c1(c.size());
+    ec::setParallelism(1);
+    ec::gemm(m, n, k, a, b, c1);
+    bool identical = true;
+    for (int t : {2, 4}) {
+        ec::setParallelism(t);
+        ec::gemm(m, n, k, a, b, c);
+        identical = identical &&
+            std::memcmp(c.data(), c1.data(),
+                        c.size() * sizeof(float)) == 0;
+    }
+    std::cout << "  thread determinism (1/2/4): "
+              << (identical ? "byte-identical" : "MISMATCH") << "\n";
+    if (!identical)
+        return 1;
+
+    if (json) {
+        std::ofstream f(out_path);
+        f << "{\n  \"bench\": \"gemm\",\n  \"deterministic\": true,\n"
+          << "  \"cases\": [\n";
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const Case& cs = cases[i];
+            f << "    {\"name\": \"" << cs.name << "\", \"m\": "
+              << cs.m << ", \"n\": " << cs.n << ", \"k\": " << cs.k
+              << ", \"threads\": " << cs.threads << ", \"ms\": "
+              << cs.ms << ", \"gflops\": " << cs.gflops << "}"
+              << (i + 1 < cases.size() ? "," : "") << "\n";
+        }
+        f << "  ]\n}\n";
+        std::cout << "  wrote " << out_path << "\n";
+    }
+    return 0;
+}

@@ -59,6 +59,25 @@ BENCHMARK(BM_Gemm)
     ->Args({256, 1})->Args({256, 2})->Args({256, 4});
 
 void
+BM_GemmPrepacked(benchmark::State& state)
+{
+    applyThreads(state, state.range(1));
+    const auto n = state.range(0);
+    ec::Rng rng(1);
+    auto a = ec::Tensor::randomNormal({n, n}, rng);
+    auto b = ec::Tensor::randomNormal({n, n}, rng);
+    std::vector<float> c(static_cast<std::size_t>(n * n));
+    const ec::PackedA pa = ec::packA(n, n, a.data());
+    for (auto _ : state) {
+        ec::gemmPackB(pa.view(), n, b.data(), c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmPrepacked)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4});
+
+void
 BM_Conv2dIm2col(benchmark::State& state)
 {
     applyThreads(state, state.range(1));
@@ -140,6 +159,28 @@ BM_Dense(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_Dense)
+    ->Args({1024, 1})->Args({1024, 4});
+
+// Steady-state dense path: weights packed once (as the interpreter's
+// per-node cache does), so iterations measure only the packed GEMV.
+void
+BM_DensePrepacked(benchmark::State& state)
+{
+    applyThreads(state, state.range(1));
+    const auto n = state.range(0);
+    ec::DenseGeom g{.batch = 1, .inFeatures = n, .outFeatures = n};
+    ec::Rng rng(7);
+    auto input = ec::Tensor::randomNormal({1, n}, rng);
+    auto w = ec::Tensor::randomNormal({n, n}, rng);
+    auto bias = ec::Tensor::zeros({n});
+    const auto packed = ec::packDenseWeights(w, g);
+    for (auto _ : state) {
+        auto out = ec::densePacked(input, packed, bias, g);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DensePrepacked)
     ->Args({1024, 1})->Args({1024, 4});
 
 void

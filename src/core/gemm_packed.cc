@@ -1,0 +1,241 @@
+#include "edgebench/core/gemm_packed.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/scratch.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+constexpr std::int64_t MR = kGemmMR;
+constexpr std::int64_t NR = kGemmNR;
+constexpr std::int64_t KC = kGemmKChunk;
+
+/**
+ * Accumulate an MR x NR tile over @p kc steps. `acc` lives in the
+ * caller's frame; with the fixed MR/NR trip counts the compiler keeps
+ * it register-resident, so the inner loop performs one packed-B load,
+ * one packed-A broadcast and MR*NR mul-adds per step with no C
+ * traffic at all.
+ */
+inline void
+microKernel(const float* __restrict ap, const float* __restrict bp,
+            std::int64_t kc, float* __restrict acc)
+{
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* a = ap + p * MR;
+        const float* b = bp + p * NR;
+        for (std::int64_t i = 0; i < MR; ++i) {
+            const float av = a[i];
+            for (std::int64_t j = 0; j < NR; ++j)
+                acc[i * NR + j] += av * b[j];
+        }
+    }
+}
+
+} // namespace
+
+PackedAView
+packAInto(std::int64_t m, std::int64_t k, std::span<const float> a,
+          std::span<float> storage)
+{
+    EB_CHECK(static_cast<std::int64_t>(a.size()) == m * k,
+             "packAInto: bad A size " << a.size() << " for " << m << "x"
+                                      << k);
+    EB_CHECK(static_cast<std::int64_t>(storage.size()) >=
+                 packedASize(m, k),
+             "packAInto: storage too small");
+    const PackedAView v{m, k, storage.data()};
+    const std::int64_t mp = v.mPanels();
+    const std::int64_t kch = v.kChunks();
+    const std::int64_t stride = v.panelStride();
+    float* out = storage.data();
+    parallelFor(
+        mp,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t ip = p0; ip < p1; ++ip) {
+                float* flags = out + ip * stride;
+                float* vals = flags + kch;
+                for (std::int64_t p = 0; p < k; ++p)
+                    for (std::int64_t i = 0; i < MR; ++i) {
+                        const std::int64_t row = ip * MR + i;
+                        vals[p * MR + i] =
+                            row < m ? a[row * k + p] : 0.0f;
+                    }
+                for (std::int64_t kc = 0; kc < kch; ++kc) {
+                    const std::int64_t p0k = kc * KC;
+                    const std::int64_t p1k = std::min(k, p0k + KC);
+                    bool all_zero = true;
+                    for (std::int64_t p = p0k * MR; p < p1k * MR; ++p)
+                        if (vals[p] != 0.0f) {
+                            all_zero = false;
+                            break;
+                        }
+                    flags[kc] = all_zero ? 1.0f : 0.0f;
+                }
+            }
+        },
+        /*min_grain=*/2);
+    return v;
+}
+
+PackedA
+packA(std::int64_t m, std::int64_t k, std::span<const float> a)
+{
+    PackedA packed;
+    packed.m = m;
+    packed.k = k;
+    packed.data.resize(static_cast<std::size_t>(packedASize(m, k)));
+    packAInto(m, k, a, packed.data);
+    return packed;
+}
+
+void
+packBInto(std::int64_t n, std::int64_t k, std::span<const float> b,
+          std::span<float> storage)
+{
+    EB_CHECK(static_cast<std::int64_t>(b.size()) == k * n,
+             "packBInto: bad B size " << b.size() << " for " << k << "x"
+                                      << n);
+    EB_CHECK(static_cast<std::int64_t>(storage.size()) >=
+                 packedBSize(n, k),
+             "packBInto: storage too small");
+    const std::int64_t np = gemmTiles(n, NR);
+    float* out = storage.data();
+    parallelFor(
+        np,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t jp = p0; jp < p1; ++jp) {
+                float* panel = out + jp * k * NR;
+                const std::int64_t j0 = jp * NR;
+                const std::int64_t jlim = std::min<std::int64_t>(
+                    NR, n - j0);
+                if (jlim == NR) {
+                    for (std::int64_t p = 0; p < k; ++p)
+                        std::copy_n(b.data() + p * n + j0, NR,
+                                    panel + p * NR);
+                } else {
+                    for (std::int64_t p = 0; p < k; ++p) {
+                        std::copy_n(b.data() + p * n + j0, jlim,
+                                    panel + p * NR);
+                        std::fill_n(panel + p * NR + jlim, NR - jlim,
+                                    0.0f);
+                    }
+                }
+            }
+        },
+        /*min_grain=*/2);
+}
+
+void
+gemmPacked(const PackedAView& a, std::int64_t n,
+           std::span<const float> packed_b, std::span<float> c)
+{
+    EB_CHECK(a.data != nullptr, "gemmPacked: unpacked A");
+    EB_CHECK(static_cast<std::int64_t>(packed_b.size()) >=
+                 packedBSize(n, a.k),
+             "gemmPacked: packed B too small");
+    EB_CHECK(static_cast<std::int64_t>(c.size()) == a.m * n,
+             "gemmPacked: bad C size");
+    const std::int64_t m = a.m;
+    const std::int64_t k = a.k;
+    const std::int64_t mp = a.mPanels();
+    const std::int64_t np = gemmTiles(n, NR);
+    const std::int64_t kch = a.kChunks();
+    // One task per C tile, B-panel-major so a worker's contiguous
+    // tile range reuses its packed-B panel across A panels. Each tile
+    // is accumulated k-ascending start-to-finish by one worker, so
+    // the partition never changes results.
+    parallelFor(
+        np * mp,
+        [&](std::int64_t t0, std::int64_t t1) {
+            float acc[MR * NR];
+            for (std::int64_t t = t0; t < t1; ++t) {
+                const std::int64_t jp = t / mp;
+                const std::int64_t ip = t % mp;
+                const float* flags = a.panelFlags(ip);
+                const float* apanel = a.panelValues(ip);
+                const float* bpanel = packed_b.data() + jp * k * NR;
+                std::fill(acc, acc + MR * NR, 0.0f);
+                for (std::int64_t kc = 0; kc < kch; ++kc) {
+                    if (flags[kc] != 0.0f)
+                        continue; // whole MR x chunk block pruned
+                    const std::int64_t p0 = kc * KC;
+                    const std::int64_t p1 = std::min(k, p0 + KC);
+                    microKernel(apanel + p0 * MR, bpanel + p0 * NR,
+                                p1 - p0, acc);
+                }
+                const std::int64_t i0 = ip * MR;
+                const std::int64_t j0 = jp * NR;
+                const std::int64_t ilim = std::min(MR, m - i0);
+                const std::int64_t jlim = std::min(NR, n - j0);
+                for (std::int64_t i = 0; i < ilim; ++i)
+                    for (std::int64_t j = 0; j < jlim; ++j)
+                        c[(i0 + i) * n + j0 + j] = acc[i * NR + j];
+            }
+        },
+        /*min_grain=*/2);
+}
+
+void
+gemmPackB(const PackedAView& a, std::int64_t n,
+          std::span<const float> b, std::span<float> c)
+{
+    std::span<float> packed_b = scratchF32(
+        ScratchSlot::kGemmPackB,
+        static_cast<std::size_t>(packedBSize(n, a.k)));
+    packBInto(n, a.k, b, packed_b);
+    gemmPacked(a, n, packed_b, c);
+}
+
+void
+gemvPackedAcc(const PackedAView& a, std::span<const float> x,
+              std::span<double> y)
+{
+    EB_CHECK(a.data != nullptr, "gemvPackedAcc: unpacked A");
+    EB_CHECK(static_cast<std::int64_t>(x.size()) == a.k,
+             "gemvPackedAcc: bad x size");
+    EB_CHECK(static_cast<std::int64_t>(y.size()) == a.m,
+             "gemvPackedAcc: bad y size");
+    const std::int64_t m = a.m;
+    const std::int64_t k = a.k;
+    const std::int64_t kch = a.kChunks();
+    parallelFor(
+        a.mPanels(),
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t ip = p0; ip < p1; ++ip) {
+                const float* flags = a.panelFlags(ip);
+                const float* vals = a.panelValues(ip);
+                const std::int64_t i0 = ip * MR;
+                const std::int64_t ilim = std::min(MR, m - i0);
+                double acc[MR] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+                for (std::int64_t i = 0; i < ilim; ++i)
+                    acc[i] = y[i0 + i];
+                for (std::int64_t kc = 0; kc < kch; ++kc) {
+                    if (flags[kc] != 0.0f)
+                        continue;
+                    const std::int64_t pe = std::min(k, (kc + 1) * KC);
+                    for (std::int64_t p = kc * KC; p < pe; ++p) {
+                        const double xv = x[p];
+                        const float* av = vals + p * MR;
+                        for (std::int64_t i = 0; i < MR; ++i)
+                            acc[i] +=
+                                static_cast<double>(av[i]) * xv;
+                    }
+                }
+                for (std::int64_t i = 0; i < ilim; ++i)
+                    y[i0 + i] = acc[i];
+            }
+        },
+        /*min_grain=*/2);
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pack-and-tile fp32 GEMM engine.
+ *
+ * The engine computes C[m,n] = A[m,k] * B[k,n] from *packed* operands:
+ *
+ * - A (weights) is repacked into register-tile-ordered panels of
+ *   kGemmMR rows: panel ip holds rows [ip*MR, ip*MR+MR) interleaved
+ *   k-major (all MR values for k, then k+1, ...), zero-padded on the
+ *   ragged row tail. Each panel is prefixed by one flag per
+ *   kGemmKChunk-wide k-chunk recording whether the whole MR x chunk
+ *   block is zero — magnitude-pruned weights are skipped at chunk
+ *   granularity instead of with a per-element branch in the hot loop.
+ * - B (activations / im2col columns) is repacked into kGemmNR-column
+ *   panels, also k-major, so the microkernel streams both operands
+ *   contiguously.
+ *
+ * The microkernel accumulates an MR x NR tile of C in local float
+ * accumulators (register-resident under the default build flags; no
+ * platform intrinsics) over the full k extent, then writes the valid
+ * region back once. Because M/N tiling never splits the k loop, every
+ * C element is accumulated k-ascending start-to-finish by exactly one
+ * worker: results are bit-identical for any thread count, preserving
+ * the repo-wide determinism invariant (parallel.hh).
+ *
+ * A GEMV companion (gemvPackedAcc) consumes the same packed-A panels
+ * with *double* accumulators in the same k-ascending order as the old
+ * per-row dot products, so the dense and RNN-gate paths keep their
+ * historical bit-exact results while gaining packed-panel locality and
+ * the pruned-chunk skip.
+ *
+ * Weight packing is one-time work: the interpreter caches a PackedA
+ * per node (next to its converted-parameter cache), and the unpacked
+ * kernel entry points pack into thread-local scratch so ad-hoc calls
+ * allocate nothing in steady state.
+ */
+
+#ifndef EDGEBENCH_CORE_GEMM_PACKED_HH
+#define EDGEBENCH_CORE_GEMM_PACKED_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Microkernel register-tile rows (packed-A panel height). */
+inline constexpr std::int64_t kGemmMR = 6;
+
+/** Microkernel register-tile columns (packed-B panel width). */
+inline constexpr std::int64_t kGemmNR = 8;
+
+/** k-chunk width for pack-time all-zero (pruned weight) detection. */
+inline constexpr std::int64_t kGemmKChunk = 256;
+
+/** ceil(dim / tile): panel/chunk counts for the packed layouts. */
+inline std::int64_t
+gemmTiles(std::int64_t dim, std::int64_t tile)
+{
+    return (dim + tile - 1) / tile;
+}
+
+/**
+ * Non-owning view of a packed A operand. `data` holds mPanels()
+ * panels, each [kChunks() zero-flags | k*kGemmMR values]; a flag is
+ * 1.0f when the whole MR x chunk block is zero (skippable).
+ */
+struct PackedAView
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    const float* data = nullptr;
+
+    std::int64_t mPanels() const { return gemmTiles(m, kGemmMR); }
+    std::int64_t kChunks() const { return gemmTiles(k, kGemmKChunk); }
+    std::int64_t panelStride() const
+    {
+        return kChunks() + k * kGemmMR;
+    }
+    const float* panelFlags(std::int64_t ip) const
+    {
+        return data + ip * panelStride();
+    }
+    const float* panelValues(std::int64_t ip) const
+    {
+        return panelFlags(ip) + kChunks();
+    }
+};
+
+/** Floats required to pack an m x k A operand (panels + flags). */
+inline std::int64_t
+packedASize(std::int64_t m, std::int64_t k)
+{
+    return gemmTiles(m, kGemmMR) *
+        (gemmTiles(k, kGemmKChunk) + k * kGemmMR);
+}
+
+/** Floats required to pack a k x n B operand. */
+inline std::int64_t
+packedBSize(std::int64_t n, std::int64_t k)
+{
+    return gemmTiles(n, kGemmNR) * k * kGemmNR;
+}
+
+/**
+ * Pack row-major A[m,k] into @p storage (>= packedASize(m, k)
+ * floats), computing the per-chunk zero flags. Returns a view over
+ * @p storage.
+ */
+PackedAView packAInto(std::int64_t m, std::int64_t k,
+                      std::span<const float> a,
+                      std::span<float> storage);
+
+/**
+ * Heap-owning packed A — the form the interpreter caches per node so
+ * steady-state inference performs zero packing work.
+ */
+struct PackedA
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::vector<float> data;
+
+    PackedAView view() const { return {m, k, data.data()}; }
+    double byteSize() const
+    {
+        return static_cast<double>(data.size()) * sizeof(float);
+    }
+};
+
+/** Pack row-major A[m,k] into a fresh heap-owning PackedA. */
+PackedA packA(std::int64_t m, std::int64_t k, std::span<const float> a);
+
+/**
+ * Pack row-major B[k,n] into @p storage (>= packedBSize(n, k)
+ * floats); ragged column tails are zero-padded. Parallelized over
+ * column panels (deterministic: disjoint writes, no accumulation).
+ */
+void packBInto(std::int64_t n, std::int64_t k, std::span<const float> b,
+               std::span<float> storage);
+
+/**
+ * C[m,n] = A * B with both operands packed (C overwritten).
+ * Parallelized over C tiles; bit-identical for any thread count.
+ */
+void gemmPacked(const PackedAView& a, std::int64_t n,
+                std::span<const float> packed_b, std::span<float> c);
+
+/**
+ * Convenience wrapper: packs row-major B[k,n] into the kGemmPackB
+ * scratch slot, then runs gemmPacked. The caller must not itself hold
+ * a kGemmPackB borrow.
+ */
+void gemmPackB(const PackedAView& a, std::int64_t n,
+               std::span<const float> b, std::span<float> c);
+
+/**
+ * y[i] += sum_k A[i,k] * x[k] for i in [0, m), accumulating in double
+ * in ascending-k order — the exact accumulation the old per-row dot
+ * products performed, so callers that seed y with a bias reproduce
+ * historical results bit-for-bit. All-zero weight chunks are skipped.
+ * Parallelized over row panels; bit-identical for any thread count.
+ */
+void gemvPackedAcc(const PackedAView& a, std::span<const float> x,
+                   std::span<double> y);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_GEMM_PACKED_HH

@@ -15,6 +15,7 @@
 
 #include <span>
 
+#include "edgebench/core/gemm_packed.hh"
 #include "edgebench/core/geometry.hh"
 #include "edgebench/core/tensor.hh"
 
@@ -23,7 +24,12 @@ namespace edgebench
 namespace core
 {
 
-/** C[m,n] = A[m,k] * B[k,n] (row-major, C overwritten). */
+/**
+ * C[m,n] = A[m,k] * B[k,n] (row-major, C overwritten). Packs both
+ * operands into thread-local scratch and runs the tiled engine
+ * (gemm_packed.hh); callers that reuse A should pack once and call
+ * gemmPacked directly.
+ */
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
           std::span<const float> a, std::span<const float> b,
           std::span<float> c);
@@ -40,9 +46,36 @@ void im2col(std::span<const float> image, const Conv2dGeom& g,
 Tensor conv2dNaive(const Tensor& input, const Tensor& weights,
                    const Tensor& bias, const Conv2dGeom& g);
 
-/** im2col + GEMM convolution (the production path). */
+/**
+ * im2col + packed GEMM convolution (the production path). Depthwise
+ * layers (inC/groups == 1) take a direct per-plane kernel that skips
+ * im2col and the GEMM entirely.
+ */
 Tensor conv2d(const Tensor& input, const Tensor& weights,
               const Tensor& bias, const Conv2dGeom& g);
+
+/**
+ * Pre-packed conv2d weights: one packed-A panel set per group. Empty
+ * for depthwise layers, whose direct kernel reads the raw weight
+ * tensor (conv2dPacked then needs @p weights for them).
+ */
+struct PackedConvWeights
+{
+    std::vector<PackedA> groups;
+};
+
+/** One-time weight packing for conv2dPacked (interpreter cache). */
+PackedConvWeights packConv2dWeights(const Tensor& weights,
+                                    const Conv2dGeom& g);
+
+/**
+ * conv2d consuming pre-packed weights: identical results to conv2d
+ * with zero steady-state packing cost. @p weights is the raw weight
+ * tensor (shape checks; depthwise direct path).
+ */
+Tensor conv2dPacked(const Tensor& input, const Tensor& weights,
+                    const PackedConvWeights& packed, const Tensor& bias,
+                    const Conv2dGeom& g);
 
 /** Direct 3D convolution (C3D). */
 Tensor conv3d(const Tensor& input, const Tensor& weights,
@@ -51,6 +84,13 @@ Tensor conv3d(const Tensor& input, const Tensor& weights,
 /** Fully-connected layer: out = in * W^T + b. */
 Tensor dense(const Tensor& input, const Tensor& weights,
              const Tensor& bias, const DenseGeom& g);
+
+/** One-time weight packing for densePacked (interpreter cache). */
+PackedA packDenseWeights(const Tensor& weights, const DenseGeom& g);
+
+/** dense consuming pre-packed weights; bit-identical to dense. */
+Tensor densePacked(const Tensor& input, const PackedA& packed,
+                   const Tensor& bias, const DenseGeom& g);
 
 /** Max pooling; padding contributes -inf. */
 Tensor maxPool2d(const Tensor& input, const Pool2dGeom& g);

@@ -13,6 +13,7 @@
 #ifndef EDGEBENCH_CORE_KERNELS_RNN_HH
 #define EDGEBENCH_CORE_KERNELS_RNN_HH
 
+#include "edgebench/core/gemm_packed.hh"
 #include "edgebench/core/geometry.hh"
 #include "edgebench/core/tensor.hh"
 
@@ -21,15 +22,34 @@ namespace edgebench
 namespace core
 {
 
+/** Pre-packed RNN weight pair for the packed forward overloads. */
+struct PackedRnnWeights
+{
+    PackedA ih; ///< W_ih packed [gates*H, I]
+    PackedA hh; ///< W_hh packed [gates*H, H]
+};
+
+/** One-time weight packing for the packed overloads (interpreter). */
+PackedRnnWeights packRnnWeights(const Tensor& w_ih, const Tensor& w_hh,
+                                const RnnGeom& g);
+
 /** LSTM forward over a full sequence (gates == 4). */
 Tensor lstmForward(const Tensor& input, const Tensor& w_ih,
                    const Tensor& w_hh, const Tensor& bias,
                    const RnnGeom& g);
 
+/** LSTM forward consuming pre-packed weights; identical results. */
+Tensor lstmForward(const Tensor& input, const PackedRnnWeights& packed,
+                   const Tensor& bias, const RnnGeom& g);
+
 /** GRU forward over a full sequence (gates == 3). */
 Tensor gruForward(const Tensor& input, const Tensor& w_ih,
                   const Tensor& w_hh, const Tensor& bias,
                   const RnnGeom& g);
+
+/** GRU forward consuming pre-packed weights; identical results. */
+Tensor gruForward(const Tensor& input, const PackedRnnWeights& packed,
+                  const Tensor& bias, const RnnGeom& g);
 
 } // namespace core
 } // namespace edgebench

@@ -36,9 +36,14 @@ namespace core
 /** Scratch slot identities; one per independent concurrent use. */
 enum class ScratchSlot
 {
-    kIm2Col,     ///< conv2d column matrix
-    kRnnGates,   ///< LSTM/GRU per-timestep gate pre-activations
-    kRnnGather,  ///< RNN strided timestep gather
+    kIm2Col,          ///< conv2d column matrix
+    kRnnGates,        ///< LSTM/GRU input-side gate pre-activations
+    kRnnGatesHidden,  ///< GRU hidden-side gate pre-activations
+    kDenseAcc,        ///< dense per-row double accumulators
+    kGemmPackA,       ///< ad-hoc packed-A panels (gemm entry point)
+    kGemmPackB,       ///< packed-B panels (gemmPackB / conv2d)
+    kRnnPackIh,       ///< ad-hoc packed input-hidden RNN weights
+    kRnnPackHh,       ///< ad-hoc packed hidden-hidden RNN weights
     kCount
 };
 

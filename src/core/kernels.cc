@@ -27,6 +27,23 @@ checkInput4d(const Tensor& t, std::int64_t n, std::int64_t c,
                   << shapeToString(Shape{n, c, h, w}));
 }
 
+/**
+ * Strict bias validation shared by both conv paths: a default
+ * (scalar-shaped, empty-shape) tensor means "no bias"; anything else
+ * must be exactly [outC]. A malformed bias is a hard error, never
+ * silently ignored.
+ */
+bool
+checkConvBias(const Tensor& bias, std::int64_t out_c, const char* what)
+{
+    if (bias.shape().empty())
+        return false;
+    EB_CHECK(bias.shape() == Shape({out_c}),
+             what << ": bad bias shape " << shapeToString(bias.shape())
+                  << " != expected " << shapeToString(Shape{out_c}));
+    return true;
+}
+
 } // namespace
 
 void
@@ -37,31 +54,14 @@ gemm(std::int64_t m, std::int64_t n, std::int64_t k,
     EB_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "gemm: bad A");
     EB_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "gemm: bad B");
     EB_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "gemm: bad C");
-    std::fill(c.begin(), c.end(), 0.0f);
-    // Rows of C are independent: partition them across the worker
-    // pool (bit-identical to serial — each row's accumulation order
-    // is unchanged). i-k-j ordering keeps the inner loop streaming
-    // over B and C rows.
-    constexpr std::int64_t kBlock = 64;
-    parallelFor(
-        m,
-        [&](std::int64_t i0, std::int64_t i1) {
-            for (std::int64_t kk = 0; kk < k; kk += kBlock) {
-                const std::int64_t k_end = std::min(k, kk + kBlock);
-                for (std::int64_t i = i0; i < i1; ++i) {
-                    float* crow = c.data() + i * n;
-                    for (std::int64_t p = kk; p < k_end; ++p) {
-                        const float aval = a[i * k + p];
-                        if (aval == 0.0f)
-                            continue; // pruned-weight fast path
-                        const float* brow = b.data() + p * n;
-                        for (std::int64_t j = 0; j < n; ++j)
-                            crow[j] += aval * brow[j];
-                    }
-                }
-            }
-        },
-        /*min_grain=*/8);
+    // Pack both operands and run the tiled engine. Pruning is handled
+    // by the pack-time all-zero chunk flags, so the dense case pays no
+    // per-element branch in the hot loop.
+    std::span<float> pa_store = scratchF32(
+        ScratchSlot::kGemmPackA,
+        static_cast<std::size_t>(packedASize(m, k)));
+    const PackedAView pa = packAInto(m, k, a, pa_store);
+    gemmPackB(pa, n, b, c);
 }
 
 void
@@ -116,11 +116,7 @@ conv2dNaive(const Tensor& input, const Tensor& weights,
     EB_CHECK(weights.shape() == Shape({g.outC, cg, g.kH, g.kW}),
              "conv2dNaive: bad weight shape "
                  << shapeToString(weights.shape()));
-    const bool has_bias = bias.numel() > 1 || bias.shape().size() == 1;
-    if (has_bias) {
-        EB_CHECK(bias.shape() == Shape({g.outC}),
-                 "conv2dNaive: bad bias shape");
-    }
+    const bool has_bias = checkConvBias(bias, g.outC, "conv2dNaive");
 
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
@@ -178,30 +174,106 @@ conv2dNaive(const Tensor& input, const Tensor& weights,
     return out;
 }
 
-Tensor
-conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
-       const Conv2dGeom& g)
+namespace
 {
-    g.validate();
-    checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2d");
+
+/** True when the direct depthwise kernel applies (one input channel
+ * per group; depth multipliers outC > groups included). */
+bool
+isDepthwise(const Conv2dGeom& g)
+{
+    return g.groups > 1 && g.inC == g.groups;
+}
+
+/**
+ * Direct depthwise convolution: each output plane reads exactly one
+ * input plane, so im2col (a full copy of the input per group) and the
+ * GEMM dispatch per (batch, group) are pure overhead. One task per
+ * (batch, output-channel) plane, accumulation order fixed (ky, kx
+ * ascending), so results are bit-identical for any thread count.
+ */
+Tensor
+conv2dDepthwise(const Tensor& input, const Tensor& weights,
+                const Tensor& bias, const Conv2dGeom& g, bool has_bias)
+{
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor out(Shape{g.n, g.outC, oh, ow});
+    auto in = input.data();
+    auto w = weights.data();
+    auto o = out.data();
+    parallelFor(
+        g.n * g.outC,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const std::int64_t b = p / g.outC;
+                const std::int64_t oc = p % g.outC;
+                const std::int64_t ic = oc / ocg;
+                const float* iplane =
+                    in.data() + (b * g.inC + ic) * g.inH * g.inW;
+                const float* wk = w.data() + oc * g.kH * g.kW;
+                const float bv = has_bias ? bias.at(oc) : 0.0f;
+                float* oplane = o.data() + p * oh * ow;
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        float acc = 0.0f;
+                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                            const std::int64_t iy =
+                                oy * g.strideH - g.padH + ky * g.dilH;
+                            if (iy < 0 || iy >= g.inH)
+                                continue;
+                            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                                const std::int64_t ix = ox * g.strideW -
+                                    g.padW + kx * g.dilW;
+                                if (ix < 0 || ix >= g.inW)
+                                    continue;
+                                acc += iplane[iy * g.inW + ix] *
+                                    wk[ky * g.kW + kx];
+                            }
+                        }
+                        oplane[oy * ow + ox] = acc + bv;
+                    }
+                }
+            }
+        },
+        /*min_grain=*/2);
+    return out;
+}
+
+/**
+ * Shared im2col + packed-GEMM body: per-group weight panels come from
+ * the caller (packed once per call, or once per model via the
+ * interpreter's cache) and are reused across the whole batch loop.
+ */
+Tensor
+conv2dIm2colPacked(const Tensor& input,
+                   const std::vector<PackedAView>& wpanels,
+                   const Tensor& bias, const Conv2dGeom& g,
+                   bool has_bias)
+{
     const std::int64_t cg = g.inC / g.groups;
     const std::int64_t ocg = g.outC / g.groups;
-    EB_CHECK(weights.shape() == Shape({g.outC, cg, g.kH, g.kW}),
-             "conv2d: bad weight shape "
-                 << shapeToString(weights.shape()));
-    const bool has_bias = bias.shape() == Shape{g.outC};
-
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
     const std::int64_t patch = cg * g.kH * g.kW;
+    // 1x1 stride-1 unpadded convolutions read the input verbatim: the
+    // column matrix would be a copy of the image, so pack B straight
+    // from the input instead of materializing it.
+    const bool pointwise = g.kH == 1 && g.kW == 1 && g.strideH == 1 &&
+        g.strideW == 1 && g.padH == 0 && g.padW == 0;
     Tensor out(Shape{g.n, g.outC, oh, ow});
-    // Column matrix comes from the scratch arena: reused across calls,
-    // so steady-state convolution performs no per-call allocation.
-    std::span<float> columns = scratchF32(
-        ScratchSlot::kIm2Col,
-        static_cast<std::size_t>(patch * oh * ow));
+    // Scratch borrows are hoisted out of the batch/group loops: one
+    // im2col matrix and one packed-B panel set, reused for every
+    // (batch, group) iteration, so arena size is flat in g.n.
+    std::span<float> columns;
+    if (!pointwise)
+        columns = scratchF32(ScratchSlot::kIm2Col,
+                             static_cast<std::size_t>(patch * oh * ow));
+    std::span<float> packed_b = scratchF32(
+        ScratchSlot::kGemmPackB,
+        static_cast<std::size_t>(packedBSize(oh * ow, patch)));
     auto in = input.data();
-    auto w = weights.data();
     auto o = out.data();
     for (std::int64_t b = 0; b < g.n; ++b) {
         std::span<const float> image =
@@ -209,14 +281,22 @@ conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
                                                 g.inW),
                        static_cast<std::size_t>(g.inC * g.inH * g.inW));
         for (std::int64_t grp = 0; grp < g.groups; ++grp) {
-            im2col(image, g, grp, columns);
-            std::span<const float> wmat(
-                w.data() + grp * ocg * patch,
-                static_cast<std::size_t>(ocg * patch));
+            if (pointwise) {
+                packBInto(oh * ow, patch,
+                          image.subspan(
+                              static_cast<std::size_t>(grp * cg * g.inH *
+                                                       g.inW),
+                              static_cast<std::size_t>(patch * oh * ow)),
+                          packed_b);
+            } else {
+                im2col(image, g, grp, columns);
+                packBInto(oh * ow, patch, columns, packed_b);
+            }
             std::span<float> omat(
                 o.data() + ((b * g.outC) + grp * ocg) * oh * ow,
                 static_cast<std::size_t>(ocg * oh * ow));
-            gemm(ocg, oh * ow, patch, wmat, columns, omat);
+            gemmPacked(wpanels[static_cast<std::size_t>(grp)], oh * ow,
+                       packed_b, omat);
         }
     }
     if (has_bias) {
@@ -233,6 +313,95 @@ conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
             /*min_grain=*/8);
     }
     return out;
+}
+
+void
+checkConvWeights(const Tensor& weights, const Conv2dGeom& g,
+                 const char* what)
+{
+    EB_CHECK(weights.shape() ==
+                 Shape({g.outC, g.inC / g.groups, g.kH, g.kW}),
+             what << ": bad weight shape "
+                  << shapeToString(weights.shape()));
+}
+
+} // namespace
+
+PackedConvWeights
+packConv2dWeights(const Tensor& weights, const Conv2dGeom& g)
+{
+    g.validate();
+    checkConvWeights(weights, g, "packConv2dWeights");
+    PackedConvWeights packed;
+    if (isDepthwise(g))
+        return packed; // direct kernel reads the raw weight tensor
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t patch = cg * g.kH * g.kW;
+    auto w = weights.data();
+    packed.groups.reserve(static_cast<std::size_t>(g.groups));
+    for (std::int64_t grp = 0; grp < g.groups; ++grp)
+        packed.groups.push_back(packA(
+            ocg, patch,
+            w.subspan(static_cast<std::size_t>(grp * ocg * patch),
+                      static_cast<std::size_t>(ocg * patch))));
+    return packed;
+}
+
+Tensor
+conv2dPacked(const Tensor& input, const Tensor& weights,
+             const PackedConvWeights& packed, const Tensor& bias,
+             const Conv2dGeom& g)
+{
+    g.validate();
+    checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2dPacked");
+    checkConvWeights(weights, g, "conv2dPacked");
+    const bool has_bias = checkConvBias(bias, g.outC, "conv2dPacked");
+    if (isDepthwise(g))
+        return conv2dDepthwise(input, weights, bias, g, has_bias);
+    EB_CHECK(static_cast<std::int64_t>(packed.groups.size()) ==
+                 g.groups,
+             "conv2dPacked: packed weights for "
+                 << packed.groups.size() << " groups, geometry has "
+                 << g.groups);
+    std::vector<PackedAView> views;
+    views.reserve(packed.groups.size());
+    for (const PackedA& pa : packed.groups)
+        views.push_back(pa.view());
+    return conv2dIm2colPacked(input, views, bias, g, has_bias);
+}
+
+Tensor
+conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+       const Conv2dGeom& g)
+{
+    g.validate();
+    checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2d");
+    checkConvWeights(weights, g, "conv2d");
+    const bool has_bias = checkConvBias(bias, g.outC, "conv2d");
+    if (isDepthwise(g))
+        return conv2dDepthwise(input, weights, bias, g, has_bias);
+    // Weight packing hoisted out of the batch loop: all groups packed
+    // once per call into a single scratch borrow, reused for every
+    // batch element.
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t patch = cg * g.kH * g.kW;
+    const std::int64_t per_group = packedASize(ocg, patch);
+    std::span<float> pa_store = scratchF32(
+        ScratchSlot::kGemmPackA,
+        static_cast<std::size_t>(g.groups * per_group));
+    auto w = weights.data();
+    std::vector<PackedAView> views;
+    views.reserve(static_cast<std::size_t>(g.groups));
+    for (std::int64_t grp = 0; grp < g.groups; ++grp)
+        views.push_back(packAInto(
+            ocg, patch,
+            w.subspan(static_cast<std::size_t>(grp * ocg * patch),
+                      static_cast<std::size_t>(ocg * patch)),
+            pa_store.subspan(
+                static_cast<std::size_t>(grp * per_group))));
+    return conv2dIm2colPacked(input, views, bias, g, has_bias);
 }
 
 Tensor
@@ -302,9 +471,46 @@ conv3d(const Tensor& input, const Tensor& weights, const Tensor& bias,
     return out;
 }
 
+namespace
+{
+
+/**
+ * Dense body over packed weights. gemvPackedAcc accumulates in double
+ * in ascending-k order — exactly the old per-row dot product — so
+ * dense results are bit-identical to the pre-packing implementation.
+ */
 Tensor
-dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
-      const DenseGeom& g)
+densePackedImpl(const Tensor& input, const PackedAView& pa,
+                const Tensor& bias, const DenseGeom& g)
+{
+    const bool has_bias = bias.shape() == Shape{g.outFeatures};
+    Tensor out(Shape{g.batch, g.outFeatures});
+    auto in = input.data();
+    auto o = out.data();
+    std::span<double> acc = scratchF64(
+        ScratchSlot::kDenseAcc,
+        static_cast<std::size_t>(g.outFeatures));
+    for (std::int64_t b = 0; b < g.batch; ++b) {
+        const float* irow = in.data() + b * g.inFeatures;
+        if (has_bias) {
+            auto bv = bias.data();
+            for (std::int64_t of = 0; of < g.outFeatures; ++of)
+                acc[static_cast<std::size_t>(of)] = bv[of];
+        } else {
+            std::fill(acc.begin(), acc.end(), 0.0);
+        }
+        gemvPackedAcc(
+            pa, {irow, static_cast<std::size_t>(g.inFeatures)}, acc);
+        for (std::int64_t of = 0; of < g.outFeatures; ++of)
+            o[b * g.outFeatures + of] =
+                static_cast<float>(acc[static_cast<std::size_t>(of)]);
+    }
+    return out;
+}
+
+void
+checkDense(const Tensor& input, const Tensor& weights,
+           const DenseGeom& g)
 {
     g.validate();
     EB_CHECK(input.numel() == g.batch * g.inFeatures,
@@ -313,31 +519,47 @@ dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
     EB_CHECK(weights.shape() == Shape({g.outFeatures, g.inFeatures}),
              "dense: bad weight shape "
                  << shapeToString(weights.shape()));
-    const bool has_bias = bias.shape() == Shape{g.outFeatures};
+}
 
-    Tensor out(Shape{g.batch, g.outFeatures});
-    auto in = input.data();
-    auto w = weights.data();
-    auto o = out.data();
-    for (std::int64_t b = 0; b < g.batch; ++b) {
-        const float* irow = in.data() + b * g.inFeatures;
-        parallelFor(
-            g.outFeatures,
-            [&](std::int64_t of0, std::int64_t of1) {
-                for (std::int64_t of = of0; of < of1; ++of) {
-                    double acc = has_bias
-                        ? static_cast<double>(bias.at(of))
-                        : 0.0;
-                    const float* wrow = w.data() + of * g.inFeatures;
-                    for (std::int64_t i = 0; i < g.inFeatures; ++i)
-                        acc += static_cast<double>(irow[i]) * wrow[i];
-                    o[b * g.outFeatures + of] =
-                        static_cast<float>(acc);
-                }
-            },
-            /*min_grain=*/16);
-    }
-    return out;
+} // namespace
+
+PackedA
+packDenseWeights(const Tensor& weights, const DenseGeom& g)
+{
+    g.validate();
+    EB_CHECK(weights.shape() == Shape({g.outFeatures, g.inFeatures}),
+             "packDenseWeights: bad weight shape "
+                 << shapeToString(weights.shape()));
+    return packA(g.outFeatures, g.inFeatures, weights.data());
+}
+
+Tensor
+densePacked(const Tensor& input, const PackedA& packed,
+            const Tensor& bias, const DenseGeom& g)
+{
+    g.validate();
+    EB_CHECK(input.numel() == g.batch * g.inFeatures,
+             "densePacked: input numel " << input.numel() << " != "
+                                         << g.batch * g.inFeatures);
+    EB_CHECK(packed.m == g.outFeatures && packed.k == g.inFeatures,
+             "densePacked: packed weights are " << packed.m << "x"
+                 << packed.k << ", geometry wants " << g.outFeatures
+                 << "x" << g.inFeatures);
+    return densePackedImpl(input, packed.view(), bias, g);
+}
+
+Tensor
+dense(const Tensor& input, const Tensor& weights, const Tensor& bias,
+      const DenseGeom& g)
+{
+    checkDense(input, weights, g);
+    std::span<float> pa_store = scratchF32(
+        ScratchSlot::kGemmPackA,
+        static_cast<std::size_t>(
+            packedASize(g.outFeatures, g.inFeatures)));
+    const PackedAView pa =
+        packAInto(g.outFeatures, g.inFeatures, weights.data(), pa_store);
+    return densePackedImpl(input, pa, bias, g);
 }
 
 namespace

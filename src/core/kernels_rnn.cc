@@ -22,11 +22,10 @@ sigmoidScalar(double v)
     return 1.0 / (1.0 + std::exp(-v));
 }
 
-/** Validate the packed weight/bias shapes for an RNN layer. */
+/** Validate the input/bias shapes for an RNN layer. */
 void
-checkRnnParams(const Tensor& input, const Tensor& w_ih,
-               const Tensor& w_hh, const Tensor& bias,
-               const RnnGeom& g, const char* what)
+checkRnnInput(const Tensor& input, const Tensor& bias, const RnnGeom& g,
+              const char* what)
 {
     g.validate();
     EB_CHECK(input.shape() ==
@@ -34,62 +33,51 @@ checkRnnParams(const Tensor& input, const Tensor& w_ih,
              what << ": input must be [N, T, I], got "
                   << shapeToString(input.shape()));
     const std::int64_t gh = g.gates * g.hiddenSize;
-    EB_CHECK(w_ih.shape() == Shape({gh, g.inputSize}),
-             what << ": W_ih must be [" << gh << ", " << g.inputSize
-                  << "]");
-    EB_CHECK(w_hh.shape() == Shape({gh, g.hiddenSize}),
-             what << ": W_hh must be [" << gh << ", " << g.hiddenSize
-                  << "]");
     EB_CHECK(bias.shape() == Shape{gh},
              what << ": bias must be [" << gh << "]");
 }
 
-/**
- * gates[b][gh] = W_ih * x_t[b] + W_hh * h[b] + bias, for all batch
- * rows at one timestep. Parallel over (batch, gate-row); each gate
- * pre-activation is one dot product computed start-to-finish by one
- * worker, so accumulation order matches the serial loop exactly.
- */
+/** Validate packed weight dimensions against the geometry. */
 void
-computeGates(std::span<const float> x_t, std::span<const float> h,
-             const Tensor& w_ih, const Tensor& w_hh,
-             const Tensor& bias, const RnnGeom& g,
-             std::span<double> gates)
+checkRnnPacked(const PackedAView& ih, const PackedAView& hh,
+               const RnnGeom& g, const char* what)
 {
     const std::int64_t gh = g.gates * g.hiddenSize;
-    auto wi = w_ih.data();
-    auto wh = w_hh.data();
-    parallelFor(
-        g.batch * gh,
-        [&](std::int64_t j0, std::int64_t j1) {
-            for (std::int64_t j = j0; j < j1; ++j) {
-                const std::int64_t b = j / gh;
-                const std::int64_t r = j % gh;
-                const float* x = x_t.data() + b * g.inputSize;
-                const float* hb = h.data() + b * g.hiddenSize;
-                double acc = bias.at(r);
-                const float* wirow = wi.data() + r * g.inputSize;
-                for (std::int64_t i = 0; i < g.inputSize; ++i)
-                    acc += static_cast<double>(x[i]) * wirow[i];
-                const float* whrow = wh.data() + r * g.hiddenSize;
-                for (std::int64_t i = 0; i < g.hiddenSize; ++i)
-                    acc += static_cast<double>(hb[i]) * whrow[i];
-                gates[static_cast<std::size_t>(j)] = acc;
-            }
-        },
-        /*min_grain=*/8);
+    EB_CHECK(ih.m == gh && ih.k == g.inputSize,
+             what << ": packed W_ih is " << ih.m << "x" << ih.k
+                  << ", geometry wants " << gh << "x" << g.inputSize);
+    EB_CHECK(hh.m == gh && hh.k == g.hiddenSize,
+             what << ": packed W_hh is " << hh.m << "x" << hh.k
+                  << ", geometry wants " << gh << "x" << g.hiddenSize);
 }
 
-} // namespace
+/**
+ * gates_b = bias + W_ih * x_t[b] + W_hh * h[b] for one batch row.
+ * gemvPackedAcc accumulates in double in ascending-k order with the
+ * bias pre-seeded and input terms before hidden terms — exactly the
+ * accumulation the old per-row dot products performed, so gate
+ * pre-activations (and therefore RNN outputs) are bit-identical to the
+ * pre-packing implementation for any thread count.
+ */
+void
+computeGatesPacked(std::span<const float> x_b, std::span<const float> h_b,
+                   const PackedAView& ih, const PackedAView& hh,
+                   const Tensor& bias, std::span<double> gates_b)
+{
+    auto bv = bias.data();
+    for (std::size_t i = 0; i < gates_b.size(); ++i)
+        gates_b[i] = bv[static_cast<std::int64_t>(i)];
+    gemvPackedAcc(ih, x_b, gates_b);
+    gemvPackedAcc(hh, h_b, gates_b);
+}
 
 Tensor
-lstmForward(const Tensor& input, const Tensor& w_ih,
-            const Tensor& w_hh, const Tensor& bias, const RnnGeom& g)
+lstmForwardImpl(const Tensor& input, const PackedAView& ih,
+                const PackedAView& hh, const Tensor& bias,
+                const RnnGeom& g)
 {
-    EB_CHECK(g.gates == 4, "lstmForward: geometry must have 4 gates");
-    checkRnnParams(input, w_ih, w_hh, bias, g, "lstmForward");
-
     const std::int64_t h_size = g.hiddenSize;
+    const std::int64_t gh = 4 * h_size;
     Tensor out(Shape{g.batch, g.seqLen, h_size});
     std::vector<float> h(static_cast<std::size_t>(g.batch * h_size),
                          0.0f);
@@ -97,22 +85,22 @@ lstmForward(const Tensor& input, const Tensor& w_ih,
                           0.0);
     std::span<double> gates = scratchF64(
         ScratchSlot::kRnnGates,
-        static_cast<std::size_t>(g.batch * 4 * h_size));
-    // For batch > 1 the timestep slice is strided; gather into a
-    // contiguous [N, I] scratch block each step.
-    std::span<float> x_gathered = scratchF32(
-        ScratchSlot::kRnnGather,
-        static_cast<std::size_t>(g.batch * g.inputSize));
+        static_cast<std::size_t>(g.batch * gh));
 
     auto in = input.data();
     auto o = out.data();
     for (std::int64_t t = 0; t < g.seqLen; ++t) {
+        // The [b, t, :] timestep slice is already contiguous per batch
+        // row, so the gate GEMVs read it in place (no gather copy).
         for (std::int64_t b = 0; b < g.batch; ++b)
-            std::copy_n(in.data() +
-                            (b * g.seqLen + t) * g.inputSize,
-                        g.inputSize,
-                        x_gathered.data() + b * g.inputSize);
-        computeGates(x_gathered, h, w_ih, w_hh, bias, g, gates);
+            computeGatesPacked(
+                {in.data() + (b * g.seqLen + t) * g.inputSize,
+                 static_cast<std::size_t>(g.inputSize)},
+                {h.data() + b * h_size,
+                 static_cast<std::size_t>(h_size)},
+                ih, hh, bias,
+                gates.subspan(static_cast<std::size_t>(b * gh),
+                              static_cast<std::size_t>(gh)));
 
         // Gate application: each (b, j) owns its own c/h/out cell, so
         // the flattened index space partitions cleanly across workers.
@@ -122,7 +110,7 @@ lstmForward(const Tensor& input, const Tensor& w_ih,
                 for (std::int64_t s = s0; s < s1; ++s) {
                     const std::int64_t b = s / h_size;
                     const std::int64_t j = s % h_size;
-                    const double* gb = gates.data() + b * 4 * h_size;
+                    const double* gb = gates.data() + b * gh;
                     const double ig = sigmoidScalar(gb[j]);
                     const double fg = sigmoidScalar(gb[h_size + j]);
                     const double gg = std::tanh(gb[2 * h_size + j]);
@@ -141,22 +129,49 @@ lstmForward(const Tensor& input, const Tensor& w_ih,
 }
 
 Tensor
-gruForward(const Tensor& input, const Tensor& w_ih, const Tensor& w_hh,
-           const Tensor& bias, const RnnGeom& g)
+gruForwardImpl(const Tensor& input, const PackedAView& ih,
+               const PackedAView& hh, const Tensor& bias,
+               const RnnGeom& g)
 {
-    EB_CHECK(g.gates == 3, "gruForward: geometry must have 3 gates");
-    checkRnnParams(input, w_ih, w_hh, bias, g, "gruForward");
-
     const std::int64_t h_size = g.hiddenSize;
+    const std::int64_t gh = 3 * h_size;
     Tensor out(Shape{g.batch, g.seqLen, h_size});
     std::vector<float> h(static_cast<std::size_t>(g.batch * h_size),
                          0.0f);
+    // Input-side (bias + W_ih x) and hidden-side (W_hh h) gate terms
+    // are kept separate: the candidate gate applies the reset gate to
+    // the hidden term only, n = tanh(gi + r * gh2).
+    std::span<double> gi = scratchF64(
+        ScratchSlot::kRnnGates,
+        static_cast<std::size_t>(g.batch * gh));
+    std::span<double> gh2 = scratchF64(
+        ScratchSlot::kRnnGatesHidden,
+        static_cast<std::size_t>(g.batch * gh));
     auto in = input.data();
     auto o = out.data();
-    auto wi = w_ih.data();
-    auto wh = w_hh.data();
 
     for (std::int64_t t = 0; t < g.seqLen; ++t) {
+        for (std::int64_t b = 0; b < g.batch; ++b) {
+            std::span<double> gi_b = gi.subspan(
+                static_cast<std::size_t>(b * gh),
+                static_cast<std::size_t>(gh));
+            auto bv = bias.data();
+            for (std::size_t i = 0; i < gi_b.size(); ++i)
+                gi_b[i] = bv[static_cast<std::int64_t>(i)];
+            gemvPackedAcc(
+                ih,
+                {in.data() + (b * g.seqLen + t) * g.inputSize,
+                 static_cast<std::size_t>(g.inputSize)},
+                gi_b);
+            std::span<double> gh_b = gh2.subspan(
+                static_cast<std::size_t>(b * gh),
+                static_cast<std::size_t>(gh));
+            std::fill(gh_b.begin(), gh_b.end(), 0.0);
+            gemvPackedAcc(hh,
+                          {h.data() + b * h_size,
+                           static_cast<std::size_t>(h_size)},
+                          gh_b);
+        }
         // All (b, j) cells at one timestep read the previous hidden
         // state and write only their own output cell; the new hidden
         // state is committed serially after the whole step, exactly as
@@ -167,33 +182,14 @@ gruForward(const Tensor& input, const Tensor& w_ih, const Tensor& w_hh,
                 for (std::int64_t s = s0; s < s1; ++s) {
                     const std::int64_t b = s / h_size;
                     const std::int64_t j = s % h_size;
-                    const float* x = in.data() +
-                        (b * g.seqLen + t) * g.inputSize;
+                    const double* gib = gi.data() + b * gh;
+                    const double* ghb = gh2.data() + b * gh;
                     const float* hb = h.data() + b * h_size;
-                    auto dot = [&](std::int64_t row) {
-                        double acc = bias.at(row);
-                        const float* wirow = wi.data() +
-                            row * g.inputSize;
-                        for (std::int64_t i = 0; i < g.inputSize; ++i)
-                            acc += static_cast<double>(x[i]) * wirow[i];
-                        return acc;
-                    };
-                    auto dot_h = [&](std::int64_t row) {
-                        double acc = 0.0;
-                        const float* whrow = wh.data() + row * h_size;
-                        for (std::int64_t i = 0; i < h_size; ++i)
-                            acc += static_cast<double>(hb[i]) *
-                                whrow[i];
-                        return acc;
-                    };
-                    const double z =
-                        sigmoidScalar(dot(j) + dot_h(j));
-                    const double r =
-                        sigmoidScalar(dot(h_size + j) +
-                                      dot_h(h_size + j));
-                    const double n =
-                        std::tanh(dot(2 * h_size + j) +
-                                  r * dot_h(2 * h_size + j));
+                    const double z = sigmoidScalar(gib[j] + ghb[j]);
+                    const double r = sigmoidScalar(
+                        gib[h_size + j] + ghb[h_size + j]);
+                    const double n = std::tanh(
+                        gib[2 * h_size + j] + r * ghb[2 * h_size + j]);
                     const double h_new = (1.0 - z) * n +
                         z * static_cast<double>(hb[j]);
                     o[(b * g.seqLen + t) * h_size + j] =
@@ -207,6 +203,91 @@ gruForward(const Tensor& input, const Tensor& w_ih, const Tensor& w_hh,
                     o[(b * g.seqLen + t) * h_size + j];
     }
     return out;
+}
+
+/** Pack both weight matrices into thread-local scratch (ad-hoc calls;
+ * the interpreter caches a heap-owning PackedRnnWeights instead). */
+std::pair<PackedAView, PackedAView>
+packRnnScratch(const Tensor& w_ih, const Tensor& w_hh, const RnnGeom& g,
+               const char* what)
+{
+    const std::int64_t gh = g.gates * g.hiddenSize;
+    EB_CHECK(w_ih.shape() == Shape({gh, g.inputSize}),
+             what << ": W_ih must be [" << gh << ", " << g.inputSize
+                  << "]");
+    EB_CHECK(w_hh.shape() == Shape({gh, g.hiddenSize}),
+             what << ": W_hh must be [" << gh << ", " << g.hiddenSize
+                  << "]");
+    std::span<float> ih_store = scratchF32(
+        ScratchSlot::kRnnPackIh,
+        static_cast<std::size_t>(packedASize(gh, g.inputSize)));
+    std::span<float> hh_store = scratchF32(
+        ScratchSlot::kRnnPackHh,
+        static_cast<std::size_t>(packedASize(gh, g.hiddenSize)));
+    return {packAInto(gh, g.inputSize, w_ih.data(), ih_store),
+            packAInto(gh, g.hiddenSize, w_hh.data(), hh_store)};
+}
+
+} // namespace
+
+PackedRnnWeights
+packRnnWeights(const Tensor& w_ih, const Tensor& w_hh, const RnnGeom& g)
+{
+    g.validate();
+    const std::int64_t gh = g.gates * g.hiddenSize;
+    EB_CHECK(w_ih.shape() == Shape({gh, g.inputSize}),
+             "packRnnWeights: W_ih must be [" << gh << ", "
+                                             << g.inputSize << "]");
+    EB_CHECK(w_hh.shape() == Shape({gh, g.hiddenSize}),
+             "packRnnWeights: W_hh must be [" << gh << ", "
+                                             << g.hiddenSize << "]");
+    PackedRnnWeights packed;
+    packed.ih = packA(gh, g.inputSize, w_ih.data());
+    packed.hh = packA(gh, g.hiddenSize, w_hh.data());
+    return packed;
+}
+
+Tensor
+lstmForward(const Tensor& input, const Tensor& w_ih,
+            const Tensor& w_hh, const Tensor& bias, const RnnGeom& g)
+{
+    EB_CHECK(g.gates == 4, "lstmForward: geometry must have 4 gates");
+    checkRnnInput(input, bias, g, "lstmForward");
+    const auto [ih, hh] = packRnnScratch(w_ih, w_hh, g, "lstmForward");
+    return lstmForwardImpl(input, ih, hh, bias, g);
+}
+
+Tensor
+lstmForward(const Tensor& input, const PackedRnnWeights& packed,
+            const Tensor& bias, const RnnGeom& g)
+{
+    EB_CHECK(g.gates == 4, "lstmForward: geometry must have 4 gates");
+    checkRnnInput(input, bias, g, "lstmForward");
+    checkRnnPacked(packed.ih.view(), packed.hh.view(), g,
+                   "lstmForward");
+    return lstmForwardImpl(input, packed.ih.view(), packed.hh.view(),
+                           bias, g);
+}
+
+Tensor
+gruForward(const Tensor& input, const Tensor& w_ih, const Tensor& w_hh,
+           const Tensor& bias, const RnnGeom& g)
+{
+    EB_CHECK(g.gates == 3, "gruForward: geometry must have 3 gates");
+    checkRnnInput(input, bias, g, "gruForward");
+    const auto [ih, hh] = packRnnScratch(w_ih, w_hh, g, "gruForward");
+    return gruForwardImpl(input, ih, hh, bias, g);
+}
+
+Tensor
+gruForward(const Tensor& input, const PackedRnnWeights& packed,
+           const Tensor& bias, const RnnGeom& g)
+{
+    EB_CHECK(g.gates == 3, "gruForward: geometry must have 3 gates");
+    checkRnnInput(input, bias, g, "gruForward");
+    checkRnnPacked(packed.ih.view(), packed.hh.view(), g, "gruForward");
+    return gruForwardImpl(input, packed.ih.view(), packed.hh.view(),
+                          bias, g);
 }
 
 } // namespace core

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_rnn.hh"
 #include "edgebench/core/tensor.hh"
 #include "edgebench/graph/graph.hh"
 #include "edgebench/obs/trace.hh"
@@ -98,6 +100,20 @@ class Interpreter
     /** Same for int8 weight access on the quantized paths. */
     const core::Tensor& paramI8(const Node& n, std::size_t k);
 
+    /**
+     * @name Pre-packed weight caches
+     * GEMM-backed ops (conv2d, dense, LSTM/GRU) consume pre-packed A
+     * panels (gemm_packed.hh). Packing is one-time work: built lazily
+     * on a node's first execution — next to the converted-parameter
+     * cache above — and reused on every subsequent run, so
+     * steady-state inference performs zero packing.
+     */
+    /// @{
+    const core::PackedConvWeights& packedConv(const Node& n);
+    const core::PackedA& packedDense(const Node& n);
+    const core::PackedRnnWeights& packedRnn(const Node& n);
+    /// @}
+
     const Graph& graph_;
     RunStats stats_;
     obs::Tracer* tracer_ = nullptr;
@@ -105,6 +121,10 @@ class Interpreter
     /** Per-node converted-parameter caches, indexed [NodeId][k]. */
     std::vector<std::vector<std::optional<core::Tensor>>> paramF32_;
     std::vector<std::vector<std::optional<core::Tensor>>> paramI8_;
+    /** Per-node packed-weight caches, indexed [NodeId]. */
+    std::vector<std::optional<core::PackedConvWeights>> packedConv_;
+    std::vector<std::optional<core::PackedA>> packedDense_;
+    std::vector<std::optional<core::PackedRnnWeights>> packedRnn_;
 };
 
 } // namespace graph

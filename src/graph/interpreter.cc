@@ -161,6 +161,37 @@ Interpreter::Interpreter(const Graph& graph) : graph_(graph)
              "Interpreter: graph " << graph.name() << " has no outputs");
     paramF32_.resize(static_cast<std::size_t>(graph.numNodes()));
     paramI8_.resize(static_cast<std::size_t>(graph.numNodes()));
+    packedConv_.resize(static_cast<std::size_t>(graph.numNodes()));
+    packedDense_.resize(static_cast<std::size_t>(graph.numNodes()));
+    packedRnn_.resize(static_cast<std::size_t>(graph.numNodes()));
+}
+
+const core::PackedConvWeights&
+Interpreter::packedConv(const Node& n)
+{
+    auto& slot = packedConv_[static_cast<std::size_t>(n.id)];
+    if (!slot)
+        slot = core::packConv2dWeights(paramF32(n, 0), n.attrs.conv2d);
+    return *slot;
+}
+
+const core::PackedA&
+Interpreter::packedDense(const Node& n)
+{
+    auto& slot = packedDense_[static_cast<std::size_t>(n.id)];
+    if (!slot)
+        slot = core::packDenseWeights(paramF32(n, 0), n.attrs.dense);
+    return *slot;
+}
+
+const core::PackedRnnWeights&
+Interpreter::packedRnn(const Node& n)
+{
+    auto& slot = packedRnn_[static_cast<std::size_t>(n.id)];
+    if (!slot)
+        slot = core::packRnnWeights(paramF32(n, 0), paramF32(n, 1),
+                                    n.attrs.rnn);
+    return *slot;
 }
 
 const core::Tensor&
@@ -436,16 +467,17 @@ Interpreter::execNodeF32(const Node& n,
 {
     switch (n.kind) {
       case OpKind::kConv2d:
-        return core::conv2d(*ins[0], paramF32(n, 0),
-                            n.params.size() > 1 ? paramF32(n, 1)
-                                                : emptyTensor(),
-                            n.attrs.conv2d);
+        return core::conv2dPacked(*ins[0], paramF32(n, 0),
+                                  packedConv(n),
+                                  n.params.size() > 1 ? paramF32(n, 1)
+                                                      : emptyTensor(),
+                                  n.attrs.conv2d);
       case OpKind::kFusedConvBnAct: {
         core::Tensor out =
-            core::conv2d(*ins[0], paramF32(n, 0),
-                         n.params.size() > 1 ? paramF32(n, 1)
-                                             : emptyTensor(),
-                         n.attrs.conv2d);
+            core::conv2dPacked(*ins[0], paramF32(n, 0), packedConv(n),
+                               n.params.size() > 1 ? paramF32(n, 1)
+                                                   : emptyTensor(),
+                               n.attrs.conv2d);
         switch (n.attrs.activation) {
           case ActKind::kNone: return out;
           case ActKind::kRelu: return core::relu(out);
@@ -463,10 +495,10 @@ Interpreter::execNodeF32(const Node& n,
                                                 : emptyTensor(),
                             n.attrs.conv3d);
       case OpKind::kDense:
-        return core::dense(*ins[0], paramF32(n, 0),
-                           n.params.size() > 1 ? paramF32(n, 1)
-                                               : emptyTensor(),
-                           n.attrs.dense);
+        return core::densePacked(*ins[0], packedDense(n),
+                                 n.params.size() > 1 ? paramF32(n, 1)
+                                                     : emptyTensor(),
+                                 n.attrs.dense);
       case OpKind::kBatchNorm:
         return core::batchNorm(*ins[0], paramF32(n, 0),
                                paramF32(n, 1), paramF32(n, 2),
@@ -499,13 +531,11 @@ Interpreter::execNodeF32(const Node& n,
       case OpKind::kFlatten:
         return core::flatten(*ins[0]);
       case OpKind::kLstm:
-        return core::lstmForward(*ins[0], paramF32(n, 0),
-                                 paramF32(n, 1), paramF32(n, 2),
-                                 n.attrs.rnn);
+        return core::lstmForward(*ins[0], packedRnn(n),
+                                 paramF32(n, 2), n.attrs.rnn);
       case OpKind::kGru:
-        return core::gruForward(*ins[0], paramF32(n, 0),
-                                paramF32(n, 1), paramF32(n, 2),
-                                n.attrs.rnn);
+        return core::gruForward(*ins[0], packedRnn(n),
+                                paramF32(n, 2), n.attrs.rnn);
       case OpKind::kChannelShuffle: {
         const auto& s = ins[0]->shape();
         const std::int64_t batch = s[0], c = s[1], hw = s[2] * s[3];

@@ -12,6 +12,7 @@
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/kernels.hh"
+#include "edgebench/core/scratch.hh"
 
 namespace ec = edgebench::core;
 using edgebench::InvalidArgumentError;
@@ -331,6 +332,64 @@ TEST(ShapeOpsTest, PadUpsampleFlatten)
 
     auto flat = ec::flatten(up);
     EXPECT_EQ(flat.shape(), (ec::Shape{1, 8}));
+}
+
+TEST(Conv2dBiasTest, BothConvPathsRejectMalformedBias)
+{
+    // Regression: conv2d used to silently ignore any bias whose shape
+    // was not exactly [outC] while conv2dNaive accepted near-misses.
+    // Both now share one strict check: empty shape means no bias,
+    // anything else must be [outC].
+    ec::Conv2dGeom g{.n = 1, .inC = 2, .inH = 6, .inW = 6, .outC = 4,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1};
+    auto input = randomTensor({1, 2, 6, 6}, 201);
+    auto weights = randomTensor({4, 2, 3, 3}, 202);
+
+    for (const ec::Shape& bad :
+         {ec::Shape{4, 1}, ec::Shape{3}, ec::Shape{1, 4}}) {
+        auto bias = ec::Tensor::zeros(bad);
+        EXPECT_THROW(ec::conv2d(input, weights, bias, g),
+                     InvalidArgumentError)
+            << "conv2d accepted bias shape rank " << bad.size();
+        EXPECT_THROW(ec::conv2dNaive(input, weights, bias, g),
+                     InvalidArgumentError)
+            << "conv2dNaive accepted bias shape rank " << bad.size();
+    }
+
+    // No-bias (default tensor) and well-formed [outC] both work and
+    // agree between the paths.
+    auto no_bias_fast = ec::conv2d(input, weights, ec::Tensor(), g);
+    auto no_bias_slow =
+        ec::conv2dNaive(input, weights, ec::Tensor(), g);
+    EXPECT_LT(no_bias_fast.maxAbsDiff(no_bias_slow), 1e-3);
+    auto bias = randomTensor({4}, 203);
+    auto fast = ec::conv2d(input, weights, bias, g);
+    auto slow = ec::conv2dNaive(input, weights, bias, g);
+    EXPECT_LT(fast.maxAbsDiff(slow), 1e-3);
+}
+
+TEST(Conv2dScratchTest, ArenaSizeStaysFlatAcrossBatchCounts)
+{
+    // The im2col matrix and packed panels are borrowed once per call
+    // and reused for every (batch, group) iteration, so running a
+    // bigger batch must not grow the scratch arenas.
+    ec::Conv2dGeom g{.n = 1, .inC = 6, .inH = 10, .inW = 10, .outC = 8,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1,
+                     .groups = 2};
+    auto weights = randomTensor({8, 3, 3, 3}, 301);
+    auto bias = randomTensor({8}, 302);
+    ec::scratchRelease();
+    ec::conv2d(randomTensor({1, 6, 10, 10}, 303), weights, bias, g);
+    const std::size_t after_one = ec::scratchBytesReserved();
+    EXPECT_GT(after_one, 0u);
+    for (std::int64_t batch : {2, 4, 8}) {
+        g.n = batch;
+        ec::conv2d(randomTensor({batch, 6, 10, 10},
+                                static_cast<std::uint64_t>(310 + batch)),
+                   weights, bias, g);
+        EXPECT_EQ(ec::scratchBytesReserved(), after_one)
+            << "batch=" << batch;
+    }
 }
 
 TEST(ConvPruningTest, PrunedWeightsProduceSameResultAsExplicitZeros)

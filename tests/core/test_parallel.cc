@@ -238,7 +238,7 @@ TEST(ParallelTest, ScratchArenaGrowsAndReuses)
     EXPECT_GE(ec::scratchBytesReserved(), 4096 * sizeof(float));
     // Distinct slots are distinct buffers.
     auto g1 = ec::scratchF64(ec::ScratchSlot::kRnnGates, 32);
-    auto g2 = ec::scratchF64(ec::ScratchSlot::kRnnGather, 32);
+    auto g2 = ec::scratchF64(ec::ScratchSlot::kRnnGatesHidden, 32);
     EXPECT_NE(static_cast<void*>(g1.data()),
               static_cast<void*>(g2.data()));
     ec::scratchRelease();

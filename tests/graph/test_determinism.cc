@@ -77,6 +77,19 @@ TEST(ParallelDeterminismTest, CifarNetF32)
     expectThreadCountInvariant(g, {x});
 }
 
+TEST(ParallelDeterminismTest, MobileNetV1F32PackedPaths)
+{
+    // fp32 MobileNet-v1 drives the pack-and-tile engine's two conv
+    // paths back to back: the direct depthwise kernel and the
+    // im2col + packed-GEMM pointwise layers, plus the packed dense
+    // classifier — all must be byte-identical across thread counts.
+    auto g = em::buildMobileNetV1(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(26);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectThreadCountInvariant(g, {x});
+}
+
 TEST(ParallelDeterminismTest, MobileNetV1Int8Quantized)
 {
     // Small image/class count keeps the run fast; the graph still
