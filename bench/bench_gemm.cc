@@ -1,22 +1,25 @@
 /**
  * @file
- * Focused fp32 GEMM benchmark: the retired i-k-j reference loop vs.
- * the pack-and-tile engine (gemm_packed.hh), with pre-packed-weight,
- * pruned-weight and multi-thread cases. Also verifies on every run
- * that packed outputs are byte-identical across 1/2/4 threads.
+ * Focused GEMM benchmark: the retired reference loops vs. the
+ * pack-and-tile engines, fp32 (gemm_packed.hh) and int8
+ * (gemm_packed_int8.hh), with pre-packed-weight, pruned-weight and
+ * multi-thread cases. Also verifies on every run that packed outputs
+ * are byte-identical across 1/2/4 threads, for both element types.
  *
  * `--json [--out <path>]` additionally writes a BENCH_gemm.json
  * snapshot (one record per case) so CI keeps a performance trajectory
  * to regress against; there is no pass/fail threshold here.
  *
- * The i-k-j loop is reproduced locally in two flavours — with and
- * without the per-element `a == 0` pruning branch it used to carry —
- * so the dense-case cost of that branch stays measurable after its
- * removal from the production path.
+ * The retired baselines are reproduced locally: the fp32 i-k-j loop
+ * in two flavours (with and without the per-element `a == 0` pruning
+ * branch it used to carry), and the int8 dot-product loop with its
+ * per-element zero-point subtractions and per-element double-math
+ * requantization, exactly as the old conv2dInt8/denseInt8 computed.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -25,7 +28,9 @@
 #include <vector>
 
 #include "edgebench/core/gemm_packed.hh"
+#include "edgebench/core/gemm_packed_int8.hh"
 #include "edgebench/core/kernels.hh"
+#include "edgebench/core/scratch.hh"
 #include "edgebench/core/parallel.hh"
 #include "edgebench/core/rng.hh"
 
@@ -57,6 +62,32 @@ gemmRefIkj(i64 m, i64 n, i64 k, const float* a, const float* b,
             }
         }
     }
+}
+
+/**
+ * The retired int8 GEMM semantics, kept verbatim as the baseline:
+ * per-element zero-point subtraction inside the dot product, then a
+ * per-element double multiply + nearbyint requantization (the loop
+ * conv2dInt8/denseInt8 ran before the integer engine).
+ */
+void
+gemmRefInt8(i64 m, i64 n, i64 k, const std::int8_t* a,
+            const std::int8_t* b, std::int32_t a_zp, std::int32_t b_zp,
+            double acc_scale, const ec::QuantParams& out_qp,
+            std::int8_t* c)
+{
+    for (i64 i = 0; i < m; ++i)
+        for (i64 j = 0; j < n; ++j) {
+            std::int64_t acc = 0;
+            for (i64 p = 0; p < k; ++p)
+                acc += static_cast<std::int64_t>(a[i * k + p] - a_zp) *
+                    (b[p * n + j] - b_zp);
+            const double real = static_cast<double>(acc) * acc_scale;
+            const double q =
+                std::nearbyint(real / out_qp.scale) + out_qp.zeroPoint;
+            c[i * n + j] = static_cast<std::int8_t>(
+                std::clamp(q, -128.0, 127.0));
+        }
 }
 
 struct Case
@@ -207,6 +238,88 @@ main(int argc, char** argv)
     std::cout << "  thread determinism (1/2/4): "
               << (identical ? "byte-identical" : "MISMATCH") << "\n";
     if (!identical)
+        return 1;
+
+    // ---- int8 section: same 256^3 shape on the integer engine. ----
+    std::cout << "bench_gemm: int8 " << m << "x" << n << "x" << k
+              << " (integer pack-and-tile engine vs retired "
+                 "double-requant loop)\n";
+    const ec::QuantParams qa_params{0.0213, 7};
+    const ec::QuantParams qb_params{0.0471, -19};
+    const ec::QuantParams qo_params{1.37, 3};
+    std::vector<std::int8_t> ia(static_cast<std::size_t>(m * k));
+    std::vector<std::int8_t> ib(static_cast<std::size_t>(k * n));
+    for (auto& v : ia)
+        v = static_cast<std::int8_t>(
+            std::lround(rng.uniform(-128.0, 127.0)));
+    for (auto& v : ib)
+        v = static_cast<std::int8_t>(
+            std::lround(rng.uniform(-128.0, 127.0)));
+    std::vector<std::int8_t> ic(static_cast<std::size_t>(m * n));
+    const double acc_scale = qa_params.scale * qb_params.scale;
+    const ec::Int8GemmQuant iq{qa_params, qb_params, qo_params};
+
+    runCase(cases, "int8_ref_double_requant", m, n, k, base_threads,
+            [&] {
+                gemmRefInt8(m, n, k, ia.data(), ib.data(),
+                            qa_params.zeroPoint, qb_params.zeroPoint,
+                            acc_scale, qo_params, ic.data());
+            });
+
+    // Packing both operands per call (the ad-hoc kernel shape).
+    runCase(cases, "int8_packed", m, n, k, base_threads, [&] {
+        const ec::PackedAI8View pav = ec::packAInt8Into(
+            m, k, ia,
+            ec::scratchI8(ec::ScratchSlot::kGemmPackAI8,
+                          static_cast<std::size_t>(
+                              ec::packedAI8ValueCount(m, k))),
+            ec::scratchI32(ec::ScratchSlot::kGemmPackAI8,
+                           static_cast<std::size_t>(
+                               ec::packedAI8SumCount(m))));
+        auto pb = ec::scratchI8(ec::ScratchSlot::kGemmPackBI8,
+                                static_cast<std::size_t>(
+                                    ec::packedBI8ValueCount(n, k)));
+        auto pbs = ec::scratchI32(ec::ScratchSlot::kGemmPackBI8,
+                                  static_cast<std::size_t>(
+                                      ec::packedBI8SumCount(n)));
+        ec::packBInt8Into(n, k, ib, pb, pbs);
+        ec::gemmPackedInt8(pav, n, pb, pbs, {}, iq, ic);
+    });
+
+    // Steady-state shape: weights packed once, per-call B pack only.
+    const ec::PackedAI8 pai8 = ec::packAInt8(m, k, ia);
+    auto run_prepacked_i8 = [&] {
+        auto pb = ec::scratchI8(ec::ScratchSlot::kGemmPackBI8,
+                                static_cast<std::size_t>(
+                                    ec::packedBI8ValueCount(n, k)));
+        auto pbs = ec::scratchI32(ec::ScratchSlot::kGemmPackBI8,
+                                  static_cast<std::size_t>(
+                                      ec::packedBI8SumCount(n)));
+        ec::packBInt8Into(n, k, ib, pb, pbs);
+        ec::gemmPackedInt8(pai8.view(), n, pb, pbs, {}, iq, ic);
+    };
+    runCase(cases, "int8_packed_prepacked_a", m, n, k, base_threads,
+            run_prepacked_i8);
+    for (int t : {2, 4})
+        runCase(cases, "int8_packed_prepacked_a", m, n, k, t,
+                run_prepacked_i8);
+
+    // int8 thread-count determinism, same contract as fp32.
+    std::vector<std::int8_t> ic1(ic.size());
+    ec::setParallelism(1);
+    run_prepacked_i8();
+    std::copy(ic.begin(), ic.end(), ic1.begin());
+    bool i8_identical = true;
+    for (int t : {2, 4}) {
+        ec::setParallelism(t);
+        run_prepacked_i8();
+        i8_identical = i8_identical &&
+            std::memcmp(ic.data(), ic1.data(), ic.size()) == 0;
+    }
+    std::cout << "  int8 thread determinism (1/2/4): "
+              << (i8_identical ? "byte-identical" : "MISMATCH")
+              << "\n";
+    if (!i8_identical)
         return 1;
 
     if (json) {

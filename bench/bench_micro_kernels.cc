@@ -257,6 +257,31 @@ BM_InterpreterCifarNet(benchmark::State& state)
 }
 BENCHMARK(BM_InterpreterCifarNet)->Arg(1)->Arg(4);
 
+// Quantized end-to-end inference: MobileNet-v1 through quantizeInt8,
+// so every conv/dense layer runs the integer pack-and-tile engine
+// (plus the depthwise direct kernel and integer relu6/add). This is
+// the e2e number quoted in docs/PERFORMANCE.md's integer-engine
+// section.
+void
+BM_InterpreterMobileNetV1Int8(benchmark::State& state)
+{
+    applyThreads(state, state.range(0));
+    auto g = em::buildMobileNetV1(/*classes=*/1000, /*image=*/96);
+    ec::Rng rng(12);
+    g.materializeParams(rng);
+    auto input = ec::Tensor::randomNormal({1, 3, 96, 96}, rng);
+    std::vector<ec::Tensor> calib = {input};
+    auto [q, rewrites] = eg::quantizeInt8(g, &calib);
+    benchmark::DoNotOptimize(rewrites);
+    eg::Interpreter interp(q);
+    for (auto _ : state) {
+        auto out = interp.run({input});
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * g.stats().macs);
+}
+BENCHMARK(BM_InterpreterMobileNetV1Int8)->Arg(1)->Arg(4);
+
 void
 BM_FusionPass(benchmark::State& state)
 {

@@ -1,0 +1,337 @@
+#include "edgebench/core/gemm_packed_int8.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/scratch.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+constexpr std::int64_t MR = kGemmInt8MR;
+constexpr std::int64_t NR = kGemmInt8NR;
+
+/**
+ * Accumulate an MR x NR int32 tile of raw q_a * q_b products over
+ * @p kc steps. Zero-point corrections are not applied here — they are
+ * rank-one terms folded into the epilogue — so the inner loop is one
+ * packed-B load, one packed-A broadcast and MR*NR integer mul-adds
+ * per step. Safe against overflow for kc <= kGemmInt8MaxK (products
+ * are bounded by 2^14, so |acc| < 2^16 * 2^14 = 2^30).
+ */
+inline void
+microKernelInt8(const std::int8_t* __restrict ap,
+                const std::int8_t* __restrict bp, std::int64_t kc,
+                std::int32_t* __restrict acc)
+{
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const std::int8_t* a = ap + p * MR;
+        const std::int8_t* b = bp + p * NR;
+        for (std::int64_t i = 0; i < MR; ++i) {
+            const std::int32_t av = a[i];
+            for (std::int64_t j = 0; j < NR; ++j)
+                acc[i * NR + j] += av * b[j];
+        }
+    }
+}
+
+/**
+ * Folded per-row epilogue constant:
+ * bias_q[i] - b_zp * sum_p A[i,p] + k * a_zp * b_zp. Together with
+ * the per-column `-a_zp * sum_p B[p,j]` this turns the raw product
+ * sum into the full zero-point-corrected accumulator (see
+ * docs/QUANTIZATION.md for the algebra).
+ */
+inline std::int64_t
+rowCorrection(std::int64_t bias_q, std::int32_t row_sum,
+              std::int64_t k, std::int32_t a_zp, std::int32_t b_zp)
+{
+    return bias_q - static_cast<std::int64_t>(b_zp) * row_sum +
+        k * a_zp * b_zp;
+}
+
+} // namespace
+
+PackedAI8View
+packAInt8Into(std::int64_t m, std::int64_t k,
+              std::span<const std::int8_t> a,
+              std::span<std::int8_t> values,
+              std::span<std::int32_t> row_sums)
+{
+    EB_CHECK(static_cast<std::int64_t>(a.size()) == m * k,
+             "packAInt8Into: bad A size " << a.size() << " for " << m
+                                          << "x" << k);
+    EB_CHECK(k <= kGemmInt8MaxK,
+             "packAInt8Into: k " << k << " exceeds int8 GEMM bound "
+                                 << kGemmInt8MaxK);
+    EB_CHECK(static_cast<std::int64_t>(values.size()) >=
+                 packedAI8ValueCount(m, k),
+             "packAInt8Into: value storage too small");
+    EB_CHECK(static_cast<std::int64_t>(row_sums.size()) >=
+                 packedAI8SumCount(m),
+             "packAInt8Into: row-sum storage too small");
+    const PackedAI8View v{m, k, values.data(), row_sums.data()};
+    std::int8_t* vals_out = values.data();
+    std::int32_t* sums_out = row_sums.data();
+    parallelFor(
+        v.mPanels(),
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t ip = p0; ip < p1; ++ip) {
+                std::int8_t* vals = vals_out + ip * k * MR;
+                std::int32_t* sums = sums_out + ip * MR;
+                for (std::int64_t p = 0; p < k; ++p)
+                    for (std::int64_t i = 0; i < MR; ++i) {
+                        const std::int64_t row = ip * MR + i;
+                        vals[p * MR + i] = row < m
+                            ? a[row * k + p]
+                            : static_cast<std::int8_t>(0);
+                    }
+                for (std::int64_t i = 0; i < MR; ++i) {
+                    const std::int64_t row = ip * MR + i;
+                    std::int32_t s = 0;
+                    if (row < m)
+                        for (std::int64_t p = 0; p < k; ++p)
+                            s += a[row * k + p];
+                    sums[i] = s;
+                }
+            }
+        },
+        /*min_grain=*/2);
+    return v;
+}
+
+PackedAI8
+packAInt8(std::int64_t m, std::int64_t k,
+          std::span<const std::int8_t> a)
+{
+    PackedAI8 packed;
+    packed.m = m;
+    packed.k = k;
+    packed.values.resize(
+        static_cast<std::size_t>(packedAI8ValueCount(m, k)));
+    packed.rowSums.resize(
+        static_cast<std::size_t>(packedAI8SumCount(m)));
+    packAInt8Into(m, k, a, packed.values, packed.rowSums);
+    return packed;
+}
+
+void
+packBInt8Into(std::int64_t n, std::int64_t k,
+              std::span<const std::int8_t> b,
+              std::span<std::int8_t> storage,
+              std::span<std::int32_t> col_sums)
+{
+    EB_CHECK(static_cast<std::int64_t>(b.size()) == k * n,
+             "packBInt8Into: bad B size " << b.size() << " for " << k
+                                          << "x" << n);
+    EB_CHECK(k <= kGemmInt8MaxK,
+             "packBInt8Into: k " << k << " exceeds int8 GEMM bound "
+                                 << kGemmInt8MaxK);
+    EB_CHECK(static_cast<std::int64_t>(storage.size()) >=
+                 packedBI8ValueCount(n, k),
+             "packBInt8Into: storage too small");
+    EB_CHECK(static_cast<std::int64_t>(col_sums.size()) >=
+                 packedBI8SumCount(n),
+             "packBInt8Into: column-sum storage too small");
+    const std::int64_t np = gemmInt8Tiles(n, NR);
+    std::int8_t* out = storage.data();
+    std::int32_t* sums_out = col_sums.data();
+    parallelFor(
+        np,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t jp = p0; jp < p1; ++jp) {
+                std::int8_t* panel = out + jp * k * NR;
+                std::int32_t* sums = sums_out + jp * NR;
+                const std::int64_t j0 = jp * NR;
+                const std::int64_t jlim = std::min<std::int64_t>(
+                    NR, n - j0);
+                if (jlim == NR) {
+                    for (std::int64_t p = 0; p < k; ++p)
+                        std::copy_n(b.data() + p * n + j0, NR,
+                                    panel + p * NR);
+                } else {
+                    for (std::int64_t p = 0; p < k; ++p) {
+                        std::copy_n(b.data() + p * n + j0, jlim,
+                                    panel + p * NR);
+                        std::fill_n(panel + p * NR + jlim, NR - jlim,
+                                    static_cast<std::int8_t>(0));
+                    }
+                }
+                for (std::int64_t j = 0; j < NR; ++j) {
+                    std::int32_t s = 0;
+                    if (j < jlim)
+                        for (std::int64_t p = 0; p < k; ++p)
+                            s += panel[p * NR + j];
+                    sums[j] = s;
+                }
+            }
+        },
+        /*min_grain=*/2);
+}
+
+void
+gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
+               std::span<const std::int8_t> packed_b,
+               std::span<const std::int32_t> b_col_sums,
+               std::span<const float> bias, const Int8GemmQuant& q,
+               std::span<std::int8_t> c)
+{
+    EB_CHECK(a.values != nullptr && a.rowSums != nullptr,
+             "gemmPackedInt8: unpacked A");
+    EB_CHECK(a.k <= kGemmInt8MaxK,
+             "gemmPackedInt8: k " << a.k << " exceeds int8 GEMM bound "
+                                  << kGemmInt8MaxK);
+    EB_CHECK(static_cast<std::int64_t>(packed_b.size()) >=
+                 packedBI8ValueCount(n, a.k),
+             "gemmPackedInt8: packed B too small");
+    EB_CHECK(static_cast<std::int64_t>(b_col_sums.size()) >=
+                 packedBI8SumCount(n),
+             "gemmPackedInt8: column sums too small");
+    EB_CHECK(bias.empty() ||
+                 static_cast<std::int64_t>(bias.size()) == a.m,
+             "gemmPackedInt8: bias size " << bias.size()
+                                          << " does not match m "
+                                          << a.m);
+    EB_CHECK(static_cast<std::int64_t>(c.size()) == a.m * n,
+             "gemmPackedInt8: bad C size");
+    const std::int64_t m = a.m;
+    const std::int64_t k = a.k;
+    const std::int64_t mp = a.mPanels();
+    const std::int64_t np = gemmInt8Tiles(n, NR);
+    const double acc_scale = q.a.scale * q.b.scale;
+    const RequantScale rs = makeRequantScale(acc_scale / q.out.scale);
+    const std::int32_t a_zp = q.a.zeroPoint;
+    const std::int64_t b_zp = q.b.zeroPoint;
+    const std::int32_t out_zp = q.out.zeroPoint;
+
+    // Fold bias and the per-row zero-point terms once per call (the
+    // packed weights stay activation-agnostic, so a cached packing
+    // works for any input quantization).
+    std::span<std::int64_t> row_corr = scratchI64(
+        ScratchSlot::kInt8RowCorr, static_cast<std::size_t>(mp * MR));
+    for (std::int64_t ip = 0; ip < mp; ++ip) {
+        const std::int32_t* sums = a.panelRowSums(ip);
+        for (std::int64_t i = 0; i < MR; ++i) {
+            const std::int64_t row = ip * MR + i;
+            const std::int64_t bias_q =
+                (!bias.empty() && row < m)
+                    ? quantizeBiasValue(bias[row], acc_scale)
+                    : 0;
+            row_corr[static_cast<std::size_t>(row)] = row < m
+                ? rowCorrection(bias_q, sums[i], k, a_zp,
+                                static_cast<std::int32_t>(b_zp))
+                : 0;
+        }
+    }
+
+    // One task per C tile, B-panel-major (matches the fp32 engine).
+    // Integer accumulation is exact, so any partition of whole tiles
+    // is bit-identical; each tile is still accumulated k-ascending by
+    // a single worker.
+    parallelFor(
+        np * mp,
+        [&](std::int64_t t0, std::int64_t t1) {
+            std::int32_t acc[MR * NR];
+            for (std::int64_t t = t0; t < t1; ++t) {
+                const std::int64_t jp = t / mp;
+                const std::int64_t ip = t % mp;
+                const std::int8_t* apanel = a.panelValues(ip);
+                const std::int8_t* bpanel =
+                    packed_b.data() + jp * k * NR;
+                std::fill(acc, acc + MR * NR, 0);
+                microKernelInt8(apanel, bpanel, k, acc);
+                const std::int64_t i0 = ip * MR;
+                const std::int64_t j0 = jp * NR;
+                const std::int64_t ilim = std::min(MR, m - i0);
+                const std::int64_t jlim = std::min(NR, n - j0);
+                for (std::int64_t i = 0; i < ilim; ++i)
+                    for (std::int64_t j = 0; j < jlim; ++j) {
+                        const std::int64_t total =
+                            static_cast<std::int64_t>(
+                                acc[i * NR + j]) +
+                            row_corr[static_cast<std::size_t>(
+                                i0 + i)] -
+                            static_cast<std::int64_t>(a_zp) *
+                                b_col_sums[static_cast<std::size_t>(
+                                    j0 + j)];
+                        c[(i0 + i) * n + j0 + j] =
+                            requantizeFixedPoint(total, rs, out_zp);
+                    }
+            }
+        },
+        /*min_grain=*/2);
+}
+
+void
+gemvPackedInt8(const PackedAI8View& a, std::span<const std::int8_t> x,
+               std::span<const float> bias, const Int8GemmQuant& q,
+               std::span<std::int8_t> y)
+{
+    EB_CHECK(a.values != nullptr && a.rowSums != nullptr,
+             "gemvPackedInt8: unpacked A");
+    EB_CHECK(a.k <= kGemmInt8MaxK,
+             "gemvPackedInt8: k " << a.k << " exceeds int8 GEMM bound "
+                                  << kGemmInt8MaxK);
+    EB_CHECK(static_cast<std::int64_t>(x.size()) == a.k,
+             "gemvPackedInt8: bad x size");
+    EB_CHECK(bias.empty() ||
+                 static_cast<std::int64_t>(bias.size()) == a.m,
+             "gemvPackedInt8: bias size " << bias.size()
+                                          << " does not match m "
+                                          << a.m);
+    EB_CHECK(static_cast<std::int64_t>(y.size()) == a.m,
+             "gemvPackedInt8: bad y size");
+    const std::int64_t m = a.m;
+    const std::int64_t k = a.k;
+    const double acc_scale = q.a.scale * q.b.scale;
+    const RequantScale rs = makeRequantScale(acc_scale / q.out.scale);
+    const std::int32_t a_zp = q.a.zeroPoint;
+    const std::int32_t b_zp = q.b.zeroPoint;
+    const std::int32_t out_zp = q.out.zeroPoint;
+
+    std::int64_t xsum = 0;
+    for (std::int64_t p = 0; p < k; ++p)
+        xsum += x[p];
+    const std::int64_t col_corr =
+        static_cast<std::int64_t>(a_zp) * xsum;
+
+    parallelFor(
+        a.mPanels(),
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t ip = p0; ip < p1; ++ip) {
+                const std::int8_t* vals = a.panelValues(ip);
+                const std::int32_t* sums = a.panelRowSums(ip);
+                const std::int64_t i0 = ip * MR;
+                const std::int64_t ilim = std::min(MR, m - i0);
+                std::int32_t acc[MR] = {0, 0, 0, 0, 0, 0};
+                for (std::int64_t p = 0; p < k; ++p) {
+                    const std::int32_t xv = x[p];
+                    const std::int8_t* av = vals + p * MR;
+                    for (std::int64_t i = 0; i < MR; ++i)
+                        acc[i] += av[i] * xv;
+                }
+                for (std::int64_t i = 0; i < ilim; ++i) {
+                    const std::int64_t bias_q = bias.empty()
+                        ? 0
+                        : quantizeBiasValue(bias[i0 + i], acc_scale);
+                    const std::int64_t total =
+                        static_cast<std::int64_t>(acc[i]) +
+                        rowCorrection(bias_q, sums[i], k, a_zp,
+                                      b_zp) -
+                        col_corr;
+                    y[i0 + i] = requantizeFixedPoint(total, rs,
+                                                     out_zp);
+                }
+            }
+        },
+        /*min_grain=*/2);
+}
+
+} // namespace core
+} // namespace edgebench

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Pack-and-tile INT8 GEMM engine.
+ *
+ * Integer sibling of the fp32 engine (gemm_packed.hh): it computes an
+ * int8 output matrix from affine-quantized int8 operands with int32
+ * accumulation and a fixed-point requantization epilogue — no
+ * floating point anywhere on the per-element hot path. The
+ * quantization contract (zero-point algebra, bias folding, the
+ * multiplier/shift math and the bit-exactness guarantee against the
+ * naive oracle kernels) is documented in docs/QUANTIZATION.md.
+ *
+ * Layout mirrors the fp32 engine:
+ *
+ * - A (weights) is repacked into kGemmInt8MR-row panels interleaved
+ *   k-major, zero-padded on the ragged row tail. At pack time the
+ *   engine also records each row's raw value sum `sum_p A[i,p]`, so
+ *   the activation-zero-point correction `-b_zp * sum_p A[i,p]` is a
+ *   per-row constant folded into the bias instead of a subtraction
+ *   performed on every multiply-accumulate.
+ * - B (activations / im2col columns) is repacked into kGemmInt8NR
+ *   column panels, k-major, with per-column raw sums recorded for the
+ *   symmetric weight-zero-point correction `-a_zp * sum_p B[p,j]`.
+ *
+ * The microkernel accumulates an MR x NR tile in local int32
+ * accumulators over the full k extent; the epilogue adds the folded
+ * per-row/per-column corrections and requantizes each element with
+ * one int64 multiply plus a rounding right shift
+ * (core::requantizeFixedPoint). Integer accumulation is exact, and
+ * M/N tiling never splits the k loop, so results are bit-identical
+ * for any thread count — and, unlike the fp32 engine, bit-identical
+ * to the naive per-element oracle as well, because integer addition
+ * is associative.
+ *
+ * There is no pruned-chunk skip here: a pruned int8 weight is the
+ * weight zero point, which is nonzero in general, so zero-value
+ * chunks carry no exploitable structure (pruning remains an fp32
+ * story).
+ */
+
+#ifndef EDGEBENCH_CORE_GEMM_PACKED_INT8_HH
+#define EDGEBENCH_CORE_GEMM_PACKED_INT8_HH
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "edgebench/core/quant.hh"
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Microkernel register-tile rows (packed-A panel height). */
+inline constexpr std::int64_t kGemmInt8MR = 6;
+
+/** Microkernel register-tile columns (packed-B panel width). */
+inline constexpr std::int64_t kGemmInt8NR = 8;
+
+/**
+ * Maximum reduction depth. Guarantees (a) the raw int32 tile
+ * accumulator cannot overflow (k * 2^14 < 2^31) and (b) the corrected
+ * int64 accumulator stays below 2^33, the requantizeFixedPoint
+ * overflow bound. 2^16 covers every layer in the model zoo (largest
+ * is VGG's 25088-wide fc1).
+ */
+inline constexpr std::int64_t kGemmInt8MaxK = 65536;
+
+/** ceil(dim / tile), shared by the packed layouts. */
+inline std::int64_t
+gemmInt8Tiles(std::int64_t dim, std::int64_t tile)
+{
+    return (dim + tile - 1) / tile;
+}
+
+/**
+ * Non-owning view of a packed int8 A operand: mPanels() value panels
+ * of k * MR bytes (k-major interleaved, ragged rows zero-padded) plus
+ * MR raw row sums per panel.
+ */
+struct PackedAI8View
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    const std::int8_t* values = nullptr;
+    const std::int32_t* rowSums = nullptr;
+
+    std::int64_t mPanels() const
+    {
+        return gemmInt8Tiles(m, kGemmInt8MR);
+    }
+    const std::int8_t* panelValues(std::int64_t ip) const
+    {
+        return values + ip * k * kGemmInt8MR;
+    }
+    const std::int32_t* panelRowSums(std::int64_t ip) const
+    {
+        return rowSums + ip * kGemmInt8MR;
+    }
+};
+
+/** Bytes required for the packed values of an m x k int8 A operand. */
+inline std::int64_t
+packedAI8ValueCount(std::int64_t m, std::int64_t k)
+{
+    return gemmInt8Tiles(m, kGemmInt8MR) * k * kGemmInt8MR;
+}
+
+/** int32 row-sum entries for an m-row packed A operand. */
+inline std::int64_t
+packedAI8SumCount(std::int64_t m)
+{
+    return gemmInt8Tiles(m, kGemmInt8MR) * kGemmInt8MR;
+}
+
+/** Bytes required for the packed values of a k x n int8 B operand. */
+inline std::int64_t
+packedBI8ValueCount(std::int64_t n, std::int64_t k)
+{
+    return gemmInt8Tiles(n, kGemmInt8NR) * k * kGemmInt8NR;
+}
+
+/** int32 column-sum entries for an n-column packed B operand. */
+inline std::int64_t
+packedBI8SumCount(std::int64_t n)
+{
+    return gemmInt8Tiles(n, kGemmInt8NR) * kGemmInt8NR;
+}
+
+/**
+ * Pack row-major int8 A[m,k] into @p values
+ * (>= packedAI8ValueCount) and @p row_sums (>= packedAI8SumCount),
+ * computing raw per-row sums. Parallelized over panels
+ * (deterministic: disjoint writes). Returns a view over the storage.
+ */
+PackedAI8View packAInt8Into(std::int64_t m, std::int64_t k,
+                            std::span<const std::int8_t> a,
+                            std::span<std::int8_t> values,
+                            std::span<std::int32_t> row_sums);
+
+/**
+ * Heap-owning packed int8 A — the form the interpreter caches per
+ * quantized node. The cache is valid regardless of the activation
+ * quantization of any particular run: zero-point corrections are
+ * folded at call time from the recorded row sums, not baked into the
+ * panels.
+ */
+struct PackedAI8
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::vector<std::int8_t> values;
+    std::vector<std::int32_t> rowSums;
+
+    PackedAI8View view() const
+    {
+        return {m, k, values.data(), rowSums.data()};
+    }
+    double byteSize() const
+    {
+        return static_cast<double>(values.size()) +
+            static_cast<double>(rowSums.size() *
+                                sizeof(std::int32_t));
+    }
+};
+
+/** Pack row-major int8 A[m,k] into a fresh heap-owning PackedAI8. */
+PackedAI8 packAInt8(std::int64_t m, std::int64_t k,
+                    std::span<const std::int8_t> a);
+
+/**
+ * Pack row-major int8 B[k,n] into @p storage
+ * (>= packedBI8ValueCount) and record raw per-column sums in
+ * @p col_sums (>= packedBI8SumCount; ragged-tail entries are 0).
+ * Parallelized over column panels (deterministic: disjoint writes).
+ */
+void packBInt8Into(std::int64_t n, std::int64_t k,
+                   std::span<const std::int8_t> b,
+                   std::span<std::int8_t> storage,
+                   std::span<std::int32_t> col_sums);
+
+/**
+ * Quantization parameters of one integer GEMM:
+ * real(C) = A_real * B_real + bias, with A = a.scale * (q - a.zp)
+ * etc., requantized to `out`. The fixed-point multiplier
+ * (a.scale * b.scale / out.scale) and the quantized bias are derived
+ * inside the engine so every caller — packed, GEMV, naive oracle,
+ * depthwise — shares one definition.
+ */
+struct Int8GemmQuant
+{
+    QuantParams a;   ///< weights (the packed A operand)
+    QuantParams b;   ///< activations (the packed B operand)
+    QuantParams out; ///< requantization target
+};
+
+/**
+ * Quantize one real-domain bias value to the accumulator domain
+ * (step a_scale * b_scale). One definition shared by every integer
+ * kernel so packed and naive results stay bit-identical.
+ */
+inline std::int64_t
+quantizeBiasValue(double bias, double acc_scale)
+{
+    return std::llround(bias / acc_scale);
+}
+
+/**
+ * C[m,n] (int8, row-major, overwritten) = requantized A * B with both
+ * operands packed. @p bias is real-domain, empty or one value per
+ * row of A. Parallelized over C tiles; bit-identical for any thread
+ * count and to the naive oracle.
+ */
+void gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
+                    std::span<const std::int8_t> packed_b,
+                    std::span<const std::int32_t> b_col_sums,
+                    std::span<const float> bias,
+                    const Int8GemmQuant& q, std::span<std::int8_t> c);
+
+/**
+ * y[m] (int8, overwritten) = requantized A * x for one unpacked
+ * activation vector x[k] — the dense/GEMV companion. x streams
+ * directly (no packing); panels stream k-major. Parallelized over row
+ * panels; bit-identical to gemmPackedInt8 with n == 1.
+ */
+void gemvPackedInt8(const PackedAI8View& a,
+                    std::span<const std::int8_t> x,
+                    std::span<const float> bias,
+                    const Int8GemmQuant& q,
+                    std::span<std::int8_t> y);
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_GEMM_PACKED_INT8_HH

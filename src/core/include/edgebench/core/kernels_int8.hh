@@ -3,15 +3,27 @@
  * Quantized (INT8) compute kernels.
  *
  * These follow the TFLite reference semantics: int8 inputs/weights with
- * affine QuantParams, int32 accumulation, fp32 bias added in the real
- * domain, and requantization of the result to the caller-supplied
- * output parameters. The EdgeTPU and TFLite execution paths in the
+ * affine QuantParams, int32 accumulation, fp32 bias quantized to the
+ * accumulator domain, and fixed-point requantization of the result to
+ * the caller-supplied output parameters (docs/QUANTIZATION.md is the
+ * full contract). The EdgeTPU and TFLite execution paths in the
  * framework layer run these kernels for real.
+ *
+ * The production conv/dense paths route through the integer
+ * pack-and-tile engine (gemm_packed_int8.hh). `conv2dInt8Naive` and
+ * `denseInt8Naive` are the direct per-element oracles — same integer
+ * arithmetic, no packing — kept as the bit-exact reference the tests
+ * hold the engine to.
  */
 
 #ifndef EDGEBENCH_CORE_KERNELS_INT8_HH
 #define EDGEBENCH_CORE_KERNELS_INT8_HH
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "edgebench/core/gemm_packed_int8.hh"
 #include "edgebench/core/geometry.hh"
 #include "edgebench/core/tensor.hh"
 
@@ -21,24 +33,97 @@ namespace core
 {
 
 /**
- * Quantized 2D convolution. @p input and @p weights must be kI8
- * tensors; @p bias is fp32 (or empty). Result is a kI8 tensor with
- * parameters @p out_qp. Supports groups (depthwise included).
+ * Quantized 2D convolution (production path: im2col + packed integer
+ * GEMM; depthwise layers take a direct per-plane kernel). @p input and
+ * @p weights must be kI8 tensors; @p bias is fp32 — a default
+ * (empty-shape) tensor means "no bias", anything else must be exactly
+ * [outC] (malformed bias is a hard error). Result is a kI8 tensor
+ * with parameters @p out_qp. Supports groups, stride, dilation.
  */
 Tensor conv2dInt8(const Tensor& input, const Tensor& weights,
                   const Tensor& bias, const Conv2dGeom& g,
                   const QuantParams& out_qp);
 
-/** Quantized fully-connected layer; same conventions as conv2dInt8. */
+/**
+ * Direct per-element quantized convolution oracle. Bit-identical to
+ * conv2dInt8 (same zero-point algebra, bias quantization and
+ * fixed-point requantization), kept naive on purpose as the reference
+ * the packed engine is tested against.
+ */
+Tensor conv2dInt8Naive(const Tensor& input, const Tensor& weights,
+                       const Tensor& bias, const Conv2dGeom& g,
+                       const QuantParams& out_qp);
+
+/**
+ * Pre-packed int8 conv weights: one packed-A panel set (values + row
+ * sums) per group. Empty for depthwise layers, whose direct kernel
+ * reads the raw weight tensor. Activation-agnostic: zero-point
+ * corrections fold at call time, so one packing serves any input
+ * quantization.
+ */
+struct PackedConvWeightsI8
+{
+    std::vector<PackedAI8> groups;
+};
+
+/** One-time weight packing for conv2dInt8Packed (interpreter cache). */
+PackedConvWeightsI8 packConv2dWeightsInt8(const Tensor& weights,
+                                          const Conv2dGeom& g);
+
+/**
+ * conv2dInt8 consuming pre-packed weights: identical results with zero
+ * steady-state packing cost. @p weights is the raw int8 weight tensor
+ * (quant params, shape checks; depthwise direct path).
+ */
+Tensor conv2dInt8Packed(const Tensor& input, const Tensor& weights,
+                        const PackedConvWeightsI8& packed,
+                        const Tensor& bias, const Conv2dGeom& g,
+                        const QuantParams& out_qp);
+
+/**
+ * Quantized fully-connected layer (production path: packed integer
+ * GEMV per batch row); same conventions as conv2dInt8.
+ */
 Tensor denseInt8(const Tensor& input, const Tensor& weights,
                  const Tensor& bias, const DenseGeom& g,
                  const QuantParams& out_qp);
+
+/** Direct per-element quantized dense oracle (see conv2dInt8Naive). */
+Tensor denseInt8Naive(const Tensor& input, const Tensor& weights,
+                      const Tensor& bias, const DenseGeom& g,
+                      const QuantParams& out_qp);
+
+/** One-time weight packing for denseInt8Packed (interpreter cache). */
+PackedAI8 packDenseWeightsInt8(const Tensor& weights,
+                               const DenseGeom& g);
+
+/**
+ * denseInt8 consuming pre-packed weights; bit-identical to denseInt8.
+ * @p weights is the raw int8 weight tensor (quant params, checks).
+ */
+Tensor denseInt8Packed(const Tensor& input, const Tensor& weights,
+                       const PackedAI8& packed, const Tensor& bias,
+                       const DenseGeom& g, const QuantParams& out_qp);
+
+/**
+ * int8 im2col for one convolution group: out-of-bounds taps read as
+ * @p pad_value (the input zero point, i.e. real zero — the int8
+ * sibling of the fp32 kernel's zero padding). Column matrix layout
+ * matches im2col: one contiguous outH*outW slice per patch row.
+ */
+void im2colInt8(std::span<const std::int8_t> image, const Conv2dGeom& g,
+                std::int64_t group, std::int8_t pad_value,
+                std::span<std::int8_t> columns);
 
 /** Quantized ReLU family: clamps in the quantized domain. */
 Tensor reluInt8(const Tensor& input);
 Tensor relu6Int8(const Tensor& input);
 
-/** Quantized residual add: requantizes both sides to @p out_qp. */
+/**
+ * Quantized residual add: requantizes both sides to @p out_qp with a
+ * shared-shift dual fixed-point multiplier — pure integer per
+ * element, no per-element double math.
+ */
 Tensor addInt8(const Tensor& a, const Tensor& b,
                const QuantParams& out_qp);
 

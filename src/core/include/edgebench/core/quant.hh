@@ -10,6 +10,7 @@
 #ifndef EDGEBENCH_CORE_QUANT_HH
 #define EDGEBENCH_CORE_QUANT_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -58,6 +59,66 @@ std::vector<float> dequantize(std::span<const std::int8_t> src,
 /** Observe min/max over a buffer (calibration). */
 void observeMinMax(std::span<const float> src, double& min_val,
                    double& max_val);
+
+/**
+ * @name Fixed-point requantization
+ *
+ * The integer kernels scale an int32/int64 accumulator to the output
+ * quantization domain without touching floating point on the hot
+ * path: a positive real multiplier M (typically
+ * `in_scale * weight_scale / out_scale`) is represented once as
+ * `multiplier / 2^shift` with `multiplier` normalized to
+ * [2^29, 2^30), and each accumulator is then mapped with one int64
+ * multiply and a rounding right shift. docs/QUANTIZATION.md derives
+ * the math and its error bound.
+ */
+/// @{
+
+/** Fixed-point representation of a positive real multiplier. */
+struct RequantScale
+{
+    /** Mantissa, normalized to [2^29, 2^30). */
+    std::int64_t multiplier = 0;
+    /** Binary exponent: the represented value is multiplier/2^shift. */
+    std::int32_t shift = 0;
+};
+
+/**
+ * Decompose @p real_multiplier (must be positive, finite, and small
+ * enough that the normalized shift lands in [1, 62] — true for every
+ * scale triple the int8 range can produce) into a RequantScale with a
+ * 30-bit mantissa: the represented value differs from
+ * @p real_multiplier by < 2^-30 relative.
+ */
+RequantScale makeRequantScale(double real_multiplier);
+
+/**
+ * Arithmetic right shift by @p shift in [1, 62] with round-half-up
+ * (ties toward +infinity) — the integer equivalent of
+ * `round(x / 2^shift)`.
+ */
+inline std::int64_t
+roundingRightShift(std::int64_t x, std::int32_t shift)
+{
+    return (x + (std::int64_t{1} << (shift - 1))) >> shift;
+}
+
+/**
+ * Map accumulator @p acc to int8: `clamp(round(acc * rs) + zp)`.
+ * Requires |acc| < 2^33 so the int64 product cannot overflow; the
+ * packed int8 GEMM guarantees this via its k <= kGemmInt8MaxK limit.
+ */
+inline std::int8_t
+requantizeFixedPoint(std::int64_t acc, const RequantScale& rs,
+                     std::int32_t zero_point)
+{
+    const std::int64_t q =
+        roundingRightShift(acc * rs.multiplier, rs.shift) + zero_point;
+    return static_cast<std::int8_t>(
+        std::clamp<std::int64_t>(q, -128, 127));
+}
+
+/// @}
 
 /**
  * Max absolute quantization round-trip error for parameters @p qp:

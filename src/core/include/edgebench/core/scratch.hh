@@ -26,6 +26,7 @@
 #define EDGEBENCH_CORE_SCRATCH_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace edgebench
@@ -44,18 +45,33 @@ enum class ScratchSlot
     kGemmPackB,       ///< packed-B panels (gemmPackB / conv2d)
     kRnnPackIh,       ///< ad-hoc packed input-hidden RNN weights
     kRnnPackHh,       ///< ad-hoc packed hidden-hidden RNN weights
+    kIm2ColI8,        ///< int8 conv column matrix
+    kGemmPackAI8,     ///< ad-hoc packed int8 A panels (+ row sums)
+    kGemmPackBI8,     ///< packed int8 B panels (+ column sums)
+    kInt8RowCorr,     ///< folded per-row int8 GEMM corrections
     kCount
 };
 
 /**
  * Borrow an uninitialized float span of @p n elements from the calling
  * thread's arena. Contents are unspecified; valid until the same slot
- * is borrowed again on this thread.
+ * is borrowed again on this thread. Arenas are per element type: the
+ * same slot borrowed at two different types (e.g. scratchI8 and
+ * scratchI32 on kGemmPackAI8) yields two independent buffers.
  */
 std::span<float> scratchF32(ScratchSlot slot, std::size_t n);
 
 /** Same, for double-precision accumulator scratch. */
 std::span<double> scratchF64(ScratchSlot slot, std::size_t n);
+
+/** Same, for quantized int8 operand scratch. */
+std::span<std::int8_t> scratchI8(ScratchSlot slot, std::size_t n);
+
+/** Same, for int32 sum/correction scratch. */
+std::span<std::int32_t> scratchI32(ScratchSlot slot, std::size_t n);
+
+/** Same, for int64 accumulator/correction scratch. */
+std::span<std::int64_t> scratchI64(ScratchSlot slot, std::size_t n);
 
 /** Total bytes currently reserved by this thread's arenas (tests). */
 std::size_t scratchBytesReserved();

@@ -47,6 +47,14 @@ class Tensor
     static Tensor randomNormal(Shape shape, Rng& rng, double stddev = 1.0);
     static Tensor randomUniform(Shape shape, Rng& rng, double lo,
                                 double hi);
+    /**
+     * Adopt already-quantized int8 values verbatim (no fp32 staging
+     * round trip). The integer kernels build their outputs this way;
+     * dequantize(quantize(x)) == x element-wise, so adopting computed
+     * q values is bit-identical to staging them through fp32.
+     */
+    static Tensor fromInt8(Shape shape, std::vector<std::int8_t> data,
+                           const QuantParams& qp);
     /// @}
 
     const Shape& shape() const { return shape_; }

@@ -6,6 +6,7 @@
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
+#include "edgebench/core/scratch.hh"
 
 namespace edgebench
 {
@@ -15,46 +16,276 @@ namespace core
 namespace
 {
 
-std::int8_t
-requantize(double real, const QuantParams& out_qp)
+/**
+ * Strict bias validation shared by every integer conv/dense path: a
+ * default (scalar-shaped, empty-shape) tensor means "no bias";
+ * anything else must be exactly [out_c]. A malformed bias is a hard
+ * error, never silently ignored (the fp32 kernels adopted the same
+ * contract in the pack-and-tile PR).
+ */
+bool
+checkBiasInt8(const Tensor& bias, std::int64_t out_c, const char* what)
 {
-    const double q = std::nearbyint(real / out_qp.scale) +
-        out_qp.zeroPoint;
-    return static_cast<std::int8_t>(std::clamp(q, -128.0, 127.0));
+    if (bias.shape().empty())
+        return false;
+    EB_CHECK(bias.shape() == Shape({out_c}),
+             what << ": bad bias shape " << shapeToString(bias.shape())
+                  << " != expected " << shapeToString(Shape{out_c}));
+    return true;
+}
+
+void
+checkConvOperandsInt8(const Tensor& input, const Tensor& weights,
+                      const Conv2dGeom& g, const char* what)
+{
+    EB_CHECK(input.dtype() == DType::kI8 &&
+                 weights.dtype() == DType::kI8,
+             what << ": inputs must be int8");
+    EB_CHECK(input.shape() == Shape({g.n, g.inC, g.inH, g.inW}),
+             what << ": input shape " << shapeToString(input.shape())
+                  << " != expected "
+                  << shapeToString(Shape{g.n, g.inC, g.inH, g.inW}));
+    EB_CHECK(weights.shape() ==
+                 Shape({g.outC, g.inC / g.groups, g.kH, g.kW}),
+             what << ": bad weight shape "
+                  << shapeToString(weights.shape()));
+}
+
+/** True when the direct depthwise kernel applies (one input channel
+ * per group; depth multipliers outC > groups included). */
+bool
+isDepthwiseInt8(const Conv2dGeom& g)
+{
+    return g.groups > 1 && g.inC == g.groups;
+}
+
+/** The input zero point as the int8 padding value (real zero). */
+std::int8_t
+padValueInt8(const QuantParams& qp)
+{
+    return static_cast<std::int8_t>(
+        std::clamp<std::int32_t>(qp.zeroPoint, -128, 127));
+}
+
+/**
+ * Direct depthwise integer convolution: each output plane reads one
+ * input plane, so im2col and the GEMM dispatch are pure overhead.
+ * Same integer arithmetic as the naive oracle (int32 raw products,
+ * folded bias, fixed-point requant), so results stay bit-identical to
+ * conv2dInt8Naive. One task per (batch, output-channel) plane.
+ */
+Tensor
+conv2dInt8Depthwise(const Tensor& input, const Tensor& weights,
+                    const Tensor& bias, const Conv2dGeom& g,
+                    bool has_bias, const QuantParams& out_qp)
+{
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    const QuantParams iq = input.quantParams();
+    const QuantParams wq = weights.quantParams();
+    const double acc_scale = iq.scale * wq.scale;
+    const RequantScale rs =
+        makeRequantScale(acc_scale / out_qp.scale);
+    std::vector<std::int8_t> out(
+        static_cast<std::size_t>(g.n * g.outC * oh * ow));
+    auto in = input.qdata();
+    auto w = weights.qdata();
+    parallelFor(
+        g.n * g.outC,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const std::int64_t b = p / g.outC;
+                const std::int64_t oc = p % g.outC;
+                const std::int64_t ic = oc / ocg;
+                const std::int8_t* iplane =
+                    in.data() + (b * g.inC + ic) * g.inH * g.inW;
+                const std::int8_t* wk = w.data() + oc * g.kH * g.kW;
+                const std::int64_t bias_q = has_bias
+                    ? quantizeBiasValue(bias.at(oc), acc_scale)
+                    : 0;
+                std::int8_t* oplane = out.data() + p * oh * ow;
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        std::int32_t acc = 0;
+                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                            const std::int64_t iy =
+                                oy * g.strideH - g.padH + ky * g.dilH;
+                            if (iy < 0 || iy >= g.inH)
+                                continue;
+                            for (std::int64_t kx = 0; kx < g.kW;
+                                 ++kx) {
+                                const std::int64_t ix =
+                                    ox * g.strideW - g.padW +
+                                    kx * g.dilW;
+                                if (ix < 0 || ix >= g.inW)
+                                    continue;
+                                acc += (iplane[iy * g.inW + ix] -
+                                        iq.zeroPoint) *
+                                    (wk[ky * g.kW + kx] -
+                                     wq.zeroPoint);
+                            }
+                        }
+                        oplane[oy * ow + ox] = requantizeFixedPoint(
+                            acc + bias_q, rs, out_qp.zeroPoint);
+                    }
+                }
+            }
+        },
+        /*min_grain=*/2);
+    return Tensor::fromInt8(Shape{g.n, g.outC, oh, ow}, std::move(out),
+                            out_qp);
+}
+
+/**
+ * Shared int8 im2col + packed-GEMM body: per-group weight panels come
+ * from the caller (packed once per call, or once per model via the
+ * interpreter's cache) and are reused across the whole batch loop.
+ */
+Tensor
+conv2dInt8Im2colPacked(const Tensor& input,
+                       const std::vector<PackedAI8View>& wpanels,
+                       const QuantParams& wq, const Tensor& bias,
+                       const Conv2dGeom& g, bool has_bias,
+                       const QuantParams& out_qp)
+{
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    const std::int64_t patch = cg * g.kH * g.kW;
+    const QuantParams iq = input.quantParams();
+    const Int8GemmQuant quant{wq, iq, out_qp};
+    // 1x1 stride-1 unpadded convolutions read the input verbatim, so
+    // pack B straight from the image instead of materializing the
+    // column matrix (mirrors the fp32 pointwise shortcut).
+    const bool pointwise = g.kH == 1 && g.kW == 1 && g.strideH == 1 &&
+        g.strideW == 1 && g.padH == 0 && g.padW == 0;
+    std::vector<std::int8_t> out(
+        static_cast<std::size_t>(g.n * g.outC * oh * ow));
+    // Scratch borrows hoisted out of the batch/group loops: one column
+    // matrix and one packed-B panel set (values + column sums), reused
+    // for every (batch, group) iteration.
+    std::span<std::int8_t> columns;
+    if (!pointwise)
+        columns = scratchI8(ScratchSlot::kIm2ColI8,
+                            static_cast<std::size_t>(patch * oh * ow));
+    std::span<std::int8_t> packed_b = scratchI8(
+        ScratchSlot::kGemmPackBI8,
+        static_cast<std::size_t>(packedBI8ValueCount(oh * ow, patch)));
+    std::span<std::int32_t> col_sums = scratchI32(
+        ScratchSlot::kGemmPackBI8,
+        static_cast<std::size_t>(packedBI8SumCount(oh * ow)));
+    std::span<const float> bias_all;
+    if (has_bias)
+        bias_all = bias.data();
+    auto in = input.qdata();
+    for (std::int64_t b = 0; b < g.n; ++b) {
+        std::span<const std::int8_t> image = in.subspan(
+            static_cast<std::size_t>(b * g.inC * g.inH * g.inW),
+            static_cast<std::size_t>(g.inC * g.inH * g.inW));
+        for (std::int64_t grp = 0; grp < g.groups; ++grp) {
+            if (pointwise) {
+                packBInt8Into(
+                    oh * ow, patch,
+                    image.subspan(
+                        static_cast<std::size_t>(grp * cg * g.inH *
+                                                 g.inW),
+                        static_cast<std::size_t>(patch * oh * ow)),
+                    packed_b, col_sums);
+            } else {
+                im2colInt8(image, g, grp, padValueInt8(iq), columns);
+                packBInt8Into(oh * ow, patch, columns, packed_b,
+                              col_sums);
+            }
+            std::span<const float> bias_grp;
+            if (has_bias)
+                bias_grp = bias_all.subspan(
+                    static_cast<std::size_t>(grp * ocg),
+                    static_cast<std::size_t>(ocg));
+            std::span<std::int8_t> omat(
+                out.data() + ((b * g.outC) + grp * ocg) * oh * ow,
+                static_cast<std::size_t>(ocg * oh * ow));
+            gemmPackedInt8(wpanels[static_cast<std::size_t>(grp)],
+                           oh * ow, packed_b, col_sums, bias_grp,
+                           quant, omat);
+        }
+    }
+    return Tensor::fromInt8(Shape{g.n, g.outC, oh, ow}, std::move(out),
+                            out_qp);
 }
 
 } // namespace
 
+void
+im2colInt8(std::span<const std::int8_t> image, const Conv2dGeom& g,
+           std::int64_t group, std::int8_t pad_value,
+           std::span<std::int8_t> columns)
+{
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    EB_CHECK(static_cast<std::int64_t>(columns.size()) ==
+                 cg * g.kH * g.kW * oh * ow,
+             "im2colInt8: bad columns size");
+    const std::int64_t c0 = group * cg;
+    // Each patch row (c, ky, kx) owns one contiguous oh*ow slice of
+    // the column matrix; partition the rows across the workers.
+    parallelFor(
+        cg * g.kH * g.kW,
+        [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t c = r / (g.kH * g.kW);
+                const std::int64_t ky = (r / g.kW) % g.kH;
+                const std::int64_t kx = r % g.kW;
+                std::int8_t* row = columns.data() + r * oh * ow;
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    const std::int64_t iy =
+                        oy * g.strideH - g.padH + ky * g.dilH;
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        const std::int64_t ix =
+                            ox * g.strideW - g.padW + kx * g.dilW;
+                        std::int8_t v = pad_value;
+                        if (iy >= 0 && iy < g.inH && ix >= 0 &&
+                            ix < g.inW) {
+                            v = image[((c0 + c) * g.inH + iy) * g.inW +
+                                      ix];
+                        }
+                        row[oy * ow + ox] = v;
+                    }
+                }
+            }
+        },
+        /*min_grain=*/4);
+}
+
 Tensor
-conv2dInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
-           const Conv2dGeom& g, const QuantParams& out_qp)
+conv2dInt8Naive(const Tensor& input, const Tensor& weights,
+                const Tensor& bias, const Conv2dGeom& g,
+                const QuantParams& out_qp)
 {
     g.validate();
-    EB_CHECK(input.dtype() == DType::kI8 &&
-                 weights.dtype() == DType::kI8,
-             "conv2dInt8: inputs must be int8");
-    EB_CHECK(input.shape() == Shape({g.n, g.inC, g.inH, g.inW}),
-             "conv2dInt8: bad input shape");
+    checkConvOperandsInt8(input, weights, g, "conv2dInt8Naive");
+    const bool has_bias =
+        checkBiasInt8(bias, g.outC, "conv2dInt8Naive");
     const std::int64_t cg = g.inC / g.groups;
     const std::int64_t ocg = g.outC / g.groups;
-    EB_CHECK(weights.shape() == Shape({g.outC, cg, g.kH, g.kW}),
-             "conv2dInt8: bad weight shape");
-    const bool has_bias = bias.shape() == Shape{g.outC};
 
     const QuantParams iq = input.quantParams();
     const QuantParams wq = weights.quantParams();
     const double acc_scale = iq.scale * wq.scale;
+    const RequantScale rs =
+        makeRequantScale(acc_scale / out_qp.scale);
 
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
-    // Build fp32 staging of the quantized result, then quantize once.
-    std::vector<float> staging(
+    std::vector<std::int8_t> out(
         static_cast<std::size_t>(g.n * g.outC * oh * ow));
     auto in = input.qdata();
     auto w = weights.qdata();
     // Partition (batch, output-channel) planes across workers; integer
-    // accumulation per element is order-independent anyway, but the
-    // per-element loop order is also left untouched.
+    // accumulation is order-independent, but the per-element loop
+    // order is also left untouched.
     parallelFor(
         g.n * g.outC,
         [&](std::int64_t p0, std::int64_t p1) {
@@ -62,6 +293,9 @@ conv2dInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
                 const std::int64_t b = p / g.outC;
                 const std::int64_t oc = p % g.outC;
                 const std::int64_t grp = oc / ocg;
+                const std::int64_t bias_q = has_bias
+                    ? quantizeBiasValue(bias.at(oc), acc_scale)
+                    : 0;
                 for (std::int64_t oy = 0; oy < oh; ++oy)
                 for (std::int64_t ox = 0; ox < ow; ++ox) {
                     std::int64_t acc = 0;
@@ -76,7 +310,7 @@ conv2dInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
                                     g.padW + kx * g.dilW;
                                 // Out-of-bounds reads behave as
                                 // real-zero input (quantized value ==
-                                // input zero point).
+                                // input zero point), contributing 0.
                                 const std::int32_t qi =
                                     (iy >= 0 && iy < g.inH && ix >= 0 &&
                                      ix < g.inW)
@@ -92,39 +326,172 @@ conv2dInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
                             }
                         }
                     }
-                    double real = static_cast<double>(acc) * acc_scale;
-                    if (has_bias)
-                        real += bias.at(oc);
-                    staging[static_cast<std::size_t>(
+                    out[static_cast<std::size_t>(
                         (p * oh + oy) * ow + ox)] =
-                        static_cast<float>(real);
+                        requantizeFixedPoint(acc + bias_q, rs,
+                                             out_qp.zeroPoint);
                 }
             }
         },
         /*min_grain=*/2);
-    Tensor staged(Shape{g.n, g.outC, oh, ow}, std::move(staging));
-    return staged.toInt8(out_qp);
+    return Tensor::fromInt8(Shape{g.n, g.outC, oh, ow}, std::move(out),
+                            out_qp);
+}
+
+PackedConvWeightsI8
+packConv2dWeightsInt8(const Tensor& weights, const Conv2dGeom& g)
+{
+    g.validate();
+    EB_CHECK(weights.dtype() == DType::kI8,
+             "packConv2dWeightsInt8: weights must be int8");
+    EB_CHECK(weights.shape() ==
+                 Shape({g.outC, g.inC / g.groups, g.kH, g.kW}),
+             "packConv2dWeightsInt8: bad weight shape "
+                 << shapeToString(weights.shape()));
+    PackedConvWeightsI8 packed;
+    if (isDepthwiseInt8(g))
+        return packed; // direct kernel reads the raw weight tensor
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t patch = cg * g.kH * g.kW;
+    auto w = weights.qdata();
+    packed.groups.reserve(static_cast<std::size_t>(g.groups));
+    for (std::int64_t grp = 0; grp < g.groups; ++grp)
+        packed.groups.push_back(packAInt8(
+            ocg, patch,
+            w.subspan(static_cast<std::size_t>(grp * ocg * patch),
+                      static_cast<std::size_t>(ocg * patch))));
+    return packed;
 }
 
 Tensor
-denseInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
-          const DenseGeom& g, const QuantParams& out_qp)
+conv2dInt8Packed(const Tensor& input, const Tensor& weights,
+                 const PackedConvWeightsI8& packed, const Tensor& bias,
+                 const Conv2dGeom& g, const QuantParams& out_qp)
 {
     g.validate();
+    checkConvOperandsInt8(input, weights, g, "conv2dInt8Packed");
+    const bool has_bias =
+        checkBiasInt8(bias, g.outC, "conv2dInt8Packed");
+    if (isDepthwiseInt8(g))
+        return conv2dInt8Depthwise(input, weights, bias, g, has_bias,
+                                   out_qp);
+    EB_CHECK(static_cast<std::int64_t>(packed.groups.size()) ==
+                 g.groups,
+             "conv2dInt8Packed: packed weights for "
+                 << packed.groups.size() << " groups, geometry has "
+                 << g.groups);
+    std::vector<PackedAI8View> views;
+    views.reserve(packed.groups.size());
+    for (const PackedAI8& pa : packed.groups)
+        views.push_back(pa.view());
+    return conv2dInt8Im2colPacked(input, views, weights.quantParams(),
+                                  bias, g, has_bias, out_qp);
+}
+
+Tensor
+conv2dInt8(const Tensor& input, const Tensor& weights,
+           const Tensor& bias, const Conv2dGeom& g,
+           const QuantParams& out_qp)
+{
+    g.validate();
+    checkConvOperandsInt8(input, weights, g, "conv2dInt8");
+    const bool has_bias = checkBiasInt8(bias, g.outC, "conv2dInt8");
+    if (isDepthwiseInt8(g))
+        return conv2dInt8Depthwise(input, weights, bias, g, has_bias,
+                                   out_qp);
+    // Weight packing hoisted out of the batch loop: all groups packed
+    // once per call into a single pair of scratch borrows (values +
+    // row sums), reused for every batch element.
+    const std::int64_t cg = g.inC / g.groups;
+    const std::int64_t ocg = g.outC / g.groups;
+    const std::int64_t patch = cg * g.kH * g.kW;
+    const std::int64_t vals_per_group = packedAI8ValueCount(ocg, patch);
+    const std::int64_t sums_per_group = packedAI8SumCount(ocg);
+    std::span<std::int8_t> pa_vals = scratchI8(
+        ScratchSlot::kGemmPackAI8,
+        static_cast<std::size_t>(g.groups * vals_per_group));
+    std::span<std::int32_t> pa_sums = scratchI32(
+        ScratchSlot::kGemmPackAI8,
+        static_cast<std::size_t>(g.groups * sums_per_group));
+    auto w = weights.qdata();
+    std::vector<PackedAI8View> views;
+    views.reserve(static_cast<std::size_t>(g.groups));
+    for (std::int64_t grp = 0; grp < g.groups; ++grp)
+        views.push_back(packAInt8Into(
+            ocg, patch,
+            w.subspan(static_cast<std::size_t>(grp * ocg * patch),
+                      static_cast<std::size_t>(ocg * patch)),
+            pa_vals.subspan(
+                static_cast<std::size_t>(grp * vals_per_group)),
+            pa_sums.subspan(
+                static_cast<std::size_t>(grp * sums_per_group))));
+    return conv2dInt8Im2colPacked(input, views, weights.quantParams(),
+                                  bias, g, has_bias, out_qp);
+}
+
+namespace
+{
+
+void
+checkDenseOperandsInt8(const Tensor& input, const Tensor& weights,
+                       const DenseGeom& g, const char* what)
+{
     EB_CHECK(input.dtype() == DType::kI8 &&
                  weights.dtype() == DType::kI8,
-             "denseInt8: inputs must be int8");
+             what << ": inputs must be int8");
     EB_CHECK(input.numel() == g.batch * g.inFeatures,
-             "denseInt8: bad input size");
+             what << ": bad input size");
     EB_CHECK(weights.shape() == Shape({g.outFeatures, g.inFeatures}),
-             "denseInt8: bad weight shape");
-    const bool has_bias = bias.shape() == Shape{g.outFeatures};
+             what << ": bad weight shape "
+                  << shapeToString(weights.shape()));
+}
+
+/** Dense body over packed int8 weights: one GEMV per batch row. */
+Tensor
+denseInt8PackedImpl(const Tensor& input, const PackedAI8View& pa,
+                    const QuantParams& wq, const Tensor& bias,
+                    const DenseGeom& g, bool has_bias,
+                    const QuantParams& out_qp)
+{
+    const Int8GemmQuant quant{wq, input.quantParams(), out_qp};
+    std::span<const float> bias_span;
+    if (has_bias)
+        bias_span = bias.data();
+    std::vector<std::int8_t> out(
+        static_cast<std::size_t>(g.batch * g.outFeatures));
+    auto in = input.qdata();
+    for (std::int64_t b = 0; b < g.batch; ++b)
+        gemvPackedInt8(
+            pa,
+            in.subspan(static_cast<std::size_t>(b * g.inFeatures),
+                       static_cast<std::size_t>(g.inFeatures)),
+            bias_span, quant,
+            {out.data() + b * g.outFeatures,
+             static_cast<std::size_t>(g.outFeatures)});
+    return Tensor::fromInt8(Shape{g.batch, g.outFeatures},
+                            std::move(out), out_qp);
+}
+
+} // namespace
+
+Tensor
+denseInt8Naive(const Tensor& input, const Tensor& weights,
+               const Tensor& bias, const DenseGeom& g,
+               const QuantParams& out_qp)
+{
+    g.validate();
+    checkDenseOperandsInt8(input, weights, g, "denseInt8Naive");
+    const bool has_bias =
+        checkBiasInt8(bias, g.outFeatures, "denseInt8Naive");
 
     const QuantParams iq = input.quantParams();
     const QuantParams wq = weights.quantParams();
     const double acc_scale = iq.scale * wq.scale;
+    const RequantScale rs =
+        makeRequantScale(acc_scale / out_qp.scale);
 
-    std::vector<float> staging(
+    std::vector<std::int8_t> out(
         static_cast<std::size_t>(g.batch * g.outFeatures));
     auto in = input.qdata();
     auto w = weights.qdata();
@@ -142,21 +509,80 @@ denseInt8(const Tensor& input, const Tensor& weights, const Tensor& bias,
                     acc += static_cast<std::int64_t>(
                                irow[i] - iq.zeroPoint) *
                         (wrow[i] - wq.zeroPoint);
-                double real = static_cast<double>(acc) * acc_scale;
-                if (has_bias)
-                    real += bias.at(of);
-                staging[static_cast<std::size_t>(j)] =
-                    static_cast<float>(real);
+                const std::int64_t bias_q = has_bias
+                    ? quantizeBiasValue(bias.at(of), acc_scale)
+                    : 0;
+                out[static_cast<std::size_t>(j)] = requantizeFixedPoint(
+                    acc + bias_q, rs, out_qp.zeroPoint);
             }
         },
         /*min_grain=*/16);
-    Tensor staged(Shape{g.batch, g.outFeatures}, std::move(staging));
-    return staged.toInt8(out_qp);
+    return Tensor::fromInt8(Shape{g.batch, g.outFeatures},
+                            std::move(out), out_qp);
+}
+
+PackedAI8
+packDenseWeightsInt8(const Tensor& weights, const DenseGeom& g)
+{
+    g.validate();
+    EB_CHECK(weights.dtype() == DType::kI8,
+             "packDenseWeightsInt8: weights must be int8");
+    EB_CHECK(weights.shape() == Shape({g.outFeatures, g.inFeatures}),
+             "packDenseWeightsInt8: bad weight shape "
+                 << shapeToString(weights.shape()));
+    return packAInt8(g.outFeatures, g.inFeatures, weights.qdata());
+}
+
+Tensor
+denseInt8Packed(const Tensor& input, const Tensor& weights,
+                const PackedAI8& packed, const Tensor& bias,
+                const DenseGeom& g, const QuantParams& out_qp)
+{
+    g.validate();
+    checkDenseOperandsInt8(input, weights, g, "denseInt8Packed");
+    const bool has_bias =
+        checkBiasInt8(bias, g.outFeatures, "denseInt8Packed");
+    EB_CHECK(packed.m == g.outFeatures && packed.k == g.inFeatures,
+             "denseInt8Packed: packed weights are "
+                 << packed.m << "x" << packed.k << ", geometry wants "
+                 << g.outFeatures << "x" << g.inFeatures);
+    return denseInt8PackedImpl(input, packed.view(),
+                               weights.quantParams(), bias, g,
+                               has_bias, out_qp);
+}
+
+Tensor
+denseInt8(const Tensor& input, const Tensor& weights,
+          const Tensor& bias, const DenseGeom& g,
+          const QuantParams& out_qp)
+{
+    g.validate();
+    checkDenseOperandsInt8(input, weights, g, "denseInt8");
+    const bool has_bias =
+        checkBiasInt8(bias, g.outFeatures, "denseInt8");
+    // Ad-hoc path: pack the weights into scratch (values + row sums),
+    // then run the same GEMV body as the cached path.
+    std::span<std::int8_t> pa_vals = scratchI8(
+        ScratchSlot::kGemmPackAI8,
+        static_cast<std::size_t>(
+            packedAI8ValueCount(g.outFeatures, g.inFeatures)));
+    std::span<std::int32_t> pa_sums = scratchI32(
+        ScratchSlot::kGemmPackAI8,
+        static_cast<std::size_t>(packedAI8SumCount(g.outFeatures)));
+    const PackedAI8View pa = packAInt8Into(
+        g.outFeatures, g.inFeatures, weights.qdata(), pa_vals, pa_sums);
+    return denseInt8PackedImpl(input, pa, weights.quantParams(), bias,
+                               g, has_bias, out_qp);
 }
 
 namespace
 {
 
+/**
+ * Clamp in the quantized domain: the bounds are mapped to quantized
+ * values once, then every element is a pure int8 clamp. Clamping
+ * never changes the QuantParams, so no requantization is involved.
+ */
 Tensor
 clampInt8(const Tensor& input, double real_lo, double real_hi)
 {
@@ -172,22 +598,19 @@ clampInt8(const Tensor& input, double real_lo, double real_hi)
             127, static_cast<std::int32_t>(
                      std::lround(real_hi / qp.scale + qp.zeroPoint)));
     }
-    std::vector<float> staging(static_cast<std::size_t>(input.numel()));
+    std::vector<std::int8_t> out(
+        static_cast<std::size_t>(input.numel()));
     auto q = input.qdata();
     parallelFor(
         static_cast<std::int64_t>(q.size()),
         [&](std::int64_t i0, std::int64_t i1) {
-            for (std::int64_t i = i0; i < i1; ++i) {
-                const std::int32_t clamped = std::clamp<std::int32_t>(
-                    q[i], qlo, qhi);
-                staging[static_cast<std::size_t>(i)] =
-                    static_cast<float>(dequantizeValue(
-                        static_cast<std::int8_t>(clamped), qp));
-            }
+            for (std::int64_t i = i0; i < i1; ++i)
+                out[static_cast<std::size_t>(i)] =
+                    static_cast<std::int8_t>(std::clamp<std::int32_t>(
+                        q[i], qlo, qhi));
         },
         /*min_grain=*/4096);
-    Tensor staged(input.shape(), std::move(staging));
-    return staged.toInt8(qp);
+    return Tensor::fromInt8(input.shape(), std::move(out), qp);
 }
 
 } // namespace
@@ -213,26 +636,43 @@ addInt8(const Tensor& a, const Tensor& b, const QuantParams& out_qp)
     EB_CHECK(sameShape(a.shape(), b.shape()), "addInt8: shape mismatch");
     const QuantParams aq = a.quantParams();
     const QuantParams bq = b.quantParams();
+    // Both operands rescale to the output grid through fixed-point
+    // multipliers sharing one shift:
+    //   q_out = rrs((q_a - z_a) * m_a + (q_b - z_b) * m_b, s) + z_out
+    // with m = round(scale_ratio * 2^s) and s chosen so the larger
+    // ratio lands on a 30-bit mantissa. |q - z| <= 255 and m <= 2^30
+    // bound each term by 2^38, far inside int64.
+    const double ratio_a = aq.scale / out_qp.scale;
+    const double ratio_b = bq.scale / out_qp.scale;
+    EB_CHECK(std::isfinite(ratio_a) && ratio_a > 0.0 &&
+                 std::isfinite(ratio_b) && ratio_b > 0.0,
+             "addInt8: bad scale ratio");
+    int exponent = 0;
+    std::frexp(std::max(ratio_a, ratio_b), &exponent);
+    const std::int32_t shift = 30 - exponent;
+    EB_CHECK(shift >= 1 && shift <= 62,
+             "addInt8: scale ratio out of fixed-point range");
+    const std::int64_t mult_a = std::llround(std::ldexp(ratio_a, shift));
+    const std::int64_t mult_b = std::llround(std::ldexp(ratio_b, shift));
     auto pa = a.qdata();
     auto pb = b.qdata();
-    // Re-wrap as an int8 tensor via a staging fp32 tensor; per element
-    // the value goes dequantize -> add -> requantize -> dequantize,
-    // exactly as the former two-pass loop computed it.
-    std::vector<float> staging(pa.size());
+    std::vector<std::int8_t> out(pa.size());
     parallelFor(
         static_cast<std::int64_t>(pa.size()),
         [&](std::int64_t i0, std::int64_t i1) {
             for (std::int64_t i = i0; i < i1; ++i) {
-                const double real = dequantizeValue(pa[i], aq) +
-                    dequantizeValue(pb[i], bq);
-                staging[static_cast<std::size_t>(i)] =
-                    static_cast<float>(dequantizeValue(
-                        requantize(real, out_qp), out_qp));
+                const std::int64_t acc =
+                    (pa[i] - aq.zeroPoint) * mult_a +
+                    (pb[i] - bq.zeroPoint) * mult_b;
+                const std::int64_t q =
+                    roundingRightShift(acc, shift) + out_qp.zeroPoint;
+                out[static_cast<std::size_t>(i)] =
+                    static_cast<std::int8_t>(
+                        std::clamp<std::int64_t>(q, -128, 127));
             }
         },
         /*min_grain=*/4096);
-    Tensor staged(a.shape(), std::move(staging));
-    return staged.toInt8(out_qp);
+    return Tensor::fromInt8(a.shape(), std::move(out), out_qp);
 }
 
 } // namespace core

@@ -100,6 +100,31 @@ observeMinMax(std::span<const float> src, double& min_val, double& max_val)
     }
 }
 
+RequantScale
+makeRequantScale(double real_multiplier)
+{
+    EB_CHECK(std::isfinite(real_multiplier) && real_multiplier > 0.0,
+             "makeRequantScale: multiplier must be positive and "
+             "finite, got "
+                 << real_multiplier);
+    int exponent = 0;
+    const double mant = std::frexp(real_multiplier, &exponent);
+    // mant in [0.5, 1) => llround lands in [2^29, 2^30].
+    RequantScale rs;
+    rs.multiplier = std::llround(std::ldexp(mant, 30));
+    rs.shift = 30 - exponent;
+    if (rs.multiplier == (std::int64_t{1} << 30)) {
+        // mant rounded up to 1.0: renormalize.
+        rs.multiplier >>= 1;
+        --rs.shift;
+    }
+    EB_CHECK(rs.shift >= 1 && rs.shift <= 62,
+             "makeRequantScale: multiplier " << real_multiplier
+                 << " out of fixed-point range (shift " << rs.shift
+                 << ")");
+    return rs;
+}
+
 double
 quantizationStepError(const QuantParams& qp)
 {

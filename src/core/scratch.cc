@@ -18,6 +18,9 @@ struct Arena
 {
     std::array<std::vector<float>, kSlots> f32;
     std::array<std::vector<double>, kSlots> f64;
+    std::array<std::vector<std::int8_t>, kSlots> i8;
+    std::array<std::vector<std::int32_t>, kSlots> i32;
+    std::array<std::vector<std::int64_t>, kSlots> i64;
 };
 
 Arena&
@@ -27,49 +30,87 @@ arena()
     return a;
 }
 
+template <typename T>
+std::span<T>
+borrow(std::array<std::vector<T>, kSlots>& pool, ScratchSlot slot,
+       std::size_t n)
+{
+    auto& buf = pool[static_cast<std::size_t>(slot)];
+    if (buf.size() < n)
+        buf.resize(n);
+    return {buf.data(), n};
+}
+
+template <typename T>
+std::size_t
+reservedBytes(const std::array<std::vector<T>, kSlots>& pool)
+{
+    std::size_t bytes = 0;
+    for (const auto& b : pool)
+        bytes += b.capacity() * sizeof(T);
+    return bytes;
+}
+
+template <typename T>
+void
+releasePool(std::array<std::vector<T>, kSlots>& pool)
+{
+    for (auto& b : pool) {
+        b.clear();
+        b.shrink_to_fit();
+    }
+}
+
 } // namespace
 
 std::span<float>
 scratchF32(ScratchSlot slot, std::size_t n)
 {
-    auto& buf = arena().f32[static_cast<std::size_t>(slot)];
-    if (buf.size() < n)
-        buf.resize(n);
-    return {buf.data(), n};
+    return borrow(arena().f32, slot, n);
 }
 
 std::span<double>
 scratchF64(ScratchSlot slot, std::size_t n)
 {
-    auto& buf = arena().f64[static_cast<std::size_t>(slot)];
-    if (buf.size() < n)
-        buf.resize(n);
-    return {buf.data(), n};
+    return borrow(arena().f64, slot, n);
+}
+
+std::span<std::int8_t>
+scratchI8(ScratchSlot slot, std::size_t n)
+{
+    return borrow(arena().i8, slot, n);
+}
+
+std::span<std::int32_t>
+scratchI32(ScratchSlot slot, std::size_t n)
+{
+    return borrow(arena().i32, slot, n);
+}
+
+std::span<std::int64_t>
+scratchI64(ScratchSlot slot, std::size_t n)
+{
+    return borrow(arena().i64, slot, n);
 }
 
 std::size_t
 scratchBytesReserved()
 {
-    std::size_t bytes = 0;
-    for (const auto& b : arena().f32)
-        bytes += b.capacity() * sizeof(float);
-    for (const auto& b : arena().f64)
-        bytes += b.capacity() * sizeof(double);
-    return bytes;
+    const Arena& a = arena();
+    return reservedBytes(a.f32) + reservedBytes(a.f64) +
+        reservedBytes(a.i8) + reservedBytes(a.i32) +
+        reservedBytes(a.i64);
 }
 
 void
 scratchRelease()
 {
     Arena& a = arena();
-    for (auto& b : a.f32) {
-        b.clear();
-        b.shrink_to_fit();
-    }
-    for (auto& b : a.f64) {
-        b.clear();
-        b.shrink_to_fit();
-    }
+    releasePool(a.f32);
+    releasePool(a.f64);
+    releasePool(a.i8);
+    releasePool(a.i32);
+    releasePool(a.i64);
 }
 
 } // namespace core

@@ -133,6 +133,23 @@ Tensor::randomUniform(Shape shape, Rng& rng, double lo, double hi)
     return t;
 }
 
+Tensor
+Tensor::fromInt8(Shape shape, std::vector<std::int8_t> data,
+                 const QuantParams& qp)
+{
+    EB_CHECK(static_cast<std::int64_t>(data.size()) ==
+                 numElements(shape),
+             "fromInt8: data size " << data.size()
+                                    << " does not match shape "
+                                    << shapeToString(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.dtype_ = DType::kI8;
+    t.qp_ = qp;
+    t.i8_ = std::move(data);
+    return t;
+}
+
 std::span<float>
 Tensor::data()
 {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_int8.hh"
 #include "edgebench/core/kernels_rnn.hh"
 #include "edgebench/core/tensor.hh"
 #include "edgebench/graph/graph.hh"
@@ -106,12 +107,17 @@ class Interpreter
      * panels (gemm_packed.hh). Packing is one-time work: built lazily
      * on a node's first execution — next to the converted-parameter
      * cache above — and reused on every subsequent run, so
-     * steady-state inference performs zero packing.
+     * steady-state inference performs zero packing. Quantized nodes
+     * get their own int8 panel caches (gemm_packed_int8.hh); int8
+     * packings are activation-agnostic (zero-point corrections fold
+     * at call time), so one packing serves every run.
      */
     /// @{
     const core::PackedConvWeights& packedConv(const Node& n);
     const core::PackedA& packedDense(const Node& n);
     const core::PackedRnnWeights& packedRnn(const Node& n);
+    const core::PackedConvWeightsI8& packedConvI8(const Node& n);
+    const core::PackedAI8& packedDenseI8(const Node& n);
     /// @}
 
     const Graph& graph_;
@@ -125,6 +131,8 @@ class Interpreter
     std::vector<std::optional<core::PackedConvWeights>> packedConv_;
     std::vector<std::optional<core::PackedA>> packedDense_;
     std::vector<std::optional<core::PackedRnnWeights>> packedRnn_;
+    std::vector<std::optional<core::PackedConvWeightsI8>> packedConvI8_;
+    std::vector<std::optional<core::PackedAI8>> packedDenseI8_;
 };
 
 } // namespace graph

@@ -164,6 +164,8 @@ Interpreter::Interpreter(const Graph& graph) : graph_(graph)
     packedConv_.resize(static_cast<std::size_t>(graph.numNodes()));
     packedDense_.resize(static_cast<std::size_t>(graph.numNodes()));
     packedRnn_.resize(static_cast<std::size_t>(graph.numNodes()));
+    packedConvI8_.resize(static_cast<std::size_t>(graph.numNodes()));
+    packedDenseI8_.resize(static_cast<std::size_t>(graph.numNodes()));
 }
 
 const core::PackedConvWeights&
@@ -181,6 +183,26 @@ Interpreter::packedDense(const Node& n)
     auto& slot = packedDense_[static_cast<std::size_t>(n.id)];
     if (!slot)
         slot = core::packDenseWeights(paramF32(n, 0), n.attrs.dense);
+    return *slot;
+}
+
+const core::PackedConvWeightsI8&
+Interpreter::packedConvI8(const Node& n)
+{
+    auto& slot = packedConvI8_[static_cast<std::size_t>(n.id)];
+    if (!slot)
+        slot = core::packConv2dWeightsInt8(paramI8(n, 0),
+                                           n.attrs.conv2d);
+    return *slot;
+}
+
+const core::PackedAI8&
+Interpreter::packedDenseI8(const Node& n)
+{
+    auto& slot = packedDenseI8_[static_cast<std::size_t>(n.id)];
+    if (!slot)
+        slot = core::packDenseWeightsInt8(paramI8(n, 0),
+                                          n.attrs.dense);
     return *slot;
 }
 
@@ -396,8 +418,8 @@ Interpreter::execNode(const Node& n,
             const core::Tensor& bias =
                 n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
             auto g = n.attrs.conv2d;
-            core::Tensor out = core::conv2dInt8(input, w, bias, g,
-                                                *n.outQuant);
+            core::Tensor out = core::conv2dInt8Packed(
+                input, w, packedConvI8(n), bias, g, *n.outQuant);
             if (n.kind == OpKind::kFusedConvBnAct) {
                 if (n.attrs.activation == ActKind::kRelu)
                     out = core::reluInt8(out);
@@ -415,8 +437,9 @@ Interpreter::execNode(const Node& n,
             const core::Tensor& w = paramI8(n, 0);
             const core::Tensor& bias =
                 n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
-            return core::denseInt8(input, w, bias, n.attrs.dense,
-                                   *n.outQuant);
+            return core::denseInt8Packed(input, w, packedDenseI8(n),
+                                         bias, n.attrs.dense,
+                                         *n.outQuant);
           }
           case OpKind::kActivation:
             if (ins[0]->dtype() == core::DType::kI8) {

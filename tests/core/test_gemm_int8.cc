@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the integer pack-and-tile GEMM engine and the INT8
+ * kernels routed through it. The load-bearing property is
+ * bit-exactness: the packed engine must agree with the naive
+ * per-element oracles on every byte (integer accumulation is exact,
+ * so there is no tolerance to hide behind), and every kernel must be
+ * byte-identical across thread counts. Suite names start with
+ * "GemmPackedInt8" so the tsan preset's test filter picks them up.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/kernels_int8.hh"
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/rng.hh"
+
+namespace ec = edgebench::core;
+using edgebench::InvalidArgumentError;
+
+namespace
+{
+
+/** Random int8 tensor with explicit QuantParams, full [-128,127]. */
+ec::Tensor
+randomInt8(const ec::Shape& s, std::uint64_t seed,
+           const ec::QuantParams& qp)
+{
+    ec::Rng rng(seed);
+    std::vector<std::int8_t> data(
+        static_cast<std::size_t>(ec::numElements(s)));
+    for (auto& v : data)
+        v = static_cast<std::int8_t>(
+            std::lround(rng.uniform(-128.0, 127.0)));
+    return ec::Tensor::fromInt8(s, std::move(data), qp);
+}
+
+ec::Tensor
+randomBias(std::int64_t n, std::uint64_t seed)
+{
+    ec::Rng rng(seed);
+    return ec::Tensor::randomNormal({n}, rng, /*stddev=*/0.5);
+}
+
+void
+expectSameInt8(const ec::Tensor& a, const ec::Tensor& b)
+{
+    ASSERT_TRUE(ec::sameShape(a.shape(), b.shape()));
+    ASSERT_EQ(a.dtype(), ec::DType::kI8);
+    ASSERT_EQ(b.dtype(), ec::DType::kI8);
+    auto qa = a.qdata();
+    auto qb = b.qdata();
+    ASSERT_EQ(0, std::memcmp(qa.data(), qb.data(), qa.size()));
+}
+
+} // namespace
+
+TEST(GemmPackedInt8Test, RequantScaleReproducesDoubleRounding)
+{
+    // The fixed-point multiplier/shift pair must reproduce
+    // round(acc * M) for realistic requantization ratios across the
+    // whole accumulator range the kernels produce. (Scales below are
+    // non-dyadic, as calibration produces in practice, so no value
+    // lands on an exact rounding tie where half-up and half-even
+    // could legitimately differ.)
+    for (double mult :
+         {3.0471e-4, 7.1333e-3, 0.0419137, 0.237171, 1.70031,
+          23.9033}) {
+        const ec::RequantScale rs = ec::makeRequantScale(mult);
+        for (std::int64_t acc = -99991; acc <= 100000; acc += 37) {
+            const double real = static_cast<double>(acc) * mult;
+            const double ref = std::clamp(
+                std::nearbyint(real) + 3.0, -128.0, 127.0);
+            EXPECT_EQ(static_cast<double>(
+                          ec::requantizeFixedPoint(acc, rs, 3)),
+                      ref)
+                << "mult=" << mult << " acc=" << acc;
+        }
+    }
+}
+
+TEST(GemmPackedInt8Test, PackedALayoutRecordsRowSums)
+{
+    // 7 rows, MR = 6: second panel is ragged. Padding rows must be
+    // zero-valued with zero row sums.
+    const std::int64_t m = 7, k = 5;
+    std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<std::int8_t>(
+            static_cast<int>(i * 7 % 255) - 127);
+    const ec::PackedAI8 packed = ec::packAInt8(m, k, a);
+    ASSERT_EQ(packed.view().mPanels(), 2);
+    for (std::int64_t row = 0; row < m; ++row) {
+        std::int32_t want = 0;
+        for (std::int64_t p = 0; p < k; ++p)
+            want += a[static_cast<std::size_t>(row * k + p)];
+        EXPECT_EQ(packed.rowSums[static_cast<std::size_t>(row)], want);
+    }
+    const ec::PackedAI8View v = packed.view();
+    const std::int8_t* panel1 = v.panelValues(1);
+    for (std::int64_t p = 0; p < k; ++p)
+        for (std::int64_t i = m - ec::kGemmInt8MR; i < ec::kGemmInt8MR;
+             ++i)
+            EXPECT_EQ(panel1[p * ec::kGemmInt8MR + i], 0);
+    for (std::int64_t row = m; row < 2 * ec::kGemmInt8MR; ++row)
+        EXPECT_EQ(packed.rowSums[static_cast<std::size_t>(row)], 0);
+}
+
+TEST(GemmPackedInt8Test, ConvPackedMatchesNaiveOracleSweep)
+{
+    // Geometry sweep covering the engine's branchy paths: strided,
+    // dilated, padded, grouped, depthwise (incl. depth multiplier),
+    // pointwise pack-from-image, and ragged M/N tile edges. Zero
+    // points are deliberately asymmetric on every operand.
+    struct Case
+    {
+        std::int64_t n, inC, inH, inW, outC, kH, kW;
+        std::int64_t stride, pad, dil, groups;
+    };
+    const Case cases[] = {
+        {1, 3, 9, 9, 7, 3, 3, 1, 1, 1, 1},    // ragged outC
+        {2, 4, 8, 8, 6, 3, 3, 2, 1, 1, 1},    // strided, batch 2
+        {1, 2, 11, 11, 5, 3, 3, 1, 2, 2, 1},  // dilated
+        {1, 4, 7, 7, 6, 3, 3, 1, 1, 1, 2},    // grouped
+        {1, 6, 8, 8, 6, 3, 3, 1, 1, 1, 6},    // depthwise
+        {1, 4, 6, 6, 8, 3, 3, 1, 1, 1, 4},    // depth multiplier 2
+        {1, 8, 5, 5, 13, 1, 1, 1, 0, 1, 1},   // pointwise
+        {1, 1, 12, 12, 1, 5, 5, 3, 2, 1, 1},  // single channel
+    };
+    const ec::QuantParams iq{0.0471, -19};
+    const ec::QuantParams wq{0.00823, 5};
+    const ec::QuantParams oq{0.0913, 7};
+    std::uint64_t seed = 40;
+    for (const Case& c : cases) {
+        ec::Conv2dGeom g;
+        g.n = c.n;
+        g.inC = c.inC;
+        g.inH = c.inH;
+        g.inW = c.inW;
+        g.outC = c.outC;
+        g.kH = c.kH;
+        g.kW = c.kW;
+        g.strideH = g.strideW = c.stride;
+        g.padH = g.padW = c.pad;
+        g.dilH = g.dilW = c.dil;
+        g.groups = c.groups;
+        auto input = randomInt8({g.n, g.inC, g.inH, g.inW}, ++seed, iq);
+        auto weights = randomInt8(
+            {g.outC, g.inC / g.groups, g.kH, g.kW}, ++seed, wq);
+        auto bias = randomBias(g.outC, ++seed);
+        auto ref = ec::conv2dInt8Naive(input, weights, bias, g, oq);
+        auto got = ec::conv2dInt8(input, weights, bias, g, oq);
+        expectSameInt8(ref, got);
+        auto packed = ec::packConv2dWeightsInt8(weights, g);
+        auto cached =
+            ec::conv2dInt8Packed(input, weights, packed, bias, g, oq);
+        expectSameInt8(ref, cached);
+        // And without bias.
+        auto ref_nb = ec::conv2dInt8Naive(input, weights, ec::Tensor(),
+                                          g, oq);
+        auto got_nb =
+            ec::conv2dInt8(input, weights, ec::Tensor(), g, oq);
+        expectSameInt8(ref_nb, got_nb);
+    }
+}
+
+TEST(GemmPackedInt8Test, ConvSaturatingEdgesMatchNaive)
+{
+    // A tiny output scale forces most accumulators past the int8
+    // rails, so the clamp to -128/127 is exercised on both paths.
+    ec::Conv2dGeom g;
+    g.n = 1;
+    g.inC = 3;
+    g.inH = 8;
+    g.inW = 8;
+    g.outC = 9;
+    g.kH = 3;
+    g.kW = 3;
+    g.padH = g.padW = 1;
+    const ec::QuantParams iq{0.1, 23};
+    const ec::QuantParams wq{0.05, -11};
+    const ec::QuantParams oq{0.001, -3};
+    auto input = randomInt8({1, 3, 8, 8}, 91, iq);
+    auto weights = randomInt8({9, 3, 3, 3}, 92, wq);
+    auto bias = randomBias(9, 93);
+    auto ref = ec::conv2dInt8Naive(input, weights, bias, g, oq);
+    auto got = ec::conv2dInt8(input, weights, bias, g, oq);
+    expectSameInt8(ref, got);
+    // Sanity: saturation actually happened on both rails.
+    int lo = 0, hi = 0;
+    for (auto q : ref.qdata()) {
+        lo += q == -128;
+        hi += q == 127;
+    }
+    EXPECT_GT(lo, 0);
+    EXPECT_GT(hi, 0);
+}
+
+TEST(GemmPackedInt8Test, DensePackedMatchesNaiveOracle)
+{
+    const ec::QuantParams iq{0.031, 14};
+    const ec::QuantParams wq{0.0117, -8};
+    const ec::QuantParams oq{0.057, -25};
+    for (auto [batch, in_f, out_f] :
+         {std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 37,
+                                                               13},
+          {3, 64, 7}, {2, 129, 31}}) {
+        ec::DenseGeom g;
+        g.batch = batch;
+        g.inFeatures = in_f;
+        g.outFeatures = out_f;
+        auto input = randomInt8({batch, in_f}, 60 + out_f, iq);
+        auto weights = randomInt8({out_f, in_f}, 61 + out_f, wq);
+        auto bias = randomBias(out_f, 62 + out_f);
+        auto ref = ec::denseInt8Naive(input, weights, bias, g, oq);
+        auto got = ec::denseInt8(input, weights, bias, g, oq);
+        expectSameInt8(ref, got);
+        auto packed = ec::packDenseWeightsInt8(weights, g);
+        auto cached =
+            ec::denseInt8Packed(input, weights, packed, bias, g, oq);
+        expectSameInt8(ref, cached);
+    }
+}
+
+TEST(GemmPackedInt8Test, MalformedBiasThrows)
+{
+    // Regression for the strict bias contract: the retired kernels
+    // silently dropped any bias whose shape was not exactly [outC].
+    ec::Conv2dGeom g;
+    g.n = 1;
+    g.inC = 2;
+    g.inH = 6;
+    g.inW = 6;
+    g.outC = 4;
+    g.kH = 3;
+    g.kW = 3;
+    const ec::QuantParams qp{0.05, 0};
+    auto input = randomInt8({1, 2, 6, 6}, 70, qp);
+    auto weights = randomInt8({4, 2, 3, 3}, 71, qp);
+    for (const ec::Shape& bad :
+         {ec::Shape{4, 1}, ec::Shape{3}, ec::Shape{1, 4}}) {
+        auto bias = ec::Tensor::zeros(bad);
+        EXPECT_THROW(ec::conv2dInt8(input, weights, bias, g, qp),
+                     InvalidArgumentError)
+            << "conv2dInt8 accepted bias rank " << bad.size();
+        EXPECT_THROW(ec::conv2dInt8Naive(input, weights, bias, g, qp),
+                     InvalidArgumentError);
+    }
+    ec::DenseGeom dg;
+    dg.batch = 1;
+    dg.inFeatures = 72;
+    dg.outFeatures = 4;
+    auto din = randomInt8({1, 72}, 72, qp);
+    auto dw = randomInt8({4, 72}, 73, qp);
+    auto dbias = ec::Tensor::zeros({5});
+    EXPECT_THROW(ec::denseInt8(din, dw, dbias, dg, qp),
+                 InvalidArgumentError);
+    EXPECT_THROW(ec::denseInt8Naive(din, dw, dbias, dg, qp),
+                 InvalidArgumentError);
+    // Empty-shape default tensor still means "no bias".
+    auto out = ec::denseInt8(din, dw, ec::Tensor(), dg, qp);
+    EXPECT_EQ(out.dtype(), ec::DType::kI8);
+}
+
+TEST(GemmPackedInt8Test, KernelsAreThreadCountInvariant)
+{
+    // Byte-identical kernel outputs at 1/2/4 workers — the int8 leg
+    // of the repo-wide determinism contract (tiles only partition
+    // outputs, never the k loop).
+    ec::Conv2dGeom g;
+    g.n = 1;
+    g.inC = 8;
+    g.inH = 14;
+    g.inW = 14;
+    g.outC = 19;
+    g.kH = 3;
+    g.kW = 3;
+    g.padH = g.padW = 1;
+    const ec::QuantParams iq{0.042, -30};
+    const ec::QuantParams wq{0.009, 12};
+    const ec::QuantParams oq{0.08, 4};
+    auto input = randomInt8({1, 8, 14, 14}, 80, iq);
+    auto weights = randomInt8({19, 8, 3, 3}, 81, wq);
+    auto bias = randomBias(19, 82);
+    ec::DenseGeom dg;
+    dg.batch = 2;
+    dg.inFeatures = 100;
+    dg.outFeatures = 27;
+    auto din = randomInt8({2, 100}, 83, iq);
+    auto dw = randomInt8({27, 100}, 84, wq);
+
+    std::vector<ec::Tensor> convs, denses;
+    for (int threads : {1, 2, 4}) {
+        ec::setParallelism(threads);
+        convs.push_back(ec::conv2dInt8(input, weights, bias, g, oq));
+        denses.push_back(
+            ec::denseInt8(din, dw, ec::Tensor(), dg, oq));
+    }
+    ec::setParallelism(0);
+    for (std::size_t i = 1; i < convs.size(); ++i) {
+        expectSameInt8(convs[0], convs[i]);
+        expectSameInt8(denses[0], denses[i]);
+    }
+}
+
+TEST(GemmPackedInt8Test, AddInt8MatchesRealDomainWithinStep)
+{
+    // The shared-shift dual-multiplier add must land within one
+    // output quantization step of the exact real-domain sum.
+    const ec::QuantParams aq{0.043, -7};
+    const ec::QuantParams bq{0.029, 18};
+    const ec::QuantParams oq{0.061, -2};
+    auto a = randomInt8({2, 3, 5, 5}, 95, aq);
+    auto b = randomInt8({2, 3, 5, 5}, 96, bq);
+    auto out = ec::addInt8(a, b, oq);
+    auto qa = a.qdata();
+    auto qb = b.qdata();
+    auto qo = out.qdata();
+    const double rep_lo = oq.scale * (-128 - oq.zeroPoint);
+    const double rep_hi = oq.scale * (127 - oq.zeroPoint);
+    for (std::size_t i = 0; i < qo.size(); ++i) {
+        const double real = std::clamp(
+            ec::dequantizeValue(qa[i], aq) +
+                ec::dequantizeValue(qb[i], bq),
+            rep_lo, rep_hi);
+        const double got = ec::dequantizeValue(qo[i], oq);
+        EXPECT_NEAR(got, real, oq.scale * 0.501 + 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+#
+# Documentation link check (bash + grep only, no dependencies).
+#
+# Verifies that the prose stays tied to the tree it describes:
+#   1. every repo-relative file path mentioned in README.md or
+#      docs/*.md (e.g. `docs/QUANTIZATION.md`, src/core/quant.hh,
+#      tests/core/test_gemm_int8.cc) names a file that exists;
+#   2. every relative markdown link target [text](path) resolves;
+#   3. every docs/*.md page is reachable from README.md or from
+#      another docs page (no orphaned documentation).
+#
+# Run from anywhere; exits non-zero listing each broken reference.
+# CI runs this as the `docs` job on every push.
+
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+
+# 1. Repo-relative file references in prose and code spans.
+for doc in README.md docs/*.md; do
+    while IFS= read -r ref; do
+        if [ ! -e "$ref" ]; then
+            echo "BROKEN PATH: $doc mentions $ref (no such file)"
+            fail=1
+        fi
+    done < <(grep -oE \
+        '\b(docs|src|tests|tools|bench|examples)/[A-Za-z0-9_./-]+\.(md|hh|cc|sh|yml|json)\b' \
+        "$doc" | sort -u)
+done
+
+# 2. Relative markdown link targets (skip absolute URLs and anchors).
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "BROKEN LINK: $doc -> ($target)"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" |
+        sed 's/^](//; s/)$//' | sort -u)
+done
+
+# 3. No orphaned docs pages.
+for page in docs/*.md; do
+    name=$(basename "$page")
+    if ! grep -l "$name" README.md docs/*.md |
+        grep -qv "^$page\$"; then
+        echo "ORPHAN: $page is referenced by no other page"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check FAILED"
+    exit 1
+fi
+echo "doc link check OK ($(ls docs/*.md | wc -l | tr -d ' ') docs pages)"
