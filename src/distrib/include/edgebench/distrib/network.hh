@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Stochastic network model for multi-device pipelines.
+ *
+ * Generalizes the closed-form LinkModel into a small discrete-event
+ * sub-simulator the pipeline simulator (pipeline_sim.hh) drives:
+ *
+ *  - per-link bandwidth/latency with optional relative latency jitter
+ *    drawn from a seeded RNG (deterministic for a fixed seed);
+ *  - two medium modes: *switched* links are independent store-and-
+ *    forward FIFO cables — a frame holds its link for the full
+ *    serialization time plus latency, matching the analytic transfer
+ *    period bytes/bw + latency — while a *shared* medium puts every
+ *    active transfer in one broadcast domain under processor sharing
+ *    (each of N concurrent transfers drains at bandwidth/N, then pays
+ *    the propagation latency off-medium);
+ *  - per-attempt loss with bounded retransmit and exponential backoff
+ *    (the serving fleet's RetryPolicy shape on a millisecond
+ *    timeline); a frame that exhausts its re-sends is dropped.
+ *
+ * The model owns no event heap: the driver asks nextEventMs() for the
+ * earliest pending state change and calls advanceTo() to integrate up
+ * to its own event times, so network completions interleave
+ * deterministically with compute events. All times are milliseconds.
+ */
+
+#ifndef EDGEBENCH_DISTRIB_NETWORK_HH
+#define EDGEBENCH_DISTRIB_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "edgebench/core/rng.hh"
+#include "edgebench/distrib/partition.hh"
+
+namespace edgebench
+{
+namespace distrib
+{
+
+/** Per-link characteristics (the stochastic face of LinkModel). */
+struct LinkSpec
+{
+    /** Effective bandwidth, megabytes per second. */
+    double bandwidthMBs = 50.0;
+    /** One-way propagation latency, milliseconds. */
+    double latencyMs = 1.0;
+    /** Relative sigma of per-attempt latency jitter (0 = none). */
+    double jitter = 0.0;
+    /** Per-attempt probability a frame is lost in flight. */
+    double lossRate = 0.0;
+    /** Radio/NIC power while transmitting, Watts. */
+    double txPowerW = 0.8;
+};
+
+/** Adapt an analytic LinkModel: same rate/latency, no loss/jitter. */
+LinkSpec linkSpec(const LinkModel& link);
+
+/** Bounded re-send behaviour for lost frames. */
+struct RetransmitPolicy
+{
+    /** Re-send attempts after the first try (0 disables). */
+    int maxAttempts = 3;
+    /** Delay before the first re-send, milliseconds. */
+    double backoffMs = 0.0;
+    /** Multiplier applied per successive re-send (>= 1). */
+    double backoffMult = 2.0;
+};
+
+/** How concurrent transfers interact. */
+enum class MediumMode
+{
+    kSwitched, ///< independent full-duplex cables, FIFO per link
+    kShared,   ///< one broadcast domain, processor-shared bandwidth
+};
+
+/** Network-scenario description. */
+struct NetworkConfig
+{
+    /** Uniform link characteristics (used when perLink is empty). */
+    LinkSpec link;
+    /** Per-link override; size must equal the link count when set. */
+    std::vector<LinkSpec> perLink;
+    MediumMode medium = MediumMode::kSwitched;
+    RetransmitPolicy retransmit;
+};
+
+/** A frame transfer that finished (delivered or dropped). */
+struct Delivery
+{
+    std::int64_t id = -1;   ///< ticket from submit()
+    int link = -1;
+    bool delivered = false; ///< false = loss exhausted the re-sends
+    int attempts = 1;       ///< tries consumed (1 = first try worked)
+    double submittedMs = 0.0;
+    double doneMs = 0.0;
+};
+
+/** Per-link counters. */
+struct LinkStats
+{
+    std::int64_t transfers = 0;   ///< frames submitted
+    std::int64_t retransmits = 0; ///< re-sends scheduled
+    std::int64_t drops = 0;       ///< frames lost for good
+    double busyMs = 0.0;          ///< time the link was occupied
+    double txEnergyMJ = 0.0;      ///< busyMs x txPowerW
+};
+
+class NetworkModel
+{
+  public:
+    NetworkModel(const NetworkConfig& config, int num_links,
+                 std::uint64_t seed);
+
+    int numLinks() const { return static_cast<int>(links_.size()); }
+    const LinkSpec& spec(int link) const;
+
+    /**
+     * Submit a frame of @p bytes on @p link at @p now_ms; returns a
+     * ticket matched by a later Delivery. now_ms must not precede a
+     * previous advanceTo().
+     */
+    std::int64_t submit(int link, double bytes, double now_ms);
+
+    /**
+     * Earliest time any transfer changes state (drain completes,
+     * delivery lands, a backed-off re-send becomes eligible), or
+     * +infinity when the network is idle.
+     */
+    double nextEventMs() const;
+
+    /**
+     * Integrate up to @p now_ms and return the transfers that
+     * finished, in completion order.
+     */
+    std::vector<Delivery> advanceTo(double now_ms);
+
+    /** Frames in flight or queued on @p link (retransmits included). */
+    std::int64_t inFlight(int link) const;
+
+    const std::vector<LinkStats>& stats() const { return stats_; }
+
+  private:
+    /** One frame somewhere between submit and delivery/drop. */
+    struct Transfer
+    {
+        std::int64_t id = -1;
+        int link = -1;
+        double bytes = 0.0;
+        double submittedMs = 0.0;
+        int attempts = 0;  ///< tries started
+        double readyMs = 0.0;      ///< pending: eligible to start
+        double remainingBytes = 0; ///< shared mode: left to drain
+        double doneMs = 0.0;       ///< active/tail: completion time
+    };
+
+    void start(Transfer t, double now_ms);
+    void kick(double now_ms);
+    /** Loss draw at delivery; re-queues or finalizes the transfer. */
+    void resolve(Transfer t, double t_ms,
+                 std::vector<Delivery>* out);
+    double effectiveLatencyMs(int link);
+
+    struct LinkState
+    {
+        std::optional<Transfer> active; ///< switched mode
+        std::deque<Transfer> pending;   ///< waiting for the link
+        int draining = 0;               ///< shared mode membership
+    };
+
+    NetworkConfig config_;
+    std::vector<LinkState> links_;
+    std::vector<LinkStats> stats_;
+    /** Shared mode: transfers draining the common medium. */
+    std::vector<Transfer> draining_;
+    /** Shared mode: drained transfers riding the latency tail. */
+    std::vector<Transfer> tail_;
+    /** Completions produced by submit()'s internal advance, held for
+        the next advanceTo() so none are lost. */
+    std::vector<Delivery> buffered_;
+    core::Rng rng_;
+    double nowMs_ = 0.0;
+    std::int64_t nextId_ = 0;
+};
+
+} // namespace distrib
+} // namespace edgebench
+
+#endif // EDGEBENCH_DISTRIB_NETWORK_HH

@@ -10,6 +10,16 @@
  * the boundary — and select the split minimizing end-to-end latency
  * (or edge energy). Cut index 0 is cloud-only (ship the input), a cut
  * after the last node is edge-only.
+ *
+ * pipelinePartition generalizes the same cut machinery to pipelined
+ * model parallelism across an *ordered device list* (the paper
+ * authors' collaborative-IoT line): stage i of the pipeline runs on
+ * devices[i], and each stage's budget is priced with that device's
+ * own roofline profile and swap penalty, so a fast device absorbs
+ * more layers than a slow one. The homogeneous overload is the
+ * num_devices-copies special case. These are the analytic models; the
+ * event-driven counterpart that executes a plan frame by frame over a
+ * lossy/jittery network lives in pipeline_sim.hh.
  */
 
 #ifndef EDGEBENCH_DISTRIB_PARTITION_HH
@@ -76,27 +86,70 @@ PartitionResult partition(const frameworks::CompiledModel& edge,
                           const LinkModel& link);
 
 /**
- * Pipelined model parallelism across @p num_devices identical edge
- * devices (the paper authors' collaborative-IoT line: distributing a
- * DNN over several Raspberry Pis to reach real-time rates). Stages
- * are contiguous layer ranges separated at linear cut points; the
- * steady-state pipeline rate is limited by the slowest stage or
+ * A position where the graph can be cut with exactly one activation
+ * tensor crossing the boundary.
+ */
+struct CutPoint
+{
+    /** Nodes [0, cutAfter] sit before the cut. */
+    graph::NodeId cutAfter = -1;
+    /** The single node whose output crosses the cut. */
+    graph::NodeId crossing = -1;
+};
+
+/**
+ * Enumerate the linear cut points of @p g in topological order: cuts
+ * where exactly one producer's tensor is still consumed on the far
+ * side. Cuts that would strand a graph output before the boundary, or
+ * where two or more tensors cross (branchy regions), are rejected.
+ * Shared by partition() and pipelinePartition().
+ */
+std::vector<CutPoint> linearCutPoints(const graph::Graph& g);
+
+/**
+ * Pipelined model parallelism across an ordered list of edge devices
+ * (the paper authors' collaborative-IoT line: distributing a DNN over
+ * several Raspberry Pis to reach real-time rates). Stages are
+ * contiguous layer ranges separated at linear cut points; stage i runs
+ * on the i-th device of the list and is priced with that device's
+ * profile, so heterogeneous lists yield unbalanced-by-design stages.
+ * The steady-state pipeline rate is limited by the slowest stage or
  * inter-stage transfer.
  */
 struct PipelineResult
 {
+    /** Devices available to the search (stages used may be fewer). */
     int devices = 1;
     /** Slowest stage-or-transfer, ms (pipeline period). */
     double bottleneckMs = 0.0;
+    /** 1e3 / bottleneckMs; defined as 0 Hz for a zero-work plan. */
     double throughputHz = 0.0;
-    /** Single-frame latency: all stages + all transfers, ms. */
+    /**
+     * Single-frame latency: all stages + all transfers + each stage
+     * device's per-inference overhead, ms.
+     */
     double latencyMs = 0.0;
     std::vector<double> stageMs;
     std::vector<double> transferMs;
+    /** Bytes crossing after each non-final stage (pairs transferMs). */
+    std::vector<double> transferBytes;
     /** Name of the node closing each non-final stage. */
     std::vector<std::string> boundaries;
+    /** Device running each stage (list order of the search input). */
+    std::vector<hw::DeviceId> stageDevices;
 };
 
+/**
+ * Heterogeneous pipeline search: stage i runs on @p devices[i] (all
+ * entries non-null compilations of the same graph topology; list
+ * order is pipeline order). Stage budgets use each device's own
+ * roofline profile and swap penalty.
+ */
+PipelineResult pipelinePartition(
+    const std::vector<const frameworks::CompiledModel*>& devices,
+    const LinkModel& link);
+
+/** Homogeneous pipeline: @p num_devices copies of one deployment. */
 PipelineResult pipelinePartition(
     const frameworks::CompiledModel& device_model,
     const LinkModel& link, int num_devices);

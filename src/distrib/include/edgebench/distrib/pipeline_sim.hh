@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Event-driven executor for pipelined multi-device inference.
+ *
+ * Takes the analytic plan a pipelinePartition() search produced and
+ * runs it frame by frame on the serving discrete-event engine: one
+ * replica per stage (heterogeneous CompiledModels allowed), frames
+ * crossing stage boundaries over a NetworkModel (per-link jitter,
+ * loss with bounded retransmit, switched or shared medium), bounded
+ * inter-stage queues with the fleet's admission policies, per-stage
+ * thermal/energy walkers, and per-stage/per-link obs trace lanes.
+ *
+ * Under a lossless, jitterless switched network with backpressure the
+ * simulator reproduces the plan's analytic steady-state throughput
+ * (the validation the test suite pins at 1%); loss, jitter, and
+ * shared-medium contention then degrade it for reasons the closed
+ * form cannot see — that gap is the point of the simulator.
+ *
+ * Timeline is milliseconds (the analytic plan's unit); the thermal
+ * walkers run on seconds and convert at the boundary.
+ */
+
+#ifndef EDGEBENCH_DISTRIB_PIPELINE_SIM_HH
+#define EDGEBENCH_DISTRIB_PIPELINE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "edgebench/distrib/network.hh"
+#include "edgebench/distrib/partition.hh"
+#include "edgebench/obs/trace.hh"
+#include "edgebench/serving/fleet.hh"
+
+namespace edgebench
+{
+namespace distrib
+{
+
+/** Pipeline-scenario description. */
+struct PipelineSimConfig
+{
+    /** Frames offered to the pipeline. */
+    std::int64_t frames = 1000;
+    /**
+     * Frame source rate, Hz. 0 = closed loop: a new frame enters the
+     * moment the first stage's queue has room (steady-state
+     * throughput measurement). Positive = open loop with evenly
+     * spaced arrivals (a camera).
+     */
+    double sourceHz = 0.0;
+    /** Per-stage input-queue capacity (>= 1). */
+    std::size_t queueCapacity = 4;
+    /**
+     * When false, a stage does not start a frame until the downstream
+     * queue has a slot reserved for it (backpressure: nothing is ever
+     * dropped at a queue). When true, stages run freely and the fleet
+     * drop policy applies when a frame lands on a full queue.
+     */
+    bool dropOnFull = false;
+    /** Admission policy for full queues when dropOnFull is set. */
+    serving::DropPolicy dropPolicy = serving::DropPolicy::kRejectNew;
+    /** Relative per-frame service-time jitter (sigma, 0 = none). */
+    double serviceJitter = 0.0;
+    /** RNG seed (service jitter; the network derives its own). */
+    std::uint64_t seed = 1;
+    /** Couple stages to their device thermal models if available. */
+    bool enableThermal = false;
+    double ambientC = 25.0;
+    /**
+     * Optional trace sink. Lane 0 is "pipeline" (admissions, drops);
+     * each stage and each link claims its own lane via ensureLane.
+     */
+    obs::Tracer* tracer = nullptr;
+};
+
+/** Per-stage outcome. */
+struct StageReport
+{
+    hw::DeviceId device = hw::DeviceId::kRpi3;
+    std::int64_t framesIn = 0;  ///< frames dequeued into service
+    std::int64_t framesOut = 0; ///< frames completed by this stage
+    std::int64_t queueDrops = 0;
+    double busyMs = 0.0;
+    double utilization = 0.0;      ///< busyMs over the window
+    double meanQueueDepth = 0.0;   ///< time-weighted
+    double peakQueueDepth = 0.0;
+    double energyJ = 0.0;
+    double peakSurfaceC = 0.0;
+    bool thermalThrottled = false;
+    bool thermalShutdown = false;
+    double shutdownAtS = 0.0;
+};
+
+/** Per-link outcome (stage s -> stage s+1). */
+struct LinkReport
+{
+    std::int64_t transfers = 0;
+    std::int64_t retransmits = 0;
+    std::int64_t lostFrames = 0; ///< re-sends exhausted
+    double busyMs = 0.0;
+    double utilization = 0.0;
+    double txEnergyMJ = 0.0;
+};
+
+/** Outcome of a pipeline run. */
+struct PipelineSimReport
+{
+    std::int64_t offered = 0;
+    std::int64_t completed = 0;
+    std::int64_t dropped = 0; ///< queue + network + stranded frames
+    double windowMs = 0.0;    ///< last event time
+    /**
+     * Steady-state completion rate, Hz: measured over the second half
+     * of the completions so the pipeline-fill transient (during which
+     * frames buffered behind the bottleneck exit faster than the
+     * bottleneck period) does not bias the estimate.
+     */
+    double throughputHz = 0.0;
+    /** End-to-end frame latency (admission to final stage), ms. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+    std::vector<StageReport> stages;
+    std::vector<LinkReport> links;
+
+    /** Every offered frame ends in exactly one bucket. */
+    bool accountingConsistent() const
+    {
+        return offered == completed + dropped;
+    }
+};
+
+/**
+ * Execute @p plan with stage i served by @p stage_models[i] (size >=
+ * plan.stageMs.size(), non-null, outliving the call; the device list
+ * handed to pipelinePartition in the same order qualifies). Stage
+ * service time is the plan's stageMs — the simulator executes the
+ * analytic plan, it does not re-derive stage cost.
+ */
+PipelineSimReport simulatePipeline(
+    const PipelineResult& plan,
+    const std::vector<const frameworks::CompiledModel*>& stage_models,
+    const NetworkConfig& net, const PipelineSimConfig& config);
+
+/** Homogeneous pipeline: every stage runs @p model's deployment. */
+PipelineSimReport simulatePipeline(const PipelineResult& plan,
+                                   const frameworks::CompiledModel& model,
+                                   const NetworkConfig& net,
+                                   const PipelineSimConfig& config);
+
+} // namespace distrib
+} // namespace edgebench
+
+#endif // EDGEBENCH_DISTRIB_PIPELINE_SIM_HH

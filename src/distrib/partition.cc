@@ -1,6 +1,7 @@
 #include "edgebench/distrib/partition.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "edgebench/core/common.hh"
 
@@ -34,6 +35,44 @@ lanLink()
     return {50.0, 1.0, 0.5};
 }
 
+std::vector<CutPoint>
+linearCutPoints(const graph::Graph& g)
+{
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+
+    // For each node, the index of its last consumer.
+    std::vector<graph::NodeId> last_consumer(n_nodes, -1);
+    for (const auto& n : g.nodes())
+        for (auto in : n.inputs)
+            last_consumer[static_cast<std::size_t>(in)] =
+                std::max(last_consumer[static_cast<std::size_t>(in)],
+                         n.id);
+    graph::NodeId min_output_id =
+        static_cast<graph::NodeId>(n_nodes);
+    for (auto id : g.outputIds())
+        min_output_id = std::min(min_output_id, id);
+
+    std::vector<CutPoint> cuts;
+    for (std::size_t i = 0; i + 1 < n_nodes; ++i) {
+        const auto cut = static_cast<graph::NodeId>(i);
+        if (cut >= min_output_id)
+            break; // a graph output would sit before the boundary
+        graph::NodeId crossing = -1;
+        bool linear = true;
+        for (std::size_t p = 0; p <= i && linear; ++p) {
+            if (last_consumer[p] > cut) {
+                if (crossing >= 0)
+                    linear = false; // two tensors cross: not a cut
+                else
+                    crossing = static_cast<graph::NodeId>(p);
+            }
+        }
+        if (linear && crossing >= 0)
+            cuts.push_back({cut, crossing});
+    }
+    return cuts;
+}
+
 PartitionResult
 partition(const frameworks::CompiledModel& edge,
           const frameworks::CompiledModel& cloud,
@@ -62,18 +101,6 @@ partition(const frameworks::CompiledModel& edge,
         edge.profile.perInferenceOverheadMs;
     const double cloud_all = cloud_prefix[n_nodes] +
         cloud.profile.perInferenceOverheadMs;
-
-    // For each node, the index of its last consumer.
-    std::vector<graph::NodeId> last_consumer(n_nodes, -1);
-    for (const auto& n : g.nodes())
-        for (auto in : n.inputs)
-            last_consumer[static_cast<std::size_t>(in)] =
-                std::max(last_consumer[static_cast<std::size_t>(in)],
-                         n.id);
-    graph::NodeId min_output_id =
-        static_cast<graph::NodeId>(n_nodes);
-    for (auto id : g.outputIds())
-        min_output_id = std::min(min_output_id, id);
 
     const auto& edge_spec = hw::deviceSpec(edge.device);
 
@@ -113,25 +140,9 @@ partition(const frameworks::CompiledModel& edge,
     result.candidates.push_back(make_split(-1, -1, input_bytes));
 
     // Linear interior cuts.
-    for (std::size_t i = 0; i < n_nodes - 1; ++i) {
-        const auto cut = static_cast<graph::NodeId>(i);
-        if (cut >= min_output_id)
-            break; // a graph output would sit on the edge side
-        graph::NodeId crossing = -1;
-        bool linear = true;
-        for (std::size_t p = 0; p <= i && linear; ++p) {
-            if (last_consumer[p] > cut) {
-                if (crossing >= 0)
-                    linear = false;
-                else
-                    crossing = static_cast<graph::NodeId>(p);
-            }
-        }
-        if (!linear || crossing < 0)
-            continue;
+    for (const auto& c : linearCutPoints(g))
         result.candidates.push_back(make_split(
-            cut, crossing, g.node(crossing).outputBytes()));
-    }
+            c.cutAfter, c.crossing, g.node(c.crossing).outputBytes()));
 
     // Edge-only pseudo-split: everything on the edge, ship nothing.
     {
@@ -163,100 +174,187 @@ namespace
 /** A contiguous run of nodes between two adjacent linear cuts. */
 struct Segment
 {
-    double workMs = 0.0;       ///< node time inside the segment
-    double outBytes = 0.0;     ///< crossing tensor if cut after it
-    graph::NodeId boundary = -1;
+    double outBytes = 0.0; ///< crossing tensor if cut after it
     std::string boundaryName;
 };
 
 /**
- * Split the graph into segments delimited by its linear cut points
- * (positions where exactly one tensor crosses).
+ * Greedy feasibility: walk the segments in order, packing each stage
+ * on the next device of the ordered list until the budget would
+ * overflow, then pay the boundary transfer and move on. Can the
+ * segments fit the device list with every stage and transfer <= B?
  */
-std::vector<Segment>
-linearSegments(const graph::Graph& g,
-               const std::vector<double>& node_ms)
-{
-    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
-    std::vector<graph::NodeId> last_consumer(n_nodes, -1);
-    for (const auto& n : g.nodes())
-        for (auto in : n.inputs)
-            last_consumer[static_cast<std::size_t>(in)] =
-                std::max(last_consumer[static_cast<std::size_t>(in)],
-                         n.id);
-    graph::NodeId min_output_id =
-        static_cast<graph::NodeId>(n_nodes);
-    for (auto id : g.outputIds())
-        min_output_id = std::min(min_output_id, id);
-
-    std::vector<Segment> segments;
-    Segment current;
-    // Running count of producers whose values still cross forward.
-    for (std::size_t i = 0; i < n_nodes; ++i) {
-        current.workMs += node_ms[i];
-        const auto cut = static_cast<graph::NodeId>(i);
-        if (cut >= min_output_id)
-            continue;
-        graph::NodeId crossing = -1;
-        bool linear = true;
-        for (std::size_t p = 0; p <= i && linear; ++p) {
-            if (last_consumer[p] > cut) {
-                if (crossing >= 0)
-                    linear = false;
-                else
-                    crossing = static_cast<graph::NodeId>(p);
-            }
-        }
-        if (linear && crossing >= 0) {
-            current.outBytes = g.node(crossing).outputBytes();
-            current.boundary = crossing;
-            current.boundaryName = g.node(crossing).name;
-            segments.push_back(current);
-            current = Segment{};
-        }
-    }
-    // Tail segment (up to the outputs); no crossing tensor.
-    segments.push_back(current);
-    return segments;
-}
-
-/** Greedy feasibility: can the segments fit in <= k stages of <= B? */
 bool
-feasible(const std::vector<Segment>& segments, const LinkModel& link,
-         int k, double bottleneck, PipelineResult* out)
+feasible(const std::vector<Segment>& segments,
+         const std::vector<std::vector<double>>& seg_work,
+         const LinkModel& link, double bottleneck, PipelineResult* out,
+         std::vector<int>* stage_device)
 {
+    const auto k = seg_work.size();
     std::vector<double> stage_ms;
     std::vector<double> transfer_ms;
+    std::vector<double> transfer_bytes;
     std::vector<std::string> boundaries;
+    std::vector<int> stage_dev;
+    std::size_t d = 0;
     double acc = 0.0;
+    std::size_t in_stage = 0;
     for (std::size_t i = 0; i < segments.size(); ++i) {
-        const auto& s = segments[i];
-        if (s.workMs > bottleneck + 1e-12)
-            return false; // indivisible chunk larger than the budget
-        if (acc + s.workMs > bottleneck + 1e-12) {
+        double w = seg_work[d][i];
+        if (acc + w > bottleneck + 1e-12) {
+            if (in_stage == 0)
+                return false; // indivisible chunk above the budget
             // Close the stage before this segment.
             stage_ms.push_back(acc);
+            stage_dev.push_back(static_cast<int>(d));
             transfer_ms.push_back(
                 link.uploadMs(segments[i - 1].outBytes));
+            transfer_bytes.push_back(segments[i - 1].outBytes);
             boundaries.push_back(segments[i - 1].boundaryName);
             if (transfer_ms.back() > bottleneck + 1e-12)
                 return false;
-            acc = 0.0;
+            if (++d >= k)
+                return false; // device list exhausted
+            w = seg_work[d][i]; // re-price on the next device
+            if (w > bottleneck + 1e-12)
+                return false;
+            acc = w;
+            in_stage = 1;
+        } else {
+            acc += w;
+            ++in_stage;
         }
-        acc += s.workMs;
     }
     stage_ms.push_back(acc);
-    if (static_cast<int>(stage_ms.size()) > k)
-        return false;
+    stage_dev.push_back(static_cast<int>(d));
     if (out) {
         out->stageMs = std::move(stage_ms);
         out->transferMs = std::move(transfer_ms);
+        out->transferBytes = std::move(transfer_bytes);
         out->boundaries = std::move(boundaries);
     }
+    if (stage_device)
+        *stage_device = std::move(stage_dev);
     return true;
 }
 
 } // namespace
+
+PipelineResult
+pipelinePartition(
+    const std::vector<const frameworks::CompiledModel*>& devices,
+    const LinkModel& link)
+{
+    EB_CHECK(!devices.empty(),
+             "pipelinePartition: need at least one device");
+    for (const auto* dev : devices)
+        EB_CHECK(dev != nullptr, "pipelinePartition: null device");
+    const graph::Graph& g = devices[0]->graph;
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+    EB_CHECK(n_nodes > 0, "pipelinePartition: empty graph");
+    for (const auto* dev : devices)
+        EB_CHECK(static_cast<std::size_t>(dev->graph.numNodes()) ==
+                     n_nodes,
+                 "pipelinePartition: stage compilations must share "
+                 "one graph topology");
+
+    const auto cuts = linearCutPoints(g);
+    const std::size_t n_seg = cuts.size() + 1;
+    const std::size_t k = devices.size();
+
+    // Segment metadata (device-independent: topology only).
+    std::vector<Segment> segments(n_seg);
+    for (std::size_t j = 0; j < cuts.size(); ++j) {
+        const auto& node = g.node(cuts[j].crossing);
+        segments[j].outBytes = node.outputBytes();
+        segments[j].boundaryName = node.name;
+    }
+
+    // Per-device segment work, each device priced with its own
+    // roofline profile and swap penalty. Identical compilations (the
+    // homogeneous overload passes the same pointer k times) share one
+    // perNodeTotalMs evaluation.
+    std::vector<std::vector<double>> seg_work(
+        k, std::vector<double>(n_seg, 0.0));
+    std::map<const frameworks::CompiledModel*, std::vector<double>>
+        node_ms_cache;
+    for (std::size_t d = 0; d < k; ++d) {
+        auto it = node_ms_cache.find(devices[d]);
+        if (it == node_ms_cache.end())
+            it = node_ms_cache
+                     .emplace(devices[d],
+                              hw::perNodeTotalMs(
+                                  g, devices[d]->computeUnit(),
+                                  devices[d]->profile))
+                     .first;
+        const auto& node_ms = it->second;
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < n_nodes; ++i) {
+            seg_work[d][j] +=
+                node_ms[i] * devices[d]->swapFactor;
+            if (j < cuts.size() &&
+                static_cast<graph::NodeId>(i) == cuts[j].cutAfter)
+                ++j;
+        }
+    }
+
+    // Binary-search the bottleneck. Lower bound: every segment must
+    // run somewhere, so its cheapest placement bounds any stage
+    // containing it; the link-latency floor applies only when a
+    // second device exists — a single-device pipeline has no
+    // transfers, so the floor must not constrain it.
+    double lo = 0.0;
+    if (k >= 2)
+        lo = link.uploadMs(0.0);
+    for (std::size_t j = 0; j < n_seg; ++j) {
+        double cheapest = seg_work[0][j];
+        for (std::size_t d = 1; d < k; ++d)
+            cheapest = std::min(cheapest, seg_work[d][j]);
+        lo = std::max(lo, cheapest);
+    }
+    double total0 = 0.0;
+    for (std::size_t j = 0; j < n_seg; ++j)
+        total0 += seg_work[0][j];
+    // Everything on the first device is always feasible, but when the
+    // latency floor exceeds total work the interval would invert —
+    // keep lo <= hi so the search stays well-formed.
+    double hi = std::max(total0, lo);
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (feasible(segments, seg_work, link, mid, nullptr, nullptr))
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    PipelineResult result;
+    result.devices = static_cast<int>(k);
+    std::vector<int> stage_dev;
+    EB_CHECK(
+        feasible(segments, seg_work, link, hi, &result, &stage_dev),
+        "pipelinePartition: binary search failed to converge");
+    result.stageDevices.reserve(stage_dev.size());
+    double bottleneck = 0.0;
+    double latency = 0.0;
+    for (std::size_t s = 0; s < result.stageMs.size(); ++s) {
+        const auto* dev =
+            devices[static_cast<std::size_t>(stage_dev[s])];
+        result.stageDevices.push_back(dev->device);
+        bottleneck = std::max(bottleneck, result.stageMs[s]);
+        latency += result.stageMs[s] +
+            dev->profile.perInferenceOverheadMs;
+    }
+    for (double tr : result.transferMs) {
+        bottleneck = std::max(bottleneck, tr);
+        latency += tr;
+    }
+    result.bottleneckMs = bottleneck;
+    // A zero-work graph over a zero-latency link yields a zero
+    // bottleneck; report a defined 0 Hz instead of dividing to inf.
+    result.throughputHz = bottleneck > 0.0 ? 1e3 / bottleneck : 0.0;
+    result.latencyMs = latency;
+    return result;
+}
 
 PipelineResult
 pipelinePartition(const frameworks::CompiledModel& device_model,
@@ -264,49 +362,9 @@ pipelinePartition(const frameworks::CompiledModel& device_model,
 {
     EB_CHECK(num_devices >= 1,
              "pipelinePartition: need at least one device");
-    const auto node_ms = hw::perNodeTotalMs(
-        device_model.graph, device_model.computeUnit(),
-        device_model.profile);
-    std::vector<double> scaled(node_ms.size());
-    for (std::size_t i = 0; i < node_ms.size(); ++i)
-        scaled[i] = node_ms[i] * device_model.swapFactor;
-
-    const auto segments = linearSegments(device_model.graph, scaled);
-
-    // Binary-search the bottleneck over [max segment, total work].
-    double lo = 0.0, total = 0.0;
-    for (const auto& s : segments) {
-        lo = std::max(lo, s.workMs);
-        total += s.workMs;
-        lo = std::max(lo, link.uploadMs(0.0)); // latency floor
-    }
-    double hi = total;
-    for (int iter = 0; iter < 60; ++iter) {
-        const double mid = 0.5 * (lo + hi);
-        if (feasible(segments, link, num_devices, mid, nullptr))
-            hi = mid;
-        else
-            lo = mid;
-    }
-
-    PipelineResult result;
-    result.devices = num_devices;
-    EB_CHECK(feasible(segments, link, num_devices, hi, &result),
-             "pipelinePartition: binary search failed to converge");
-    double bottleneck = 0.0;
-    double latency = device_model.profile.perInferenceOverheadMs;
-    for (double s : result.stageMs) {
-        bottleneck = std::max(bottleneck, s);
-        latency += s;
-    }
-    for (double tr : result.transferMs) {
-        bottleneck = std::max(bottleneck, tr);
-        latency += tr;
-    }
-    result.bottleneckMs = bottleneck;
-    result.throughputHz = 1e3 / bottleneck;
-    result.latencyMs = latency;
-    return result;
+    const std::vector<const frameworks::CompiledModel*> devices(
+        static_cast<std::size_t>(num_devices), &device_model);
+    return pipelinePartition(devices, link);
 }
 
 } // namespace distrib

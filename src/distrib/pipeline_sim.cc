@@ -1,0 +1,561 @@
+#include "edgebench/distrib/pipeline_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/harness/stats.hh"
+#include "edgebench/hw/device.hh"
+#include "edgebench/power/energy.hh"
+#include "edgebench/serving/events.hh"
+#include "edgebench/serving/walker.hh"
+
+namespace edgebench
+{
+namespace distrib
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SimEvent
+{
+    enum Kind
+    {
+        kSourceArrival,
+        kStageDone,
+    };
+    Kind kind = kSourceArrival;
+    int stage = -1;
+    std::int64_t frame = -1;
+};
+
+struct StageState
+{
+    const frameworks::CompiledModel* model = nullptr;
+    double serviceMs = 0.0; ///< plan stage time (jitter multiplies it)
+    std::deque<std::int64_t> queue;
+    bool busy = false;
+    bool down = false; ///< thermal shutdown observed
+    std::int64_t inService = -1;
+    double serviceStartMs = 0.0;
+    double curServiceMs = 0.0;
+    int lane = 0;
+    // Time-weighted queue-occupancy accounting.
+    double occAccum = 0.0;
+    double occLastMs = 0.0;
+    std::size_t occPeak = 0;
+    StageReport report;
+};
+
+/**
+ * The event loop executing one pipeline plan. Two event sources
+ * interleave deterministically: the compute timeline (TimelineQueue)
+ * and the network sub-simulator, merged by earliest-time with network
+ * completions winning ties — a fixed rule, so runs are
+ * bit-reproducible for a fixed seed.
+ */
+class PipelineEngine
+{
+  public:
+    PipelineEngine(
+        const PipelineResult& plan,
+        const std::vector<const frameworks::CompiledModel*>& models,
+        const NetworkConfig& net_config,
+        const PipelineSimConfig& config)
+        : plan_(plan),
+          cfg_(config),
+          tracer_(obs::kEnabledAtBuild ? config.tracer : nullptr),
+          net_(net_config,
+               static_cast<int>(plan.stageMs.size()) - 1,
+               config.seed ^ 0x6e657477ull /* "netw" */),
+          rng_(config.seed)
+    {
+        const std::size_t n_stages = plan_.stageMs.size();
+        EB_CHECK(n_stages >= 1, "pipeline sim: plan has no stages");
+        EB_CHECK(plan_.transferMs.size() + 1 == n_stages &&
+                     plan_.transferBytes.size() + 1 == n_stages,
+                 "pipeline sim: plan transfer arrays do not pair its "
+                 "stages (was it produced by pipelinePartition?)");
+        EB_CHECK(models.size() >= n_stages,
+                 "pipeline sim: " << n_stages << " stages need "
+                                  << n_stages << " stage models, got "
+                                  << models.size());
+        EB_CHECK(cfg_.frames >= 0, "pipeline sim: negative frames");
+        EB_CHECK(cfg_.queueCapacity >= 1,
+                 "pipeline sim: queue capacity must be >= 1");
+        EB_CHECK(cfg_.sourceHz >= 0.0,
+                 "pipeline sim: negative source rate");
+        EB_CHECK(cfg_.serviceJitter >= 0.0,
+                 "pipeline sim: negative service jitter");
+
+        if (tracer_)
+            tracer_->nameLane(0, "pipeline");
+        stages_.resize(n_stages);
+        for (std::size_t s = 0; s < n_stages; ++s) {
+            auto& st = stages_[s];
+            st.model = models[s];
+            EB_CHECK(st.model != nullptr,
+                     "pipeline sim: null stage model");
+            st.serviceMs = plan_.stageMs[s];
+            EB_CHECK(st.serviceMs >= 0.0,
+                     "pipeline sim: negative stage time");
+            st.report.device = st.model->device;
+            const auto& spec = hw::deviceSpec(st.model->device);
+            const double active_w =
+                power::energyPerInference(*st.model).activePowerW;
+            walkers_.emplace_back(st.model->device, cfg_.ambientC,
+                                  spec.idlePowerW, active_w,
+                                  cfg_.enableThermal);
+            if (tracer_)
+                st.lane = tracer_->ensureLane(
+                    "stage " + std::to_string(s) + ": " +
+                    hw::deviceName(st.model->device));
+        }
+        if (tracer_)
+            for (std::size_t l = 0; l + 1 < n_stages; ++l)
+                linkLanes_.push_back(tracer_->ensureLane(
+                    "link " + std::to_string(l) + "->" +
+                    std::to_string(l + 1)));
+    }
+
+    PipelineSimReport
+    run()
+    {
+        if (cfg_.sourceHz > 0.0) {
+            if (cfg_.frames > 0)
+                events_.push(0.0, {SimEvent::kSourceArrival, -1, -1});
+        } else {
+            pump(0.0);
+        }
+        tryStartAll(0.0);
+
+        for (;;) {
+            const double tq =
+                events_.empty() ? kInf : events_.topTime();
+            const double tn = net_.nextEventMs();
+            if (!std::isfinite(tq) && !std::isfinite(tn))
+                break;
+            if (tn <= tq) {
+                for (auto& d : net_.advanceTo(tn))
+                    onDelivery(d, tn);
+                lastMs_ = std::max(lastMs_, tn);
+            } else {
+                for (auto& d : net_.advanceTo(tq))
+                    onDelivery(d, tq);
+                const SimEvent e = events_.pop();
+                dispatch(e, tq);
+                lastMs_ = std::max(lastMs_, tq);
+            }
+        }
+        return finalize();
+    }
+
+  private:
+    std::size_t numStages() const { return stages_.size(); }
+
+    /** Time-weighted occupancy bookkeeping around a queue change. */
+    void
+    touchQueue(std::size_t s, double now_ms)
+    {
+        auto& st = stages_[s];
+        st.occAccum += static_cast<double>(st.queue.size()) *
+            (now_ms - st.occLastMs);
+        st.occLastMs = now_ms;
+    }
+
+    void
+    enqueue(std::size_t s, std::int64_t frame, double now_ms)
+    {
+        touchQueue(s, now_ms);
+        stages_[s].queue.push_back(frame);
+        stages_[s].occPeak =
+            std::max(stages_[s].occPeak, stages_[s].queue.size());
+    }
+
+    /** Closed-loop source: fill stage 0's queue while frames remain. */
+    void
+    pump(double now_ms)
+    {
+        if (cfg_.sourceHz > 0.0)
+            return;
+        while (offered_ < cfg_.frames &&
+               stages_[0].queue.size() < cfg_.queueCapacity)
+            admit(now_ms);
+    }
+
+    void
+    admit(double now_ms)
+    {
+        const auto id = offered_++;
+        admittedMs_.push_back(now_ms);
+        enqueue(0, id, now_ms);
+    }
+
+    /**
+     * Downstream slots already spoken for: frames queued at s+1, in
+     * flight on the link, and the one stage s itself is serving
+     * (which will be submitted when it finishes).
+     */
+    std::size_t
+    reservations(std::size_t s) const
+    {
+        return stages_[s + 1].queue.size() +
+            static_cast<std::size_t>(
+                net_.inFlight(static_cast<int>(s))) +
+            (stages_[s].busy ? 1u : 0u);
+    }
+
+    void
+    tryStartAll(double now_ms)
+    {
+        for (;;) {
+            bool progressed = false;
+            for (std::size_t s = 0; s < numStages(); ++s)
+                progressed |= tryStart(s, now_ms);
+            if (!progressed)
+                break;
+        }
+    }
+
+    bool
+    tryStart(std::size_t s, double now_ms)
+    {
+        auto& st = stages_[s];
+        if (st.busy || st.down || st.queue.empty())
+            return false;
+        // Backpressure: do not take a frame whose output could not
+        // land downstream — nothing is ever dropped at a queue.
+        if (!cfg_.dropOnFull && s + 1 < numStages() &&
+            reservations(s) >= cfg_.queueCapacity)
+            return false;
+
+        auto& walker = walkers_[s];
+        walker.advance(now_ms / 1e3);
+        if (walker.shutdownAt()) {
+            markDown(s, now_ms);
+            return true; // queue state changed (frames stranded)
+        }
+
+        touchQueue(s, now_ms);
+        const auto frame = st.queue.front();
+        st.queue.pop_front();
+        if (s == 0)
+            pump(now_ms);
+
+        double jitter = 1.0;
+        if (cfg_.serviceJitter > 0.0)
+            jitter = std::max(
+                0.0, 1.0 + rng_.normal(0.0, cfg_.serviceJitter));
+        const double service =
+            st.serviceMs * jitter * walker.slowdown();
+        st.busy = true;
+        st.inService = frame;
+        st.serviceStartMs = now_ms;
+        st.curServiceMs = service;
+        ++st.report.framesIn;
+        walker.addBusy(now_ms / 1e3, (now_ms + service) / 1e3);
+        events_.push(now_ms + service,
+                     {SimEvent::kStageDone, static_cast<int>(s),
+                      frame});
+        return true;
+    }
+
+    /** Thermal shutdown: the stage is off; its queue is stranded. */
+    void
+    markDown(std::size_t s, double now_ms)
+    {
+        auto& st = stages_[s];
+        if (st.down)
+            return;
+        st.down = true;
+        touchQueue(s, now_ms);
+        dropped_ += static_cast<std::int64_t>(st.queue.size());
+        st.report.queueDrops +=
+            static_cast<std::int64_t>(st.queue.size());
+        st.queue.clear();
+        if (tracer_)
+            tracer_->instantAt("thermal_shutdown", "pipeline", now_ms,
+                               st.lane);
+    }
+
+    void
+    dispatch(const SimEvent& e, double now_ms)
+    {
+        switch (e.kind) {
+        case SimEvent::kSourceArrival:
+            onSourceArrival(now_ms);
+            break;
+        case SimEvent::kStageDone:
+            onStageDone(static_cast<std::size_t>(e.stage), e.frame,
+                        now_ms);
+            break;
+        }
+        tryStartAll(now_ms);
+    }
+
+    void
+    onSourceArrival(double now_ms)
+    {
+        if (offered_ >= cfg_.frames)
+            return;
+        // An open-loop source (a camera) cannot be backpressured: a
+        // frame arriving at a full queue follows the drop policy.
+        if (stages_[0].queue.size() >= cfg_.queueCapacity) {
+            if (cfg_.dropOnFull &&
+                cfg_.dropPolicy == serving::DropPolicy::kDropOldest) {
+                touchQueue(0, now_ms);
+                stages_[0].queue.pop_front();
+                ++dropped_;
+                ++stages_[0].report.queueDrops;
+                admit(now_ms);
+            } else {
+                // Reject the newcomer (it still counts as offered).
+                ++offered_;
+                admittedMs_.push_back(now_ms);
+                ++dropped_;
+                ++stages_[0].report.queueDrops;
+                if (tracer_)
+                    tracer_->instantAt("source_drop", "pipeline",
+                                       now_ms, 0);
+            }
+        } else {
+            admit(now_ms);
+        }
+        if (offered_ < cfg_.frames)
+            events_.push(now_ms + 1e3 / cfg_.sourceHz,
+                         {SimEvent::kSourceArrival, -1, -1});
+    }
+
+    void
+    onStageDone(std::size_t s, std::int64_t frame, double now_ms)
+    {
+        auto& st = stages_[s];
+        st.busy = false;
+        st.inService = -1;
+
+        auto& walker = walkers_[s];
+        walker.advance(now_ms / 1e3);
+        if (walker.shutdownAt() &&
+            *walker.shutdownAt() * 1e3 <= now_ms - 1e-9) {
+            // The device died mid-service: the frame is lost and the
+            // stage serves nothing further.
+            markDown(s, now_ms);
+            ++dropped_;
+            return;
+        }
+
+        st.report.busyMs += st.curServiceMs;
+        ++st.report.framesOut;
+        if (tracer_) {
+            const auto span = tracer_->recordSpanAt(
+                "frame " + std::to_string(frame), "stage",
+                st.serviceStartMs, st.curServiceMs, st.lane);
+            tracer_->argNum(span, "frame", static_cast<double>(frame));
+        }
+
+        if (s + 1 == numStages()) {
+            completionsMs_.push_back(now_ms);
+            latenciesMs_.push_back(
+                now_ms - admittedMs_[static_cast<std::size_t>(frame)]);
+            ++completed_;
+            return;
+        }
+        const auto tid = net_.submit(static_cast<int>(s),
+                                     plan_.transferBytes[s], now_ms);
+        transferFrame_[tid] = frame;
+    }
+
+    void
+    onDelivery(const Delivery& d, double now_ms)
+    {
+        const auto it = transferFrame_.find(d.id);
+        EB_CHECK(it != transferFrame_.end(),
+                 "pipeline sim: unknown transfer " << d.id);
+        const auto frame = it->second;
+        transferFrame_.erase(it);
+        const auto li = static_cast<std::size_t>(d.link);
+
+        if (tracer_) {
+            const auto span = tracer_->recordSpanAt(
+                "frame " + std::to_string(frame), "network",
+                d.submittedMs, now_ms - d.submittedMs,
+                linkLanes_[li]);
+            tracer_->argNum(span, "attempts",
+                            static_cast<double>(d.attempts));
+            tracer_->argNum(span, "bytes", plan_.transferBytes[li]);
+        }
+        if (!d.delivered) {
+            ++dropped_;
+            if (tracer_)
+                tracer_->instantAt("frame_lost", "network", now_ms,
+                                   linkLanes_[li]);
+            tryStartAll(now_ms);
+            return;
+        }
+
+        const std::size_t s = li + 1;
+        auto& st = stages_[s];
+        if (st.down) {
+            ++dropped_;
+        } else if (st.queue.size() >= cfg_.queueCapacity) {
+            // Only reachable in dropOnFull mode: backpressure
+            // reserves the slot before the upstream stage starts.
+            EB_CHECK(cfg_.dropOnFull,
+                     "pipeline sim: queue overflow under "
+                     "backpressure");
+            if (cfg_.dropPolicy == serving::DropPolicy::kDropOldest) {
+                touchQueue(s, now_ms);
+                st.queue.pop_front();
+                ++dropped_;
+                ++st.report.queueDrops;
+                enqueue(s, frame, now_ms);
+            } else {
+                ++dropped_;
+                ++st.report.queueDrops;
+            }
+        } else {
+            enqueue(s, frame, now_ms);
+        }
+        tryStartAll(now_ms);
+    }
+
+    PipelineSimReport
+    finalize()
+    {
+        PipelineSimReport rep;
+        const double window = lastMs_;
+        rep.windowMs = window;
+
+        // Frames still queued when the line stalls for good (a dead
+        // stage downstream, or an exhausted closed-loop source with a
+        // dead stage upstream) are stranded: account them as drops so
+        // the offered = completed + dropped invariant holds.
+        for (std::size_t s = 0; s < numStages(); ++s) {
+            auto& st = stages_[s];
+            touchQueue(s, window);
+            if (!st.queue.empty()) {
+                dropped_ +=
+                    static_cast<std::int64_t>(st.queue.size());
+                st.report.queueDrops +=
+                    static_cast<std::int64_t>(st.queue.size());
+                st.queue.clear();
+            }
+        }
+
+        rep.offered = offered_;
+        rep.completed = completed_;
+        rep.dropped = dropped_;
+
+        std::sort(latenciesMs_.begin(), latenciesMs_.end());
+        rep.p50Ms = harness::Stats::percentile(latenciesMs_, 0.50);
+        rep.p95Ms = harness::Stats::percentile(latenciesMs_, 0.95);
+        rep.p99Ms = harness::Stats::percentile(latenciesMs_, 0.99);
+        rep.maxMs = latenciesMs_.empty() ? 0.0 : latenciesMs_.back();
+
+        const auto n = completionsMs_.size();
+        if (n >= 4) {
+            const std::size_t i0 = n / 2;
+            const double span =
+                completionsMs_[n - 1] - completionsMs_[i0];
+            if (span > 0.0)
+                rep.throughputHz =
+                    static_cast<double>(n - 1 - i0) / span * 1e3;
+        } else if (n >= 1 && window > 0.0) {
+            rep.throughputHz = static_cast<double>(n) / window * 1e3;
+        }
+
+        for (std::size_t s = 0; s < numStages(); ++s) {
+            auto& st = stages_[s];
+            auto& walker = walkers_[s];
+            walker.advance(window / 1e3);
+            st.report.utilization =
+                window > 0.0 ? st.report.busyMs / window : 0.0;
+            st.report.meanQueueDepth =
+                window > 0.0 ? st.occAccum / window : 0.0;
+            st.report.peakQueueDepth =
+                static_cast<double>(st.occPeak);
+            st.report.energyJ = walker.energyJ();
+            st.report.peakSurfaceC = walker.peakC();
+            st.report.thermalThrottled = walker.everThrottled();
+            if (walker.shutdownAt()) {
+                st.report.thermalShutdown = true;
+                st.report.shutdownAtS = *walker.shutdownAt();
+            }
+            rep.stages.push_back(st.report);
+        }
+
+        for (int l = 0; l < net_.numLinks(); ++l) {
+            const auto& ls =
+                net_.stats()[static_cast<std::size_t>(l)];
+            LinkReport lr;
+            lr.transfers = ls.transfers;
+            lr.retransmits = ls.retransmits;
+            lr.lostFrames = ls.drops;
+            lr.busyMs = ls.busyMs;
+            lr.utilization = window > 0.0 ? ls.busyMs / window : 0.0;
+            lr.txEnergyMJ = ls.txEnergyMJ;
+            rep.links.push_back(lr);
+        }
+
+        EB_CHECK(rep.accountingConsistent(),
+                 "pipeline sim: offered "
+                     << rep.offered << " != completed "
+                     << rep.completed << " + dropped "
+                     << rep.dropped);
+        return rep;
+    }
+
+    const PipelineResult& plan_;
+    PipelineSimConfig cfg_;
+    obs::Tracer* tracer_;
+    NetworkModel net_;
+    core::Rng rng_;
+    serving::TimelineQueue<SimEvent> events_;
+    std::vector<StageState> stages_;
+    std::vector<serving::ThermalWalker> walkers_;
+    std::vector<int> linkLanes_;
+    std::vector<double> admittedMs_;
+    std::unordered_map<std::int64_t, std::int64_t> transferFrame_;
+    std::vector<double> completionsMs_;
+    std::vector<double> latenciesMs_;
+    std::int64_t offered_ = 0;
+    std::int64_t completed_ = 0;
+    std::int64_t dropped_ = 0;
+    double lastMs_ = 0.0;
+};
+
+} // namespace
+
+PipelineSimReport
+simulatePipeline(
+    const PipelineResult& plan,
+    const std::vector<const frameworks::CompiledModel*>& stage_models,
+    const NetworkConfig& net, const PipelineSimConfig& config)
+{
+    PipelineEngine engine(plan, stage_models, net, config);
+    return engine.run();
+}
+
+PipelineSimReport
+simulatePipeline(const PipelineResult& plan,
+                 const frameworks::CompiledModel& model,
+                 const NetworkConfig& net,
+                 const PipelineSimConfig& config)
+{
+    const std::vector<const frameworks::CompiledModel*> models(
+        plan.stageMs.size(), &model);
+    return simulatePipeline(plan, models, net, config);
+}
+
+} // namespace distrib
+} // namespace edgebench

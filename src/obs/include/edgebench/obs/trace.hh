@@ -136,6 +136,14 @@ class Tracer
      */
     void nameLane(int lane, std::string label);
 
+    /**
+     * Return the lane already registered under @p label, or allocate
+     * the next free lane id and register it. Lets layers that create
+     * lanes dynamically (one per pipeline stage, one per network
+     * link) claim display lanes without coordinating ids by hand.
+     */
+    int ensureLane(const std::string& label);
+
     /** Labels registered via nameLane, keyed by lane. */
     const std::map<int, std::string>& laneNames() const
     {

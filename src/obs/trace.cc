@@ -128,6 +128,23 @@ Tracer::nameLane(int lane, std::string label)
     lane_names_[lane] = std::move(label);
 }
 
+int
+Tracer::ensureLane(const std::string& label)
+{
+    if (!kEnabledAtBuild)
+        return 0;
+    for (const auto& [lane, name] : lane_names_)
+        if (name == label)
+            return lane;
+    // lane_names_ is an ordered map: the next free id is one past the
+    // highest registered lane, so ensureLane composes with callers
+    // that pre-named low lanes via nameLane.
+    const int lane =
+        lane_names_.empty() ? 0 : lane_names_.rbegin()->first + 1;
+    lane_names_[lane] = label;
+    return lane;
+}
+
 void
 Tracer::argNum(SpanId id, const std::string& key, double value)
 {

@@ -1,40 +1,22 @@
 #include "edgebench/serving/events.hh"
 
-#include <algorithm>
-#include <cmath>
-
-#include "edgebench/core/common.hh"
-
 namespace edgebench
 {
 namespace serving
 {
 
-bool
-EventQueue::later(const Entry& a, const Entry& b)
-{
-    if (a.event.timeS != b.event.timeS)
-        return a.event.timeS > b.event.timeS;
-    return a.seq > b.seq;
-}
-
 void
 EventQueue::push(Event e)
 {
-    EB_CHECK(std::isfinite(e.timeS) && e.timeS >= 0.0,
-             "EventQueue: bad event time " << e.timeS);
-    heap_.push_back(Entry{e, nextSeq_++});
-    std::push_heap(heap_.begin(), heap_.end(), later);
+    const double t = e.timeS;
+    q_.push(t, std::move(e));
 }
 
 Event
 EventQueue::pop()
 {
-    EB_CHECK(!heap_.empty(), "EventQueue: pop on empty queue");
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    const Event e = heap_.back().event;
-    heap_.pop_back();
-    return e;
+    EB_CHECK(!q_.empty(), "EventQueue: pop on empty queue");
+    return q_.pop();
 }
 
 } // namespace serving

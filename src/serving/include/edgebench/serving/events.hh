@@ -7,18 +7,89 @@
  * moves forward, nothing observes host clocks). Events at equal
  * timestamps pop in insertion order, so a fleet run is bit-reproducible
  * for a fixed seed regardless of heap internals.
+ *
+ * TimelineQueue is the reusable primitive: a (time, insertion-order)
+ * min-heap over an arbitrary payload. EventQueue specializes it for
+ * the serving fleet; the distrib pipeline simulator reuses it with its
+ * own event type (and a millisecond timeline).
  */
 
 #ifndef EDGEBENCH_SERVING_EVENTS_HH
 #define EDGEBENCH_SERVING_EVENTS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "edgebench/core/common.hh"
 
 namespace edgebench
 {
 namespace serving
 {
+
+/**
+ * Min-heap of (time, payload) entries ordered by (time, insertion
+ * order). The secondary key makes simultaneous events FIFO —
+ * deterministic tie-breaking is what keeps simulation runs
+ * reproducible. Time units are whatever the caller's timeline uses.
+ */
+template <typename Payload>
+class TimelineQueue
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Schedule @p p at @p time; throws on non-finite/negative time. */
+    void
+    push(double time, Payload p)
+    {
+        EB_CHECK(std::isfinite(time) && time >= 0.0,
+                 "timeline: bad event time " << time);
+        heap_.push_back(Entry{time, nextSeq_++, std::move(p)});
+        std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+
+    /** Earliest time (undefined when empty — check empty() first). */
+    double topTime() const { return heap_.front().time; }
+
+    /** Earliest payload (undefined when empty). */
+    const Payload& top() const { return heap_.front().payload; }
+
+    /** Remove and return the earliest payload. */
+    Payload
+    pop()
+    {
+        EB_CHECK(!heap_.empty(), "timeline: pop on empty queue");
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        Payload p = std::move(heap_.back().payload);
+        heap_.pop_back();
+        return p;
+    }
+
+  private:
+    struct Entry
+    {
+        double time = 0.0;
+        std::uint64_t seq = 0;
+        Payload payload;
+    };
+
+    /** std::push_heap comparator: true when a fires *later* than b. */
+    static bool
+    later(const Entry& a, const Entry& b)
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.seq > b.seq;
+    }
+
+    std::vector<Entry> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
 
 /** What a scheduled event does when it fires. */
 enum class EventKind
@@ -40,37 +111,26 @@ struct Event
 };
 
 /**
- * Min-heap of events ordered by (timeS, insertion order). The
- * secondary key makes simultaneous events FIFO — deterministic
- * tie-breaking is what keeps fleet runs reproducible.
+ * The serving fleet's event heap: a TimelineQueue keyed by
+ * Event::timeS (seconds).
  */
 class EventQueue
 {
   public:
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
 
     /** Schedule @p e; throws on non-finite or negative time. */
     void push(Event e);
 
     /** Earliest event (undefined when empty — check empty() first). */
-    const Event& top() const { return heap_.front().event; }
+    const Event& top() const { return q_.top(); }
 
     /** Remove and return the earliest event. */
     Event pop();
 
   private:
-    struct Entry
-    {
-        Event event;
-        std::uint64_t seq = 0;
-    };
-
-    /** std::push_heap comparator: true when a fires *later* than b. */
-    static bool later(const Entry& a, const Entry& b);
-
-    std::vector<Entry> heap_;
-    std::uint64_t nextSeq_ = 0;
+    TimelineQueue<Event> q_;
 };
 
 } // namespace serving

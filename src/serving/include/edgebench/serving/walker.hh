@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-replica thermal/energy walker.
+ *
+ * Walks one device's thermal model forward in one-second chunks, fed
+ * by the busy intervals a discrete-event loop produces. Keeps the
+ * energy integral as a by-product. After a thermal shutdown the device
+ * is off: busy intervals are truncated at the shutdown instant and the
+ * remaining window dissipates zero power.
+ *
+ * Shared by the serving fleet (one walker per replica) and the distrib
+ * pipeline simulator (one walker per stage device). The timeline is in
+ * seconds — callers on a millisecond timeline convert at the boundary.
+ */
+
+#ifndef EDGEBENCH_SERVING_WALKER_HH
+#define EDGEBENCH_SERVING_WALKER_HH
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "edgebench/hw/device.hh"
+#include "edgebench/thermal/thermal.hh"
+
+namespace edgebench
+{
+namespace serving
+{
+
+class ThermalWalker
+{
+  public:
+    /**
+     * @param enabled couple to the device's thermal model when it has
+     *        one; when false (or the platform has no thermal
+     *        instrumentation) only the energy integral is kept.
+     */
+    ThermalWalker(hw::DeviceId device, double ambient_c, double idle_w,
+                  double active_w, bool enabled);
+
+    /** Register a busy interval [start, end); starts are monotonic. */
+    void addBusy(double start, double end);
+
+    /** Advance to @p to (seconds); returns false after shutdown. */
+    bool advance(double to);
+
+    /** Current thermal-throttle service-time multiplier (>= 1). */
+    double slowdown() const
+    {
+        return sim_ ? sim_->slowdownFactor() : 1.0;
+    }
+    bool everThrottled() const { return everThrottled_; }
+    std::optional<double> shutdownAt() const { return shutdownAt_; }
+    double energyJ() const { return energyJ_; }
+    double peakC() const { return sim_ ? peakC_ : 0.0; }
+
+  private:
+    void prune();
+    void truncateBusyAt(double t);
+    double busyFraction(double lo, double hi) const;
+
+    std::optional<thermal::ThermalSimulator> sim_;
+    std::vector<std::pair<double, double>> busy_;
+    std::size_t pruned_ = 0;
+    double idleW_;
+    double activeW_;
+    double cursor_ = 0.0;
+    double energyJ_ = 0.0;
+    double peakC_ = 0.0;
+    bool everThrottled_ = false;
+    std::optional<double> shutdownAt_;
+};
+
+} // namespace serving
+} // namespace edgebench
+
+#endif // EDGEBENCH_SERVING_WALKER_HH

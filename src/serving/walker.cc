@@ -1,0 +1,109 @@
+#include "edgebench/serving/walker.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace serving
+{
+
+ThermalWalker::ThermalWalker(hw::DeviceId device, double ambient_c,
+                             double idle_w, double active_w,
+                             bool enabled)
+    : idleW_(idle_w), activeW_(active_w)
+{
+    if (enabled) {
+        try {
+            sim_.emplace(device, ambient_c);
+            peakC_ = sim_->surfaceC();
+        } catch (const InvalidArgumentError&) {
+            // Platform without thermal instrumentation.
+        }
+    }
+}
+
+void
+ThermalWalker::addBusy(double start, double end)
+{
+    if (shutdownAt_)
+        return; // a dead device serves nothing
+    busy_.push_back({start, end});
+}
+
+bool
+ThermalWalker::advance(double to)
+{
+    while (cursor_ + 1e-9 < to) {
+        const double dt = std::min(1.0, to - cursor_);
+        if (!shutdownAt_) {
+            const double frac = busyFraction(cursor_, cursor_ + dt);
+            const double p = idleW_ + (activeW_ - idleW_) * frac;
+            energyJ_ += p * dt;
+            if (sim_ && !sim_->shutDown()) {
+                sim_->step(p, dt);
+                peakC_ = std::max(peakC_, sim_->surfaceC());
+                everThrottled_ |= sim_->throttled();
+                if (sim_->shutDown()) {
+                    shutdownAt_ = sim_->timeS();
+                    truncateBusyAt(*shutdownAt_);
+                }
+            }
+        }
+        cursor_ += dt;
+        prune();
+    }
+    return !shutdownAt_.has_value();
+}
+
+/**
+ * Drop intervals that end at or before the cursor: busyFraction is
+ * only ever asked about [cursor, cursor+dt), so they can never overlap
+ * a future chunk. Without this the scan is O(intervals) per one-second
+ * chunk — quadratic over a long serving run.
+ */
+void
+ThermalWalker::prune()
+{
+    while (pruned_ < busy_.size() &&
+           busy_[pruned_].second <= cursor_ + 1e-12)
+        ++pruned_;
+    if (pruned_ > 1024 && pruned_ * 2 > busy_.size()) {
+        busy_.erase(busy_.begin(),
+                    busy_.begin() +
+                        static_cast<std::ptrdiff_t>(pruned_));
+        pruned_ = 0;
+    }
+}
+
+/**
+ * A shutdown mid-service must not keep charging the aborted request's
+ * busy tail: clip every interval at @p t and drop the ones that had
+ * not even started.
+ */
+void
+ThermalWalker::truncateBusyAt(double t)
+{
+    while (!busy_.empty() && busy_.back().first >= t)
+        busy_.pop_back();
+    if (!busy_.empty())
+        busy_.back().second = std::min(busy_.back().second, t);
+    pruned_ = std::min(pruned_, busy_.size());
+}
+
+double
+ThermalWalker::busyFraction(double lo, double hi) const
+{
+    double busy = 0.0;
+    for (std::size_t i = pruned_; i < busy_.size(); ++i) {
+        if (busy_[i].first >= hi)
+            break; // intervals are start-ordered
+        busy += std::max(0.0, std::min(hi, busy_[i].second) -
+                                  std::max(lo, busy_[i].first));
+    }
+    return std::clamp(busy / std::max(hi - lo, 1e-12), 0.0, 1.0);
+}
+
+} // namespace serving
+} // namespace edgebench

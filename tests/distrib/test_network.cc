@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the stochastic network model behind the pipeline
+ * simulator: switched/shared media, loss with bounded retransmit,
+ * jitter, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/distrib/network.hh"
+
+namespace ed = edgebench::distrib;
+
+namespace
+{
+
+/** Drain everything: advance far past any plausible completion. */
+std::vector<ed::Delivery>
+drain(ed::NetworkModel& net, double until_ms = 1e9)
+{
+    return net.advanceTo(until_ms);
+}
+
+} // namespace
+
+TEST(NetworkModelTest, SingleTransferMatchesAnalyticUpload)
+{
+    // 2 MB/s, 10 ms: shipping 2 MB costs 1000 + 10 ms — exactly the
+    // closed-form LinkModel::uploadMs the partitioner prices with.
+    ed::NetworkConfig cfg;
+    cfg.link.bandwidthMBs = 2.0;
+    cfg.link.latencyMs = 10.0;
+    ed::NetworkModel net(cfg, 1, 42);
+    net.submit(0, 2e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].delivered);
+    EXPECT_EQ(out[0].attempts, 1);
+    EXPECT_NEAR(out[0].doneMs, 1010.0, 1e-6);
+
+    ed::LinkModel analytic{2.0, 10.0, 0.8};
+    EXPECT_NEAR(out[0].doneMs, analytic.uploadMs(2e6), 1e-6);
+}
+
+TEST(NetworkModelTest, SwitchedLinkSerializesFifo)
+{
+    // Store-and-forward: the second frame waits for the first to
+    // clear its cable, so back-to-back frames repeat at the analytic
+    // period serialize + latency.
+    ed::NetworkConfig cfg;
+    cfg.link.bandwidthMBs = 10.0; // 1 MB = 100 ms serialize
+    cfg.link.latencyMs = 5.0;
+    ed::NetworkModel net(cfg, 1, 1);
+    const auto a = net.submit(0, 1e6, 0.0);
+    const auto b = net.submit(0, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, a);
+    EXPECT_EQ(out[1].id, b);
+    EXPECT_NEAR(out[0].doneMs, 105.0, 1e-6);
+    EXPECT_NEAR(out[1].doneMs, 210.0, 1e-6);
+}
+
+TEST(NetworkModelTest, LinksAreIndependentWhenSwitched)
+{
+    ed::NetworkConfig cfg;
+    cfg.link.bandwidthMBs = 10.0;
+    cfg.link.latencyMs = 5.0;
+    ed::NetworkModel net(cfg, 2, 1);
+    net.submit(0, 1e6, 0.0);
+    net.submit(1, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 2u);
+    // Different cables: both frames land at the single-frame time.
+    EXPECT_NEAR(out[0].doneMs, 105.0, 1e-6);
+    EXPECT_NEAR(out[1].doneMs, 105.0, 1e-6);
+}
+
+TEST(NetworkModelTest, SharedMediumHalvesConcurrentRate)
+{
+    // Processor sharing: two equal frames on one broadcast domain
+    // each drain at bandwidth/2, so both clear the medium at twice
+    // the solo serialization time, then pay the latency off-medium.
+    ed::NetworkConfig cfg;
+    cfg.medium = ed::MediumMode::kShared;
+    cfg.link.bandwidthMBs = 10.0; // 1 MB = 100 ms solo
+    cfg.link.latencyMs = 5.0;
+    ed::NetworkModel net(cfg, 2, 1);
+    net.submit(0, 1e6, 0.0);
+    net.submit(1, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NEAR(out[0].doneMs, 205.0, 1e-6);
+    EXPECT_NEAR(out[1].doneMs, 205.0, 1e-6);
+}
+
+TEST(NetworkModelTest, SharedMediumSoloTransferPaysNoPenalty)
+{
+    ed::NetworkConfig cfg;
+    cfg.medium = ed::MediumMode::kShared;
+    cfg.link.bandwidthMBs = 10.0;
+    cfg.link.latencyMs = 5.0;
+    ed::NetworkModel net(cfg, 1, 1);
+    net.submit(0, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].doneMs, 105.0, 1e-6);
+}
+
+TEST(NetworkModelTest, LossExhaustsBoundedRetransmits)
+{
+    // Near-certain loss: the frame burns its first try plus every
+    // allowed re-send and is finally reported as dropped.
+    ed::NetworkConfig cfg;
+    cfg.link.lossRate = 0.999999;
+    cfg.retransmit.maxAttempts = 3;
+    cfg.retransmit.backoffMs = 10.0;
+    ed::NetworkModel net(cfg, 1, 7);
+    net.submit(0, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].delivered);
+    EXPECT_EQ(out[0].attempts, 4); // first try + 3 re-sends
+    EXPECT_EQ(net.stats()[0].retransmits, 3);
+    EXPECT_EQ(net.stats()[0].drops, 1);
+    // Each re-send pays serialization again plus its backoff.
+    ed::LinkModel solo{50.0, 1.0, 0.8};
+    EXPECT_GT(out[0].doneMs, 4.0 * solo.uploadMs(1e6));
+}
+
+TEST(NetworkModelTest, ZeroMaxAttemptsDropsOnFirstLoss)
+{
+    ed::NetworkConfig cfg;
+    cfg.link.lossRate = 0.999999;
+    cfg.retransmit.maxAttempts = 0;
+    ed::NetworkModel net(cfg, 1, 7);
+    net.submit(0, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].delivered);
+    EXPECT_EQ(out[0].attempts, 1);
+    EXPECT_EQ(net.stats()[0].retransmits, 0);
+}
+
+TEST(NetworkModelTest, ModerateLossUsuallyDeliversWithRetries)
+{
+    ed::NetworkConfig cfg;
+    cfg.link.lossRate = 0.3;
+    cfg.retransmit.maxAttempts = 8;
+    ed::NetworkModel net(cfg, 1, 11);
+    for (int i = 0; i < 50; ++i)
+        net.submit(0, 1e5, static_cast<double>(i));
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 50u);
+    std::int64_t delivered = 0;
+    bool retried = false;
+    for (const auto& d : out) {
+        delivered += d.delivered ? 1 : 0;
+        retried |= d.attempts > 1;
+    }
+    // P(drop) = 0.3^9 ~ 2e-5: all 50 land, several after retries.
+    EXPECT_EQ(delivered, 50);
+    EXPECT_TRUE(retried);
+    EXPECT_GT(net.stats()[0].retransmits, 0);
+}
+
+TEST(NetworkModelTest, DeterministicForAFixedSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        ed::NetworkConfig cfg;
+        cfg.link.lossRate = 0.2;
+        cfg.link.jitter = 0.3;
+        ed::NetworkModel net(cfg, 2, seed);
+        for (int i = 0; i < 20; ++i)
+            net.submit(i % 2, 2e5, 3.0 * i);
+        return drain(net);
+    };
+    const auto a = run(99);
+    const auto b = run(99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].delivered, b[i].delivered);
+        EXPECT_EQ(a[i].attempts, b[i].attempts);
+        EXPECT_DOUBLE_EQ(a[i].doneMs, b[i].doneMs);
+    }
+    // A different seed perturbs the jittered timeline.
+    const auto c = run(100);
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].doneMs != c[i].doneMs ||
+            a[i].attempts != c[i].attempts;
+    EXPECT_TRUE(differs);
+}
+
+TEST(NetworkModelTest, JitterPerturbsLatencyOnly)
+{
+    ed::NetworkConfig cfg;
+    cfg.link.bandwidthMBs = 10.0;
+    cfg.link.latencyMs = 5.0;
+    cfg.link.jitter = 0.5;
+    ed::NetworkModel net(cfg, 1, 3);
+    for (int i = 0; i < 20; ++i)
+        net.submit(0, 1e6, 1e3 * i); // well separated
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 20u);
+    bool varied = false;
+    double prev = -1.0;
+    for (const auto& d : out) {
+        const double elapsed = d.doneMs - d.submittedMs;
+        // Serialization is deterministic; latency is jittered but
+        // clamped non-negative.
+        EXPECT_GE(elapsed, 100.0 - 1e-9);
+        if (prev >= 0.0 && std::abs(elapsed - prev) > 1e-9)
+            varied = true;
+        prev = elapsed;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(NetworkModelTest, InFlightTracksQueuedAndActive)
+{
+    ed::NetworkConfig cfg;
+    cfg.link.bandwidthMBs = 10.0;
+    ed::NetworkModel net(cfg, 1, 1);
+    net.submit(0, 1e6, 0.0);
+    net.submit(0, 1e6, 0.0);
+    EXPECT_EQ(net.inFlight(0), 2);
+    (void)drain(net);
+    EXPECT_EQ(net.inFlight(0), 0);
+}
+
+TEST(NetworkModelTest, PerLinkOverridesApply)
+{
+    ed::NetworkConfig cfg;
+    cfg.perLink.resize(2);
+    cfg.perLink[0] = {10.0, 5.0, 0.0, 0.0, 0.8};
+    cfg.perLink[1] = {1.0, 50.0, 0.0, 0.0, 0.8};
+    ed::NetworkModel net(cfg, 2, 1);
+    net.submit(0, 1e6, 0.0);
+    net.submit(1, 1e6, 0.0);
+    const auto out = drain(net);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NEAR(out[0].doneMs, 105.0, 1e-6);
+    EXPECT_NEAR(out[1].doneMs, 1050.0, 1e-6);
+}
+
+TEST(NetworkModelTest, ValidatesConfiguration)
+{
+    using edgebench::InvalidArgumentError;
+    {
+        ed::NetworkConfig cfg;
+        cfg.link.bandwidthMBs = 0.0;
+        EXPECT_THROW(ed::NetworkModel(cfg, 1, 1),
+                     InvalidArgumentError);
+    }
+    {
+        ed::NetworkConfig cfg;
+        cfg.link.lossRate = 1.0; // certain loss never terminates
+        EXPECT_THROW(ed::NetworkModel(cfg, 1, 1),
+                     InvalidArgumentError);
+    }
+    {
+        ed::NetworkConfig cfg;
+        cfg.perLink.resize(3); // 3 specs for 2 links
+        EXPECT_THROW(ed::NetworkModel(cfg, 2, 1),
+                     InvalidArgumentError);
+    }
+    {
+        ed::NetworkConfig cfg;
+        ed::NetworkModel net(cfg, 1, 1);
+        EXPECT_THROW(net.submit(5, 1.0, 0.0), InvalidArgumentError);
+        net.advanceTo(10.0);
+        EXPECT_THROW(net.advanceTo(5.0), InvalidArgumentError);
+        EXPECT_THROW(net.submit(0, 1.0, 5.0), InvalidArgumentError);
+    }
+}
+
+TEST(NetworkModelTest, LinkSpecAdaptsAnalyticLinkModel)
+{
+    const auto s = ed::linkSpec(ed::wifiLink());
+    EXPECT_DOUBLE_EQ(s.bandwidthMBs, ed::wifiLink().uplinkMBs);
+    EXPECT_DOUBLE_EQ(s.latencyMs, ed::wifiLink().oneWayLatencyMs);
+    EXPECT_DOUBLE_EQ(s.txPowerW, ed::wifiLink().txPowerW);
+    EXPECT_EQ(s.lossRate, 0.0);
+    EXPECT_EQ(s.jitter, 0.0);
+}
+
+TEST(NetworkModelTest, BusyTimeAndEnergyAccumulate)
+{
+    ed::NetworkConfig cfg;
+    cfg.link.bandwidthMBs = 10.0;
+    cfg.link.latencyMs = 0.0;
+    cfg.link.txPowerW = 2.0;
+    ed::NetworkModel net(cfg, 1, 1);
+    net.submit(0, 1e6, 0.0);
+    (void)drain(net);
+    EXPECT_NEAR(net.stats()[0].busyMs, 100.0, 1e-6);
+    EXPECT_NEAR(net.stats()[0].txEnergyMJ, 200.0, 1e-6);
+}

@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "edgebench/core/common.hh"
 #include "edgebench/distrib/partition.hh"
+#include "edgebench/graph/graph.hh"
 #include "edgebench/models/zoo.hh"
 
 namespace ed = edgebench::distrib;
+namespace eg = edgebench::graph;
 namespace ef = edgebench::frameworks;
 namespace eh = edgebench::hw;
 namespace em = edgebench::models;
@@ -138,6 +142,95 @@ TEST(PartitionTest, EnergyOptimumPrefersLessEdgeWork)
     const auto r = run(em::ModelId::kResNet50, fast);
     EXPECT_LE(r.bestEnergy.edgeEnergyMJ,
               r.best.edgeEnergyMJ + 1e-9);
+}
+
+TEST(CutPointTest, ChainGraphCutsEverywhereButTheEnd)
+{
+    // in -> conv -> conv -> dense: every interior position is a
+    // linear cut, and the node crossing each cut is the cut node
+    // itself.
+    eg::Graph g;
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c1 = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto c2 = g.addConv2d(c1, 4, 3, 3, 1, 1);
+    auto fl = g.addFlatten(c2);
+    auto fc = g.addDense(fl, 10);
+    g.markOutput(fc);
+    const auto cuts = ed::linearCutPoints(g);
+    ASSERT_EQ(cuts.size(), 4u);
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+        EXPECT_EQ(cuts[i].cutAfter, static_cast<eg::NodeId>(i));
+        EXPECT_EQ(cuts[i].crossing, cuts[i].cutAfter);
+    }
+}
+
+TEST(CutPointTest, RejectsCutsWhereTwoTensorsCross)
+{
+    // A residual diamond: after the first branch node, both the trunk
+    // tensor and the branch tensor would cross the boundary, so no
+    // cut exists inside the diamond.
+    eg::Graph g;
+    auto in = g.addInput({1, 4, 8, 8});
+    auto trunk = g.addConv2d(in, 4, 3, 3, 1, 1);       // node 1
+    auto branch = g.addConv2d(trunk, 4, 3, 3, 1, 1);   // node 2
+    auto branch2 = g.addConv2d(branch, 4, 3, 3, 1, 1); // node 3
+    auto join = g.addAdd(trunk, branch2);              // node 4
+    auto head = g.addActivation(join, eg::ActKind::kRelu);
+    g.markOutput(head);
+
+    const auto cuts = ed::linearCutPoints(g);
+    std::vector<eg::NodeId> positions;
+    for (const auto& c : cuts)
+        positions.push_back(c.cutAfter);
+    // Cuts exist before the diamond (after nodes 0 and 1) and at the
+    // join (after node 4); inside it (after 2 or 3) two tensors
+    // cross.
+    EXPECT_NE(std::find(positions.begin(), positions.end(), 1),
+              positions.end());
+    EXPECT_EQ(std::find(positions.begin(), positions.end(), 2),
+              positions.end());
+    EXPECT_EQ(std::find(positions.begin(), positions.end(), 3),
+              positions.end());
+    EXPECT_NE(std::find(positions.begin(), positions.end(), 4),
+              positions.end());
+    // The cut after the trunk node reports the trunk as crossing.
+    for (const auto& c : cuts) {
+        if (c.cutAfter == 1) {
+            EXPECT_EQ(c.crossing, trunk);
+        }
+    }
+}
+
+TEST(CutPointTest, NoCutAfterAGraphOutput)
+{
+    // An early output pins everything after it: positions at or past
+    // the first output are rejected.
+    eg::Graph g;
+    auto in = g.addInput({1, 4, 8, 8});
+    auto mid = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto late = g.addConv2d(mid, 4, 3, 3, 1, 1);
+    g.markOutput(mid);
+    g.markOutput(late);
+    for (const auto& c : ed::linearCutPoints(g))
+        EXPECT_LT(c.cutAfter, mid);
+}
+
+TEST(CutPointTest, PartitionCandidatesComeFromTheSharedScan)
+{
+    // partition() and pipelinePartition() enumerate cuts through the
+    // same helper: the candidate list is exactly the shared cuts plus
+    // the two extremes.
+    const auto edge = compileOn(em::ModelId::kResNet18,
+                                ef::FrameworkId::kPyTorch,
+                                eh::DeviceId::kRpi3);
+    const auto cuts = ed::linearCutPoints(edge.graph);
+    const auto r = run(em::ModelId::kResNet18, ed::wifiLink());
+    ASSERT_EQ(r.candidates.size(), cuts.size() + 2);
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+        EXPECT_EQ(r.candidates[i + 1].cutAfter, cuts[i].cutAfter);
+        EXPECT_EQ(r.candidates[i + 1].boundaryName,
+                  edge.graph.node(cuts[i].crossing).name);
+    }
 }
 
 TEST(PartitionTest, ResidualNetworksStillHaveLinearCuts)

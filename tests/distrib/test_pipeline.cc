@@ -6,11 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "edgebench/core/common.hh"
 #include "edgebench/distrib/partition.hh"
+#include "edgebench/graph/graph.hh"
 #include "edgebench/models/zoo.hh"
 
 namespace ed = edgebench::distrib;
+namespace eg = edgebench::graph;
 namespace ef = edgebench::frameworks;
 namespace eh = edgebench::hw;
 namespace em = edgebench::models;
@@ -112,4 +118,115 @@ TEST(PipelineTest, RejectsZeroDevices)
     const auto m = onRpi(em::ModelId::kCifarNet);
     EXPECT_THROW(ed::pipelinePartition(m, ed::lanLink(), 0),
                  edgebench::InvalidArgumentError);
+}
+
+TEST(PipelineTest, ZeroWorkPlanReportsZeroHzNotInfinity)
+{
+    // Regression: a plan whose bottleneck is 0 ms (a free graph over
+    // a zero-latency link) used to divide to +inf Hz. The contract is
+    // a defined 0 Hz with finite fields throughout.
+    eg::Graph g;
+    auto in = g.addInput({1, 4});
+    g.markOutput(in);
+    const auto m = ef::framework(ef::FrameworkId::kTensorFlow)
+                       .compile(g, eh::DeviceId::kRpi3);
+    ed::LinkModel free_link{1.0, 0.0, 0.0};
+    const auto r = ed::pipelinePartition(m, free_link, 1);
+    EXPECT_TRUE(std::isfinite(r.throughputHz));
+    EXPECT_EQ(r.bottleneckMs, 0.0);
+    EXPECT_EQ(r.throughputHz, 0.0);
+}
+
+TEST(PipelineTest, SingleDeviceIgnoresTheLinkEntirely)
+{
+    // Regression: the binary search used to floor its lower bound at
+    // link.uploadMs(0) even for one device, although a single-device
+    // pipeline has no transfers. A link with absurd latency must
+    // produce exactly the LAN result.
+    const auto m = onRpi(em::ModelId::kResNet18);
+    ed::LinkModel stratospheric{1.0, 1e9, 0.8};
+    const auto slow = ed::pipelinePartition(m, stratospheric, 1);
+    const auto lan = ed::pipelinePartition(m, ed::lanLink(), 1);
+    ASSERT_EQ(slow.stageMs.size(), 1u);
+    EXPECT_TRUE(slow.transferMs.empty());
+    EXPECT_DOUBLE_EQ(slow.bottleneckMs, lan.bottleneckMs);
+    EXPECT_DOUBLE_EQ(slow.throughputHz, lan.throughputHz);
+    EXPECT_DOUBLE_EQ(slow.latencyMs, lan.latencyMs);
+}
+
+TEST(PipelineTest, SearchBoundsStayOrderedUnderHugeLatency)
+{
+    // Regression: with several devices and a latency floor above the
+    // total work the search interval used to invert (hi < lo). The
+    // well-formed search concentrates everything on one device and
+    // still reports a consistent bottleneck.
+    const auto m = onRpi(em::ModelId::kCifarNet);
+    ed::LinkModel stratospheric{1.0, 1e9, 0.8};
+    const auto r = ed::pipelinePartition(m, stratospheric, 4);
+    ASSERT_EQ(r.stageMs.size(), 1u); // transfers are unaffordable
+    EXPECT_TRUE(std::isfinite(r.bottleneckMs));
+    EXPECT_DOUBLE_EQ(r.bottleneckMs, r.stageMs[0]);
+    EXPECT_NEAR(r.throughputHz, 1e3 / r.bottleneckMs, 1e-9);
+}
+
+TEST(PipelineTest, HeterogeneousListPricesStagesPerDevice)
+{
+    const auto rpi = onRpi(em::ModelId::kResNet18);
+    const auto tx2 =
+        ef::framework(ef::FrameworkId::kTensorFlow)
+            .compile(em::buildModel(em::ModelId::kResNet18),
+                     eh::DeviceId::kJetsonTx2);
+    const std::vector<const ef::CompiledModel*> devs{&tx2, &rpi};
+    const auto r = ed::pipelinePartition(devs, ed::lanLink());
+    ASSERT_EQ(r.stageDevices.size(), r.stageMs.size());
+    EXPECT_EQ(r.stageDevices.front(), eh::DeviceId::kJetsonTx2);
+    if (r.stageDevices.size() == 2) {
+        EXPECT_EQ(r.stageDevices[1], eh::DeviceId::kRpi3);
+    }
+    // The recomputed invariant holds for heterogeneous lists too.
+    double expected = 0.0;
+    for (double s : r.stageMs)
+        expected = std::max(expected, s);
+    for (double t : r.transferMs)
+        expected = std::max(expected, t);
+    EXPECT_DOUBLE_EQ(r.bottleneckMs, expected);
+    // A TX2 front end beats two RPis: the fast device absorbs more
+    // of the network than an RPi could under the same bottleneck.
+    const auto homog = ed::pipelinePartition(rpi, ed::lanLink(), 2);
+    EXPECT_GE(r.throughputHz, homog.throughputHz * 0.999);
+}
+
+TEST(PipelineTest, HeterogeneousValidatesItsInputs)
+{
+    const auto a = onRpi(em::ModelId::kResNet18);
+    const auto b = onRpi(em::ModelId::kCifarNet);
+    EXPECT_THROW(
+        ed::pipelinePartition(
+            std::vector<const ef::CompiledModel*>{}, ed::lanLink()),
+        edgebench::InvalidArgumentError);
+    EXPECT_THROW(ed::pipelinePartition(
+                     std::vector<const ef::CompiledModel*>{&a,
+                                                           nullptr},
+                     ed::lanLink()),
+                 edgebench::InvalidArgumentError);
+    // Different topologies cannot share one pipeline.
+    EXPECT_THROW(ed::pipelinePartition(
+                     std::vector<const ef::CompiledModel*>{&a, &b},
+                     ed::lanLink()),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(PipelineTest, PlanCarriesTransferBytesForTheSimulator)
+{
+    const auto m = onRpi(em::ModelId::kResNet18);
+    const auto r = ed::pipelinePartition(m, ed::lanLink(), 4);
+    ASSERT_EQ(r.transferBytes.size(), r.transferMs.size());
+    ASSERT_EQ(r.boundaries.size(), r.transferMs.size());
+    ASSERT_EQ(r.stageDevices.size(), r.stageMs.size());
+    ed::LinkModel link = ed::lanLink();
+    for (std::size_t i = 0; i < r.transferBytes.size(); ++i) {
+        EXPECT_GT(r.transferBytes[i], 0.0);
+        EXPECT_NEAR(r.transferMs[i],
+                    link.uploadMs(r.transferBytes[i]), 1e-9);
+    }
 }

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the event-driven pipeline simulator: analytic agreement
+ * under an ideal network, measurable degradation under loss and
+ * contention, determinism, and frame accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/distrib/pipeline_sim.hh"
+#include "edgebench/models/zoo.hh"
+#include "edgebench/obs/trace.hh"
+
+namespace ed = edgebench::distrib;
+namespace ef = edgebench::frameworks;
+namespace eh = edgebench::hw;
+namespace em = edgebench::models;
+namespace eo = edgebench::obs;
+
+namespace
+{
+
+ef::CompiledModel
+mobilenetOn(eh::DeviceId dev)
+{
+    return ef::framework(ef::FrameworkId::kTensorFlow)
+        .compile(em::buildMobileNetV1(), dev);
+}
+
+ed::NetworkConfig
+idealNet(const ed::LinkModel& link)
+{
+    ed::NetworkConfig net;
+    net.link = ed::linkSpec(link);
+    return net;
+}
+
+ed::PipelineSimConfig
+closedLoop(std::int64_t frames = 400)
+{
+    ed::PipelineSimConfig cfg;
+    cfg.frames = frames;
+    cfg.queueCapacity = 8;
+    return cfg;
+}
+
+/** Byte-comparable rendering of a trace (events + lane names). */
+std::string
+renderTrace(const eo::Tracer& t)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& [lane, label] : t.laneNames())
+        os << "lane " << lane << '=' << label << '\n';
+    for (const auto& e : t.events()) {
+        os << e.name << '|' << e.category << '|'
+           << static_cast<int>(e.kind) << '|' << e.startUs << '|'
+           << e.durUs << '|' << e.lane << '|' << e.depth;
+        for (const auto& a : e.args)
+            os << '|' << a.key << '='
+               << (a.numeric ? std::to_string(a.number) : a.text);
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(PipelineSimTest, ReproducesAnalyticThroughputOnIdealNetwork)
+{
+    // The acceptance bar for the simulator: over a lossless,
+    // jitterless switched LAN with backpressure, the measured
+    // steady-state rate matches the plan's closed form within 1%.
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    for (int k : {1, 2, 4}) {
+        const auto plan =
+            ed::pipelinePartition(m, ed::lanLink(), k);
+        const auto rep = ed::simulatePipeline(
+            plan, m, idealNet(ed::lanLink()), closedLoop());
+        ASSERT_GT(plan.throughputHz, 0.0);
+        EXPECT_NEAR(rep.throughputHz, plan.throughputHz,
+                    0.01 * plan.throughputHz)
+            << "k=" << k;
+        EXPECT_EQ(rep.completed, rep.offered);
+        EXPECT_EQ(rep.dropped, 0);
+    }
+}
+
+TEST(PipelineSimTest, BackpressureNeverOverflowsAQueue)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::wifiLink(), 4);
+    ed::PipelineSimConfig cfg = closedLoop();
+    cfg.queueCapacity = 2; // tight queues stress the reservations
+    const auto rep = ed::simulatePipeline(
+        plan, m, idealNet(ed::wifiLink()), cfg);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_EQ(rep.completed, rep.offered);
+    for (const auto& s : rep.stages) {
+        EXPECT_EQ(s.queueDrops, 0);
+        EXPECT_LE(s.peakQueueDepth, 2.0);
+    }
+}
+
+TEST(PipelineSimTest, LossDegradesThroughputOnATransferBoundLink)
+{
+    // Over WiFi the k=4 plan's transfers are a large share of the
+    // period, so 5% per-attempt loss (retransmits included) costs
+    // real throughput — the gap the closed form cannot see.
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::wifiLink(), 4);
+    ASSERT_GE(plan.stageMs.size(), 2u);
+
+    const auto clean = ed::simulatePipeline(
+        plan, m, idealNet(ed::wifiLink()), closedLoop());
+    auto lossy = idealNet(ed::wifiLink());
+    lossy.link.lossRate = 0.05;
+    const auto rep = ed::simulatePipeline(plan, m, lossy,
+                                          closedLoop());
+    EXPECT_LT(rep.throughputHz, 0.98 * clean.throughputHz);
+    std::int64_t retransmits = 0;
+    for (const auto& l : rep.links)
+        retransmits += l.retransmits;
+    EXPECT_GT(retransmits, 0);
+    EXPECT_TRUE(rep.accountingConsistent());
+}
+
+TEST(PipelineSimTest, ExhaustedRetransmitsDropFrames)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::wifiLink(), 4);
+    auto lossy = idealNet(ed::wifiLink());
+    lossy.link.lossRate = 0.05;
+    lossy.retransmit.maxAttempts = 0;
+    const auto rep = ed::simulatePipeline(plan, m, lossy,
+                                          closedLoop());
+    EXPECT_GT(rep.dropped, 0);
+    EXPECT_LT(rep.completed, rep.offered);
+    EXPECT_TRUE(rep.accountingConsistent());
+    std::int64_t lost = 0;
+    for (const auto& l : rep.links)
+        lost += l.lostFrames;
+    EXPECT_EQ(lost, rep.dropped);
+}
+
+TEST(PipelineSimTest, SharedMediumContentionDegradesThroughput)
+{
+    // One broadcast domain for all inter-stage hops: concurrent
+    // transfers split the bandwidth and the pipeline slows down.
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::wifiLink(), 4);
+    const auto clean = ed::simulatePipeline(
+        plan, m, idealNet(ed::wifiLink()), closedLoop());
+    auto shared = idealNet(ed::wifiLink());
+    shared.medium = ed::MediumMode::kShared;
+    const auto rep = ed::simulatePipeline(plan, m, shared,
+                                          closedLoop());
+    EXPECT_LT(rep.throughputHz, 0.95 * clean.throughputHz);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_EQ(rep.completed, rep.offered);
+}
+
+TEST(PipelineSimTest, TracesAreByteIdenticalForAFixedSeed)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::wifiLink(), 3);
+    auto noisy = idealNet(ed::wifiLink());
+    noisy.link.lossRate = 0.05;
+    noisy.link.jitter = 0.2;
+
+    auto run = [&](std::uint64_t seed, eo::Tracer* tracer) {
+        ed::PipelineSimConfig cfg = closedLoop(120);
+        cfg.serviceJitter = 0.1;
+        cfg.seed = seed;
+        cfg.tracer = tracer;
+        return ed::simulatePipeline(plan, m, noisy, cfg);
+    };
+
+    eo::Tracer ta, tb;
+    const auto ra = run(17, &ta);
+    const auto rb = run(17, &tb);
+    EXPECT_DOUBLE_EQ(ra.throughputHz, rb.throughputHz);
+    EXPECT_DOUBLE_EQ(ra.p99Ms, rb.p99Ms);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(renderTrace(ta), renderTrace(tb));
+
+    // A different seed must actually change the stochastic run.
+    eo::Tracer tc;
+    const auto rc = run(18, &tc);
+    EXPECT_NE(renderTrace(ta), renderTrace(tc));
+    (void)rc;
+}
+
+TEST(PipelineSimTest, TracerClaimsPerStageAndPerLinkLanes)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::lanLink(), 2);
+    ASSERT_EQ(plan.stageMs.size(), 2u);
+    eo::Tracer tracer;
+    ed::PipelineSimConfig cfg = closedLoop(20);
+    cfg.tracer = &tracer;
+    (void)ed::simulatePipeline(plan, m, idealNet(ed::lanLink()),
+                               cfg);
+    if (!eo::kEnabledAtBuild)
+        GTEST_SKIP() << "tracing compiled out";
+    // Lane 0 plus one lane per stage and per link, all labeled.
+    ASSERT_EQ(tracer.laneNames().size(), 4u);
+    EXPECT_EQ(tracer.laneNames().at(0), "pipeline");
+    EXPECT_NE(tracer.laneNames().at(1).find("stage 0"),
+              std::string::npos);
+    EXPECT_NE(tracer.laneNames().at(3).find("link 0->1"),
+              std::string::npos);
+    EXPECT_FALSE(tracer.empty());
+}
+
+TEST(PipelineSimTest, OpenLoopOverrunFollowsDropPolicy)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::lanLink(), 2);
+    ed::PipelineSimConfig cfg = closedLoop(200);
+    cfg.sourceHz = 3.0 * plan.throughputHz; // camera outruns the line
+    cfg.dropOnFull = true;
+    cfg.dropPolicy = edgebench::serving::DropPolicy::kRejectNew;
+    const auto rej = ed::simulatePipeline(
+        plan, m, idealNet(ed::lanLink()), cfg);
+    EXPECT_EQ(rej.offered, 200);
+    EXPECT_GT(rej.dropped, 0);
+    EXPECT_TRUE(rej.accountingConsistent());
+
+    cfg.dropPolicy = edgebench::serving::DropPolicy::kDropOldest;
+    const auto old = ed::simulatePipeline(
+        plan, m, idealNet(ed::lanLink()), cfg);
+    EXPECT_GT(old.dropped, 0);
+    EXPECT_GT(old.completed, 0);
+    EXPECT_TRUE(old.accountingConsistent());
+}
+
+TEST(PipelineSimTest, HeterogeneousStagesRunOnTheirDevices)
+{
+    const auto rpi = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto tx2 = mobilenetOn(eh::DeviceId::kJetsonTx2);
+    const std::vector<const ef::CompiledModel*> devs{&tx2, &rpi};
+    const auto plan = ed::pipelinePartition(devs, ed::lanLink());
+    ASSERT_EQ(plan.stageDevices.size(), plan.stageMs.size());
+    const auto rep = ed::simulatePipeline(
+        plan, devs, idealNet(ed::lanLink()), closedLoop(200));
+    ASSERT_EQ(rep.stages.size(), plan.stageMs.size());
+    for (std::size_t s = 0; s < rep.stages.size(); ++s)
+        EXPECT_EQ(rep.stages[s].device, plan.stageDevices[s]);
+    EXPECT_EQ(rep.completed, rep.offered);
+    EXPECT_NEAR(rep.throughputHz, plan.throughputHz,
+                0.01 * plan.throughputHz);
+}
+
+TEST(PipelineSimTest, ThermalWalkersKeepTheEnergyIntegral)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::lanLink(), 2);
+    ed::PipelineSimConfig cfg = closedLoop(100);
+    cfg.enableThermal = true;
+    const auto rep = ed::simulatePipeline(
+        plan, m, idealNet(ed::lanLink()), cfg);
+    EXPECT_EQ(rep.completed, 100);
+    for (const auto& s : rep.stages) {
+        EXPECT_GT(s.energyJ, 0.0);
+        EXPECT_GT(s.utilization, 0.0);
+        EXPECT_LE(s.utilization, 1.0 + 1e-9);
+    }
+}
+
+TEST(PipelineSimTest, LatencyPercentilesAreOrdered)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::lanLink(), 4);
+    const auto rep = ed::simulatePipeline(
+        plan, m, idealNet(ed::lanLink()), closedLoop(200));
+    EXPECT_GT(rep.p50Ms, 0.0);
+    EXPECT_LE(rep.p50Ms, rep.p95Ms);
+    EXPECT_LE(rep.p95Ms, rep.p99Ms);
+    EXPECT_LE(rep.p99Ms, rep.maxMs);
+    // A frame can never beat the plan's single-frame latency.
+    EXPECT_GE(rep.p50Ms, plan.latencyMs * 0.999);
+}
+
+TEST(PipelineSimTest, ZeroFramesIsAWellFormedNoOp)
+{
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::lanLink(), 2);
+    const auto rep = ed::simulatePipeline(
+        plan, m, idealNet(ed::lanLink()), closedLoop(0));
+    EXPECT_EQ(rep.offered, 0);
+    EXPECT_EQ(rep.completed, 0);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_EQ(rep.throughputHz, 0.0);
+}
+
+TEST(PipelineSimTest, RejectsMalformedPlansAndConfigs)
+{
+    using edgebench::InvalidArgumentError;
+    const auto m = mobilenetOn(eh::DeviceId::kRpi3);
+    const auto plan = ed::pipelinePartition(m, ed::lanLink(), 2);
+
+    ed::PipelineResult broken = plan;
+    broken.transferMs.clear(); // no longer pairs the stages
+    EXPECT_THROW(ed::simulatePipeline(broken, m,
+                                      idealNet(ed::lanLink()),
+                                      closedLoop()),
+                 InvalidArgumentError);
+
+    ed::PipelineSimConfig bad = closedLoop();
+    bad.queueCapacity = 0;
+    EXPECT_THROW(ed::simulatePipeline(plan, m,
+                                      idealNet(ed::lanLink()), bad),
+                 InvalidArgumentError);
+
+    const std::vector<const ef::CompiledModel*> too_few{&m};
+    EXPECT_THROW(ed::simulatePipeline(plan, too_few,
+                                      idealNet(ed::lanLink()),
+                                      closedLoop()),
+                 InvalidArgumentError);
+}

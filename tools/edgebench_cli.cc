@@ -13,6 +13,8 @@
  *   edgebench serve <model> <device> [fw]    fleet serving simulation
  *   edgebench compat                         Table V matrix
  *   edgebench partition <model> <device> <lan|wifi|lte>
+ *   edgebench distrib <model> [--devices ...] [--link ...]
+ *                                            pipeline simulation
  *
  * Global options (consumed anywhere on the command line):
  *   --trace-out <file>    record a profiled run of `predict` (or the
@@ -40,7 +42,7 @@
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
-#include "edgebench/distrib/partition.hh"
+#include "edgebench/distrib/pipeline_sim.hh"
 #include "edgebench/frameworks/deploy.hh"
 #include "edgebench/frameworks/runtime.hh"
 #include "edgebench/graph/export.hh"
@@ -69,6 +71,19 @@ struct ObsOptions
     }
 };
 
+/** Pipeline options lifted from the command line before dispatch. */
+struct DistribOptions
+{
+    std::string devices = "RPi3,RPi3"; ///< comma-separated, in order
+    std::string link = "lan";
+    double loss = 0.0;
+    double jitter = 0.0;
+    std::int64_t frames = 500;
+    std::size_t queueCap = 8;
+    bool shared = false;
+    std::uint64_t seed = 1;
+};
+
 /** Fleet options lifted from the command line before dispatch. */
 struct ServeOptions
 {
@@ -93,7 +108,13 @@ usage()
         << "  predict <model> <device> [framework]\n"
         << "  serve <model> <device> [framework]\n"
         << "  partition <model> <edge-device> <lan|wifi|lte>\n"
-        << "options (apply to predict; --trace-out also to serve):\n"
+        << "  distrib <model> [--devices d1,d2,...] [--link "
+           "lan|wifi|lte]\n"
+        << "          [--loss p] [--jitter f] [--shared] "
+           "[--frames n]\n"
+        << "          [--queue-cap n] [--seed n]\n"
+        << "options (apply to predict; --trace-out also to serve "
+           "and distrib):\n"
         << "  --trace-out <file>    Chrome trace JSON of a profiled "
            "run\n"
         << "  --metrics-out <file>  metrics CSV of the same run\n"
@@ -426,6 +447,116 @@ cmdPartition(const std::string& model, const std::string& device,
     return 0;
 }
 
+distrib::LinkModel
+linkByName(const std::string& name)
+{
+    if (name == "lan")
+        return distrib::lanLink();
+    if (name == "wifi")
+        return distrib::wifiLink();
+    if (name == "lte")
+        return distrib::lteLink();
+    EB_CHECK(false, "unknown link '" << name << "' (lan|wifi|lte)");
+    return {};
+}
+
+int
+cmdDistrib(const std::string& model, const DistribOptions& opts,
+           const ObsOptions& obs_opts)
+{
+    const auto link = linkByName(opts.link);
+    const auto g = models::buildModel(models::modelByName(model));
+
+    // Resolve the ordered device list into deployments.
+    std::vector<frameworks::CompiledModel> deployments;
+    std::vector<std::string> names;
+    for (std::size_t pos = 0; pos < opts.devices.size();) {
+        auto comma = opts.devices.find(',', pos);
+        if (comma == std::string::npos)
+            comma = opts.devices.size();
+        const auto name = opts.devices.substr(pos, comma - pos);
+        EB_CHECK(!name.empty(), "--devices: empty device name");
+        auto dep =
+            frameworks::bestDeployment(g, hw::deviceByName(name));
+        EB_CHECK(dep, "model undeployable on '" << name << "'");
+        deployments.push_back(std::move(dep->model));
+        names.push_back(name);
+        pos = comma + 1;
+    }
+    std::vector<const frameworks::CompiledModel*> devs;
+    for (const auto& d : deployments)
+        devs.push_back(&d);
+
+    const auto plan = distrib::pipelinePartition(devs, link);
+    harness::Table stages({"Stage", "Device", "Compute ms",
+                           "Transfer ms", "Boundary"});
+    for (std::size_t s = 0; s < plan.stageMs.size(); ++s)
+        stages.addRow(
+            {std::to_string(s), hw::deviceName(plan.stageDevices[s]),
+             harness::Table::num(plan.stageMs[s], 2),
+             s < plan.transferMs.size()
+                 ? harness::Table::num(plan.transferMs[s], 2)
+                 : "-",
+             s < plan.boundaries.size() ? plan.boundaries[s] : "-"});
+    stages.print(std::cout);
+    std::cout << "analytic: " << harness::Table::num(plan.throughputHz, 3)
+              << " Hz (bottleneck "
+              << harness::Table::num(plan.bottleneckMs, 2)
+              << " ms, single-frame "
+              << harness::Table::num(plan.latencyMs, 2) << " ms)\n";
+
+    distrib::NetworkConfig net;
+    net.link = distrib::linkSpec(link);
+    net.link.lossRate = opts.loss;
+    net.link.jitter = opts.jitter;
+    if (opts.shared)
+        net.medium = distrib::MediumMode::kShared;
+
+    distrib::PipelineSimConfig cfg;
+    cfg.frames = opts.frames;
+    cfg.queueCapacity = opts.queueCap;
+    cfg.seed = opts.seed;
+    obs::Tracer tracer("edgebench distrib");
+    if (!obs_opts.traceOut.empty())
+        cfg.tracer = &tracer;
+
+    const auto rep = distrib::simulatePipeline(plan, devs, net, cfg);
+    std::cout << "simulated: "
+              << harness::Table::num(rep.throughputHz, 3) << " Hz ("
+              << harness::Table::num(
+                     plan.throughputHz > 0.0
+                         ? 100.0 * (rep.throughputHz - plan.throughputHz) /
+                             plan.throughputHz
+                         : 0.0,
+                     2)
+              << "% vs analytic)\n"
+              << "frames: " << rep.completed << "/" << rep.offered
+              << " completed, " << rep.dropped << " dropped\n"
+              << "latency: p50 " << harness::Table::num(rep.p50Ms, 1)
+              << "  p95 " << harness::Table::num(rep.p95Ms, 1)
+              << "  p99 " << harness::Table::num(rep.p99Ms, 1)
+              << " ms\n";
+    for (std::size_t l = 0; l < rep.links.size(); ++l) {
+        const auto& lr = rep.links[l];
+        std::cout << "link " << l << "->" << l + 1 << ": "
+                  << lr.transfers << " transfers, "
+                  << lr.retransmits << " retransmits, "
+                  << lr.lostFrames << " lost, util "
+                  << harness::Table::num(100.0 * lr.utilization, 1)
+                  << "%\n";
+    }
+
+    if (!obs_opts.traceOut.empty()) {
+        std::ofstream out(obs_opts.traceOut);
+        EB_CHECK(out.good(), "cannot open '" << obs_opts.traceOut
+                                             << "' for writing");
+        obs::writeChromeTrace(tracer, out);
+        std::cout << "trace: " << tracer.events().size()
+                  << " events -> " << obs_opts.traceOut << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -434,6 +565,7 @@ main(int argc, char** argv)
     std::vector<std::string> args;
     ObsOptions obs_opts;
     ServeOptions serve_opts;
+    DistribOptions distrib_opts;
     try {
         auto int_flag = [](const char* flag, const char* v) {
             std::int64_t n = -1;
@@ -451,6 +583,16 @@ main(int argc, char** argv)
             } catch (const std::exception&) {
             }
             EB_CHECK(x > 0.0, flag << ": need a positive number");
+            return x;
+        };
+        auto unit_flag = [](const char* flag, const char* v) {
+            double x = -1.0;
+            try {
+                x = std::stod(v);
+            } catch (const std::exception&) {
+            }
+            EB_CHECK(x >= 0.0,
+                     flag << ": need a non-negative number");
             return x;
         };
         for (int i = 1; i < argc; ++i) {
@@ -473,6 +615,7 @@ main(int argc, char** argv)
             } else if (a == "--queue-cap" && has_value) {
                 serve_opts.queueCap = static_cast<std::size_t>(
                     int_flag("--queue-cap", argv[++i]));
+                distrib_opts.queueCap = serve_opts.queueCap;
             } else if (a == "--balancer" && has_value) {
                 serve_opts.balancer = argv[++i];
             } else if (a == "--batch" && has_value) {
@@ -488,6 +631,20 @@ main(int argc, char** argv)
             } else if (a == "--seed" && has_value) {
                 serve_opts.seed = static_cast<std::uint64_t>(
                     int_flag("--seed", argv[++i]));
+                distrib_opts.seed = serve_opts.seed;
+            } else if (a == "--devices" && has_value) {
+                distrib_opts.devices = argv[++i];
+            } else if (a == "--link" && has_value) {
+                distrib_opts.link = argv[++i];
+            } else if (a == "--loss" && has_value) {
+                distrib_opts.loss = unit_flag("--loss", argv[++i]);
+            } else if (a == "--jitter" && has_value) {
+                distrib_opts.jitter =
+                    unit_flag("--jitter", argv[++i]);
+            } else if (a == "--frames" && has_value) {
+                distrib_opts.frames = int_flag("--frames", argv[++i]);
+            } else if (a == "--shared") {
+                distrib_opts.shared = true;
             } else if (a == "--retries" && has_value) {
                 serve_opts.retries = static_cast<int>(
                     int_flag("--retries", argv[++i]));
@@ -531,6 +688,8 @@ main(int argc, char** argv)
             return cmdCompat();
         if (cmd == "partition" && args.size() == 4)
             return cmdPartition(args[1], args[2], args[3]);
+        if (cmd == "distrib" && args.size() == 2)
+            return cmdDistrib(args[1], distrib_opts, obs_opts);
         return usage();
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";
