@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Memory-planner benchmark: end-to-end interpreter latency with the
+ * static arena planner on vs. the legacy refcount allocate/release
+ * path, plus the memory numbers the planner is about (arena bytes vs
+ * refcount peak vs naive sum of all activations).
+ *
+ * Verifies on every run that the two paths produce byte-identical
+ * outputs (exit 1 on mismatch) — this is the same contract the
+ * `memplan` ctest label checks, kept here so the perf trajectory can
+ * never silently diverge from correctness.
+ *
+ * `--json [--out <path>]` writes a BENCH_memplan.json snapshot (one
+ * record per model/mode) so CI keeps a performance trajectory to
+ * regress against; there is no pass/fail latency threshold here.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/tensor.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/memplan.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ec = edgebench::core;
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+
+namespace
+{
+
+struct Case
+{
+    std::string name;
+    double legacyMs;
+    double plannedMs;
+    std::int64_t arenaBytes;
+    std::int64_t refcountPeakBytes;
+    std::int64_t sumAllocBytes;
+};
+
+/** Best-of-reps wall time of @p fn (same scaling as bench_gemm). */
+template <typename F>
+double
+bestMs(F&& fn)
+{
+    std::int64_t iters = 1;
+    for (;;) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::int64_t i = 0; i < iters; ++i)
+            fn();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (ms >= 40.0 || iters >= (1 << 20)) {
+            double best = ms / static_cast<double>(iters);
+            for (int r = 0; r < 4; ++r) {
+                const auto r0 = std::chrono::steady_clock::now();
+                for (std::int64_t i = 0; i < iters; ++i)
+                    fn();
+                const double rms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count();
+                best = std::min(best,
+                                rms / static_cast<double>(iters));
+            }
+            return best;
+        }
+        iters *= 2;
+    }
+}
+
+bool
+bitIdentical(const ec::Tensor& a, const ec::Tensor& b)
+{
+    if (a.dtype() != b.dtype() || !ec::sameShape(a.shape(), b.shape()))
+        return false;
+    if (a.dtype() == ec::DType::kI8) {
+        auto qa = a.qdata();
+        auto qb = b.qdata();
+        return std::memcmp(qa.data(), qb.data(), qa.size()) == 0;
+    }
+    auto da = a.data();
+    auto db = b.data();
+    return std::memcmp(da.data(), db.data(),
+                       da.size() * sizeof(float)) == 0;
+}
+
+/** One model through both executor paths; false on output mismatch. */
+bool
+runModel(std::vector<Case>& cases, const std::string& name,
+         const eg::Graph& g, const ec::Tensor& x)
+{
+    eg::Interpreter legacy(g);
+    legacy.setUseMemoryPlan(false);
+    eg::Interpreter planned(g);
+    planned.setUseMemoryPlan(true);
+
+    const auto ref = legacy.run({x});
+    const auto out = planned.run({x});
+    bool ok = ref.size() == out.size();
+    for (std::size_t i = 0; ok && i < ref.size(); ++i)
+        ok = bitIdentical(ref[i], out[i]);
+
+    Case c;
+    c.name = name;
+    c.legacyMs = bestMs([&] { legacy.run({x}); });
+    c.plannedMs = bestMs([&] { planned.run({x}); });
+    const auto& plan = planned.memoryPlan();
+    c.arenaBytes = plan.arenaBytes;
+    c.refcountPeakBytes = plan.refcountPeakBytes;
+    c.sumAllocBytes = plan.sumAllocBytes;
+    cases.push_back(c);
+
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 26; ++pad)
+        std::cout << ' ';
+    std::cout << "legacy " << c.legacyMs << " ms  planned "
+              << c.plannedMs << " ms  arena "
+              << c.arenaBytes / 1024 << " KiB  peak "
+              << c.refcountPeakBytes / 1024 << " KiB  sum "
+              << c.sumAllocBytes / 1024 << " KiB"
+              << (ok ? "" : "  OUTPUT MISMATCH") << "\n";
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool json = false;
+    std::string out_path = "BENCH_memplan.json";
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+    }
+    ec::setParallelism(threads);
+
+    std::cout << "bench_memplan: arena planner vs refcount path "
+              << "(threads=" << threads << ")\n";
+    std::vector<Case> cases;
+    bool ok = true;
+    ec::Rng rng(17);
+
+    {
+        auto g = em::buildCifarNet();
+        g.materializeParams(rng);
+        auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+        ok = runModel(cases, "cifarnet_f32", g, x) && ok;
+    }
+    {
+        // The acceptance model: MobileNet-v1 fp32 at 96px.
+        auto g = em::buildMobileNetV1(/*classes=*/1000, /*image=*/96);
+        g.materializeParams(rng);
+        auto x = ec::Tensor::randomNormal({1, 3, 96, 96}, rng);
+        ok = runModel(cases, "mobilenet_v1_f32_96", g, x) && ok;
+    }
+    {
+        auto g = em::buildMobileNetV2(/*classes=*/100, /*image=*/96);
+        g.materializeParams(rng);
+        auto x = ec::Tensor::randomNormal({1, 3, 96, 96}, rng);
+        ok = runModel(cases, "mobilenet_v2_f32_96", g, x) && ok;
+    }
+    {
+        auto g = em::buildMobileNetV1(/*classes=*/100, /*image=*/96);
+        g.materializeParams(rng);
+        auto x = ec::Tensor::randomNormal({1, 3, 96, 96}, rng);
+        std::vector<ec::Tensor> calib = {x};
+        auto q = eg::quantizeInt8(g, &calib).graph;
+        ok = runModel(cases, "mobilenet_v1_int8_96", q, x) && ok;
+    }
+    {
+        auto g = em::buildGruClassifier(/*features=*/40,
+                                        /*seq_len=*/50,
+                                        /*hidden=*/128,
+                                        /*classes=*/12);
+        g.materializeParams(rng);
+        auto x = ec::Tensor::randomNormal({1, 50, 40}, rng);
+        ok = runModel(cases, "gru_classifier_f32", g, x) && ok;
+    }
+
+    std::cout << "  planner vs legacy outputs: "
+              << (ok ? "byte-identical" : "MISMATCH") << "\n";
+
+    if (json) {
+        std::ofstream f(out_path);
+        f << "{\n  \"bench\": \"memplan\",\n  \"deterministic\": "
+          << (ok ? "true" : "false") << ",\n  \"cases\": [\n";
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const Case& cs = cases[i];
+            f << "    {\"name\": \"" << cs.name
+              << "\", \"threads\": " << threads
+              << ", \"legacy_ms\": " << cs.legacyMs
+              << ", \"planned_ms\": " << cs.plannedMs
+              << ", \"arena_bytes\": " << cs.arenaBytes
+              << ", \"refcount_peak_bytes\": " << cs.refcountPeakBytes
+              << ", \"sum_alloc_bytes\": " << cs.sumAllocBytes << "}"
+              << (i + 1 < cases.size() ? "," : "") << "\n";
+        }
+        f << "  ]\n}\n";
+        std::cout << "  wrote " << out_path << "\n";
+    }
+    return ok ? 0 : 1;
+}

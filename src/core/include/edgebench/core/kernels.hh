@@ -121,11 +121,43 @@ Tensor sigmoid(const Tensor& input);
 Tensor tanhAct(const Tensor& input);
 /// @}
 
+/**
+ * @name In-place activations
+ * Same math, same parallel split as the allocating variants (so the
+ * results are bit-identical at any thread count), but mutating the
+ * tensor instead of allocating a fresh one — the interpreter fuses
+ * these into the producing node's output slot.
+ */
+/// @{
+void reluInPlace(Tensor& t);
+void relu6InPlace(Tensor& t);
+void leakyReluInPlace(Tensor& t, float slope);
+void sigmoidInPlace(Tensor& t);
+void tanhInPlace(Tensor& t);
+/// @}
+
+/**
+ * In-place inference batch normalization (same math and parallel
+ * split as batchNorm, mutating @p t).
+ */
+void batchNormInPlace(Tensor& t, const Tensor& gamma, const Tensor& beta,
+                      const Tensor& mean, const Tensor& variance,
+                      double epsilon);
+
 /** Row-wise softmax over the last dimension. */
 Tensor softmax(const Tensor& input);
 
 /** Elementwise sum of two same-shaped tensors (residual add). */
 Tensor addElementwise(const Tensor& a, const Tensor& b);
+
+/**
+ * In-place residual add: dst[i] = dst[i] + other[i] when @p dst_is_lhs
+ * (dst plays the role of `a` in addElementwise), other[i] + dst[i]
+ * otherwise — operand order is preserved so results stay bit-identical
+ * to the allocating variant.
+ */
+void addElementwiseInPlace(Tensor& dst, const Tensor& other,
+                           bool dst_is_lhs);
 
 /** Concatenate along the channel dimension (dim 1). */
 Tensor concatChannels(const std::vector<Tensor>& inputs);

@@ -120,6 +120,14 @@ Tensor reluInt8(const Tensor& input);
 Tensor relu6Int8(const Tensor& input);
 
 /**
+ * In-place quantized ReLU family — same clamp bounds and parallel
+ * split as the allocating variants, mutating @p t (QuantParams are
+ * unchanged, so results stay bit-identical).
+ */
+void reluInt8InPlace(Tensor& t);
+void relu6Int8InPlace(Tensor& t);
+
+/**
  * Quantized residual add: requantizes both sides to @p out_qp with a
  * shared-shift dual fixed-point multiplier — pure integer per
  * element, no per-element double math.

@@ -61,6 +61,15 @@ void observeMinMax(std::span<const float> src, double& min_val,
                    double& max_val);
 
 /**
+ * Observe min/max over an int8 buffer by streaming dequantization —
+ * no fp32 copy. Bit-identical to observeMinMax(dequantize(src, qp))
+ * (each value is rounded through float exactly as dequantize does).
+ */
+void observeMinMaxInt8(std::span<const std::int8_t> src,
+                       const QuantParams& qp, double& min_val,
+                       double& max_val);
+
+/**
  * @name Fixed-point requantization
  *
  * The integer kernels scale an int32/int64 accumulator to the output

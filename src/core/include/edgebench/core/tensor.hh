@@ -6,6 +6,24 @@
  * QuantParams. FP16 is emulated: data stays fp32 but every element has
  * been rounded through half precision (the paper's frameworks likewise
  * emulate FP16 on devices without native support).
+ *
+ * Storage comes in two flavours:
+ *  - *owned*: the tensor holds its payload in a private vector (the
+ *    default, and the only mode most callers ever see);
+ *  - *borrowed*: the payload is a span over caller-owned memory — an
+ *    activation-arena slab handed out by the interpreter's static
+ *    memory planner (graph/memplan.hh). A borrowed tensor never
+ *    outlives its arena inside the planner's execution loop; values
+ *    that escape (graph outputs) are deep-copied back to owned
+ *    storage by the ordinary copy constructor, so value semantics are
+ *    preserved at the API boundary.
+ *
+ * Kernels do not know about the planner. They construct their outputs
+ * the way they always did (`Tensor out(shape)` / `forOutputI8`), and
+ * the thread-local OutputSink below redirects the *first* matching
+ * construction into the armed arena slot. A sink miss (shape or dtype
+ * mismatch, nothing armed) simply allocates owned storage, so
+ * correctness never depends on the sink being armed.
  */
 
 #ifndef EDGEBENCH_CORE_TENSOR_HH
@@ -33,11 +51,30 @@ class Tensor
     /** Empty scalar-shaped tensor. */
     Tensor();
 
-    /** Zero-filled fp32 tensor of the given shape. */
+    /**
+     * Zero-filled fp32 tensor of the given shape — or, when the
+     * calling thread's OutputSink is armed for exactly this shape in
+     * fp32, a borrowed view over the armed arena slot.
+     */
     explicit Tensor(Shape shape);
 
     /** fp32 tensor with explicit contents (size must match shape). */
     Tensor(Shape shape, std::vector<float> data);
+
+    /**
+     * @name Value semantics over both storage modes
+     * Copying always deep-copies the payload into owned storage (this
+     * is how borrowed planner outputs escape their arena). Moving
+     * transfers the storage as-is: a borrowed tensor stays borrowed,
+     * an owned one keeps its buffer — no payload copy either way.
+     */
+    /// @{
+    Tensor(const Tensor& other);
+    Tensor& operator=(const Tensor& other);
+    Tensor(Tensor&& other) noexcept;
+    Tensor& operator=(Tensor&& other) noexcept;
+    ~Tensor() = default;
+    /// @}
 
     /** @name Factories */
     /// @{
@@ -55,14 +92,38 @@ class Tensor
      */
     static Tensor fromInt8(Shape shape, std::vector<std::int8_t> data,
                            const QuantParams& qp);
+    /**
+     * Zero-filled int8 output tensor for the integer kernels: borrows
+     * the armed OutputSink slot when shape and dtype match, otherwise
+     * owns its (zero-initialized) storage. Fill via qdataMut().
+     */
+    static Tensor forOutputI8(Shape shape, const QuantParams& qp);
+    /** fp32 tensor borrowing caller-owned storage (planner/tests). */
+    static Tensor borrowF32(Shape shape, std::span<float> storage);
+    /** int8 tensor borrowing caller-owned storage (planner/tests). */
+    static Tensor borrowI8(Shape shape, std::span<std::int8_t> storage,
+                           const QuantParams& qp);
     /// @}
 
     const Shape& shape() const { return shape_; }
     DType dtype() const { return dtype_; }
     std::int64_t numel() const { return numElements(shape_); }
 
-    /** Size of the payload in bytes at the current dtype. */
-    double byteSize() const { return numel() * dtypeBytes(dtype_); }
+    /**
+     * Exact size of the payload in bytes at the current dtype.
+     * Integer so that summing byte sizes over a run (live-activation
+     * accounting) is exact; kF16 counts its logical 2 bytes/element
+     * even though storage is emulated in fp32.
+     */
+    std::int64_t byteSize() const
+    {
+        switch (dtype_) {
+          case DType::kI8: return numel();
+          case DType::kF16: return numel() * 2;
+          case DType::kBin1: return (numel() + 7) / 8;
+          default: return numel() * 4;
+        }
+    }
 
     /** @name fp32 access (valid for kF32/kF16 tensors) */
     /// @{
@@ -75,8 +136,30 @@ class Tensor
     /** @name int8 access (valid for kI8 tensors) */
     /// @{
     std::span<const std::int8_t> qdata() const;
+    /** Mutable int8 payload (kernels filling a forOutputI8 tensor). */
+    std::span<std::int8_t> qdataMut();
     const QuantParams& quantParams() const;
     /// @}
+
+    /** True when the payload lives in caller-owned (arena) storage. */
+    bool borrowed() const
+    {
+        return ext_f32_ != nullptr || ext_i8_ != nullptr;
+    }
+
+    /**
+     * Address of the first payload byte. Stable across moves, changes
+     * across copies — the storage-identity probe the no-copy
+     * regression tests rely on.
+     */
+    const void* storageAddress() const;
+
+    /**
+     * Process-wide count of deep copies performed by the copy
+     * constructor / copy assignment (regression tests for accidental
+     * copies on hot paths).
+     */
+    static std::int64_t copyCount();
 
     /** Fraction of elements equal to zero (pruning bookkeeping). */
     double sparsity() const;
@@ -93,6 +176,13 @@ class Tensor
     Tensor toF16() const;
     /// @}
 
+    /**
+     * Round every element through binary16 in place and retag the
+     * dtype as kF16. Identical values to toF16() without allocating;
+     * keeps borrowed storage borrowed.
+     */
+    void convertToF16InPlace();
+
     /** Zero out the smallest-magnitude @p fraction of elements. */
     Tensor prunedByMagnitude(double fraction) const;
 
@@ -100,11 +190,61 @@ class Tensor
     double maxAbsDiff(const Tensor& other) const;
 
   private:
+    std::span<float> f32Span();
+    std::span<const float> f32Span() const;
+
     Shape shape_;
     DType dtype_ = DType::kF32;
     std::vector<float> f32_;
     std::vector<std::int8_t> i8_;
+    /** Borrowed-storage views (null/0 when owned). */
+    float* ext_f32_ = nullptr;
+    std::int8_t* ext_i8_ = nullptr;
+    std::int64_t ext_len_ = 0;
     QuantParams qp_;
+};
+
+/**
+ * Thread-local destination hint for kernel output tensors.
+ *
+ * The interpreter's memory-planner path arms the sink with a node's
+ * arena slot immediately before executing the node; the first tensor
+ * construction whose shape *and* element type match the armed slot
+ * borrows it instead of allocating (Tensor(Shape) for fp32/fp16
+ * outputs, Tensor::forOutputI8 for int8 outputs). Arming is
+ * per-thread, one slot deep, and consumed by the first match, so
+ * kernels that build scratch tensors of other shapes are unaffected.
+ *
+ * The sink is a pure optimization channel: if nothing matches (op
+ * falls back to a different dtype, reshapes through a different
+ * constructor, ...) the output is plainly owned and the run stays
+ * correct — the planner's slot just goes unused for that node.
+ */
+class OutputSink
+{
+  public:
+    /**
+     * Arm for an fp32/fp16 output of @p shape writing into @p dst.
+     * @p clear zero-fills the slot at take time — required for ops
+     * that rely on zero-initialized outputs (padSpatial,
+     * detectPostprocess) because arena slots are reused across nodes.
+     */
+    static void armF32(const Shape& shape, std::span<float> dst,
+                       bool clear);
+    /** Arm for an int8 output of @p shape writing into @p dst. */
+    static void armI8(const Shape& shape, std::span<std::int8_t> dst,
+                      bool clear);
+    /** Disarm without consuming (end of the node's execution). */
+    static void disarm();
+    /** True when the armed slot was taken since the last arm. */
+    static bool consumed();
+
+  private:
+    friend class Tensor;
+    /** Take the armed fp32 slot if @p shape matches; empty on miss. */
+    static std::span<float> takeF32(const Shape& shape);
+    /** Take the armed int8 slot if @p shape matches; empty on miss. */
+    static std::span<std::int8_t> takeI8(const Shape& shape);
 };
 
 } // namespace core

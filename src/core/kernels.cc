@@ -770,6 +770,20 @@ elementwise(const Tensor& input, F&& f)
     return out;
 }
 
+template <typename F>
+void
+elementwiseInPlace(Tensor& t, F&& f)
+{
+    auto d = t.data();
+    parallelFor(
+        static_cast<std::int64_t>(d.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                d[i] = f(d[i]);
+        },
+        kElementwiseGrain);
+}
+
 } // namespace
 
 Tensor
@@ -804,6 +818,77 @@ Tensor
 tanhAct(const Tensor& input)
 {
     return elementwise(input, [](float v) { return std::tanh(v); });
+}
+
+void
+reluInPlace(Tensor& t)
+{
+    elementwiseInPlace(t, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+void
+relu6InPlace(Tensor& t)
+{
+    elementwiseInPlace(t,
+                       [](float v) { return std::clamp(v, 0.0f, 6.0f); });
+}
+
+void
+leakyReluInPlace(Tensor& t, float slope)
+{
+    elementwiseInPlace(
+        t, [slope](float v) { return v > 0.0f ? v : slope * v; });
+}
+
+void
+sigmoidInPlace(Tensor& t)
+{
+    elementwiseInPlace(
+        t, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+void
+tanhInPlace(Tensor& t)
+{
+    elementwiseInPlace(t, [](float v) { return std::tanh(v); });
+}
+
+void
+batchNormInPlace(Tensor& t, const Tensor& gamma, const Tensor& beta,
+                 const Tensor& mean, const Tensor& variance,
+                 double epsilon)
+{
+    const auto& s = t.shape();
+    EB_CHECK(s.size() >= 2, "batchNorm: rank must be >= 2");
+    const std::int64_t c = s[1];
+    EB_CHECK(gamma.shape() == Shape{c} && beta.shape() == Shape{c} &&
+                 mean.shape() == Shape{c} && variance.shape() == Shape{c},
+             "batchNorm: parameter shapes must be [" << c << "]");
+    std::int64_t inner = 1;
+    for (std::size_t i = 2; i < s.size(); ++i)
+        inner *= s[i];
+    const std::int64_t n = s[0];
+
+    auto d = t.data();
+    parallelFor(
+        c,
+        [&](std::int64_t c0, std::int64_t c1) {
+            for (std::int64_t ch = c0; ch < c1; ++ch) {
+                const double inv_std = 1.0 /
+                    std::sqrt(static_cast<double>(variance.at(ch)) +
+                              epsilon);
+                const double scale = gamma.at(ch) * inv_std;
+                const double shift =
+                    beta.at(ch) - mean.at(ch) * scale;
+                for (std::int64_t b = 0; b < n; ++b) {
+                    float* base = d.data() + (b * c + ch) * inner;
+                    for (std::int64_t i = 0; i < inner; ++i)
+                        base[i] = static_cast<float>(
+                            base[i] * scale + shift);
+                }
+            }
+        },
+        /*min_grain=*/8);
 }
 
 Tensor
@@ -856,6 +941,29 @@ addElementwise(const Tensor& a, const Tensor& b)
         },
         kElementwiseGrain);
     return out;
+}
+
+void
+addElementwiseInPlace(Tensor& dst, const Tensor& other, bool dst_is_lhs)
+{
+    EB_CHECK(sameShape(dst.shape(), other.shape()),
+             "add: shape mismatch " << shapeToString(dst.shape())
+                                    << " vs "
+                                    << shapeToString(other.shape()));
+    auto d = dst.data();
+    auto p = other.data();
+    parallelFor(
+        static_cast<std::int64_t>(d.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            if (dst_is_lhs) {
+                for (std::int64_t i = i0; i < i1; ++i)
+                    d[i] = d[i] + p[i];
+            } else {
+                for (std::int64_t i = i0; i < i1; ++i)
+                    d[i] = p[i] + d[i];
+            }
+        },
+        kElementwiseGrain);
 }
 
 Tensor

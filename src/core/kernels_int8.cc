@@ -87,8 +87,9 @@ conv2dInt8Depthwise(const Tensor& input, const Tensor& weights,
     const double acc_scale = iq.scale * wq.scale;
     const RequantScale rs =
         makeRequantScale(acc_scale / out_qp.scale);
-    std::vector<std::int8_t> out(
-        static_cast<std::size_t>(g.n * g.outC * oh * ow));
+    Tensor result =
+        Tensor::forOutputI8(Shape{g.n, g.outC, oh, ow}, out_qp);
+    auto out = result.qdataMut();
     auto in = input.qdata();
     auto w = weights.qdata();
     parallelFor(
@@ -133,8 +134,7 @@ conv2dInt8Depthwise(const Tensor& input, const Tensor& weights,
             }
         },
         /*min_grain=*/2);
-    return Tensor::fromInt8(Shape{g.n, g.outC, oh, ow}, std::move(out),
-                            out_qp);
+    return result;
 }
 
 /**
@@ -161,8 +161,9 @@ conv2dInt8Im2colPacked(const Tensor& input,
     // column matrix (mirrors the fp32 pointwise shortcut).
     const bool pointwise = g.kH == 1 && g.kW == 1 && g.strideH == 1 &&
         g.strideW == 1 && g.padH == 0 && g.padW == 0;
-    std::vector<std::int8_t> out(
-        static_cast<std::size_t>(g.n * g.outC * oh * ow));
+    Tensor result =
+        Tensor::forOutputI8(Shape{g.n, g.outC, oh, ow}, out_qp);
+    auto out = result.qdataMut();
     // Scratch borrows hoisted out of the batch/group loops: one column
     // matrix and one packed-B panel set (values + column sums), reused
     // for every (batch, group) iteration.
@@ -211,8 +212,7 @@ conv2dInt8Im2colPacked(const Tensor& input,
                            quant, omat);
         }
     }
-    return Tensor::fromInt8(Shape{g.n, g.outC, oh, ow}, std::move(out),
-                            out_qp);
+    return result;
 }
 
 } // namespace
@@ -458,8 +458,9 @@ denseInt8PackedImpl(const Tensor& input, const PackedAI8View& pa,
     std::span<const float> bias_span;
     if (has_bias)
         bias_span = bias.data();
-    std::vector<std::int8_t> out(
-        static_cast<std::size_t>(g.batch * g.outFeatures));
+    Tensor result =
+        Tensor::forOutputI8(Shape{g.batch, g.outFeatures}, out_qp);
+    auto out = result.qdataMut();
     auto in = input.qdata();
     for (std::int64_t b = 0; b < g.batch; ++b)
         gemvPackedInt8(
@@ -469,8 +470,7 @@ denseInt8PackedImpl(const Tensor& input, const PackedAI8View& pa,
             bias_span, quant,
             {out.data() + b * g.outFeatures,
              static_cast<std::size_t>(g.outFeatures)});
-    return Tensor::fromInt8(Shape{g.batch, g.outFeatures},
-                            std::move(out), out_qp);
+    return result;
 }
 
 } // namespace
@@ -578,6 +578,24 @@ denseInt8(const Tensor& input, const Tensor& weights,
 namespace
 {
 
+/** Map real clamp bounds into the quantized domain of @p qp. */
+void
+quantizedClampBounds(const QuantParams& qp, double real_lo,
+                     double real_hi, std::int32_t& qlo,
+                     std::int32_t& qhi)
+{
+    qlo = std::max<std::int32_t>(
+        -128,
+        static_cast<std::int32_t>(
+            std::lround(real_lo / qp.scale + qp.zeroPoint)));
+    qhi = 127;
+    if (std::isfinite(real_hi)) {
+        qhi = std::min<std::int32_t>(
+            127, static_cast<std::int32_t>(
+                     std::lround(real_hi / qp.scale + qp.zeroPoint)));
+    }
+}
+
 /**
  * Clamp in the quantized domain: the bounds are mapped to quantized
  * values once, then every element is a pure int8 clamp. Clamping
@@ -588,18 +606,11 @@ clampInt8(const Tensor& input, double real_lo, double real_hi)
 {
     EB_CHECK(input.dtype() == DType::kI8, "clampInt8: not int8");
     const QuantParams qp = input.quantParams();
-    const std::int32_t qlo = std::max<std::int32_t>(
-        -128,
-        static_cast<std::int32_t>(
-            std::lround(real_lo / qp.scale + qp.zeroPoint)));
-    std::int32_t qhi = 127;
-    if (std::isfinite(real_hi)) {
-        qhi = std::min<std::int32_t>(
-            127, static_cast<std::int32_t>(
-                     std::lround(real_hi / qp.scale + qp.zeroPoint)));
-    }
-    std::vector<std::int8_t> out(
-        static_cast<std::size_t>(input.numel()));
+    std::int32_t qlo = 0;
+    std::int32_t qhi = 0;
+    quantizedClampBounds(qp, real_lo, real_hi, qlo, qhi);
+    Tensor result = Tensor::forOutputI8(input.shape(), qp);
+    auto out = result.qdataMut();
     auto q = input.qdata();
     parallelFor(
         static_cast<std::int64_t>(q.size()),
@@ -610,7 +621,27 @@ clampInt8(const Tensor& input, double real_lo, double real_hi)
                         q[i], qlo, qhi));
         },
         /*min_grain=*/4096);
-    return Tensor::fromInt8(input.shape(), std::move(out), qp);
+    return result;
+}
+
+/** In-place variant: same bounds, same parallel split, mutating @p t. */
+void
+clampInt8InPlace(Tensor& t, double real_lo, double real_hi)
+{
+    EB_CHECK(t.dtype() == DType::kI8, "clampInt8: not int8");
+    const QuantParams qp = t.quantParams();
+    std::int32_t qlo = 0;
+    std::int32_t qhi = 0;
+    quantizedClampBounds(qp, real_lo, real_hi, qlo, qhi);
+    auto q = t.qdataMut();
+    parallelFor(
+        static_cast<std::int64_t>(q.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                q[i] = static_cast<std::int8_t>(
+                    std::clamp<std::int32_t>(q[i], qlo, qhi));
+        },
+        /*min_grain=*/4096);
 }
 
 } // namespace
@@ -626,6 +657,18 @@ Tensor
 relu6Int8(const Tensor& input)
 {
     return clampInt8(input, 0.0, 6.0);
+}
+
+void
+reluInt8InPlace(Tensor& t)
+{
+    clampInt8InPlace(t, 0.0, std::numeric_limits<double>::infinity());
+}
+
+void
+relu6Int8InPlace(Tensor& t)
+{
+    clampInt8InPlace(t, 0.0, 6.0);
 }
 
 Tensor
@@ -656,7 +699,8 @@ addInt8(const Tensor& a, const Tensor& b, const QuantParams& out_qp)
     const std::int64_t mult_b = std::llround(std::ldexp(ratio_b, shift));
     auto pa = a.qdata();
     auto pb = b.qdata();
-    std::vector<std::int8_t> out(pa.size());
+    Tensor result = Tensor::forOutputI8(a.shape(), out_qp);
+    auto out = result.qdataMut();
     parallelFor(
         static_cast<std::int64_t>(pa.size()),
         [&](std::int64_t i0, std::int64_t i1) {
@@ -672,7 +716,7 @@ addInt8(const Tensor& a, const Tensor& b, const QuantParams& out_qp)
             }
         },
         /*min_grain=*/4096);
-    return Tensor::fromInt8(a.shape(), std::move(out), out_qp);
+    return result;
 }
 
 } // namespace core

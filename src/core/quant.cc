@@ -100,6 +100,21 @@ observeMinMax(std::span<const float> src, double& min_val, double& max_val)
     }
 }
 
+void
+observeMinMaxInt8(std::span<const std::int8_t> src, const QuantParams& qp,
+                  double& min_val, double& max_val)
+{
+    // Stream the dequantized values without materializing the fp32
+    // buffer. Each value is rounded through float first so the observed
+    // range is bit-identical to observeMinMax(dequantize(src, qp)).
+    for (std::int8_t q : src) {
+        const double v =
+            static_cast<float>(dequantizeValue(q, qp));
+        min_val = std::min(min_val, v);
+        max_val = std::max(max_val, v);
+    }
+}
+
 RequantScale
 makeRequantScale(double real_multiplier)
 {

@@ -1,6 +1,7 @@
 #include "edgebench/core/tensor.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -86,11 +87,122 @@ roundThroughF16(float v)
     return result;
 }
 
+namespace
+{
+
+/** Per-thread armed destination for the next kernel output tensor. */
+struct SinkState
+{
+    bool armed = false;
+    bool isI8 = false;
+    bool clear = false;
+    bool consumed = false;
+    Shape shape;
+    float* f32 = nullptr;
+    std::int8_t* i8 = nullptr;
+    std::int64_t len = 0;
+};
+
+SinkState&
+sinkState()
+{
+    thread_local SinkState state;
+    return state;
+}
+
+std::atomic<std::int64_t> sCopyCount{0};
+
+} // namespace
+
+void
+OutputSink::armF32(const Shape& shape, std::span<float> dst, bool clear)
+{
+    SinkState& s = sinkState();
+    EB_CHECK(static_cast<std::int64_t>(dst.size()) == numElements(shape),
+             "OutputSink::armF32: slot size " << dst.size()
+                 << " does not match shape " << shapeToString(shape));
+    s.armed = true;
+    s.isI8 = false;
+    s.clear = clear;
+    s.consumed = false;
+    s.shape = shape;
+    s.f32 = dst.data();
+    s.i8 = nullptr;
+    s.len = static_cast<std::int64_t>(dst.size());
+}
+
+void
+OutputSink::armI8(const Shape& shape, std::span<std::int8_t> dst,
+                  bool clear)
+{
+    SinkState& s = sinkState();
+    EB_CHECK(static_cast<std::int64_t>(dst.size()) == numElements(shape),
+             "OutputSink::armI8: slot size " << dst.size()
+                 << " does not match shape " << shapeToString(shape));
+    s.armed = true;
+    s.isI8 = true;
+    s.clear = clear;
+    s.consumed = false;
+    s.shape = shape;
+    s.f32 = nullptr;
+    s.i8 = dst.data();
+    s.len = static_cast<std::int64_t>(dst.size());
+}
+
+void
+OutputSink::disarm()
+{
+    SinkState& s = sinkState();
+    s.armed = false;
+    s.f32 = nullptr;
+    s.i8 = nullptr;
+    s.len = 0;
+}
+
+bool
+OutputSink::consumed()
+{
+    return sinkState().consumed;
+}
+
+std::span<float>
+OutputSink::takeF32(const Shape& shape)
+{
+    SinkState& s = sinkState();
+    if (!s.armed || s.consumed || s.isI8 || !sameShape(shape, s.shape) ||
+        s.len == 0)
+        return {};
+    s.consumed = true;
+    if (s.clear)
+        std::memset(s.f32, 0, static_cast<std::size_t>(s.len) *
+                                  sizeof(float));
+    return {s.f32, static_cast<std::size_t>(s.len)};
+}
+
+std::span<std::int8_t>
+OutputSink::takeI8(const Shape& shape)
+{
+    SinkState& s = sinkState();
+    if (!s.armed || s.consumed || !s.isI8 || !sameShape(shape, s.shape) ||
+        s.len == 0)
+        return {};
+    s.consumed = true;
+    if (s.clear)
+        std::memset(s.i8, 0, static_cast<std::size_t>(s.len));
+    return {s.i8, static_cast<std::size_t>(s.len)};
+}
+
 Tensor::Tensor() : shape_{}, f32_(1, 0.0f) {}
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), f32_(numElements(shape_), 0.0f)
+Tensor::Tensor(Shape shape) : shape_(std::move(shape))
 {
+    const std::span<float> slot = OutputSink::takeF32(shape_);
+    if (!slot.empty()) {
+        ext_f32_ = slot.data();
+        ext_len_ = static_cast<std::int64_t>(slot.size());
+    } else {
+        f32_.assign(static_cast<std::size_t>(numElements(shape_)), 0.0f);
+    }
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
@@ -99,6 +211,67 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
     EB_CHECK(static_cast<std::int64_t>(f32_.size()) == numElements(shape_),
              "data size " << f32_.size() << " does not match shape "
                           << shapeToString(shape_));
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), dtype_(other.dtype_), f32_(other.f32_),
+      i8_(other.i8_), qp_(other.qp_)
+{
+    // Copies always land in owned storage: a borrowed payload is
+    // materialized here, which is how planner outputs escape their
+    // arena with plain value semantics.
+    if (other.ext_f32_ != nullptr) {
+        f32_.assign(other.ext_f32_, other.ext_f32_ + other.ext_len_);
+    } else if (other.ext_i8_ != nullptr) {
+        i8_.assign(other.ext_i8_, other.ext_i8_ + other.ext_len_);
+    }
+    sCopyCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor&
+Tensor::operator=(const Tensor& other)
+{
+    if (this == &other)
+        return *this;
+    Tensor tmp(other); // bumps the copy counter
+    *this = std::move(tmp);
+    return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), dtype_(other.dtype_),
+      f32_(std::move(other.f32_)), i8_(std::move(other.i8_)),
+      ext_f32_(other.ext_f32_), ext_i8_(other.ext_i8_),
+      ext_len_(other.ext_len_), qp_(other.qp_)
+{
+    other.ext_f32_ = nullptr;
+    other.ext_i8_ = nullptr;
+    other.ext_len_ = 0;
+}
+
+Tensor&
+Tensor::operator=(Tensor&& other) noexcept
+{
+    if (this == &other)
+        return *this;
+    shape_ = std::move(other.shape_);
+    dtype_ = other.dtype_;
+    f32_ = std::move(other.f32_);
+    i8_ = std::move(other.i8_);
+    ext_f32_ = other.ext_f32_;
+    ext_i8_ = other.ext_i8_;
+    ext_len_ = other.ext_len_;
+    qp_ = other.qp_;
+    other.ext_f32_ = nullptr;
+    other.ext_i8_ = nullptr;
+    other.ext_len_ = 0;
+    return *this;
+}
+
+std::int64_t
+Tensor::copyCount()
+{
+    return sCopyCount.load(std::memory_order_relaxed);
 }
 
 Tensor
@@ -111,7 +284,8 @@ Tensor
 Tensor::full(Shape shape, float value)
 {
     Tensor t(std::move(shape));
-    std::fill(t.f32_.begin(), t.f32_.end(), value);
+    const std::span<float> d = t.f32Span();
+    std::fill(d.begin(), d.end(), value);
     return t;
 }
 
@@ -119,7 +293,7 @@ Tensor
 Tensor::randomNormal(Shape shape, Rng& rng, double stddev)
 {
     Tensor t(std::move(shape));
-    for (auto& v : t.f32_)
+    for (auto& v : t.f32Span())
         v = static_cast<float>(rng.normal(0.0, stddev));
     return t;
 }
@@ -128,7 +302,7 @@ Tensor
 Tensor::randomUniform(Shape shape, Rng& rng, double lo, double hi)
 {
     Tensor t(std::move(shape));
-    for (auto& v : t.f32_)
+    for (auto& v : t.f32Span())
         v = static_cast<float>(rng.uniform(lo, hi));
     return t;
 }
@@ -147,7 +321,77 @@ Tensor::fromInt8(Shape shape, std::vector<std::int8_t> data,
     t.dtype_ = DType::kI8;
     t.qp_ = qp;
     t.i8_ = std::move(data);
+    t.f32_.clear();
     return t;
+}
+
+Tensor
+Tensor::forOutputI8(Shape shape, const QuantParams& qp)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.dtype_ = DType::kI8;
+    t.qp_ = qp;
+    t.f32_.clear();
+    const std::span<std::int8_t> slot = OutputSink::takeI8(t.shape_);
+    if (!slot.empty()) {
+        t.ext_i8_ = slot.data();
+        t.ext_len_ = static_cast<std::int64_t>(slot.size());
+    } else {
+        t.i8_.assign(static_cast<std::size_t>(numElements(t.shape_)), 0);
+    }
+    return t;
+}
+
+Tensor
+Tensor::borrowF32(Shape shape, std::span<float> storage)
+{
+    EB_CHECK(static_cast<std::int64_t>(storage.size()) ==
+                 numElements(shape),
+             "borrowF32: storage size " << storage.size()
+                                        << " does not match shape "
+                                        << shapeToString(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.f32_.clear();
+    t.ext_f32_ = storage.data();
+    t.ext_len_ = static_cast<std::int64_t>(storage.size());
+    return t;
+}
+
+Tensor
+Tensor::borrowI8(Shape shape, std::span<std::int8_t> storage,
+                 const QuantParams& qp)
+{
+    EB_CHECK(static_cast<std::int64_t>(storage.size()) ==
+                 numElements(shape),
+             "borrowI8: storage size " << storage.size()
+                                       << " does not match shape "
+                                       << shapeToString(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.dtype_ = DType::kI8;
+    t.qp_ = qp;
+    t.f32_.clear();
+    t.ext_i8_ = storage.data();
+    t.ext_len_ = static_cast<std::int64_t>(storage.size());
+    return t;
+}
+
+std::span<float>
+Tensor::f32Span()
+{
+    if (ext_f32_ != nullptr)
+        return {ext_f32_, static_cast<std::size_t>(ext_len_)};
+    return f32_;
+}
+
+std::span<const float>
+Tensor::f32Span() const
+{
+    if (ext_f32_ != nullptr)
+        return {ext_f32_, static_cast<std::size_t>(ext_len_)};
+    return f32_;
 }
 
 std::span<float>
@@ -155,7 +399,7 @@ Tensor::data()
 {
     EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
              "fp access to " << dtypeName(dtype_) << " tensor");
-    return f32_;
+    return f32Span();
 }
 
 std::span<const float>
@@ -163,21 +407,21 @@ Tensor::data() const
 {
     EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
              "fp access to " << dtypeName(dtype_) << " tensor");
-    return f32_;
+    return f32Span();
 }
 
 float
 Tensor::at(std::int64_t i) const
 {
     EB_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
-    return f32_[static_cast<std::size_t>(i)];
+    return f32Span()[static_cast<std::size_t>(i)];
 }
 
 void
 Tensor::set(std::int64_t i, float v)
 {
     EB_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
-    f32_[static_cast<std::size_t>(i)] = v;
+    f32Span()[static_cast<std::size_t>(i)] = v;
 }
 
 std::span<const std::int8_t>
@@ -185,6 +429,18 @@ Tensor::qdata() const
 {
     EB_CHECK(dtype_ == DType::kI8,
              "int8 access to " << dtypeName(dtype_) << " tensor");
+    if (ext_i8_ != nullptr)
+        return {ext_i8_, static_cast<std::size_t>(ext_len_)};
+    return i8_;
+}
+
+std::span<std::int8_t>
+Tensor::qdataMut()
+{
+    EB_CHECK(dtype_ == DType::kI8,
+             "int8 access to " << dtypeName(dtype_) << " tensor");
+    if (ext_i8_ != nullptr)
+        return {ext_i8_, static_cast<std::size_t>(ext_len_)};
     return i8_;
 }
 
@@ -196,6 +452,16 @@ Tensor::quantParams() const
     return qp_;
 }
 
+const void*
+Tensor::storageAddress() const
+{
+    if (dtype_ == DType::kI8)
+        return ext_i8_ != nullptr ? static_cast<const void*>(ext_i8_)
+                                  : static_cast<const void*>(i8_.data());
+    return ext_f32_ != nullptr ? static_cast<const void*>(ext_f32_)
+                               : static_cast<const void*>(f32_.data());
+}
+
 double
 Tensor::sparsity() const
 {
@@ -203,11 +469,11 @@ Tensor::sparsity() const
         return 0.0;
     std::int64_t zeros = 0;
     if (dtype_ == DType::kI8) {
-        for (auto q : i8_)
+        for (auto q : qdata())
             if (q == qp_.zeroPoint)
                 ++zeros;
     } else {
-        for (auto v : f32_)
+        for (auto v : f32Span())
             if (v == 0.0f)
                 ++zeros;
     }
@@ -219,7 +485,7 @@ Tensor::toInt8() const
 {
     double mn = std::numeric_limits<double>::infinity();
     double mx = -std::numeric_limits<double>::infinity();
-    observeMinMax(f32_, mn, mx);
+    observeMinMax(f32Span(), mn, mx);
     if (!(mn <= mx)) { // empty tensor
         mn = 0.0;
         mx = 0.0;
@@ -236,7 +502,7 @@ Tensor::toInt8(const QuantParams& qp) const
     t.shape_ = shape_;
     t.dtype_ = DType::kI8;
     t.qp_ = qp;
-    t.i8_ = quantize(f32_, qp);
+    t.i8_ = quantize(f32Span(), qp);
     t.f32_.clear();
     return t;
 }
@@ -250,9 +516,10 @@ Tensor::toF32() const
     t.shape_ = shape_;
     t.dtype_ = DType::kF32;
     if (dtype_ == DType::kI8) {
-        t.f32_ = dequantize(i8_, qp_);
+        t.f32_ = dequantize(qdata(), qp_);
     } else {
-        t.f32_ = f32_;
+        const std::span<const float> d = f32Span();
+        t.f32_.assign(d.begin(), d.end());
     }
     return t;
 }
@@ -265,11 +532,21 @@ Tensor::toF16() const
     Tensor t;
     t.shape_ = shape_;
     t.dtype_ = DType::kF16;
-    t.f32_.resize(f32_.size());
-    t.f32_.assign(f32_.begin(), f32_.end());
+    const std::span<const float> d = f32Span();
+    t.f32_.assign(d.begin(), d.end());
     for (auto& v : t.f32_)
         v = roundThroughF16(v);
     return t;
+}
+
+void
+Tensor::convertToF16InPlace()
+{
+    EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+             "toF16 from " << dtypeName(dtype_));
+    for (auto& v : f32Span())
+        v = roundThroughF16(v);
+    dtype_ = DType::kF16;
 }
 
 Tensor
@@ -279,14 +556,16 @@ Tensor::prunedByMagnitude(double fraction) const
              "prune fraction " << fraction << " outside [0,1]");
     EB_CHECK(dtype_ == DType::kF32 || dtype_ == DType::kF16,
              "prune of " << dtypeName(dtype_));
-    Tensor t = *this;
+    Tensor t = *this; // deep copy: writes below land in owned storage
+    const std::span<const float> src = f32Span();
+    const std::span<float> dst = t.f32Span();
     const auto n = static_cast<std::size_t>(numel());
     const auto k = static_cast<std::size_t>(fraction * n);
     if (k == 0)
         return t;
     std::vector<float> mags(n);
     for (std::size_t i = 0; i < n; ++i)
-        mags[i] = std::fabs(f32_[i]);
+        mags[i] = std::fabs(src[i]);
     std::vector<float> sorted = mags;
     std::nth_element(sorted.begin(), sorted.begin() + (k - 1),
                      sorted.end());
@@ -294,7 +573,7 @@ Tensor::prunedByMagnitude(double fraction) const
     std::size_t zeroed = 0;
     for (std::size_t i = 0; i < n && zeroed < k; ++i) {
         if (mags[i] <= threshold) {
-            t.f32_[i] = 0.0f;
+            dst[i] = 0.0f;
             ++zeroed;
         }
     }

@@ -27,6 +27,7 @@
 #include "edgebench/core/kernels_rnn.hh"
 #include "edgebench/core/tensor.hh"
 #include "edgebench/graph/graph.hh"
+#include "edgebench/graph/memplan.hh"
 #include "edgebench/obs/trace.hh"
 
 namespace edgebench
@@ -37,8 +38,17 @@ namespace graph
 /** Execution metrics of one interpreter run. */
 struct RunStats
 {
-    /** Peak bytes of simultaneously live activation tensors. */
-    double peakActivationBytes = 0.0;
+    /**
+     * Peak bytes of simultaneously live activation tensors under
+     * refcount lifetime accounting. Integer so that summing exact
+     * byte sizes never loses low bits to float rounding; identical
+     * between the planner and legacy execution paths by construction.
+     */
+    std::int64_t peakActivationBytes = 0;
+    /** Arena bytes backing the run (0 on the legacy path). */
+    std::int64_t arenaBytes = 0;
+    /** True when the run executed into planned arena slots. */
+    bool usedMemoryPlan = false;
     std::int64_t nodesExecuted = 0;
 };
 
@@ -79,12 +89,35 @@ class Interpreter
     std::vector<std::pair<double, double>> calibrate(
         const std::vector<core::Tensor>& inputs);
 
+    /**
+     * @name Static memory-plan execution
+     * By default runs execute into arena slots assigned by the static
+     * planner (memplan.hh); set EDGEBENCH_MEMPLAN=off (or 0/false) in
+     * the environment, or call setUseMemoryPlan(false), to fall back
+     * to the legacy refcount allocate/release path. Both paths are
+     * bit-identical — the toggle exists for differential testing and
+     * for measuring the allocation-churn win.
+     */
+    /// @{
+    void setUseMemoryPlan(bool on) { useMemPlan_ = on; }
+    bool usingMemoryPlan() const { return useMemPlan_; }
+    /** The cached plan for the given mode (computed on first use). */
+    const MemoryPlan& memoryPlan(bool force_f32 = false);
+    /// @}
+
   private:
     core::Tensor execNode(const Node& n,
                           const std::vector<const core::Tensor*>& ins,
                           bool force_f32);
     core::Tensor execNodeF32(
         const Node& n, const std::vector<const core::Tensor*>& ins);
+    /**
+     * Execute a planner-whitelisted elementwise node by mutating
+     * @p t (the moved-out value of input @p src_idx) in place.
+     */
+    void execNodeInPlace(const Node& n, core::Tensor& t,
+                         const std::vector<const core::Tensor*>& ins,
+                         std::size_t src_idx);
     std::vector<core::Tensor> runImpl(
         const std::vector<core::Tensor>& inputs, bool force_f32,
         std::vector<std::pair<double, double>>* ranges);
@@ -124,6 +157,14 @@ class Interpreter
     RunStats stats_;
     obs::Tracer* tracer_ = nullptr;
     std::vector<double> nodeMs_;
+    /** Planner toggle (EDGEBENCH_MEMPLAN env, default on). */
+    bool useMemPlan_ = true;
+    /** Cached plans per dtype mode, next to the weight caches. */
+    std::optional<MemoryPlan> planNative_;
+    std::optional<MemoryPlan> planF32_;
+    /** Arena slab (float-typed so fp32 slots are naturally aligned;
+        int8 slots view the same bytes). */
+    std::vector<float> arenaStore_;
     /** Per-node converted-parameter caches, indexed [NodeId][k]. */
     std::vector<std::vector<std::optional<core::Tensor>>> paramF32_;
     std::vector<std::vector<std::optional<core::Tensor>>> paramI8_;

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Static activation-memory planner.
+ *
+ * Computes, entirely ahead of execution, where every activation tensor
+ * of a graph lives inside one contiguous arena — the planning scheme
+ * TFLite's greedy-by-size arena planner uses, and the reason a static
+ * runtime's resident footprint is far below "sum of all activations"
+ * (the paper's Section IV memory characterization hinges on exactly
+ * this gap).
+ *
+ * The plan is a pure function of the graph and the dtype mode, so it
+ * works on deferred (parameter-free) graphs, is computed once per
+ * (graph, mode) and cached by the interpreter next to its
+ * packed-weight caches.
+ *
+ * Lifetime rules:
+ *  - a node's block is born at its execution step and stays live until
+ *    its last consumer's step (append order is the execution order);
+ *  - graph outputs stay live to the final step (they escape the run);
+ *  - nodes with no consumers that are not outputs die at their own
+ *    step (the legacy refcount path never frees them — that is an
+ *    accounting artifact, not a storage need — and refcountPeakBytes
+ *    reproduces that artifact exactly);
+ *  - recurrent ops (LSTM/GRU) never share storage with their input:
+ *    they re-read the full input sequence while committing output
+ *    timesteps, so their blocks must be disjoint (the deferred-commit
+ *    constraint). They are simply excluded from the in-place
+ *    whitelist; ordinary producer/consumer blocks overlap at the
+ *    consumer's step and are therefore always disjoint too.
+ *
+ * In-place sharing: single-consumer elementwise ops (activations,
+ * batch norm, residual add in fp32; relu/relu6 in int8) reuse their
+ * producer's block instead of opening a new one. Chains
+ * (conv -> bn -> relu) collapse onto the conv's block, whose lifetime
+ * extends to the end of the chain.
+ */
+
+#ifndef EDGEBENCH_GRAPH_MEMPLAN_HH
+#define EDGEBENCH_GRAPH_MEMPLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "edgebench/core/types.hh"
+#include "edgebench/graph/graph.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+/** Arena block alignment (cache line; also safe for float access). */
+inline constexpr std::int64_t kArenaAlign = 64;
+
+/**
+ * The element type a node's activation actually has at run time:
+ * quantized nodes (dtype kI8 with calibrated QuantParams) produce
+ * int8, declared-fp16 nodes produce (emulated) fp16, and everything
+ * else — including kBin1 annotations, which have no runtime kernel —
+ * produces fp32. force_f32 (the calibration mode) makes every node
+ * fp32.
+ */
+core::DType runtimeDType(const Node& n, bool force_f32);
+
+/** One node's placement inside the plan. */
+struct MemSlot
+{
+    /** Byte offset of this node's block in the arena (root's block). */
+    std::int64_t offset = 0;
+    /**
+     * Stored bytes of the activation: numel for int8, 4*numel
+     * otherwise (fp16 is emulated in fp32 storage).
+     */
+    std::int64_t physicalBytes = 0;
+    /**
+     * Accounting bytes at the node's runtime dtype (fp16 counts 2
+     * bytes/element) — the quantity live-byte tracking sums.
+     */
+    std::int64_t logicalBytes = 0;
+    /** Block owner: the node id whose block this slot lives in. */
+    NodeId root = -1;
+    /** Direct producer whose storage is mutated in place (-1: none). */
+    NodeId inplaceSrc = -1;
+    /** True when the slot stores int8 elements. */
+    bool i8 = false;
+    /** Execution step the value is defined at (== node id). */
+    std::int32_t defStep = 0;
+    /** Last step the block is read at (roots: max over the chain). */
+    std::int32_t endStep = 0;
+};
+
+/** A complete static memory plan for one (graph, dtype-mode). */
+struct MemoryPlan
+{
+    /** Per-node placements, indexed by NodeId. */
+    std::vector<MemSlot> slots;
+    /** Total arena bytes the plan needs. */
+    std::int64_t arenaBytes = 0;
+    /** Sum of every activation's logical bytes (naive allocator). */
+    std::int64_t sumAllocBytes = 0;
+    /**
+     * Peak bytes of simultaneously live *blocks* (physical, timeline
+     * sweep) — the lower bound the arena placement tries to reach.
+     */
+    std::int64_t peakLiveBytes = 0;
+    /**
+     * Peak live bytes under the legacy refcount executor's lifetime
+     * rules (logical bytes) — equals RunStats::peakActivationBytes of
+     * a legacy-path run exactly, giving the differential tests an
+     * analytic oracle.
+     */
+    std::int64_t refcountPeakBytes = 0;
+};
+
+/**
+ * Plan activation memory for @p g executed in the given dtype mode
+ * (@p force_f32 mirrors Interpreter::calibrate). Works on deferred
+ * graphs; cost is O(blocks^2) in time, trivial next to one inference.
+ */
+MemoryPlan planMemory(const Graph& g, bool force_f32);
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_MEMPLAN_HH

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <optional>
+#include <string>
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/kernels.hh"
@@ -25,6 +29,47 @@ emptyTensor()
     static const core::Tensor t;
     return t;
 }
+
+/** EDGEBENCH_MEMPLAN env toggle: default on, 0/off/false disables. */
+bool
+memPlanEnvEnabled()
+{
+    const char* e = std::getenv("EDGEBENCH_MEMPLAN");
+    if (!e)
+        return true;
+    std::string v(e);
+    for (char& c : v)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return !(v == "0" || v == "off" || v == "false");
+}
+
+/**
+ * Ops whose kernels rely on a zero-initialized output (they only
+ * write part of it, or accumulate across timesteps). Their arena
+ * slots are cleared at hand-out; everything else writes every element
+ * and skips the memset.
+ */
+bool
+needsZeroFill(OpKind k)
+{
+    switch (k) {
+      case OpKind::kPadSpatial:
+      case OpKind::kDetectPostprocess:
+      case OpKind::kConv3d:
+      case OpKind::kMaxPool3d:
+      case OpKind::kLstm:
+      case OpKind::kGru:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Disarm the output sink on scope exit (exception safety). */
+struct SinkDisarm
+{
+    ~SinkDisarm() { core::OutputSink::disarm(); }
+};
 
 /** Simplified per-class NMS over a [boxes, 4+classes] tensor. */
 core::Tensor
@@ -152,7 +197,8 @@ yoloDetect(const core::Tensor& in, const Node& n)
 
 } // namespace
 
-Interpreter::Interpreter(const Graph& graph) : graph_(graph)
+Interpreter::Interpreter(const Graph& graph)
+    : graph_(graph), useMemPlan_(memPlanEnvEnabled())
 {
     EB_CHECK(graph.materialized(),
              "Interpreter requires a materialized graph (call "
@@ -279,6 +325,15 @@ Interpreter::calibrate(const std::vector<core::Tensor>& inputs)
     return ranges;
 }
 
+const MemoryPlan&
+Interpreter::memoryPlan(bool force_f32)
+{
+    auto& slot = force_f32 ? planF32_ : planNative_;
+    if (!slot)
+        slot = planMemory(graph_, force_f32);
+    return *slot;
+}
+
 std::vector<core::Tensor>
 Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
                      bool force_f32,
@@ -290,11 +345,44 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
                               << inputs.size());
 
     stats_ = RunStats{};
+
+    // Planner path: all activations live in one arena slab at offsets
+    // the static plan assigned. The slab is float-typed and the base
+    // is re-aligned to kArenaAlign by hand (offsets are multiples of
+    // kArenaAlign, so every slot stays aligned too).
+    const MemoryPlan* plan = nullptr;
+    char* arena = nullptr;
+    if (useMemPlan_) {
+        plan = &memoryPlan(force_f32);
+        const auto floats = static_cast<std::size_t>(
+            plan->arenaBytes / 4 + kArenaAlign / 4 + 1);
+        if (arenaStore_.size() < floats)
+            arenaStore_.resize(floats);
+        const auto addr =
+            reinterpret_cast<std::uintptr_t>(arenaStore_.data());
+        arena = reinterpret_cast<char*>(
+            (addr + kArenaAlign - 1) / kArenaAlign * kArenaAlign);
+        stats_.usedMemoryPlan = true;
+        stats_.arenaBytes = plan->arenaBytes;
+    }
+    auto slotF32 = [&](const Node& n) {
+        const MemSlot& s = plan->slots[static_cast<std::size_t>(n.id)];
+        return std::span<float>(
+            reinterpret_cast<float*>(arena + s.offset),
+            static_cast<std::size_t>(core::numElements(n.outShape)));
+    };
+    auto slotI8 = [&](const Node& n) {
+        const MemSlot& s = plan->slots[static_cast<std::size_t>(n.id)];
+        return std::span<std::int8_t>(
+            reinterpret_cast<std::int8_t*>(arena + s.offset),
+            static_cast<std::size_t>(core::numElements(n.outShape)));
+    };
+
     obs::Tracer* const tracer =
         obs::kEnabledAtBuild ? tracer_ : nullptr;
     obs::ScopedSpan run_span(tracer, "interpreter.run(" +
                                  graph_.name() + ")", "run");
-    auto traceNode = [&](const Node& n) {
+    auto traceNode = [&](const Node& n, const core::Tensor& result) {
         if (!tracer)
             return;
         const auto idx = static_cast<std::size_t>(n.id);
@@ -308,6 +396,26 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
         for (NodeId in : n.inputs)
             bytes += graph_.node(in).outputBytes();
         tracer->argNum(s, "bytes", bytes);
+        tracer->argNum(s, "out_bytes",
+                       static_cast<double>(result.byteSize()));
+        if (plan)
+            tracer->argNum(s, "arena_offset",
+                           static_cast<double>(plan->slots[idx].offset));
+    };
+    auto observeRanges = [&](const Node& n, const core::Tensor& t) {
+        if (!ranges)
+            return;
+        auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
+        if (t.dtype() == core::DType::kI8) {
+            // Streaming: dequantize value-by-value instead of
+            // materializing a full fp32 copy of the activation.
+            core::observeMinMaxInt8(t.qdata(), t.quantParams(),
+                                    r.first, r.second);
+        } else {
+            // fp16 is stored as (rounded) fp32, so direct access
+            // observes exactly what a toF32() copy would.
+            core::observeMinMax(t.data(), r.first, r.second);
+        }
     };
     auto refcount = graph_.consumerCounts();
     // Outputs stay live to the end.
@@ -316,7 +424,7 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
 
     std::vector<std::optional<core::Tensor>> values(
         static_cast<std::size_t>(graph_.numNodes()));
-    double live_bytes = 0.0;
+    std::int64_t live_bytes = 0;
 
     auto retain = [&](NodeId id, core::Tensor t) {
         live_bytes += t.byteSize();
@@ -348,18 +456,26 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
                               << core::shapeToString(n.outShape));
             if (!force_f32 && n.dtype == core::DType::kI8 && n.outQuant)
                 t = t.toInt8(*n.outQuant);
-            if (ranges) {
-                auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
-                if (t.dtype() == core::DType::kF32) {
-                    core::observeMinMax(t.data(), r.first, r.second);
+            if (plan) {
+                // Copy the (converted) input into its arena slot so
+                // downstream in-place chains may reuse the block.
+                if (t.dtype() == core::DType::kI8) {
+                    auto dst = slotI8(n);
+                    std::memcpy(dst.data(), t.qdata().data(),
+                                dst.size());
+                    t = core::Tensor::borrowI8(n.outShape, dst,
+                                               t.quantParams());
                 } else {
-                    const core::Tensor f = t.toF32();
-                    core::observeMinMax(f.data(), r.first, r.second);
+                    auto dst = slotF32(n);
+                    std::memcpy(dst.data(), t.data().data(),
+                                dst.size() * sizeof(float));
+                    t = core::Tensor::borrowF32(n.outShape, dst);
                 }
             }
+            observeRanges(n, t);
             retain(n.id, std::move(t));
             ++stats_.nodesExecuted;
-            traceNode(n);
+            traceNode(n, *values[static_cast<std::size_t>(n.id)]);
             continue;
         }
 
@@ -372,30 +488,139 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
             ins.push_back(&*slot);
         }
 
-        core::Tensor result = execNode(n, ins, force_f32);
-        if (ranges) {
-            auto& r = (*ranges)[static_cast<std::size_t>(n.id)];
-            if (result.dtype() == core::DType::kF32) {
-                core::observeMinMax(result.data(), r.first, r.second);
-            } else {
-                const core::Tensor f = result.toF32();
-                core::observeMinMax(f.data(), r.first, r.second);
+        const MemSlot* ms = plan
+            ? &plan->slots[static_cast<std::size_t>(n.id)]
+            : nullptr;
+
+        if (ms && ms->inplaceSrc >= 0) {
+            // In-place node: mutate the producer's tensor instead of
+            // allocating. Accounting replays the legacy order (retain
+            // the result, then release the inputs) so live-byte
+            // tracking matches the refcount path exactly.
+            const NodeId src = ms->inplaceSrc;
+            std::size_t src_idx = 0;
+            while (n.inputs[src_idx] != src)
+                ++src_idx;
+            auto& src_slot = values[static_cast<std::size_t>(src)];
+            core::Tensor t = std::move(*src_slot);
+            const std::int64_t src_bytes = t.byteSize();
+            execNodeInPlace(n, t, ins, src_idx);
+            observeRanges(n, t);
+            retain(n.id, std::move(t));
+            ++stats_.nodesExecuted;
+            traceNode(n, *values[static_cast<std::size_t>(n.id)]);
+            bool src_done = false;
+            for (NodeId in : n.inputs) {
+                if (in == src && !src_done) {
+                    src_done = true;
+                    const auto i = static_cast<std::size_t>(in);
+                    --refcount[i];
+                    EB_CHECK(refcount[i] == 0,
+                             "in-place source still referenced");
+                    live_bytes -= src_bytes;
+                    src_slot.reset();
+                } else {
+                    release(in);
+                }
             }
+            continue;
         }
+
+        core::Tensor result;
+        {
+            SinkDisarm disarm_on_exit;
+            if (ms) {
+                if (ms->i8)
+                    core::OutputSink::armI8(n.outShape, slotI8(n),
+                                            /*clear=*/false);
+                else
+                    core::OutputSink::armF32(n.outShape, slotF32(n),
+                                             needsZeroFill(n.kind));
+            }
+            result = execNode(n, ins, force_f32);
+        }
+        observeRanges(n, result);
         retain(n.id, std::move(result));
         ++stats_.nodesExecuted;
-        traceNode(n);
+        traceNode(n, *values[static_cast<std::size_t>(n.id)]);
         for (NodeId in : n.inputs)
             release(in);
     }
 
+    if (tracer) {
+        tracer->argNum(run_span.id(), "peak_activation_bytes",
+                       static_cast<double>(stats_.peakActivationBytes));
+        if (plan) {
+            tracer->argNum(run_span.id(), "arena_bytes",
+                           static_cast<double>(plan->arenaBytes));
+            tracer->argNum(run_span.id(), "sum_alloc_bytes",
+                           static_cast<double>(plan->sumAllocBytes));
+        }
+    }
+
     std::vector<core::Tensor> outputs;
+    outputs.reserve(graph_.outputIds().size());
     for (NodeId id : graph_.outputIds()) {
-        const auto& slot = values[static_cast<std::size_t>(id)];
+        auto& slot = values[static_cast<std::size_t>(id)];
         EB_CHECK(slot.has_value(), "output value missing");
-        outputs.push_back(*slot);
+        // Move the value out when this emission exhausts its refcount
+        // and it owns its storage; arena-borrowed values must be
+        // deep-copied so the returned tensors outlive the arena.
+        if (--refcount[static_cast<std::size_t>(id)] == 0 &&
+            !slot->borrowed()) {
+            outputs.push_back(std::move(*slot));
+            slot.reset();
+        } else {
+            outputs.push_back(*slot);
+        }
     }
     return outputs;
+}
+
+void
+Interpreter::execNodeInPlace(const Node& n, core::Tensor& t,
+                             const std::vector<const core::Tensor*>& ins,
+                             std::size_t src_idx)
+{
+    if (t.dtype() == core::DType::kI8) {
+        EB_CHECK(n.kind == OpKind::kActivation,
+                 "execNodeInPlace: bad int8 op");
+        if (n.attrs.activation == ActKind::kRelu) {
+            core::reluInt8InPlace(t);
+            return;
+        }
+        if (n.attrs.activation == ActKind::kRelu6) {
+            core::relu6Int8InPlace(t);
+            return;
+        }
+        throw InternalError("execNodeInPlace: bad int8 activation");
+    }
+    switch (n.kind) {
+      case OpKind::kActivation:
+        switch (n.attrs.activation) {
+          case ActKind::kRelu: core::reluInPlace(t); return;
+          case ActKind::kRelu6: core::relu6InPlace(t); return;
+          case ActKind::kLeakyRelu:
+            core::leakyReluInPlace(t, n.attrs.leakySlope);
+            return;
+          case ActKind::kSigmoid: core::sigmoidInPlace(t); return;
+          case ActKind::kTanh: core::tanhInPlace(t); return;
+          case ActKind::kNone: break;
+        }
+        break;
+      case OpKind::kBatchNorm:
+        core::batchNormInPlace(t, paramF32(n, 0), paramF32(n, 1),
+                               paramF32(n, 2), paramF32(n, 3),
+                               n.attrs.bnEpsilon);
+        return;
+      case OpKind::kAdd:
+        core::addElementwiseInPlace(t, *ins[src_idx == 0 ? 1 : 0],
+                                    /*dst_is_lhs=*/src_idx == 0);
+        return;
+      default:
+        break;
+    }
+    throw InternalError("execNodeInPlace: op not whitelisted");
 }
 
 core::Tensor
@@ -411,33 +636,44 @@ Interpreter::execNode(const Node& n,
         switch (n.kind) {
           case OpKind::kConv2d:
           case OpKind::kFusedConvBnAct: {
-            core::Tensor input = ins[0]->dtype() == core::DType::kI8
-                ? *ins[0]
-                : ins[0]->toInt8();
+            // Point at the input directly when it is already int8;
+            // copying it (as the old ternary did) duplicated every
+            // activation once per conv.
+            const core::Tensor* input = ins[0];
+            core::Tensor conv_tmp;
+            if (input->dtype() != core::DType::kI8) {
+                conv_tmp = input->toInt8();
+                input = &conv_tmp;
+            }
             const core::Tensor& w = paramI8(n, 0);
             const core::Tensor& bias =
                 n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
             auto g = n.attrs.conv2d;
             core::Tensor out = core::conv2dInt8Packed(
-                input, w, packedConvI8(n), bias, g, *n.outQuant);
+                *input, w, packedConvI8(n), bias, g, *n.outQuant);
             if (n.kind == OpKind::kFusedConvBnAct) {
+                // In place so an arena-borrowed conv result keeps its
+                // slot (the allocating variants are bit-identical).
                 if (n.attrs.activation == ActKind::kRelu)
-                    out = core::reluInt8(out);
+                    core::reluInt8InPlace(out);
                 else if (n.attrs.activation == ActKind::kRelu6)
-                    out = core::relu6Int8(out);
+                    core::relu6Int8InPlace(out);
                 else if (n.attrs.activation != ActKind::kNone)
                     out = core::relu(out.toF32()).toInt8(*n.outQuant);
             }
             return out;
           }
           case OpKind::kDense: {
-            core::Tensor input = ins[0]->dtype() == core::DType::kI8
-                ? *ins[0]
-                : ins[0]->toInt8();
+            const core::Tensor* input = ins[0];
+            core::Tensor dense_tmp;
+            if (input->dtype() != core::DType::kI8) {
+                dense_tmp = input->toInt8();
+                input = &dense_tmp;
+            }
             const core::Tensor& w = paramI8(n, 0);
             const core::Tensor& bias =
                 n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
-            return core::denseInt8Packed(input, w, packedDenseI8(n),
+            return core::denseInt8Packed(*input, w, packedDenseI8(n),
                                          bias, n.attrs.dense,
                                          *n.outQuant);
           }
@@ -480,7 +716,7 @@ Interpreter::execNode(const Node& n,
         return execNodeF32(n, f32_ins).toInt8(*n.outQuant);
     core::Tensor out = execNodeF32(n, f32_ins);
     if (!force_f32 && n.dtype == core::DType::kF16)
-        out = out.toF16();
+        out.convertToF16InPlace();
     return out;
 }
 
@@ -501,14 +737,18 @@ Interpreter::execNodeF32(const Node& n,
                                n.params.size() > 1 ? paramF32(n, 1)
                                                    : emptyTensor(),
                                n.attrs.conv2d);
+        // In place: bit-identical to the allocating variants, keeps
+        // an arena-borrowed conv result in its slot, and drops one
+        // full-tensor allocation per fused layer on the legacy path.
         switch (n.attrs.activation) {
           case ActKind::kNone: return out;
-          case ActKind::kRelu: return core::relu(out);
-          case ActKind::kRelu6: return core::relu6(out);
+          case ActKind::kRelu: core::reluInPlace(out); return out;
+          case ActKind::kRelu6: core::relu6InPlace(out); return out;
           case ActKind::kLeakyRelu:
-            return core::leakyRelu(out, n.attrs.leakySlope);
-          case ActKind::kSigmoid: return core::sigmoid(out);
-          case ActKind::kTanh: return core::tanhAct(out);
+            core::leakyReluInPlace(out, n.attrs.leakySlope);
+            return out;
+          case ActKind::kSigmoid: core::sigmoidInPlace(out); return out;
+          case ActKind::kTanh: core::tanhInPlace(out); return out;
         }
         throw InternalError("bad fused activation");
       }

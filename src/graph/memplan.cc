@@ -1,0 +1,269 @@
+#include "edgebench/graph/memplan.hh"
+
+#include <algorithm>
+
+#include "edgebench/core/common.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+namespace
+{
+
+std::int64_t
+alignUp(std::int64_t bytes)
+{
+    return (bytes + kArenaAlign - 1) / kArenaAlign * kArenaAlign;
+}
+
+std::int64_t
+physicalBytesFor(const Node& n, core::DType rt)
+{
+    const std::int64_t numel = core::numElements(n.outShape);
+    return rt == core::DType::kI8 ? numel : numel * 4;
+}
+
+std::int64_t
+logicalBytesFor(const Node& n, core::DType rt)
+{
+    const std::int64_t numel = core::numElements(n.outShape);
+    switch (rt) {
+      case core::DType::kI8: return numel;
+      case core::DType::kF16: return numel * 2;
+      default: return numel * 4;
+    }
+}
+
+bool
+fusableActivation(ActKind a)
+{
+    return a == ActKind::kRelu || a == ActKind::kRelu6 ||
+        a == ActKind::kLeakyRelu || a == ActKind::kSigmoid ||
+        a == ActKind::kTanh;
+}
+
+} // namespace
+
+core::DType
+runtimeDType(const Node& n, bool force_f32)
+{
+    if (force_f32)
+        return core::DType::kF32;
+    if (n.dtype == core::DType::kI8 && n.outQuant.has_value())
+        return core::DType::kI8;
+    // Input values are fed as fp32 (quantized inputs handled above);
+    // a kF16 annotation on an input node is a cost-model label only.
+    if (n.kind == OpKind::kInput)
+        return core::DType::kF32;
+    if (n.dtype == core::DType::kF16)
+        return core::DType::kF16;
+    return core::DType::kF32;
+}
+
+MemoryPlan
+planMemory(const Graph& g, bool force_f32)
+{
+    const auto& nodes = g.nodes();
+    const std::size_t n_nodes = nodes.size();
+    MemoryPlan plan;
+    plan.slots.resize(n_nodes);
+    if (n_nodes == 0)
+        return plan;
+    const auto last_step = static_cast<std::int32_t>(n_nodes - 1);
+
+    std::vector<bool> is_output(n_nodes, false);
+    for (NodeId id : g.outputIds())
+        is_output[static_cast<std::size_t>(id)] = true;
+    const std::vector<std::int32_t> consumers = g.consumerCounts();
+
+    std::vector<core::DType> rt(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        const Node& n = nodes[i];
+        EB_CHECK(n.id == static_cast<NodeId>(i),
+                 "planMemory: node ids must equal append order");
+        rt[i] = runtimeDType(n, force_f32);
+        MemSlot& s = plan.slots[i];
+        s.physicalBytes = physicalBytesFor(n, rt[i]);
+        s.logicalBytes = logicalBytesFor(n, rt[i]);
+        s.i8 = rt[i] == core::DType::kI8;
+        s.defStep = static_cast<std::int32_t>(i);
+        s.endStep = s.defStep;
+        s.root = n.id;
+        plan.sumAllocBytes += s.logicalBytes;
+    }
+
+    // Lifetimes: last consumer step, outputs pinned to the final step.
+    for (const Node& n : nodes)
+        for (NodeId in : n.inputs) {
+            MemSlot& s = plan.slots[static_cast<std::size_t>(in)];
+            s.endStep =
+                std::max(s.endStep, static_cast<std::int32_t>(n.id));
+        }
+    for (NodeId id : g.outputIds())
+        plan.slots[static_cast<std::size_t>(id)].endStep = last_step;
+
+    // In-place sharing: a single-consumer, non-output producer of the
+    // same element type and size donates its block to an elementwise
+    // consumer. Chains collapse onto the chain head's block.
+    for (const Node& n : nodes) {
+        if (n.kind == OpKind::kInput)
+            continue;
+        const auto idx = static_cast<std::size_t>(n.id);
+        std::size_t src_choice = 0;
+        bool fusable = false;
+        if (rt[idx] == core::DType::kF32) {
+            // All operands must execute as fp32 so the in-place kernel
+            // sees exactly the bytes the allocating path would read
+            // (f16/i8 operands go through a converted copy instead).
+            bool all_f32 = true;
+            for (NodeId in : n.inputs)
+                all_f32 = all_f32 &&
+                    rt[static_cast<std::size_t>(in)] ==
+                        core::DType::kF32;
+            if (all_f32) {
+                fusable = (n.kind == OpKind::kActivation &&
+                           fusableActivation(n.attrs.activation)) ||
+                    n.kind == OpKind::kBatchNorm ||
+                    n.kind == OpKind::kAdd;
+            }
+        } else if (rt[idx] == core::DType::kI8) {
+            // Quantized clamp keeps the producer's QuantParams, so
+            // mutating the producer's block is exact.
+            fusable = n.kind == OpKind::kActivation &&
+                (n.attrs.activation == ActKind::kRelu ||
+                 n.attrs.activation == ActKind::kRelu6) &&
+                !n.inputs.empty() &&
+                rt[static_cast<std::size_t>(n.inputs[0])] ==
+                    core::DType::kI8;
+        }
+        if (!fusable)
+            continue;
+        NodeId src = -1;
+        const std::size_t n_ins = n.inputs.size();
+        for (std::size_t k = 0; k < n_ins && src < 0; ++k) {
+            const NodeId cand = n.inputs[k];
+            const auto ci = static_cast<std::size_t>(cand);
+            if (consumers[ci] == 1 && !is_output[ci] &&
+                core::numElements(nodes[ci].outShape) ==
+                    core::numElements(n.outShape) &&
+                plan.slots[ci].physicalBytes ==
+                    plan.slots[idx].physicalBytes) {
+                src = cand;
+                src_choice = k;
+            }
+        }
+        (void)src_choice;
+        if (src < 0)
+            continue;
+        MemSlot& s = plan.slots[idx];
+        s.inplaceSrc = src;
+        const NodeId root =
+            plan.slots[static_cast<std::size_t>(src)].root;
+        s.root = root;
+        MemSlot& rs = plan.slots[static_cast<std::size_t>(root)];
+        rs.endStep = std::max(rs.endStep, s.endStep);
+    }
+
+    // Greedy best-fit block placement, biggest blocks first (the
+    // TFLite greedy-by-size order): each block lands in the smallest
+    // offset gap among time-overlapping placed blocks that fits it.
+    struct Placed
+    {
+        std::int64_t offset;
+        std::int64_t bytes;
+        std::int32_t def;
+        std::int32_t end;
+    };
+    std::vector<std::size_t> order;
+    order.reserve(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i)
+        if (plan.slots[i].root == static_cast<NodeId>(i))
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto ba = plan.slots[a].physicalBytes;
+                  const auto bb = plan.slots[b].physicalBytes;
+                  if (ba != bb)
+                      return ba > bb;
+                  if (plan.slots[a].defStep != plan.slots[b].defStep)
+                      return plan.slots[a].defStep <
+                          plan.slots[b].defStep;
+                  return a < b;
+              });
+    std::vector<Placed> placed;
+    placed.reserve(order.size());
+    for (std::size_t i : order) {
+        MemSlot& s = plan.slots[i];
+        const std::int64_t need = alignUp(s.physicalBytes);
+        std::vector<Placed> overlapping;
+        for (const Placed& p : placed)
+            if (!(p.end < s.defStep || p.def > s.endStep))
+                overlapping.push_back(p);
+        std::sort(overlapping.begin(), overlapping.end(),
+                  [](const Placed& a, const Placed& b) {
+                      return a.offset < b.offset;
+                  });
+        std::int64_t best_offset = -1;
+        std::int64_t best_gap = 0;
+        std::int64_t cursor = 0;
+        for (const Placed& p : overlapping) {
+            const std::int64_t gap = p.offset - cursor;
+            if (gap >= need && (best_offset < 0 || gap < best_gap)) {
+                best_offset = cursor;
+                best_gap = gap;
+            }
+            cursor = std::max(cursor, p.offset + p.bytes);
+        }
+        s.offset = best_offset >= 0 ? best_offset : cursor;
+        placed.push_back({s.offset, need, s.defStep, s.endStep});
+        plan.arenaBytes = std::max(plan.arenaBytes, s.offset + need);
+    }
+    // Chain members inherit their root's placement.
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        MemSlot& s = plan.slots[i];
+        if (s.root != static_cast<NodeId>(i))
+            s.offset = plan.slots[static_cast<std::size_t>(s.root)]
+                           .offset;
+    }
+
+    // Timeline sweep over blocks: the tightest footprint any placement
+    // could reach.
+    for (std::int32_t t = 0; t <= last_step; ++t) {
+        std::int64_t live = 0;
+        for (std::size_t i = 0; i < n_nodes; ++i) {
+            const MemSlot& s = plan.slots[i];
+            if (s.root == static_cast<NodeId>(i) && s.defStep <= t &&
+                t <= s.endStep)
+                live += s.physicalBytes;
+        }
+        plan.peakLiveBytes = std::max(plan.peakLiveBytes, live);
+    }
+
+    // Replay the legacy refcount executor's accounting (per-edge
+    // decrements, outputs pinned, consumer-less nodes never freed) so
+    // tests can check the runtime number without running it.
+    {
+        std::vector<std::int32_t> refs = consumers;
+        for (NodeId id : g.outputIds())
+            ++refs[static_cast<std::size_t>(id)];
+        std::int64_t live = 0;
+        for (const Node& n : nodes) {
+            live += plan.slots[static_cast<std::size_t>(n.id)]
+                        .logicalBytes;
+            plan.refcountPeakBytes =
+                std::max(plan.refcountPeakBytes, live);
+            if (n.kind == OpKind::kInput)
+                continue;
+            for (NodeId in : n.inputs)
+                if (--refs[static_cast<std::size_t>(in)] == 0)
+                    live -= plan.slots[static_cast<std::size_t>(in)]
+                                .logicalBytes;
+        }
+    }
+    return plan;
+}
+
+} // namespace graph
+} // namespace edgebench

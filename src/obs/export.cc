@@ -167,9 +167,23 @@ metricsFromTrace(const Tracer& tracer)
             continue;
         m.counter("spans." + e.category).add();
         m.histogram("span_ms." + e.category).record(e.durMs());
-        for (const auto& a : e.args)
-            if (a.numeric)
-                m.histogram("arg." + a.key).record(a.number);
+        for (const auto& a : e.args) {
+            if (!a.numeric)
+                continue;
+            m.histogram("arg." + a.key).record(a.number);
+            // Memory high-water marks from interpreter run spans:
+            // counters (not histograms) so the distilled CSV carries
+            // the arena-vs-naive gap as single scalar values.
+            if (e.category == "run" &&
+                (a.key == "arena_bytes" ||
+                 a.key == "peak_activation_bytes" ||
+                 a.key == "sum_alloc_bytes")) {
+                auto& c = m.counter("mem." + a.key);
+                const auto v = static_cast<std::int64_t>(a.number);
+                if (v > c.value())
+                    c.add(v - c.value());
+            }
+        }
     }
     return m;
 }

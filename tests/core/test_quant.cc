@@ -89,3 +89,28 @@ TEST(QuantizeTest, ObserveMinMaxTracksExtremes)
     EXPECT_DOUBLE_EQ(mn, -3.0);
     EXPECT_DOUBLE_EQ(mx, 2.0);
 }
+
+TEST(QuantizeTest, ObserveMinMaxInt8MatchesDequantizeThenObserve)
+{
+    // The streaming path must see exactly the values a materialized
+    // dequantize() + observeMinMax() pass would — including the f32
+    // rounding of each dequantized value.
+    const auto qp = ec::chooseQuantParams(-1.7, 2.3);
+    std::vector<std::int8_t> q;
+    for (int v = -128; v <= 127; ++v)
+        q.push_back(static_cast<std::int8_t>(v));
+
+    double mn_ref = 1e300, mx_ref = -1e300;
+    ec::observeMinMax(ec::dequantize(q, qp), mn_ref, mx_ref);
+
+    double mn = 1e300, mx = -1e300;
+    ec::observeMinMaxInt8(q, qp, mn, mx);
+    EXPECT_DOUBLE_EQ(mn, mn_ref);
+    EXPECT_DOUBLE_EQ(mx, mx_ref);
+
+    // Streaming accumulates: a second batch only widens the range.
+    const std::vector<std::int8_t> narrow = {0, 1};
+    ec::observeMinMaxInt8(narrow, qp, mn, mx);
+    EXPECT_DOUBLE_EQ(mn, mn_ref);
+    EXPECT_DOUBLE_EQ(mx, mx_ref);
+}

@@ -4,6 +4,9 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -62,9 +65,85 @@ TEST(TensorTest, ByteSizeScalesWithDtype)
 {
     ec::Rng rng(1);
     auto t = ec::Tensor::randomNormal({10, 10}, rng);
-    EXPECT_DOUBLE_EQ(t.byteSize(), 400.0);
-    EXPECT_DOUBLE_EQ(t.toF16().byteSize(), 200.0);
-    EXPECT_DOUBLE_EQ(t.toInt8().byteSize(), 100.0);
+    EXPECT_EQ(t.byteSize(), std::int64_t{400});
+    EXPECT_EQ(t.toF16().byteSize(), std::int64_t{200});
+    EXPECT_EQ(t.toInt8().byteSize(), std::int64_t{100});
+}
+
+TEST(TensorTest, ByteSizeIsExactBeyondFloatMantissa)
+{
+    // 2^24 + 1 elements: 4x that byte count is not representable in a
+    // float (the old double/float accounting rounded it); the integer
+    // accounting must be exact.
+    const std::int64_t n = (std::int64_t{1} << 24) + 1;
+    ec::Tensor t = ec::Tensor::zeros({n});
+    EXPECT_EQ(t.byteSize(), n * 4);
+}
+
+TEST(TensorTest, BorrowedStorageIsViewedNotCopied)
+{
+    std::vector<float> slab(12, 7.0f);
+    auto t = ec::Tensor::borrowF32({3, 4}, slab);
+    EXPECT_TRUE(t.borrowed());
+    EXPECT_EQ(t.storageAddress(), slab.data());
+    EXPECT_FLOAT_EQ(t.at(5), 7.0f);
+    t.set(5, 1.5f);
+    EXPECT_FLOAT_EQ(slab[5], 1.5f); // writes land in the slab
+}
+
+TEST(TensorTest, CopyingBorrowedTensorDetachesAndCounts)
+{
+    std::vector<float> slab(4, 2.0f);
+    auto t = ec::Tensor::borrowF32({4}, slab);
+    const auto before = ec::Tensor::copyCount();
+    ec::Tensor c = t;
+    EXPECT_EQ(ec::Tensor::copyCount(), before + 1);
+    EXPECT_FALSE(c.borrowed());
+    EXPECT_NE(c.storageAddress(), slab.data());
+    slab[0] = 9.0f; // the copy no longer aliases the slab
+    EXPECT_FLOAT_EQ(c.at(0), 2.0f);
+}
+
+TEST(TensorTest, MovePreservesBorrowedStorageIdentity)
+{
+    std::vector<float> slab(4, 0.0f);
+    auto t = ec::Tensor::borrowF32({4}, slab);
+    const auto before = ec::Tensor::copyCount();
+    ec::Tensor m = std::move(t);
+    EXPECT_EQ(ec::Tensor::copyCount(), before); // moves never copy
+    EXPECT_TRUE(m.borrowed());
+    EXPECT_EQ(m.storageAddress(), slab.data());
+}
+
+TEST(TensorTest, OutputSinkHandsSlotToFirstMatchingConstruction)
+{
+    std::vector<float> slab(6, 3.0f);
+    ec::OutputSink::armF32({2, 3}, slab, /*clear=*/true);
+    ec::Tensor wrong = ec::Tensor::zeros({5}); // shape mismatch: owned
+    EXPECT_FALSE(wrong.borrowed());
+    ec::Tensor hit = ec::Tensor::zeros({2, 3});
+    EXPECT_TRUE(hit.borrowed());
+    EXPECT_EQ(hit.storageAddress(), slab.data());
+    EXPECT_FLOAT_EQ(slab[0], 0.0f); // clear=true zeroed the slab
+    EXPECT_TRUE(ec::OutputSink::consumed());
+    ec::Tensor second = ec::Tensor::zeros({2, 3}); // one-shot
+    EXPECT_FALSE(second.borrowed());
+    ec::OutputSink::disarm();
+}
+
+TEST(TensorTest, OutputSinkInt8SlotBacksQuantizedTensor)
+{
+    std::vector<std::int8_t> slab(4, 41);
+    const ec::QuantParams qp{0.5, 1};
+    ec::OutputSink::armI8({4}, slab, /*clear=*/false);
+    ec::Tensor t = ec::Tensor::forOutputI8({4}, qp);
+    EXPECT_TRUE(t.borrowed());
+    EXPECT_EQ(t.storageAddress(), slab.data());
+    EXPECT_EQ(t.qdata()[0], 41); // clear=false leaves bytes alone
+    ec::OutputSink::disarm();
+    ec::Tensor owned = ec::Tensor::forOutputI8({4}, qp);
+    EXPECT_FALSE(owned.borrowed());
+    EXPECT_EQ(owned.qdata()[0], 0);
 }
 
 TEST(TensorTest, Int8RoundTripWithinStepError)

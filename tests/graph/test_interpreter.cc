@@ -5,6 +5,8 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -289,6 +291,69 @@ TEST(InterpreterTest, YoloDetectRejectsMismatchedChannels)
 
     ec::Tensor x = ec::Tensor::full({1, 8, 2, 2}, 0.0f);
     EXPECT_THROW(interp.run({x}), edgebench::InvalidArgumentError);
+}
+
+TEST(InterpreterTest, OutputEmissionMovesInsteadOfDeepCopying)
+{
+    // Regression: the old emitter did `outputs.push_back(*slot)`,
+    // deep-copying every output tensor even when emission exhausted
+    // its refcount. On the refcount path the only permitted copy of
+    // the whole run is the input's toF32() materialization.
+    eg::Graph g;
+    auto in = g.addInput({1, 4, 8, 8});
+    auto r = g.addActivation(in, eg::ActKind::kRelu);
+    g.markOutput(r);
+    ec::Rng rng(71);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    interp.setUseMemoryPlan(false);
+    const std::vector<ec::Tensor> inputs = {randomInput({1, 4, 8, 8},
+                                                        72)};
+    const auto copies_before = ec::Tensor::copyCount();
+    auto out = interp.run(inputs);
+    EXPECT_EQ(ec::Tensor::copyCount(), copies_before + 1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].borrowed()); // escaped values own storage
+}
+
+TEST(InterpreterTest, PlannerOutputsEscapeTheArenaByCopy)
+{
+    // On the arena path the output lives in plan storage, so emission
+    // must deep-copy it; the returned tensor must not alias the arena
+    // (which is reused by the next run).
+    eg::Graph g;
+    auto in = g.addInput({1, 2, 4, 4});
+    auto r = g.addActivation(in, eg::ActKind::kSigmoid);
+    g.markOutput(r);
+    ec::Rng rng(73);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    interp.setUseMemoryPlan(true);
+    auto a = interp.run({randomInput({1, 2, 4, 4}, 74)})[0];
+    ASSERT_FALSE(a.borrowed());
+    auto first = a.data()[0];
+    interp.run({randomInput({1, 2, 4, 4}, 75)});
+    EXPECT_FLOAT_EQ(a.data()[0], first); // next run didn't clobber it
+}
+
+TEST(InterpreterTest, PeakBytesAreExactBeyondFloatPrecision)
+{
+    // A single activation over 2^24 bytes: the old double-based
+    // accounting could not represent odd byte totals at this scale;
+    // the int64 accounting must be exact to the byte.
+    const std::int64_t n = (std::int64_t{1} << 22) + 3;
+    eg::Graph g;
+    auto in = g.addInput({1, n});
+    auto r = g.addActivation(in, eg::ActKind::kRelu);
+    g.markOutput(r);
+    ec::Rng rng(76);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    interp.setUseMemoryPlan(false);
+    interp.run({ec::Tensor::zeros({1, n})});
+    // Input and result both live at the relu step, then the input is
+    // released: peak is exactly two buffers.
+    EXPECT_EQ(interp.lastStats().peakActivationBytes, 2 * n * 4);
 }
 
 TEST(InterpreterTest, AddWithDuplicateInputReleasesOncePerEdge)

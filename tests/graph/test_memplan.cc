@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the static activation-memory planner (memplan.hh) and the
+ * interpreter's arena execution path.
+ *
+ * Three layers:
+ *  - differential: planner-on vs planner-off runs must be bit-identical
+ *    (fp32, int8 and f16 graphs, at 1/2/4 threads) with equal peak
+ *    accounting;
+ *  - plan invariants: on every zoo model (deferred graphs, both dtype
+ *    modes) and on randomized DAGs, no two time-overlapping blocks may
+ *    overlap in the arena, offsets stay aligned, and the bound
+ *    peakLive <= arena <= sum-of-allocations holds;
+ *  - accounting: refcountPeakBytes is an exact analytic oracle of a
+ *    legacy run's RunStats::peakActivationBytes.
+ *
+ * Suite names start with "MemPlan" to match the tsan preset's filter,
+ * so the arena path also runs under ThreadSanitizer.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/tensor.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/memplan.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ec = edgebench::core;
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+
+namespace
+{
+
+void
+expectBitIdentical(const ec::Tensor& a, const ec::Tensor& b)
+{
+    ASSERT_EQ(a.dtype(), b.dtype());
+    ASSERT_TRUE(ec::sameShape(a.shape(), b.shape()));
+    if (a.dtype() == ec::DType::kI8) {
+        auto qa = a.qdata();
+        auto qb = b.qdata();
+        ASSERT_EQ(0, std::memcmp(qa.data(), qb.data(), qa.size()));
+    } else {
+        auto da = a.data();
+        auto db = b.data();
+        ASSERT_EQ(0, std::memcmp(da.data(), db.data(),
+                                 da.size() * sizeof(float)));
+    }
+}
+
+/**
+ * Run @p g with and without the planner at 1/2/4 threads: outputs must
+ * be byte-identical and the live-byte accounting must agree exactly
+ * (including with the plan's analytic refcount replay).
+ */
+void
+expectPlannerMatchesLegacy(const eg::Graph& g,
+                           const std::vector<ec::Tensor>& inputs)
+{
+    for (int threads : {1, 2, 4}) {
+        ec::setParallelism(threads);
+
+        eg::Interpreter legacy(g);
+        legacy.setUseMemoryPlan(false);
+        const auto ref = legacy.run(inputs);
+        const auto legacy_peak = legacy.lastStats().peakActivationBytes;
+        ASSERT_FALSE(legacy.lastStats().usedMemoryPlan);
+        ASSERT_EQ(legacy.lastStats().arenaBytes, 0);
+
+        eg::Interpreter planned(g);
+        planned.setUseMemoryPlan(true);
+        const auto out = planned.run(inputs);
+        ASSERT_TRUE(planned.lastStats().usedMemoryPlan);
+        EXPECT_EQ(planned.lastStats().peakActivationBytes, legacy_peak)
+            << g.name() << " threads=" << threads;
+        EXPECT_EQ(planned.memoryPlan().refcountPeakBytes, legacy_peak)
+            << g.name();
+
+        ASSERT_EQ(ref.size(), out.size());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            expectBitIdentical(ref[i], out[i]);
+    }
+    ec::setParallelism(0);
+}
+
+/** Structural invariants every plan must satisfy, both dtype modes. */
+void
+expectPlanInvariants(const eg::Graph& g)
+{
+    for (bool force_f32 : {false, true}) {
+        const auto plan = eg::planMemory(g, force_f32);
+        ASSERT_EQ(plan.slots.size(),
+                  static_cast<std::size_t>(g.numNodes()));
+
+        std::int64_t aligned_sum = 0;
+        for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+            const auto& s = plan.slots[i];
+            EXPECT_EQ(s.offset % eg::kArenaAlign, 0) << g.name();
+            EXPECT_LE(s.defStep, s.endStep);
+            EXPECT_LE(s.offset + s.physicalBytes, plan.arenaBytes)
+                << g.name() << " node " << i;
+            if (s.root == static_cast<eg::NodeId>(i)) {
+                aligned_sum += (s.physicalBytes + eg::kArenaAlign - 1) /
+                    eg::kArenaAlign * eg::kArenaAlign;
+            } else {
+                // Chain members live in their root's block.
+                const auto& r =
+                    plan.slots[static_cast<std::size_t>(s.root)];
+                EXPECT_EQ(s.offset, r.offset);
+                EXPECT_EQ(s.physicalBytes, r.physicalBytes);
+                EXPECT_GE(s.inplaceSrc, 0);
+            }
+        }
+        EXPECT_GT(plan.arenaBytes, 0) << g.name();
+        EXPECT_LE(plan.peakLiveBytes, plan.arenaBytes) << g.name();
+        EXPECT_LE(plan.arenaBytes, aligned_sum) << g.name();
+        EXPECT_LE(plan.refcountPeakBytes, plan.sumAllocBytes)
+            << g.name();
+
+        // The core guarantee: blocks whose lifetimes overlap in time
+        // never overlap in the arena.
+        for (std::size_t a = 0; a < plan.slots.size(); ++a) {
+            const auto& sa = plan.slots[a];
+            if (sa.root != static_cast<eg::NodeId>(a))
+                continue;
+            for (std::size_t b = a + 1; b < plan.slots.size(); ++b) {
+                const auto& sb = plan.slots[b];
+                if (sb.root != static_cast<eg::NodeId>(b))
+                    continue;
+                const bool time_overlap = !(sb.endStep < sa.defStep ||
+                                            sb.defStep > sa.endStep);
+                if (!time_overlap)
+                    continue;
+                const bool byte_overlap =
+                    sa.offset < sb.offset + sb.physicalBytes &&
+                    sb.offset < sa.offset + sa.physicalBytes;
+                EXPECT_FALSE(byte_overlap)
+                    << g.name() << ": blocks " << a << " and " << b
+                    << " overlap in both time and bytes";
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---- Differential: planner vs legacy, bit-identical. ----
+
+TEST(MemPlanDifferentialTest, CifarNetF32)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(41);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, MobileNetV1F32)
+{
+    auto g = em::buildMobileNetV1(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(42);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, MobileNetV2ResidualAddsF32)
+{
+    // Inverted residuals: kAdd nodes are in-place candidates whose
+    // operands must keep IEEE order.
+    auto g = em::buildMobileNetV2(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(43);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, ResNet18F32)
+{
+    auto g = em::buildResNet(18, /*classes=*/10, /*image=*/64);
+    ec::Rng rng(44);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, SqueezeNetConcatF32)
+{
+    auto g = em::buildSqueezeNet(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(45);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, ShuffleNetChannelShuffleF32)
+{
+    auto g = em::buildShuffleNet(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(46);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, TinyYoloDetectionHeadF32)
+{
+    auto g = em::buildTinyYolo(/*classes=*/4, /*image=*/96);
+    ec::Rng rng(47);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 96, 96}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, CharRnnLstmDeferredCommit)
+{
+    // LSTM/GRU are excluded from in-place sharing (deferred-commit
+    // constraint); the planner must still match the legacy path.
+    auto g = em::buildCharRnn(/*vocab=*/32, /*seq_len=*/8,
+                              /*hidden=*/64);
+    ec::Rng rng(48);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 8, 32}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, GruClassifierDeferredCommit)
+{
+    auto g = em::buildGruClassifier(/*features=*/16, /*seq_len=*/10,
+                                    /*hidden=*/32, /*classes=*/4);
+    ec::Rng rng(49);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 10, 16}, rng);
+    expectPlannerMatchesLegacy(g, {x});
+}
+
+TEST(MemPlanDifferentialTest, CifarNetInt8)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(50);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    std::vector<ec::Tensor> calib = {x};
+    auto [q, rewrites] = eg::quantizeInt8(g, &calib);
+    ASSERT_GT(rewrites, 0);
+    expectPlannerMatchesLegacy(q, {x});
+}
+
+TEST(MemPlanDifferentialTest, MobileNetV1Int8)
+{
+    auto g = em::buildMobileNetV1(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(51);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    std::vector<ec::Tensor> calib = {x};
+    auto [q, rewrites] = eg::quantizeInt8(g, &calib);
+    ASSERT_GT(rewrites, 0);
+    expectPlannerMatchesLegacy(q, {x});
+}
+
+TEST(MemPlanDifferentialTest, CifarNetF16)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(52);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    auto h = eg::convertToF16(g).graph;
+    expectPlannerMatchesLegacy(h, {x});
+}
+
+TEST(MemPlanDifferentialTest, FusedConvBnActF32)
+{
+    auto g = em::buildMobileNetV1(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(53);
+    g.materializeParams(rng);
+    auto fused = eg::fuseConvBnAct(g).graph;
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    expectPlannerMatchesLegacy(fused, {x});
+}
+
+TEST(MemPlanDifferentialTest, CalibrationRangesIdenticalBothPaths)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(54);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+
+    eg::Interpreter legacy(g);
+    legacy.setUseMemoryPlan(false);
+    const auto ref = legacy.calibrate({x});
+
+    eg::Interpreter planned(g);
+    planned.setUseMemoryPlan(true);
+    const auto got = planned.calibrate({x});
+
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ref[i].first, got[i].first) << "node " << i;
+        EXPECT_DOUBLE_EQ(ref[i].second, got[i].second) << "node " << i;
+    }
+}
+
+// ---- Plan invariants on the full-size zoo (deferred graphs). ----
+
+class MemPlanZooInvariants
+    : public ::testing::TestWithParam<em::ModelId>
+{
+};
+
+TEST_P(MemPlanZooInvariants, PlanIsConsistent)
+{
+    expectPlanInvariants(em::buildModel(GetParam()));
+}
+
+TEST_P(MemPlanZooInvariants, ArenaNeverExceedsRefcountPeak)
+{
+    // The headline claim of the planner: its arena fits inside what
+    // the refcount executor keeps resident at peak.
+    const auto g = em::buildModel(GetParam());
+    const auto plan = eg::planMemory(g, /*force_f32=*/false);
+    EXPECT_LE(plan.arenaBytes,
+              plan.refcountPeakBytes + eg::kArenaAlign * g.numNodes())
+        << g.name();
+    EXPECT_LT(plan.arenaBytes, plan.sumAllocBytes) << g.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, MemPlanZooInvariants,
+    ::testing::ValuesIn(em::allModels()),
+    [](const ::testing::TestParamInfo<em::ModelId>& pi) {
+        std::string n = em::modelInfo(pi.param).name + "_" +
+            em::modelInfo(pi.param).inputSize;
+        for (auto& c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+// ---- Plan invariants on randomized DAGs. ----
+
+TEST(MemPlanRandomDagTest, InvariantsHoldOnRandomizedTopologies)
+{
+    // Random same-shape DAGs of elementwise ops: every node picks one
+    // or two uniformly random predecessors, giving skip connections,
+    // fan-out, diamond shapes, and long in-place chains — the
+    // placement stress the fixed zoo topologies don't provide.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ec::Rng rng(seed);
+        eg::Graph g("random_dag_" + std::to_string(seed));
+        const std::int64_t c = 2 + static_cast<std::int64_t>(
+            rng.uniform(0.0, 3.0));
+        std::vector<eg::NodeId> ids;
+        ids.push_back(g.addInput({1, c, 8, 8}));
+        const int n_nodes = 12 + static_cast<int>(
+            rng.uniform(0.0, 20.0));
+        for (int i = 0; i < n_nodes; ++i) {
+            const auto pick = [&] {
+                return ids[static_cast<std::size_t>(rng.uniform(
+                    0.0, static_cast<double>(ids.size()) - 1e-9))];
+            };
+            const double kind = rng.uniform(0.0, 1.0);
+            if (kind < 0.4) {
+                ids.push_back(g.addActivation(
+                    pick(), kind < 0.2 ? eg::ActKind::kRelu
+                                       : eg::ActKind::kSigmoid));
+            } else if (kind < 0.7) {
+                ids.push_back(g.addAdd(pick(), pick()));
+            } else {
+                ids.push_back(g.addBatchNorm(pick()));
+            }
+        }
+        g.markOutput(ids.back());
+        expectPlanInvariants(g);
+
+        // And the executed path agrees with the plan's replay.
+        ec::Rng prng(seed + 1000);
+        g.materializeParams(prng);
+        auto x = ec::Tensor::randomNormal({1, c, 8, 8}, prng);
+        expectPlannerMatchesLegacy(g, {x});
+    }
+}
+
+// ---- Accounting and the runtime toggle. ----
+
+TEST(MemPlanStatsTest, RefcountReplayMatchesLegacyRunExactly)
+{
+    auto g = em::buildMobileNetV2(/*classes=*/10, /*image=*/64);
+    ec::Rng rng(61);
+    g.materializeParams(rng);
+    const auto plan = eg::planMemory(g, /*force_f32=*/false);
+
+    eg::Interpreter interp(g);
+    interp.setUseMemoryPlan(false);
+    auto x = ec::Tensor::randomNormal({1, 3, 64, 64}, rng);
+    interp.run({x});
+    EXPECT_EQ(interp.lastStats().peakActivationBytes,
+              plan.refcountPeakBytes);
+}
+
+TEST(MemPlanStatsTest, PlanIsCachedPerMode)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(62);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    const auto* native = &interp.memoryPlan(/*force_f32=*/false);
+    const auto* f32 = &interp.memoryPlan(/*force_f32=*/true);
+    EXPECT_EQ(native, &interp.memoryPlan(false));
+    EXPECT_EQ(f32, &interp.memoryPlan(true));
+}
+
+TEST(MemPlanStatsTest, ToggleFallsBackToRefcountPath)
+{
+    auto g = em::buildCifarNet();
+    ec::Rng rng(63);
+    g.materializeParams(rng);
+    auto x = ec::Tensor::randomNormal({1, 3, 32, 32}, rng);
+    eg::Interpreter interp(g);
+    // Default follows EDGEBENCH_MEMPLAN (on unless the env disables
+    // it) — assert only the explicit toggle so the test passes under
+    // either environment.
+    interp.setUseMemoryPlan(false);
+    interp.run({x});
+    EXPECT_FALSE(interp.lastStats().usedMemoryPlan);
+    interp.setUseMemoryPlan(true);
+    interp.run({x});
+    EXPECT_TRUE(interp.lastStats().usedMemoryPlan);
+    EXPECT_GT(interp.lastStats().arenaBytes, 0);
+}

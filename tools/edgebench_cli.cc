@@ -6,6 +6,7 @@
  *   edgebench devices                        list platforms
  *   edgebench frameworks <device>            frameworks for a device
  *   edgebench summary <model>                layer table
+ *   edgebench memplan                        activation-memory table
  *   edgebench dot <model>                    Graphviz rendering
  *   edgebench save <model> <file.ebg>        serialize a zoo model
  *   edgebench show <file.ebg>                summary of a saved graph
@@ -46,6 +47,7 @@
 #include "edgebench/frameworks/deploy.hh"
 #include "edgebench/frameworks/runtime.hh"
 #include "edgebench/graph/export.hh"
+#include "edgebench/graph/memplan.hh"
 #include "edgebench/graph/serialize.hh"
 #include "edgebench/harness/report.hh"
 #include "edgebench/obs/export.hh"
@@ -103,7 +105,7 @@ usage()
     std::cerr
         << "usage: edgebench [options] <command> [args]\n"
         << "  models | devices | frameworks <device> | compat\n"
-        << "  summary <model> | dot <model>\n"
+        << "  summary <model> | dot <model> | memplan\n"
         << "  save <model> <file.ebg> | show <file.ebg>\n"
         << "  predict <model> <device> [framework]\n"
         << "  serve <model> <device> [framework]\n"
@@ -178,6 +180,40 @@ cmdSummary(const std::string& model)
 {
     const auto g = models::buildModel(models::modelByName(model));
     graph::printSummary(g, std::cout);
+    return 0;
+}
+
+/**
+ * Activation-memory table: what the static planner's arena needs per
+ * zoo model, against the legacy refcount executor's peak and the naive
+ * sum of every activation (the gap the paper's memory characterization
+ * is about).
+ */
+int
+cmdMemplan()
+{
+    harness::Table t({"Model", "Arena KiB", "Refcount peak KiB",
+                      "Sum activations KiB", "Arena/Sum"});
+    for (auto id : models::allModels()) {
+        const auto g = models::buildModel(id);
+        const auto plan = graph::planMemory(g, /*force_f32=*/false);
+        t.addRow({g.name(),
+                  harness::Table::num(
+                      static_cast<double>(plan.arenaBytes) / 1024.0, 1),
+                  harness::Table::num(
+                      static_cast<double>(plan.refcountPeakBytes) /
+                          1024.0, 1),
+                  harness::Table::num(
+                      static_cast<double>(plan.sumAllocBytes) / 1024.0,
+                      1),
+                  harness::Table::num(
+                      plan.sumAllocBytes > 0
+                          ? static_cast<double>(plan.arenaBytes) /
+                              static_cast<double>(plan.sumAllocBytes)
+                          : 0.0,
+                      3)});
+    }
+    t.print(std::cout);
     return 0;
 }
 
@@ -668,6 +704,8 @@ main(int argc, char** argv)
             return cmdFrameworks(args[1]);
         if (cmd == "summary" && args.size() == 2)
             return cmdSummary(args[1]);
+        if (cmd == "memplan" && args.size() == 1)
+            return cmdMemplan();
         if (cmd == "dot" && args.size() == 2)
             return cmdDot(args[1]);
         if (cmd == "save" && args.size() == 3)
