@@ -33,6 +33,7 @@
 #include "edgebench/core/scratch.hh"
 #include "edgebench/core/parallel.hh"
 #include "edgebench/core/rng.hh"
+#include "edgebench/core/simd.hh"
 
 namespace ec = edgebench::core;
 
@@ -97,6 +98,8 @@ struct Case
     int threads;
     double ms;
     double gflops;
+    double gbs;
+    bool simd;
 };
 
 /** Best-of-reps wall time of @p fn, auto-scaled to >= ~40ms reps. */
@@ -135,20 +138,25 @@ bestMs(F&& fn)
 template <typename F>
 Case
 runCase(std::vector<Case>& cases, const std::string& name, i64 m,
-        i64 n, i64 k, int threads, F&& fn)
+        i64 n, i64 k, int threads, i64 elem_bytes, F&& fn)
 {
     ec::setParallelism(threads);
     const double ms = bestMs(fn);
     const double gflops =
         2.0 * static_cast<double>(m) * static_cast<double>(n) *
         static_cast<double>(k) / (ms * 1e6);
-    Case c{name, m, n, k, threads, ms, gflops};
+    // Minimum memory traffic: read A and B once, write C once.
+    const double gbs = static_cast<double>(
+                           (m * k + k * n + m * n) * elem_bytes) /
+        (ms * 1e6);
+    Case c{name, m, n, k, threads, ms, gflops, gbs, ec::simdActive()};
     cases.push_back(c);
     std::cout << "  " << name;
     for (std::size_t pad = name.size(); pad < 28; ++pad)
         std::cout << ' ';
     std::cout << m << "x" << n << "x" << k << "  threads=" << threads
-              << "  " << ms << " ms  " << gflops << " GF/s\n";
+              << "  " << ms << " ms  " << gflops << " GF/s  " << gbs
+              << " GB/s  simd=" << (c.simd ? "on" : "off") << "\n";
     return c;
 }
 
@@ -184,24 +192,44 @@ main(int argc, char** argv)
 
     // Baselines: the old production loop with its per-element pruning
     // branch, and the same loop without it (dense-case branch cost).
-    runCase(cases, "ref_ikj_zero_branch", m, n, k, base_threads, [&] {
+    runCase(cases, "ref_ikj_zero_branch", m, n, k, base_threads, 4, [&] {
         gemmRefIkj(m, n, k, a.data(), b.data(), c.data(), true);
     });
-    runCase(cases, "ref_ikj_no_branch", m, n, k, base_threads, [&] {
+    runCase(cases, "ref_ikj_no_branch", m, n, k, base_threads, 4, [&] {
         gemmRefIkj(m, n, k, a.data(), b.data(), c.data(), false);
     });
 
     // The engine, packing both operands per call (gemm entry point).
-    runCase(cases, "packed", m, n, k, base_threads,
+    runCase(cases, "packed", m, n, k, base_threads, 4,
             [&] { ec::gemm(m, n, k, a, b, c); });
 
     // Steady-state shape: weights packed once, per-call B pack only.
     const ec::PackedA pa = ec::packA(m, k, a);
-    runCase(cases, "packed_prepacked_a", m, n, k, base_threads,
+    runCase(cases, "packed_prepacked_a", m, n, k, base_threads, 4,
             [&] { ec::gemmPackB(pa.view(), n, b, c); });
     for (int t : {2, 4})
-        runCase(cases, "packed_prepacked_a", m, n, k, t,
+        runCase(cases, "packed_prepacked_a", m, n, k, t, 4,
                 [&] { ec::gemmPackB(pa.view(), n, b, c); });
+
+    // The scalar engine on the same steady-state shape (vector paths
+    // forced off): the SIMD speedup row for docs/PERFORMANCE.md. Also
+    // check the two engines agree bit-for-bit on this shape.
+    if (ec::kSimdCompiled && ec::simdActive()) {
+        std::vector<float> c_simd(c.size());
+        ec::setParallelism(base_threads);
+        ec::gemmPackB(pa.view(), n, b, c_simd);
+        ec::setSimdActive(false);
+        runCase(cases, "packed_prepacked_a_scalar", m, n, k,
+                base_threads, 4,
+                [&] { ec::gemmPackB(pa.view(), n, b, c); });
+        ec::setSimdActive(true);
+        if (std::memcmp(c.data(), c_simd.data(),
+                        c.size() * sizeof(float)) != 0) {
+            std::cout << "  simd-vs-scalar: MISMATCH\n";
+            return 1;
+        }
+        std::cout << "  simd-vs-scalar: byte-identical\n";
+    }
 
     // Magnitude-pruned weights: 75% of rows zeroed in whole register
     // panels; the engine skips them via pack-time chunk flags, the old
@@ -215,11 +243,11 @@ main(int argc, char** argv)
                   0.0f);
     }
     auto ap = pruned.data();
-    runCase(cases, "ref_ikj_pruned75", m, n, k, base_threads, [&] {
+    runCase(cases, "ref_ikj_pruned75", m, n, k, base_threads, 4, [&] {
         gemmRefIkj(m, n, k, ap.data(), b.data(), c.data(), true);
     });
     const ec::PackedA pa_pruned = ec::packA(m, k, ap);
-    runCase(cases, "packed_pruned75", m, n, k, base_threads,
+    runCase(cases, "packed_pruned75", m, n, k, base_threads, 4,
             [&] { ec::gemmPackB(pa_pruned.view(), n, b, c); });
 
     // Thread-count determinism: packed output must be byte-identical
@@ -260,14 +288,14 @@ main(int argc, char** argv)
     const ec::Int8GemmQuant iq{qa_params, qb_params, qo_params};
 
     runCase(cases, "int8_ref_double_requant", m, n, k, base_threads,
-            [&] {
+            1, [&] {
                 gemmRefInt8(m, n, k, ia.data(), ib.data(),
                             qa_params.zeroPoint, qb_params.zeroPoint,
                             acc_scale, qo_params, ic.data());
             });
 
     // Packing both operands per call (the ad-hoc kernel shape).
-    runCase(cases, "int8_packed", m, n, k, base_threads, [&] {
+    runCase(cases, "int8_packed", m, n, k, base_threads, 1, [&] {
         const ec::PackedAI8View pav = ec::packAInt8Into(
             m, k, ia,
             ec::scratchI8(ec::ScratchSlot::kGemmPackAI8,
@@ -299,10 +327,27 @@ main(int argc, char** argv)
         ec::gemmPackedInt8(pai8.view(), n, pb, pbs, {}, iq, ic);
     };
     runCase(cases, "int8_packed_prepacked_a", m, n, k, base_threads,
-            run_prepacked_i8);
+            1, run_prepacked_i8);
     for (int t : {2, 4})
-        runCase(cases, "int8_packed_prepacked_a", m, n, k, t,
+        runCase(cases, "int8_packed_prepacked_a", m, n, k, t, 1,
                 run_prepacked_i8);
+
+    // Scalar integer engine row + simd-vs-scalar identity check.
+    if (ec::kSimdCompiled && ec::simdActive()) {
+        std::vector<std::int8_t> ic_simd(ic.size());
+        ec::setParallelism(base_threads);
+        run_prepacked_i8();
+        std::copy(ic.begin(), ic.end(), ic_simd.begin());
+        ec::setSimdActive(false);
+        runCase(cases, "int8_packed_prepacked_a_scalar", m, n, k,
+                base_threads, 1, run_prepacked_i8);
+        ec::setSimdActive(true);
+        if (std::memcmp(ic.data(), ic_simd.data(), ic.size()) != 0) {
+            std::cout << "  int8 simd-vs-scalar: MISMATCH\n";
+            return 1;
+        }
+        std::cout << "  int8 simd-vs-scalar: byte-identical\n";
+    }
 
     // int8 thread-count determinism, same contract as fp32.
     std::vector<std::int8_t> ic1(ic.size());
@@ -325,13 +370,20 @@ main(int argc, char** argv)
     if (json) {
         std::ofstream f(out_path);
         f << "{\n  \"bench\": \"gemm\",\n  \"deterministic\": true,\n"
+          << "  \"simd\": {\"compiled\": "
+          << (ec::kSimdCompiled ? "true" : "false")
+          << ", \"active\": "
+          << (ec::simdActive() ? "true" : "false")
+          << ", \"lanes\": " << ec::simdLaneWidth() << "},\n"
           << "  \"cases\": [\n";
         for (std::size_t i = 0; i < cases.size(); ++i) {
             const Case& cs = cases[i];
             f << "    {\"name\": \"" << cs.name << "\", \"m\": "
               << cs.m << ", \"n\": " << cs.n << ", \"k\": " << cs.k
               << ", \"threads\": " << cs.threads << ", \"ms\": "
-              << cs.ms << ", \"gflops\": " << cs.gflops << "}"
+              << cs.ms << ", \"gflops\": " << cs.gflops
+              << ", \"gbs\": " << cs.gbs << ", \"simd\": "
+              << (cs.simd ? "true" : "false") << "}"
               << (i + 1 < cases.size() ? "," : "") << "\n";
         }
         f << "  ]\n}\n";

@@ -257,6 +257,27 @@ BM_InterpreterCifarNet(benchmark::State& state)
 }
 BENCHMARK(BM_InterpreterCifarNet)->Arg(1)->Arg(4);
 
+// fp32 end-to-end inference: MobileNet-v1 on the fp32 engine —
+// depthwise direct kernels alternating with pointwise packed GEMMs,
+// ReLU-family activations fused into the engine epilogues. This is
+// the fp32 e2e number quoted in docs/PERFORMANCE.md.
+void
+BM_InterpreterMobileNetV1(benchmark::State& state)
+{
+    applyThreads(state, state.range(0));
+    auto g = em::buildMobileNetV1(/*classes=*/1000, /*image=*/96);
+    ec::Rng rng(12);
+    g.materializeParams(rng);
+    auto input = ec::Tensor::randomNormal({1, 3, 96, 96}, rng);
+    eg::Interpreter interp(g);
+    for (auto _ : state) {
+        auto out = interp.run({input});
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * g.stats().macs);
+}
+BENCHMARK(BM_InterpreterMobileNetV1)->Arg(1)->Arg(4);
+
 // Quantized end-to-end inference: MobileNet-v1 through quantizeInt8,
 // so every conv/dense layer runs the integer pack-and-tile engine
 // (plus the depthwise direct kernel and integer relu6/add). This is

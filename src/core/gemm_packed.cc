@@ -5,6 +5,7 @@
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
 #include "edgebench/core/scratch.hh"
+#include "edgebench/core/simd.hh"
 
 namespace edgebench
 {
@@ -39,6 +40,44 @@ microKernel(const float* __restrict ap, const float* __restrict bp,
         }
     }
 }
+
+#if EDGEBENCH_SIMD_COMPILED
+
+/**
+ * Vector twin of microKernel: each of the MR rows accumulates one
+ * f32x8 across the NR=8 output columns, k innermost and unsplit, so
+ * lane j of row i performs the exact mul/add sequence the scalar
+ * kernel performs for acc[i*NR+j] (-ffp-contract=off keeps the
+ * compiler from fusing them into fmas).
+ */
+inline void
+microKernelSimd(const float* __restrict ap, const float* __restrict bp,
+                std::int64_t kc, f32x8* __restrict acc)
+{
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* a = ap + p * MR;
+        const f32x8 b = loadF32x8(bp + p * NR);
+        for (std::int64_t i = 0; i < MR; ++i)
+            acc[i] += splatF32x8(a[i]) * b;
+    }
+}
+
+/** Vector epilogue — per-lane identical to applyEpilogueAct. */
+inline f32x8
+applyActSimd(f32x8 v, EpilogueAct act)
+{
+    switch (act) {
+        case EpilogueAct::kRelu:
+            return reluF32x8(v);
+        case EpilogueAct::kRelu6:
+            return clampF32x8(v, 0.0f, 6.0f);
+        case EpilogueAct::kNone:
+            break;
+    }
+    return v;
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
 
 } // namespace
 
@@ -136,7 +175,8 @@ packBInto(std::int64_t n, std::int64_t k, std::span<const float> b,
 
 void
 gemmPacked(const PackedAView& a, std::int64_t n,
-           std::span<const float> packed_b, std::span<float> c)
+           std::span<const float> packed_b, std::span<float> c,
+           const GemmEpilogue& ep)
 {
     EB_CHECK(a.data != nullptr, "gemmPacked: unpacked A");
     EB_CHECK(static_cast<std::int64_t>(packed_b.size()) >=
@@ -144,15 +184,81 @@ gemmPacked(const PackedAView& a, std::int64_t n,
              "gemmPacked: packed B too small");
     EB_CHECK(static_cast<std::int64_t>(c.size()) == a.m * n,
              "gemmPacked: bad C size");
+    EB_CHECK(ep.bias.empty() ||
+                 static_cast<std::int64_t>(ep.bias.size()) == a.m,
+             "gemmPacked: bias size " << ep.bias.size()
+                                      << " != rows " << a.m);
     const std::int64_t m = a.m;
     const std::int64_t k = a.k;
     const std::int64_t mp = a.mPanels();
     const std::int64_t np = gemmTiles(n, NR);
     const std::int64_t kch = a.kChunks();
+    const bool has_bias = !ep.bias.empty();
+    // Resolve the engine once, outside the parallel region, so every
+    // worker runs the same microkernel.
+    const bool use_simd = simdActive();
     // One task per C tile, B-panel-major so a worker's contiguous
     // tile range reuses its packed-B panel across A panels. Each tile
     // is accumulated k-ascending start-to-finish by one worker, so
     // the partition never changes results.
+#if EDGEBENCH_SIMD_COMPILED
+    if (use_simd) {
+        parallelFor(
+            np * mp,
+            [&](std::int64_t t0, std::int64_t t1) {
+                f32x8 acc[MR];
+                for (std::int64_t t = t0; t < t1; ++t) {
+                    const std::int64_t jp = t / mp;
+                    const std::int64_t ip = t % mp;
+                    const float* flags = a.panelFlags(ip);
+                    const float* apanel = a.panelValues(ip);
+                    const float* bpanel = packed_b.data() + jp * k * NR;
+                    for (std::int64_t i = 0; i < MR; ++i)
+                        acc[i] = splatF32x8(0.0f);
+                    for (std::int64_t kc = 0; kc < kch; ++kc) {
+                        if (flags[kc] != 0.0f)
+                            continue; // whole MR x chunk block pruned
+                        const std::int64_t p0 = kc * KC;
+                        const std::int64_t p1 = std::min(k, p0 + KC);
+                        microKernelSimd(apanel + p0 * MR,
+                                        bpanel + p0 * NR, p1 - p0, acc);
+                    }
+                    const std::int64_t i0 = ip * MR;
+                    const std::int64_t j0 = jp * NR;
+                    const std::int64_t ilim = std::min(MR, m - i0);
+                    const std::int64_t jlim = std::min(NR, n - j0);
+                    if (jlim == NR) {
+                        // Full-width tile: fused epilogue + store stay
+                        // vectorized (per-lane math identical to the
+                        // scalar epilogue below).
+                        for (std::int64_t i = 0; i < ilim; ++i) {
+                            f32x8 v = acc[i];
+                            if (has_bias)
+                                v += splatF32x8(ep.bias[i0 + i]);
+                            v = applyActSimd(v, ep.act);
+                            storeF32x8(&c[(i0 + i) * n + j0], v);
+                        }
+                    } else {
+                        for (std::int64_t i = 0; i < ilim; ++i) {
+                            const float* row =
+                                reinterpret_cast<const float*>(&acc[i]);
+                            for (std::int64_t j = 0; j < jlim; ++j) {
+                                float v = row[j];
+                                if (has_bias)
+                                    v += ep.bias[i0 + i];
+                                c[(i0 + i) * n + j0 + j] =
+                                    applyEpilogueAct(v, ep.act);
+                            }
+                        }
+                    }
+                }
+            },
+            /*min_grain=*/2);
+        return;
+    }
+#else
+    (void)use_simd;
+#endif
     parallelFor(
         np * mp,
         [&](std::int64_t t0, std::int64_t t1) {
@@ -177,8 +283,13 @@ gemmPacked(const PackedAView& a, std::int64_t n,
                 const std::int64_t ilim = std::min(MR, m - i0);
                 const std::int64_t jlim = std::min(NR, n - j0);
                 for (std::int64_t i = 0; i < ilim; ++i)
-                    for (std::int64_t j = 0; j < jlim; ++j)
-                        c[(i0 + i) * n + j0 + j] = acc[i * NR + j];
+                    for (std::int64_t j = 0; j < jlim; ++j) {
+                        float v = acc[i * NR + j];
+                        if (has_bias)
+                            v += ep.bias[i0 + i];
+                        c[(i0 + i) * n + j0 + j] =
+                            applyEpilogueAct(v, ep.act);
+                    }
             }
         },
         /*min_grain=*/2);
@@ -186,13 +297,14 @@ gemmPacked(const PackedAView& a, std::int64_t n,
 
 void
 gemmPackB(const PackedAView& a, std::int64_t n,
-          std::span<const float> b, std::span<float> c)
+          std::span<const float> b, std::span<float> c,
+          const GemmEpilogue& ep)
 {
     std::span<float> packed_b = scratchF32(
         ScratchSlot::kGemmPackB,
         static_cast<std::size_t>(packedBSize(n, a.k)));
     packBInto(n, a.k, b, packed_b);
-    gemmPacked(a, n, packed_b, c);
+    gemmPacked(a, n, packed_b, c, ep);
 }
 
 void

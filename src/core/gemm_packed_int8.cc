@@ -5,6 +5,7 @@
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
 #include "edgebench/core/scratch.hh"
+#include "edgebench/core/simd.hh"
 
 namespace edgebench
 {
@@ -55,6 +56,29 @@ rowCorrection(std::int64_t bias_q, std::int32_t row_sum,
     return bias_q - static_cast<std::int64_t>(b_zp) * row_sum +
         k * a_zp * b_zp;
 }
+
+#if EDGEBENCH_SIMD_COMPILED
+
+/**
+ * Vector twin of microKernelInt8: each of the MR rows accumulates one
+ * i32x8 across the NR=8 output columns (B widened int8 -> int32 once
+ * per step). Integer accumulation is exact, so this is trivially
+ * bit-identical to the scalar kernel; the same k-order is kept anyway.
+ */
+inline void
+microKernelInt8Simd(const std::int8_t* __restrict ap,
+                    const std::int8_t* __restrict bp, std::int64_t kc,
+                    i32x8* __restrict acc)
+{
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const std::int8_t* a = ap + p * MR;
+        const i32x8 b = widenI8ToI32x8(bp + p * NR);
+        for (std::int64_t i = 0; i < MR; ++i)
+            acc[i] += splatI32x8(a[i]) * b;
+    }
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
 
 } // namespace
 
@@ -180,7 +204,7 @@ gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
                std::span<const std::int8_t> packed_b,
                std::span<const std::int32_t> b_col_sums,
                std::span<const float> bias, const Int8GemmQuant& q,
-               std::span<std::int8_t> c)
+               std::span<std::int8_t> c, EpilogueAct act)
 {
     EB_CHECK(a.values != nullptr && a.rowSums != nullptr,
              "gemmPackedInt8: unpacked A");
@@ -209,6 +233,12 @@ gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
     const std::int32_t a_zp = q.a.zeroPoint;
     const std::int64_t b_zp = q.b.zeroPoint;
     const std::int32_t out_zp = q.out.zeroPoint;
+    // Fused activation: relu/relu6 in the quantized domain is a
+    // tighter saturation clamp, applied while requantizing (see
+    // int8ActBounds for the bit-identity argument).
+    std::int32_t qlo = -128;
+    std::int32_t qhi = 127;
+    int8ActBounds(act, q.out, qlo, qhi);
 
     // Fold bias and the per-row zero-point terms once per call (the
     // packed weights stay activation-agnostic, so a cached packing
@@ -230,10 +260,59 @@ gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
         }
     }
 
+    // Resolve the engine once, outside the parallel region.
+    const bool use_simd = simdActive();
     // One task per C tile, B-panel-major (matches the fp32 engine).
     // Integer accumulation is exact, so any partition of whole tiles
     // is bit-identical; each tile is still accumulated k-ascending by
-    // a single worker.
+    // a single worker. The requantization epilogue (int64 multiply +
+    // shift per element) stays scalar — it is O(m*n) against the
+    // microkernel's O(m*n*k).
+#if EDGEBENCH_SIMD_COMPILED
+    if (use_simd) {
+        parallelFor(
+            np * mp,
+            [&](std::int64_t t0, std::int64_t t1) {
+                i32x8 vacc[MR];
+                std::int32_t acc[MR * NR];
+                for (std::int64_t t = t0; t < t1; ++t) {
+                    const std::int64_t jp = t / mp;
+                    const std::int64_t ip = t % mp;
+                    const std::int8_t* apanel = a.panelValues(ip);
+                    const std::int8_t* bpanel =
+                        packed_b.data() + jp * k * NR;
+                    for (std::int64_t i = 0; i < MR; ++i)
+                        vacc[i] = splatI32x8(0);
+                    microKernelInt8Simd(apanel, bpanel, k, vacc);
+                    for (std::int64_t i = 0; i < MR; ++i)
+                        storeI32x8(acc + i * NR, vacc[i]);
+                    const std::int64_t i0 = ip * MR;
+                    const std::int64_t j0 = jp * NR;
+                    const std::int64_t ilim = std::min(MR, m - i0);
+                    const std::int64_t jlim = std::min(NR, n - j0);
+                    for (std::int64_t i = 0; i < ilim; ++i)
+                        for (std::int64_t j = 0; j < jlim; ++j) {
+                            const std::int64_t total =
+                                static_cast<std::int64_t>(
+                                    acc[i * NR + j]) +
+                                row_corr[static_cast<std::size_t>(
+                                    i0 + i)] -
+                                static_cast<std::int64_t>(a_zp) *
+                                    b_col_sums
+                                        [static_cast<std::size_t>(
+                                            j0 + j)];
+                            c[(i0 + i) * n + j0 + j] =
+                                requantizeFixedPoint(total, rs,
+                                                     out_zp, qlo, qhi);
+                        }
+                }
+            },
+            /*min_grain=*/2);
+        return;
+    }
+#else
+    (void)use_simd;
+#endif
     parallelFor(
         np * mp,
         [&](std::int64_t t0, std::int64_t t1) {
@@ -261,7 +340,8 @@ gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
                                 b_col_sums[static_cast<std::size_t>(
                                     j0 + j)];
                         c[(i0 + i) * n + j0 + j] =
-                            requantizeFixedPoint(total, rs, out_zp);
+                            requantizeFixedPoint(total, rs, out_zp,
+                                                 qlo, qhi);
                     }
             }
         },

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * 64-byte aligned allocation for SIMD-touched buffers.
+ *
+ * The pack-and-tile engines stream packed panels with vector loads;
+ * the scratch arenas (scratch.hh) and the interpreter's cached packed
+ * weights (PackedA / PackedAI8) hold that data. std::vector's default
+ * allocator only guarantees alignof(std::max_align_t) (16 on x86-64),
+ * so panel rows could straddle cache lines and split vector loads.
+ * AlignedVec pins every such buffer to a 64-byte boundary — one cache
+ * line, and wide enough for any vector type simd.hh can lower to.
+ *
+ * Alignment never changes arithmetic or layout; it only constrains
+ * where buffers start, so the repo-wide bit-determinism invariant is
+ * unaffected.
+ */
+
+#ifndef EDGEBENCH_CORE_ALIGN_HH
+#define EDGEBENCH_CORE_ALIGN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace edgebench
+{
+namespace core
+{
+
+/** Alignment (bytes) for all SIMD-touched buffers: one cache line. */
+inline constexpr std::size_t kSimdAlign = 64;
+
+/**
+ * Minimal std::allocator replacement that over-aligns every block to
+ * @c Align bytes via the C++17 aligned operator new.
+ */
+template <typename T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    static_assert(Align >= alignof(T), "cannot under-align");
+    static_assert((Align & (Align - 1)) == 0, "alignment must be pow2");
+
+    AlignedAllocator() noexcept = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T*
+    allocate(std::size_t n)
+    {
+        return static_cast<T*>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T* p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    friend bool
+    operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept
+    {
+        return true;
+    }
+};
+
+/** std::vector whose storage always starts on a 64-byte boundary. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+/** True when @p p sits on a @c kSimdAlign boundary (tests). */
+inline bool
+isSimdAligned(const void* p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % kSimdAlign == 0;
+}
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_ALIGN_HH

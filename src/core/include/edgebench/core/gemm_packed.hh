@@ -40,12 +40,60 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
+
+#include "edgebench/core/align.hh"
 
 namespace edgebench
 {
 namespace core
 {
+
+/**
+ * Activation fused into a GEMM epilogue. The engines apply it while
+ * the output tile is still register-resident, with exactly the scalar
+ * kernels' elementwise math (relu: v > 0 ? v : 0; relu6:
+ * std::clamp(v, 0, 6)), so fusing never changes results — it only
+ * removes a full extra pass over the output tensor.
+ */
+enum class EpilogueAct
+{
+    kNone,
+    kRelu,
+    kRelu6,
+};
+
+/**
+ * Fused epilogue for gemmPacked / gemmPackB: optional per-row bias
+ * (rows of C are output channels in the conv mapping; empty span =
+ * no bias) followed by an optional activation. The bias add is the
+ * same single float addition the old post-GEMM pass performed, so
+ * results are bit-identical to the unfused sequence.
+ */
+struct GemmEpilogue
+{
+    std::span<const float> bias{};
+    EpilogueAct act = EpilogueAct::kNone;
+};
+
+/**
+ * Scalar reference semantics of EpilogueAct — the exact per-element
+ * math of the standalone activation kernels (kernels.cc). Every fused
+ * path (vector or scalar, GEMM or depthwise) reduces to this per
+ * element, which is what makes fusion bit-neutral.
+ */
+inline float
+applyEpilogueAct(float v, EpilogueAct act)
+{
+    switch (act) {
+        case EpilogueAct::kRelu:
+            return v > 0.0f ? v : 0.0f;
+        case EpilogueAct::kRelu6:
+            return v < 0.0f ? 0.0f : (6.0f < v ? 6.0f : v);
+        case EpilogueAct::kNone:
+            break;
+    }
+    return v;
+}
 
 /** Microkernel register-tile rows (packed-A panel height). */
 inline constexpr std::int64_t kGemmMR = 6;
@@ -122,7 +170,7 @@ struct PackedA
 {
     std::int64_t m = 0;
     std::int64_t k = 0;
-    std::vector<float> data;
+    AlignedVec<float> data;
 
     PackedAView view() const { return {m, k, data.data()}; }
     double byteSize() const
@@ -143,11 +191,15 @@ void packBInto(std::int64_t n, std::int64_t k, std::span<const float> b,
                std::span<float> storage);
 
 /**
- * C[m,n] = A * B with both operands packed (C overwritten).
- * Parallelized over C tiles; bit-identical for any thread count.
+ * C[m,n] = A * B with both operands packed (C overwritten), with the
+ * optional fused epilogue @p ep (per-row bias + activation) applied
+ * before the tile leaves registers. Parallelized over C tiles;
+ * bit-identical for any thread count and across the SIMD/scalar
+ * microkernels (simd.hh).
  */
 void gemmPacked(const PackedAView& a, std::int64_t n,
-                std::span<const float> packed_b, std::span<float> c);
+                std::span<const float> packed_b, std::span<float> c,
+                const GemmEpilogue& ep = {});
 
 /**
  * Convenience wrapper: packs row-major B[k,n] into the kGemmPackB
@@ -155,7 +207,8 @@ void gemmPacked(const PackedAView& a, std::int64_t n,
  * a kGemmPackB borrow.
  */
 void gemmPackB(const PackedAView& a, std::int64_t n,
-               std::span<const float> b, std::span<float> c);
+               std::span<const float> b, std::span<float> c,
+               const GemmEpilogue& ep = {});
 
 /**
  * y[i] += sum_k A[i,k] * x[k] for i in [0, m), accumulating in double

@@ -43,9 +43,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
-#include <vector>
 
+#include "edgebench/core/align.hh"
+#include "edgebench/core/gemm_packed.hh"
 #include "edgebench/core/quant.hh"
 
 namespace edgebench
@@ -151,8 +153,8 @@ struct PackedAI8
 {
     std::int64_t m = 0;
     std::int64_t k = 0;
-    std::vector<std::int8_t> values;
-    std::vector<std::int32_t> rowSums;
+    AlignedVec<std::int8_t> values;
+    AlignedVec<std::int32_t> rowSums;
 
     PackedAI8View view() const
     {
@@ -208,16 +210,44 @@ quantizeBiasValue(double bias, double acc_scale)
 }
 
 /**
+ * Quantized-domain saturation bounds for a fused activation: a relu /
+ * relu6 on an int8 tensor is a pure clamp (quantizedClampBounds), so
+ * the engines fuse it into the requantization clamp — bit-identical
+ * to requantizing to [-128, 127] and clamping in a separate pass.
+ */
+inline void
+int8ActBounds(EpilogueAct act, const QuantParams& out_qp,
+              std::int32_t& qlo, std::int32_t& qhi)
+{
+    switch (act) {
+        case EpilogueAct::kRelu:
+            quantizedClampBounds(
+                out_qp, 0.0,
+                std::numeric_limits<double>::infinity(), qlo, qhi);
+            return;
+        case EpilogueAct::kRelu6:
+            quantizedClampBounds(out_qp, 0.0, 6.0, qlo, qhi);
+            return;
+        case EpilogueAct::kNone:
+            break;
+    }
+    qlo = -128;
+    qhi = 127;
+}
+
+/**
  * C[m,n] (int8, row-major, overwritten) = requantized A * B with both
  * operands packed. @p bias is real-domain, empty or one value per
- * row of A. Parallelized over C tiles; bit-identical for any thread
- * count and to the naive oracle.
+ * row of A; @p act is fused into the requantization clamp. Parallelized
+ * over C tiles; bit-identical for any thread count and to the naive
+ * oracle.
  */
 void gemmPackedInt8(const PackedAI8View& a, std::int64_t n,
                     std::span<const std::int8_t> packed_b,
                     std::span<const std::int32_t> b_col_sums,
                     std::span<const float> bias,
-                    const Int8GemmQuant& q, std::span<std::int8_t> c);
+                    const Int8GemmQuant& q, std::span<std::int8_t> c,
+                    EpilogueAct act = EpilogueAct::kNone);
 
 /**
  * y[m] (int8, overwritten) = requantized A * x for one unpacked

@@ -49,10 +49,14 @@ Tensor conv2dNaive(const Tensor& input, const Tensor& weights,
 /**
  * im2col + packed GEMM convolution (the production path). Depthwise
  * layers (inC/groups == 1) take a direct per-plane kernel that skips
- * im2col and the GEMM entirely.
+ * im2col and the GEMM entirely. @p act is fused into the engine
+ * epilogue (bias add + activation while the output tile is register
+ * resident) — bit-identical to running the standalone activation
+ * kernel afterwards, minus a full pass over the output.
  */
 Tensor conv2d(const Tensor& input, const Tensor& weights,
-              const Tensor& bias, const Conv2dGeom& g);
+              const Tensor& bias, const Conv2dGeom& g,
+              EpilogueAct act = EpilogueAct::kNone);
 
 /**
  * Pre-packed conv2d weights: one packed-A panel set per group. Empty
@@ -75,7 +79,8 @@ PackedConvWeights packConv2dWeights(const Tensor& weights,
  */
 Tensor conv2dPacked(const Tensor& input, const Tensor& weights,
                     const PackedConvWeights& packed, const Tensor& bias,
-                    const Conv2dGeom& g);
+                    const Conv2dGeom& g,
+                    EpilogueAct act = EpilogueAct::kNone);
 
 /** Direct 3D convolution (C3D). */
 Tensor conv3d(const Tensor& input, const Tensor& weights,

@@ -39,10 +39,14 @@ namespace core
  * (empty-shape) tensor means "no bias", anything else must be exactly
  * [outC] (malformed bias is a hard error). Result is a kI8 tensor
  * with parameters @p out_qp. Supports groups, stride, dilation.
+ * @p act is fused into the requantization clamp (int8ActBounds):
+ * bit-identical to running the standalone reluInt8/relu6Int8 clamp
+ * afterwards, minus a full extra pass over the output.
  */
 Tensor conv2dInt8(const Tensor& input, const Tensor& weights,
                   const Tensor& bias, const Conv2dGeom& g,
-                  const QuantParams& out_qp);
+                  const QuantParams& out_qp,
+                  EpilogueAct act = EpilogueAct::kNone);
 
 /**
  * Direct per-element quantized convolution oracle. Bit-identical to
@@ -78,7 +82,8 @@ PackedConvWeightsI8 packConv2dWeightsInt8(const Tensor& weights,
 Tensor conv2dInt8Packed(const Tensor& input, const Tensor& weights,
                         const PackedConvWeightsI8& packed,
                         const Tensor& bias, const Conv2dGeom& g,
-                        const QuantParams& out_qp);
+                        const QuantParams& out_qp,
+                        EpilogueAct act = EpilogueAct::kNone);
 
 /**
  * Quantized fully-connected layer (production path: packed integer

@@ -127,6 +127,37 @@ requantizeFixedPoint(std::int64_t acc, const RequantScale& rs,
         std::clamp<std::int64_t>(q, -128, 127));
 }
 
+/**
+ * Variant with caller-supplied saturation bounds (the fused-activation
+ * epilogue: a quantized-domain relu/relu6 is just a tighter clamp).
+ * Requires -128 <= qlo <= qhi <= 127; with those bounds,
+ * `clamp(clamp(q, -128, 127), qlo, qhi) == clamp(q, qlo, qhi)`, so
+ * fusing the activation into the requantization is bit-identical to
+ * requantizeFixedPoint followed by a separate int8 clamp pass.
+ */
+inline std::int8_t
+requantizeFixedPoint(std::int64_t acc, const RequantScale& rs,
+                     std::int32_t zero_point, std::int32_t qlo,
+                     std::int32_t qhi)
+{
+    const std::int64_t q =
+        roundingRightShift(acc * rs.multiplier, rs.shift) + zero_point;
+    return static_cast<std::int8_t>(
+        std::clamp<std::int64_t>(q, qlo, qhi));
+}
+
+/**
+ * Map a real-domain clamp range into the quantized domain of @p qp:
+ * qlo/qhi are the quantized values of real_lo/real_hi (half-even via
+ * lround on the exact affine map), saturated to [-128, 127]. An
+ * infinite real_hi yields qhi == 127. One definition shared by the
+ * int8 activation kernels (kernels_int8.cc) and the fused GEMM
+ * epilogues so both clamp with identical bounds.
+ */
+void quantizedClampBounds(const QuantParams& qp, double real_lo,
+                          double real_hi, std::int32_t& qlo,
+                          std::int32_t& qhi);
+
 /// @}
 
 /**

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Thin portable SIMD layer for the compute kernels.
+ *
+ * Built on the GCC/Clang vector_size extension: f32x8 / i32x8 are
+ * 8-lane value types the compiler lowers to whatever the target ISA
+ * offers (AVX2 on x86-64 with -march=native, NEON pairs on aarch64,
+ * SSE pairs or plain scalar code otherwise). No intrinsics, no
+ * per-ISA code paths.
+ *
+ * Bit-identity contract: every helper here performs the same IEEE-754
+ * operation per lane that the scalar engine performs per element, in
+ * the same order along the reduction dimension. The microkernels
+ * vectorize across the NR=8 output columns only — never across k — so
+ * each output element's accumulation order is unchanged and results
+ * are byte-identical to the scalar engine at any thread count. Fused
+ * multiply-add would break that (one rounding instead of two), which
+ * is why the build pins -ffp-contract=off (CMakeLists.txt).
+ *
+ * Runtime selection: the SIMD build (EDGEBENCH_SIMD=ON) compiles both
+ * the vector and scalar paths and dispatches on simdActive(), so one
+ * binary can compare the two (oracle tests, bench rows) and the
+ * EDGEBENCH_SIMD=off environment variable can force the scalar engine
+ * in the field. The EDGEBENCH_SIMD=OFF build compiles the scalar
+ * engine only and simdActive() is constant false.
+ */
+
+#ifndef EDGEBENCH_CORE_SIMD_HH
+#define EDGEBENCH_CORE_SIMD_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace edgebench
+{
+namespace core
+{
+
+#if defined(EDGEBENCH_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define EDGEBENCH_SIMD_COMPILED 1
+#else
+#define EDGEBENCH_SIMD_COMPILED 0
+#endif
+
+/** True when the vector microkernels are compiled into this binary. */
+inline constexpr bool kSimdCompiled = EDGEBENCH_SIMD_COMPILED != 0;
+
+/** Vector lane count used by the engines (f32x8 / i32x8). */
+inline constexpr int kSimdLanes = 8;
+
+/**
+ * True when the vector paths should run. Always false in scalar-only
+ * builds; in SIMD builds defaults to true but honours the
+ * EDGEBENCH_SIMD=off/0 environment variable and setSimdActive().
+ */
+bool simdActive();
+
+/**
+ * Toggle the vector paths at runtime (tests, bench). No-op (returns
+ * false) in scalar-only builds. Not thread-safe against concurrent
+ * kernel execution; flip it only between inference calls.
+ */
+bool setSimdActive(bool on);
+
+/** Lane width the active configuration runs: 8 when active, else 1. */
+int simdLaneWidth();
+
+#if EDGEBENCH_SIMD_COMPILED
+
+typedef float f32x8 __attribute__((vector_size(32)));
+typedef std::int32_t i32x8 __attribute__((vector_size(32)));
+typedef double f64x4 __attribute__((vector_size(32)));
+
+/** Unaligned 8-lane float load. */
+inline f32x8
+loadF32x8(const float* p)
+{
+    f32x8 v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Unaligned 8-lane float store. */
+inline void
+storeF32x8(float* p, f32x8 v)
+{
+    __builtin_memcpy(p, &v, sizeof(v));
+}
+
+/** Broadcast one float into all 8 lanes. */
+inline f32x8
+splatF32x8(float x)
+{
+    return f32x8{x, x, x, x, x, x, x, x};
+}
+
+/** Unaligned 8-lane int32 load. */
+inline i32x8
+loadI32x8(const std::int32_t* p)
+{
+    i32x8 v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Unaligned 8-lane int32 store. */
+inline void
+storeI32x8(std::int32_t* p, i32x8 v)
+{
+    __builtin_memcpy(p, &v, sizeof(v));
+}
+
+/** Broadcast one int32 into all 8 lanes. */
+inline i32x8
+splatI32x8(std::int32_t x)
+{
+    return i32x8{x, x, x, x, x, x, x, x};
+}
+
+/** Widen 8 consecutive int8 values to an i32x8. */
+inline i32x8
+widenI8ToI32x8(const std::int8_t* p)
+{
+    typedef std::int8_t i8x8 __attribute__((vector_size(8)));
+    i8x8 narrow;
+    __builtin_memcpy(&narrow, p, sizeof(narrow));
+    return __builtin_convertvector(narrow, i32x8);
+}
+
+/**
+ * Per-lane max(v, 0) with the exact semantics of the scalar
+ * `v > 0 ? v : 0` (negative zero and NaN map to +0, like the scalar
+ * relu in kernels.cc).
+ */
+inline f32x8
+reluF32x8(f32x8 v)
+{
+    return v > 0.0f ? v : splatF32x8(0.0f);
+}
+
+/**
+ * Per-lane clamp to [lo, hi] with the exact semantics of the scalar
+ * std::clamp(v, lo, hi): v < lo ? lo : (hi < v ? hi : v).
+ */
+inline f32x8
+clampF32x8(f32x8 v, float lo, float hi)
+{
+    v = v < lo ? splatF32x8(lo) : v;
+    return hi < v ? splatF32x8(hi) : v;
+}
+
+/** Per-lane int32 clamp to [lo, hi] (same std::clamp ordering). */
+inline i32x8
+clampI32x8(i32x8 v, std::int32_t lo, std::int32_t hi)
+{
+    v = v < lo ? splatI32x8(lo) : v;
+    return hi < v ? splatI32x8(hi) : v;
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
+
+} // namespace core
+} // namespace edgebench
+
+#endif // EDGEBENCH_CORE_SIMD_HH

@@ -7,6 +7,7 @@
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
 #include "edgebench/core/scratch.hh"
+#include "edgebench/core/simd.hh"
 
 namespace edgebench
 {
@@ -194,7 +195,8 @@ isDepthwise(const Conv2dGeom& g)
  */
 Tensor
 conv2dDepthwise(const Tensor& input, const Tensor& weights,
-                const Tensor& bias, const Conv2dGeom& g, bool has_bias)
+                const Tensor& bias, const Conv2dGeom& g, bool has_bias,
+                EpilogueAct act)
 {
     const std::int64_t ocg = g.outC / g.groups;
     const std::int64_t oh = g.outH();
@@ -203,6 +205,20 @@ conv2dDepthwise(const Tensor& input, const Tensor& weights,
     auto in = input.data();
     auto w = weights.data();
     auto o = out.data();
+    // Interior output columns for the vector path (strideW == 1 only):
+    // for ox in [ox_lo, ox_hi) every kx tap is in bounds, so eight
+    // consecutive outputs read eight consecutive inputs per tap and
+    // the per-output (ky, kx) accumulation order — and thus the result
+    // — is exactly the scalar loop's.
+    const bool vectorizable = simdActive() && g.strideW == 1;
+    const std::int64_t ox_lo = std::min(ow, g.padW);
+    const std::int64_t ox_hi = std::max(
+        ox_lo, std::min(ow, g.inW + g.padW - (g.kW - 1) * g.dilW));
+#if !EDGEBENCH_SIMD_COMPILED
+    (void)vectorizable;
+    (void)ox_lo;
+    (void)ox_hi;
+#endif
     parallelFor(
         g.n * g.outC,
         [&](std::int64_t p0, std::int64_t p1) {
@@ -216,24 +232,67 @@ conv2dDepthwise(const Tensor& input, const Tensor& weights,
                 const float bv = has_bias ? bias.at(oc) : 0.0f;
                 float* oplane = o.data() + p * oh * ow;
                 for (std::int64_t oy = 0; oy < oh; ++oy) {
-                    for (std::int64_t ox = 0; ox < ow; ++ox) {
-                        float acc = 0.0f;
-                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-                            const std::int64_t iy =
-                                oy * g.strideH - g.padH + ky * g.dilH;
-                            if (iy < 0 || iy >= g.inH)
-                                continue;
-                            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
-                                const std::int64_t ix = ox * g.strideW -
-                                    g.padW + kx * g.dilW;
-                                if (ix < 0 || ix >= g.inW)
+                    std::int64_t ox = 0;
+                    auto scalarRun = [&](std::int64_t oe) {
+                        for (; ox < oe; ++ox) {
+                            float acc = 0.0f;
+                            for (std::int64_t ky = 0; ky < g.kH;
+                                 ++ky) {
+                                const std::int64_t iy = oy * g.strideH -
+                                    g.padH + ky * g.dilH;
+                                if (iy < 0 || iy >= g.inH)
                                     continue;
-                                acc += iplane[iy * g.inW + ix] *
-                                    wk[ky * g.kW + kx];
+                                for (std::int64_t kx = 0; kx < g.kW;
+                                     ++kx) {
+                                    const std::int64_t ix =
+                                        ox * g.strideW - g.padW +
+                                        kx * g.dilW;
+                                    if (ix < 0 || ix >= g.inW)
+                                        continue;
+                                    acc += iplane[iy * g.inW + ix] *
+                                        wk[ky * g.kW + kx];
+                                }
                             }
+                            oplane[oy * ow + ox] =
+                                applyEpilogueAct(acc + bv, act);
                         }
-                        oplane[oy * ow + ox] = acc + bv;
+                    };
+#if EDGEBENCH_SIMD_COMPILED
+                    if (vectorizable) {
+                        scalarRun(ox_lo);
+                        for (; ox + kSimdLanes <= ox_hi;
+                             ox += kSimdLanes) {
+                            f32x8 acc = splatF32x8(0.0f);
+                            for (std::int64_t ky = 0; ky < g.kH;
+                                 ++ky) {
+                                const std::int64_t iy = oy * g.strideH -
+                                    g.padH + ky * g.dilH;
+                                if (iy < 0 || iy >= g.inH)
+                                    continue;
+                                const float* irow =
+                                    iplane + iy * g.inW + ox - g.padW;
+                                for (std::int64_t kx = 0; kx < g.kW;
+                                     ++kx)
+                                    acc += loadF32x8(irow +
+                                                     kx * g.dilW) *
+                                        splatF32x8(wk[ky * g.kW + kx]);
+                            }
+                            f32x8 v = acc + splatF32x8(bv);
+                            switch (act) {
+                                case EpilogueAct::kRelu:
+                                    v = reluF32x8(v);
+                                    break;
+                                case EpilogueAct::kRelu6:
+                                    v = clampF32x8(v, 0.0f, 6.0f);
+                                    break;
+                                case EpilogueAct::kNone:
+                                    break;
+                            }
+                            storeF32x8(&oplane[oy * ow + ox], v);
+                        }
                     }
+#endif
+                    scalarRun(ow);
                 }
             }
         },
@@ -250,7 +309,7 @@ Tensor
 conv2dIm2colPacked(const Tensor& input,
                    const std::vector<PackedAView>& wpanels,
                    const Tensor& bias, const Conv2dGeom& g,
-                   bool has_bias)
+                   bool has_bias, EpilogueAct act)
 {
     const std::int64_t cg = g.inC / g.groups;
     const std::int64_t ocg = g.outC / g.groups;
@@ -295,22 +354,20 @@ conv2dIm2colPacked(const Tensor& input,
             std::span<float> omat(
                 o.data() + ((b * g.outC) + grp * ocg) * oh * ow,
                 static_cast<std::size_t>(ocg * oh * ow));
+            // Bias and activation ride the GEMM epilogue (one fused
+            // pass while tiles are register-resident) instead of the
+            // former second full sweep over the output tensor. The
+            // bias add is the same single float addition, so results
+            // are bit-identical to the unfused sequence.
+            GemmEpilogue ep;
+            if (has_bias)
+                ep.bias = bias.data().subspan(
+                    static_cast<std::size_t>(grp * ocg),
+                    static_cast<std::size_t>(ocg));
+            ep.act = act;
             gemmPacked(wpanels[static_cast<std::size_t>(grp)], oh * ow,
-                       packed_b, omat);
+                       packed_b, omat, ep);
         }
-    }
-    if (has_bias) {
-        parallelFor(
-            g.n * g.outC,
-            [&](std::int64_t p0, std::int64_t p1) {
-                for (std::int64_t p = p0; p < p1; ++p) {
-                    const float bv = bias.at(p % g.outC);
-                    float* base = o.data() + p * oh * ow;
-                    for (std::int64_t i = 0; i < oh * ow; ++i)
-                        base[i] += bv;
-                }
-            },
-            /*min_grain=*/8);
     }
     return out;
 }
@@ -351,14 +408,14 @@ packConv2dWeights(const Tensor& weights, const Conv2dGeom& g)
 Tensor
 conv2dPacked(const Tensor& input, const Tensor& weights,
              const PackedConvWeights& packed, const Tensor& bias,
-             const Conv2dGeom& g)
+             const Conv2dGeom& g, EpilogueAct act)
 {
     g.validate();
     checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2dPacked");
     checkConvWeights(weights, g, "conv2dPacked");
     const bool has_bias = checkConvBias(bias, g.outC, "conv2dPacked");
     if (isDepthwise(g))
-        return conv2dDepthwise(input, weights, bias, g, has_bias);
+        return conv2dDepthwise(input, weights, bias, g, has_bias, act);
     EB_CHECK(static_cast<std::int64_t>(packed.groups.size()) ==
                  g.groups,
              "conv2dPacked: packed weights for "
@@ -368,19 +425,19 @@ conv2dPacked(const Tensor& input, const Tensor& weights,
     views.reserve(packed.groups.size());
     for (const PackedA& pa : packed.groups)
         views.push_back(pa.view());
-    return conv2dIm2colPacked(input, views, bias, g, has_bias);
+    return conv2dIm2colPacked(input, views, bias, g, has_bias, act);
 }
 
 Tensor
 conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
-       const Conv2dGeom& g)
+       const Conv2dGeom& g, EpilogueAct act)
 {
     g.validate();
     checkInput4d(input, g.n, g.inC, g.inH, g.inW, "conv2d");
     checkConvWeights(weights, g, "conv2d");
     const bool has_bias = checkConvBias(bias, g.outC, "conv2d");
     if (isDepthwise(g))
-        return conv2dDepthwise(input, weights, bias, g, has_bias);
+        return conv2dDepthwise(input, weights, bias, g, has_bias, act);
     // Weight packing hoisted out of the batch loop: all groups packed
     // once per call into a single scratch borrow, reused for every
     // batch element.
@@ -401,7 +458,7 @@ conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
                       static_cast<std::size_t>(ocg * patch)),
             pa_store.subspan(
                 static_cast<std::size_t>(grp * per_group))));
-    return conv2dIm2colPacked(input, views, bias, g, has_bias);
+    return conv2dIm2colPacked(input, views, bias, g, has_bias, act);
 }
 
 Tensor
@@ -784,11 +841,65 @@ elementwiseInPlace(Tensor& t, F&& f)
         kElementwiseGrain);
 }
 
+#if EDGEBENCH_SIMD_COMPILED
+
+/**
+ * Vectorized elementwise map: @p vf is the f32x8 twin of @p f with
+ * per-lane-identical math, so vector and scalar paths (and any split
+ * between them on the ragged tail) produce the same bytes. Work is
+ * still partitioned per element, so thread count changes nothing.
+ */
+template <typename F, typename VF>
+Tensor
+elementwiseSimd(const Tensor& input, F&& f, VF&& vf)
+{
+    Tensor out(input.shape());
+    auto in = input.data();
+    auto o = out.data();
+    parallelFor(
+        static_cast<std::int64_t>(in.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            std::int64_t i = i0;
+            for (; i + kSimdLanes <= i1; i += kSimdLanes)
+                storeF32x8(o.data() + i, vf(loadF32x8(in.data() + i)));
+            for (; i < i1; ++i)
+                o[i] = f(in[i]);
+        },
+        kElementwiseGrain);
+    return out;
+}
+
+/** In-place twin of elementwiseSimd. */
+template <typename F, typename VF>
+void
+elementwiseInPlaceSimd(Tensor& t, F&& f, VF&& vf)
+{
+    auto d = t.data();
+    parallelFor(
+        static_cast<std::int64_t>(d.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+            std::int64_t i = i0;
+            for (; i + kSimdLanes <= i1; i += kSimdLanes)
+                storeF32x8(d.data() + i, vf(loadF32x8(d.data() + i)));
+            for (; i < i1; ++i)
+                d[i] = f(d[i]);
+        },
+        kElementwiseGrain);
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
+
 } // namespace
 
 Tensor
 relu(const Tensor& input)
 {
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive())
+        return elementwiseSimd(
+            input, [](float v) { return v > 0.0f ? v : 0.0f; },
+            [](f32x8 v) { return reluF32x8(v); });
+#endif
     return elementwise(input,
                        [](float v) { return v > 0.0f ? v : 0.0f; });
 }
@@ -796,6 +907,12 @@ relu(const Tensor& input)
 Tensor
 relu6(const Tensor& input)
 {
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive())
+        return elementwiseSimd(
+            input, [](float v) { return std::clamp(v, 0.0f, 6.0f); },
+            [](f32x8 v) { return clampF32x8(v, 0.0f, 6.0f); });
+#endif
     return elementwise(
         input, [](float v) { return std::clamp(v, 0.0f, 6.0f); });
 }
@@ -803,6 +920,15 @@ relu6(const Tensor& input)
 Tensor
 leakyRelu(const Tensor& input, float slope)
 {
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive())
+        return elementwiseSimd(
+            input,
+            [slope](float v) { return v > 0.0f ? v : slope * v; },
+            [slope](f32x8 v) {
+                return v > 0.0f ? v : splatF32x8(slope) * v;
+            });
+#endif
     return elementwise(
         input, [slope](float v) { return v > 0.0f ? v : slope * v; });
 }
@@ -823,12 +949,28 @@ tanhAct(const Tensor& input)
 void
 reluInPlace(Tensor& t)
 {
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        elementwiseInPlaceSimd(
+            t, [](float v) { return v > 0.0f ? v : 0.0f; },
+            [](f32x8 v) { return reluF32x8(v); });
+        return;
+    }
+#endif
     elementwiseInPlace(t, [](float v) { return v > 0.0f ? v : 0.0f; });
 }
 
 void
 relu6InPlace(Tensor& t)
 {
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        elementwiseInPlaceSimd(
+            t, [](float v) { return std::clamp(v, 0.0f, 6.0f); },
+            [](f32x8 v) { return clampF32x8(v, 0.0f, 6.0f); });
+        return;
+    }
+#endif
     elementwiseInPlace(t,
                        [](float v) { return std::clamp(v, 0.0f, 6.0f); });
 }
@@ -836,6 +978,16 @@ relu6InPlace(Tensor& t)
 void
 leakyReluInPlace(Tensor& t, float slope)
 {
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        elementwiseInPlaceSimd(
+            t, [slope](float v) { return v > 0.0f ? v : slope * v; },
+            [slope](f32x8 v) {
+                return v > 0.0f ? v : splatF32x8(slope) * v;
+            });
+        return;
+    }
+#endif
     elementwiseInPlace(
         t, [slope](float v) { return v > 0.0f ? v : slope * v; });
 }
@@ -933,6 +1085,23 @@ addElementwise(const Tensor& a, const Tensor& b)
     auto pa = a.data();
     auto pb = b.data();
     auto o = out.data();
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        parallelFor(
+            static_cast<std::int64_t>(pa.size()),
+            [&](std::int64_t i0, std::int64_t i1) {
+                std::int64_t i = i0;
+                for (; i + kSimdLanes <= i1; i += kSimdLanes)
+                    storeF32x8(o.data() + i,
+                               loadF32x8(pa.data() + i) +
+                                   loadF32x8(pb.data() + i));
+                for (; i < i1; ++i)
+                    o[i] = pa[i] + pb[i];
+            },
+            kElementwiseGrain);
+        return out;
+    }
+#endif
     parallelFor(
         static_cast<std::int64_t>(pa.size()),
         [&](std::int64_t i0, std::int64_t i1) {
@@ -952,6 +1121,32 @@ addElementwiseInPlace(Tensor& dst, const Tensor& other, bool dst_is_lhs)
                                     << shapeToString(other.shape()));
     auto d = dst.data();
     auto p = other.data();
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        parallelFor(
+            static_cast<std::int64_t>(d.size()),
+            [&](std::int64_t i0, std::int64_t i1) {
+                std::int64_t i = i0;
+                if (dst_is_lhs) {
+                    for (; i + kSimdLanes <= i1; i += kSimdLanes)
+                        storeF32x8(d.data() + i,
+                                   loadF32x8(d.data() + i) +
+                                       loadF32x8(p.data() + i));
+                    for (; i < i1; ++i)
+                        d[i] = d[i] + p[i];
+                } else {
+                    for (; i + kSimdLanes <= i1; i += kSimdLanes)
+                        storeF32x8(d.data() + i,
+                                   loadF32x8(p.data() + i) +
+                                       loadF32x8(d.data() + i));
+                    for (; i < i1; ++i)
+                        d[i] = p[i] + d[i];
+                }
+            },
+            kElementwiseGrain);
+        return;
+    }
+#endif
     parallelFor(
         static_cast<std::int64_t>(d.size()),
         [&](std::int64_t i0, std::int64_t i1) {

@@ -77,7 +77,8 @@ padValueInt8(const QuantParams& qp)
 Tensor
 conv2dInt8Depthwise(const Tensor& input, const Tensor& weights,
                     const Tensor& bias, const Conv2dGeom& g,
-                    bool has_bias, const QuantParams& out_qp)
+                    bool has_bias, const QuantParams& out_qp,
+                    EpilogueAct act)
 {
     const std::int64_t ocg = g.outC / g.groups;
     const std::int64_t oh = g.outH();
@@ -87,6 +88,9 @@ conv2dInt8Depthwise(const Tensor& input, const Tensor& weights,
     const double acc_scale = iq.scale * wq.scale;
     const RequantScale rs =
         makeRequantScale(acc_scale / out_qp.scale);
+    std::int32_t qlo = -128;
+    std::int32_t qhi = 127;
+    int8ActBounds(act, out_qp, qlo, qhi);
     Tensor result =
         Tensor::forOutputI8(Shape{g.n, g.outC, oh, ow}, out_qp);
     auto out = result.qdataMut();
@@ -128,7 +132,8 @@ conv2dInt8Depthwise(const Tensor& input, const Tensor& weights,
                             }
                         }
                         oplane[oy * ow + ox] = requantizeFixedPoint(
-                            acc + bias_q, rs, out_qp.zeroPoint);
+                            acc + bias_q, rs, out_qp.zeroPoint, qlo,
+                            qhi);
                     }
                 }
             }
@@ -147,7 +152,7 @@ conv2dInt8Im2colPacked(const Tensor& input,
                        const std::vector<PackedAI8View>& wpanels,
                        const QuantParams& wq, const Tensor& bias,
                        const Conv2dGeom& g, bool has_bias,
-                       const QuantParams& out_qp)
+                       const QuantParams& out_qp, EpilogueAct act)
 {
     const std::int64_t cg = g.inC / g.groups;
     const std::int64_t ocg = g.outC / g.groups;
@@ -209,7 +214,7 @@ conv2dInt8Im2colPacked(const Tensor& input,
                 static_cast<std::size_t>(ocg * oh * ow));
             gemmPackedInt8(wpanels[static_cast<std::size_t>(grp)],
                            oh * ow, packed_b, col_sums, bias_grp,
-                           quant, omat);
+                           quant, omat, act);
         }
     }
     return result;
@@ -367,7 +372,8 @@ packConv2dWeightsInt8(const Tensor& weights, const Conv2dGeom& g)
 Tensor
 conv2dInt8Packed(const Tensor& input, const Tensor& weights,
                  const PackedConvWeightsI8& packed, const Tensor& bias,
-                 const Conv2dGeom& g, const QuantParams& out_qp)
+                 const Conv2dGeom& g, const QuantParams& out_qp,
+                 EpilogueAct act)
 {
     g.validate();
     checkConvOperandsInt8(input, weights, g, "conv2dInt8Packed");
@@ -375,7 +381,7 @@ conv2dInt8Packed(const Tensor& input, const Tensor& weights,
         checkBiasInt8(bias, g.outC, "conv2dInt8Packed");
     if (isDepthwiseInt8(g))
         return conv2dInt8Depthwise(input, weights, bias, g, has_bias,
-                                   out_qp);
+                                   out_qp, act);
     EB_CHECK(static_cast<std::int64_t>(packed.groups.size()) ==
                  g.groups,
              "conv2dInt8Packed: packed weights for "
@@ -386,20 +392,20 @@ conv2dInt8Packed(const Tensor& input, const Tensor& weights,
     for (const PackedAI8& pa : packed.groups)
         views.push_back(pa.view());
     return conv2dInt8Im2colPacked(input, views, weights.quantParams(),
-                                  bias, g, has_bias, out_qp);
+                                  bias, g, has_bias, out_qp, act);
 }
 
 Tensor
 conv2dInt8(const Tensor& input, const Tensor& weights,
            const Tensor& bias, const Conv2dGeom& g,
-           const QuantParams& out_qp)
+           const QuantParams& out_qp, EpilogueAct act)
 {
     g.validate();
     checkConvOperandsInt8(input, weights, g, "conv2dInt8");
     const bool has_bias = checkBiasInt8(bias, g.outC, "conv2dInt8");
     if (isDepthwiseInt8(g))
         return conv2dInt8Depthwise(input, weights, bias, g, has_bias,
-                                   out_qp);
+                                   out_qp, act);
     // Weight packing hoisted out of the batch loop: all groups packed
     // once per call into a single pair of scratch borrows (values +
     // row sums), reused for every batch element.
@@ -427,7 +433,7 @@ conv2dInt8(const Tensor& input, const Tensor& weights,
             pa_sums.subspan(
                 static_cast<std::size_t>(grp * sums_per_group))));
     return conv2dInt8Im2colPacked(input, views, weights.quantParams(),
-                                  bias, g, has_bias, out_qp);
+                                  bias, g, has_bias, out_qp, act);
 }
 
 namespace
@@ -577,24 +583,6 @@ denseInt8(const Tensor& input, const Tensor& weights,
 
 namespace
 {
-
-/** Map real clamp bounds into the quantized domain of @p qp. */
-void
-quantizedClampBounds(const QuantParams& qp, double real_lo,
-                     double real_hi, std::int32_t& qlo,
-                     std::int32_t& qhi)
-{
-    qlo = std::max<std::int32_t>(
-        -128,
-        static_cast<std::int32_t>(
-            std::lround(real_lo / qp.scale + qp.zeroPoint)));
-    qhi = 127;
-    if (std::isfinite(real_hi)) {
-        qhi = std::min<std::int32_t>(
-            127, static_cast<std::int32_t>(
-                     std::lround(real_hi / qp.scale + qp.zeroPoint)));
-    }
-}
 
 /**
  * Clamp in the quantized domain: the bounds are mapped to quantized

@@ -5,6 +5,7 @@
 
 #include "edgebench/core/common.hh"
 #include "edgebench/core/parallel.hh"
+#include "edgebench/core/simd.hh"
 
 namespace edgebench
 {
@@ -15,6 +16,62 @@ namespace
 {
 constexpr std::int32_t kQmin = -128;
 constexpr std::int32_t kQmax = 127;
+
+#if EDGEBENCH_SIMD_COMPILED
+
+typedef float f32x4 __attribute__((vector_size(16)));
+typedef std::int32_t i32x4 __attribute__((vector_size(16)));
+
+/**
+ * Round-half-even magic constant, 1.5 * 2^52. Under the default
+ * rounding mode, (d + kRoundMagic) - kRoundMagic rounds d to the
+ * nearest integer with ties to even — exactly what nearbyint()
+ * returns — for |d| < 2^51. Larger magnitudes come back off by the
+ * sum's rounding, but they are far outside [-128, 127] either way, so
+ * the saturating clamp makes the scalar and vector paths agree.
+ */
+constexpr double kRoundMagic = 6755399441055744.0;
+
+inline f64x4
+splatF64x4(double x)
+{
+    return f64x4{x, x, x, x};
+}
+
+inline i32x4
+splatI32x4(std::int32_t x)
+{
+    return i32x4{x, x, x, x};
+}
+
+/** Four lanes of quantizeValue: same divide/round/clamp per lane. */
+inline void
+quantize4(const float* src, std::int8_t* dst, const QuantParams& qp)
+{
+    f32x4 v;
+    __builtin_memcpy(&v, src, sizeof(v));
+    f64x4 d = __builtin_convertvector(v, f64x4) / splatF64x4(qp.scale);
+    d = (d + splatF64x4(kRoundMagic)) - splatF64x4(kRoundMagic);
+    d += splatF64x4(static_cast<double>(qp.zeroPoint));
+    d = d < static_cast<double>(kQmin) ? splatF64x4(kQmin) : d;
+    d = static_cast<double>(kQmax) < d ? splatF64x4(kQmax) : d;
+    const i32x4 q = __builtin_convertvector(d, i32x4);
+    for (int j = 0; j < 4; ++j)
+        dst[j] = static_cast<std::int8_t>(q[j]);
+}
+
+/** Four lanes of float(dequantizeValue): same per-lane IEEE ops. */
+inline void
+dequantize4(const std::int8_t* src, float* dst, const QuantParams& qp)
+{
+    const i32x4 q{src[0], src[1], src[2], src[3]};
+    const f64x4 d = splatF64x4(qp.scale) *
+        __builtin_convertvector(q - splatI32x4(qp.zeroPoint), f64x4);
+    const f32x4 f = __builtin_convertvector(d, f32x4);
+    __builtin_memcpy(dst, &f, sizeof(f));
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
 } // namespace
 
 QuantParams
@@ -65,6 +122,24 @@ std::vector<std::int8_t>
 quantize(std::span<const float> src, const QuantParams& qp)
 {
     std::vector<std::int8_t> out(src.size());
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        parallelFor(
+            static_cast<std::int64_t>(src.size()),
+            [&](std::int64_t i0, std::int64_t i1) {
+                std::int64_t i = i0;
+                for (; i + 4 <= i1; i += 4)
+                    quantize4(src.data() + i,
+                              out.data() + static_cast<std::size_t>(i),
+                              qp);
+                for (; i < i1; ++i)
+                    out[static_cast<std::size_t>(i)] =
+                        quantizeValue(src[i], qp);
+            },
+            /*min_grain=*/4096);
+        return out;
+    }
+#endif
     parallelFor(
         static_cast<std::int64_t>(src.size()),
         [&](std::int64_t i0, std::int64_t i1) {
@@ -80,6 +155,26 @@ std::vector<float>
 dequantize(std::span<const std::int8_t> src, const QuantParams& qp)
 {
     std::vector<float> out(src.size());
+#if EDGEBENCH_SIMD_COMPILED
+    if (simdActive()) {
+        parallelFor(
+            static_cast<std::int64_t>(src.size()),
+            [&](std::int64_t i0, std::int64_t i1) {
+                std::int64_t i = i0;
+                for (; i + 4 <= i1; i += 4)
+                    dequantize4(src.data() + i,
+                                out.data() +
+                                    static_cast<std::size_t>(i),
+                                qp);
+                for (; i < i1; ++i)
+                    out[static_cast<std::size_t>(i)] =
+                        static_cast<float>(
+                            dequantizeValue(src[i], qp));
+            },
+            /*min_grain=*/4096);
+        return out;
+    }
+#endif
     parallelFor(
         static_cast<std::int64_t>(src.size()),
         [&](std::int64_t i0, std::int64_t i1) {
@@ -138,6 +233,23 @@ makeRequantScale(double real_multiplier)
                  << " out of fixed-point range (shift " << rs.shift
                  << ")");
     return rs;
+}
+
+void
+quantizedClampBounds(const QuantParams& qp, double real_lo,
+                     double real_hi, std::int32_t& qlo,
+                     std::int32_t& qhi)
+{
+    qlo = std::max<std::int32_t>(
+        -128,
+        static_cast<std::int32_t>(
+            std::lround(real_lo / qp.scale + qp.zeroPoint)));
+    qhi = 127;
+    if (std::isfinite(real_hi)) {
+        qhi = std::min<std::int32_t>(
+            127, static_cast<std::int32_t>(
+                     std::lround(real_hi / qp.scale + qp.zeroPoint)));
+    }
 }
 
 double

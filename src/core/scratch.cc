@@ -1,7 +1,8 @@
 #include "edgebench/core/scratch.hh"
 
 #include <array>
-#include <vector>
+
+#include "edgebench/core/align.hh"
 
 namespace edgebench
 {
@@ -14,13 +15,15 @@ namespace
 constexpr std::size_t kSlots =
     static_cast<std::size_t>(ScratchSlot::kCount);
 
+// AlignedVec pins every scratch buffer to a 64-byte boundary so the
+// SIMD kernels stream packed panels with aligned vector loads.
 struct Arena
 {
-    std::array<std::vector<float>, kSlots> f32;
-    std::array<std::vector<double>, kSlots> f64;
-    std::array<std::vector<std::int8_t>, kSlots> i8;
-    std::array<std::vector<std::int32_t>, kSlots> i32;
-    std::array<std::vector<std::int64_t>, kSlots> i64;
+    std::array<AlignedVec<float>, kSlots> f32;
+    std::array<AlignedVec<double>, kSlots> f64;
+    std::array<AlignedVec<std::int8_t>, kSlots> i8;
+    std::array<AlignedVec<std::int32_t>, kSlots> i32;
+    std::array<AlignedVec<std::int64_t>, kSlots> i64;
 };
 
 Arena&
@@ -32,7 +35,7 @@ arena()
 
 template <typename T>
 std::span<T>
-borrow(std::array<std::vector<T>, kSlots>& pool, ScratchSlot slot,
+borrow(std::array<AlignedVec<T>, kSlots>& pool, ScratchSlot slot,
        std::size_t n)
 {
     auto& buf = pool[static_cast<std::size_t>(slot)];
@@ -43,7 +46,7 @@ borrow(std::array<std::vector<T>, kSlots>& pool, ScratchSlot slot,
 
 template <typename T>
 std::size_t
-reservedBytes(const std::array<std::vector<T>, kSlots>& pool)
+reservedBytes(const std::array<AlignedVec<T>, kSlots>& pool)
 {
     std::size_t bytes = 0;
     for (const auto& b : pool)
@@ -53,7 +56,7 @@ reservedBytes(const std::array<std::vector<T>, kSlots>& pool)
 
 template <typename T>
 void
-releasePool(std::array<std::vector<T>, kSlots>& pool)
+releasePool(std::array<AlignedVec<T>, kSlots>& pool)
 {
     for (auto& b : pool) {
         b.clear();

@@ -1,0 +1,68 @@
+#include "edgebench/core/simd.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace edgebench
+{
+namespace core
+{
+
+namespace
+{
+
+#if EDGEBENCH_SIMD_COMPILED
+
+bool
+initialSimdActive()
+{
+    const char* env = std::getenv("EDGEBENCH_SIMD");
+    if (env != nullptr) {
+        const std::string v(env);
+        if (v == "off" || v == "OFF" || v == "0" || v == "false")
+            return false;
+    }
+    return true;
+}
+
+bool&
+simdFlag()
+{
+    static bool active = initialSimdActive();
+    return active;
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
+
+} // namespace
+
+bool
+simdActive()
+{
+#if EDGEBENCH_SIMD_COMPILED
+    return simdFlag();
+#else
+    return false;
+#endif
+}
+
+bool
+setSimdActive(bool on)
+{
+#if EDGEBENCH_SIMD_COMPILED
+    simdFlag() = on;
+    return on;
+#else
+    (void)on;
+    return false;
+#endif
+}
+
+int
+simdLaneWidth()
+{
+    return simdActive() ? kSimdLanes : 1;
+}
+
+} // namespace core
+} // namespace edgebench

@@ -649,18 +649,23 @@ Interpreter::execNode(const Node& n,
             const core::Tensor& bias =
                 n.params.size() > 1 ? paramF32(n, 1) : emptyTensor();
             auto g = n.attrs.conv2d;
-            core::Tensor out = core::conv2dInt8Packed(
-                *input, w, packedConvI8(n), bias, g, *n.outQuant);
+            // ReLU-family activations fuse into the requantization
+            // clamp (int8ActBounds): bit-identical to the standalone
+            // clamp kernels, minus a full extra pass over the output.
+            core::EpilogueAct act = core::EpilogueAct::kNone;
             if (n.kind == OpKind::kFusedConvBnAct) {
-                // In place so an arena-borrowed conv result keeps its
-                // slot (the allocating variants are bit-identical).
                 if (n.attrs.activation == ActKind::kRelu)
-                    core::reluInt8InPlace(out);
+                    act = core::EpilogueAct::kRelu;
                 else if (n.attrs.activation == ActKind::kRelu6)
-                    core::relu6Int8InPlace(out);
-                else if (n.attrs.activation != ActKind::kNone)
-                    out = core::relu(out.toF32()).toInt8(*n.outQuant);
+                    act = core::EpilogueAct::kRelu6;
             }
+            core::Tensor out = core::conv2dInt8Packed(
+                *input, w, packedConvI8(n), bias, g, *n.outQuant, act);
+            if (n.kind == OpKind::kFusedConvBnAct &&
+                n.attrs.activation != ActKind::kNone &&
+                n.attrs.activation != ActKind::kRelu &&
+                n.attrs.activation != ActKind::kRelu6)
+                out = core::relu(out.toF32()).toInt8(*n.outQuant);
             return out;
           }
           case OpKind::kDense: {
@@ -732,18 +737,25 @@ Interpreter::execNodeF32(const Node& n,
                                                       : emptyTensor(),
                                   n.attrs.conv2d);
       case OpKind::kFusedConvBnAct: {
+        // ReLU-family activations ride the engine's fused epilogue
+        // (bias + activation applied while the output tile is register
+        // resident — bit-identical to the in-place kernels); the rest
+        // run in place after the conv, which keeps an arena-borrowed
+        // conv result in its slot.
+        core::EpilogueAct act = core::EpilogueAct::kNone;
+        if (n.attrs.activation == ActKind::kRelu)
+            act = core::EpilogueAct::kRelu;
+        else if (n.attrs.activation == ActKind::kRelu6)
+            act = core::EpilogueAct::kRelu6;
         core::Tensor out =
             core::conv2dPacked(*ins[0], paramF32(n, 0), packedConv(n),
                                n.params.size() > 1 ? paramF32(n, 1)
                                                    : emptyTensor(),
-                               n.attrs.conv2d);
-        // In place: bit-identical to the allocating variants, keeps
-        // an arena-borrowed conv result in its slot, and drops one
-        // full-tensor allocation per fused layer on the legacy path.
+                               n.attrs.conv2d, act);
         switch (n.attrs.activation) {
-          case ActKind::kNone: return out;
-          case ActKind::kRelu: core::reluInPlace(out); return out;
-          case ActKind::kRelu6: core::relu6InPlace(out); return out;
+          case ActKind::kNone:
+          case ActKind::kRelu:
+          case ActKind::kRelu6: return out;
           case ActKind::kLeakyRelu:
             core::leakyReluInPlace(out, n.attrs.leakySlope);
             return out;

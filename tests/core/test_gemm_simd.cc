@@ -1,0 +1,366 @@
+/**
+ * @file
+ * SIMD-vs-scalar bit-identity oracle sweep: every vectorized path
+ * (fp32/int8 GEMM microkernels with all fused-epilogue variants,
+ * depthwise conv, elementwise activations/add, quantize/dequantize)
+ * must produce byte-identical output with the vector paths on and
+ * off, at 1/2/4 threads, over ragged shapes and pruned panels.
+ *
+ * In scalar-only builds (EDGEBENCH_SIMD=OFF) both runs take the same
+ * path, so the sweep degenerates to a cheap self-check and the suite
+ * still passes — the `simd` ctest label is valid in every build.
+ */
+
+#include <cstring>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/gemm_packed.hh"
+#include "edgebench/core/gemm_packed_int8.hh"
+#include "edgebench/core/kernels.hh"
+#include "edgebench/core/kernels_int8.hh"
+#include "edgebench/core/parallel.hh"
+#include "edgebench/core/quant.hh"
+#include "edgebench/core/scratch.hh"
+#include "edgebench/core/simd.hh"
+
+namespace ec = edgebench::core;
+
+namespace
+{
+
+ec::Tensor
+randomTensor(const ec::Shape& s, std::uint64_t seed)
+{
+    ec::Rng rng(seed);
+    return ec::Tensor::randomNormal(s, rng);
+}
+
+std::vector<std::int8_t>
+randomInt8(std::size_t n, std::uint64_t seed)
+{
+    ec::Rng rng(seed);
+    std::vector<std::int8_t> v(n);
+    for (auto& x : v)
+        x = static_cast<std::int8_t>(
+            std::lround(rng.uniform(-128.0, 127.0)));
+    return v;
+}
+
+class Restore
+{
+  public:
+    Restore() : simd_(ec::simdActive()) {}
+    ~Restore()
+    {
+        ec::setSimdActive(simd_);
+        ec::setParallelism(1);
+    }
+
+  private:
+    bool simd_;
+};
+
+/**
+ * Run @p fill with the vector paths off then on, at 1/2/4 threads
+ * each, and require every byte of the result to match the scalar
+ * single-thread reference. @p fill writes `bytes` bytes at `dst`.
+ */
+void
+expectBitIdentical(std::size_t bytes,
+                   const std::function<void(void*)>& fill,
+                   const char* what)
+{
+    std::vector<unsigned char> ref(bytes);
+    std::vector<unsigned char> got(bytes);
+    ec::setSimdActive(false);
+    ec::setParallelism(1);
+    fill(ref.data());
+    for (const bool simd : {false, true}) {
+        ec::setSimdActive(simd);
+        for (const int threads : {1, 2, 4}) {
+            ec::setParallelism(threads);
+            std::memset(got.data(), 0xa5, bytes);
+            fill(got.data());
+            ASSERT_EQ(std::memcmp(ref.data(), got.data(), bytes), 0)
+                << what << ": simd=" << simd
+                << " threads=" << threads;
+        }
+    }
+}
+
+} // namespace
+
+TEST(GemmSimdOracleTest, Fp32GemmAllEpiloguesRaggedShapes)
+{
+    Restore restore;
+    for (const auto& [m, n, k] :
+         {std::tuple<std::int64_t, std::int64_t, std::int64_t>{6, 8,
+                                                               64},
+          {17, 23, 131},
+          {5, 7, 300},
+          {1, 1, 1},
+          {13, 40, 513},
+          {64, 200, 96}}) {
+        auto a = randomTensor({m, k}, 100 + static_cast<unsigned>(m));
+        auto b = randomTensor({k, n}, 200 + static_cast<unsigned>(n));
+        auto bias = randomTensor({m}, 300 + static_cast<unsigned>(k));
+        const ec::PackedA pa = ec::packA(m, k, a.data());
+        for (const bool with_bias : {false, true}) {
+            for (const ec::EpilogueAct act :
+                 {ec::EpilogueAct::kNone, ec::EpilogueAct::kRelu,
+                  ec::EpilogueAct::kRelu6}) {
+                ec::GemmEpilogue ep;
+                if (with_bias)
+                    ep.bias = bias.data();
+                ep.act = act;
+                expectBitIdentical(
+                    static_cast<std::size_t>(m * n) * sizeof(float),
+                    [&](void* dst) {
+                        ec::gemmPackB(
+                            pa.view(), n, b.data(),
+                            {static_cast<float*>(dst),
+                             static_cast<std::size_t>(m * n)},
+                            ep);
+                    },
+                    "fp32 gemm");
+            }
+        }
+    }
+}
+
+TEST(GemmSimdOracleTest, Fp32GemmPrunedPanels)
+{
+    Restore restore;
+    const std::int64_t m = 24, n = 33, k = 520;
+    auto a = randomTensor({m, k}, 11);
+    // Zero complete register panels and one partial chunk so both the
+    // chunk-skip flags and ragged panel tails are exercised.
+    {
+        auto ad = a.data();
+        std::fill(ad.begin(),
+                  ad.begin() + static_cast<std::size_t>(12 * k), 0.0f);
+        std::fill(ad.begin() + static_cast<std::size_t>(18 * k),
+                  ad.begin() + static_cast<std::size_t>(18 * k + 256),
+                  0.0f);
+    }
+    auto b = randomTensor({k, n}, 12);
+    auto bias = randomTensor({m}, 13);
+    const ec::PackedA pa = ec::packA(m, k, a.data());
+    ec::GemmEpilogue ep;
+    ep.bias = bias.data();
+    ep.act = ec::EpilogueAct::kRelu;
+    expectBitIdentical(
+        static_cast<std::size_t>(m * n) * sizeof(float),
+        [&](void* dst) {
+            ec::gemmPackB(pa.view(), n, b.data(),
+                          {static_cast<float*>(dst),
+                           static_cast<std::size_t>(m * n)},
+                          ep);
+        },
+        "fp32 pruned gemm");
+}
+
+TEST(GemmSimdOracleTest, Int8GemmAllActsRaggedShapes)
+{
+    Restore restore;
+    const ec::QuantParams qa{0.0213, 7};
+    const ec::QuantParams qb{0.0471, -19};
+    const ec::QuantParams qo{0.037, 3};
+    const ec::Int8GemmQuant quant{qa, qb, qo};
+    for (const auto& [m, n, k] :
+         {std::tuple<std::int64_t, std::int64_t, std::int64_t>{4, 8,
+                                                               16},
+          {17, 23, 131},
+          {13, 40, 300},
+          {1, 1, 1}}) {
+        const auto ia = randomInt8(
+            static_cast<std::size_t>(m * k), 400 + static_cast<unsigned>(m));
+        const auto ib = randomInt8(
+            static_cast<std::size_t>(k * n), 500 + static_cast<unsigned>(n));
+        auto bias = randomTensor({m}, 600 + static_cast<unsigned>(k));
+        const ec::PackedAI8 pa = ec::packAInt8(m, k, ia);
+        for (const bool with_bias : {false, true}) {
+            for (const ec::EpilogueAct act :
+                 {ec::EpilogueAct::kNone, ec::EpilogueAct::kRelu,
+                  ec::EpilogueAct::kRelu6}) {
+                expectBitIdentical(
+                    static_cast<std::size_t>(m * n),
+                    [&](void* dst) {
+                        auto pb = ec::scratchI8(
+                            ec::ScratchSlot::kGemmPackBI8,
+                            static_cast<std::size_t>(
+                                ec::packedBI8ValueCount(n, k)));
+                        auto pbs = ec::scratchI32(
+                            ec::ScratchSlot::kGemmPackBI8,
+                            static_cast<std::size_t>(
+                                ec::packedBI8SumCount(n)));
+                        ec::packBInt8Into(n, k, ib, pb, pbs);
+                        ec::gemmPackedInt8(
+                            pa.view(), n, pb, pbs,
+                            with_bias ? bias.data()
+                                      : std::span<const float>{},
+                            quant,
+                            {static_cast<std::int8_t*>(dst),
+                             static_cast<std::size_t>(m * n)},
+                            act);
+                    },
+                    "int8 gemm");
+            }
+        }
+    }
+}
+
+TEST(GemmSimdOracleTest, ConvAndDepthwiseFusedEpilogues)
+{
+    Restore restore;
+    // Regular grouped conv (im2col + GEMM path).
+    ec::Conv2dGeom g{.n = 2, .inC = 8, .inH = 11, .inW = 13,
+                     .outC = 12, .kH = 3, .kW = 3, .strideH = 2,
+                     .strideW = 2, .padH = 1, .padW = 1, .groups = 2};
+    auto input = randomTensor({2, 8, 11, 13}, 21);
+    auto weights = randomTensor({12, 4, 3, 3}, 22);
+    auto bias = randomTensor({12}, 23);
+    // Depthwise (direct path), stride 1 so the vector interior runs,
+    // and a second geometry whose strided path must stay scalar.
+    ec::Conv2dGeom gdw{.n = 1, .inC = 6, .inH = 17, .inW = 29,
+                       .outC = 6, .kH = 3, .kW = 3, .padH = 1,
+                       .padW = 1, .groups = 6};
+    auto input_dw = randomTensor({1, 6, 17, 29}, 24);
+    auto weights_dw = randomTensor({6, 1, 3, 3}, 25);
+    auto bias_dw = randomTensor({6}, 26);
+    ec::Conv2dGeom gdw2 = gdw;
+    gdw2.strideH = 2;
+    gdw2.strideW = 2;
+    for (const ec::EpilogueAct act :
+         {ec::EpilogueAct::kNone, ec::EpilogueAct::kRelu,
+          ec::EpilogueAct::kRelu6}) {
+        for (const auto& [geom, in, w, bv] :
+             {std::tuple<const ec::Conv2dGeom&, const ec::Tensor&,
+                         const ec::Tensor&, const ec::Tensor&>{
+                  g, input, weights, bias},
+              {gdw, input_dw, weights_dw, bias_dw},
+              {gdw2, input_dw, weights_dw, bias_dw}}) {
+            const std::size_t bytes = static_cast<std::size_t>(
+                geom.n * geom.outC * geom.outH() * geom.outW() *
+                static_cast<std::int64_t>(sizeof(float)));
+            expectBitIdentical(
+                bytes,
+                [&, act](void* dst) {
+                    const ec::Tensor out =
+                        ec::conv2d(in, w, bv, geom, act);
+                    std::memcpy(dst, out.data().data(), bytes);
+                },
+                "conv2d fused epilogue");
+        }
+    }
+}
+
+TEST(GemmSimdOracleTest, Int8ConvFusedActs)
+{
+    Restore restore;
+    const ec::QuantParams in_qp{0.031, -3};
+    const ec::QuantParams w_qp{0.017, 2};
+    const ec::QuantParams out_qp{0.043, 5};
+    // Regular and depthwise int8 convs.
+    ec::Conv2dGeom g{.n = 1, .inC = 6, .inH = 9, .inW = 11, .outC = 8,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1};
+    ec::Conv2dGeom gdw{.n = 1, .inC = 6, .inH = 9, .inW = 11,
+                       .outC = 6, .kH = 3, .kW = 3, .padH = 1,
+                       .padW = 1, .groups = 6};
+    auto bias = randomTensor({8}, 33);
+    auto bias_dw = randomTensor({6}, 34);
+    const auto iv = randomInt8(1 * 6 * 9 * 11, 35);
+    const auto wv = randomInt8(8 * 6 * 3 * 3, 36);
+    const auto wv_dw = randomInt8(6 * 1 * 3 * 3, 37);
+    ec::Tensor input = ec::Tensor::fromInt8({1, 6, 9, 11}, iv, in_qp);
+    ec::Tensor w = ec::Tensor::fromInt8({8, 6, 3, 3}, wv, w_qp);
+    ec::Tensor w_dw = ec::Tensor::fromInt8({6, 1, 3, 3}, wv_dw, w_qp);
+    for (const ec::EpilogueAct act :
+         {ec::EpilogueAct::kNone, ec::EpilogueAct::kRelu,
+          ec::EpilogueAct::kRelu6}) {
+        for (const bool depthwise : {false, true}) {
+            const ec::Conv2dGeom& geom = depthwise ? gdw : g;
+            const std::size_t bytes = static_cast<std::size_t>(
+                geom.n * geom.outC * geom.outH() * geom.outW());
+            expectBitIdentical(
+                bytes,
+                [&, act, depthwise](void* dst) {
+                    const ec::Tensor out = ec::conv2dInt8(
+                        input, depthwise ? w_dw : w,
+                        depthwise ? bias_dw : bias, geom, out_qp,
+                        act);
+                    std::memcpy(dst, out.qdata().data(), bytes);
+                },
+                "int8 conv fused act");
+        }
+    }
+}
+
+TEST(GemmSimdOracleTest, FusedActMatchesStandaloneActivation)
+{
+    // The fused epilogue must equal conv-then-activation exactly —
+    // in the same build, vector paths on (the fusion bit-identity
+    // claim, independent of the simd-vs-scalar sweep).
+    Restore restore;
+    ec::Conv2dGeom g{.n = 1, .inC = 5, .inH = 9, .inW = 9, .outC = 7,
+                     .kH = 3, .kW = 3, .padH = 1, .padW = 1};
+    auto input = randomTensor({1, 5, 9, 9}, 41);
+    auto weights = randomTensor({7, 5, 3, 3}, 42);
+    auto bias = randomTensor({7}, 43);
+    const ec::Tensor fused =
+        ec::conv2d(input, weights, bias, g, ec::EpilogueAct::kRelu6);
+    ec::Tensor unfused = ec::conv2d(input, weights, bias, g);
+    ec::relu6InPlace(unfused);
+    ASSERT_EQ(fused.numel(), unfused.numel());
+    EXPECT_EQ(std::memcmp(fused.data().data(), unfused.data().data(),
+                          static_cast<std::size_t>(fused.numel()) *
+                              sizeof(float)),
+              0);
+}
+
+TEST(GemmSimdOracleTest, ElementwiseKernelsBitIdentical)
+{
+    Restore restore;
+    // Ragged length so the vector loop leaves a scalar tail.
+    auto x = randomTensor({3, 7, 13, 11}, 51);
+    auto y = randomTensor({3, 7, 13, 11}, 52);
+    const std::size_t bytes =
+        static_cast<std::size_t>(x.numel()) * sizeof(float);
+    const auto copy_out = [&](const ec::Tensor& t, void* dst) {
+        std::memcpy(dst, t.data().data(), bytes);
+    };
+    expectBitIdentical(
+        bytes, [&](void* dst) { copy_out(ec::relu(x), dst); },
+        "relu");
+    expectBitIdentical(
+        bytes, [&](void* dst) { copy_out(ec::relu6(x), dst); },
+        "relu6");
+    expectBitIdentical(
+        bytes,
+        [&](void* dst) { copy_out(ec::leakyRelu(x, 0.1f), dst); },
+        "leakyRelu");
+    expectBitIdentical(
+        bytes,
+        [&](void* dst) { copy_out(ec::addElementwise(x, y), dst); },
+        "addElementwise");
+    expectBitIdentical(
+        bytes,
+        [&](void* dst) {
+            ec::Tensor t = x;
+            ec::addElementwiseInPlace(t, y, /*dst_is_lhs=*/false);
+            copy_out(t, dst);
+        },
+        "addElementwiseInPlace");
+    expectBitIdentical(
+        bytes,
+        [&](void* dst) {
+            ec::Tensor t = x;
+            ec::reluInPlace(t);
+            copy_out(t, dst);
+        },
+        "reluInPlace");
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the portable SIMD layer (simd.hh): runtime dispatch
+ * plumbing, per-lane helper semantics against their scalar
+ * definitions, and the 64-byte alignment contract (align.hh) on
+ * scratch-arena borrows and packed-weight storage.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/align.hh"
+#include "edgebench/core/gemm_packed.hh"
+#include "edgebench/core/gemm_packed_int8.hh"
+#include "edgebench/core/quant.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/scratch.hh"
+#include "edgebench/core/simd.hh"
+#include "edgebench/core/tensor.hh"
+
+namespace ec = edgebench::core;
+
+namespace
+{
+
+/** Restore the default SIMD state whatever a test does to it. */
+class SimdRestore
+{
+  public:
+    SimdRestore() : was_(ec::simdActive()) {}
+    ~SimdRestore() { ec::setSimdActive(was_); }
+
+  private:
+    bool was_;
+};
+
+} // namespace
+
+TEST(SimdTest, RuntimeToggleMatchesBuildConfiguration)
+{
+    SimdRestore restore;
+    if (!ec::kSimdCompiled) {
+        // Scalar-only build: the toggle must be a constant-false no-op.
+        EXPECT_FALSE(ec::simdActive());
+        EXPECT_FALSE(ec::setSimdActive(true));
+        EXPECT_FALSE(ec::simdActive());
+        EXPECT_EQ(ec::simdLaneWidth(), 1);
+        return;
+    }
+    EXPECT_TRUE(ec::setSimdActive(true));
+    EXPECT_TRUE(ec::simdActive());
+    EXPECT_EQ(ec::simdLaneWidth(), ec::kSimdLanes);
+    EXPECT_FALSE(ec::setSimdActive(false));
+    EXPECT_FALSE(ec::simdActive());
+    EXPECT_EQ(ec::simdLaneWidth(), 1);
+}
+
+TEST(SimdTest, AlignedVecIsSimdAligned)
+{
+    // Many small allocations so an unaligned allocator would be
+    // caught with overwhelming probability.
+    for (int rep = 0; rep < 32; ++rep) {
+        ec::AlignedVec<float> f(static_cast<std::size_t>(1 + rep));
+        ec::AlignedVec<std::int8_t> b(static_cast<std::size_t>(1 + rep));
+        EXPECT_TRUE(ec::isSimdAligned(f.data()));
+        EXPECT_TRUE(ec::isSimdAligned(b.data()));
+    }
+}
+
+TEST(SimdTest, ScratchBorrowsAreSimdAligned)
+{
+    ec::scratchRelease();
+    EXPECT_TRUE(ec::isSimdAligned(
+        ec::scratchF32(ec::ScratchSlot::kGemmPackB, 1000).data()));
+    EXPECT_TRUE(ec::isSimdAligned(
+        ec::scratchF64(ec::ScratchSlot::kDenseAcc, 333).data()));
+    EXPECT_TRUE(ec::isSimdAligned(
+        ec::scratchI8(ec::ScratchSlot::kGemmPackBI8, 77).data()));
+    EXPECT_TRUE(ec::isSimdAligned(
+        ec::scratchI32(ec::ScratchSlot::kGemmPackBI8, 41).data()));
+    EXPECT_TRUE(ec::isSimdAligned(
+        ec::scratchI64(ec::ScratchSlot::kDenseAcc, 13).data()));
+    ec::scratchRelease();
+}
+
+TEST(SimdTest, PackedWeightStorageIsSimdAligned)
+{
+    ec::Rng rng(7);
+    auto a = ec::Tensor::randomNormal({13, 37}, rng);
+    const ec::PackedA pa = ec::packA(13, 37, a.data());
+    EXPECT_TRUE(ec::isSimdAligned(pa.data.data()));
+
+    std::vector<std::int8_t> ia(13 * 37);
+    for (std::size_t i = 0; i < ia.size(); ++i)
+        ia[i] = static_cast<std::int8_t>(i * 7 % 255 - 127);
+    const ec::PackedAI8 pai = ec::packAInt8(13, 37, ia);
+    EXPECT_TRUE(ec::isSimdAligned(pai.values.data()));
+    EXPECT_TRUE(ec::isSimdAligned(pai.rowSums.data()));
+}
+
+#if EDGEBENCH_SIMD_COMPILED
+
+TEST(SimdTest, LoadStoreRoundTripsUnaligned)
+{
+    float buf[ec::kSimdLanes + 1];
+    for (int i = 0; i <= ec::kSimdLanes; ++i)
+        buf[i] = static_cast<float>(i) * 0.25f - 1.0f;
+    // Deliberately misaligned source/destination.
+    const ec::f32x8 v = ec::loadF32x8(buf + 1);
+    float out[ec::kSimdLanes];
+    ec::storeF32x8(out, v);
+    for (int i = 0; i < ec::kSimdLanes; ++i)
+        EXPECT_EQ(out[i], buf[i + 1]);
+}
+
+TEST(SimdTest, ReluAndClampLanesMatchScalarSemantics)
+{
+    const float inputs[ec::kSimdLanes] = {
+        -1.5f, -0.0f, 0.0f, 0.5f, 6.0f, 6.5f,
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity()};
+    const ec::f32x8 v = ec::loadF32x8(inputs);
+    float relu[ec::kSimdLanes];
+    float clamped[ec::kSimdLanes];
+    ec::storeF32x8(relu, ec::reluF32x8(v));
+    ec::storeF32x8(clamped, ec::clampF32x8(v, 0.0f, 6.0f));
+    for (int i = 0; i < ec::kSimdLanes; ++i) {
+        const float x = inputs[i];
+        EXPECT_EQ(relu[i], x > 0.0f ? x : 0.0f) << "lane " << i;
+        EXPECT_EQ(clamped[i],
+                  x < 0.0f ? 0.0f : (6.0f < x ? 6.0f : x))
+            << "lane " << i;
+    }
+    // relu(-0.0) must be +0.0, like the scalar ternary.
+    EXPECT_FALSE(std::signbit(relu[1]));
+}
+
+TEST(SimdTest, WidenInt8MatchesScalarCast)
+{
+    const std::int8_t src[ec::kSimdLanes] = {-128, -1, 0, 1,
+                                             17,   42, 127, -77};
+    std::int32_t out[ec::kSimdLanes];
+    ec::storeI32x8(out, ec::widenI8ToI32x8(src));
+    for (int i = 0; i < ec::kSimdLanes; ++i)
+        EXPECT_EQ(out[i], static_cast<std::int32_t>(src[i]));
+}
+
+TEST(SimdTest, QuantizeDequantizeMatchScalarBitwise)
+{
+    SimdRestore restore;
+    const ec::QuantParams qp{0.0173, -11};
+    // Cover ragged tails, halfway ties, and out-of-range saturation.
+    std::vector<float> src;
+    ec::Rng rng(31);
+    for (int i = 0; i < 1000; ++i)
+        src.push_back(static_cast<float>(rng.uniform(-4.0, 4.0)));
+    src.push_back(1e30f);
+    src.push_back(-1e30f);
+    for (int q = -140; q <= 140; ++q) {
+        src.push_back(static_cast<float>((q + 0.5) * qp.scale));
+        src.push_back(static_cast<float>(q * qp.scale));
+    }
+    ec::setSimdActive(false);
+    const auto q_scalar = ec::quantize(src, qp);
+    ec::setSimdActive(true);
+    const auto q_simd = ec::quantize(src, qp);
+    ASSERT_EQ(q_scalar.size(), q_simd.size());
+    for (std::size_t i = 0; i < q_scalar.size(); ++i)
+        ASSERT_EQ(q_scalar[i], q_simd[i]) << "element " << i;
+
+    ec::setSimdActive(false);
+    const auto d_scalar = ec::dequantize(q_scalar, qp);
+    ec::setSimdActive(true);
+    const auto d_simd = ec::dequantize(q_scalar, qp);
+    ASSERT_EQ(d_scalar.size(), d_simd.size());
+    for (std::size_t i = 0; i < d_scalar.size(); ++i)
+        ASSERT_EQ(d_scalar[i], d_simd[i]) << "element " << i;
+}
+
+#endif // EDGEBENCH_SIMD_COMPILED
