@@ -691,9 +691,14 @@ std::vector<std::int32_t>
 Graph::consumerCounts() const
 {
     std::vector<std::int32_t> counts(nodes_.size(), 0);
+    // Dangling edges are skipped rather than indexed: the verifier
+    // counts consumers of graphs it is mid-diagnosis on, and an
+    // out-of-range id here must surface as its diagnostic, not as
+    // heap corruption.
     for (const auto& n : nodes_)
         for (NodeId in : n.inputs)
-            ++counts[static_cast<std::size_t>(in)];
+            if (in >= 0 && in < numNodes())
+                ++counts[static_cast<std::size_t>(in)];
     return counts;
 }
 
@@ -777,6 +782,13 @@ Graph::dropParams()
     for (auto& n : nodes_)
         n.params.clear();
     materialized_ = false;
+}
+
+std::string
+nodeDesc(const Node& n)
+{
+    return "node " + std::to_string(n.id) + " (" + opKindName(n.kind) +
+        " '" + n.name + "')";
 }
 
 double

@@ -287,6 +287,13 @@ class Graph
 };
 
 /**
+ * Diagnostic id of a node: "node 5 (conv2d 'conv1')". One format
+ * shared by every EB_CHECK inside interpreter/memplan and by the
+ * verifier's diagnostics, so failures always name the node and op.
+ */
+std::string nodeDesc(const Node& n);
+
+/**
  * Estimate the peak bytes of simultaneously-live activations for a
  * single-batch forward pass, by liveness analysis over the (possibly
  * deferred) graph. Matches Interpreter::RunStats::peakActivationBytes

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Static model-graph verifier: a pass framework that proves, before a
+ * single interpreter step runs, that a graph will execute exactly what
+ * it declares.
+ *
+ * The paper's characterization (and every number this repo reproduces)
+ * rests on the deployed graph being the declared graph: a mis-shaped
+ * edge, a zero quantization scale or an aliasing arena slot corrupts
+ * latency/energy/accuracy results silently. EmBench and DeepEdgeBench
+ * both stress that cross-device comparisons are only meaningful over
+ * validated deployments, so the verifier runs at Interpreter
+ * construction by default (EDGEBENCH_VERIFY=off disables) and is also
+ * exposed as `edgebench verify <model>`.
+ *
+ * Built-in passes (each independently toggleable):
+ *  - "shapes":    full shape/dtype re-inference from op semantics
+ *                 (conv/dense/RNN/elementwise/concat/pad/upsample
+ *                 geometry) checked against every declared tensor
+ *                 shape and parameter-shape contract;
+ *  - "quant":     quantization sanity — scales positive and finite,
+ *                 zero points in int8 range, the strict fp32 {outC}
+ *                 bias contract of the integer kernels, fixed-point
+ *                 requantization multiplier representability and the
+ *                 packed int8 GEMM depth limit;
+ *  - "wellformed": graph well-formedness — dangling/duplicate edges,
+ *                 append-order ids, unreachable nodes, dead tensors,
+ *                 input/output registration;
+ *  - "memplan":   static replay of the MemoryPlan — no two
+ *                 time-overlapping blocks may alias arena bytes, all
+ *                 placements aligned and inside the arena, arena no
+ *                 larger than the refcount-peak bound (independent of
+ *                 the planner's own bookkeeping);
+ *  - "parallel":  parallel-write-hazard audit — each kernel's output
+ *                 partitioning must cover the declared output buffer
+ *                 with pairwise-disjoint element ranges at any worker
+ *                 count (the PR-3 determinism invariant);
+ *  - "inplace":   legality of every in-place reuse the planner chose
+ *                 (single consumer, matching bytes, whitelisted op,
+ *                 never recurrent).
+ *
+ * Diagnostics are structured (severity, node, message, fix hint) so
+ * callers can render tables, JSON, or throw on errors.
+ */
+
+#ifndef EDGEBENCH_GRAPH_VERIFY_HH
+#define EDGEBENCH_GRAPH_VERIFY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "edgebench/graph/graph.hh"
+#include "edgebench/graph/memplan.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+/** Severity of one diagnostic. Errors make a graph non-runnable. */
+enum class Severity
+{
+    kInfo,
+    kWarning,
+    kError,
+};
+
+/** @return stable lowercase mnemonic, e.g. "error". */
+std::string severityName(Severity s);
+
+/** One structured finding from a verifier pass. */
+struct Diagnostic
+{
+    Severity severity = Severity::kError;
+    /** Name of the pass that produced the finding, e.g. "shapes". */
+    std::string pass;
+    /** Offending node (-1 for graph-level findings). */
+    NodeId node = -1;
+    /** Diagnostic id of the node ("node 5 (conv2d 'c1')"); empty for
+        graph-level findings. */
+    std::string nodeName;
+    /** What is wrong. */
+    std::string message;
+    /** How to fix it (may be empty). */
+    std::string hint;
+
+    /** "error[shapes] node 5 (conv2d 'c1'): ... (hint: ...)". */
+    std::string format() const;
+};
+
+/** The outcome of a verifier run over one graph. */
+struct VerifyReport
+{
+    std::vector<Diagnostic> diagnostics;
+
+    std::int64_t count(Severity s) const;
+    std::int64_t errors() const { return count(Severity::kError); }
+    std::int64_t warnings() const { return count(Severity::kWarning); }
+    /** True when no error-severity diagnostics were produced. */
+    bool ok() const { return errors() == 0; }
+    /** "3 errors, 1 warning, 0 info" */
+    std::string summary() const;
+};
+
+/** Static metadata of one registered pass. */
+struct PassInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/**
+ * Append-only sink the passes emit into; binds the pass name and
+ * formats the node's diagnostic id once per finding.
+ */
+class DiagnosticSink
+{
+  public:
+    DiagnosticSink(std::string pass, VerifyReport& report)
+        : pass_(std::move(pass)), report_(report)
+    {}
+
+    void error(const Node* n, std::string msg, std::string hint = "")
+    {
+        emit(Severity::kError, n, std::move(msg), std::move(hint));
+    }
+    void warn(const Node* n, std::string msg, std::string hint = "")
+    {
+        emit(Severity::kWarning, n, std::move(msg), std::move(hint));
+    }
+    void info(const Node* n, std::string msg, std::string hint = "")
+    {
+        emit(Severity::kInfo, n, std::move(msg), std::move(hint));
+    }
+
+  private:
+    void emit(Severity sev, const Node* n, std::string msg,
+              std::string hint);
+
+    std::string pass_;
+    VerifyReport& report_;
+};
+
+/**
+ * The pass registry. Constructing a Verifier registers every built-in
+ * pass enabled; individual passes can be switched off by name before
+ * run(). The verifier never mutates the graph.
+ */
+class Verifier
+{
+  public:
+    Verifier();
+
+    /** Metadata of all built-in passes, in execution order. */
+    static const std::vector<PassInfo>& passes();
+
+    /** Toggle one pass by name; throws on an unknown name. */
+    void setEnabled(const std::string& pass, bool on);
+    bool enabled(const std::string& pass) const;
+
+    /** Run every enabled pass over @p g and collect diagnostics. */
+    VerifyReport run(const Graph& g) const;
+
+  private:
+    std::vector<bool> enabled_;
+};
+
+/** Run all built-in passes over @p g. */
+VerifyReport verifyGraph(const Graph& g);
+
+/**
+ * Run all passes and throw InvalidArgumentError listing every
+ * error-severity diagnostic (warnings/info are ignored). @p context
+ * names the caller, e.g. "Interpreter". No-op on a clean graph.
+ */
+void verifyOrThrow(const Graph& g, const std::string& context);
+
+/**
+ * EDGEBENCH_VERIFY environment toggle for compile-time verification:
+ * default on; "0"/"off"/"false" disables.
+ */
+bool verifyEnvEnabled();
+
+/**
+ * @name Standalone plan audits
+ * The "memplan" and "inplace" passes delegate to these; they take the
+ * plan as an argument so tests can audit deliberately corrupted plans
+ * (the registered passes audit planMemory(g, force_f32) directly).
+ */
+/// @{
+
+/**
+ * Statically replay @p plan's lifetimes against @p g: every root block
+ * must be aligned, inside the arena, and disjoint from every other
+ * root block whose [defStep, endStep] interval overlaps its own;
+ * chain members must inherit their root's placement, and the arena
+ * must stay within the refcount-peak bound (plus alignment slack).
+ */
+void auditMemoryPlan(const Graph& g, const MemoryPlan& plan,
+                     bool force_f32, VerifyReport& report);
+
+/**
+ * Prove every in-place reuse in @p plan legal: the donor is a direct
+ * input with exactly one consumer, not a graph output, of identical
+ * physical size and element type, the op is on the in-place
+ * whitelist, and recurrent ops never donate or reuse.
+ */
+void auditInplaceReuse(const Graph& g, const MemoryPlan& plan,
+                       bool force_f32, VerifyReport& report);
+
+/// @}
+
+} // namespace graph
+} // namespace edgebench
+
+#endif // EDGEBENCH_GRAPH_VERIFY_HH

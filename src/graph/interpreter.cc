@@ -13,6 +13,7 @@
 #include "edgebench/core/kernels.hh"
 #include "edgebench/core/kernels_int8.hh"
 #include "edgebench/core/kernels_rnn.hh"
+#include "edgebench/graph/verify.hh"
 
 namespace edgebench
 {
@@ -87,7 +88,8 @@ detectPostprocess(const core::Tensor& in, const Node& n)
     // the wrong pitch.
     const std::int64_t out_stride = n.outShape[2];
     EB_CHECK(out_stride >= 6,
-             "detectPostprocess: output stride " << out_stride
+             "detectPostprocess: " << nodeDesc(n) << ": output stride "
+                 << out_stride
                  << " too small for [class, score, 4-box]");
 
     core::Tensor out(n.outShape); // zero-filled; score==0 => unused slot
@@ -172,9 +174,9 @@ yoloDetect(const core::Tensor& in, const Node& n)
     // wrong planes (or past the end) instead of failing loudly.
     EB_CHECK(s.size() == 4 &&
                  s[1] == n.attrs.numAnchors * per_anchor,
-             "yoloDetect: input channels " << s[1] << " != anchors("
-                 << n.attrs.numAnchors << ") * (5 + classes("
-                 << n.attrs.numClasses << "))");
+             "yoloDetect: " << nodeDesc(n) << ": input channels "
+                 << s[1] << " != anchors(" << n.attrs.numAnchors
+                 << ") * (5 + classes(" << n.attrs.numClasses << "))");
     const std::int64_t hw = s[2] * s[3];
     core::Tensor out(in.shape());
     auto src = in.data();
@@ -205,6 +207,10 @@ Interpreter::Interpreter(const Graph& graph)
              "materializeParams first)");
     EB_CHECK(!graph.outputIds().empty(),
              "Interpreter: graph " << graph.name() << " has no outputs");
+    // Static verification at compile time: catch mis-shaped edges, bad
+    // quant params and planner bugs before the first run ever executes.
+    if (verifyEnvEnabled())
+        verifyOrThrow(graph, "Interpreter");
     paramF32_.resize(static_cast<std::size_t>(graph.numNodes()));
     paramI8_.resize(static_cast<std::size_t>(graph.numNodes()));
     packedConv_.resize(static_cast<std::size_t>(graph.numNodes()));
@@ -445,15 +451,16 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
             const auto it = std::find(input_ids.begin(), input_ids.end(),
                                       n.id);
             EB_CHECK(it != input_ids.end(),
-                     "input node " << n.name << " not registered");
+                     "run: " << nodeDesc(n) << " not registered as an "
+                             << "input");
             const auto idx = static_cast<std::size_t>(
                 it - input_ids.begin());
             core::Tensor t = inputs[idx].toF32();
             EB_CHECK(core::sameShape(t.shape(), n.outShape),
-                     "input " << n.name << ": shape "
-                              << core::shapeToString(t.shape())
-                              << " != declared "
-                              << core::shapeToString(n.outShape));
+                     "run: " << nodeDesc(n) << ": fed shape "
+                             << core::shapeToString(t.shape())
+                             << " != declared "
+                             << core::shapeToString(n.outShape));
             if (!force_f32 && n.dtype == core::DType::kI8 && n.outQuant)
                 t = t.toInt8(*n.outQuant);
             if (plan) {
@@ -484,7 +491,9 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
         for (NodeId in : n.inputs) {
             const auto& slot = values[static_cast<std::size_t>(in)];
             EB_CHECK(slot.has_value(),
-                     "value of node " << in << " freed too early");
+                     "run: value of " << nodeDesc(graph_.node(in))
+                                      << " consumed by " << nodeDesc(n)
+                                      << " was freed too early");
             ins.push_back(&*slot);
         }
 
@@ -516,7 +525,10 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
                     const auto i = static_cast<std::size_t>(in);
                     --refcount[i];
                     EB_CHECK(refcount[i] == 0,
-                             "in-place source still referenced");
+                             "run: in-place source "
+                                 << nodeDesc(graph_.node(in))
+                                 << " mutated by " << nodeDesc(n)
+                                 << " is still referenced");
                     live_bytes -= src_bytes;
                     src_slot.reset();
                 } else {
@@ -562,7 +574,9 @@ Interpreter::runImpl(const std::vector<core::Tensor>& inputs,
     outputs.reserve(graph_.outputIds().size());
     for (NodeId id : graph_.outputIds()) {
         auto& slot = values[static_cast<std::size_t>(id)];
-        EB_CHECK(slot.has_value(), "output value missing");
+        EB_CHECK(slot.has_value(),
+                 "run: output value of " << nodeDesc(graph_.node(id))
+                                         << " missing");
         // Move the value out when this emission exhausts its refcount
         // and it owns its storage; arena-borrowed values must be
         // deep-copied so the returned tensors outlive the arena.
@@ -584,7 +598,8 @@ Interpreter::execNodeInPlace(const Node& n, core::Tensor& t,
 {
     if (t.dtype() == core::DType::kI8) {
         EB_CHECK(n.kind == OpKind::kActivation,
-                 "execNodeInPlace: bad int8 op");
+                 "execNodeInPlace: " << nodeDesc(n)
+                     << " is not a legal int8 in-place op");
         if (n.attrs.activation == ActKind::kRelu) {
             core::reluInt8InPlace(t);
             return;
@@ -593,7 +608,8 @@ Interpreter::execNodeInPlace(const Node& n, core::Tensor& t,
             core::relu6Int8InPlace(t);
             return;
         }
-        throw InternalError("execNodeInPlace: bad int8 activation");
+        throw InternalError("execNodeInPlace: " + nodeDesc(n) +
+                            ": bad int8 activation");
     }
     switch (n.kind) {
       case OpKind::kActivation:
@@ -620,7 +636,8 @@ Interpreter::execNodeInPlace(const Node& n, core::Tensor& t,
       default:
         break;
     }
-    throw InternalError("execNodeInPlace: op not whitelisted");
+    throw InternalError("execNodeInPlace: " + nodeDesc(n) +
+                        ": op not whitelisted");
 }
 
 core::Tensor

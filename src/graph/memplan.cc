@@ -82,7 +82,8 @@ planMemory(const Graph& g, bool force_f32)
     for (std::size_t i = 0; i < n_nodes; ++i) {
         const Node& n = nodes[i];
         EB_CHECK(n.id == static_cast<NodeId>(i),
-                 "planMemory: node ids must equal append order");
+                 "planMemory: " << nodeDesc(n) << " at position " << i
+                     << ": node ids must equal append order");
         rt[i] = runtimeDType(n, force_f32);
         MemSlot& s = plan.slots[i];
         s.physicalBytes = physicalBytesFor(n, rt[i]);

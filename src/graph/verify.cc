@@ -1,0 +1,1535 @@
+#include "edgebench/graph/verify.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/gemm_packed_int8.hh"
+#include "edgebench/graph/passes.hh"
+
+namespace edgebench
+{
+namespace graph
+{
+
+namespace
+{
+
+std::string
+shapeStr(const core::Shape& s)
+{
+    return core::shapeToString(s);
+}
+
+/** Producer node of input slot @p k, or null when the edge dangles. */
+const Node*
+producer(const Graph& g, const Node& n, std::size_t k)
+{
+    if (k >= n.inputs.size())
+        return nullptr;
+    const NodeId id = n.inputs[k];
+    // The n.id bound alone is not enough on a corrupt graph whose ids
+    // exceed the append positions; bound by the node count too.
+    if (id < 0 || id >= n.id || id >= g.numNodes())
+        return nullptr;
+    return &g.node(id);
+}
+
+/** True when every input edge of @p n resolves (guards later passes). */
+bool
+edgesResolve(const Graph& g, const Node& n)
+{
+    for (std::size_t k = 0; k < n.inputs.size(); ++k)
+        if (!producer(g, n, k))
+            return false;
+    return true;
+}
+
+/**
+ * True when node ids equal append order, every edge resolves, and
+ * every registered output exists — the structural preconditions
+ * planMemory's bookkeeping indexes by. The plan-based passes skip a
+ * graph that fails this; "wellformed" owns reporting the breakage.
+ */
+bool
+graphStructureSound(const Graph& g)
+{
+    for (std::int64_t i = 0; i < g.numNodes(); ++i) {
+        const Node& n = g.nodes()[static_cast<std::size_t>(i)];
+        if (n.id != static_cast<NodeId>(i) || !edgesResolve(g, n))
+            return false;
+    }
+    for (NodeId id : g.outputIds())
+        if (id < 0 || id >= g.numNodes())
+            return false;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Pass "shapes": re-derive output/parameter shapes from op semantics.
+// ---------------------------------------------------------------------
+
+/** Check declared outShape against the semantics-derived @p expect. */
+void
+checkOutShape(DiagnosticSink& sink, const Node& n,
+              const core::Shape& expect)
+{
+    if (!core::sameShape(n.outShape, expect)) {
+        sink.error(&n,
+                   "declared output shape " + shapeStr(n.outShape) +
+                       " != " + shapeStr(expect) +
+                       " derived from op semantics",
+                   "fix the node's outShape or its inputs/attributes");
+    }
+}
+
+/** Check one declared parameter-shape slot against its contract. */
+void
+checkParamShape(DiagnosticSink& sink, const Node& n, std::size_t k,
+                const core::Shape& expect, const char* what)
+{
+    if (k >= n.paramShapes.size()) {
+        sink.error(&n,
+                   std::string(what) + " parameter shape missing "
+                       "(expected " + shapeStr(expect) + " at slot " +
+                       std::to_string(k) + ")",
+                   "declare the parameter shape");
+        return;
+    }
+    if (!core::sameShape(n.paramShapes[k], expect)) {
+        sink.error(&n,
+                   std::string(what) + " parameter shape " +
+                       shapeStr(n.paramShapes[k]) + " != required " +
+                       shapeStr(expect),
+                   "regenerate the parameter to the contract shape");
+    }
+    // Materialized tensors must match their declared shapes too.
+    if (k < n.params.size() &&
+        !core::sameShape(n.params[k].shape(), n.paramShapes[k])) {
+        sink.error(&n,
+                   std::string(what) + " materialized tensor shape " +
+                       shapeStr(n.params[k].shape()) +
+                       " != declared paramShapes[" + std::to_string(k) +
+                       "] " + shapeStr(n.paramShapes[k]),
+                   "rematerialize the parameters");
+    }
+}
+
+void
+checkConv2d(DiagnosticSink& sink, const Graph& g, const Node& n)
+{
+    const Node* in = producer(g, n, 0);
+    if (!in)
+        return;
+    const auto& s = in->outShape;
+    const auto& geom = n.attrs.conv2d;
+    if (s.size() != 4) {
+        sink.error(&n, "conv2d input must be rank 4, got " +
+                           shapeStr(s));
+        return;
+    }
+    try {
+        geom.validate();
+    } catch (const Error& e) {
+        sink.error(&n, std::string("conv2d geometry invalid: ") +
+                           e.what());
+        return;
+    }
+    if (geom.n != s[0] || geom.inC != s[1] || geom.inH != s[2] ||
+        geom.inW != s[3]) {
+        sink.error(&n,
+                   "conv2d geometry input [" + std::to_string(geom.n) +
+                       ", " + std::to_string(geom.inC) + ", " +
+                       std::to_string(geom.inH) + ", " +
+                       std::to_string(geom.inW) +
+                       "] disagrees with producer shape " + shapeStr(s),
+                   "rebuild the geometry from the producer's shape");
+        return;
+    }
+    checkOutShape(sink, n,
+                  {geom.n, geom.outC, geom.outH(), geom.outW()});
+    checkParamShape(sink, n, 0,
+                    {geom.outC, geom.inC / geom.groups, geom.kH,
+                     geom.kW},
+                    "weight");
+    if (n.paramShapes.size() > 1)
+        checkParamShape(sink, n, 1, {geom.outC}, "bias");
+    if (n.paramShapes.size() > 2)
+        sink.warn(&n, "conv2d declares " +
+                          std::to_string(n.paramShapes.size()) +
+                          " parameters; only weight [, bias] are used");
+}
+
+void
+checkConv3d(DiagnosticSink& sink, const Graph& g, const Node& n)
+{
+    const Node* in = producer(g, n, 0);
+    if (!in)
+        return;
+    const auto& s = in->outShape;
+    const auto& geom = n.attrs.conv3d;
+    if (s.size() != 5) {
+        sink.error(&n, "conv3d input must be rank 5, got " +
+                           shapeStr(s));
+        return;
+    }
+    try {
+        geom.validate();
+    } catch (const Error& e) {
+        sink.error(&n, std::string("conv3d geometry invalid: ") +
+                           e.what());
+        return;
+    }
+    if (geom.n != s[0] || geom.inC != s[1] || geom.inD != s[2] ||
+        geom.inH != s[3] || geom.inW != s[4]) {
+        sink.error(&n, "conv3d geometry disagrees with producer shape " +
+                           shapeStr(s));
+        return;
+    }
+    checkOutShape(sink, n, {geom.n, geom.outC, geom.outD(), geom.outH(),
+                            geom.outW()});
+    checkParamShape(sink, n, 0,
+                    {geom.outC, geom.inC, geom.kD, geom.kH, geom.kW},
+                    "weight");
+    if (n.paramShapes.size() > 1)
+        checkParamShape(sink, n, 1, {geom.outC}, "bias");
+}
+
+void
+checkDense(DiagnosticSink& sink, const Graph& g, const Node& n)
+{
+    const Node* in = producer(g, n, 0);
+    if (!in)
+        return;
+    const auto& s = in->outShape;
+    const auto& geom = n.attrs.dense;
+    if (s.size() != 2) {
+        sink.error(&n, "dense input must be rank 2, got " + shapeStr(s),
+                   "insert a flatten node");
+        return;
+    }
+    try {
+        geom.validate();
+    } catch (const Error& e) {
+        sink.error(&n, std::string("dense geometry invalid: ") +
+                           e.what());
+        return;
+    }
+    if (geom.batch != s[0] || geom.inFeatures != s[1]) {
+        sink.error(&n, "dense geometry [" + std::to_string(geom.batch) +
+                           ", " + std::to_string(geom.inFeatures) +
+                           "] disagrees with producer shape " +
+                           shapeStr(s));
+        return;
+    }
+    checkOutShape(sink, n, {geom.batch, geom.outFeatures});
+    checkParamShape(sink, n, 0, {geom.outFeatures, geom.inFeatures},
+                    "weight");
+    if (n.paramShapes.size() > 1)
+        checkParamShape(sink, n, 1, {geom.outFeatures}, "bias");
+}
+
+void
+checkRnn(DiagnosticSink& sink, const Graph& g, const Node& n)
+{
+    const Node* in = producer(g, n, 0);
+    if (!in)
+        return;
+    const auto& s = in->outShape;
+    const auto& geom = n.attrs.rnn;
+    if (s.size() != 3) {
+        sink.error(&n, "recurrent input must be [N, T, I], got " +
+                           shapeStr(s));
+        return;
+    }
+    try {
+        geom.validate();
+    } catch (const Error& e) {
+        sink.error(&n,
+                   std::string("rnn geometry invalid: ") + e.what());
+        return;
+    }
+    const std::int64_t gates = n.kind == OpKind::kLstm ? 4 : 3;
+    if (geom.gates != gates) {
+        sink.error(&n,
+                   "gate count " + std::to_string(geom.gates) +
+                       " != " + std::to_string(gates) + " required by " +
+                       opKindName(n.kind));
+        return;
+    }
+    if (geom.batch != s[0] || geom.seqLen != s[1] ||
+        geom.inputSize != s[2]) {
+        sink.error(&n, "rnn geometry disagrees with producer shape " +
+                           shapeStr(s));
+        return;
+    }
+    checkOutShape(sink, n, {geom.batch, geom.seqLen, geom.hiddenSize});
+    const std::int64_t gh = geom.gates * geom.hiddenSize;
+    checkParamShape(sink, n, 0, {gh, geom.inputSize}, "W_ih");
+    checkParamShape(sink, n, 1, {gh, geom.hiddenSize}, "W_hh");
+    checkParamShape(sink, n, 2, {gh}, "bias");
+}
+
+void
+checkPool2d(DiagnosticSink& sink, const Graph& g, const Node& n)
+{
+    const Node* in = producer(g, n, 0);
+    if (!in)
+        return;
+    const auto& s = in->outShape;
+    const auto& geom = n.attrs.pool2d;
+    if (s.size() != 4) {
+        sink.error(&n, "pool2d input must be rank 4, got " +
+                           shapeStr(s));
+        return;
+    }
+    try {
+        geom.validate();
+    } catch (const Error& e) {
+        sink.error(&n, std::string("pool2d geometry invalid: ") +
+                           e.what());
+        return;
+    }
+    if (geom.n != s[0] || geom.c != s[1] || geom.inH != s[2] ||
+        geom.inW != s[3]) {
+        sink.error(&n, "pool2d geometry disagrees with producer shape " +
+                           shapeStr(s));
+        return;
+    }
+    checkOutShape(sink, n, {s[0], s[1], geom.outH(), geom.outW()});
+}
+
+void
+checkPool3d(DiagnosticSink& sink, const Graph& g, const Node& n)
+{
+    const Node* in = producer(g, n, 0);
+    if (!in)
+        return;
+    const auto& s = in->outShape;
+    const auto& geom = n.attrs.pool3d;
+    if (s.size() != 5) {
+        sink.error(&n, "pool3d input must be rank 5, got " +
+                           shapeStr(s));
+        return;
+    }
+    try {
+        geom.validate();
+    } catch (const Error& e) {
+        sink.error(&n, std::string("pool3d geometry invalid: ") +
+                           e.what());
+        return;
+    }
+    if (geom.n != s[0] || geom.c != s[1] || geom.inD != s[2] ||
+        geom.inH != s[3] || geom.inW != s[4]) {
+        sink.error(&n, "pool3d geometry disagrees with producer shape " +
+                           shapeStr(s));
+        return;
+    }
+    checkOutShape(sink, n, {s[0], s[1], geom.outD(), geom.outH(),
+                            geom.outW()});
+}
+
+void
+shapesPass(const Graph& g, DiagnosticSink& sink)
+{
+    for (const auto& n : g.nodes()) {
+        if (!edgesResolve(g, n))
+            continue; // the wellformed pass reports dangling edges
+        switch (n.kind) {
+          case OpKind::kInput:
+            if (n.outShape.empty() ||
+                core::numElements(n.outShape) <= 0)
+                sink.error(&n, "input shape " + shapeStr(n.outShape) +
+                                   " has no elements");
+            break;
+          case OpKind::kConv2d:
+          case OpKind::kFusedConvBnAct:
+            checkConv2d(sink, g, n);
+            break;
+          case OpKind::kConv3d:
+            checkConv3d(sink, g, n);
+            break;
+          case OpKind::kDense:
+            checkDense(sink, g, n);
+            break;
+          case OpKind::kLstm:
+          case OpKind::kGru:
+            checkRnn(sink, g, n);
+            break;
+          case OpKind::kMaxPool2d:
+          case OpKind::kAvgPool2d:
+            checkPool2d(sink, g, n);
+            break;
+          case OpKind::kMaxPool3d:
+            checkPool3d(sink, g, n);
+            break;
+          case OpKind::kBatchNorm: {
+            const Node* in = producer(g, n, 0);
+            if (in->outShape.size() < 2) {
+                sink.error(&n, "batch_norm input rank must be >= 2");
+                break;
+            }
+            checkOutShape(sink, n, in->outShape);
+            const core::Shape c{in->outShape[1]};
+            checkParamShape(sink, n, 0, c, "gamma");
+            checkParamShape(sink, n, 1, c, "beta");
+            checkParamShape(sink, n, 2, c, "mean");
+            checkParamShape(sink, n, 3, c, "var");
+            break;
+          }
+          case OpKind::kActivation:
+            if (n.attrs.activation == ActKind::kNone)
+                sink.error(&n, "activation node with kind 'none'");
+            checkOutShape(sink, n, producer(g, n, 0)->outShape);
+            break;
+          case OpKind::kSoftmax:
+          case OpKind::kYoloDetect:
+            checkOutShape(sink, n, producer(g, n, 0)->outShape);
+            if (n.kind == OpKind::kYoloDetect) {
+                const auto& s = producer(g, n, 0)->outShape;
+                if (s.size() != 4 ||
+                    s[1] !=
+                        n.attrs.numAnchors * (5 + n.attrs.numClasses))
+                    sink.error(
+                        &n,
+                        "yolo channels " +
+                            std::to_string(s.size() == 4 ? s[1] : -1) +
+                            " != anchors(" +
+                            std::to_string(n.attrs.numAnchors) +
+                            ") * (5 + classes(" +
+                            std::to_string(n.attrs.numClasses) + "))",
+                        "fix numAnchors/numClasses or the feature map");
+            }
+            break;
+          case OpKind::kGlobalAvgPool: {
+            const auto& s = producer(g, n, 0)->outShape;
+            if (s.size() != 4) {
+                sink.error(&n, "global_avg_pool input must be rank 4");
+                break;
+            }
+            checkOutShape(sink, n, {s[0], s[1]});
+            break;
+          }
+          case OpKind::kAdd: {
+            if (n.inputs.size() != 2) {
+                sink.error(&n, "add needs exactly 2 inputs, has " +
+                                   std::to_string(n.inputs.size()));
+                break;
+            }
+            const auto& a = producer(g, n, 0)->outShape;
+            const auto& b = producer(g, n, 1)->outShape;
+            if (!core::sameShape(a, b)) {
+                sink.error(&n, "add operand shapes differ: " +
+                                   shapeStr(a) + " vs " + shapeStr(b));
+                break;
+            }
+            checkOutShape(sink, n, a);
+            break;
+          }
+          case OpKind::kConcat: {
+            const auto& s0 = producer(g, n, 0)->outShape;
+            if (s0.size() != 4) {
+                sink.error(&n, "concat inputs must be rank 4");
+                break;
+            }
+            std::int64_t total_c = 0;
+            bool bad = false;
+            for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+                const auto& s = producer(g, n, k)->outShape;
+                if (s.size() != 4 || s[0] != s0[0] || s[2] != s0[2] ||
+                    s[3] != s0[3]) {
+                    sink.error(&n, "concat operand " +
+                                       std::to_string(k) + " shape " +
+                                       shapeStr(s) +
+                                       " incompatible with " +
+                                       shapeStr(s0));
+                    bad = true;
+                    break;
+                }
+                total_c += s[1];
+            }
+            if (!bad)
+                checkOutShape(sink, n,
+                              {s0[0], total_c, s0[2], s0[3]});
+            break;
+          }
+          case OpKind::kConcatLast: {
+            const auto& s0 = producer(g, n, 0)->outShape;
+            if (s0.size() < 2) {
+                sink.error(&n, "concat_last inputs must be rank >= 2");
+                break;
+            }
+            std::int64_t total_last = 0;
+            bool bad = false;
+            for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+                const auto& s = producer(g, n, k)->outShape;
+                if (s.size() != s0.size()) {
+                    sink.error(&n, "concat_last rank mismatch at "
+                                   "operand " + std::to_string(k));
+                    bad = true;
+                    break;
+                }
+                for (std::size_t i = 0; i + 1 < s.size(); ++i)
+                    if (s[i] != s0[i]) {
+                        sink.error(&n, "concat_last leading dim "
+                                       "mismatch at operand " +
+                                       std::to_string(k));
+                        bad = true;
+                        break;
+                    }
+                if (bad)
+                    break;
+                total_last += s.back();
+            }
+            if (!bad) {
+                core::Shape expect = s0;
+                expect.back() = total_last;
+                checkOutShape(sink, n, expect);
+            }
+            break;
+          }
+          case OpKind::kFlatten: {
+            const auto& s = producer(g, n, 0)->outShape;
+            if (s.empty()) {
+                sink.error(&n, "flatten of a scalar");
+                break;
+            }
+            std::int64_t rest = 1;
+            for (std::size_t i = 1; i < s.size(); ++i)
+                rest *= s[i];
+            checkOutShape(sink, n, {s[0], rest});
+            break;
+          }
+          case OpKind::kReshape: {
+            const auto& s = producer(g, n, 0)->outShape;
+            if (core::numElements(n.outShape) != core::numElements(s))
+                sink.error(&n,
+                           "reshape changes element count: " +
+                               shapeStr(s) + " -> " +
+                               shapeStr(n.outShape),
+                           "reshape must preserve numel");
+            break;
+          }
+          case OpKind::kPadSpatial: {
+            const auto& s = producer(g, n, 0)->outShape;
+            const auto* p = n.attrs.pads;
+            if (s.size() != 4) {
+                sink.error(&n, "pad input must be rank 4");
+                break;
+            }
+            if (p[0] < 0 || p[1] < 0 || p[2] < 0 || p[3] < 0) {
+                sink.error(&n, "negative padding");
+                break;
+            }
+            checkOutShape(sink, n, {s[0], s[1], s[2] + p[0] + p[1],
+                                    s[3] + p[2] + p[3]});
+            break;
+          }
+          case OpKind::kUpsample: {
+            const auto& s = producer(g, n, 0)->outShape;
+            const std::int64_t f = n.attrs.upsampleFactor;
+            if (s.size() != 4) {
+                sink.error(&n, "upsample input must be rank 4");
+                break;
+            }
+            if (f < 1) {
+                sink.error(&n, "upsample factor " + std::to_string(f) +
+                                   " must be >= 1");
+                break;
+            }
+            checkOutShape(sink, n, {s[0], s[1], s[2] * f, s[3] * f});
+            break;
+          }
+          case OpKind::kSelectTimestep: {
+            const auto& s = producer(g, n, 0)->outShape;
+            if (s.size() != 3) {
+                sink.error(&n, "select_timestep input must be "
+                               "[N, T, F]");
+                break;
+            }
+            if (n.attrs.timestep < 0 || n.attrs.timestep >= s[1]) {
+                sink.error(&n, "timestep " +
+                                   std::to_string(n.attrs.timestep) +
+                                   " outside [0, " +
+                                   std::to_string(s[1]) + ")");
+                break;
+            }
+            checkOutShape(sink, n, {s[0], s[2]});
+            break;
+          }
+          case OpKind::kChannelShuffle: {
+            const auto& s = producer(g, n, 0)->outShape;
+            const std::int64_t groups = n.attrs.conv2d.groups;
+            if (s.size() != 4) {
+                sink.error(&n, "channel_shuffle input must be rank 4");
+                break;
+            }
+            if (groups <= 0 || s[1] % groups != 0) {
+                sink.error(&n, "channels " + std::to_string(s[1]) +
+                                   " not divisible by groups " +
+                                   std::to_string(groups));
+                break;
+            }
+            checkOutShape(sink, n, s);
+            break;
+          }
+          case OpKind::kDetectPostprocess: {
+            const auto& s = producer(g, n, 0)->outShape;
+            if (s.size() != 3 || s[2] != 4 + n.attrs.numClasses) {
+                sink.error(&n,
+                           "detect input must be [N, boxes, 4 + "
+                           "classes(" +
+                               std::to_string(n.attrs.numClasses) +
+                               ")], got " + shapeStr(s));
+                break;
+            }
+            if (n.outShape.size() != 3 || n.outShape[0] != s[0] ||
+                n.outShape[2] < 6)
+                sink.error(&n,
+                           "detect output must be [N, maxDet, >= 6], "
+                           "got " + shapeStr(n.outShape),
+                           "rows are [class, score, 4-box]");
+            break;
+          }
+        }
+        // Dtype sanity: an int8 annotation on an op without a
+        // quantized kernel runs on the dequant fallback (legal but
+        // slow); kBin1 has no runtime kernel at all.
+        if (n.dtype == core::DType::kI8 && n.outQuant.has_value() &&
+            !isInt8Quantizable(n.kind, n))
+            sink.warn(&n,
+                      "int8 annotation on " + opKindName(n.kind) +
+                          " which has no quantized kernel",
+                      "the interpreter will dequantize -> fp32 -> "
+                      "requantize");
+        if (n.dtype == core::DType::kBin1 &&
+            n.kind != OpKind::kInput)
+            sink.info(&n, "kBin1 annotation is cost-model only; the "
+                          "interpreter executes this node in fp32");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass "quant": quantization parameter sanity.
+// ---------------------------------------------------------------------
+
+bool
+scaleUsable(double scale)
+{
+    return std::isfinite(scale) && scale > 0.0;
+}
+
+/** makeRequantScale precondition, replicated without throwing. */
+bool
+requantRepresentable(double real_multiplier)
+{
+    if (!std::isfinite(real_multiplier) || real_multiplier <= 0.0)
+        return false;
+    int exp = 0;
+    std::frexp(real_multiplier, &exp);
+    // multiplier normalizes to [2^29, 2^30): shift = 30 - exp must
+    // land in [1, 62] (quant.cc derives the same bound).
+    const int shift = 30 - exp;
+    return shift >= 1 && shift <= 62;
+}
+
+void
+quantPass(const Graph& g, DiagnosticSink& sink)
+{
+    for (const auto& n : g.nodes()) {
+        if (!edgesResolve(g, n))
+            continue;
+        if (n.outQuant.has_value()) {
+            const auto& qp = *n.outQuant;
+            if (!scaleUsable(qp.scale))
+                sink.error(&n,
+                           "activation scale " +
+                               std::to_string(qp.scale) +
+                               " must be positive and finite",
+                           "re-run calibration");
+            if (qp.zeroPoint < -128 || qp.zeroPoint > 127)
+                sink.error(&n,
+                           "zero point " + std::to_string(qp.zeroPoint) +
+                               " outside the int8 range [-128, 127]");
+            if (n.dtype != core::DType::kI8)
+                sink.warn(&n,
+                          "QuantParams present but dtype is " +
+                              core::dtypeName(n.dtype) +
+                              "; the annotation is ignored",
+                          "set dtype to int8 or drop outQuant");
+        }
+
+        // Integer GEMM contract for the quantized conv/dense paths.
+        const bool int8_gemm = n.dtype == core::DType::kI8 &&
+            n.outQuant.has_value() &&
+            (n.kind == OpKind::kConv2d ||
+             n.kind == OpKind::kFusedConvBnAct ||
+             n.kind == OpKind::kDense);
+        if (!int8_gemm)
+            continue;
+
+        const std::int64_t out_c = n.kind == OpKind::kDense
+            ? n.attrs.dense.outFeatures
+            : n.attrs.conv2d.outC;
+        // Strict bias contract: one fp32 bias per output channel.
+        if (n.paramShapes.size() > 1 &&
+            !core::sameShape(n.paramShapes[1], {out_c}))
+            sink.error(&n,
+                       "int8 bias shape " + shapeStr(n.paramShapes[1]) +
+                           " violates the {outC} contract (outC = " +
+                           std::to_string(out_c) + ")");
+        if (n.params.size() > 1 &&
+            n.params[1].dtype() != core::DType::kF32)
+            sink.error(&n,
+                       "int8 bias must stay fp32 (got " +
+                           core::dtypeName(n.params[1].dtype()) + ")",
+                       "the integer kernels add the bias in the real "
+                       "domain after requantization scaling");
+
+        // Accumulator depth limit of the packed int8 GEMM.
+        const std::int64_t k_depth = n.kind == OpKind::kDense
+            ? n.attrs.dense.inFeatures
+            : (n.attrs.conv2d.inC / n.attrs.conv2d.groups) *
+                n.attrs.conv2d.kH * n.attrs.conv2d.kW;
+        if (k_depth > core::kGemmInt8MaxK)
+            sink.error(&n,
+                       "reduction depth " + std::to_string(k_depth) +
+                           " exceeds the int8 GEMM limit " +
+                           std::to_string(core::kGemmInt8MaxK),
+                       "|acc| < 2^33 no longer holds; split the "
+                       "reduction");
+
+        // Requantization multiplier representability needs the full
+        // scale triple: producer activation scale, weight scale,
+        // output scale. Weights must be materialized int8 for their
+        // scale to exist.
+        const Node* in = producer(g, n, 0);
+        if (!in || !in->outQuant.has_value() || n.params.empty() ||
+            n.params[0].dtype() != core::DType::kI8)
+            continue;
+        const auto& wq = n.params[0].quantParams();
+        if (!scaleUsable(wq.scale)) {
+            sink.error(&n, "weight scale " + std::to_string(wq.scale) +
+                               " must be positive and finite");
+            continue;
+        }
+        if (wq.zeroPoint != 0)
+            sink.warn(&n,
+                      "weight zero point " +
+                          std::to_string(wq.zeroPoint) +
+                          " != 0; weights are quantized symmetrically",
+                      "requantize the weights with "
+                      "chooseSymmetricQuantParams");
+        if (!scaleUsable(in->outQuant->scale) ||
+            !scaleUsable(n.outQuant->scale))
+            continue; // already reported on the owning node
+        const double m =
+            in->outQuant->scale * wq.scale / n.outQuant->scale;
+        if (!requantRepresentable(m))
+            sink.error(&n,
+                       "requantization multiplier " + std::to_string(m) +
+                           " (in_scale * w_scale / out_scale) is not "
+                           "representable as a 30-bit fixed-point "
+                           "scale",
+                       "re-calibrate; the normalized shift must land "
+                       "in [1, 62]");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass "wellformed": DAG structure, reachability, dead tensors.
+// ---------------------------------------------------------------------
+
+void
+wellformedPass(const Graph& g, DiagnosticSink& sink)
+{
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+
+    for (const auto& n : g.nodes()) {
+        const auto idx = static_cast<std::size_t>(n.id);
+        if (idx >= n_nodes ||
+            &g.node(n.id) != &n)
+            sink.error(&n,
+                       "node id does not equal its append position",
+                       "node ids must equal append order (the "
+                       "execution order)");
+        for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+            const NodeId in = n.inputs[k];
+            if (in < 0 || in >= g.numNodes())
+                sink.error(&n,
+                           "input " + std::to_string(k) +
+                               " references non-existent node " +
+                               std::to_string(in),
+                           "dangling edge: remove or retarget it");
+            else if (in >= n.id)
+                sink.error(&n,
+                           "input " + std::to_string(k) +
+                               " references node " + std::to_string(in) +
+                               " at or after itself",
+                           "append order must be a topological order");
+        }
+        if (n.kind != OpKind::kInput && n.inputs.empty())
+            sink.error(&n, "non-input node has no inputs");
+        if (n.kind == OpKind::kInput && !n.inputs.empty())
+            sink.error(&n, "input node has inputs");
+        // Duplicate edges are meaningful for add/concat (x + x,
+        // repeated concat operands); elsewhere they are almost always
+        // a wiring bug.
+        if (n.kind != OpKind::kAdd && n.kind != OpKind::kConcat &&
+            n.kind != OpKind::kConcatLast) {
+            std::set<NodeId> seen;
+            for (NodeId in : n.inputs)
+                if (!seen.insert(in).second) {
+                    sink.warn(&n,
+                              "node " + std::to_string(in) +
+                                  " appears more than once in the "
+                                  "input list",
+                              "duplicate edge");
+                    break;
+                }
+        }
+    }
+
+    // Input/output registration.
+    for (NodeId id : g.inputIds()) {
+        if (id < 0 || id >= g.numNodes())
+            sink.error(nullptr, "registered input id " +
+                                    std::to_string(id) + " is invalid");
+        else if (g.node(id).kind != OpKind::kInput)
+            sink.error(&g.node(id),
+                       "registered as a graph input but is not an "
+                       "input node");
+    }
+    for (const auto& n : g.nodes()) {
+        if (n.kind != OpKind::kInput)
+            continue;
+        const auto& ids = g.inputIds();
+        if (std::find(ids.begin(), ids.end(), n.id) == ids.end())
+            sink.error(&n,
+                       "input node is not registered via markInput",
+                       "the interpreter cannot feed it");
+    }
+    if (g.outputIds().empty())
+        sink.error(nullptr, "graph has no outputs",
+                   "call markOutput on at least one node");
+    {
+        std::set<NodeId> seen;
+        for (NodeId id : g.outputIds()) {
+            if (id < 0 || id >= g.numNodes()) {
+                sink.error(nullptr, "registered output id " +
+                                        std::to_string(id) +
+                                        " is invalid");
+                continue;
+            }
+            if (!seen.insert(id).second)
+                sink.warn(&g.node(id),
+                          "marked as a graph output more than once");
+        }
+    }
+
+    // Reachability from the outputs (dead tensors / unreachable
+    // nodes): work the interpreter performs but nothing consumes.
+    std::vector<bool> live(n_nodes, false);
+    std::vector<NodeId> stack;
+    for (NodeId id : g.outputIds())
+        if (id >= 0 && id < g.numNodes())
+            stack.push_back(id);
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        const auto idx = static_cast<std::size_t>(id);
+        if (live[idx])
+            continue;
+        live[idx] = true;
+        for (NodeId in : g.node(id).inputs)
+            if (in >= 0 && in < g.numNodes())
+                stack.push_back(in);
+    }
+    const auto consumers = g.consumerCounts();
+    for (const auto& n : g.nodes()) {
+        const auto idx = static_cast<std::size_t>(n.id);
+        if (live[idx])
+            continue;
+        if (consumers[idx] == 0)
+            sink.warn(&n,
+                      "dead tensor: computed but never consumed and "
+                      "not a graph output",
+                      "run eliminateDeadNodes");
+        else
+            sink.warn(&n,
+                      "unreachable from every graph output",
+                      "run eliminateDeadNodes");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass "parallel": parallel-write-hazard audit.
+// ---------------------------------------------------------------------
+
+/**
+ * The kernel layer's output partitioning for one node, derived from
+ * the node's *attributes and input shapes* (the kernel's view of the
+ * work), not from the declared output buffer: @p domain independent
+ * work items, each writing @p slice contiguous output elements.
+ * domain * slice must equal the declared buffer size or some elements
+ * are either written twice, racy, or never written (stale reads).
+ * Returns false for ops that execute serially.
+ */
+bool
+writePartition(const Graph& g, const Node& n, std::int64_t& domain,
+               std::int64_t& slice)
+{
+    const Node* in0 = producer(g, n, 0);
+    switch (n.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kFusedConvBnAct: {
+        // Both the packed-GEMM and the direct depthwise path assign
+        // every (batch, out-channel) plane to exactly one worker
+        // chain (GEMM row tiles are groups of whole output rows).
+        const auto& geom = n.attrs.conv2d;
+        domain = geom.n * geom.outC;
+        slice = geom.outH() * geom.outW();
+        return true;
+      }
+      case OpKind::kConv3d: {
+        const auto& geom = n.attrs.conv3d;
+        domain = geom.n * geom.outC;
+        slice = geom.outD() * geom.outH() * geom.outW();
+        return true;
+      }
+      case OpKind::kDense: {
+        const auto& geom = n.attrs.dense;
+        domain = geom.batch;
+        slice = geom.outFeatures;
+        return true;
+      }
+      case OpKind::kLstm:
+      case OpKind::kGru: {
+        // Gate application partitions (batch x hidden) per timestep;
+        // each timestep commit covers one [N, hidden] slab.
+        const auto& geom = n.attrs.rnn;
+        domain = geom.batch * geom.seqLen * geom.hiddenSize;
+        slice = 1;
+        return true;
+      }
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+        domain = n.attrs.pool2d.outputCount();
+        slice = 1;
+        return true;
+      case OpKind::kMaxPool3d:
+        domain = n.attrs.pool3d.outputCount();
+        slice = 1;
+        return true;
+      case OpKind::kBatchNorm:
+      case OpKind::kActivation:
+      case OpKind::kSoftmax:
+      case OpKind::kFlatten:
+      case OpKind::kReshape:
+      case OpKind::kChannelShuffle:
+      case OpKind::kYoloDetect:
+        if (!in0)
+            return false;
+        domain = core::numElements(in0->outShape);
+        slice = 1;
+        return true;
+      case OpKind::kAdd:
+        if (!in0)
+            return false;
+        domain = core::numElements(in0->outShape);
+        slice = 1;
+        return true;
+      case OpKind::kConcat:
+      case OpKind::kConcatLast: {
+        domain = 0;
+        for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+            const Node* in = producer(g, n, k);
+            if (!in)
+                return false;
+            domain += core::numElements(in->outShape);
+        }
+        slice = 1;
+        return true;
+      }
+      case OpKind::kGlobalAvgPool:
+        if (!in0 || in0->outShape.size() != 4)
+            return false;
+        domain = in0->outShape[0] * in0->outShape[1];
+        slice = 1;
+        return true;
+      case OpKind::kPadSpatial: {
+        if (!in0 || in0->outShape.size() != 4)
+            return false;
+        const auto& s = in0->outShape;
+        const auto* p = n.attrs.pads;
+        domain = s[0] * s[1] * (s[2] + p[0] + p[1]) *
+            (s[3] + p[2] + p[3]);
+        slice = 1;
+        return true;
+      }
+      case OpKind::kUpsample: {
+        if (!in0)
+            return false;
+        const std::int64_t f = std::max<std::int64_t>(
+            n.attrs.upsampleFactor, 1);
+        domain = core::numElements(in0->outShape) * f * f;
+        slice = 1;
+        return true;
+      }
+      case OpKind::kSelectTimestep:
+        if (!in0 || in0->outShape.size() != 3)
+            return false;
+        domain = in0->outShape[0] * in0->outShape[2];
+        slice = 1;
+        return true;
+      case OpKind::kInput:
+      case OpKind::kDetectPostprocess:
+        // No parallel kernel: inputs are copied, NMS is serial.
+        return false;
+    }
+    return false;
+}
+
+void
+parallelPass(const Graph& g, DiagnosticSink& sink)
+{
+    for (const auto& n : g.nodes()) {
+        if (!edgesResolve(g, n))
+            continue;
+        std::int64_t domain = 0;
+        std::int64_t slice = 0;
+        if (!writePartition(g, n, domain, slice))
+            continue;
+        if (domain < 0 || slice <= 0) {
+            sink.error(&n, "degenerate write partition (domain " +
+                               std::to_string(domain) + ", slice " +
+                               std::to_string(slice) + ")");
+            continue;
+        }
+        const std::int64_t written = domain * slice;
+        const std::int64_t buffer = core::numElements(n.outShape);
+        if (written != buffer) {
+            sink.error(&n,
+                       "kernel writes " + std::to_string(written) +
+                           " elements (" + std::to_string(domain) +
+                           " work items x " + std::to_string(slice) +
+                           ") but the output buffer holds " +
+                           std::to_string(buffer),
+                       written > buffer
+                           ? "out-of-bounds parallel write"
+                           : "elements never written would be read "
+                             "stale");
+            continue;
+        }
+        // Replay the pool's contiguous chunking of the work domain at
+        // several worker counts: the chunks must tile [0, domain)
+        // exactly — disjoint (no two workers write one element) and
+        // complete (no element unwritten).
+        for (const std::int64_t workers : {1, 2, 3, 4, 7, 8, 16}) {
+            const std::int64_t chunk =
+                (domain + workers - 1) / workers;
+            std::int64_t cursor = 0;
+            for (std::int64_t w = 0; w < workers && cursor < domain;
+                 ++w) {
+                const std::int64_t begin = w * chunk;
+                const std::int64_t end =
+                    std::min(domain, begin + chunk);
+                if (begin != cursor || end < begin) {
+                    sink.error(
+                        &n,
+                        "chunking at " + std::to_string(workers) +
+                            " workers leaves [" +
+                            std::to_string(cursor) + ", " +
+                            std::to_string(begin) +
+                            ") uncovered or overlapping");
+                    break;
+                }
+                cursor = end;
+            }
+            if (cursor != domain) {
+                sink.error(&n,
+                           "chunking at " + std::to_string(workers) +
+                               " workers covers " +
+                               std::to_string(cursor) + " of " +
+                               std::to_string(domain) + " work items");
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Passes "memplan" / "inplace": audits over the static memory plan.
+// ---------------------------------------------------------------------
+
+bool
+inplaceWhitelisted(const Graph& g, const Node& n, core::DType rt,
+                   const std::vector<core::DType>& rts)
+{
+    if (rt == core::DType::kF32) {
+        for (NodeId in : n.inputs)
+            if (rts[static_cast<std::size_t>(in)] != core::DType::kF32)
+                return false;
+        if (n.kind == OpKind::kBatchNorm || n.kind == OpKind::kAdd)
+            return true;
+        if (n.kind == OpKind::kActivation)
+            return n.attrs.activation != ActKind::kNone;
+        return false;
+    }
+    if (rt == core::DType::kI8) {
+        if (n.kind != OpKind::kActivation)
+            return false;
+        if (n.attrs.activation != ActKind::kRelu &&
+            n.attrs.activation != ActKind::kRelu6)
+            return false;
+        return !n.inputs.empty() &&
+            rts[static_cast<std::size_t>(n.inputs[0])] ==
+                core::DType::kI8;
+    }
+    (void)g;
+    return false;
+}
+
+} // namespace
+
+void
+auditMemoryPlan(const Graph& g, const MemoryPlan& plan, bool force_f32,
+                VerifyReport& report)
+{
+    DiagnosticSink sink("memplan", report);
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+    if (plan.slots.size() != n_nodes) {
+        sink.error(nullptr,
+                   "plan has " + std::to_string(plan.slots.size()) +
+                       " slots for " + std::to_string(n_nodes) +
+                       " nodes");
+        return;
+    }
+
+    bool any_f16 = false;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        const Node& n = g.node(static_cast<NodeId>(i));
+        const MemSlot& s = plan.slots[i];
+        const core::DType rt = runtimeDType(n, force_f32);
+        any_f16 = any_f16 || rt == core::DType::kF16;
+        const std::int64_t numel = core::numElements(n.outShape);
+        const std::int64_t phys =
+            rt == core::DType::kI8 ? numel : numel * 4;
+        if (s.physicalBytes != phys)
+            sink.error(&n,
+                       "slot stores " + std::to_string(s.physicalBytes) +
+                           " bytes; the node's activation needs " +
+                           std::to_string(phys));
+        if (s.offset < 0 || s.offset % kArenaAlign != 0)
+            sink.error(&n, "arena offset " + std::to_string(s.offset) +
+                               " is not " + std::to_string(kArenaAlign) +
+                               "-byte aligned");
+        if (s.offset + s.physicalBytes > plan.arenaBytes)
+            sink.error(&n,
+                       "block [" + std::to_string(s.offset) + ", " +
+                           std::to_string(s.offset + s.physicalBytes) +
+                           ") exceeds the arena (" +
+                           std::to_string(plan.arenaBytes) + " bytes)");
+        if (s.defStep != static_cast<std::int32_t>(i) ||
+            s.endStep < s.defStep)
+            sink.error(&n,
+                       "lifetime [" + std::to_string(s.defStep) + ", " +
+                           std::to_string(s.endStep) +
+                           "] is not a valid interval at step " +
+                           std::to_string(i));
+        if (s.root < 0 || s.root >= g.numNodes()) {
+            sink.error(&n,
+                       "block root " + std::to_string(s.root) +
+                           " is not a node");
+            continue;
+        }
+        const MemSlot& rs = plan.slots[static_cast<std::size_t>(s.root)];
+        if (s.root != static_cast<NodeId>(i)) {
+            // Chain member: must live inside its root's block and
+            // lifetime.
+            if (s.offset != rs.offset ||
+                s.physicalBytes != rs.physicalBytes)
+                sink.error(&n,
+                           "chain member placed at offset " +
+                               std::to_string(s.offset) +
+                               " but its root block is at " +
+                               std::to_string(rs.offset));
+            if (s.endStep > rs.endStep || s.defStep < rs.defStep)
+                sink.error(&n,
+                           "chain member lifetime escapes its root "
+                           "block's lifetime");
+        }
+    }
+
+    // Pairwise live-interval overlap: two root blocks alive at the
+    // same step must occupy disjoint byte ranges. This is the
+    // no-aliasing proof, independent of the placer's bookkeeping.
+    for (std::size_t a = 0; a < n_nodes; ++a) {
+        const MemSlot& sa = plan.slots[a];
+        if (sa.root != static_cast<NodeId>(a))
+            continue;
+        for (std::size_t b = a + 1; b < n_nodes; ++b) {
+            const MemSlot& sb = plan.slots[b];
+            if (sb.root != static_cast<NodeId>(b))
+                continue;
+            const bool time_overlap = !(sb.endStep < sa.defStep ||
+                                        sb.defStep > sa.endStep);
+            if (!time_overlap)
+                continue;
+            const bool byte_overlap =
+                sa.offset < sb.offset + sb.physicalBytes &&
+                sb.offset < sa.offset + sa.physicalBytes;
+            if (byte_overlap)
+                sink.error(
+                    &g.node(static_cast<NodeId>(b)),
+                    "block aliases " +
+                        nodeDesc(g.node(static_cast<NodeId>(a))) +
+                        " while both are live (steps [" +
+                        std::to_string(sa.defStep) + ", " +
+                        std::to_string(sa.endStep) + "] vs [" +
+                        std::to_string(sb.defStep) + ", " +
+                        std::to_string(sb.endStep) + "])",
+                    "live-interval overlap: the planner must place "
+                    "them disjointly");
+        }
+    }
+
+    // The arena must never regress past the refcount executor's peak:
+    // that is the whole point of planning. Alignment can pad each
+    // block by at most one kArenaAlign, and emulated fp16 stores 4
+    // bytes per logical 2, so those two slacks are excluded.
+    if (!any_f16) {
+        std::int64_t roots = 0;
+        for (std::size_t i = 0; i < n_nodes; ++i)
+            if (plan.slots[i].root == static_cast<NodeId>(i))
+                ++roots;
+        const std::int64_t bound =
+            plan.refcountPeakBytes + roots * kArenaAlign;
+        if (plan.arenaBytes > bound)
+            sink.warn(nullptr,
+                      "arena (" + std::to_string(plan.arenaBytes) +
+                          " bytes) exceeds the refcount peak (" +
+                          std::to_string(plan.refcountPeakBytes) +
+                          " + alignment slack)",
+                      "the greedy placer regressed below the legacy "
+                      "allocator");
+    }
+    if (plan.peakLiveBytes > plan.arenaBytes)
+        sink.error(nullptr,
+                   "peak live bytes " +
+                       std::to_string(plan.peakLiveBytes) +
+                       " exceed the arena " +
+                       std::to_string(plan.arenaBytes));
+}
+
+void
+auditInplaceReuse(const Graph& g, const MemoryPlan& plan,
+                  bool force_f32, VerifyReport& report)
+{
+    DiagnosticSink sink("inplace", report);
+    const auto n_nodes = static_cast<std::size_t>(g.numNodes());
+    if (plan.slots.size() != n_nodes) {
+        sink.error(nullptr, "plan does not match the graph");
+        return;
+    }
+    const auto consumers = g.consumerCounts();
+    std::vector<bool> is_output(n_nodes, false);
+    for (NodeId id : g.outputIds())
+        if (id >= 0 && id < g.numNodes())
+            is_output[static_cast<std::size_t>(id)] = true;
+    std::vector<core::DType> rts(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i)
+        rts[i] = runtimeDType(g.node(static_cast<NodeId>(i)),
+                              force_f32);
+    std::vector<bool> donated(n_nodes, false);
+
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        const MemSlot& s = plan.slots[i];
+        if (s.inplaceSrc < 0)
+            continue;
+        const Node& n = g.node(static_cast<NodeId>(i));
+        if (s.inplaceSrc >= g.numNodes()) {
+            sink.error(&n, "in-place source " +
+                               std::to_string(s.inplaceSrc) +
+                               " is not a node");
+            continue;
+        }
+        const auto src = static_cast<std::size_t>(s.inplaceSrc);
+        const Node& sn = g.node(s.inplaceSrc);
+        if (std::find(n.inputs.begin(), n.inputs.end(),
+                      s.inplaceSrc) == n.inputs.end())
+            sink.error(&n,
+                       "mutates " + nodeDesc(sn) +
+                           " which is not one of its inputs");
+        if (consumers[src] != 1)
+            sink.error(&n,
+                       "mutates " + nodeDesc(sn) + " which has " +
+                           std::to_string(consumers[src]) +
+                           " consumers",
+                       "in-place reuse requires a single consumer");
+        if (is_output[src])
+            sink.error(&n,
+                       "mutates " + nodeDesc(sn) +
+                           " which is a graph output",
+                       "outputs must survive unmodified");
+        if (donated[src])
+            sink.error(&n, nodeDesc(sn) + " donates its block to more "
+                                          "than one consumer");
+        donated[src] = true;
+        if (plan.slots[src].physicalBytes != s.physicalBytes ||
+            core::numElements(sn.outShape) !=
+                core::numElements(n.outShape))
+            sink.error(&n,
+                       "reuses a block of " +
+                           std::to_string(plan.slots[src].physicalBytes) +
+                           " bytes for an activation of " +
+                           std::to_string(s.physicalBytes) + " bytes");
+        if (rts[i] != rts[src])
+            sink.error(&n,
+                       "element type changes across the in-place edge (" +
+                           core::dtypeName(rts[src]) + " -> " +
+                           core::dtypeName(rts[i]) + ")");
+        if (n.kind == OpKind::kLstm || n.kind == OpKind::kGru ||
+            sn.kind == OpKind::kLstm || sn.kind == OpKind::kGru)
+            sink.error(&n,
+                       "recurrent ops re-read their full input while "
+                       "committing outputs and can never share "
+                       "storage");
+        else if (!inplaceWhitelisted(g, n, rts[i], rts))
+            sink.error(&n,
+                       opKindName(n.kind) +
+                           " is not on the in-place whitelist for " +
+                           core::dtypeName(rts[i]),
+                       "only single-consumer elementwise ops may "
+                       "mutate their producer");
+        if (s.root != plan.slots[src].root)
+            sink.error(&n, "in-place chain root mismatch (slot root " +
+                               std::to_string(s.root) + ", source root " +
+                               std::to_string(plan.slots[src].root) +
+                               ")");
+    }
+}
+
+namespace
+{
+
+void
+memplanPass(const Graph& g, VerifyReport& report)
+{
+    if (!graphStructureSound(g))
+        return; // planMemory would index by the broken structure
+    for (const bool force_f32 : {false, true}) {
+        const MemoryPlan plan = planMemory(g, force_f32);
+        auditMemoryPlan(g, plan, force_f32, report);
+        if (!force_f32)
+            auditInplaceReuse(g, plan, force_f32, report);
+    }
+}
+
+struct PassEntry
+{
+    PassInfo info;
+    /** Passes emit through a sink bound to their name. */
+    std::function<void(const Graph&, VerifyReport&)> run;
+};
+
+const std::vector<PassEntry>&
+passEntries()
+{
+    static const std::vector<PassEntry> entries = {
+        {{"wellformed",
+          "dangling/duplicate edges, append-order ids, unreachable "
+          "nodes, dead tensors, input/output registration"},
+         [](const Graph& g, VerifyReport& r) {
+             DiagnosticSink sink("wellformed", r);
+             wellformedPass(g, sink);
+         }},
+        {{"shapes",
+          "shape/dtype re-inference from op semantics vs declared "
+          "tensor and parameter shapes"},
+         [](const Graph& g, VerifyReport& r) {
+             DiagnosticSink sink("shapes", r);
+             shapesPass(g, sink);
+         }},
+        {{"quant",
+          "quantization sanity: scales, zero points, the int8 bias "
+          "contract, requantization representability"},
+         [](const Graph& g, VerifyReport& r) {
+             DiagnosticSink sink("quant", r);
+             quantPass(g, sink);
+         }},
+        {{"memplan",
+          "static replay of MemoryPlan lifetimes: no aliasing of "
+          "live blocks, aligned in-arena placement, arena within the "
+          "refcount-peak bound"},
+         [](const Graph& g, VerifyReport& r) { memplanPass(g, r); }},
+        {{"parallel",
+          "parallel-write-hazard audit: kernel output partitions "
+          "tile the declared buffer with disjoint ranges"},
+         [](const Graph& g, VerifyReport& r) {
+             DiagnosticSink sink("parallel", r);
+             parallelPass(g, sink);
+         }},
+        {{"inplace",
+          "legality of every in-place reuse the planner chose"},
+         [](const Graph& g, VerifyReport& r) {
+             if (!graphStructureSound(g))
+                 return; // see memplanPass
+             const MemoryPlan plan = planMemory(g, false);
+             auditInplaceReuse(g, plan, false, r);
+         }},
+    };
+    return entries;
+}
+
+} // namespace
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::kInfo: return "info";
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << "[" << pass << "]";
+    if (!nodeName.empty())
+        oss << " " << nodeName;
+    oss << ": " << message;
+    if (!hint.empty())
+        oss << " (hint: " << hint << ")";
+    return oss.str();
+}
+
+std::int64_t
+VerifyReport::count(Severity s) const
+{
+    std::int64_t n = 0;
+    for (const auto& d : diagnostics)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+std::string
+VerifyReport::summary() const
+{
+    std::ostringstream oss;
+    oss << errors() << " errors, " << warnings() << " warnings, "
+        << count(Severity::kInfo) << " info";
+    return oss.str();
+}
+
+void
+DiagnosticSink::emit(Severity sev, const Node* n, std::string msg,
+                     std::string hint)
+{
+    Diagnostic d;
+    d.severity = sev;
+    d.pass = pass_;
+    if (n) {
+        d.node = n->id;
+        d.nodeName = nodeDesc(*n);
+    }
+    d.message = std::move(msg);
+    d.hint = std::move(hint);
+    report_.diagnostics.push_back(std::move(d));
+}
+
+Verifier::Verifier() : enabled_(passEntries().size(), true) {}
+
+const std::vector<PassInfo>&
+Verifier::passes()
+{
+    static const std::vector<PassInfo> infos = [] {
+        std::vector<PassInfo> v;
+        for (const auto& e : passEntries())
+            v.push_back(e.info);
+        return v;
+    }();
+    return infos;
+}
+
+void
+Verifier::setEnabled(const std::string& pass, bool on)
+{
+    const auto& entries = passEntries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].info.name == pass) {
+            enabled_[i] = on;
+            return;
+        }
+    }
+    EB_CHECK(false, "unknown verifier pass '" << pass << "'");
+}
+
+bool
+Verifier::enabled(const std::string& pass) const
+{
+    const auto& entries = passEntries();
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (entries[i].info.name == pass)
+            return enabled_[i];
+    EB_CHECK(false, "unknown verifier pass '" << pass << "'");
+    return false;
+}
+
+VerifyReport
+Verifier::run(const Graph& g) const
+{
+    VerifyReport report;
+    const auto& entries = passEntries();
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (enabled_[i])
+            entries[i].run(g, report);
+    return report;
+}
+
+VerifyReport
+verifyGraph(const Graph& g)
+{
+    return Verifier().run(g);
+}
+
+void
+verifyOrThrow(const Graph& g, const std::string& context)
+{
+    const VerifyReport report = verifyGraph(g);
+    if (report.ok())
+        return;
+    std::ostringstream oss;
+    oss << context << ": graph '" << g.name() << "' failed "
+        << "verification with " << report.errors() << " error(s):";
+    for (const auto& d : report.diagnostics)
+        if (d.severity == Severity::kError)
+            oss << "\n  " << d.format();
+    oss << "\n(set EDGEBENCH_VERIFY=off to bypass)";
+    throw InvalidArgumentError(oss.str());
+}
+
+bool
+verifyEnvEnabled()
+{
+    const char* e = std::getenv("EDGEBENCH_VERIFY");
+    if (!e)
+        return true;
+    std::string v(e);
+    for (char& c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return !(v == "0" || v == "off" || v == "false");
+}
+
+} // namespace graph
+} // namespace edgebench

@@ -272,8 +272,10 @@ TEST(InterpreterTest, DetectPostprocessHonorsOutputStride)
 
 TEST(InterpreterTest, YoloDetectRejectsMismatchedChannels)
 {
-    // 1 anchor x (5 + 2 classes) needs 7 channels; feed 8. The decode
-    // must fail loudly instead of silently reading the wrong planes.
+    // 1 anchor x (5 + 2 classes) needs 7 channels; feed 8. The static
+    // verifier rejects the graph at Interpreter construction, before
+    // the decode could silently read the wrong planes; with the
+    // verifier off, the kernel's own check still fails at run time.
     eg::Graph g;
     auto in = g.addInput({1, 8, 2, 2});
     eg::Node n;
@@ -287,8 +289,12 @@ TEST(InterpreterTest, YoloDetectRejectsMismatchedChannels)
     g.markOutput(y);
     ec::Rng rng(1);
     g.materializeParams(rng);
-    eg::Interpreter interp(g);
+    EXPECT_THROW(eg::Interpreter interp(g),
+                 edgebench::InvalidArgumentError);
 
+    setenv("EDGEBENCH_VERIFY", "off", 1);
+    eg::Interpreter interp(g);
+    unsetenv("EDGEBENCH_VERIFY");
     ec::Tensor x = ec::Tensor::full({1, 8, 2, 2}, 0.0f);
     EXPECT_THROW(interp.run({x}), edgebench::InvalidArgumentError);
 }

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the static model-graph verifier (verify.hh).
+ *
+ * Three layers:
+ *  - zoo-clean: every zoo model (plus the recurrent and mobile
+ *    extension builders) verifies with zero errors in fp32 and int8
+ *    modes, deferred and materialized+calibrated;
+ *  - negative fixtures: for each of the six passes, at least one
+ *    deliberately malformed graph (or corrupted memory plan) that the
+ *    pass must flag with an error-severity diagnostic;
+ *  - wiring: the Interpreter runs the verifier at construction by
+ *    default, EDGEBENCH_VERIFY=off bypasses it, and EB_CHECK failures
+ *    inside interpreter/memplan carry the shared "node N (op 'name')"
+ *    diagnostic id.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgebench/core/common.hh"
+#include "edgebench/core/rng.hh"
+#include "edgebench/core/tensor.hh"
+#include "edgebench/graph/interpreter.hh"
+#include "edgebench/graph/memplan.hh"
+#include "edgebench/graph/passes.hh"
+#include "edgebench/graph/verify.hh"
+#include "edgebench/models/zoo.hh"
+
+namespace ec = edgebench::core;
+namespace eg = edgebench::graph;
+namespace em = edgebench::models;
+
+namespace
+{
+
+/** Count error diagnostics emitted by pass @p pass. */
+std::int64_t
+errorsFromPass(const eg::VerifyReport& report, const std::string& pass)
+{
+    std::int64_t n = 0;
+    for (const auto& d : report.diagnostics)
+        if (d.pass == pass && d.severity == eg::Severity::kError)
+            ++n;
+    return n;
+}
+
+/** Dump every diagnostic (attached to assertion failures). */
+std::string
+dump(const eg::VerifyReport& report)
+{
+    std::string out;
+    for (const auto& d : report.diagnostics)
+        out += d.format() + "\n";
+    return out;
+}
+
+/** A minimal valid conv chain: input -> conv -> relu -> output. */
+eg::Graph
+tinyConvGraph()
+{
+    eg::Graph g("tiny");
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, /*stride=*/1, /*pad=*/1);
+    auto r = g.addActivation(c, eg::ActKind::kRelu);
+    g.markOutput(r);
+    return g;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Zoo-clean: the verifier must pass the entire model zoo.
+// ---------------------------------------------------------------------
+
+class VerifyZooClean : public ::testing::TestWithParam<em::ModelId>
+{};
+
+TEST_P(VerifyZooClean, Fp32DeferredHasNoDiagnostics)
+{
+    const auto g = em::buildModel(GetParam());
+    const auto report = eg::verifyGraph(g);
+    EXPECT_EQ(report.errors(), 0) << dump(report);
+    EXPECT_EQ(report.warnings(), 0) << dump(report);
+}
+
+TEST_P(VerifyZooClean, Int8DeferredHasNoErrors)
+{
+    const auto g = em::buildModel(GetParam());
+    const auto q = eg::quantizeInt8(g);
+    const auto report = eg::verifyGraph(q.graph);
+    EXPECT_EQ(report.errors(), 0) << dump(report);
+}
+
+TEST_P(VerifyZooClean, FusedFp32HasNoErrors)
+{
+    const auto g = em::buildModel(GetParam());
+    const auto f = eg::fuseConvBnAct(g);
+    const auto report = eg::verifyGraph(f.graph);
+    EXPECT_EQ(report.errors(), 0) << dump(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, VerifyZooClean, ::testing::ValuesIn(em::allModels()),
+    [](const ::testing::TestParamInfo<em::ModelId>& info) {
+        // Index suffix disambiguates models sharing a display name
+        // (VGG-S at 32x32 and 224x224).
+        std::string name = em::modelInfo(info.param).name;
+        for (char& c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_" + std::to_string(info.index);
+    });
+
+TEST(VerifyExtensions, RecurrentAndMobileModelsAreClean)
+{
+    std::vector<eg::Graph> graphs = em::buildRecurrentExtensions();
+    graphs.push_back(em::buildSqueezeNet());
+    graphs.push_back(em::buildShuffleNet());
+    graphs.push_back(em::buildDenseNet121());
+    for (const auto& g : graphs) {
+        const auto report = eg::verifyGraph(g);
+        EXPECT_EQ(report.errors(), 0) << g.name() << ":\n"
+                                      << dump(report);
+    }
+}
+
+TEST(VerifyExtensions, CalibratedInt8GraphIsClean)
+{
+    // The strongest int8 fixture: materialized weights, fused chains,
+    // real calibration-derived activation scales. Every quant-pass
+    // invariant (bias contract, requant representability, symmetric
+    // weights) must hold on the graph the interpreter actually runs.
+    auto g = em::buildModel(em::ModelId::kCifarNet);
+    ec::Rng rng(7);
+    g.materializeParams(rng);
+    const auto fused = eg::fuseConvBnAct(g);
+    ec::Rng in_rng(11);
+    std::vector<ec::Tensor> calib;
+    calib.push_back(ec::Tensor::randomNormal({1, 3, 32, 32}, in_rng));
+    const auto q = eg::quantizeInt8(fused.graph, &calib);
+    const auto report = eg::verifyGraph(q.graph);
+    EXPECT_EQ(report.errors(), 0) << dump(report);
+}
+
+// ---------------------------------------------------------------------
+// Pass registry.
+// ---------------------------------------------------------------------
+
+TEST(VerifierRegistry, HasTheSixDocumentedPasses)
+{
+    const auto& passes = eg::Verifier::passes();
+    ASSERT_EQ(passes.size(), 6u);
+    const std::vector<std::string> expect{"wellformed", "shapes",
+                                          "quant",      "memplan",
+                                          "parallel",   "inplace"};
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(passes[i].name, expect[i]);
+}
+
+TEST(VerifierRegistry, PassesAreIndependentlyToggleable)
+{
+    // Corrupt a conv's declared output shape: both "shapes" and
+    // "parallel" flag it. Disabling "shapes" must leave exactly the
+    // "parallel" findings.
+    auto g = tinyConvGraph();
+    g.nodes()[1].outShape = {1, 4, 8, 9};
+
+    eg::Verifier v;
+    EXPECT_TRUE(v.enabled("shapes"));
+    v.setEnabled("shapes", false);
+    EXPECT_FALSE(v.enabled("shapes"));
+    const auto report = v.run(g);
+    EXPECT_EQ(errorsFromPass(report, "shapes"), 0) << dump(report);
+    EXPECT_GE(errorsFromPass(report, "parallel"), 1) << dump(report);
+
+    EXPECT_THROW(v.setEnabled("no_such_pass", true),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(VerifierRegistry, DiagnosticFormatIsStable)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[1].outShape = {1, 4, 8, 9};
+    const auto report = eg::verifyGraph(g);
+    ASSERT_GT(report.errors(), 0);
+    // The corruption is flagged on the conv itself; the downstream
+    // relu also fails its (now-inconsistent) producer check.
+    bool found = false;
+    for (const auto& d : report.diagnostics) {
+        if (d.severity != eg::Severity::kError || d.pass != "shapes" ||
+            d.node != 1)
+            continue;
+        found = true;
+        EXPECT_NE(d.format().find("error[shapes] node 1 (conv2d "),
+                  std::string::npos)
+            << d.format();
+    }
+    EXPECT_TRUE(found) << dump(report);
+}
+
+// ---------------------------------------------------------------------
+// Negative fixtures, one (or more) per pass.
+// ---------------------------------------------------------------------
+
+TEST(VerifyNegative, ShapesFlagsCorruptedOutputShape)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[1].outShape = {1, 4, 4, 4}; // conv really yields 8x8
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "shapes"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, ShapesFlagsWrongBiasShape)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[1].paramShapes[1] = {5}; // conv has outC == 4
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "shapes"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, ShapesFlagsAddOperandMismatch)
+{
+    eg::Graph g("bad_add");
+    auto a = g.addInput({1, 8}, "a");
+    auto b = g.addInput({1, 8}, "b");
+    auto s = g.addAdd(a, b);
+    g.markOutput(s);
+    g.nodes()[1].outShape = {1, 9}; // operand shapes now differ
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "shapes"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, QuantFlagsZeroScale)
+{
+    auto g = tinyConvGraph();
+    auto& relu = g.nodes()[2];
+    relu.dtype = ec::DType::kI8;
+    relu.outQuant = ec::QuantParams{0.0, 0};
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "quant"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, QuantFlagsOutOfRangeZeroPoint)
+{
+    auto g = tinyConvGraph();
+    auto& relu = g.nodes()[2];
+    relu.dtype = ec::DType::kI8;
+    relu.outQuant = ec::QuantParams{0.5, 300};
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "quant"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, QuantFlagsBrokenInt8BiasContract)
+{
+    auto g = tinyConvGraph();
+    auto& conv = g.nodes()[1];
+    conv.dtype = ec::DType::kI8;
+    conv.outQuant = ec::QuantParams{0.1, 0};
+    conv.paramShapes[1] = {4, 1}; // contract is {outC} == {4}
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "quant"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, WellformedFlagsDanglingEdge)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[2].inputs[0] = 99;
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "wellformed"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, WellformedFlagsMissingOutputs)
+{
+    eg::Graph g("no_out");
+    auto in = g.addInput({1, 4});
+    g.addActivation(in, eg::ActKind::kRelu);
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "wellformed"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, WellformedWarnsOnDeadTensor)
+{
+    eg::Graph g("dead");
+    auto in = g.addInput({1, 4});
+    auto live = g.addActivation(in, eg::ActKind::kRelu);
+    g.addActivation(in, eg::ActKind::kTanh, "dead_branch");
+    g.markOutput(live);
+    const auto report = eg::verifyGraph(g);
+    EXPECT_EQ(report.errors(), 0) << dump(report);
+    EXPECT_GE(report.warnings(), 1) << dump(report);
+}
+
+TEST(VerifyNegative, MemplanAuditFlagsAliasedLiveBlocks)
+{
+    // conv1's block is live until conv2 reads it, so placing conv2 at
+    // conv1's offset aliases two simultaneously-live blocks.
+    eg::Graph g("alias");
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c1 = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto c2 = g.addConv2d(c1, 4, 3, 3, 1, 1);
+    g.markOutput(c2);
+    auto plan = eg::planMemory(g, /*force_f32=*/false);
+    ASSERT_NE(plan.slots[1].offset, plan.slots[2].offset);
+    plan.slots[2].offset = plan.slots[1].offset;
+
+    eg::VerifyReport report;
+    eg::auditMemoryPlan(g, plan, /*force_f32=*/false, report);
+    EXPECT_GE(errorsFromPass(report, "memplan"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, MemplanAuditFlagsBlockOutsideArena)
+{
+    auto g = tinyConvGraph();
+    auto plan = eg::planMemory(g, /*force_f32=*/false);
+    plan.slots[0].offset = plan.arenaBytes + 64;
+    eg::VerifyReport report;
+    eg::auditMemoryPlan(g, plan, /*force_f32=*/false, report);
+    EXPECT_GE(errorsFromPass(report, "memplan"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, MemplanAuditFlagsMisalignedOffset)
+{
+    auto g = tinyConvGraph();
+    auto plan = eg::planMemory(g, /*force_f32=*/false);
+    plan.slots[0].offset += 4; // breaks the 64-byte alignment
+    eg::VerifyReport report;
+    eg::auditMemoryPlan(g, plan, /*force_f32=*/false, report);
+    EXPECT_GE(errorsFromPass(report, "memplan"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, ParallelFlagsUncoveredOutputElements)
+{
+    // Shrink the conv's declared output: the kernel's partitioning
+    // writes more elements than the buffer holds (an OOB parallel
+    // write). Caught by "parallel" independently of "shapes".
+    auto g = tinyConvGraph();
+    g.nodes()[1].outShape = {1, 4, 8, 7};
+    eg::Verifier v;
+    v.setEnabled("shapes", false);
+    const auto report = v.run(g);
+    EXPECT_GE(errorsFromPass(report, "parallel"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, InplaceAuditFlagsIllegalReuse)
+{
+    auto g = tinyConvGraph();
+    auto plan = eg::planMemory(g, /*force_f32=*/false);
+    // The relu legally reuses the conv's block. Repoint its in-place
+    // source at the graph input (not even one of its inputs).
+    ASSERT_EQ(plan.slots[2].inplaceSrc, 1);
+    plan.slots[2].inplaceSrc = 0;
+    eg::VerifyReport report;
+    eg::auditInplaceReuse(g, plan, /*force_f32=*/false, report);
+    EXPECT_GE(errorsFromPass(report, "inplace"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, InplaceAuditFlagsMultiConsumerDonor)
+{
+    // conv feeds both the relu and an add: donating its block to the
+    // relu would corrupt the add's other operand.
+    eg::Graph g("fanout");
+    auto in = g.addInput({1, 3, 8, 8});
+    auto c = g.addConv2d(in, 4, 3, 3, 1, 1);
+    auto r = g.addActivation(c, eg::ActKind::kRelu);
+    auto s = g.addAdd(c, r);
+    g.markOutput(s);
+    auto plan = eg::planMemory(g, /*force_f32=*/false);
+    ASSERT_EQ(plan.slots[2].inplaceSrc, -1); // planner refuses it
+    plan.slots[2].inplaceSrc = 1;            // force the illegal reuse
+    eg::VerifyReport report;
+    eg::auditInplaceReuse(g, plan, /*force_f32=*/false, report);
+    EXPECT_GE(errorsFromPass(report, "inplace"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, InplaceAuditFlagsRecurrentReuse)
+{
+    eg::Graph g("rnn_inplace");
+    auto in = g.addInput({1, 4, 8});
+    auto l = g.addLstm(in, 8);
+    g.markOutput(l);
+    auto plan = eg::planMemory(g, /*force_f32=*/false);
+    ASSERT_EQ(plan.slots[1].inplaceSrc, -1);
+    plan.slots[1].inplaceSrc = 0;
+    plan.slots[1].root = 0;
+    eg::VerifyReport report;
+    eg::auditInplaceReuse(g, plan, /*force_f32=*/false, report);
+    EXPECT_GE(errorsFromPass(report, "inplace"), 1) << dump(report);
+}
+
+// ---------------------------------------------------------------------
+// Interpreter wiring + diagnostic-id format.
+// ---------------------------------------------------------------------
+
+TEST(VerifyWiring, InterpreterRejectsCorruptGraphAtConstruction)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[1].outShape = {1, 4, 4, 4};
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    try {
+        eg::Interpreter interp(g);
+        FAIL() << "construction must throw";
+    } catch (const edgebench::InvalidArgumentError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("failed verification"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("EDGEBENCH_VERIFY=off"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(VerifyWiring, EnvToggleBypassesVerification)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[2].outShape = {1, 4, 8, 9}; // relu shape corrupted
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    setenv("EDGEBENCH_VERIFY", "off", 1);
+    EXPECT_NO_THROW(eg::Interpreter interp(g));
+    unsetenv("EDGEBENCH_VERIFY");
+    EXPECT_THROW(eg::Interpreter interp(g),
+                 edgebench::InvalidArgumentError);
+}
+
+TEST(VerifyWiring, VerifyEnvEnabledParsesDisableSpellings)
+{
+    unsetenv("EDGEBENCH_VERIFY");
+    EXPECT_TRUE(eg::verifyEnvEnabled());
+    for (const char* off : {"0", "off", "OFF", "false", "False"}) {
+        setenv("EDGEBENCH_VERIFY", off, 1);
+        EXPECT_FALSE(eg::verifyEnvEnabled()) << off;
+    }
+    setenv("EDGEBENCH_VERIFY", "on", 1);
+    EXPECT_TRUE(eg::verifyEnvEnabled());
+    unsetenv("EDGEBENCH_VERIFY");
+}
+
+TEST(VerifyWiring, InterpreterCheckFailuresNameTheNode)
+{
+    // Feeding a wrong-shaped input must identify the input node with
+    // the shared "node N (op 'name')" diagnostic id.
+    auto g = tinyConvGraph();
+    ec::Rng rng(1);
+    g.materializeParams(rng);
+    eg::Interpreter interp(g);
+    try {
+        interp.run({ec::Tensor::full({1, 3, 4, 4}, 0.0f)});
+        FAIL() << "run must throw";
+    } catch (const edgebench::InvalidArgumentError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("node 0 (input 'input')"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(VerifyWiring, MemplanCheckFailuresNameTheNode)
+{
+    auto g = tinyConvGraph();
+    g.nodes()[2].id = 7; // break the append-order invariant
+    try {
+        eg::planMemory(g, /*force_f32=*/false);
+        FAIL() << "planMemory must throw";
+    } catch (const edgebench::InvalidArgumentError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("node 7 (activation "), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(VerifyWiring, NodeDescFormat)
+{
+    const auto g = tinyConvGraph();
+    const std::string d = eg::nodeDesc(g.node(1));
+    EXPECT_EQ(d.rfind("node 1 (conv2d '", 0), 0u) << d;
+    EXPECT_EQ(d.back(), ')');
+}
+
+TEST(VerifyWiring, VerifyOrThrowIsANoOpOnCleanGraphs)
+{
+    const auto g = tinyConvGraph();
+    EXPECT_NO_THROW(eg::verifyOrThrow(g, "test"));
+    const auto report = eg::verifyGraph(g);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.summary(), "0 errors, 0 warnings, 0 info");
+}

@@ -8,7 +8,11 @@
 #      tests/core/test_gemm_int8.cc) names a file that exists;
 #   2. every relative markdown link target [text](path) resolves;
 #   3. every docs/*.md page is reachable from README.md or from
-#      another docs page (no orphaned documentation).
+#      another docs page (no orphaned documentation);
+#   4. every `edgebench` CLI subcommand dispatched in
+#      tools/edgebench_cli.cc (models, verify, predict, ...) is
+#      documented — "edgebench <cmd>" must appear in README.md or a
+#      docs page.
 #
 # Run from anywhere; exits non-zero listing each broken reference.
 # CI runs this as the `docs` job on every push.
@@ -56,6 +60,20 @@ for page in docs/*.md; do
         fail=1
     fi
 done
+
+# 4. Every CLI subcommand is documented. The dispatcher in main() is
+#    the source of truth: each `cmd == "<name>"` comparison names a
+#    subcommand users can invoke, so each must show up as
+#    "edgebench <name>" somewhere in the prose.
+while IFS= read -r cmd; do
+    if ! grep -q "edgebench $cmd" README.md docs/*.md; then
+        echo "UNDOCUMENTED CLI SUBCOMMAND: 'edgebench $cmd'" \
+            "(dispatched in tools/edgebench_cli.cc but mentioned in" \
+            "neither README.md nor docs/*.md)"
+        fail=1
+    fi
+done < <(grep -oE 'cmd == "[a-z]+"' tools/edgebench_cli.cc |
+    sed 's/cmd == "//; s/"$//' | sort -u)
 
 if [ "$fail" -ne 0 ]; then
     echo "doc link check FAILED"

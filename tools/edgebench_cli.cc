@@ -6,6 +6,7 @@
  *   edgebench devices                        list platforms
  *   edgebench frameworks <device>            frameworks for a device
  *   edgebench summary <model>                layer table
+ *   edgebench verify <model|all> [--json]    static graph verification
  *   edgebench memplan                        activation-memory table
  *   edgebench dot <model>                    Graphviz rendering
  *   edgebench save <model> <file.ebg>        serialize a zoo model
@@ -48,7 +49,9 @@
 #include "edgebench/frameworks/runtime.hh"
 #include "edgebench/graph/export.hh"
 #include "edgebench/graph/memplan.hh"
+#include "edgebench/graph/passes.hh"
 #include "edgebench/graph/serialize.hh"
+#include "edgebench/graph/verify.hh"
 #include "edgebench/harness/report.hh"
 #include "edgebench/obs/export.hh"
 #include "edgebench/power/energy.hh"
@@ -106,6 +109,7 @@ usage()
         << "usage: edgebench [options] <command> [args]\n"
         << "  models | devices | frameworks <device> | compat\n"
         << "  summary <model> | dot <model> | memplan\n"
+        << "  verify <model|all> [--json]\n"
         << "  save <model> <file.ebg> | show <file.ebg>\n"
         << "  predict <model> <device> [framework]\n"
         << "  serve <model> <device> [framework]\n"
@@ -215,6 +219,100 @@ cmdMemplan()
     }
     t.print(std::cout);
     return 0;
+}
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Run the static verifier over zoo models in fp32 and int8 modes and
+ * render a table (or JSON with --json). Exit status 1 when any graph
+ * produces an error-severity diagnostic.
+ */
+int
+cmdVerify(const std::string& model, bool json)
+{
+    std::vector<models::ModelId> ids;
+    if (model == "all")
+        ids = models::allModels();
+    else
+        ids.push_back(models::modelByName(model));
+
+    struct Entry
+    {
+        std::string model;
+        std::string mode;
+        graph::VerifyReport report;
+    };
+    std::vector<Entry> entries;
+    for (auto id : ids) {
+        const auto g = models::buildModel(id);
+        entries.push_back({g.name(), "fp32", graph::verifyGraph(g)});
+        const auto q = graph::quantizeInt8(g);
+        entries.push_back(
+            {g.name(), "int8", graph::verifyGraph(q.graph)});
+    }
+
+    std::int64_t total_errors = 0;
+    for (const auto& e : entries)
+        total_errors += e.report.errors();
+
+    if (json) {
+        std::cout << "[";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const auto& e = entries[i];
+            std::cout << (i ? ",\n " : "\n ") << "{\"model\": \""
+                      << jsonEscape(e.model) << "\", \"mode\": \""
+                      << e.mode << "\", \"errors\": "
+                      << e.report.errors() << ", \"warnings\": "
+                      << e.report.warnings() << ", \"diagnostics\": [";
+            const auto& ds = e.report.diagnostics;
+            for (std::size_t d = 0; d < ds.size(); ++d) {
+                std::cout
+                    << (d ? ", " : "") << "{\"severity\": \""
+                    << graph::severityName(ds[d].severity)
+                    << "\", \"pass\": \"" << jsonEscape(ds[d].pass)
+                    << "\", \"node\": " << ds[d].node
+                    << ", \"message\": \"" << jsonEscape(ds[d].message)
+                    << "\", \"hint\": \"" << jsonEscape(ds[d].hint)
+                    << "\"}";
+            }
+            std::cout << "]}";
+        }
+        std::cout << "\n]\n";
+        return total_errors > 0 ? 1 : 0;
+    }
+
+    harness::Table t({"Model", "Mode", "Errors", "Warnings", "Info",
+                      "Status"});
+    for (const auto& e : entries)
+        t.addRow({e.model, e.mode, std::to_string(e.report.errors()),
+                  std::to_string(e.report.warnings()),
+                  std::to_string(
+                      e.report.count(graph::Severity::kInfo)),
+                  e.report.ok() ? "ok" : "FAIL"});
+    t.print(std::cout);
+    for (const auto& e : entries)
+        for (const auto& d : e.report.diagnostics)
+            if (d.severity != graph::Severity::kInfo)
+                std::cout << e.model << " [" << e.mode << "] "
+                          << d.format() << "\n";
+    return total_errors > 0 ? 1 : 0;
 }
 
 int
@@ -602,6 +700,7 @@ main(int argc, char** argv)
     ObsOptions obs_opts;
     ServeOptions serve_opts;
     DistribOptions distrib_opts;
+    bool json_out = false;
     try {
         auto int_flag = [](const char* flag, const char* v) {
             std::int64_t n = -1;
@@ -681,6 +780,8 @@ main(int argc, char** argv)
                 distrib_opts.frames = int_flag("--frames", argv[++i]);
             } else if (a == "--shared") {
                 distrib_opts.shared = true;
+            } else if (a == "--json") {
+                json_out = true;
             } else if (a == "--retries" && has_value) {
                 serve_opts.retries = static_cast<int>(
                     int_flag("--retries", argv[++i]));
@@ -704,6 +805,8 @@ main(int argc, char** argv)
             return cmdFrameworks(args[1]);
         if (cmd == "summary" && args.size() == 2)
             return cmdSummary(args[1]);
+        if (cmd == "verify" && args.size() == 2)
+            return cmdVerify(args[1], json_out);
         if (cmd == "memplan" && args.size() == 1)
             return cmdMemplan();
         if (cmd == "dot" && args.size() == 2)
