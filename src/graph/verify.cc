@@ -339,6 +339,12 @@ shapesPass(const Graph& g, DiagnosticSink& sink)
     for (const auto& n : g.nodes()) {
         if (!edgesResolve(g, n))
             continue; // the wellformed pass reports dangling edges
+        // A non-input node with no inputs makes producer(g, n, 0)
+        // null even though every edge "resolves" (vacuously); the
+        // wellformed pass reports that malformation, so skip here
+        // rather than dereference.
+        if (n.kind != OpKind::kInput && n.inputs.empty())
+            continue;
         switch (n.kind) {
           case OpKind::kInput:
             if (n.outShape.empty() ||
@@ -852,6 +858,8 @@ wellformedPass(const Graph& g, DiagnosticSink& sink)
     const auto consumers = g.consumerCounts();
     for (const auto& n : g.nodes()) {
         const auto idx = static_cast<std::size_t>(n.id);
+        if (idx >= n_nodes)
+            continue; // bad node id, reported above
         if (live[idx])
             continue;
         if (consumers[idx] == 0)

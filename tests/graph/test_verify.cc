@@ -273,6 +273,27 @@ TEST(VerifyNegative, WellformedFlagsDanglingEdge)
     EXPECT_GE(errorsFromPass(report, "wellformed"), 1) << dump(report);
 }
 
+TEST(VerifyNegative, WellformedFlagsInputlessNonInputNode)
+{
+    // A non-input node with an empty input list must produce a
+    // wellformed diagnostic, and the shapes pass must skip it rather
+    // than dereference a null producer.
+    auto g = tinyConvGraph();
+    g.nodes()[2].inputs.clear();
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "wellformed"), 1) << dump(report);
+}
+
+TEST(VerifyNegative, WellformedSurvivesOutOfRangeNodeId)
+{
+    // An id past the append positions must be reported, not used to
+    // index the liveness/consumer vectors out of bounds.
+    auto g = tinyConvGraph();
+    g.nodes()[2].id = 7;
+    const auto report = eg::verifyGraph(g);
+    EXPECT_GE(errorsFromPass(report, "wellformed"), 1) << dump(report);
+}
+
 TEST(VerifyNegative, WellformedFlagsMissingOutputs)
 {
     eg::Graph g("no_out");

@@ -37,6 +37,7 @@
  *   --retries <n>         retry attempts for rejected requests
  */
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -227,14 +228,22 @@ jsonEscape(const std::string& s)
 {
     std::string out;
     out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
-            continue;
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
         }
-        out += c;
     }
     return out;
 }
